@@ -1,0 +1,34 @@
+//! Fig. 5 — histogram of per-cycle dynamic maximum delays over all pipeline
+//! stages, its mean (paper: 1334 ps vs the 2026 ps static limit) and the
+//! genie-aided speedup bound (paper: ~50 %).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use idca_bench::{paper, Experiments};
+use idca_timing::dta::DynamicTimingAnalysis;
+use std::hint::black_box;
+
+fn bench_fig5(c: &mut Criterion) {
+    let exp = Experiments::prepare();
+
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    group.bench_function("dynamic_timing_analysis_of_characterization", |b| {
+        b.iter(|| {
+            DynamicTimingAnalysis::run(black_box(&exp.model), black_box(&exp.characterization_trace))
+        })
+    });
+    group.finish();
+
+    let fig5 = exp.fig5();
+    println!("\n[fig5] mean per-cycle delay: {:.0} ps (paper {:.0} ps)", fig5.mean_delay_ps, paper::FIG5_MEAN_PS);
+    println!("[fig5] static limit:         {:.0} ps (paper {:.0} ps)", fig5.static_period_ps, paper::STATIC_PERIOD_PS);
+    println!(
+        "[fig5] genie speedup:        {:.1} % (paper {:.0} %)",
+        fig5.genie_speedup_percent,
+        paper::GENIE_SPEEDUP_PERCENT
+    );
+    println!("[fig5] delay histogram:\n{}", fig5.histogram.to_ascii(50));
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

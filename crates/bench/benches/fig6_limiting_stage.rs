@@ -1,0 +1,25 @@
+//! Fig. 6 — percentage of cycles in which each pipeline stage contains the
+//! limiting path (paper: EX 93 %, ADR 7 %, all others below 1 %).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use idca_bench::Experiments;
+use std::hint::black_box;
+
+fn bench_fig6(c: &mut Criterion) {
+    let exp = Experiments::prepare();
+
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    group.bench_function("limiting_stage_extraction", |b| {
+        b.iter(|| black_box(&exp).fig6())
+    });
+    group.finish();
+
+    println!("\n[fig6] limiting-stage shares (paper: EX 93 %, ADR 7 %):");
+    for row in exp.fig6() {
+        println!("[fig6]   {:<5} {:>6.1} %", row.stage.label(), row.percent);
+    }
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

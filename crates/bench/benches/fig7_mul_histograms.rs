@@ -1,0 +1,39 @@
+//! Fig. 7 — per-pipeline-stage histograms of the dynamic delays of the
+//! `l.mul` instruction (paper: the execute-stage delay sits close to the
+//! static maximum with a ~300 ps data-dependent spread, all other stages are
+//! much faster).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use idca_bench::Experiments;
+use idca_isa::TimingClass;
+use idca_pipeline::Stage;
+use std::hint::black_box;
+
+fn bench_fig7(c: &mut Criterion) {
+    let exp = Experiments::prepare();
+
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(20);
+    group.bench_function("per_stage_mul_statistics", |b| {
+        b.iter(|| black_box(&exp).fig7())
+    });
+    group.finish();
+
+    println!("\n[fig7] stage  observations   mean ps    max ps");
+    for row in exp.fig7() {
+        println!(
+            "[fig7] {:<6} {:>12} {:>9.0} {:>9.0}",
+            row.stage.label(),
+            row.observations,
+            row.mean_ps,
+            row.max_ps
+        );
+    }
+    let ex = exp.dta.stage_histogram(Stage::Execute, TimingClass::Mul);
+    let spread = ex.observed_max() - ex.observed_min();
+    println!("[fig7] execute-stage spread: {spread:.0} ps (paper ~300 ps)");
+    println!("[fig7] execute-stage histogram:\n{}", ex.to_ascii(40));
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Fig. 8 — effective clock frequency of every benchmark under conventional
+//! clocking and under instruction-based dynamic clock adjustment (paper:
+//! 494 MHz → 680 MHz on average, a 38 % gain, with no timing violations).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use idca_bench::{paper, Experiments};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_fig8(c: &mut Criterion) {
+    let exp = Experiments::prepare();
+
+    let mut group = c.benchmark_group("fig8");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(8));
+    group.bench_function("evaluate_full_suite_static_vs_dynamic", |b| {
+        b.iter(|| black_box(&exp).fig8())
+    });
+    group.finish();
+
+    let (rows, summary) = exp.fig8();
+    println!("\n[fig8] benchmark               static MHz  dynamic MHz  speedup");
+    for row in &rows {
+        println!(
+            "[fig8] {:<24} {:>9.1} {:>12.1} {:>7.1}%",
+            row.benchmark, row.static_mhz, row.dynamic_mhz, row.speedup_percent
+        );
+    }
+    println!(
+        "[fig8] average {:.1} -> {:.1} MHz (+{:.1} %); paper {:.0} -> {:.0} MHz (+{:.0} %)",
+        summary.mean_baseline_frequency_mhz(),
+        summary.mean_dynamic_frequency_mhz(),
+        (summary.mean_speedup() - 1.0) * 100.0,
+        paper::FIG8_BASELINE_MHZ,
+        paper::FIG8_DYNAMIC_MHZ,
+        paper::FIG8_SPEEDUP_PERCENT
+    );
+    println!("[fig8] suite timing violations: {}", summary.total_violations());
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! §IV-B — converting the frequency gain into a supply-voltage reduction at
+//! iso-throughput (paper: ~70 mV lower supply, 13.7 → 11.0 µW/MHz, a 24 %
+//! energy-efficiency improvement).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use idca_bench::{paper, Experiments};
+use idca_timing::ActivitySummary;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_power(c: &mut Criterion) {
+    let exp = Experiments::prepare();
+
+    let mut group = c.benchmark_group("power");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(8));
+    group.bench_function("iso_throughput_voltage_scaling", |b| {
+        b.iter(|| black_box(&exp).power_scaling())
+    });
+    group.finish();
+
+    // Conventional-clocking efficiency at the nominal voltage.
+    let baseline_outcome = exp.baseline_outcome("core_matrix");
+    let nominal = exp.library.operating_point(700).expect("nominal point");
+    let baseline_report = exp.power.report(
+        &ActivitySummary {
+            cycles: baseline_outcome.cycles,
+            execute_active_cycles: baseline_outcome.activity.execute_active_cycles,
+            memory_accesses: baseline_outcome.activity.memory_accesses,
+            multiplications: baseline_outcome.activity.multiplications,
+        },
+        &nominal,
+        baseline_outcome.avg_period_ps,
+    );
+    println!(
+        "\n[power] conventional clocking at 0.70 V: {:.2} µW/MHz (paper {:.1})",
+        baseline_report.uw_per_mhz,
+        paper::POWER_BASELINE_UW_PER_MHZ
+    );
+
+    let result = exp.power_scaling();
+    println!(
+        "[power] scaled: {} mV, {:.1} MHz, {:.2} µW/MHz (paper {:.1} µW/MHz at ~70 mV lower)",
+        result.scaled.voltage_mv,
+        result.scaled.frequency_mhz,
+        result.scaled.uw_per_mhz,
+        paper::POWER_SCALED_UW_PER_MHZ
+    );
+    println!(
+        "[power] supply reduction {} mV, efficiency gain {:.1} % (paper {:.0} %)",
+        result.voltage_reduction_mv,
+        result.efficiency_gain_percent(),
+        paper::POWER_GAIN_PERCENT
+    );
+}
+
+criterion_group!(benches, bench_power);
+criterion_main!(benches);

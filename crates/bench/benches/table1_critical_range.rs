@@ -1,0 +1,42 @@
+//! Table I — effect of the critical-range optimization on the per-class
+//! worst-case dynamic delays (factor = optimized / conventional; paper:
+//! l.add 0.92, l.bf 0.78, l.j 0.74, l.lwz 0.85, l.mul 1.10, l.nop 0.78,
+//! l.sw 0.85) plus the 9 % static-period cost of the optimization.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use idca_bench::Experiments;
+use idca_isa::TimingClass;
+use idca_timing::{ProfileKind, TimingProfile};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(20);
+    group.bench_function("profile_construction_and_factor_extraction", |b| {
+        b.iter(|| {
+            TimingClass::INSTRUCTION_CLASSES
+                .iter()
+                .map(|&class| TimingProfile::max_delay_factor(black_box(class)))
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+
+    let exp = Experiments::prepare();
+    println!("\n[table1] instruction        measured   paper");
+    for row in exp.table1() {
+        match row.paper {
+            Some(p) => println!("[table1] {:<18} {:>8.2} {:>7.2}", row.class.label(), row.factor, p),
+            None => println!("[table1] {:<18} {:>8.2}       -", row.class.label(), row.factor),
+        }
+    }
+    let conventional = TimingProfile::new(ProfileKind::Conventional);
+    let optimized = TimingProfile::new(ProfileKind::CriticalRangeOptimized);
+    println!(
+        "[table1] STA period increase: {:.1} % (paper 9 %)",
+        (optimized.static_period_ps() / conventional.static_period_ps() - 1.0) * 100.0
+    );
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

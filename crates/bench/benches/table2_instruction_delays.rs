@@ -1,0 +1,41 @@
+//! Table II — per-instruction worst-case dynamic delays and limiting stages
+//! extracted from the characterization run (paper: l.add 1467 EX, l.and 1482
+//! EX, l.bf 1470 EX, l.j 1172 ADR, l.lwz 1391 EX, l.mul 1899 EX, l.sll 1270
+//! EX, l.xor 1514 EX).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use idca_bench::{paper, Experiments};
+use idca_core::DelayLut;
+use std::hint::black_box;
+
+fn bench_table2(c: &mut Criterion) {
+    let exp = Experiments::prepare();
+
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(20);
+    group.bench_function("lut_extraction_from_dta", |b| {
+        b.iter(|| DelayLut::from_dta(black_box(&exp.dta), 8))
+    });
+    group.finish();
+
+    println!("\n[table2] instruction        measured  stage  observations   paper  stage");
+    for row in exp.table2() {
+        let reference = paper::TABLE2.iter().find(|(label, _, _)| *label == row.class.label());
+        let (paper_ps, paper_stage) = match reference {
+            Some((_, ps, stage)) => (format!("{ps:.0}"), (*stage).to_string()),
+            None => ("-".into(), "-".into()),
+        };
+        println!(
+            "[table2] {:<18} {:>8.0} {:>6} {:>13} {:>7} {:>6}",
+            row.class.label(),
+            row.max_delay_ps,
+            row.stage.label(),
+            row.observations,
+            paper_ps,
+            paper_stage
+        );
+    }
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,450 @@
+//! # idca-bench — experiment harness
+//!
+//! Shared plumbing for regenerating every table and figure of the paper's
+//! evaluation section. The Criterion benches under `benches/` and the
+//! `repro` binary both go through the functions in this crate, so the
+//! numbers they print are produced by exactly one code path.
+//!
+//! | Experiment | Paper | Function |
+//! |---|---|---|
+//! | Fig. 5 | histogram / mean of per-cycle dynamic delay | [`Experiments::fig5`] |
+//! | Fig. 6 | limiting-stage shares | [`Experiments::fig6`] |
+//! | Table I | critical-range max-delay factors | [`Experiments::table1`] |
+//! | Table II | per-instruction worst-case delays | [`Experiments::table2`] |
+//! | Fig. 7 | per-stage delay histograms of `l.mul` | [`Experiments::fig7`] |
+//! | Fig. 8 | per-benchmark effective frequency | [`Experiments::fig8`] |
+//! | §IV-B | voltage scaling / energy efficiency | [`Experiments::power_scaling`] |
+//! | ablations | CG quantization, execute-only, profile, LUT source | [`Experiments::ablations`] |
+
+use idca_core::{
+    eval::{self, SuiteSummary},
+    policy::{ExecuteOnly, GenieOracle, InstructionBased, StaticClock},
+    run_with_policy,
+    vfs::{self, VoltageScalingResult},
+    ClockGenerator, DelayLut,
+};
+use idca_isa::TimingClass;
+use idca_pipeline::{PipelineTrace, SimConfig, Simulator, Stage};
+use idca_timing::{
+    dta::DynamicTimingAnalysis, CellLibrary, Histogram, PowerModel, ProfileKind, TimingModel,
+    TimingProfile,
+};
+use idca_workloads::{benchmark_suite, suite::characterization_workload};
+
+/// Seed used for the characterization workload throughout the harness.
+pub const CHARACTERIZATION_SEED: u64 = 0xC0DE;
+
+/// Paper reference values used in the "paper vs measured" columns.
+pub mod paper {
+    /// Static timing limit at 0.70 V (ps).
+    pub const STATIC_PERIOD_PS: f64 = 2026.0;
+    /// Mean per-cycle dynamic delay of Fig. 5 (ps).
+    pub const FIG5_MEAN_PS: f64 = 1334.0;
+    /// Genie-aided speedup of §IV-A (percent).
+    pub const GENIE_SPEEDUP_PERCENT: f64 = 50.0;
+    /// Execute-stage limiting share of Fig. 6 (percent).
+    pub const FIG6_EXECUTE_PERCENT: f64 = 93.0;
+    /// Address-stage limiting share of Fig. 6 (percent).
+    pub const FIG6_ADDRESS_PERCENT: f64 = 7.0;
+    /// Average effective frequency under conventional clocking (MHz).
+    pub const FIG8_BASELINE_MHZ: f64 = 494.0;
+    /// Average effective frequency with dynamic clock adjustment (MHz).
+    pub const FIG8_DYNAMIC_MHZ: f64 = 680.0;
+    /// Average speedup of Fig. 8 (percent).
+    pub const FIG8_SPEEDUP_PERCENT: f64 = 38.0;
+    /// Conventional-clocking energy efficiency (µW/MHz).
+    pub const POWER_BASELINE_UW_PER_MHZ: f64 = 13.7;
+    /// Voltage-scaled energy efficiency (µW/MHz).
+    pub const POWER_SCALED_UW_PER_MHZ: f64 = 11.0;
+    /// Supply-voltage reduction (mV).
+    pub const POWER_VOLTAGE_REDUCTION_MV: f64 = 70.0;
+    /// Energy-efficiency improvement (percent).
+    pub const POWER_GAIN_PERCENT: f64 = 24.0;
+
+    /// Table I rows published in the paper: (class label, factor).
+    pub const TABLE1: [(&str, f64); 7] = [
+        ("l.add(i)", 0.92),
+        ("l.bf", 0.78),
+        ("l.j", 0.74),
+        ("l.lwz", 0.85),
+        ("l.mul", 1.10),
+        ("l.nop", 0.78),
+        ("l.sw", 0.85),
+    ];
+
+    /// Table II rows published in the paper: (class label, delay ps, stage).
+    pub const TABLE2: [(&str, f64, &str); 8] = [
+        ("l.add(i)", 1467.0, "EX"),
+        ("l.and(i)", 1482.0, "EX"),
+        ("l.bf", 1470.0, "EX"),
+        ("l.j", 1172.0, "ADR"),
+        ("l.lwz", 1391.0, "EX"),
+        ("l.mul", 1899.0, "EX"),
+        ("l.sll(i)", 1270.0, "EX"),
+        ("l.xor", 1514.0, "EX"),
+    ];
+}
+
+/// Result of the Fig. 5 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig5 {
+    /// Mean of the per-cycle maximum dynamic delay (ps).
+    pub mean_delay_ps: f64,
+    /// Static timing limit (ps).
+    pub static_period_ps: f64,
+    /// Genie-aided speedup in percent.
+    pub genie_speedup_percent: f64,
+    /// The delay histogram (25 ps bins).
+    pub histogram: Histogram,
+}
+
+/// One row of the Fig. 6 experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig6Row {
+    /// Pipeline stage.
+    pub stage: Stage,
+    /// Fraction of cycles in which this stage owned the limiting path (%).
+    pub percent: f64,
+}
+
+/// One row of the Table I experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct Table1Row {
+    /// Instruction class.
+    pub class: TimingClass,
+    /// Measured `optimized / conventional` worst-case delay factor.
+    pub factor: f64,
+    /// Paper value, when the class appears in the paper's excerpt.
+    pub paper: Option<f64>,
+}
+
+/// One row of the Fig. 7 experiment (per-stage `l.mul` delay statistics).
+#[derive(Debug, Clone, Copy)]
+pub struct Fig7Row {
+    /// Pipeline stage.
+    pub stage: Stage,
+    /// Number of cycles `l.mul` occupied the stage.
+    pub observations: u64,
+    /// Mean dynamic delay (ps).
+    pub mean_ps: f64,
+    /// Maximum dynamic delay (ps).
+    pub max_ps: f64,
+}
+
+/// One row of the Fig. 8 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig8Row {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Effective frequency under conventional clocking (MHz).
+    pub static_mhz: f64,
+    /// Effective frequency with instruction-based adjustment (MHz).
+    pub dynamic_mhz: f64,
+    /// Speedup in percent.
+    pub speedup_percent: f64,
+}
+
+/// Ablation study results (design-choice sensitivity).
+#[derive(Debug, Clone)]
+pub struct Ablations {
+    /// Mean suite speedup (%) with the ideal clock generator.
+    pub ideal_cg_percent: f64,
+    /// Mean suite speedup (%) with a 50 ps-quantized clock generator.
+    pub quantized_cg_percent: f64,
+    /// Mean suite speedup (%) with an 8-level discrete clock generator.
+    pub discrete_cg_percent: f64,
+    /// Mean suite speedup (%) when only the execute stage is monitored.
+    pub execute_only_percent: f64,
+    /// Mean suite speedup (%) on the conventional (timing-wall) profile.
+    pub conventional_profile_percent: f64,
+    /// Mean suite speedup (%) with the genie-aided oracle.
+    pub genie_percent: f64,
+    /// Violations across the suite when the LUT is built from a short
+    /// (truncated) characterization instead of the full one.
+    pub truncated_lut_violations: u64,
+}
+
+/// Pre-computed state shared by all experiments: the timing models, the
+/// characterization run, its DTA and the extracted delay LUT.
+pub struct Experiments {
+    /// Timing model of the critical-range-optimized core at 0.70 V.
+    pub model: TimingModel,
+    /// Timing model of the conventional (timing-wall) core at 0.70 V.
+    pub conventional: TimingModel,
+    /// The characterized cell library.
+    pub library: CellLibrary,
+    /// The activity-based power model.
+    pub power: PowerModel,
+    /// Pipeline trace of the characterization workload.
+    pub characterization_trace: PipelineTrace,
+    /// DTA of the characterization run on the optimized core.
+    pub dta: DynamicTimingAnalysis,
+    /// Raw delay LUT extracted from the characterization (min. 8
+    /// observations) — this is what Table II reports.
+    pub raw_lut: DelayLut,
+    /// The LUT actually deployed by the clock-adjustment policies: the raw
+    /// characterization entries plus a 1.5 % guardband covering data
+    /// conditions the characterization stimuli did not produce.
+    pub lut: DelayLut,
+}
+
+impl Experiments {
+    /// Runs the characterization flow once and prepares everything the
+    /// individual experiments need.
+    #[must_use]
+    pub fn prepare() -> Self {
+        let library = CellLibrary::fdsoi28();
+        let model = TimingModel::at_nominal(ProfileKind::CriticalRangeOptimized);
+        let conventional = TimingModel::at_nominal(ProfileKind::Conventional);
+        let power = PowerModel::new(library.clone());
+        let workload = characterization_workload(CHARACTERIZATION_SEED);
+        let characterization_trace = Simulator::new(SimConfig::default())
+            .run(&workload.program)
+            .expect("characterization workload runs")
+            .trace;
+        let dta = DynamicTimingAnalysis::run(&model, &characterization_trace);
+        let raw_lut = DelayLut::from_dta(&dta, 8);
+        let lut = raw_lut.with_guardband(0.015);
+        Experiments {
+            model,
+            conventional,
+            library,
+            power,
+            characterization_trace,
+            dta,
+            raw_lut,
+            lut,
+        }
+    }
+
+    /// Fig. 5: per-cycle dynamic-delay distribution and the genie bound.
+    #[must_use]
+    pub fn fig5(&self) -> Fig5 {
+        Fig5 {
+            mean_delay_ps: self.dta.mean_cycle_delay_ps(),
+            static_period_ps: self.dta.static_period_ps(),
+            genie_speedup_percent: (self.dta.genie_speedup() - 1.0) * 100.0,
+            histogram: self.dta.cycle_histogram().clone(),
+        }
+    }
+
+    /// Fig. 6: share of cycles in which each stage owns the limiting path.
+    #[must_use]
+    pub fn fig6(&self) -> Vec<Fig6Row> {
+        Stage::ALL
+            .iter()
+            .map(|&stage| Fig6Row {
+                stage,
+                percent: self.dta.limiting_fraction(stage) * 100.0,
+            })
+            .collect()
+    }
+
+    /// Table I: optimized-vs-conventional worst-case delay factors.
+    #[must_use]
+    pub fn table1(&self) -> Vec<Table1Row> {
+        TimingClass::INSTRUCTION_CLASSES
+            .iter()
+            .map(|&class| {
+                let factor = TimingProfile::max_delay_factor(class);
+                let paper = paper::TABLE1
+                    .iter()
+                    .find(|(label, _)| *label == class.label())
+                    .map(|(_, f)| *f);
+                Table1Row {
+                    class,
+                    factor,
+                    paper,
+                }
+            })
+            .collect()
+    }
+
+    /// Table II: per-instruction worst-case dynamic delays from the
+    /// characterization LUT (raw observed values, no guardband).
+    #[must_use]
+    pub fn table2(&self) -> Vec<idca_core::Table2Row> {
+        self.raw_lut.table2_rows()
+    }
+
+    /// Fig. 7: per-stage dynamic-delay statistics of the `l.mul` class.
+    #[must_use]
+    pub fn fig7(&self) -> Vec<Fig7Row> {
+        Stage::ALL
+            .iter()
+            .map(|&stage| {
+                let hist = self.dta.stage_histogram(stage, TimingClass::Mul);
+                Fig7Row {
+                    stage,
+                    observations: hist.count(),
+                    mean_ps: hist.mean(),
+                    max_ps: if hist.count() == 0 { 0.0 } else { hist.observed_max() },
+                }
+            })
+            .collect()
+    }
+
+    /// Fig. 8: per-benchmark effective clock frequency under conventional
+    /// clocking and under instruction-based dynamic clock adjustment.
+    #[must_use]
+    pub fn fig8(&self) -> (Vec<Fig8Row>, SuiteSummary) {
+        self.fig8_with(&InstructionBased::new(self.lut.clone()), &ClockGenerator::Ideal)
+    }
+
+    /// Fig. 8 with an arbitrary policy / clock generator (used by ablations).
+    #[must_use]
+    pub fn fig8_with(
+        &self,
+        policy: &dyn idca_core::ClockPolicy,
+        generator: &ClockGenerator,
+    ) -> (Vec<Fig8Row>, SuiteSummary) {
+        let simulator = Simulator::new(SimConfig::default());
+        let mut rows = Vec::new();
+        let mut summary = SuiteSummary::new();
+        for workload in benchmark_suite() {
+            let trace = simulator
+                .run(&workload.program)
+                .expect("benchmark runs")
+                .trace;
+            let comparison = eval::compare(&self.model, workload.name.clone(), &trace, policy, generator);
+            rows.push(Fig8Row {
+                benchmark: comparison.benchmark.clone(),
+                static_mhz: comparison.baseline.effective_frequency_mhz,
+                dynamic_mhz: comparison.dynamic.effective_frequency_mhz,
+                speedup_percent: (comparison.speedup() - 1.0) * 100.0,
+            });
+            summary.push(comparison);
+        }
+        (rows, summary)
+    }
+
+    /// §IV-B: iso-throughput voltage scaling on a representative benchmark
+    /// (the kernel whose speedup sits at the median of the Fig. 8 suite).
+    #[must_use]
+    pub fn power_scaling(&self) -> VoltageScalingResult {
+        let workload = benchmark_suite()
+            .into_iter()
+            .find(|w| w.name == "beebs_dijkstra")
+            .expect("beebs_dijkstra exists");
+        let trace = Simulator::new(SimConfig::default())
+            .run(&workload.program)
+            .expect("benchmark runs")
+            .trace;
+        let lut = self.lut.clone();
+        vfs::scale_for_iso_throughput(
+            ProfileKind::CriticalRangeOptimized,
+            &self.library,
+            &self.power,
+            &trace,
+            &move |model: &TimingModel| {
+                Box::new(InstructionBased::new(
+                    lut.scaled(model.operating_point().delay_scale),
+                ))
+            },
+            &ClockGenerator::Ideal,
+        )
+        .expect("a feasible operating point exists")
+    }
+
+    /// Ablation studies over the design choices called out in DESIGN.md.
+    #[must_use]
+    pub fn ablations(&self) -> Ablations {
+        let lut_policy = InstructionBased::new(self.lut.clone());
+        let (_, ideal) = self.fig8_with(&lut_policy, &ClockGenerator::Ideal);
+        let (_, quantized) = self.fig8_with(&lut_policy, &ClockGenerator::quantized_50ps());
+        let (_, discrete) =
+            self.fig8_with(&lut_policy, &ClockGenerator::discrete(8, 900.0, 2100.0));
+        let (_, execute_only) = self.fig8_with(
+            &ExecuteOnly::new(self.lut.clone()),
+            &ClockGenerator::Ideal,
+        );
+        let (_, genie) = self.fig8_with(&GenieOracle::new(self.model.clone()), &ClockGenerator::Ideal);
+
+        // Conventional (timing-wall) profile: both the baseline and the LUT
+        // come from the conventional implementation.
+        let conventional_summary = {
+            let simulator = Simulator::new(SimConfig::default());
+            let policy = InstructionBased::from_model(&self.conventional);
+            let mut summary = SuiteSummary::new();
+            for workload in benchmark_suite() {
+                let trace = simulator.run(&workload.program).expect("runs").trace;
+                summary.push(eval::compare(
+                    &self.conventional,
+                    workload.name,
+                    &trace,
+                    &policy,
+                    &ClockGenerator::Ideal,
+                ));
+            }
+            summary
+        };
+
+        // LUT built from a deliberately short characterization: count how
+        // many violations slip through on the full suite.
+        let truncated_lut_violations = {
+            let short_trace = PipelineTrace::from_parts(
+                self.characterization_trace.cycles()[..500].to_vec(),
+                500,
+            );
+            let short_dta = DynamicTimingAnalysis::run(&self.model, &short_trace);
+            let short_lut = DelayLut::from_dta(&short_dta, 1);
+            let policy = InstructionBased::new(short_lut);
+            let simulator = Simulator::new(SimConfig::default());
+            let mut violations = 0;
+            for workload in benchmark_suite() {
+                let trace = simulator.run(&workload.program).expect("runs").trace;
+                violations +=
+                    run_with_policy(&self.model, &trace, &policy, &ClockGenerator::Ideal).violations;
+            }
+            violations
+        };
+
+        let percent = |s: &SuiteSummary| (s.mean_speedup() - 1.0) * 100.0;
+        Ablations {
+            ideal_cg_percent: percent(&ideal),
+            quantized_cg_percent: percent(&quantized),
+            discrete_cg_percent: percent(&discrete),
+            execute_only_percent: percent(&execute_only),
+            conventional_profile_percent: percent(&conventional_summary),
+            genie_percent: percent(&genie),
+            truncated_lut_violations,
+        }
+    }
+
+    /// The conventional-clocking baseline outcome for a single benchmark
+    /// (used by the power bench to report µW/MHz at 0.70 V).
+    #[must_use]
+    pub fn baseline_outcome(&self, benchmark: &str) -> idca_core::RunOutcome {
+        let workload = benchmark_suite()
+            .into_iter()
+            .find(|w| w.name == benchmark)
+            .unwrap_or_else(|| panic!("unknown benchmark {benchmark}"));
+        let trace = Simulator::new(SimConfig::default())
+            .run(&workload.program)
+            .expect("benchmark runs")
+            .trace;
+        run_with_policy(
+            &self.model,
+            &trace,
+            &StaticClock::of_model(&self.model),
+            &ClockGenerator::Ideal,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiments_prepare_and_fig5_is_sane() {
+        let exp = Experiments::prepare();
+        let fig5 = exp.fig5();
+        assert!(fig5.mean_delay_ps < fig5.static_period_ps);
+        assert!(fig5.genie_speedup_percent > 20.0);
+        assert!(fig5.histogram.count() > 5_000);
+        let fig6 = exp.fig6();
+        let total: f64 = fig6.iter().map(|r| r.percent).sum();
+        assert!((total - 100.0).abs() < 1e-6);
+    }
+}

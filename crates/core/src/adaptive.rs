@@ -1,0 +1,370 @@
+//! Online updating of the delay prediction table.
+//!
+//! The paper's conclusion points out that the proposed approach "could be
+//! effective in accounting for other static and dynamic timing variations,
+//! for example due to process, temperature and voltage fluctuations, by
+//! (online-)updating of the used delay prediction table". This module
+//! implements that extension: an adaptive controller that starts from a
+//! conservative table (or a pre-characterized LUT), observes the actual
+//! dynamic delay of every cycle through an on-chip delay monitor — modelled
+//! here by the [`TimingModel`] — and updates the per-class, per-stage entries
+//! at run time:
+//!
+//! * entries are *tightened* toward the observed delays plus a safety margin
+//!   (learning the LUT in the field instead of at characterization time);
+//! * whenever the monitor reports a near-violation, the affected entry is
+//!   *backed off*, which lets the table track slow drift (temperature,
+//!   voltage droop, aging) that would invalidate a static characterization.
+
+use crate::{ClockGenerator, DelayLut};
+use idca_isa::TimingClass;
+use idca_pipeline::{PipelineTrace, Stage};
+use idca_timing::{Ps, TimingModel};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the online-adaptive clock controller.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveConfig {
+    /// Safety margin added on top of every observed delay when tightening an
+    /// entry (fraction, e.g. `0.05` = 5 %).
+    pub margin: f64,
+    /// Fractional increase applied to an entry whose realized period turned
+    /// out to be insufficient (the monitor flagged a violation).
+    pub violation_backoff: f64,
+    /// Number of observations of a `(stage, class)` pair required before its
+    /// entry may drop below the static period.
+    pub warmup_observations: u64,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            margin: 0.05,
+            violation_backoff: 0.10,
+            warmup_observations: 4,
+        }
+    }
+}
+
+/// Result of one adaptive run over a trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveOutcome {
+    /// Number of replayed cycles.
+    pub cycles: u64,
+    /// Average realized clock period in picoseconds.
+    pub avg_period_ps: Ps,
+    /// Effective clock frequency in MHz.
+    pub effective_frequency_mhz: f64,
+    /// Speedup over conventional clocking at the (drift-free) static period.
+    pub speedup_over_static: f64,
+    /// Cycles whose realized period undercut the actual dynamic delay.
+    pub violations: u64,
+    /// Cycles spent at the conservative static period while entries warmed up.
+    pub warmup_cycles: u64,
+}
+
+/// Environmental drift applied on top of the nominal dynamic delays,
+/// modelling temperature/voltage variation over the course of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Drift {
+    /// No drift: delays are exactly the nominal model's.
+    None,
+    /// Delays grow linearly by `fraction_per_kilocycle` every 1000 cycles
+    /// (e.g. self-heating slowing the core down).
+    LinearSlowdown {
+        /// Fractional delay increase per 1000 cycles.
+        fraction_per_kilocycle: f64,
+    },
+}
+
+impl Drift {
+    fn factor(self, cycle: u64) -> f64 {
+        match self {
+            Drift::None => 1.0,
+            Drift::LinearSlowdown {
+                fraction_per_kilocycle,
+            } => 1.0 + fraction_per_kilocycle * (cycle as f64 / 1000.0),
+        }
+    }
+}
+
+/// Replays `trace` under an online-adaptive delay table.
+///
+/// Every cycle the controller requests the maximum table entry of the
+/// classes in flight (exactly like the instruction-based policy), realizes
+/// it through `generator`, and then uses the observed actual delay of the
+/// cycle (scaled by `drift`) to update the table: tighten unexcited entries
+/// toward `observed × (1 + margin)`, back off entries that proved too
+/// optimistic. Entries start at the static period (or at `seed_lut` when
+/// provided) so the very first occurrences of an instruction class are
+/// always safe.
+#[must_use]
+pub fn run_adaptive(
+    model: &TimingModel,
+    trace: &PipelineTrace,
+    config: &AdaptiveConfig,
+    generator: &ClockGenerator,
+    seed_lut: Option<&DelayLut>,
+    drift: Drift,
+) -> AdaptiveOutcome {
+    let static_period = model.static_period_ps();
+    let table_len = Stage::COUNT * TimingClass::COUNT;
+    // `learned[idx]` is the running maximum of (observed delay × (1+margin))
+    // for that (stage, class) pair; it is only *used* for prediction once the
+    // pair has been observed at least `warmup_observations` times. A seed LUT
+    // pre-populates the learned values (field-refinement of an existing
+    // characterization instead of learning from scratch).
+    let mut learned: Vec<Ps> = match seed_lut {
+        Some(lut) => {
+            let mut t = vec![0.0; table_len];
+            for stage in Stage::ALL {
+                for class in TimingClass::ALL {
+                    t[stage.index() * TimingClass::COUNT + class.index()] =
+                        lut.delay_ps(stage, class);
+                }
+            }
+            t
+        }
+        None => vec![0.0; table_len],
+    };
+    let mut observations = vec![
+        if seed_lut.is_some() {
+            config.warmup_observations
+        } else {
+            0
+        };
+        table_len
+    ];
+
+    let mut total_time = 0.0;
+    let mut violations = 0u64;
+    let mut warmup_cycles = 0u64;
+
+    for record in trace.cycles() {
+        // 1. Predict: the controller only sees the instruction classes; any
+        //    entry that is still warming up keeps the whole cycle at the
+        //    always-safe static period.
+        let mut requested: Ps = 0.0;
+        let mut warm = true;
+        for stage in Stage::ALL {
+            let idx = stage.index() * TimingClass::COUNT + record.timing_class(stage).index();
+            if observations[idx] < config.warmup_observations {
+                warm = false;
+            } else {
+                requested = requested.max(learned[idx]);
+            }
+        }
+        if !warm {
+            requested = requested.max(static_period);
+            warmup_cycles += 1;
+        }
+        let realized = generator.realize(requested);
+
+        // 2. Observe: the delay monitor reports the actual per-stage delays
+        //    of the cycle (with environmental drift applied).
+        let timing = model.cycle_timing(record);
+        let drift_factor = drift.factor(record.cycle);
+        let actual_max = timing.max_delay_ps * drift_factor;
+        let violated = realized + 1e-9 < actual_max;
+        if violated {
+            violations += 1;
+        }
+        total_time += realized;
+
+        // 3. Adapt the in-flight entries.
+        for stage in Stage::ALL {
+            let idx = stage.index() * TimingClass::COUNT + record.timing_class(stage).index();
+            let observed = timing.stage(stage) * drift_factor;
+            observations[idx] += 1;
+            let target = observed * (1.0 + config.margin);
+            if target > learned[idx] {
+                learned[idx] = target;
+            }
+            if violated && observed + 1e-9 > realized {
+                // This stage's path was (one of) the violators: back off so
+                // the next occurrence gets extra headroom against the drift.
+                learned[idx] =
+                    (learned[idx] * (1.0 + config.violation_backoff)).min(static_period * 2.0);
+            }
+        }
+    }
+
+    let cycles = trace.cycle_count();
+    let avg_period_ps = if cycles == 0 {
+        0.0
+    } else {
+        total_time / cycles as f64
+    };
+    let effective_frequency_mhz = if avg_period_ps > 0.0 {
+        1.0e6 / avg_period_ps
+    } else {
+        0.0
+    };
+    AdaptiveOutcome {
+        cycles,
+        avg_period_ps,
+        effective_frequency_mhz,
+        speedup_over_static: if avg_period_ps > 0.0 {
+            static_period / avg_period_ps
+        } else {
+            1.0
+        },
+        violations,
+        warmup_cycles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::InstructionBased;
+    use crate::run_with_policy;
+    use idca_isa::asm::Assembler;
+    use idca_pipeline::{SimConfig, Simulator};
+    use idca_timing::ProfileKind;
+
+    fn long_trace() -> PipelineTrace {
+        let program = Assembler::new()
+            .assemble(
+                "        l.addi r1, r0, 0x200
+                         l.addi r3, r0, 400
+                 loop:   l.add  r4, r4, r3
+                         l.mul  r5, r3, r4
+                         l.sw   0(r1), r5
+                         l.lwz  r6, 0(r1)
+                         l.xor  r7, r6, r4
+                         l.slli r8, r7, 3
+                         l.addi r3, r3, -1
+                         l.sfne r3, r0
+                         l.bf   loop
+                         l.nop  0
+                         l.nop  1",
+            )
+            .unwrap();
+        Simulator::new(SimConfig::default()).run(&program).unwrap().trace
+    }
+
+    #[test]
+    fn adaptive_table_learns_a_speedup_from_scratch() {
+        let model = TimingModel::at_nominal(ProfileKind::CriticalRangeOptimized);
+        let trace = long_trace();
+        let outcome = run_adaptive(
+            &model,
+            &trace,
+            &AdaptiveConfig::default(),
+            &ClockGenerator::Ideal,
+            None,
+            Drift::None,
+        );
+        assert_eq!(outcome.violations, 0, "margin must keep the adaptation safe");
+        assert!(
+            outcome.speedup_over_static > 1.15,
+            "learned speedup {}",
+            outcome.speedup_over_static
+        );
+        assert!(outcome.warmup_cycles < outcome.cycles / 4);
+    }
+
+    #[test]
+    fn adaptive_approaches_the_precharacterized_policy() {
+        let model = TimingModel::at_nominal(ProfileKind::CriticalRangeOptimized);
+        let trace = long_trace();
+        let adaptive = run_adaptive(
+            &model,
+            &trace,
+            &AdaptiveConfig::default(),
+            &ClockGenerator::Ideal,
+            None,
+            Drift::None,
+        );
+        let characterized = run_with_policy(
+            &model,
+            &trace,
+            &InstructionBased::from_model(&model),
+            &ClockGenerator::Ideal,
+        );
+        let ratio = adaptive.effective_frequency_mhz / characterized.effective_frequency_mhz;
+        // Learning online (with a 5 % margin) should recover most of the
+        // statically characterized gain.
+        assert!(ratio > 0.85, "adaptive recovers only {ratio} of the gain");
+        assert!(ratio < 1.05);
+    }
+
+    #[test]
+    fn seeded_table_starts_fast_and_stays_safe() {
+        let model = TimingModel::at_nominal(ProfileKind::CriticalRangeOptimized);
+        let trace = long_trace();
+        let seed = DelayLut::from_model(&model);
+        let outcome = run_adaptive(
+            &model,
+            &trace,
+            &AdaptiveConfig::default(),
+            &ClockGenerator::Ideal,
+            Some(&seed),
+            Drift::None,
+        );
+        assert_eq!(outcome.violations, 0);
+        assert!(outcome.speedup_over_static > 1.2);
+    }
+
+    #[test]
+    fn adaptation_tracks_environmental_drift() {
+        let model = TimingModel::at_nominal(ProfileKind::CriticalRangeOptimized);
+        let trace = long_trace();
+        // 1 % slowdown per 1000 cycles: by the end of the run every path is
+        // several percent slower than the characterization assumed.
+        let drift = Drift::LinearSlowdown {
+            fraction_per_kilocycle: 0.01,
+        };
+
+        // A frozen, pre-characterized LUT has no way to notice the drift.
+        let frozen_lut = DelayLut::from_model(&model);
+        let frozen = {
+            let policy = InstructionBased::new(frozen_lut.clone());
+            let mut violations = 0;
+            for record in trace.cycles() {
+                let requested = crate::ClockPolicy::period_ps(&policy, record);
+                let actual = model.cycle_timing(record).max_delay_ps * drift.factor(record.cycle);
+                if requested + 1e-9 < actual {
+                    violations += 1;
+                }
+            }
+            violations
+        };
+        assert!(frozen > 0, "the drift must be strong enough to break the frozen LUT");
+
+        // The adaptive table backs off as soon as the monitor reports
+        // trouble and keeps the violation count dramatically lower.
+        let adaptive = run_adaptive(
+            &model,
+            &trace,
+            &AdaptiveConfig::default(),
+            &ClockGenerator::Ideal,
+            Some(&frozen_lut),
+            drift,
+        );
+        assert!(
+            adaptive.violations * 10 < frozen,
+            "adaptive {} vs frozen {frozen}",
+            adaptive.violations
+        );
+        assert!(adaptive.speedup_over_static > 1.05);
+    }
+
+    #[test]
+    fn empty_trace_is_neutral() {
+        let model = TimingModel::at_nominal(ProfileKind::CriticalRangeOptimized);
+        let empty = PipelineTrace::from_parts(vec![], 0);
+        let outcome = run_adaptive(
+            &model,
+            &empty,
+            &AdaptiveConfig::default(),
+            &ClockGenerator::Ideal,
+            None,
+            Drift::None,
+        );
+        assert_eq!(outcome.cycles, 0);
+        assert_eq!(outcome.violations, 0);
+        assert_eq!(outcome.speedup_over_static, 1.0);
+    }
+}

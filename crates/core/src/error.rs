@@ -1,0 +1,77 @@
+use std::fmt;
+
+/// Errors reported by the `idca-core` crate.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A requested supply voltage is outside the characterized library range.
+    Library(idca_timing::LibraryError),
+    /// Serializing or deserializing a delay LUT failed.
+    LutSerialization(serde_json::Error),
+    /// No operating point satisfies the iso-throughput constraint during
+    /// voltage-frequency scaling.
+    NoFeasibleOperatingPoint {
+        /// The throughput (MHz) that had to be preserved.
+        required_mhz: f64,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Library(e) => write!(f, "cell library error: {e}"),
+            CoreError::LutSerialization(e) => write!(f, "delay LUT serialization error: {e}"),
+            CoreError::NoFeasibleOperatingPoint { required_mhz } => write!(
+                f,
+                "no characterized operating point sustains the required {required_mhz:.1} MHz"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Library(e) => Some(e),
+            CoreError::LutSerialization(e) => Some(e),
+            CoreError::NoFeasibleOperatingPoint { .. } => None,
+        }
+    }
+}
+
+impl From<idca_timing::LibraryError> for CoreError {
+    fn from(value: idca_timing::LibraryError) -> Self {
+        CoreError::Library(value)
+    }
+}
+
+impl From<serde_json::Error> for CoreError {
+    fn from(value: serde_json::Error) -> Self {
+        CoreError::LutSerialization(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_are_send_sync_and_display() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+        let e = CoreError::NoFeasibleOperatingPoint { required_mhz: 494.0 };
+        assert!(e.to_string().contains("494.0 MHz"));
+    }
+
+    #[test]
+    fn library_errors_convert() {
+        let lib_err = idca_timing::LibraryError::VoltageOutOfRange {
+            requested_mv: 100,
+            min_mv: 500,
+            max_mv: 900,
+        };
+        let core_err: CoreError = lib_err.into();
+        assert!(core_err.to_string().contains("cell library"));
+        assert!(std::error::Error::source(&core_err).is_some());
+    }
+}

@@ -1,0 +1,224 @@
+//! Evaluation helpers: per-benchmark policy comparisons and suite-level
+//! aggregation (the data behind Fig. 8 and the headline 38 % result).
+
+use crate::{run_with_policy, ClockGenerator, ClockPolicy, RunOutcome, StaticClock};
+use idca_pipeline::PipelineTrace;
+use idca_timing::TimingModel;
+use serde::{Deserialize, Serialize};
+
+/// The outcome of one benchmark under conventional clocking and under a
+/// dynamic clock-adjustment policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicyComparison {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Conventional (static) clocking outcome.
+    pub baseline: RunOutcome,
+    /// Dynamic clock-adjustment outcome.
+    pub dynamic: RunOutcome,
+}
+
+impl PolicyComparison {
+    /// Speedup of the dynamic policy over the static baseline.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.dynamic.speedup_over(&self.baseline)
+    }
+
+    /// Effective-frequency gain in MHz.
+    #[must_use]
+    pub fn frequency_gain_mhz(&self) -> f64 {
+        self.dynamic.effective_frequency_mhz - self.baseline.effective_frequency_mhz
+    }
+}
+
+/// Compares a dynamic clock-adjustment policy against conventional static
+/// clocking on one benchmark trace.
+#[must_use]
+pub fn compare(
+    model: &TimingModel,
+    benchmark: impl Into<String>,
+    trace: &PipelineTrace,
+    policy: &dyn ClockPolicy,
+    generator: &ClockGenerator,
+) -> PolicyComparison {
+    let baseline = run_with_policy(
+        model,
+        trace,
+        &StaticClock::of_model(model),
+        &ClockGenerator::Ideal,
+    );
+    let dynamic = run_with_policy(model, trace, policy, generator);
+    PolicyComparison {
+        benchmark: benchmark.into(),
+        baseline,
+        dynamic,
+    }
+}
+
+/// Aggregation of [`PolicyComparison`]s over a benchmark suite (Fig. 8).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SuiteSummary {
+    comparisons: Vec<PolicyComparison>,
+}
+
+impl SuiteSummary {
+    /// Creates an empty summary.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one benchmark comparison.
+    pub fn push(&mut self, comparison: PolicyComparison) {
+        self.comparisons.push(comparison);
+    }
+
+    /// The individual benchmark comparisons in insertion order.
+    #[must_use]
+    pub fn comparisons(&self) -> &[PolicyComparison] {
+        &self.comparisons
+    }
+
+    /// Number of benchmarks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.comparisons.len()
+    }
+
+    /// `true` when no benchmark has been added.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.comparisons.is_empty()
+    }
+
+    /// Arithmetic mean of the per-benchmark speedups (the paper's "on
+    /// average 38 %" aggregates this way over CoreMark and BEEBS).
+    #[must_use]
+    pub fn mean_speedup(&self) -> f64 {
+        if self.comparisons.is_empty() {
+            return 1.0;
+        }
+        self.comparisons.iter().map(PolicyComparison::speedup).sum::<f64>()
+            / self.comparisons.len() as f64
+    }
+
+    /// Geometric mean of the per-benchmark speedups.
+    #[must_use]
+    pub fn geometric_mean_speedup(&self) -> f64 {
+        if self.comparisons.is_empty() {
+            return 1.0;
+        }
+        let log_sum: f64 = self
+            .comparisons
+            .iter()
+            .map(|c| c.speedup().ln())
+            .sum();
+        (log_sum / self.comparisons.len() as f64).exp()
+    }
+
+    /// Mean effective frequency under conventional clocking, in MHz.
+    #[must_use]
+    pub fn mean_baseline_frequency_mhz(&self) -> f64 {
+        mean(self.comparisons.iter().map(|c| c.baseline.effective_frequency_mhz))
+    }
+
+    /// Mean effective frequency under dynamic clock adjustment, in MHz.
+    #[must_use]
+    pub fn mean_dynamic_frequency_mhz(&self) -> f64 {
+        mean(self.comparisons.iter().map(|c| c.dynamic.effective_frequency_mhz))
+    }
+
+    /// Total timing violations observed across the suite (expected: zero).
+    #[must_use]
+    pub fn total_violations(&self) -> u64 {
+        self.comparisons.iter().map(|c| c.dynamic.violations).sum()
+    }
+}
+
+fn mean(values: impl Iterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for v in values {
+        sum += v;
+        count += 1;
+    }
+    if count == 0 {
+        0.0
+    } else {
+        sum / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::InstructionBased;
+    use idca_isa::asm::Assembler;
+    use idca_timing::ProfileKind;
+
+    fn trace(src: &str) -> PipelineTrace {
+        let program = Assembler::new().assemble(src).unwrap();
+        idca_pipeline::Simulator::new(idca_pipeline::SimConfig::default())
+            .run(&program)
+            .unwrap()
+            .trace
+    }
+
+    fn loop_trace(body: &str) -> PipelineTrace {
+        trace(&format!(
+            "        l.addi r3, r0, 40
+             loop:   {body}
+                     l.addi r3, r3, -1
+                     l.sfne r3, r0
+                     l.bf   loop
+                     l.nop  0
+                     l.nop  1"
+        ))
+    }
+
+    #[test]
+    fn comparison_reports_positive_speedup() {
+        let model = TimingModel::at_nominal(ProfileKind::CriticalRangeOptimized);
+        let policy = InstructionBased::from_model(&model);
+        let t = loop_trace("l.add r4, r4, r3\n l.xor r5, r4, r3");
+        let cmp = compare(&model, "alu-loop", &t, &policy, &ClockGenerator::Ideal);
+        assert_eq!(cmp.benchmark, "alu-loop");
+        assert!(cmp.speedup() > 1.2);
+        assert!(cmp.frequency_gain_mhz() > 50.0);
+        assert_eq!(cmp.dynamic.violations, 0);
+    }
+
+    #[test]
+    fn suite_summary_aggregates_benchmarks() {
+        let model = TimingModel::at_nominal(ProfileKind::CriticalRangeOptimized);
+        let policy = InstructionBased::from_model(&model);
+        let mut suite = SuiteSummary::new();
+        for (name, body) in [
+            ("alu", "l.add r4, r4, r3\n l.and r5, r4, r3"),
+            ("mul", "l.mul r4, r3, r3\n l.mul r5, r4, r3"),
+            ("mem", "l.sw 0(r0), r4\n l.lwz r5, 0(r0)"),
+        ] {
+            let t = loop_trace(body);
+            suite.push(compare(&model, name, &t, &policy, &ClockGenerator::Ideal));
+        }
+        assert_eq!(suite.len(), 3);
+        assert!(suite.mean_speedup() > 1.1);
+        assert!(suite.geometric_mean_speedup() <= suite.mean_speedup() + 1e-9);
+        assert!(suite.mean_dynamic_frequency_mhz() > suite.mean_baseline_frequency_mhz());
+        assert_eq!(suite.total_violations(), 0);
+        // The multiplier-heavy loop must gain the least (its LUT entry is the
+        // slowest), the pure ALU loop the most.
+        let speedups: Vec<f64> = suite.comparisons().iter().map(|c| c.speedup()).collect();
+        assert!(speedups[0] > speedups[1], "alu should beat mul: {speedups:?}");
+    }
+
+    #[test]
+    fn empty_suite_is_neutral() {
+        let suite = SuiteSummary::new();
+        assert!(suite.is_empty());
+        assert_eq!(suite.mean_speedup(), 1.0);
+        assert_eq!(suite.geometric_mean_speedup(), 1.0);
+        assert_eq!(suite.mean_baseline_frequency_mhz(), 0.0);
+    }
+}

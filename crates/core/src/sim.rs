@@ -1,0 +1,266 @@
+//! The dynamic-clock simulation driver.
+//!
+//! This is the software equivalent of the paper's enhanced cycle-accurate
+//! instruction-set simulator: it replays a pipeline trace, asks a
+//! [`ClockPolicy`] for the clock period of every cycle, passes the request
+//! through the [`ClockGenerator`] model, accumulates the resulting execution
+//! time and — crucially — checks the *frequency-over-scaling without timing
+//! errors* invariant by comparing every realized period against the actual
+//! dynamic delay of that cycle.
+
+use crate::{ClockGenerator, ClockPolicy};
+use idca_pipeline::PipelineTrace;
+use idca_timing::{ActivitySummary, Ps, TimingModel};
+use serde::{Deserialize, Serialize};
+
+/// Result of replaying one trace under one clocking policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunOutcome {
+    /// Name of the policy that produced this outcome.
+    pub policy: String,
+    /// Number of cycles in the replayed trace.
+    pub cycles: u64,
+    /// Architecturally retired instructions.
+    pub retired: u64,
+    /// Total execution time in picoseconds (sum of realized periods).
+    pub total_time_ps: f64,
+    /// Average realized clock period in picoseconds.
+    pub avg_period_ps: Ps,
+    /// Shortest realized period.
+    pub min_period_ps: Ps,
+    /// Longest realized period.
+    pub max_period_ps: Ps,
+    /// Effective clock frequency in MHz (cycles / total time).
+    pub effective_frequency_mhz: f64,
+    /// Instructions per second, in millions (throughput metric).
+    pub mips: f64,
+    /// Cycles in which the realized period was shorter than the actual
+    /// dynamic delay — must be zero for a correctly constructed LUT.
+    pub violations: u64,
+    /// Switching-activity summary of the trace (for the power model).
+    pub activity: ActivitySummary,
+}
+
+impl RunOutcome {
+    /// Speedup of this outcome relative to a baseline outcome
+    /// (ratio of effective frequencies; > 1 means faster).
+    #[must_use]
+    pub fn speedup_over(&self, baseline: &RunOutcome) -> f64 {
+        if baseline.effective_frequency_mhz == 0.0 {
+            1.0
+        } else {
+            self.effective_frequency_mhz / baseline.effective_frequency_mhz
+        }
+    }
+}
+
+/// Replays `trace` under `policy`, realizing every requested period through
+/// `generator`, and checks each cycle against the actual dynamic delays of
+/// `model`.
+///
+/// The returned [`RunOutcome::violations`] counts the cycles whose realized
+/// period undercut the true dynamic delay; with a LUT built from the
+/// analytic worst-case profile this is zero by construction, and with a
+/// characterization-derived LUT it measures how representative the
+/// characterization workload was.
+#[must_use]
+pub fn run_with_policy(
+    model: &TimingModel,
+    trace: &PipelineTrace,
+    policy: &dyn ClockPolicy,
+    generator: &ClockGenerator,
+) -> RunOutcome {
+    let mut total_time_ps = 0.0;
+    let mut min_period_ps = Ps::INFINITY;
+    let mut max_period_ps: Ps = 0.0;
+    let mut violations = 0u64;
+
+    for record in trace.cycles() {
+        let requested = policy.period_ps(record);
+        let realized = generator.realize(requested);
+        let actual = model.cycle_timing(record).max_delay_ps;
+        if realized + 1e-9 < actual {
+            violations += 1;
+        }
+        total_time_ps += realized;
+        min_period_ps = min_period_ps.min(realized);
+        max_period_ps = max_period_ps.max(realized);
+    }
+
+    let cycles = trace.cycle_count();
+    let avg_period_ps = if cycles == 0 {
+        0.0
+    } else {
+        total_time_ps / cycles as f64
+    };
+    let effective_frequency_mhz = if avg_period_ps > 0.0 {
+        1.0e6 / avg_period_ps
+    } else {
+        0.0
+    };
+    let mips = if total_time_ps > 0.0 {
+        trace.retired() as f64 / (total_time_ps * 1e-6)
+    } else {
+        0.0
+    };
+
+    RunOutcome {
+        policy: policy.name().to_string(),
+        cycles,
+        retired: trace.retired(),
+        total_time_ps,
+        avg_period_ps,
+        min_period_ps: if cycles == 0 { 0.0 } else { min_period_ps },
+        max_period_ps,
+        effective_frequency_mhz,
+        mips,
+        violations,
+        activity: ActivitySummary::from_trace(trace),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{GenieOracle, InstructionBased, StaticClock};
+    use crate::DelayLut;
+    use idca_isa::asm::Assembler;
+    use idca_pipeline::{SimConfig, Simulator};
+    use idca_timing::ProfileKind;
+
+    fn trace(src: &str) -> PipelineTrace {
+        let program = Assembler::new().assemble(src).unwrap();
+        Simulator::new(SimConfig::default()).run(&program).unwrap().trace
+    }
+
+    fn mixed_trace() -> PipelineTrace {
+        trace(
+            "        l.addi r1, r0, 0x100
+                     l.addi r3, r0, 50
+             loop:   l.mul  r5, r3, r3
+                     l.sw   0(r1), r5
+                     l.lwz  r6, 0(r1)
+                     l.add  r4, r4, r6
+                     l.xor  r7, r4, r3
+                     l.addi r3, r3, -1
+                     l.sfne r3, r0
+                     l.bf   loop
+                     l.nop  0
+                     l.nop  1",
+        )
+    }
+
+    #[test]
+    fn static_clock_matches_sta_frequency() {
+        let model = TimingModel::at_nominal(ProfileKind::CriticalRangeOptimized);
+        let outcome = run_with_policy(
+            &model,
+            &mixed_trace(),
+            &StaticClock::of_model(&model),
+            &ClockGenerator::Ideal,
+        );
+        assert!((outcome.effective_frequency_mhz - 493.6).abs() < 1.0);
+        assert_eq!(outcome.violations, 0);
+        assert_eq!(outcome.min_period_ps, outcome.max_period_ps);
+    }
+
+    #[test]
+    fn instruction_based_is_faster_without_violations() {
+        let model = TimingModel::at_nominal(ProfileKind::CriticalRangeOptimized);
+        let t = mixed_trace();
+        let baseline = run_with_policy(
+            &model,
+            &t,
+            &StaticClock::of_model(&model),
+            &ClockGenerator::Ideal,
+        );
+        let dynamic = run_with_policy(
+            &model,
+            &t,
+            &InstructionBased::from_model(&model),
+            &ClockGenerator::Ideal,
+        );
+        assert_eq!(dynamic.violations, 0);
+        let speedup = dynamic.speedup_over(&baseline);
+        assert!(speedup > 1.15, "speedup {speedup}");
+        assert!(dynamic.mips > baseline.mips);
+    }
+
+    #[test]
+    fn genie_oracle_bounds_the_lut_policy() {
+        let model = TimingModel::at_nominal(ProfileKind::CriticalRangeOptimized);
+        let t = mixed_trace();
+        let lut = run_with_policy(
+            &model,
+            &t,
+            &InstructionBased::from_model(&model),
+            &ClockGenerator::Ideal,
+        );
+        let genie = run_with_policy(
+            &model,
+            &t,
+            &GenieOracle::new(model.clone()),
+            &ClockGenerator::Ideal,
+        );
+        assert!(genie.effective_frequency_mhz >= lut.effective_frequency_mhz);
+        assert_eq!(genie.violations, 0);
+    }
+
+    #[test]
+    fn quantized_generator_reduces_but_preserves_gain() {
+        let model = TimingModel::at_nominal(ProfileKind::CriticalRangeOptimized);
+        let t = mixed_trace();
+        let policy = InstructionBased::from_model(&model);
+        let ideal = run_with_policy(&model, &t, &policy, &ClockGenerator::Ideal);
+        let quantized = run_with_policy(&model, &t, &policy, &ClockGenerator::quantized_50ps());
+        assert!(quantized.effective_frequency_mhz <= ideal.effective_frequency_mhz);
+        assert_eq!(quantized.violations, 0);
+        let baseline = run_with_policy(
+            &model,
+            &t,
+            &StaticClock::of_model(&model),
+            &ClockGenerator::Ideal,
+        );
+        assert!(quantized.speedup_over(&baseline) > 1.1);
+    }
+
+    #[test]
+    fn undersized_static_clock_is_flagged_as_violating() {
+        let model = TimingModel::at_nominal(ProfileKind::CriticalRangeOptimized);
+        let t = mixed_trace();
+        // Clock the core at half the static period: plenty of violations.
+        let reckless = StaticClock::new(model.static_period_ps() / 2.0);
+        let outcome = run_with_policy(&model, &t, &reckless, &ClockGenerator::Ideal);
+        assert!(outcome.violations > 0);
+    }
+
+    #[test]
+    fn characterized_lut_replayed_on_same_workload_has_no_violations() {
+        let model = TimingModel::at_nominal(ProfileKind::CriticalRangeOptimized);
+        let t = mixed_trace();
+        let dta = idca_timing::dta::DynamicTimingAnalysis::run(&model, &t);
+        let lut = DelayLut::from_dta(&dta, 1);
+        let outcome = run_with_policy(
+            &model,
+            &t,
+            &InstructionBased::new(lut),
+            &ClockGenerator::Ideal,
+        );
+        assert_eq!(outcome.violations, 0);
+    }
+
+    #[test]
+    fn empty_trace_produces_neutral_outcome() {
+        let model = TimingModel::at_nominal(ProfileKind::CriticalRangeOptimized);
+        let empty = PipelineTrace::from_parts(vec![], 0);
+        let outcome = run_with_policy(
+            &model,
+            &empty,
+            &StaticClock::of_model(&model),
+            &ClockGenerator::Ideal,
+        );
+        assert_eq!(outcome.cycles, 0);
+        assert_eq!(outcome.effective_frequency_mhz, 0.0);
+        assert_eq!(outcome.violations, 0);
+    }
+}

@@ -1,0 +1,677 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The instruction mnemonics of the modelled ORBIS32 subset.
+///
+/// The subset covers every instruction class that appears in the paper's
+/// Tables I and II plus the instructions needed to write realistic
+/// CoreMark-/BEEBS-style kernels: integer ALU (register and immediate
+/// forms), shifts/rotates, single-cycle multiply, set-flag comparisons,
+/// conditional branches, jumps, loads/stores of words/half-words/bytes,
+/// `l.movhi` and `l.nop`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Opcode {
+    /// `l.add rD, rA, rB` — 32-bit addition.
+    Add,
+    /// `l.addc rD, rA, rB` — addition with carry-in.
+    Addc,
+    /// `l.sub rD, rA, rB` — 32-bit subtraction.
+    Sub,
+    /// `l.and rD, rA, rB` — bitwise AND.
+    And,
+    /// `l.or rD, rA, rB` — bitwise OR.
+    Or,
+    /// `l.xor rD, rA, rB` — bitwise XOR.
+    Xor,
+    /// `l.mul rD, rA, rB` — signed 32×32→32 multiplication (single cycle).
+    Mul,
+    /// `l.mulu rD, rA, rB` — unsigned 32×32→32 multiplication.
+    Mulu,
+    /// `l.sll rD, rA, rB` — shift left logical by register amount.
+    Sll,
+    /// `l.srl rD, rA, rB` — shift right logical.
+    Srl,
+    /// `l.sra rD, rA, rB` — shift right arithmetic.
+    Sra,
+    /// `l.ror rD, rA, rB` — rotate right.
+    Ror,
+    /// `l.cmov rD, rA, rB` — conditional move on the flag bit.
+    Cmov,
+    /// `l.extbs rD, rA` — sign-extend byte.
+    Extbs,
+    /// `l.exths rD, rA` — sign-extend half-word.
+    Exths,
+    /// `l.addi rD, rA, I` — addition with signed 16-bit immediate.
+    Addi,
+    /// `l.addic rD, rA, I` — addition with immediate and carry-in.
+    Addic,
+    /// `l.andi rD, rA, K` — AND with zero-extended 16-bit immediate.
+    Andi,
+    /// `l.ori rD, rA, K` — OR with zero-extended 16-bit immediate.
+    Ori,
+    /// `l.xori rD, rA, I` — XOR with sign-extended 16-bit immediate.
+    Xori,
+    /// `l.muli rD, rA, I` — multiply by signed 16-bit immediate.
+    Muli,
+    /// `l.slli rD, rA, L` — shift left logical by 5-bit immediate.
+    Slli,
+    /// `l.srli rD, rA, L` — shift right logical by immediate.
+    Srli,
+    /// `l.srai rD, rA, L` — shift right arithmetic by immediate.
+    Srai,
+    /// `l.rori rD, rA, L` — rotate right by immediate.
+    Rori,
+    /// `l.movhi rD, K` — load 16-bit immediate into the upper half-word.
+    Movhi,
+    /// `l.sfeq rA, rB` / `l.sf* rA, rB` — set-flag comparison, register form.
+    Sf(SetFlagCond),
+    /// `l.sfeqi rA, I` / `l.sf*i rA, I` — set-flag comparison, immediate form.
+    Sfi(SetFlagCond),
+    /// `l.lwz rD, I(rA)` — load word, zero-extended.
+    Lwz,
+    /// `l.lws rD, I(rA)` — load word, sign-extended (identical on 32-bit).
+    Lws,
+    /// `l.lhz rD, I(rA)` — load half-word, zero-extended.
+    Lhz,
+    /// `l.lhs rD, I(rA)` — load half-word, sign-extended.
+    Lhs,
+    /// `l.lbz rD, I(rA)` — load byte, zero-extended.
+    Lbz,
+    /// `l.lbs rD, I(rA)` — load byte, sign-extended.
+    Lbs,
+    /// `l.sw I(rA), rB` — store word.
+    Sw,
+    /// `l.sh I(rA), rB` — store half-word.
+    Sh,
+    /// `l.sb I(rA), rB` — store byte.
+    Sb,
+    /// `l.j N` — unconditional PC-relative jump.
+    J,
+    /// `l.jal N` — jump and link (link register `r9`).
+    Jal,
+    /// `l.jr rB` — jump to register.
+    Jr,
+    /// `l.jalr rB` — jump to register and link.
+    Jalr,
+    /// `l.bf N` — branch if flag set.
+    Bf,
+    /// `l.bnf N` — branch if flag not set.
+    Bnf,
+    /// `l.nop K` — no operation (K is an informational immediate).
+    Nop,
+}
+
+/// Comparison condition of the ORBIS32 set-flag (`l.sf*`) instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum SetFlagCond {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Greater than, unsigned.
+    Gtu,
+    /// Greater or equal, unsigned.
+    Geu,
+    /// Less than, unsigned.
+    Ltu,
+    /// Less or equal, unsigned.
+    Leu,
+    /// Greater than, signed.
+    Gts,
+    /// Greater or equal, signed.
+    Ges,
+    /// Less than, signed.
+    Lts,
+    /// Less or equal, signed.
+    Les,
+}
+
+impl SetFlagCond {
+    /// All conditions, in the order of their ORBIS32 sub-opcode values.
+    pub const ALL: [SetFlagCond; 10] = [
+        SetFlagCond::Eq,
+        SetFlagCond::Ne,
+        SetFlagCond::Gtu,
+        SetFlagCond::Geu,
+        SetFlagCond::Ltu,
+        SetFlagCond::Leu,
+        SetFlagCond::Gts,
+        SetFlagCond::Ges,
+        SetFlagCond::Lts,
+        SetFlagCond::Les,
+    ];
+
+    /// ORBIS32 sub-opcode (bits 25..21 of the instruction word).
+    #[must_use]
+    pub fn code(self) -> u32 {
+        match self {
+            SetFlagCond::Eq => 0x0,
+            SetFlagCond::Ne => 0x1,
+            SetFlagCond::Gtu => 0x2,
+            SetFlagCond::Geu => 0x3,
+            SetFlagCond::Ltu => 0x4,
+            SetFlagCond::Leu => 0x5,
+            SetFlagCond::Gts => 0xA,
+            SetFlagCond::Ges => 0xB,
+            SetFlagCond::Lts => 0xC,
+            SetFlagCond::Les => 0xD,
+        }
+    }
+
+    /// Inverse mapping of [`SetFlagCond::code`].
+    #[must_use]
+    pub fn from_code(code: u32) -> Option<Self> {
+        SetFlagCond::ALL.into_iter().find(|c| c.code() == code)
+    }
+
+    /// Evaluates the condition on two 32-bit operands.
+    #[must_use]
+    pub fn eval(self, a: u32, b: u32) -> bool {
+        let (sa, sb) = (a as i32, b as i32);
+        match self {
+            SetFlagCond::Eq => a == b,
+            SetFlagCond::Ne => a != b,
+            SetFlagCond::Gtu => a > b,
+            SetFlagCond::Geu => a >= b,
+            SetFlagCond::Ltu => a < b,
+            SetFlagCond::Leu => a <= b,
+            SetFlagCond::Gts => sa > sb,
+            SetFlagCond::Ges => sa >= sb,
+            SetFlagCond::Lts => sa < sb,
+            SetFlagCond::Les => sa <= sb,
+        }
+    }
+
+    /// Mnemonic suffix (`eq`, `ne`, `gtu`, ...).
+    #[must_use]
+    pub fn suffix(self) -> &'static str {
+        match self {
+            SetFlagCond::Eq => "eq",
+            SetFlagCond::Ne => "ne",
+            SetFlagCond::Gtu => "gtu",
+            SetFlagCond::Geu => "geu",
+            SetFlagCond::Ltu => "ltu",
+            SetFlagCond::Leu => "leu",
+            SetFlagCond::Gts => "gts",
+            SetFlagCond::Ges => "ges",
+            SetFlagCond::Lts => "lts",
+            SetFlagCond::Les => "les",
+        }
+    }
+}
+
+/// The functional unit an instruction occupies in the execute stage of the
+/// customized `mor1kx` micro-architecture (Fig. 4 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExecUnit {
+    /// The main adder (also computes comparisons and memory addresses).
+    Adder,
+    /// The logic unit (AND/OR/XOR, conditional move, extensions, `l.movhi`).
+    Logic,
+    /// The barrel shifter.
+    Shifter,
+    /// The shielded single-cycle multiplier.
+    Multiplier,
+    /// The load/store unit (address generation plus memory access).
+    LoadStore,
+    /// Branch/jump resolution (next-PC selection).
+    Branch,
+    /// No functional unit (e.g. `l.nop` or a pipeline bubble).
+    None,
+}
+
+/// Grouping of instructions used as the key of the per-stage delay lookup
+/// table, mirroring the granularity of the paper's Tables I and II
+/// (e.g. the row "l.add(i)" covers both `l.add` and `l.addi`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum TimingClass {
+    /// `l.add`, `l.addi`, `l.addc`, `l.addic`, `l.sub` — adder paths.
+    Add,
+    /// `l.and`, `l.andi` — logic AND paths.
+    And,
+    /// `l.or`, `l.ori` — logic OR paths.
+    Or,
+    /// `l.xor`, `l.xori` — logic XOR paths.
+    Xor,
+    /// `l.cmov`, `l.extbs`, `l.exths`, `l.movhi` — short logic/move paths.
+    Move,
+    /// `l.sll(i)`, `l.srl(i)`, `l.sra(i)`, `l.ror(i)` — shifter paths.
+    Shift,
+    /// `l.mul`, `l.mulu`, `l.muli` — multiplier paths.
+    Mul,
+    /// `l.sf*`, `l.sf*i` — set-flag comparison paths.
+    SetFlag,
+    /// `l.lwz`, `l.lws`, `l.lhz`, `l.lhs`, `l.lbz`, `l.lbs` — load paths.
+    Load,
+    /// `l.sw`, `l.sh`, `l.sb` — store paths.
+    Store,
+    /// `l.bf`, `l.bnf` — conditional branch paths.
+    BranchCond,
+    /// `l.j`, `l.jal` — PC-relative jumps.
+    Jump,
+    /// `l.jr`, `l.jalr` — register-indirect jumps.
+    JumpReg,
+    /// `l.nop`.
+    Nop,
+    /// A pipeline bubble (no instruction in flight in the stage).
+    Bubble,
+}
+
+impl TimingClass {
+    /// All classes that correspond to real instructions (excludes
+    /// [`TimingClass::Bubble`]).
+    pub const INSTRUCTION_CLASSES: [TimingClass; 14] = [
+        TimingClass::Add,
+        TimingClass::And,
+        TimingClass::Or,
+        TimingClass::Xor,
+        TimingClass::Move,
+        TimingClass::Shift,
+        TimingClass::Mul,
+        TimingClass::SetFlag,
+        TimingClass::Load,
+        TimingClass::Store,
+        TimingClass::BranchCond,
+        TimingClass::Jump,
+        TimingClass::JumpReg,
+        TimingClass::Nop,
+    ];
+
+    /// All classes including the bubble pseudo-class.
+    pub const ALL: [TimingClass; 15] = [
+        TimingClass::Add,
+        TimingClass::And,
+        TimingClass::Or,
+        TimingClass::Xor,
+        TimingClass::Move,
+        TimingClass::Shift,
+        TimingClass::Mul,
+        TimingClass::SetFlag,
+        TimingClass::Load,
+        TimingClass::Store,
+        TimingClass::BranchCond,
+        TimingClass::Jump,
+        TimingClass::JumpReg,
+        TimingClass::Nop,
+        TimingClass::Bubble,
+    ];
+
+    /// A stable dense index, usable for array-backed lookup tables.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            TimingClass::Add => 0,
+            TimingClass::And => 1,
+            TimingClass::Or => 2,
+            TimingClass::Xor => 3,
+            TimingClass::Move => 4,
+            TimingClass::Shift => 5,
+            TimingClass::Mul => 6,
+            TimingClass::SetFlag => 7,
+            TimingClass::Load => 8,
+            TimingClass::Store => 9,
+            TimingClass::BranchCond => 10,
+            TimingClass::Jump => 11,
+            TimingClass::JumpReg => 12,
+            TimingClass::Nop => 13,
+            TimingClass::Bubble => 14,
+        }
+    }
+
+    /// Number of distinct classes (length of [`TimingClass::ALL`]).
+    pub const COUNT: usize = 15;
+
+    /// The representative paper-style row label (e.g. `"l.add(i)"`).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            TimingClass::Add => "l.add(i)",
+            TimingClass::And => "l.and(i)",
+            TimingClass::Or => "l.or(i)",
+            TimingClass::Xor => "l.xor(i)",
+            TimingClass::Move => "l.movhi/l.cmov",
+            TimingClass::Shift => "l.sll(i)",
+            TimingClass::Mul => "l.mul",
+            TimingClass::SetFlag => "l.sf*",
+            TimingClass::Load => "l.lwz",
+            TimingClass::Store => "l.sw",
+            TimingClass::BranchCond => "l.bf",
+            TimingClass::Jump => "l.j",
+            TimingClass::JumpReg => "l.jr",
+            TimingClass::Nop => "l.nop",
+            TimingClass::Bubble => "(bubble)",
+        }
+    }
+}
+
+impl fmt::Display for TimingClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl Opcode {
+    /// Returns the canonical ORBIS32 mnemonic, e.g. `"l.addi"`.
+    #[must_use]
+    pub fn mnemonic(self) -> String {
+        match self {
+            Opcode::Add => "l.add".into(),
+            Opcode::Addc => "l.addc".into(),
+            Opcode::Sub => "l.sub".into(),
+            Opcode::And => "l.and".into(),
+            Opcode::Or => "l.or".into(),
+            Opcode::Xor => "l.xor".into(),
+            Opcode::Mul => "l.mul".into(),
+            Opcode::Mulu => "l.mulu".into(),
+            Opcode::Sll => "l.sll".into(),
+            Opcode::Srl => "l.srl".into(),
+            Opcode::Sra => "l.sra".into(),
+            Opcode::Ror => "l.ror".into(),
+            Opcode::Cmov => "l.cmov".into(),
+            Opcode::Extbs => "l.extbs".into(),
+            Opcode::Exths => "l.exths".into(),
+            Opcode::Addi => "l.addi".into(),
+            Opcode::Addic => "l.addic".into(),
+            Opcode::Andi => "l.andi".into(),
+            Opcode::Ori => "l.ori".into(),
+            Opcode::Xori => "l.xori".into(),
+            Opcode::Muli => "l.muli".into(),
+            Opcode::Slli => "l.slli".into(),
+            Opcode::Srli => "l.srli".into(),
+            Opcode::Srai => "l.srai".into(),
+            Opcode::Rori => "l.rori".into(),
+            Opcode::Movhi => "l.movhi".into(),
+            Opcode::Sf(c) => format!("l.sf{}", c.suffix()),
+            Opcode::Sfi(c) => format!("l.sf{}i", c.suffix()),
+            Opcode::Lwz => "l.lwz".into(),
+            Opcode::Lws => "l.lws".into(),
+            Opcode::Lhz => "l.lhz".into(),
+            Opcode::Lhs => "l.lhs".into(),
+            Opcode::Lbz => "l.lbz".into(),
+            Opcode::Lbs => "l.lbs".into(),
+            Opcode::Sw => "l.sw".into(),
+            Opcode::Sh => "l.sh".into(),
+            Opcode::Sb => "l.sb".into(),
+            Opcode::J => "l.j".into(),
+            Opcode::Jal => "l.jal".into(),
+            Opcode::Jr => "l.jr".into(),
+            Opcode::Jalr => "l.jalr".into(),
+            Opcode::Bf => "l.bf".into(),
+            Opcode::Bnf => "l.bnf".into(),
+            Opcode::Nop => "l.nop".into(),
+        }
+    }
+
+    /// The delay-LUT grouping this opcode belongs to.
+    #[must_use]
+    pub fn timing_class(self) -> TimingClass {
+        match self {
+            Opcode::Add | Opcode::Addc | Opcode::Sub | Opcode::Addi | Opcode::Addic => {
+                TimingClass::Add
+            }
+            Opcode::And | Opcode::Andi => TimingClass::And,
+            Opcode::Or | Opcode::Ori => TimingClass::Or,
+            Opcode::Xor | Opcode::Xori => TimingClass::Xor,
+            Opcode::Cmov | Opcode::Extbs | Opcode::Exths | Opcode::Movhi => TimingClass::Move,
+            Opcode::Sll
+            | Opcode::Srl
+            | Opcode::Sra
+            | Opcode::Ror
+            | Opcode::Slli
+            | Opcode::Srli
+            | Opcode::Srai
+            | Opcode::Rori => TimingClass::Shift,
+            Opcode::Mul | Opcode::Mulu | Opcode::Muli => TimingClass::Mul,
+            Opcode::Sf(_) | Opcode::Sfi(_) => TimingClass::SetFlag,
+            Opcode::Lwz | Opcode::Lws | Opcode::Lhz | Opcode::Lhs | Opcode::Lbz | Opcode::Lbs => {
+                TimingClass::Load
+            }
+            Opcode::Sw | Opcode::Sh | Opcode::Sb => TimingClass::Store,
+            Opcode::Bf | Opcode::Bnf => TimingClass::BranchCond,
+            Opcode::J | Opcode::Jal => TimingClass::Jump,
+            Opcode::Jr | Opcode::Jalr => TimingClass::JumpReg,
+            Opcode::Nop => TimingClass::Nop,
+        }
+    }
+
+    /// The execute-stage functional unit this opcode uses.
+    #[must_use]
+    pub fn exec_unit(self) -> ExecUnit {
+        match self.timing_class() {
+            TimingClass::Add | TimingClass::SetFlag => ExecUnit::Adder,
+            TimingClass::And | TimingClass::Or | TimingClass::Xor | TimingClass::Move => {
+                ExecUnit::Logic
+            }
+            TimingClass::Shift => ExecUnit::Shifter,
+            TimingClass::Mul => ExecUnit::Multiplier,
+            TimingClass::Load | TimingClass::Store => ExecUnit::LoadStore,
+            TimingClass::BranchCond | TimingClass::Jump | TimingClass::JumpReg => ExecUnit::Branch,
+            TimingClass::Nop | TimingClass::Bubble => ExecUnit::None,
+        }
+    }
+
+    /// `true` for load instructions.
+    #[must_use]
+    pub fn is_load(self) -> bool {
+        self.timing_class() == TimingClass::Load
+    }
+
+    /// `true` for store instructions.
+    #[must_use]
+    pub fn is_store(self) -> bool {
+        self.timing_class() == TimingClass::Store
+    }
+
+    /// `true` for any memory-access instruction.
+    #[must_use]
+    pub fn is_mem(self) -> bool {
+        self.is_load() || self.is_store()
+    }
+
+    /// `true` for instructions that change control flow when executed
+    /// (taken branches, unconditional and register jumps).
+    #[must_use]
+    pub fn is_control_flow(self) -> bool {
+        matches!(
+            self.timing_class(),
+            TimingClass::BranchCond | TimingClass::Jump | TimingClass::JumpReg
+        )
+    }
+
+    /// `true` for instructions with an architectural delay slot
+    /// (all ORBIS32 jumps and branches have one delay slot).
+    #[must_use]
+    pub fn has_delay_slot(self) -> bool {
+        self.is_control_flow()
+    }
+
+    /// `true` if the instruction writes a destination register `rD`.
+    #[must_use]
+    pub fn writes_rd(self) -> bool {
+        match self {
+            Opcode::Sf(_) | Opcode::Sfi(_) => false,
+            Opcode::Sw | Opcode::Sh | Opcode::Sb => false,
+            Opcode::J | Opcode::Bf | Opcode::Bnf | Opcode::Jr | Opcode::Nop => false,
+            Opcode::Jal | Opcode::Jalr => true, // link register r9
+            _ => true,
+        }
+    }
+
+    /// `true` if the instruction reads source register `rA`.
+    #[must_use]
+    pub fn reads_ra(self) -> bool {
+        !matches!(
+            self,
+            Opcode::Movhi
+                | Opcode::J
+                | Opcode::Jal
+                | Opcode::Jr
+                | Opcode::Jalr
+                | Opcode::Bf
+                | Opcode::Bnf
+                | Opcode::Nop
+        )
+    }
+
+    /// `true` if the instruction reads source register `rB`.
+    #[must_use]
+    pub fn reads_rb(self) -> bool {
+        matches!(
+            self,
+            Opcode::Add
+                | Opcode::Addc
+                | Opcode::Sub
+                | Opcode::And
+                | Opcode::Or
+                | Opcode::Xor
+                | Opcode::Mul
+                | Opcode::Mulu
+                | Opcode::Sll
+                | Opcode::Srl
+                | Opcode::Sra
+                | Opcode::Ror
+                | Opcode::Cmov
+                | Opcode::Sf(_)
+                | Opcode::Sw
+                | Opcode::Sh
+                | Opcode::Sb
+                | Opcode::Jr
+                | Opcode::Jalr
+        )
+    }
+
+    /// `true` if the instruction writes the compare flag.
+    #[must_use]
+    pub fn writes_flag(self) -> bool {
+        matches!(self, Opcode::Sf(_) | Opcode::Sfi(_))
+    }
+
+    /// `true` if the instruction reads the compare flag.
+    #[must_use]
+    pub fn reads_flag(self) -> bool {
+        matches!(self, Opcode::Bf | Opcode::Bnf | Opcode::Cmov)
+    }
+
+    /// Memory access width in bytes for loads/stores, `None` otherwise.
+    #[must_use]
+    pub fn mem_width(self) -> Option<u32> {
+        match self {
+            Opcode::Lwz | Opcode::Lws | Opcode::Sw => Some(4),
+            Opcode::Lhz | Opcode::Lhs | Opcode::Sh => Some(2),
+            Opcode::Lbz | Opcode::Lbs | Opcode::Sb => Some(1),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_class_indices_are_dense_and_unique() {
+        let mut seen = [false; TimingClass::COUNT];
+        for class in TimingClass::ALL {
+            let idx = class.index();
+            assert!(idx < TimingClass::COUNT);
+            assert!(!seen[idx], "duplicate index for {class:?}");
+            seen[idx] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn table_rows_map_to_expected_classes() {
+        // The rows of Table II in the paper.
+        assert_eq!(Opcode::Add.timing_class(), TimingClass::Add);
+        assert_eq!(Opcode::Addi.timing_class(), TimingClass::Add);
+        assert_eq!(Opcode::And.timing_class(), TimingClass::And);
+        assert_eq!(Opcode::Bf.timing_class(), TimingClass::BranchCond);
+        assert_eq!(Opcode::J.timing_class(), TimingClass::Jump);
+        assert_eq!(Opcode::Lwz.timing_class(), TimingClass::Load);
+        assert_eq!(Opcode::Mul.timing_class(), TimingClass::Mul);
+        assert_eq!(Opcode::Slli.timing_class(), TimingClass::Shift);
+        assert_eq!(Opcode::Xor.timing_class(), TimingClass::Xor);
+        assert_eq!(Opcode::Sw.timing_class(), TimingClass::Store);
+        assert_eq!(Opcode::Nop.timing_class(), TimingClass::Nop);
+    }
+
+    #[test]
+    fn set_flag_conditions_roundtrip_codes() {
+        for cond in SetFlagCond::ALL {
+            assert_eq!(SetFlagCond::from_code(cond.code()), Some(cond));
+        }
+        assert_eq!(SetFlagCond::from_code(0x7), None);
+    }
+
+    #[test]
+    fn set_flag_eval_signed_vs_unsigned() {
+        let a = 0xFFFF_FFFF; // -1 signed, max unsigned
+        let b = 1;
+        assert!(SetFlagCond::Gtu.eval(a, b));
+        assert!(!SetFlagCond::Gts.eval(a, b));
+        assert!(SetFlagCond::Lts.eval(a, b));
+        assert!(SetFlagCond::Ne.eval(a, b));
+        assert!(SetFlagCond::Eq.eval(5, 5));
+        assert!(SetFlagCond::Leu.eval(5, 5));
+        assert!(SetFlagCond::Ges.eval(5, 5));
+    }
+
+    #[test]
+    fn register_usage_flags_are_consistent() {
+        assert!(Opcode::Add.writes_rd());
+        assert!(Opcode::Add.reads_ra());
+        assert!(Opcode::Add.reads_rb());
+        assert!(!Opcode::Addi.reads_rb());
+        assert!(!Opcode::Sw.writes_rd());
+        assert!(Opcode::Sw.reads_rb());
+        assert!(Opcode::Jal.writes_rd());
+        assert!(!Opcode::Bf.reads_ra());
+        assert!(Opcode::Bf.reads_flag());
+        assert!(Opcode::Sf(SetFlagCond::Eq).writes_flag());
+        assert!(!Opcode::Nop.writes_rd());
+    }
+
+    #[test]
+    fn delay_slot_only_for_control_flow() {
+        assert!(Opcode::J.has_delay_slot());
+        assert!(Opcode::Bf.has_delay_slot());
+        assert!(Opcode::Jr.has_delay_slot());
+        assert!(!Opcode::Add.has_delay_slot());
+        assert!(!Opcode::Lwz.has_delay_slot());
+    }
+
+    #[test]
+    fn mem_widths() {
+        assert_eq!(Opcode::Lwz.mem_width(), Some(4));
+        assert_eq!(Opcode::Sh.mem_width(), Some(2));
+        assert_eq!(Opcode::Lbs.mem_width(), Some(1));
+        assert_eq!(Opcode::Add.mem_width(), None);
+    }
+
+    #[test]
+    fn exec_units_match_microarchitecture() {
+        assert_eq!(Opcode::Mul.exec_unit(), ExecUnit::Multiplier);
+        assert_eq!(Opcode::Lwz.exec_unit(), ExecUnit::LoadStore);
+        assert_eq!(Opcode::Add.exec_unit(), ExecUnit::Adder);
+        assert_eq!(Opcode::Xor.exec_unit(), ExecUnit::Logic);
+        assert_eq!(Opcode::Slli.exec_unit(), ExecUnit::Shifter);
+        assert_eq!(Opcode::Bf.exec_unit(), ExecUnit::Branch);
+        assert_eq!(Opcode::Nop.exec_unit(), ExecUnit::None);
+    }
+
+    #[test]
+    fn mnemonics_follow_openrisc_convention() {
+        assert_eq!(Opcode::Addi.mnemonic(), "l.addi");
+        assert_eq!(Opcode::Sf(SetFlagCond::Gtu).mnemonic(), "l.sfgtu");
+        assert_eq!(Opcode::Sfi(SetFlagCond::Les).mnemonic(), "l.sflesi");
+        assert_eq!(Opcode::Movhi.to_string(), "l.movhi");
+    }
+}

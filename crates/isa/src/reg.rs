@@ -1,0 +1,139 @@
+use crate::IsaError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of the 32 ORBIS32 general-purpose registers, `r0` through `r31`.
+///
+/// `r0` is hard-wired to zero by the micro-architecture modelled in
+/// `idca-pipeline` (the OpenRISC ABI treats it as the constant zero).
+///
+/// # Example
+///
+/// ```
+/// use idca_isa::Reg;
+///
+/// # fn main() -> Result<(), idca_isa::IsaError> {
+/// let r3 = Reg::new(3)?;
+/// assert_eq!(r3.index(), 3);
+/// assert_eq!(r3.to_string(), "r3");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The zero register `r0`.
+    pub const R0: Reg = Reg(0);
+    /// The ABI link register `r9`.
+    pub const LINK: Reg = Reg(9);
+    /// The ABI stack pointer `r1`.
+    pub const SP: Reg = Reg(1);
+
+    /// Creates a register from an index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::InvalidRegister`] if `index >= 32`.
+    pub fn new(index: u32) -> Result<Self, IsaError> {
+        if index < 32 {
+            Ok(Reg(index as u8))
+        } else {
+            Err(IsaError::InvalidRegister { index })
+        }
+    }
+
+    /// Creates a register from an index, panicking on invalid input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`. Prefer [`Reg::new`] for untrusted input;
+    /// this constructor exists for compact literal-heavy workload code.
+    #[must_use]
+    pub fn r(index: u32) -> Self {
+        Reg::new(index).expect("register index must be < 32")
+    }
+
+    /// Returns the register index in `0..32`.
+    #[must_use]
+    pub fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Returns `true` for the hard-wired zero register `r0`.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates over all 32 architectural registers in index order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..32u8).map(Reg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl From<Reg> for u8 {
+    fn from(value: Reg) -> Self {
+        value.0
+    }
+}
+
+impl From<Reg> for usize {
+    fn from(value: Reg) -> Self {
+        value.0 as usize
+    }
+}
+
+impl TryFrom<u32> for Reg {
+    type Error = IsaError;
+
+    fn try_from(value: u32) -> Result<Self, Self::Error> {
+        Reg::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_out_of_range() {
+        assert!(Reg::new(31).is_ok());
+        assert_eq!(Reg::new(32), Err(IsaError::InvalidRegister { index: 32 }));
+    }
+
+    #[test]
+    fn display_matches_openrisc_syntax() {
+        assert_eq!(Reg::r(0).to_string(), "r0");
+        assert_eq!(Reg::r(31).to_string(), "r31");
+    }
+
+    #[test]
+    fn all_yields_each_register_once() {
+        let regs: Vec<Reg> = Reg::all().collect();
+        assert_eq!(regs.len(), 32);
+        assert_eq!(regs[0], Reg::R0);
+        assert_eq!(regs[9], Reg::LINK);
+    }
+
+    #[test]
+    fn zero_register_is_identified() {
+        assert!(Reg::R0.is_zero());
+        assert!(!Reg::SP.is_zero());
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        let r = Reg::r(17);
+        assert_eq!(u8::from(r), 17);
+        assert_eq!(usize::from(r), 17);
+        assert_eq!(Reg::try_from(17u32).unwrap(), r);
+    }
+}

@@ -1,0 +1,219 @@
+//! Per-cycle activity descriptors recorded by the pipeline simulator.
+//!
+//! These descriptors are the interface between the micro-architectural
+//! simulation and the timing model: they carry exactly the information the
+//! paper's gate-level simulation exposes to its dynamic timing analysis —
+//! which instruction is in flight in which stage and which data-dependent
+//! conditions (operand values, carry chains, multiplier activity, memory
+//! requests, forwarding) it excites.
+
+use crate::Stage;
+use idca_isa::{Insn, TimingClass};
+use serde::{Deserialize, Serialize};
+
+/// Why a stage holds no instruction in a given cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BubbleKind {
+    /// Pipeline not yet filled after reset.
+    Reset,
+    /// Bubble inserted by a hazard-induced stall.
+    Stall,
+    /// Instruction squashed by a control-flow redirect.
+    Flush,
+    /// Pipeline draining after the exit marker.
+    Drain,
+}
+
+/// The content of one pipeline stage during one cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Occupant {
+    /// A real instruction is in flight.
+    Insn {
+        /// Byte address of the instruction.
+        pc: u32,
+        /// The instruction itself.
+        insn: Insn,
+        /// Dynamic sequence number (retirement order).
+        seq: u64,
+    },
+    /// No instruction (bubble).
+    Bubble(BubbleKind),
+}
+
+impl Occupant {
+    /// The timing class of the occupant ([`TimingClass::Bubble`] for bubbles).
+    #[must_use]
+    pub fn timing_class(&self) -> TimingClass {
+        match self {
+            Occupant::Insn { insn, .. } => insn.timing_class(),
+            Occupant::Bubble(_) => TimingClass::Bubble,
+        }
+    }
+
+    /// The instruction, if the stage holds one.
+    #[must_use]
+    pub fn insn(&self) -> Option<&Insn> {
+        match self {
+            Occupant::Insn { insn, .. } => Some(insn),
+            Occupant::Bubble(_) => None,
+        }
+    }
+
+    /// `true` when the stage holds a real instruction.
+    #[must_use]
+    pub fn is_insn(&self) -> bool {
+        matches!(self, Occupant::Insn { .. })
+    }
+}
+
+/// Where a forwarded operand came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ForwardSource {
+    /// Result forwarded from the instruction currently in the control stage.
+    Control,
+    /// Result forwarded from the instruction currently in writeback.
+    Writeback,
+}
+
+/// A data-memory request issued by the execute stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemRequest {
+    /// Byte address of the access.
+    pub address: u32,
+    /// Access width in bytes (1, 2 or 4).
+    pub width: u32,
+    /// `true` for stores, `false` for loads.
+    pub is_store: bool,
+    /// The value written (stores) or returned (loads).
+    pub value: u32,
+}
+
+/// Control-flow activity of the instruction in the execute or decode stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BranchActivity {
+    /// `true` if the branch/jump redirected the fetch address.
+    pub taken: bool,
+    /// Target byte address when taken.
+    pub target: u32,
+    /// Stage in which the control transfer was resolved
+    /// (`Decode` for immediate jumps/branches, `Execute` for register jumps).
+    pub resolved_in: Stage,
+}
+
+/// Detailed activity of the instruction occupying the execute stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecActivity {
+    /// Byte address of the executing instruction.
+    pub pc: u32,
+    /// The executing instruction.
+    pub insn: Insn,
+    /// Resolved first operand (after forwarding).
+    pub op_a: u32,
+    /// Resolved second operand (after forwarding / immediate selection).
+    pub op_b: u32,
+    /// Primary result produced in the execute stage.
+    pub result: u32,
+    /// Length of the longest carry-propagation run in the main adder
+    /// (0 when the adder is idle). Drives the data-dependent delay of
+    /// add/sub/compare/memory-address paths.
+    pub carry_chain: u8,
+    /// `true` when the shielded multiplier is active this cycle.
+    pub mul_active: bool,
+    /// Significant operand width seen by the multiplier (max of both
+    /// operands, in bits); 0 when the multiplier is idle.
+    pub mul_bits: u8,
+    /// Shift amount applied by the barrel shifter (0 when idle).
+    pub shift_amount: u8,
+    /// Forwarding source used for operand A, if any.
+    pub forward_a: Option<ForwardSource>,
+    /// Forwarding source used for operand B, if any.
+    pub forward_b: Option<ForwardSource>,
+    /// New flag value if the instruction writes the compare flag.
+    pub flag_written: Option<bool>,
+    /// Control-flow activity, if the instruction is a branch or jump.
+    pub branch: Option<BranchActivity>,
+    /// Data-memory request issued this cycle, if any.
+    pub mem_request: Option<MemRequest>,
+}
+
+/// Activity of the writeback stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WbActivity {
+    /// Destination register being written.
+    pub rd: idca_isa::Reg,
+    /// Value written to the register file.
+    pub value: u32,
+}
+
+/// Everything the simulator observed during one clock cycle.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CycleRecord {
+    /// Cycle index, starting at 0.
+    pub cycle: u64,
+    /// Stage occupancy in pipeline order (`[Stage::Address]` ... `[Stage::Writeback]`).
+    pub stages: [Occupant; Stage::COUNT],
+    /// Execute-stage activity (present when the execute stage holds an
+    /// instruction).
+    pub exec: Option<ExecActivity>,
+    /// Load data returned by the control stage this cycle, if any.
+    pub mem_return: Option<u32>,
+    /// Writeback activity, if a register is written this cycle.
+    pub writeback: Option<WbActivity>,
+    /// Instruction-memory address presented by the address stage.
+    pub fetch_address: u32,
+    /// `true` when the fetch address was redirected by a branch or jump
+    /// resolved during this cycle.
+    pub fetch_redirected: bool,
+    /// `true` when the pipeline was stalled this cycle (front stages held).
+    pub stalled: bool,
+}
+
+impl CycleRecord {
+    /// The occupant of a given stage.
+    #[must_use]
+    pub fn occupant(&self, stage: Stage) -> &Occupant {
+        &self.stages[stage.index()]
+    }
+
+    /// The timing class present in a given stage.
+    #[must_use]
+    pub fn timing_class(&self, stage: Stage) -> TimingClass {
+        self.occupant(stage).timing_class()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idca_isa::Reg;
+
+    #[test]
+    fn occupant_timing_class_for_bubble_and_insn() {
+        let bubble = Occupant::Bubble(BubbleKind::Stall);
+        assert_eq!(bubble.timing_class(), TimingClass::Bubble);
+        assert!(!bubble.is_insn());
+        let insn = Occupant::Insn {
+            pc: 0,
+            insn: Insn::add(Reg::r(1), Reg::r(2), Reg::r(3)),
+            seq: 0,
+        };
+        assert_eq!(insn.timing_class(), TimingClass::Add);
+        assert!(insn.is_insn());
+    }
+
+    #[test]
+    fn cycle_record_stage_lookup() {
+        let record = CycleRecord {
+            cycle: 7,
+            stages: [Occupant::Bubble(BubbleKind::Reset); Stage::COUNT],
+            exec: None,
+            mem_return: None,
+            writeback: None,
+            fetch_address: 0x40,
+            fetch_redirected: false,
+            stalled: false,
+        };
+        assert_eq!(record.timing_class(Stage::Execute), TimingClass::Bubble);
+        assert_eq!(record.occupant(Stage::Address).timing_class(), TimingClass::Bubble);
+    }
+}

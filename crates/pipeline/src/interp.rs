@@ -1,0 +1,516 @@
+//! A simple architectural interpreter used as the golden reference model.
+//!
+//! The interpreter executes programs sequentially (with correct OpenRISC
+//! delay-slot semantics) and is used by the test-suite to cross-check the
+//! architectural state produced by the cycle-accurate pipeline simulator
+//! (differential testing). It shares the instruction semantics of the
+//! pipeline's execute stage through [`alu`].
+
+use crate::{Memory, PipelineError, RegisterFile, NOP_EXIT};
+use idca_isa::{Insn, Opcode, Program, Reg, INSN_BYTES};
+
+pub(crate) mod alu {
+    //! Shared instruction semantics used by both the interpreter and the
+    //! pipeline simulator's execute stage.
+
+    use idca_isa::{Insn, Opcode, SetFlagCond};
+
+    /// Outcome of executing one instruction's data-path portion.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub(crate) struct AluOutcome {
+        /// Result value headed for the destination register (if any).
+        pub result: u32,
+        /// New compare-flag value (if the instruction writes the flag).
+        pub flag: Option<bool>,
+        /// New carry value (if the instruction updates the carry bit).
+        pub carry: Option<bool>,
+        /// Effective address for loads/stores.
+        pub address: Option<u32>,
+    }
+
+    /// Selects the second ALU operand: register `rB` or immediate.
+    pub(crate) fn operand_b(insn: &Insn, rb_value: u32) -> u32 {
+        match insn.opcode() {
+            Opcode::Andi | Opcode::Ori => (insn.imm().unwrap_or(0) as u32) & 0xFFFF,
+            Opcode::Addi
+            | Opcode::Addic
+            | Opcode::Xori
+            | Opcode::Muli
+            | Opcode::Sfi(_)
+            | Opcode::Lwz
+            | Opcode::Lws
+            | Opcode::Lhz
+            | Opcode::Lhs
+            | Opcode::Lbz
+            | Opcode::Lbs
+            | Opcode::Sw
+            | Opcode::Sh
+            | Opcode::Sb => insn.imm().unwrap_or(0) as u32,
+            Opcode::Slli | Opcode::Srli | Opcode::Srai | Opcode::Rori => {
+                (insn.imm().unwrap_or(0) as u32) & 0x1F
+            }
+            Opcode::Movhi => (insn.imm().unwrap_or(0) as u32) & 0xFFFF,
+            _ => rb_value,
+        }
+    }
+
+    /// Longest carry-propagation run when computing `a + b + cin` on the
+    /// main adder; a proxy for the dynamic depth of the adder path excited
+    /// by the operands.
+    pub(crate) fn carry_chain(a: u32, b: u32, cin: bool) -> u8 {
+        let mut carry = u32::from(cin);
+        let mut run: u8 = 0;
+        let mut best: u8 = 0;
+        for bit in 0..32 {
+            let ab = (a >> bit) & 1;
+            let bb = (b >> bit) & 1;
+            let generate = ab & bb;
+            let propagate = ab ^ bb;
+            let next_carry = generate | (propagate & carry);
+            if (propagate == 1 && carry == 1) || generate == 1 {
+                run += 1;
+                best = best.max(run);
+            } else {
+                run = 0;
+            }
+            carry = next_carry;
+        }
+        best
+    }
+
+    /// Executes the data-path portion of an instruction.
+    ///
+    /// `a` is the resolved `rA` operand, `b` the resolved second operand
+    /// (register or immediate, as selected by [`operand_b`]), `flag` and
+    /// `carry` the current architectural flag/carry bits.
+    pub(crate) fn execute(insn: &Insn, a: u32, b: u32, flag: bool, carry: bool) -> AluOutcome {
+        let mut out = AluOutcome {
+            result: 0,
+            flag: None,
+            carry: None,
+            address: None,
+        };
+        match insn.opcode() {
+            Opcode::Add | Opcode::Addi => {
+                let (sum, c1) = a.overflowing_add(b);
+                out.result = sum;
+                out.carry = Some(c1);
+            }
+            Opcode::Addc | Opcode::Addic => {
+                let (s1, c1) = a.overflowing_add(b);
+                let (s2, c2) = s1.overflowing_add(u32::from(carry));
+                out.result = s2;
+                out.carry = Some(c1 || c2);
+            }
+            Opcode::Sub => {
+                let (diff, borrow) = a.overflowing_sub(b);
+                out.result = diff;
+                out.carry = Some(borrow);
+            }
+            Opcode::And | Opcode::Andi => out.result = a & b,
+            Opcode::Or | Opcode::Ori => out.result = a | b,
+            Opcode::Xor | Opcode::Xori => out.result = a ^ b,
+            Opcode::Mul | Opcode::Muli => {
+                out.result = (a as i32).wrapping_mul(b as i32) as u32;
+            }
+            Opcode::Mulu => out.result = a.wrapping_mul(b),
+            Opcode::Sll | Opcode::Slli => out.result = a.wrapping_shl(b & 0x1F),
+            Opcode::Srl | Opcode::Srli => out.result = a.wrapping_shr(b & 0x1F),
+            Opcode::Sra | Opcode::Srai => out.result = ((a as i32).wrapping_shr(b & 0x1F)) as u32,
+            Opcode::Ror | Opcode::Rori => out.result = a.rotate_right(b & 0x1F),
+            Opcode::Cmov => out.result = if flag { a } else { b },
+            Opcode::Extbs => out.result = (a as u8 as i8) as i32 as u32,
+            Opcode::Exths => out.result = (a as u16 as i16) as i32 as u32,
+            Opcode::Movhi => out.result = b << 16,
+            Opcode::Sf(cond) | Opcode::Sfi(cond) => {
+                out.flag = Some(eval_cond(cond, a, b));
+            }
+            Opcode::Lwz
+            | Opcode::Lws
+            | Opcode::Lhz
+            | Opcode::Lhs
+            | Opcode::Lbz
+            | Opcode::Lbs
+            | Opcode::Sw
+            | Opcode::Sh
+            | Opcode::Sb => {
+                out.address = Some(a.wrapping_add(b));
+            }
+            Opcode::Jal | Opcode::Jalr => {
+                // Link value (pc + 8, past the delay slot) is provided by the
+                // caller; the ALU itself produces nothing here.
+            }
+            // Remaining opcodes (jumps, branches, nop) produce no data-path
+            // result; the wildcard also covers future additions to the
+            // non-exhaustive `Opcode` enum.
+            _ => {}
+        }
+        out
+    }
+
+    fn eval_cond(cond: SetFlagCond, a: u32, b: u32) -> bool {
+        cond.eval(a, b)
+    }
+}
+
+/// Result of running a program on the [`Interpreter`].
+#[derive(Debug, Clone)]
+pub struct InterpreterResult {
+    /// Final register file contents.
+    pub regs: RegisterFile,
+    /// Final data memory contents.
+    pub memory: Memory,
+    /// Final compare-flag value.
+    pub flag: bool,
+    /// Number of architecturally executed instructions.
+    pub retired: u64,
+}
+
+/// Sequential architectural reference model of the ISA subset.
+///
+/// # Example
+///
+/// ```
+/// use idca_isa::asm::Assembler;
+/// use idca_pipeline::Interpreter;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let program = Assembler::new().assemble(
+///     "l.addi r3, r0, 21\n l.add r3, r3, r3\n l.nop 1\n",
+/// )?;
+/// let result = Interpreter::new().run(&program)?;
+/// assert_eq!(result.regs.read(idca_isa::Reg::r(3)), 42);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Interpreter {
+    data_memory_size: usize,
+    max_instructions: u64,
+}
+
+impl Default for Interpreter {
+    fn default() -> Self {
+        Interpreter {
+            data_memory_size: 64 * 1024,
+            max_instructions: 10_000_000,
+        }
+    }
+}
+
+impl Interpreter {
+    /// Creates an interpreter with a 64 KiB data memory and a 10 M
+    /// instruction budget.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the data-memory size in bytes.
+    #[must_use]
+    pub fn with_data_memory_size(mut self, bytes: usize) -> Self {
+        self.data_memory_size = bytes;
+        self
+    }
+
+    /// Sets the maximum number of instructions to execute before giving up.
+    #[must_use]
+    pub fn with_max_instructions(mut self, limit: u64) -> Self {
+        self.max_instructions = limit;
+        self
+    }
+
+    /// Runs a program to completion (the `l.nop 1` exit marker) or until the
+    /// program counter falls off the end of the image.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PipelineError`] for invalid memory accesses, an
+    /// out-of-range program counter or an exhausted instruction budget.
+    pub fn run(&self, program: &Program) -> Result<InterpreterResult, PipelineError> {
+        let mut regs = RegisterFile::new();
+        let mut memory = Memory::new(self.data_memory_size);
+        memory.load_image(program.data())?;
+        let mut flag = false;
+        let mut carry = false;
+        let mut pc = program.base_address();
+        let mut retired: u64 = 0;
+        // Target that takes effect after the delay-slot instruction.
+        let mut pending_target: Option<u32> = None;
+
+        loop {
+            if retired >= self.max_instructions {
+                return Err(PipelineError::CycleLimitExceeded {
+                    limit: self.max_instructions,
+                });
+            }
+            let Some(insn) = fetch(program, pc) else {
+                // Falling off the end of the image terminates execution,
+                // mirroring the pipeline simulator's drain behaviour.
+                break;
+            };
+            retired += 1;
+
+            if insn.opcode() == Opcode::Nop && insn.imm() == Some(i32::from(NOP_EXIT)) {
+                break;
+            }
+
+            let a = insn.ra().map_or(0, |r| regs.read(r));
+            let rb_value = insn.rb().map_or(0, |r| regs.read(r));
+            let b = alu::operand_b(&insn, rb_value);
+            let outcome = alu::execute(&insn, a, b, flag, carry);
+
+            if let Some(new_flag) = outcome.flag {
+                flag = new_flag;
+            }
+            if let Some(new_carry) = outcome.carry {
+                carry = new_carry;
+            }
+
+            let mut next_pc = pc.wrapping_add(INSN_BYTES);
+            let mut new_pending: Option<u32> = None;
+            match insn.opcode() {
+                Opcode::J | Opcode::Jal => {
+                    let target =
+                        pc.wrapping_add((insn.imm().unwrap_or(0) as u32).wrapping_mul(4));
+                    new_pending = Some(target);
+                    if insn.opcode() == Opcode::Jal {
+                        regs.write(Reg::LINK, pc.wrapping_add(8));
+                    }
+                }
+                Opcode::Jr | Opcode::Jalr => {
+                    new_pending = Some(rb_value);
+                    if insn.opcode() == Opcode::Jalr {
+                        regs.write(Reg::LINK, pc.wrapping_add(8));
+                    }
+                }
+                Opcode::Bf => {
+                    if flag {
+                        new_pending = Some(
+                            pc.wrapping_add((insn.imm().unwrap_or(0) as u32).wrapping_mul(4)),
+                        );
+                    }
+                }
+                Opcode::Bnf => {
+                    if !flag {
+                        new_pending = Some(
+                            pc.wrapping_add((insn.imm().unwrap_or(0) as u32).wrapping_mul(4)),
+                        );
+                    }
+                }
+                Opcode::Lwz | Opcode::Lws => {
+                    let addr = outcome.address.unwrap_or(0);
+                    regs.write(insn.rd().expect("load has rd"), memory.load_word(addr)?);
+                }
+                Opcode::Lhz => {
+                    let addr = outcome.address.unwrap_or(0);
+                    regs.write(
+                        insn.rd().expect("load has rd"),
+                        u32::from(memory.load_half(addr)?),
+                    );
+                }
+                Opcode::Lhs => {
+                    let addr = outcome.address.unwrap_or(0);
+                    let v = memory.load_half(addr)? as i16;
+                    regs.write(insn.rd().expect("load has rd"), v as i32 as u32);
+                }
+                Opcode::Lbz => {
+                    let addr = outcome.address.unwrap_or(0);
+                    regs.write(
+                        insn.rd().expect("load has rd"),
+                        u32::from(memory.load_byte(addr)?),
+                    );
+                }
+                Opcode::Lbs => {
+                    let addr = outcome.address.unwrap_or(0);
+                    let v = memory.load_byte(addr)? as i8;
+                    regs.write(insn.rd().expect("load has rd"), v as i32 as u32);
+                }
+                Opcode::Sw => {
+                    memory.store_word(outcome.address.unwrap_or(0), rb_value)?;
+                }
+                Opcode::Sh => {
+                    memory.store_half(outcome.address.unwrap_or(0), rb_value as u16)?;
+                }
+                Opcode::Sb => {
+                    memory.store_byte(outcome.address.unwrap_or(0), rb_value as u8)?;
+                }
+                _ => {
+                    if insn.opcode().writes_rd() {
+                        if let Some(rd) = insn.rd() {
+                            regs.write(rd, outcome.result);
+                        }
+                    }
+                }
+            }
+
+            // Delay-slot bookkeeping: a pending target set by the *previous*
+            // instruction takes effect now (after this instruction, which was
+            // its delay slot).
+            if let Some(target) = pending_target.take() {
+                next_pc = target;
+            }
+            pending_target = new_pending;
+            pc = next_pc;
+        }
+
+        Ok(InterpreterResult {
+            regs,
+            memory,
+            flag,
+            retired,
+        })
+    }
+}
+
+fn fetch(program: &Program, pc: u32) -> Option<Insn> {
+    let base = program.base_address();
+    if pc < base {
+        return None;
+    }
+    let index = ((pc - base) / INSN_BYTES) as usize;
+    program.insns().get(index).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idca_isa::asm::Assembler;
+
+    fn run(src: &str) -> InterpreterResult {
+        let program = Assembler::new().assemble(src).expect("assembles");
+        Interpreter::new().run(&program).expect("runs")
+    }
+
+    #[test]
+    fn arithmetic_and_logic() {
+        let r = run("l.addi r3, r0, 6\n l.addi r4, r0, 7\n l.mul r5, r3, r4\n\
+                     l.xor r6, r3, r4\n l.and r7, r3, r4\n l.or r8, r3, r4\n l.nop 1\n");
+        assert_eq!(r.regs.read(Reg::r(5)), 42);
+        assert_eq!(r.regs.read(Reg::r(6)), 1);
+        assert_eq!(r.regs.read(Reg::r(7)), 6);
+        assert_eq!(r.regs.read(Reg::r(8)), 7);
+    }
+
+    #[test]
+    fn loop_with_delay_slot_executes_correct_count() {
+        // Sum 1..=5 using a countdown loop; the delay-slot instruction after
+        // l.bf is part of the loop body (it executes even on the last,
+        // not-taken iteration).
+        let r = run(
+            "        l.addi r3, r0, 5
+                     l.addi r4, r0, 0
+             loop:   l.add  r4, r4, r3
+                     l.addi r3, r3, -1
+                     l.sfne r3, r0
+                     l.bf   loop
+                     l.nop  0
+                     l.nop  1",
+        );
+        assert_eq!(r.regs.read(Reg::r(4)), 15);
+        assert_eq!(r.regs.read(Reg::r(3)), 0);
+    }
+
+    #[test]
+    fn delay_slot_instruction_executes_before_jump_target() {
+        // The l.addi in the delay slot of l.j must execute.
+        let r = run(
+            "        l.addi r3, r0, 1
+                     l.j    done
+                     l.addi r3, r3, 10   # delay slot
+                     l.addi r3, r3, 100  # skipped
+             done:   l.nop 1",
+        );
+        assert_eq!(r.regs.read(Reg::r(3)), 11);
+    }
+
+    #[test]
+    fn jal_links_past_delay_slot_and_jr_returns() {
+        let r = run(
+            "        l.jal  func
+                     l.addi r3, r0, 1    # delay slot
+                     l.addi r4, r0, 2    # return lands here
+                     l.nop  1
+             func:   l.addi r5, r0, 3
+                     l.jr   r9
+                     l.addi r6, r0, 4    # delay slot of return",
+        );
+        assert_eq!(r.regs.read(Reg::r(3)), 1);
+        assert_eq!(r.regs.read(Reg::r(4)), 2);
+        assert_eq!(r.regs.read(Reg::r(5)), 3);
+        assert_eq!(r.regs.read(Reg::r(6)), 4);
+    }
+
+    #[test]
+    fn memory_byte_half_word_accesses() {
+        let r = run(
+            "        l.addi r1, r0, 0x100
+                     l.addi r3, r0, -2
+                     l.sw   0(r1), r3
+                     l.lwz  r4, 0(r1)
+                     l.lbz  r5, 3(r1)
+                     l.lbs  r6, 3(r1)
+                     l.lhz  r7, 2(r1)
+                     l.lhs  r8, 2(r1)
+                     l.sb   8(r1), r3
+                     l.lbz  r9, 8(r1)
+                     l.nop  1",
+        );
+        assert_eq!(r.regs.read(Reg::r(4)), 0xFFFF_FFFE);
+        assert_eq!(r.regs.read(Reg::r(5)), 0xFE);
+        assert_eq!(r.regs.read(Reg::r(6)), 0xFFFF_FFFE);
+        assert_eq!(r.regs.read(Reg::r(7)), 0xFFFE);
+        assert_eq!(r.regs.read(Reg::r(8)), 0xFFFF_FFFE);
+        assert_eq!(r.regs.read(Reg::r(9)), 0xFE);
+    }
+
+    #[test]
+    fn carry_chain_metric_behaves() {
+        assert_eq!(alu::carry_chain(0, 0, false), 0);
+        // 0xFFFF_FFFF + 1 ripples through all 32 positions.
+        assert_eq!(alu::carry_chain(0xFFFF_FFFF, 1, false), 32);
+        // Single-bit add with no propagation.
+        assert_eq!(alu::carry_chain(1, 2, false), 0);
+        assert!(alu::carry_chain(0x0F0F_0F0F, 0x0101_0101, false) >= 4);
+    }
+
+    #[test]
+    fn shifts_and_rotates() {
+        let r = run(
+            "l.addi r3, r0, 1\n l.slli r4, r3, 31\n l.srli r5, r4, 31\n\
+             l.srai r6, r4, 31\n l.rori r7, r3, 1\n l.nop 1\n",
+        );
+        assert_eq!(r.regs.read(Reg::r(4)), 0x8000_0000);
+        assert_eq!(r.regs.read(Reg::r(5)), 1);
+        assert_eq!(r.regs.read(Reg::r(6)), 0xFFFF_FFFF);
+        assert_eq!(r.regs.read(Reg::r(7)), 0x8000_0000);
+    }
+
+    #[test]
+    fn movhi_ori_builds_constants() {
+        let r = run("l.movhi r3, 0xDEAD\n l.ori r3, r3, 0xBEEF\n l.nop 1\n");
+        assert_eq!(r.regs.read(Reg::r(3)), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn cmov_uses_flag() {
+        let r = run(
+            "l.addi r3, r0, 1\n l.addi r4, r0, 2\n l.sfeq r0, r0\n l.cmov r5, r3, r4\n\
+             l.sfne r0, r0\n l.cmov r6, r3, r4\n l.nop 1\n",
+        );
+        assert_eq!(r.regs.read(Reg::r(5)), 1);
+        assert_eq!(r.regs.read(Reg::r(6)), 2);
+    }
+
+    #[test]
+    fn instruction_budget_is_enforced() {
+        let program = Assembler::new()
+            .assemble("loop: l.j loop\n l.nop 0\n")
+            .unwrap();
+        let err = Interpreter::new()
+            .with_max_instructions(100)
+            .run(&program)
+            .unwrap_err();
+        assert!(matches!(err, PipelineError::CycleLimitExceeded { .. }));
+    }
+}

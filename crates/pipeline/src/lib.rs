@@ -1,0 +1,69 @@
+//! # idca-pipeline — cycle-accurate 6-stage OpenRISC-like pipeline model
+//!
+//! This crate models the customized `mor1kx cappuccino` micro-architecture
+//! used as the case study of the DATE 2015 paper: a 32-bit in-order pipeline
+//! with the six stages *Address*, *Fetch*, *Decode*, *Execute*,
+//! *Mem/Control* and *Writeback*, tightly-coupled single-cycle instruction
+//! and data SRAMs, full forwarding, one architectural delay slot after every
+//! branch/jump, and a multiplier that is shielded from the other ALU inputs
+//! (operand isolation) exactly as described in §III-A of the paper.
+//!
+//! Besides architecturally-correct execution the simulator records a
+//! [`PipelineTrace`]: for every cycle, the instruction occupying each stage
+//! plus detailed *activity descriptors* (operand values, carry-chain length,
+//! multiplier activity, memory requests, forwarding sources, branch
+//! decisions). The `idca-timing` crate turns this activity into dynamic path
+//! delays — the equivalent of the paper's post-layout gate-level simulation.
+//!
+//! # Example
+//!
+//! ```
+//! use idca_isa::asm::Assembler;
+//! use idca_pipeline::{Simulator, SimConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = Assembler::new().assemble(
+//!     "        l.addi r3, r0, 5
+//!              l.addi r4, r0, 0
+//!      loop:   l.add  r4, r4, r3
+//!              l.addi r3, r3, -1
+//!              l.sfne r3, r0
+//!              l.bf   loop
+//!              l.nop  0
+//!              l.nop  1          # exit
+//! ",
+//! )?;
+//! let result = Simulator::new(SimConfig::default()).run(&program)?;
+//! assert_eq!(result.state.reg(idca_isa::Reg::r(4)), 5 + 4 + 3 + 2 + 1);
+//! assert!(result.trace.ipc() > 0.5);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod event;
+mod interp;
+mod memory;
+mod regfile;
+mod simulator;
+mod stage;
+mod trace;
+
+pub use error::PipelineError;
+pub use event::{
+    BranchActivity, BubbleKind, CycleRecord, ExecActivity, ForwardSource, MemRequest, Occupant,
+    WbActivity,
+};
+pub use interp::{Interpreter, InterpreterResult};
+pub use memory::Memory;
+pub use regfile::RegisterFile;
+pub use simulator::{ArchState, SimConfig, SimResult, Simulator};
+pub use stage::Stage;
+pub use trace::{class_at, occupant_at, PipelineTrace, TraceStats};
+
+/// The `l.nop` immediate that requests simulation exit, following the
+/// convention of the OpenRISC architectural simulator (`NOP_EXIT`).
+pub const NOP_EXIT: u16 = 1;

@@ -1,0 +1,174 @@
+use crate::PipelineError;
+use serde::{Deserialize, Serialize};
+
+/// A tightly-coupled, byte-addressable data SRAM with single-cycle access.
+///
+/// The modelled core uses separate instruction and data memories (Harvard
+/// organisation with fast SRAM macros, §III-A of the paper); this type is
+/// the data side. Loads and stores are big-endian, matching the OpenRISC
+/// architecture.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Memory {
+    bytes: Vec<u8>,
+}
+
+impl Memory {
+    /// Creates a zero-initialized memory of `size` bytes.
+    #[must_use]
+    pub fn new(size: usize) -> Self {
+        Memory {
+            bytes: vec![0; size],
+        }
+    }
+
+    /// Size of the memory in bytes.
+    #[must_use]
+    pub fn size(&self) -> u32 {
+        self.bytes.len() as u32
+    }
+
+    fn check(&self, address: u32, width: u32) -> Result<usize, PipelineError> {
+        if address % width != 0 {
+            return Err(PipelineError::UnalignedAccess { address, width });
+        }
+        let end = address as u64 + u64::from(width);
+        if end > self.bytes.len() as u64 {
+            return Err(PipelineError::DataAccessOutOfRange {
+                address,
+                size: self.size(),
+            });
+        }
+        Ok(address as usize)
+    }
+
+    /// Loads a 32-bit word (big-endian).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::UnalignedAccess`] or
+    /// [`PipelineError::DataAccessOutOfRange`].
+    pub fn load_word(&self, address: u32) -> Result<u32, PipelineError> {
+        let i = self.check(address, 4)?;
+        Ok(u32::from_be_bytes([
+            self.bytes[i],
+            self.bytes[i + 1],
+            self.bytes[i + 2],
+            self.bytes[i + 3],
+        ]))
+    }
+
+    /// Loads a 16-bit half-word (big-endian, zero-extended).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::UnalignedAccess`] or
+    /// [`PipelineError::DataAccessOutOfRange`].
+    pub fn load_half(&self, address: u32) -> Result<u16, PipelineError> {
+        let i = self.check(address, 2)?;
+        Ok(u16::from_be_bytes([self.bytes[i], self.bytes[i + 1]]))
+    }
+
+    /// Loads a byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::DataAccessOutOfRange`] when out of bounds.
+    pub fn load_byte(&self, address: u32) -> Result<u8, PipelineError> {
+        let i = self.check(address, 1)?;
+        Ok(self.bytes[i])
+    }
+
+    /// Stores a 32-bit word (big-endian).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::UnalignedAccess`] or
+    /// [`PipelineError::DataAccessOutOfRange`].
+    pub fn store_word(&mut self, address: u32, value: u32) -> Result<(), PipelineError> {
+        let i = self.check(address, 4)?;
+        self.bytes[i..i + 4].copy_from_slice(&value.to_be_bytes());
+        Ok(())
+    }
+
+    /// Stores a 16-bit half-word (big-endian).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::UnalignedAccess`] or
+    /// [`PipelineError::DataAccessOutOfRange`].
+    pub fn store_half(&mut self, address: u32, value: u16) -> Result<(), PipelineError> {
+        let i = self.check(address, 2)?;
+        self.bytes[i..i + 2].copy_from_slice(&value.to_be_bytes());
+        Ok(())
+    }
+
+    /// Stores a byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::DataAccessOutOfRange`] when out of bounds.
+    pub fn store_byte(&mut self, address: u32, value: u8) -> Result<(), PipelineError> {
+        let i = self.check(address, 1)?;
+        self.bytes[i] = value;
+        Ok(())
+    }
+
+    /// Initializes memory from `(byte_address, word)` pairs, as produced by
+    /// [`idca_isa::Program::data`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first store error encountered.
+    pub fn load_image(&mut self, words: &[(u32, u32)]) -> Result<(), PipelineError> {
+        for &(address, value) in words {
+            self.store_word(address, value)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_roundtrip_is_big_endian() {
+        let mut mem = Memory::new(64);
+        mem.store_word(8, 0x1122_3344).unwrap();
+        assert_eq!(mem.load_word(8).unwrap(), 0x1122_3344);
+        assert_eq!(mem.load_byte(8).unwrap(), 0x11);
+        assert_eq!(mem.load_byte(11).unwrap(), 0x44);
+        assert_eq!(mem.load_half(10).unwrap(), 0x3344);
+    }
+
+    #[test]
+    fn alignment_is_enforced() {
+        let mut mem = Memory::new(64);
+        assert!(matches!(
+            mem.store_word(2, 0),
+            Err(PipelineError::UnalignedAccess { .. })
+        ));
+        assert!(matches!(
+            mem.load_half(1),
+            Err(PipelineError::UnalignedAccess { .. })
+        ));
+    }
+
+    #[test]
+    fn bounds_are_enforced() {
+        let mem = Memory::new(16);
+        assert!(matches!(
+            mem.load_word(16),
+            Err(PipelineError::DataAccessOutOfRange { .. })
+        ));
+        assert!(mem.load_word(12).is_ok());
+    }
+
+    #[test]
+    fn image_loading_places_words() {
+        let mut mem = Memory::new(64);
+        mem.load_image(&[(0, 1), (4, 2), (8, 0xFFFF_FFFF)]).unwrap();
+        assert_eq!(mem.load_word(4).unwrap(), 2);
+        assert_eq!(mem.load_word(8).unwrap(), 0xFFFF_FFFF);
+    }
+}

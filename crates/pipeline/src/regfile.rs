@@ -1,0 +1,77 @@
+use idca_isa::{Reg, NUM_GPRS};
+use serde::{Deserialize, Serialize};
+
+/// The 32-entry, two-read-port / one-write-port general purpose register
+/// file of the core.
+///
+/// Register `r0` is hard-wired to zero: writes to it are ignored, reads
+/// always return `0`, matching the convention used by the modelled core.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegisterFile {
+    regs: [u32; NUM_GPRS],
+}
+
+impl RegisterFile {
+    /// Creates a register file with every register cleared to zero.
+    #[must_use]
+    pub fn new() -> Self {
+        RegisterFile {
+            regs: [0; NUM_GPRS],
+        }
+    }
+
+    /// Reads a register (`r0` always reads zero).
+    #[must_use]
+    pub fn read(&self, reg: Reg) -> u32 {
+        if reg.is_zero() {
+            0
+        } else {
+            self.regs[usize::from(reg)]
+        }
+    }
+
+    /// Writes a register; writes to `r0` are ignored.
+    pub fn write(&mut self, reg: Reg, value: u32) {
+        if !reg.is_zero() {
+            self.regs[usize::from(reg)] = value;
+        }
+    }
+
+    /// Returns the raw register array (index 0 is always zero).
+    #[must_use]
+    pub fn as_array(&self) -> [u32; NUM_GPRS] {
+        let mut copy = self.regs;
+        copy[0] = 0;
+        copy
+    }
+}
+
+impl Default for RegisterFile {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn r0_is_hardwired_to_zero() {
+        let mut rf = RegisterFile::new();
+        rf.write(Reg::R0, 0xDEAD_BEEF);
+        assert_eq!(rf.read(Reg::R0), 0);
+        assert_eq!(rf.as_array()[0], 0);
+    }
+
+    #[test]
+    fn other_registers_hold_values() {
+        let mut rf = RegisterFile::new();
+        for reg in Reg::all().skip(1) {
+            rf.write(reg, u32::from(reg.index()) * 3);
+        }
+        for reg in Reg::all().skip(1) {
+            assert_eq!(rf.read(reg), u32::from(reg.index()) * 3);
+        }
+    }
+}

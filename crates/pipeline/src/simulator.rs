@@ -1,0 +1,831 @@
+//! The cycle-accurate 6-stage pipeline simulator.
+//!
+//! Micro-architectural model (mirroring the customized `mor1kx cappuccino`
+//! of the paper's Fig. 4):
+//!
+//! * Six stages: Address, Fetch, Decode, Execute, Mem/Control, Writeback.
+//! * Tightly-coupled single-cycle instruction and data SRAMs.
+//! * Full operand forwarding (Control → Execute and Writeback → Execute);
+//!   load results are forwarded from the control stage, which makes the
+//!   data-SRAM → forwarding → ALU path one of the longest in the design —
+//!   exactly the path the paper identifies as dominating the execute/control
+//!   endpoint group.
+//! * One architectural delay slot after every branch and jump.
+//! * PC-relative jumps and conditional branches redirect the fetch address
+//!   while they are in the decode stage (the branch-target feed-forward into
+//!   the address-stage PC mux visible in Fig. 4), so taken branches cost no
+//!   bubbles beyond the delay slot. Register-indirect jumps resolve in the
+//!   execute stage and squash the two youngest fetch stages.
+//! * The multiplier is shielded by operand-isolation registers: its inputs
+//!   only toggle for multiply instructions.
+
+use crate::interp::alu;
+use crate::{
+    BranchActivity, BubbleKind, CycleRecord, ExecActivity, ForwardSource, MemRequest, Memory,
+    Occupant, PipelineError, PipelineTrace, RegisterFile, Stage, WbActivity, NOP_EXIT,
+};
+use idca_isa::{Insn, Opcode, Program, Reg, INSN_BYTES};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the pipeline simulator.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Size of the tightly-coupled data SRAM in bytes.
+    pub data_memory_size: usize,
+    /// Hard limit on simulated cycles (guards against runaway programs).
+    pub max_cycles: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            data_memory_size: 64 * 1024,
+            max_cycles: 4_000_000,
+        }
+    }
+}
+
+/// Architectural state at the end of a simulation.
+#[derive(Debug, Clone)]
+pub struct ArchState {
+    /// Final register-file contents.
+    pub regs: RegisterFile,
+    /// Final data-memory contents.
+    pub memory: Memory,
+    /// Final compare-flag value.
+    pub flag: bool,
+    /// Final carry-flag value.
+    pub carry: bool,
+}
+
+impl ArchState {
+    /// Convenience accessor for one register.
+    #[must_use]
+    pub fn reg(&self, reg: Reg) -> u32 {
+        self.regs.read(reg)
+    }
+}
+
+/// The outcome of running a program on the pipeline.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Final architectural state.
+    pub state: ArchState,
+    /// Per-cycle pipeline trace.
+    pub trace: PipelineTrace,
+}
+
+/// The cycle-accurate pipeline simulator.
+///
+/// See the crate-level documentation for an end-to-end example.
+#[derive(Debug, Clone, Default)]
+pub struct Simulator {
+    config: SimConfig,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Fetched {
+    pc: u32,
+    insn: Insn,
+    seq: u64,
+    /// Branch resolution attached while the instruction was in decode, so
+    /// that the execute-stage activity record can report it.
+    resolution: Option<BranchActivity>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum MemOp {
+    Load { address: u32 },
+    Store { address: u32, value: u32 },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CtrlEntry {
+    pc: u32,
+    insn: Insn,
+    seq: u64,
+    rd: Option<Reg>,
+    value: u32,
+    mem: Option<MemOp>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct WbEntry {
+    pc: u32,
+    insn: Insn,
+    seq: u64,
+    rd: Option<Reg>,
+    value: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Slot<T> {
+    Insn(T),
+    Bubble(BubbleKind),
+}
+
+impl<T> Slot<T> {
+    fn as_ref(&self) -> Option<&T> {
+        match self {
+            Slot::Insn(t) => Some(t),
+            Slot::Bubble(_) => None,
+        }
+    }
+
+    fn is_bubble(&self) -> bool {
+        matches!(self, Slot::Bubble(_))
+    }
+}
+
+impl Simulator {
+    /// Creates a simulator with the given configuration.
+    #[must_use]
+    pub fn new(config: SimConfig) -> Self {
+        Simulator { config }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Runs `program` to completion and returns the final architectural
+    /// state together with the full per-cycle trace.
+    ///
+    /// A program terminates when the exit marker `l.nop 1` retires, or when
+    /// the pipeline drains after the program counter runs past the end of
+    /// the image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError`] for invalid memory accesses or when
+    /// [`SimConfig::max_cycles`] is exceeded.
+    pub fn run(&self, program: &Program) -> Result<SimResult, PipelineError> {
+        let mut regs = RegisterFile::new();
+        let mut memory = Memory::new(self.config.data_memory_size);
+        memory.load_image(program.data())?;
+        let mut flag = false;
+        let mut carry = false;
+
+        let base = program.base_address();
+        let end = program.end_address();
+        let in_range = |pc: u32| pc >= base && pc < end;
+        let fetch_insn = |pc: u32| -> Insn {
+            program.insns()[((pc - base) / INSN_BYTES) as usize]
+        };
+
+        let mut fetch_pc = base;
+        let mut fe: Slot<Fetched> = Slot::Bubble(BubbleKind::Reset);
+        let mut dc: Slot<Fetched> = Slot::Bubble(BubbleKind::Reset);
+        let mut ex: Slot<Fetched> = Slot::Bubble(BubbleKind::Reset);
+        let mut ctrl: Slot<CtrlEntry> = Slot::Bubble(BubbleKind::Reset);
+        let mut wb: Slot<WbEntry> = Slot::Bubble(BubbleKind::Reset);
+
+        let mut halting = false;
+        let mut exit_seq: Option<u64> = None;
+        let mut seq_counter: u64 = 0;
+        let mut retired: u64 = 0;
+        let mut cycles: Vec<CycleRecord> = Vec::new();
+
+        for cycle in 0..self.config.max_cycles {
+            // -------------------------------------------------------------
+            // Writeback stage: commit the oldest instruction.
+            // -------------------------------------------------------------
+            let mut writeback_activity = None;
+            let mut finished = false;
+            if let Some(entry) = wb.as_ref() {
+                if let Some(rd) = entry.rd {
+                    regs.write(rd, entry.value);
+                    writeback_activity = Some(WbActivity {
+                        rd,
+                        value: entry.value,
+                    });
+                }
+                retired += 1;
+                if exit_seq == Some(entry.seq) {
+                    finished = true;
+                }
+            }
+
+            // -------------------------------------------------------------
+            // Mem/Control stage: perform the data-memory access in program
+            // order; load data becomes available here and is forwarded to
+            // the execute stage within the same cycle.
+            // -------------------------------------------------------------
+            let mut mem_return = None;
+            let mut ctrl_entry = ctrl;
+            if let Slot::Insn(entry) = &mut ctrl_entry {
+                match entry.mem {
+                    Some(MemOp::Store { address, value }) => {
+                        store(&mut memory, entry.insn.opcode(), address, value)?;
+                    }
+                    Some(MemOp::Load { address }) => {
+                        let value = load(&memory, entry.insn.opcode(), address)?;
+                        entry.value = value;
+                        mem_return = Some(value);
+                    }
+                    None => {}
+                }
+            }
+
+            // -------------------------------------------------------------
+            // Execute stage.
+            // -------------------------------------------------------------
+            let mut exec_activity = None;
+            let mut ex_redirect: Option<u32> = None;
+            let mut next_ctrl: Slot<CtrlEntry> = match ex {
+                Slot::Bubble(kind) => Slot::Bubble(kind),
+                Slot::Insn(fetched) => {
+                    let insn = fetched.insn;
+                    let opcode = insn.opcode();
+
+                    if opcode == Opcode::Nop && insn.imm() == Some(i32::from(NOP_EXIT)) {
+                        halting = true;
+                        exit_seq = Some(fetched.seq);
+                    }
+
+                    let (a, fwd_a) = resolve_operand(insn.ra(), &ctrl_entry, &wb, &regs);
+                    let (rb_value, fwd_b) = resolve_operand(insn.rb(), &ctrl_entry, &wb, &regs);
+                    let b = alu::operand_b(&insn, rb_value);
+                    let outcome = alu::execute(&insn, a, b, flag, carry);
+
+                    if let Some(new_flag) = outcome.flag {
+                        flag = new_flag;
+                    }
+                    if let Some(new_carry) = outcome.carry {
+                        carry = new_carry;
+                    }
+
+                    let mut value = outcome.result;
+                    let mut rd = if opcode.writes_rd() { insn.rd() } else { None };
+                    let mut branch = fetched.resolution;
+                    match opcode {
+                        Opcode::Jal => {
+                            rd = Some(Reg::LINK);
+                            value = fetched.pc.wrapping_add(8);
+                        }
+                        Opcode::Jalr | Opcode::Jr => {
+                            if opcode == Opcode::Jalr {
+                                rd = Some(Reg::LINK);
+                                value = fetched.pc.wrapping_add(8);
+                            }
+                            ex_redirect = Some(rb_value);
+                            branch = Some(BranchActivity {
+                                taken: true,
+                                target: rb_value,
+                                resolved_in: Stage::Execute,
+                            });
+                        }
+                        _ => {}
+                    }
+
+                    let mem = match opcode {
+                        op if op.is_load() => Some(MemOp::Load {
+                            address: outcome.address.unwrap_or(0),
+                        }),
+                        op if op.is_store() => Some(MemOp::Store {
+                            address: outcome.address.unwrap_or(0),
+                            value: rb_value,
+                        }),
+                        _ => None,
+                    };
+
+                    let mem_request = mem.map(|m| match m {
+                        MemOp::Load { address } => MemRequest {
+                            address,
+                            width: opcode.mem_width().unwrap_or(4),
+                            is_store: false,
+                            value: 0,
+                        },
+                        MemOp::Store { address, value } => MemRequest {
+                            address,
+                            width: opcode.mem_width().unwrap_or(4),
+                            is_store: true,
+                            value,
+                        },
+                    });
+
+                    exec_activity = Some(ExecActivity {
+                        pc: fetched.pc,
+                        insn,
+                        op_a: a,
+                        op_b: b,
+                        result: value,
+                        carry_chain: adder_chain(opcode, a, b, carry),
+                        mul_active: matches!(opcode, Opcode::Mul | Opcode::Mulu | Opcode::Muli),
+                        mul_bits: mul_bits(opcode, a, b),
+                        shift_amount: shift_amount(opcode, b),
+                        forward_a: fwd_a,
+                        forward_b: fwd_b,
+                        flag_written: outcome.flag,
+                        branch,
+                        mem_request,
+                    });
+
+                    Slot::Insn(CtrlEntry {
+                        pc: fetched.pc,
+                        insn,
+                        seq: fetched.seq,
+                        rd,
+                        value,
+                        mem,
+                    })
+                }
+            };
+
+            // -------------------------------------------------------------
+            // Decode stage: resolve PC-relative jumps and conditional
+            // branches (the flag produced by the execute stage this cycle is
+            // already visible, modelling the forwarding path into the branch
+            // logic).
+            // -------------------------------------------------------------
+            let mut dc_redirect: Option<u32> = None;
+            let mut dc_out = dc;
+            if let Slot::Insn(fetched) = &mut dc_out {
+                let opcode = fetched.insn.opcode();
+                let taken = match opcode {
+                    Opcode::J | Opcode::Jal => Some(true),
+                    Opcode::Bf => Some(flag),
+                    Opcode::Bnf => Some(!flag),
+                    _ => None,
+                };
+                if let Some(taken) = taken {
+                    let target = fetched
+                        .pc
+                        .wrapping_add((fetched.insn.imm().unwrap_or(0) as u32).wrapping_mul(4));
+                    fetched.resolution = Some(BranchActivity {
+                        taken,
+                        target,
+                        resolved_in: Stage::Decode,
+                    });
+                    if taken {
+                        dc_redirect = Some(target);
+                    }
+                }
+            }
+
+            // -------------------------------------------------------------
+            // Fetch / address stage: present the instruction-memory address
+            // (possibly redirected by the decode stage this very cycle) and
+            // capture the fetched word for the next cycle.
+            // -------------------------------------------------------------
+            let effective_fetch = dc_redirect.unwrap_or(fetch_pc);
+            let fetch_redirected = dc_redirect.is_some() || ex_redirect.is_some();
+            let new_fe: Slot<Fetched> = if halting {
+                Slot::Bubble(BubbleKind::Drain)
+            } else if ex_redirect.is_some() {
+                Slot::Bubble(BubbleKind::Flush)
+            } else if in_range(effective_fetch) {
+                let seq = seq_counter;
+                seq_counter += 1;
+                Slot::Insn(Fetched {
+                    pc: effective_fetch,
+                    insn: fetch_insn(effective_fetch),
+                    seq,
+                    resolution: None,
+                })
+            } else {
+                Slot::Bubble(BubbleKind::Drain)
+            };
+
+            // -------------------------------------------------------------
+            // Record this cycle.
+            // -------------------------------------------------------------
+            let adr_occupant = if let Some(redirecting) = redirect_source(&dc_out, dc_redirect) {
+                // The control-flow instruction drives the long branch-target
+                // path into the instruction-memory address register this
+                // cycle, so it owns the address-stage endpoint group.
+                redirecting
+            } else if halting {
+                Occupant::Bubble(BubbleKind::Drain)
+            } else if in_range(effective_fetch) {
+                Occupant::Insn {
+                    pc: effective_fetch,
+                    insn: fetch_insn(effective_fetch),
+                    seq: seq_counter,
+                }
+            } else {
+                Occupant::Bubble(BubbleKind::Drain)
+            };
+
+            let record = CycleRecord {
+                cycle,
+                stages: [
+                    adr_occupant,
+                    slot_occupant(&fe),
+                    slot_occupant_fetched(&dc_out),
+                    slot_occupant_fetched(&ex),
+                    slot_occupant_ctrl(&ctrl_entry),
+                    slot_occupant_wb(&wb),
+                ],
+                exec: exec_activity,
+                mem_return,
+                writeback: writeback_activity,
+                fetch_address: effective_fetch,
+                fetch_redirected,
+                stalled: false,
+            };
+            cycles.push(record);
+
+            if finished {
+                break;
+            }
+
+            // -------------------------------------------------------------
+            // Latch update.
+            // -------------------------------------------------------------
+            wb = match ctrl_entry {
+                Slot::Insn(e) => Slot::Insn(WbEntry {
+                    pc: e.pc,
+                    insn: e.insn,
+                    seq: e.seq,
+                    rd: e.rd,
+                    value: e.value,
+                }),
+                Slot::Bubble(kind) => Slot::Bubble(kind),
+            };
+            ctrl = next_ctrl;
+            if halting {
+                // Instructions younger than the exit marker never execute
+                // (they are architecturally after the end of the program),
+                // matching the reference interpreter.
+                ex = Slot::Bubble(BubbleKind::Drain);
+                dc = Slot::Bubble(BubbleKind::Drain);
+                fe = Slot::Bubble(BubbleKind::Drain);
+            } else {
+                ex = dc_out;
+                dc = if ex_redirect.is_some() {
+                    Slot::Bubble(BubbleKind::Flush)
+                } else {
+                    fe
+                };
+                fe = new_fe;
+            }
+
+            if let Some(target) = ex_redirect {
+                fetch_pc = target;
+            } else if let Some(target) = dc_redirect {
+                fetch_pc = target.wrapping_add(INSN_BYTES);
+            } else if !halting && in_range(effective_fetch) {
+                fetch_pc = effective_fetch.wrapping_add(INSN_BYTES);
+            }
+
+            // Natural drain: the program ran past its last instruction and
+            // the pipeline is now empty.
+            if !halting
+                && !in_range(fetch_pc)
+                && fe.is_bubble()
+                && dc.is_bubble()
+                && ex.is_bubble()
+                && ctrl.is_bubble()
+                && wb.is_bubble()
+            {
+                break;
+            }
+            // Avoid re-borrowing issues for the unused variable warning.
+            let _ = &mut next_ctrl;
+        }
+
+        if cycles.len() as u64 >= self.config.max_cycles {
+            return Err(PipelineError::CycleLimitExceeded {
+                limit: self.config.max_cycles,
+            });
+        }
+
+        Ok(SimResult {
+            state: ArchState {
+                regs,
+                memory,
+                flag,
+                carry,
+            },
+            trace: PipelineTrace::from_parts(cycles, retired),
+        })
+    }
+}
+
+fn redirect_source(dc_out: &Slot<Fetched>, dc_redirect: Option<u32>) -> Option<Occupant> {
+    let target = dc_redirect?;
+    let fetched = dc_out.as_ref()?;
+    let _ = target;
+    Some(Occupant::Insn {
+        pc: fetched.pc,
+        insn: fetched.insn,
+        seq: fetched.seq,
+    })
+}
+
+fn slot_occupant(slot: &Slot<Fetched>) -> Occupant {
+    slot_occupant_fetched(slot)
+}
+
+fn slot_occupant_fetched(slot: &Slot<Fetched>) -> Occupant {
+    match slot {
+        Slot::Insn(f) => Occupant::Insn {
+            pc: f.pc,
+            insn: f.insn,
+            seq: f.seq,
+        },
+        Slot::Bubble(kind) => Occupant::Bubble(*kind),
+    }
+}
+
+fn slot_occupant_ctrl(slot: &Slot<CtrlEntry>) -> Occupant {
+    match slot {
+        Slot::Insn(e) => Occupant::Insn {
+            pc: e.pc,
+            insn: e.insn,
+            seq: e.seq,
+        },
+        Slot::Bubble(kind) => Occupant::Bubble(*kind),
+    }
+}
+
+fn slot_occupant_wb(slot: &Slot<WbEntry>) -> Occupant {
+    match slot {
+        Slot::Insn(e) => Occupant::Insn {
+            pc: e.pc,
+            insn: e.insn,
+            seq: e.seq,
+        },
+        Slot::Bubble(kind) => Occupant::Bubble(*kind),
+    }
+}
+
+fn resolve_operand(
+    reg: Option<Reg>,
+    ctrl: &Slot<CtrlEntry>,
+    wb: &Slot<WbEntry>,
+    regs: &RegisterFile,
+) -> (u32, Option<ForwardSource>) {
+    let Some(reg) = reg else { return (0, None) };
+    if reg.is_zero() {
+        return (0, None);
+    }
+    if let Some(entry) = ctrl.as_ref() {
+        if entry.rd == Some(reg) {
+            return (entry.value, Some(ForwardSource::Control));
+        }
+    }
+    if let Some(entry) = wb.as_ref() {
+        if entry.rd == Some(reg) {
+            return (entry.value, Some(ForwardSource::Writeback));
+        }
+    }
+    (regs.read(reg), None)
+}
+
+fn adder_chain(opcode: Opcode, a: u32, b: u32, carry: bool) -> u8 {
+    match opcode {
+        Opcode::Add | Opcode::Addi => alu::carry_chain(a, b, false),
+        Opcode::Addc | Opcode::Addic => alu::carry_chain(a, b, carry),
+        Opcode::Sub | Opcode::Sf(_) | Opcode::Sfi(_) => alu::carry_chain(a, !b, true),
+        op if op.is_mem() => alu::carry_chain(a, b, false),
+        _ => 0,
+    }
+}
+
+fn mul_bits(opcode: Opcode, a: u32, b: u32) -> u8 {
+    match opcode {
+        Opcode::Mul | Opcode::Mulu | Opcode::Muli => {
+            let bits_a = 32 - a.leading_zeros();
+            let bits_b = 32 - b.leading_zeros();
+            bits_a.max(bits_b) as u8
+        }
+        _ => 0,
+    }
+}
+
+fn shift_amount(opcode: Opcode, b: u32) -> u8 {
+    match opcode.timing_class() {
+        idca_isa::TimingClass::Shift => (b & 0x1F) as u8,
+        _ => 0,
+    }
+}
+
+fn load(memory: &Memory, opcode: Opcode, address: u32) -> Result<u32, PipelineError> {
+    Ok(match opcode {
+        Opcode::Lwz | Opcode::Lws => memory.load_word(address)?,
+        Opcode::Lhz => u32::from(memory.load_half(address)?),
+        Opcode::Lhs => memory.load_half(address)? as i16 as i32 as u32,
+        Opcode::Lbz => u32::from(memory.load_byte(address)?),
+        Opcode::Lbs => memory.load_byte(address)? as i8 as i32 as u32,
+        _ => 0,
+    })
+}
+
+fn store(
+    memory: &mut Memory,
+    opcode: Opcode,
+    address: u32,
+    value: u32,
+) -> Result<(), PipelineError> {
+    match opcode {
+        Opcode::Sw => memory.store_word(address, value),
+        Opcode::Sh => memory.store_half(address, value as u16),
+        Opcode::Sb => memory.store_byte(address, value as u8),
+        _ => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Interpreter;
+    use idca_isa::asm::Assembler;
+
+    fn assemble(src: &str) -> Program {
+        Assembler::new().assemble(src).expect("assembles")
+    }
+
+    fn run(src: &str) -> SimResult {
+        Simulator::new(SimConfig::default())
+            .run(&assemble(src))
+            .expect("runs")
+    }
+
+    #[test]
+    fn straight_line_arithmetic_matches_interpreter() {
+        let src = "l.addi r3, r0, 6\n l.addi r4, r0, 7\n l.mul r5, r3, r4\n\
+                   l.add r6, r5, r3\n l.sub r7, r5, r4\n l.nop 1\n";
+        let sim = run(src);
+        let golden = Interpreter::new().run(&assemble(src)).unwrap();
+        assert_eq!(sim.state.regs.as_array(), golden.regs.as_array());
+    }
+
+    #[test]
+    fn forwarding_handles_back_to_back_dependencies() {
+        // Each instruction depends on the previous one; without forwarding
+        // the results would be stale.
+        let sim = run(
+            "l.addi r3, r0, 1\n l.add r3, r3, r3\n l.add r3, r3, r3\n\
+             l.add r3, r3, r3\n l.add r3, r3, r3\n l.nop 1\n",
+        );
+        assert_eq!(sim.state.reg(Reg::r(3)), 16);
+    }
+
+    #[test]
+    fn load_use_is_forwarded_from_control_stage() {
+        let sim = run(
+            "l.addi r1, r0, 0x40\n l.addi r3, r0, 99\n l.sw 0(r1), r3\n\
+             l.lwz r4, 0(r1)\n l.add r5, r4, r4\n l.nop 1\n",
+        );
+        assert_eq!(sim.state.reg(Reg::r(4)), 99);
+        assert_eq!(sim.state.reg(Reg::r(5)), 198);
+    }
+
+    #[test]
+    fn loop_with_branch_and_delay_slot() {
+        let src = "        l.addi r3, r0, 5
+                           l.addi r4, r0, 0
+                   loop:   l.add  r4, r4, r3
+                           l.addi r3, r3, -1
+                           l.sfne r3, r0
+                           l.bf   loop
+                           l.nop  0
+                           l.nop  1";
+        let sim = run(src);
+        assert_eq!(sim.state.reg(Reg::r(4)), 15);
+        let golden = Interpreter::new().run(&assemble(src)).unwrap();
+        assert_eq!(sim.state.regs.as_array(), golden.regs.as_array());
+    }
+
+    #[test]
+    fn taken_branches_cost_no_extra_bubbles() {
+        // A tight loop should sustain close to one instruction per cycle:
+        // the branch is resolved in decode and the delay slot is useful.
+        let src = "        l.addi r3, r0, 200
+                   loop:   l.addi r3, r3, -1
+                           l.sfne r3, r0
+                           l.bf   loop
+                           l.nop  0
+                           l.nop  1";
+        let sim = run(src);
+        let ipc = sim.trace.ipc();
+        assert!(ipc > 0.9, "expected IPC close to 1, got {ipc}");
+    }
+
+    #[test]
+    fn jal_and_jr_round_trip() {
+        let src = "        l.jal  func
+                           l.addi r3, r0, 1
+                           l.addi r4, r0, 2
+                           l.nop  1
+                   func:   l.addi r5, r0, 3
+                           l.jr   r9
+                           l.addi r6, r0, 4";
+        let sim = run(src);
+        let golden = Interpreter::new().run(&assemble(src)).unwrap();
+        assert_eq!(sim.state.regs.as_array(), golden.regs.as_array());
+        assert_eq!(sim.state.reg(Reg::r(4)), 2);
+    }
+
+    #[test]
+    fn memory_state_matches_interpreter() {
+        let src = "        l.addi r1, r0, 0x100
+                           l.addi r3, r0, 0
+                           l.addi r5, r0, 8
+                   loop:   l.slli r6, r3, 2
+                           l.add  r6, r6, r1
+                           l.mul  r7, r3, r3
+                           l.sw   0(r6), r7
+                           l.addi r3, r3, 1
+                           l.sfne r3, r5
+                           l.bf   loop
+                           l.nop  0
+                           l.nop  1";
+        let sim = run(src);
+        let golden = Interpreter::new().run(&assemble(src)).unwrap();
+        for i in 0..8u32 {
+            let addr = 0x100 + i * 4;
+            assert_eq!(
+                sim.state.memory.load_word(addr).unwrap(),
+                golden.memory.load_word(addr).unwrap(),
+                "mismatch at data address {addr:#x}"
+            );
+            assert_eq!(sim.state.memory.load_word(addr).unwrap(), i * i);
+        }
+    }
+
+    #[test]
+    fn trace_records_every_stage_every_cycle() {
+        let sim = run("l.addi r3, r0, 1\n l.addi r4, r0, 2\n l.add r5, r3, r4\n l.nop 1\n");
+        assert!(!sim.trace.cycles().is_empty());
+        for record in sim.trace.cycles() {
+            assert_eq!(record.stages.len(), Stage::COUNT);
+        }
+        // The first instruction must appear in the execute stage at some point.
+        let saw_add = sim
+            .trace
+            .cycles()
+            .iter()
+            .any(|c| c.timing_class(Stage::Execute) == idca_isa::TimingClass::Add);
+        assert!(saw_add);
+    }
+
+    #[test]
+    fn exec_activity_reports_multiplier_usage() {
+        let sim = run("l.addi r3, r0, 300\n l.addi r4, r0, 70\n l.mul r5, r3, r4\n l.nop 1\n");
+        let mul_cycles: Vec<_> = sim
+            .trace
+            .cycles()
+            .iter()
+            .filter_map(|c| c.exec.as_ref())
+            .filter(|e| e.mul_active)
+            .collect();
+        assert_eq!(mul_cycles.len(), 1);
+        assert!(mul_cycles[0].mul_bits >= 9);
+        assert_eq!(mul_cycles[0].result, 21000);
+    }
+
+    #[test]
+    fn branch_activity_reports_decode_resolution() {
+        let sim = run(
+            "        l.sfeq r0, r0
+                     l.bf   target
+                     l.nop  0
+                     l.addi r3, r0, 9
+             target: l.addi r4, r0, 7
+                     l.nop  1",
+        );
+        let branch = sim
+            .trace
+            .cycles()
+            .iter()
+            .filter_map(|c| c.exec.as_ref())
+            .find_map(|e| e.branch)
+            .expect("branch recorded");
+        assert!(branch.taken);
+        assert_eq!(branch.resolved_in, Stage::Decode);
+        // The skipped instruction must not have executed.
+        assert_eq!(sim.state.reg(Reg::r(3)), 0);
+        assert_eq!(sim.state.reg(Reg::r(4)), 7);
+    }
+
+    #[test]
+    fn program_without_exit_marker_drains_naturally() {
+        let sim = run("l.addi r3, r0, 4\n l.add r4, r3, r3\n");
+        assert_eq!(sim.state.reg(Reg::r(4)), 8);
+    }
+
+    #[test]
+    fn cycle_limit_is_enforced() {
+        let program = assemble("loop: l.j loop\n l.nop 0\n");
+        let config = SimConfig {
+            max_cycles: 50,
+            ..SimConfig::default()
+        };
+        let err = Simulator::new(config).run(&program).unwrap_err();
+        assert!(matches!(err, PipelineError::CycleLimitExceeded { limit: 50 }));
+    }
+
+    #[test]
+    fn store_then_load_ordering_is_preserved() {
+        let sim = run(
+            "l.addi r1, r0, 0x80\n l.addi r3, r0, 5\n l.sw 0(r1), r3\n\
+             l.addi r3, r0, 6\n l.sw 0(r1), r3\n l.lwz r4, 0(r1)\n l.nop 1\n",
+        );
+        assert_eq!(sim.state.reg(Reg::r(4)), 6);
+    }
+}

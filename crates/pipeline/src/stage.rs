@@ -1,0 +1,97 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of the six pipeline stages of the modelled core.
+///
+/// The names follow Fig. 4 of the paper: *Address*, *Fetch*, *Decode*,
+/// *Execute*, *Mem/Control* and *Writeback*. The short labels used by the
+/// paper's Fig. 6 (`ADR`, `FE`, `DC`, `EX`, `CTRL`, `WB`) are available via
+/// [`Stage::label`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Stage {
+    /// Address generation / instruction-memory address setup (`ADR`).
+    Address,
+    /// Instruction fetch (`FE`).
+    Fetch,
+    /// Decode and register-file read (`DC`).
+    Decode,
+    /// Execute: ALU, multiplier, shifter, LSU address + data request (`EX`).
+    Execute,
+    /// Memory/control: data-memory return, alignment, control (`CTRL`).
+    Control,
+    /// Register-file writeback (`WB`).
+    Writeback,
+}
+
+impl Stage {
+    /// Number of pipeline stages.
+    pub const COUNT: usize = 6;
+
+    /// All stages in pipeline order.
+    pub const ALL: [Stage; Stage::COUNT] = [
+        Stage::Address,
+        Stage::Fetch,
+        Stage::Decode,
+        Stage::Execute,
+        Stage::Control,
+        Stage::Writeback,
+    ];
+
+    /// Dense index in pipeline order (`Address == 0`, `Writeback == 5`).
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            Stage::Address => 0,
+            Stage::Fetch => 1,
+            Stage::Decode => 2,
+            Stage::Execute => 3,
+            Stage::Control => 4,
+            Stage::Writeback => 5,
+        }
+    }
+
+    /// Inverse of [`Stage::index`].
+    #[must_use]
+    pub fn from_index(index: usize) -> Option<Stage> {
+        Stage::ALL.get(index).copied()
+    }
+
+    /// Short label as used in the paper's figures.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::Address => "ADR",
+            Stage::Fetch => "FE",
+            Stage::Decode => "DC",
+            Stage::Execute => "EX",
+            Stage::Control => "CTRL",
+            Stage::Writeback => "WB",
+        }
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_ordered() {
+        for (i, stage) in Stage::ALL.iter().enumerate() {
+            assert_eq!(stage.index(), i);
+            assert_eq!(Stage::from_index(i), Some(*stage));
+        }
+        assert_eq!(Stage::from_index(6), None);
+    }
+
+    #[test]
+    fn labels_match_paper_figure6() {
+        let labels: Vec<&str> = Stage::ALL.iter().map(|s| s.label()).collect();
+        assert_eq!(labels, vec!["ADR", "FE", "DC", "EX", "CTRL", "WB"]);
+    }
+}

@@ -1,0 +1,202 @@
+use crate::{CycleRecord, Occupant, Stage};
+use idca_isa::TimingClass;
+use serde::{Deserialize, Serialize};
+
+/// The full per-cycle record of one program execution on the pipeline.
+///
+/// A `PipelineTrace` is the software equivalent of the paper's gate-level
+/// simulation dump: it contains, for every clock cycle, the instruction in
+/// flight in every stage plus the activity descriptors needed to derive
+/// dynamic path delays.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineTrace {
+    cycles: Vec<CycleRecord>,
+    retired: u64,
+}
+
+impl PipelineTrace {
+    /// Creates a trace from raw parts (used by the simulator).
+    #[must_use]
+    pub fn from_parts(cycles: Vec<CycleRecord>, retired: u64) -> Self {
+        PipelineTrace { cycles, retired }
+    }
+
+    /// Number of simulated cycles.
+    #[must_use]
+    pub fn cycle_count(&self) -> u64 {
+        self.cycles.len() as u64
+    }
+
+    /// Number of architecturally retired instructions.
+    #[must_use]
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Retired instructions per cycle.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.cycles.is_empty() {
+            0.0
+        } else {
+            self.retired as f64 / self.cycles.len() as f64
+        }
+    }
+
+    /// The per-cycle records in execution order.
+    #[must_use]
+    pub fn cycles(&self) -> &[CycleRecord] {
+        &self.cycles
+    }
+
+    /// Iterates over the per-cycle records.
+    pub fn iter(&self) -> std::slice::Iter<'_, CycleRecord> {
+        self.cycles.iter()
+    }
+
+    /// Aggregates occupancy statistics over the whole trace.
+    #[must_use]
+    pub fn stats(&self) -> TraceStats {
+        let mut stats = TraceStats::default();
+        stats.cycles = self.cycle_count();
+        stats.retired = self.retired;
+        for record in &self.cycles {
+            for stage in Stage::ALL {
+                let occupant = record.occupant(stage);
+                if stage == Stage::Execute {
+                    let class = occupant.timing_class();
+                    stats.execute_class_counts[class.index()] += 1;
+                    if !occupant.is_insn() {
+                        stats.execute_bubbles += 1;
+                    }
+                }
+            }
+            if let Some(exec) = &record.exec {
+                if exec.mem_request.is_some() {
+                    stats.memory_accesses += 1;
+                }
+                if let Some(branch) = &exec.branch {
+                    stats.branches += 1;
+                    if branch.taken {
+                        stats.taken_branches += 1;
+                    }
+                }
+                if exec.mul_active {
+                    stats.multiplications += 1;
+                }
+                if exec.forward_a.is_some() || exec.forward_b.is_some() {
+                    stats.forwarded_cycles += 1;
+                }
+            }
+            if record.stalled {
+                stats.stall_cycles += 1;
+            }
+        }
+        stats
+    }
+}
+
+impl<'a> IntoIterator for &'a PipelineTrace {
+    type Item = &'a CycleRecord;
+    type IntoIter = std::slice::Iter<'a, CycleRecord>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.cycles.iter()
+    }
+}
+
+/// Aggregate statistics of a [`PipelineTrace`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Architecturally retired instructions.
+    pub retired: u64,
+    /// Cycles in which the execute stage held each timing class
+    /// (indexed by [`TimingClass::index`]).
+    pub execute_class_counts: [u64; TimingClass::COUNT],
+    /// Cycles in which the execute stage held a bubble.
+    pub execute_bubbles: u64,
+    /// Data-memory accesses issued.
+    pub memory_accesses: u64,
+    /// Branch/jump instructions executed.
+    pub branches: u64,
+    /// Taken branches/jumps.
+    pub taken_branches: u64,
+    /// Multiplications executed.
+    pub multiplications: u64,
+    /// Cycles in which at least one operand was forwarded.
+    pub forwarded_cycles: u64,
+    /// Cycles lost to stalls.
+    pub stall_cycles: u64,
+}
+
+impl TraceStats {
+    /// Number of execute-stage cycles occupied by a given timing class.
+    #[must_use]
+    pub fn class_count(&self, class: TimingClass) -> u64 {
+        self.execute_class_counts[class.index()]
+    }
+
+    /// Fraction of cycles whose execute stage held a real instruction.
+    #[must_use]
+    pub fn execute_occupancy(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            1.0 - self.execute_bubbles as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// Convenience helper for tests and reports: the timing class present in a
+/// given stage at a given cycle, or `Bubble` when the index is out of range.
+#[must_use]
+pub fn class_at(trace: &PipelineTrace, cycle: usize, stage: Stage) -> TimingClass {
+    trace
+        .cycles()
+        .get(cycle)
+        .map_or(TimingClass::Bubble, |c| c.timing_class(stage))
+}
+
+/// Returns the occupant of a stage at a given cycle (test helper).
+#[must_use]
+pub fn occupant_at(trace: &PipelineTrace, cycle: usize, stage: Stage) -> Option<Occupant> {
+    trace.cycles().get(cycle).map(|c| *c.occupant(stage))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BubbleKind;
+
+    fn empty_record(cycle: u64) -> CycleRecord {
+        CycleRecord {
+            cycle,
+            stages: [Occupant::Bubble(BubbleKind::Reset); Stage::COUNT],
+            exec: None,
+            mem_return: None,
+            writeback: None,
+            fetch_address: 0,
+            fetch_redirected: false,
+            stalled: false,
+        }
+    }
+
+    #[test]
+    fn empty_trace_has_zero_ipc() {
+        let trace = PipelineTrace::from_parts(vec![], 0);
+        assert_eq!(trace.ipc(), 0.0);
+        assert_eq!(trace.cycle_count(), 0);
+    }
+
+    #[test]
+    fn stats_count_bubbles() {
+        let trace = PipelineTrace::from_parts(vec![empty_record(0), empty_record(1)], 0);
+        let stats = trace.stats();
+        assert_eq!(stats.cycles, 2);
+        assert_eq!(stats.execute_bubbles, 2);
+        assert_eq!(stats.class_count(TimingClass::Bubble), 2);
+        assert_eq!(stats.execute_occupancy(), 0.0);
+    }
+}

@@ -1,0 +1,354 @@
+//! Dynamic timing analysis (DTA).
+//!
+//! The paper's DTA tool consumes the event log of a gate-level simulation
+//! and, per cycle, relates the last data arrival of every endpoint to the
+//! next capturing clock edge, yielding the *dynamic* slack that static
+//! timing analysis cannot see (it has no notion of path activation
+//! probability). Endpoints are then grouped by pipeline stage, and the
+//! per-stage per-cycle maxima are combined with the program trace to obtain
+//! per-instruction-class worst-case delays — the content of the delay
+//! prediction LUT — plus the distributions shown in Figs. 5–7.
+//!
+//! [`DynamicTimingAnalysis::run`] performs the whole flow directly from a
+//! [`TimingModel`] and a [`PipelineTrace`]; [`DynamicTimingAnalysis::from_event_log`]
+//! consumes a pre-recorded [`EventLog`] instead (the two are equivalent, the
+//! latter mirrors the paper's file-based tool chain).
+
+use crate::{EventLog, Histogram, Ps, TimingModel};
+use idca_isa::TimingClass;
+use idca_pipeline::{PipelineTrace, Stage};
+use serde::{Deserialize, Serialize};
+
+/// Result of a dynamic timing analysis over one execution trace.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DynamicTimingAnalysis {
+    static_period_ps: Ps,
+    cycles: u64,
+    sum_cycle_max: f64,
+    max_cycle_delay: Ps,
+    cycle_histogram: Histogram,
+    limiting_counts: [u64; Stage::COUNT],
+    class_stage_max: Vec<Ps>,
+    class_stage_counts: Vec<u64>,
+    class_stage_hist: Vec<Histogram>,
+}
+
+fn table_index(stage: Stage, class: TimingClass) -> usize {
+    stage.index() * TimingClass::COUNT + class.index()
+}
+
+impl DynamicTimingAnalysis {
+    fn empty(static_period_ps: Ps) -> Self {
+        let hist_max = static_period_ps * 1.05;
+        DynamicTimingAnalysis {
+            static_period_ps,
+            cycles: 0,
+            sum_cycle_max: 0.0,
+            max_cycle_delay: 0.0,
+            cycle_histogram: Histogram::new(0.0, hist_max, 25.0),
+            limiting_counts: [0; Stage::COUNT],
+            class_stage_max: vec![0.0; Stage::COUNT * TimingClass::COUNT],
+            class_stage_counts: vec![0; Stage::COUNT * TimingClass::COUNT],
+            class_stage_hist: (0..Stage::COUNT * TimingClass::COUNT)
+                .map(|_| Histogram::new(0.0, hist_max, 50.0))
+                .collect(),
+        }
+    }
+
+    /// Runs the analysis directly from the timing model and a pipeline trace
+    /// (gate-level simulation substitute and DTA in one step).
+    #[must_use]
+    pub fn run(model: &TimingModel, trace: &PipelineTrace) -> Self {
+        let mut dta = Self::empty(model.static_period_ps());
+        for record in trace.cycles() {
+            let timing = model.cycle_timing(record);
+            let classes: Vec<TimingClass> =
+                Stage::ALL.iter().map(|s| record.timing_class(*s)).collect();
+            dta.accumulate_cycle(&timing.stage_delay_ps, &classes);
+        }
+        dta
+    }
+
+    /// Runs the analysis from a pre-recorded endpoint event log plus the
+    /// trace used to generate it (needed to attribute delays to instruction
+    /// classes, like the paper's "PC trace" input).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event log references an endpoint it does not describe.
+    #[must_use]
+    pub fn from_event_log(log: &EventLog, trace: &PipelineTrace, static_period_ps: Ps) -> Self {
+        let mut dta = Self::empty(static_period_ps);
+        let mut per_cycle = vec![[0.0f64; Stage::COUNT]; trace.cycles().len()];
+        for event in log.events() {
+            let endpoint = log
+                .endpoint(event.endpoint)
+                .expect("event references a described endpoint");
+            let delay = event.effective_delay_ps(endpoint);
+            if let Some(entry) = per_cycle.get_mut(event.cycle as usize) {
+                let slot = &mut entry[endpoint.stage.index()];
+                if delay > *slot {
+                    *slot = delay;
+                }
+            }
+        }
+        for (record, delays) in trace.cycles().iter().zip(&per_cycle) {
+            let classes: Vec<TimingClass> =
+                Stage::ALL.iter().map(|s| record.timing_class(*s)).collect();
+            dta.accumulate_cycle(delays, &classes);
+        }
+        dta
+    }
+
+    fn accumulate_cycle(&mut self, delays: &[Ps; Stage::COUNT], classes: &[TimingClass]) {
+        self.cycles += 1;
+        let mut max_delay = 0.0;
+        let mut limiting = Stage::Execute;
+        for stage in Stage::ALL {
+            let delay = delays[stage.index()];
+            let class = classes[stage.index()];
+            let idx = table_index(stage, class);
+            self.class_stage_counts[idx] += 1;
+            self.class_stage_hist[idx].add(delay);
+            if delay > self.class_stage_max[idx] {
+                self.class_stage_max[idx] = delay;
+            }
+            if delay > max_delay {
+                max_delay = delay;
+                limiting = stage;
+            }
+        }
+        self.sum_cycle_max += max_delay;
+        self.max_cycle_delay = self.max_cycle_delay.max(max_delay);
+        self.cycle_histogram.add(max_delay);
+        self.limiting_counts[limiting.index()] += 1;
+    }
+
+    /// Number of cycles analysed.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Static-timing-analysis period the analysis compares against.
+    #[must_use]
+    pub fn static_period_ps(&self) -> Ps {
+        self.static_period_ps
+    }
+
+    /// Mean of the per-cycle maximum dynamic delay (the 1334 ps of Fig. 5).
+    #[must_use]
+    pub fn mean_cycle_delay_ps(&self) -> Ps {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.sum_cycle_max / self.cycles as f64
+        }
+    }
+
+    /// Largest per-cycle delay observed anywhere in the trace.
+    #[must_use]
+    pub fn max_cycle_delay_ps(&self) -> Ps {
+        self.max_cycle_delay
+    }
+
+    /// Mean dynamic slack per cycle with respect to the static period.
+    #[must_use]
+    pub fn mean_slack_ps(&self) -> Ps {
+        self.static_period_ps - self.mean_cycle_delay_ps()
+    }
+
+    /// The genie-aided (oracle) speedup: adjusting the clock each cycle to
+    /// the exact dynamic delay, as in §IV-A of the paper (≈ 1.5×).
+    #[must_use]
+    pub fn genie_speedup(&self) -> f64 {
+        if self.mean_cycle_delay_ps() == 0.0 {
+            1.0
+        } else {
+            self.static_period_ps / self.mean_cycle_delay_ps()
+        }
+    }
+
+    /// Histogram of the per-cycle maximum dynamic delay (Fig. 5).
+    #[must_use]
+    pub fn cycle_histogram(&self) -> &Histogram {
+        &self.cycle_histogram
+    }
+
+    /// How many cycles each stage was the limiting one (Fig. 6).
+    #[must_use]
+    pub fn limiting_counts(&self) -> [u64; Stage::COUNT] {
+        self.limiting_counts
+    }
+
+    /// Fraction of cycles in which `stage` owned the limiting path (Fig. 6).
+    #[must_use]
+    pub fn limiting_fraction(&self, stage: Stage) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.limiting_counts[stage.index()] as f64 / self.cycles as f64
+        }
+    }
+
+    /// Worst observed dynamic delay of `class` in `stage` (a delay-LUT entry).
+    #[must_use]
+    pub fn observed_worst_ps(&self, stage: Stage, class: TimingClass) -> Ps {
+        self.class_stage_max[table_index(stage, class)]
+    }
+
+    /// Number of cycles `class` was observed in `stage` (used to decide
+    /// whether the characterization of an instruction is trustworthy).
+    #[must_use]
+    pub fn observations(&self, stage: Stage, class: TimingClass) -> u64 {
+        self.class_stage_counts[table_index(stage, class)]
+    }
+
+    /// The worst observed delay of a class across all stages together with
+    /// the limiting stage (one row of Table II).
+    #[must_use]
+    pub fn class_worst_case(&self, class: TimingClass) -> (Stage, Ps) {
+        let mut best = (Stage::Execute, 0.0);
+        for stage in Stage::ALL {
+            let v = self.observed_worst_ps(stage, class);
+            if v > best.1 {
+                best = (stage, v);
+            }
+        }
+        best
+    }
+
+    /// Per-stage delay histogram of one instruction class (Fig. 7 uses the
+    /// six histograms of `l.mul`).
+    #[must_use]
+    pub fn stage_histogram(&self, stage: Stage, class: TimingClass) -> &Histogram {
+        &self.class_stage_hist[table_index(stage, class)]
+    }
+
+    /// Total number of cycles a class spent in the execute stage.
+    #[must_use]
+    pub fn execute_occurrences(&self, class: TimingClass) -> u64 {
+        self.observations(Stage::Execute, class)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProfileKind;
+    use idca_isa::asm::Assembler;
+    use idca_pipeline::{SimConfig, Simulator};
+
+    fn trace(src: &str) -> PipelineTrace {
+        let program = Assembler::new().assemble(src).expect("assembles");
+        Simulator::new(SimConfig::default())
+            .run(&program)
+            .expect("runs")
+            .trace
+    }
+
+    fn mixed_trace() -> PipelineTrace {
+        trace(
+            "        l.addi r1, r0, 0x200
+                     l.addi r3, r0, 64
+                     l.addi r4, r0, 0
+             loop:   l.mul  r5, r3, r3
+                     l.sw   0(r1), r5
+                     l.lwz  r6, 0(r1)
+                     l.add  r4, r4, r6
+                     l.xor  r7, r4, r3
+                     l.slli r8, r7, 3
+                     l.addi r3, r3, -1
+                     l.sfne r3, r0
+                     l.bf   loop
+                     l.addi r1, r1, 4
+                     l.nop  1",
+        )
+    }
+
+    #[test]
+    fn dynamic_margins_exist_below_static_period() {
+        let model = TimingModel::at_nominal(ProfileKind::CriticalRangeOptimized);
+        let dta = DynamicTimingAnalysis::run(&model, &mixed_trace());
+        assert!(dta.cycles() > 100);
+        assert!(dta.mean_cycle_delay_ps() < model.static_period_ps());
+        assert!(dta.genie_speedup() > 1.1);
+        assert!(dta.max_cycle_delay_ps() <= model.static_period_ps());
+        assert!(dta.mean_slack_ps() > 0.0);
+    }
+
+    #[test]
+    fn execute_stage_dominates_limiting_cycles() {
+        let model = TimingModel::at_nominal(ProfileKind::CriticalRangeOptimized);
+        let dta = DynamicTimingAnalysis::run(&model, &mixed_trace());
+        let ex = dta.limiting_fraction(Stage::Execute);
+        assert!(ex > 0.5, "execute stage should dominate, got {ex}");
+        let total: f64 = Stage::ALL.iter().map(|s| dta.limiting_fraction(*s)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mul_observed_worst_exceeds_add() {
+        let model = TimingModel::at_nominal(ProfileKind::CriticalRangeOptimized);
+        let dta = DynamicTimingAnalysis::run(&model, &mixed_trace());
+        let (mul_stage, mul_worst) = dta.class_worst_case(TimingClass::Mul);
+        let (_, add_worst) = dta.class_worst_case(TimingClass::Add);
+        assert_eq!(mul_stage, Stage::Execute);
+        assert!(mul_worst > add_worst);
+        assert!(mul_worst <= model.worst_case_ps(Stage::Execute, TimingClass::Mul) + 1e-9);
+    }
+
+    #[test]
+    fn observed_worst_never_exceeds_profile_worst() {
+        let model = TimingModel::at_nominal(ProfileKind::CriticalRangeOptimized);
+        let dta = DynamicTimingAnalysis::run(&model, &mixed_trace());
+        for stage in Stage::ALL {
+            for class in TimingClass::ALL {
+                assert!(
+                    dta.observed_worst_ps(stage, class)
+                        <= model.worst_case_ps(stage, class) + 1e-9,
+                    "{stage}/{class}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn event_log_path_matches_direct_path() {
+        let model = TimingModel::at_nominal(ProfileKind::CriticalRangeOptimized);
+        let t = mixed_trace();
+        let direct = DynamicTimingAnalysis::run(&model, &t);
+        let log = model.event_log(&t);
+        let via_log = DynamicTimingAnalysis::from_event_log(&log, &t, model.static_period_ps());
+        // The event log carries per-endpoint arrivals whose per-stage maxima
+        // equal the model's stage delays, so both paths must agree on the
+        // aggregate statistics.
+        assert!((direct.mean_cycle_delay_ps() - via_log.mean_cycle_delay_ps()).abs() < 1.0);
+        assert_eq!(direct.cycles(), via_log.cycles());
+        assert_eq!(
+            direct.limiting_counts()[Stage::Execute.index()],
+            via_log.limiting_counts()[Stage::Execute.index()]
+        );
+    }
+
+    #[test]
+    fn mul_stage_histograms_show_execute_concentration() {
+        let model = TimingModel::at_nominal(ProfileKind::CriticalRangeOptimized);
+        let dta = DynamicTimingAnalysis::run(&model, &mixed_trace());
+        let ex_hist = dta.stage_histogram(Stage::Execute, TimingClass::Mul);
+        let wb_hist = dta.stage_histogram(Stage::Writeback, TimingClass::Mul);
+        assert!(ex_hist.count() > 0);
+        assert!(wb_hist.count() > 0);
+        assert!(ex_hist.mean() > wb_hist.mean() + 300.0);
+    }
+
+    #[test]
+    fn empty_trace_is_handled() {
+        let model = TimingModel::at_nominal(ProfileKind::CriticalRangeOptimized);
+        let empty = PipelineTrace::from_parts(vec![], 0);
+        let dta = DynamicTimingAnalysis::run(&model, &empty);
+        assert_eq!(dta.cycles(), 0);
+        assert_eq!(dta.mean_cycle_delay_ps(), 0.0);
+        assert_eq!(dta.genie_speedup(), 1.0);
+    }
+}

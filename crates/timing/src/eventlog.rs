@@ -1,0 +1,193 @@
+//! The endpoint event log — the software equivalent of the paper's
+//! gate-level simulation dump (TSSI event log).
+//!
+//! The paper's flow monitors the data and clock pins of every flip-flop and
+//! SRAM macro during gate-level simulation and writes, for every cycle, the
+//! time of the last data event relative to the capturing clock edge. The
+//! [`TimingModel`](crate::TimingModel) produces the same information for the
+//! modelled endpoints; [`dta`](crate::dta) consumes it.
+
+use crate::Ps;
+use idca_pipeline::Stage;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of one sequential endpoint (flip-flop group or SRAM macro pin).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct EndpointId(pub u16);
+
+/// Static description of one timing endpoint of the design.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Endpoint {
+    /// Stable identifier.
+    pub id: EndpointId,
+    /// Hierarchical name (e.g. `u_exec/result_reg`).
+    pub name: String,
+    /// Pipeline stage this endpoint belongs to (the "pipeline specification"
+    /// the paper's DTA tool receives).
+    pub stage: Stage,
+    /// Useful clock skew at this endpoint in picoseconds (positive skew
+    /// gives the capturing register extra time).
+    pub clock_skew_ps: Ps,
+    /// Setup requirement of the endpoint in picoseconds.
+    pub setup_ps: Ps,
+    /// `true` for SRAM macro pins (instruction/data memory), which have a
+    /// larger setup requirement than ordinary flip-flops.
+    pub is_macro: bool,
+}
+
+/// One observation: the last data-arrival time at an endpoint in one cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EndpointEvent {
+    /// Cycle index.
+    pub cycle: u64,
+    /// Which endpoint toggled.
+    pub endpoint: EndpointId,
+    /// Time of the last data event, measured from the launching clock edge,
+    /// in picoseconds (excluding setup).
+    pub data_arrival_ps: Ps,
+}
+
+impl EndpointEvent {
+    /// The *effective delay* the capturing clock period must cover:
+    /// arrival plus the endpoint's setup requirement minus its useful skew.
+    #[must_use]
+    pub fn effective_delay_ps(&self, endpoint: &Endpoint) -> Ps {
+        self.data_arrival_ps + endpoint.setup_ps - endpoint.clock_skew_ps
+    }
+
+    /// Dynamic slack with respect to a given clock period.
+    #[must_use]
+    pub fn slack_ps(&self, endpoint: &Endpoint, period_ps: Ps) -> Ps {
+        period_ps - self.effective_delay_ps(endpoint)
+    }
+}
+
+/// A complete event log: endpoint descriptions plus per-cycle events.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventLog {
+    endpoints: Vec<Endpoint>,
+    events: Vec<EndpointEvent>,
+    /// The (slow, always-safe) clock period at which the gate-level
+    /// simulation substitute was run, in picoseconds.
+    sim_period_ps: Ps,
+}
+
+impl EventLog {
+    /// Creates an empty log for the given endpoint set and simulation period.
+    #[must_use]
+    pub fn new(endpoints: Vec<Endpoint>, sim_period_ps: Ps) -> Self {
+        EventLog {
+            endpoints,
+            events: Vec::new(),
+            sim_period_ps,
+        }
+    }
+
+    /// The endpoint descriptions.
+    #[must_use]
+    pub fn endpoints(&self) -> &[Endpoint] {
+        &self.endpoints
+    }
+
+    /// Looks up an endpoint description by id.
+    #[must_use]
+    pub fn endpoint(&self, id: EndpointId) -> Option<&Endpoint> {
+        self.endpoints.iter().find(|e| e.id == id)
+    }
+
+    /// The recorded events in insertion (cycle) order.
+    #[must_use]
+    pub fn events(&self) -> &[EndpointEvent] {
+        &self.events
+    }
+
+    /// The clock period of the characterization simulation.
+    #[must_use]
+    pub fn sim_period_ps(&self) -> Ps {
+        self.sim_period_ps
+    }
+
+    /// Appends one event.
+    pub fn push(&mut self, event: EndpointEvent) {
+        self.events.push(event);
+    }
+
+    /// Number of recorded events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when no event has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Worst (minimum) slack over all events, with respect to the
+    /// simulation period. Returns `None` for an empty log.
+    #[must_use]
+    pub fn worst_slack_ps(&self) -> Option<Ps> {
+        self.events
+            .iter()
+            .filter_map(|ev| self.endpoint(ev.endpoint).map(|ep| ev.slack_ps(ep, self.sim_period_ps)))
+            .fold(None, |acc, s| Some(acc.map_or(s, |a: Ps| a.min(s))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn endpoint(id: u16, stage: Stage, skew: Ps, setup: Ps) -> Endpoint {
+        Endpoint {
+            id: EndpointId(id),
+            name: format!("ep{id}"),
+            stage,
+            clock_skew_ps: skew,
+            setup_ps: setup,
+            is_macro: false,
+        }
+    }
+
+    #[test]
+    fn effective_delay_accounts_for_skew_and_setup() {
+        let ep = endpoint(1, Stage::Execute, 20.0, 35.0);
+        let ev = EndpointEvent {
+            cycle: 0,
+            endpoint: EndpointId(1),
+            data_arrival_ps: 1400.0,
+        };
+        assert_eq!(ev.effective_delay_ps(&ep), 1415.0);
+        assert_eq!(ev.slack_ps(&ep, 2026.0), 2026.0 - 1415.0);
+    }
+
+    #[test]
+    fn worst_slack_finds_minimum() {
+        let eps = vec![
+            endpoint(1, Stage::Execute, 0.0, 0.0),
+            endpoint(2, Stage::Control, 0.0, 0.0),
+        ];
+        let mut log = EventLog::new(eps, 2000.0);
+        log.push(EndpointEvent {
+            cycle: 0,
+            endpoint: EndpointId(1),
+            data_arrival_ps: 1500.0,
+        });
+        log.push(EndpointEvent {
+            cycle: 0,
+            endpoint: EndpointId(2),
+            data_arrival_ps: 1900.0,
+        });
+        assert_eq!(log.worst_slack_ps(), Some(100.0));
+        assert_eq!(log.len(), 2);
+    }
+
+    #[test]
+    fn empty_log_has_no_worst_slack() {
+        let log = EventLog::new(vec![], 2000.0);
+        assert!(log.is_empty());
+        assert_eq!(log.worst_slack_ps(), None);
+    }
+}

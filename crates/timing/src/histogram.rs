@@ -1,0 +1,207 @@
+use crate::Ps;
+use serde::{Deserialize, Serialize};
+
+/// A simple fixed-bin histogram over picosecond values, used for the delay
+/// distributions of Figs. 5 and 7 of the paper.
+///
+/// # Example
+///
+/// ```
+/// use idca_timing::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 2000.0, 100.0);
+/// h.add(1334.0);
+/// h.add(1467.0);
+/// assert_eq!(h.count(), 2);
+/// assert!((h.mean() - 1400.5).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    min: Ps,
+    max: Ps,
+    bin_width: Ps,
+    counts: Vec<u64>,
+    total: u64,
+    sum: f64,
+    observed_min: Ps,
+    observed_max: Ps,
+}
+
+impl Histogram {
+    /// Creates a histogram covering `[min, max)` with bins of `bin_width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max <= min` or `bin_width <= 0`.
+    #[must_use]
+    pub fn new(min: Ps, max: Ps, bin_width: Ps) -> Self {
+        assert!(max > min, "histogram range must be non-empty");
+        assert!(bin_width > 0.0, "bin width must be positive");
+        let bins = ((max - min) / bin_width).ceil() as usize;
+        Histogram {
+            min,
+            max,
+            bin_width,
+            counts: vec![0; bins.max(1)],
+            total: 0,
+            sum: 0.0,
+            observed_min: Ps::INFINITY,
+            observed_max: Ps::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one sample. Samples outside the range are clamped into the first
+    /// or last bin so nothing is silently dropped.
+    pub fn add(&mut self, value: Ps) {
+        let clamped = value.clamp(self.min, self.max - 1e-9);
+        let bin = ((clamped - self.min) / self.bin_width) as usize;
+        let bin = bin.min(self.counts.len() - 1);
+        self.counts[bin] += 1;
+        self.total += 1;
+        self.sum += value;
+        self.observed_min = self.observed_min.min(value);
+        self.observed_max = self.observed_max.max(value);
+    }
+
+    /// Number of samples added.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Arithmetic mean of all added samples (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> Ps {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum / self.total as f64
+        }
+    }
+
+    /// Smallest sample seen (`NaN` when empty).
+    #[must_use]
+    pub fn observed_min(&self) -> Ps {
+        if self.total == 0 {
+            Ps::NAN
+        } else {
+            self.observed_min
+        }
+    }
+
+    /// Largest sample seen (`NaN` when empty).
+    #[must_use]
+    pub fn observed_max(&self) -> Ps {
+        if self.total == 0 {
+            Ps::NAN
+        } else {
+            self.observed_max
+        }
+    }
+
+    /// Approximate percentile (0.0–1.0) computed from the binned counts.
+    #[must_use]
+    pub fn percentile(&self, q: f64) -> Ps {
+        if self.total == 0 {
+            return Ps::NAN;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= target.max(1) {
+                return self.min + (i as f64 + 0.5) * self.bin_width;
+            }
+        }
+        self.max
+    }
+
+    /// Iterates over `(bin_lower_edge, count)` pairs.
+    pub fn bins(&self) -> impl Iterator<Item = (Ps, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (self.min + i as f64 * self.bin_width, c))
+    }
+
+    /// Renders a compact ASCII bar chart (used by the `repro` harness).
+    #[must_use]
+    pub fn to_ascii(&self, width: usize) -> String {
+        let peak = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (edge, count) in self.bins() {
+            if count == 0 {
+                continue;
+            }
+            let bar = "#".repeat(((count as f64 / peak as f64) * width as f64).ceil() as usize);
+            out.push_str(&format!("{edge:7.0} ps | {bar} {count}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_land_in_expected_bins() {
+        let mut h = Histogram::new(0.0, 100.0, 10.0);
+        h.add(5.0);
+        h.add(15.0);
+        h.add(15.5);
+        h.add(99.9);
+        let bins: Vec<(Ps, u64)> = h.bins().collect();
+        assert_eq!(bins[0].1, 1);
+        assert_eq!(bins[1].1, 2);
+        assert_eq!(bins[9].1, 1);
+        assert_eq!(h.count(), 4);
+    }
+
+    #[test]
+    fn out_of_range_samples_are_clamped_not_dropped() {
+        let mut h = Histogram::new(0.0, 10.0, 1.0);
+        h.add(-5.0);
+        h.add(50.0);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.observed_max(), 50.0);
+        assert_eq!(h.observed_min(), -5.0);
+    }
+
+    #[test]
+    fn mean_and_percentiles() {
+        let mut h = Histogram::new(0.0, 100.0, 1.0);
+        for v in 1..=100 {
+            h.add(f64::from(v));
+        }
+        assert!((h.mean() - 50.5).abs() < 1e-9);
+        let median = h.percentile(0.5);
+        assert!((45.0..=55.0).contains(&median));
+        assert!(h.percentile(1.0) >= 99.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_well_behaved() {
+        let h = Histogram::new(0.0, 10.0, 1.0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.observed_min().is_nan());
+        assert!(h.percentile(0.5).is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "bin width must be positive")]
+    fn zero_bin_width_panics() {
+        let _ = Histogram::new(0.0, 10.0, 0.0);
+    }
+
+    #[test]
+    fn ascii_rendering_mentions_populated_bins() {
+        let mut h = Histogram::new(0.0, 30.0, 10.0);
+        h.add(5.0);
+        h.add(25.0);
+        let text = h.to_ascii(20);
+        assert!(text.contains("0 ps"));
+        assert!(text.contains("20 ps"));
+    }
+}

@@ -1,0 +1,82 @@
+//! # idca-timing — synthetic post-layout timing model and dynamic timing analysis
+//!
+//! The paper extracts dynamic timing margins from a placed-and-routed 28 nm
+//! FDSOI implementation of an OpenRISC core: gate-level simulation with SDF
+//! back-annotation produces an event log of data/clock arrivals at every
+//! sequential endpoint, a dynamic-timing-analysis (DTA) tool turns that log
+//! into per-stage, per-cycle and per-instruction delay statistics, and a
+//! characterized cell library provides voltage/frequency/power trade-offs.
+//!
+//! None of those proprietary inputs (RTL, EDA tools, foundry libraries) are
+//! available, so this crate provides a **synthetic but structurally faithful
+//! substitute** (see `DESIGN.md` for the substitution argument):
+//!
+//! * [`CellLibrary`] / [`OperatingPoint`] — a 28 nm-FDSOI-like library
+//!   characterized from 0.50 V to 0.90 V (delay scaling, dynamic energy,
+//!   leakage), calibrated so the core's static timing limit at 0.70 V equals
+//!   the paper's 2026 ps / 494 MHz.
+//! * [`TimingProfile`] — the population of timing paths of the design, per
+//!   pipeline stage and instruction class, in two flavours:
+//!   [`ProfileKind::CriticalRangeOptimized`] (the paper's many-short-paths
+//!   implementation) and [`ProfileKind::Conventional`] (the "timing wall"
+//!   baseline). Worst-case per-class delays reproduce Tables I and II.
+//! * [`TimingModel`] — the gate-level-simulation substitute: given one
+//!   [`CycleRecord`](idca_pipeline::CycleRecord) from the pipeline simulator
+//!   it computes the data-arrival time of every modelled endpoint
+//!   (data-dependent: carry chains, multiplier activity, memory accesses,
+//!   forwarding, branch-target redirects) and can emit an [`EventLog`].
+//! * [`dta`] — the dynamic timing analysis: per-endpoint slack, per-stage
+//!   per-cycle maxima, limiting-stage statistics, per-instruction-class
+//!   worst-case delays and delay histograms (the data behind Figs. 5–7 and
+//!   Table II).
+//! * [`PowerModel`] — activity-based energy per cycle and µW/MHz at any
+//!   operating point, calibrated to the paper's 13.7 µW/MHz conventional
+//!   baseline at 0.70 V.
+//!
+//! # Example
+//!
+//! ```
+//! use idca_pipeline::{SimConfig, Simulator};
+//! use idca_timing::{ProfileKind, TimingModel, dta::DynamicTimingAnalysis};
+//! use idca_isa::asm::Assembler;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = Assembler::new().assemble(
+//!     "l.addi r3, r0, 100\nloop: l.addi r3, r3, -1\n l.sfne r3, r0\n l.bf loop\n l.nop 0\n l.nop 1\n",
+//! )?;
+//! let result = Simulator::new(SimConfig::default()).run(&program)?;
+//! let model = TimingModel::at_nominal(ProfileKind::CriticalRangeOptimized);
+//! let analysis = DynamicTimingAnalysis::run(&model, &result.trace);
+//! assert!(analysis.mean_cycle_delay_ps() < model.static_period_ps());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dta;
+mod eventlog;
+mod histogram;
+mod library;
+mod model;
+mod power;
+mod profile;
+
+pub use eventlog::{Endpoint, EndpointEvent, EndpointId, EventLog};
+pub use histogram::Histogram;
+pub use library::{CellLibrary, LibraryError, OperatingPoint};
+pub use model::{CycleTiming, TimingModel};
+pub use power::{ActivitySummary, PowerModel, PowerReport};
+pub use profile::{ProfileKind, StageClassDelays, TimingProfile};
+
+/// Picoseconds, the time unit used throughout the timing model.
+pub type Ps = f64;
+
+/// The nominal supply voltage (millivolts) at which the paper reports its
+/// headline numbers (0.70 V).
+pub const NOMINAL_VOLTAGE_MV: u32 = 700;
+
+/// The static-timing-analysis clock period of the critical-range-optimized
+/// core at the nominal voltage, in picoseconds (494 MHz in the paper).
+pub const STATIC_PERIOD_PS: Ps = 2026.0;

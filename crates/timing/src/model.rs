@@ -1,0 +1,546 @@
+//! The gate-level-simulation substitute: per-cycle dynamic delay evaluation.
+//!
+//! [`TimingModel`] combines a [`TimingProfile`] (which paths exist and how
+//! long they are in the worst case) with a [`CellLibrary`] operating point
+//! (how delays scale with supply voltage) and evaluates, for every cycle of
+//! a [`PipelineTrace`], the data-arrival times of the modelled endpoints.
+//! The data-dependent part of each delay is driven by the activity
+//! descriptors recorded by the pipeline simulator: carry-chain length in the
+//! adder, operand width at the multiplier, shift distance, operand toggling
+//! in the logic unit, memory requests, forwarding-mux activity and
+//! branch-target redirects.
+
+use crate::{
+    CellLibrary, Endpoint, EndpointEvent, EndpointId, EventLog, LibraryError, OperatingPoint,
+    ProfileKind, Ps, TimingProfile,
+};
+use idca_isa::TimingClass;
+use idca_pipeline::{CycleRecord, Occupant, PipelineTrace, Stage};
+
+/// The dynamic delay of every pipeline stage in one cycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CycleTiming {
+    /// Dynamic delay of each stage (indexed by [`Stage::index`]).
+    pub stage_delay_ps: [Ps; Stage::COUNT],
+    /// The largest stage delay: the minimum safe clock period for this cycle.
+    pub max_delay_ps: Ps,
+    /// The stage owning the largest delay.
+    pub limiting_stage: Stage,
+}
+
+impl CycleTiming {
+    /// Delay of one stage.
+    #[must_use]
+    pub fn stage(&self, stage: Stage) -> Ps {
+        self.stage_delay_ps[stage.index()]
+    }
+}
+
+/// The synthetic post-layout timing model of the core at one operating point.
+///
+/// See the crate-level documentation for an end-to-end example.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingModel {
+    profile: TimingProfile,
+    library: CellLibrary,
+    point: OperatingPoint,
+    endpoints: Vec<Endpoint>,
+}
+
+impl TimingModel {
+    /// Creates a model from an explicit profile, library and supply voltage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LibraryError::VoltageOutOfRange`] if the library has no
+    /// operating point at `voltage_mv`.
+    pub fn new(
+        profile: TimingProfile,
+        library: CellLibrary,
+        voltage_mv: u32,
+    ) -> Result<Self, LibraryError> {
+        let point = library.operating_point(voltage_mv)?;
+        Ok(TimingModel {
+            profile,
+            library,
+            point,
+            endpoints: default_endpoints(),
+        })
+    }
+
+    /// Convenience constructor: the given profile at the nominal 0.70 V point
+    /// of the default 28 nm library.
+    #[must_use]
+    pub fn at_nominal(kind: ProfileKind) -> Self {
+        Self::new(
+            TimingProfile::new(kind),
+            CellLibrary::fdsoi28(),
+            crate::NOMINAL_VOLTAGE_MV,
+        )
+        .expect("nominal voltage is always characterized")
+    }
+
+    /// Convenience constructor: the given profile at an arbitrary voltage of
+    /// the default library.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LibraryError::VoltageOutOfRange`] for voltages outside the
+    /// characterized range.
+    pub fn with_voltage(kind: ProfileKind, voltage_mv: u32) -> Result<Self, LibraryError> {
+        Self::new(TimingProfile::new(kind), CellLibrary::fdsoi28(), voltage_mv)
+    }
+
+    /// The timing profile in use.
+    #[must_use]
+    pub fn profile(&self) -> &TimingProfile {
+        &self.profile
+    }
+
+    /// The cell library in use.
+    #[must_use]
+    pub fn library(&self) -> &CellLibrary {
+        &self.library
+    }
+
+    /// The active operating point.
+    #[must_use]
+    pub fn operating_point(&self) -> OperatingPoint {
+        self.point
+    }
+
+    /// The static-timing-analysis clock period at the active operating point.
+    #[must_use]
+    pub fn static_period_ps(&self) -> Ps {
+        self.profile.static_period_ps() * self.point.delay_scale
+    }
+
+    /// Worst-case delay of `(stage, class)` at the active operating point.
+    #[must_use]
+    pub fn worst_case_ps(&self, stage: Stage, class: TimingClass) -> Ps {
+        self.profile.worst_case(stage, class) * self.point.delay_scale
+    }
+
+    /// The modelled sequential endpoints (flip-flop groups and SRAM pins).
+    #[must_use]
+    pub fn endpoints(&self) -> &[Endpoint] {
+        &self.endpoints
+    }
+
+    /// Evaluates the dynamic delay of every stage for one cycle.
+    #[must_use]
+    pub fn cycle_timing(&self, record: &CycleRecord) -> CycleTiming {
+        let mut delays = [0.0; Stage::COUNT];
+        let mut max_delay = 0.0;
+        let mut limiting = Stage::Execute;
+        for stage in Stage::ALL {
+            let delay = self.stage_delay_ps(record, stage);
+            delays[stage.index()] = delay;
+            if delay > max_delay {
+                max_delay = delay;
+                limiting = stage;
+            }
+        }
+        CycleTiming {
+            stage_delay_ps: delays,
+            max_delay_ps: max_delay,
+            limiting_stage: limiting,
+        }
+    }
+
+    /// Dynamic delay of one stage in one cycle.
+    #[must_use]
+    pub fn stage_delay_ps(&self, record: &CycleRecord, stage: Stage) -> Ps {
+        let class = record.timing_class(stage);
+        let base = self.profile.worst_case(stage, class);
+        let spread = self.profile.spread(stage, class);
+        let excitation = self.excitation(record, stage, class);
+        let delay = base - spread * (1.0 - excitation);
+        delay.max(base * 0.35) * self.point.delay_scale
+    }
+
+    /// Data-dependent excitation in `[0, 1]`: 1 excites the worst-case path
+    /// of the `(stage, class)` group, 0 the shortest relevant path.
+    fn excitation(&self, record: &CycleRecord, stage: Stage, class: TimingClass) -> f64 {
+        // The residual-variation dither is quantized to eight levels so that
+        // its supremum is actually *attained* after a modest number of
+        // observations — a characterization run therefore sees the same
+        // worst case that any longer benchmark run can produce.
+        let dither = quantize_dither(hash01(
+            record.cycle,
+            stage.index() as u64,
+            record.fetch_address.into(),
+        ));
+        let raw = match stage {
+            Stage::Address => {
+                if record.fetch_redirected && is_control_class(class) {
+                    // Branch-target adder + PC mux + instruction-memory
+                    // address setup: the long address-stage path.
+                    0.70 + 0.30 * dither
+                } else {
+                    0.30 + 0.40 * dither
+                }
+            }
+            Stage::Fetch => match record.occupant(stage) {
+                Occupant::Insn { insn, .. } => 0.25 + 0.75 * popcount_frac(insn.encode()),
+                Occupant::Bubble(_) => 0.35,
+            },
+            Stage::Decode => match record.occupant(stage) {
+                Occupant::Insn { insn, .. } => {
+                    let mut e = 0.35;
+                    if insn.opcode().reads_ra() {
+                        e += 0.18;
+                    }
+                    if insn.opcode().reads_rb() {
+                        e += 0.18;
+                    }
+                    if insn.imm().is_some() {
+                        e += 0.12;
+                    }
+                    e + 0.12 * dither
+                }
+                Occupant::Bubble(_) => 0.35,
+            },
+            Stage::Execute => self.execute_excitation(record, class),
+            Stage::Control => match class {
+                TimingClass::Load => {
+                    0.30 + 0.70 * popcount_frac(record.mem_return.unwrap_or(0))
+                }
+                TimingClass::Store => 0.35 + 0.45 * dither,
+                TimingClass::Mul => 0.45 + 0.35 * dither,
+                TimingClass::Bubble => 0.35,
+                _ => 0.35 + 0.35 * dither,
+            },
+            Stage::Writeback => match &record.writeback {
+                Some(wb) => 0.25 + 0.75 * popcount_frac(wb.value),
+                None => 0.35,
+            },
+        };
+        // Blend a little dither into every stage so repeated identical
+        // activity does not collapse onto a single delay value (modelling
+        // residual unmodelled variation such as crosstalk), while keeping the
+        // result bounded by the class worst-case.
+        (raw * 0.92 + 0.08 * dither).clamp(0.0, 1.0)
+    }
+
+    fn execute_excitation(&self, record: &CycleRecord, class: TimingClass) -> f64 {
+        let Some(exec) = &record.exec else {
+            return 0.40;
+        };
+        let mut e = match class {
+            TimingClass::Add | TimingClass::SetFlag => f64::from(exec.carry_chain) / 32.0,
+            TimingClass::Mul => f64::from(exec.mul_bits) / 32.0,
+            TimingClass::Shift => f64::from(exec.shift_amount) / 31.0,
+            TimingClass::And | TimingClass::Or | TimingClass::Xor | TimingClass::Move => {
+                popcount_frac(exec.op_a ^ exec.op_b)
+            }
+            TimingClass::Load | TimingClass::Store => {
+                // The LSU path (address adder → SRAM address/write pins) is
+                // driven by the address-generation carry chain and by how
+                // many address bits toggle at the macro inputs; the address
+                // space is 16 bits wide, so toggling is normalized to it.
+                let addr = exec.mem_request.map_or(0, |m| m.address);
+                let addr_toggle = f64::from((addr & 0xFFFF).count_ones()) / 16.0;
+                let drive = (f64::from(exec.carry_chain) / 32.0).max(addr_toggle);
+                0.45 + 0.55 * drive
+            }
+            TimingClass::BranchCond => {
+                if exec.branch.map_or(false, |b| b.taken) {
+                    0.85
+                } else {
+                    0.45
+                }
+            }
+            TimingClass::Jump => 0.55,
+            TimingClass::JumpReg => popcount_frac(exec.result).max(0.5),
+            TimingClass::Nop => 0.30,
+            TimingClass::Bubble => 0.40,
+        };
+        if exec.forward_a.is_some() || exec.forward_b.is_some() {
+            // The forwarding multiplexers lengthen the operand path.
+            e = (e + 0.12).min(1.0);
+        }
+        e
+    }
+
+    /// Appends the endpoint events of one cycle to an [`EventLog`].
+    pub fn append_events(&self, record: &CycleRecord, log: &mut EventLog) {
+        let timing = self.cycle_timing(record);
+        for endpoint in &self.endpoints {
+            let stage_delay = timing.stage(endpoint.stage);
+            let class = record.timing_class(endpoint.stage);
+            let share = self.endpoint_share(endpoint, class, record);
+            if share <= 0.0 {
+                continue;
+            }
+            let effective = stage_delay * share;
+            let arrival = (effective - endpoint.setup_ps + endpoint.clock_skew_ps).max(0.0);
+            log.push(EndpointEvent {
+                cycle: record.cycle,
+                endpoint: endpoint.id,
+                data_arrival_ps: arrival,
+            });
+        }
+    }
+
+    /// Builds a complete event log for a trace (the characterization
+    /// "gate-level simulation" step of the paper's flow).
+    #[must_use]
+    pub fn event_log(&self, trace: &PipelineTrace) -> EventLog {
+        // The characterization simulation runs at a comfortably slow clock
+        // (10 % above the static limit) so no violation can occur.
+        let mut log = EventLog::new(self.endpoints.clone(), self.static_period_ps() * 1.1);
+        for record in trace.cycles() {
+            self.append_events(record, &mut log);
+        }
+        log
+    }
+
+    /// Fraction of the stage delay attributed to a given endpoint for the
+    /// class currently occupying the stage. The *principal* endpoint of the
+    /// excited path group receives the full stage delay; secondary endpoints
+    /// receive shorter arrivals; irrelevant endpoints receive none.
+    fn endpoint_share(&self, endpoint: &Endpoint, class: TimingClass, record: &CycleRecord) -> f64 {
+        let dither = 0.85 + 0.10 * hash01(record.cycle, u64::from(endpoint.id.0), 17);
+        match (endpoint.stage, endpoint.name.as_str()) {
+            (Stage::Address, "u_fetch/imem_addr_pins") => 1.0,
+            (Stage::Address, _) => 0.80 * dither,
+            (Stage::Fetch, "u_fetch/insn_reg") => 1.0,
+            (Stage::Fetch, _) => 0.75 * dither,
+            (Stage::Decode, "u_decode/ctrl_reg") => 1.0,
+            (Stage::Decode, _) => 0.85 * dither,
+            (Stage::Execute, name) => match class {
+                TimingClass::Mul if name == "u_exec/mul_result_reg" => 1.0,
+                TimingClass::Mul => 0.55 * dither,
+                TimingClass::Load | TimingClass::Store if name == "u_lsu/dmem_addr_pins" => 1.0,
+                TimingClass::Load | TimingClass::Store if name == "u_lsu/dmem_wdata_pins" => {
+                    0.9 * dither
+                }
+                TimingClass::SetFlag | TimingClass::BranchCond if name == "u_exec/flag_reg" => 1.0,
+                _ if name == "u_exec/result_reg" => 1.0,
+                _ if name == "u_exec/mul_result_reg" => {
+                    // The shielded multiplier's inputs do not toggle for
+                    // non-multiply instructions (operand isolation), so its
+                    // result register sees no late events.
+                    0.0
+                }
+                _ => 0.7 * dither,
+            },
+            (Stage::Control, name) => match class {
+                TimingClass::Load if name == "u_ctrl/lsu_align_reg" => 1.0,
+                _ if name == "u_ctrl/result_reg" => 1.0,
+                _ => 0.75 * dither,
+            },
+            (Stage::Writeback, _) => 1.0,
+        }
+    }
+}
+
+fn is_control_class(class: TimingClass) -> bool {
+    matches!(
+        class,
+        TimingClass::Jump | TimingClass::JumpReg | TimingClass::BranchCond
+    )
+}
+
+fn popcount_frac(value: u32) -> f64 {
+    f64::from(value.count_ones()) / 32.0
+}
+
+/// Quantizes a `[0, 1)` dither value to eight discrete levels `0, 1/7, ..., 1`.
+fn quantize_dither(value: f64) -> f64 {
+    ((value * 8.0).floor() / 7.0).clamp(0.0, 1.0)
+}
+
+/// Deterministic pseudo-random value in `[0, 1)` derived from the cycle
+/// index and a couple of salts (split-mix style mixing). Keeping this
+/// hash-based rather than RNG-based makes every simulation bit-reproducible.
+fn hash01(a: u64, b: u64, c: u64) -> f64 {
+    let mut x = a
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(b.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(c.wrapping_mul(0x94D0_49BB_1331_11EB));
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+fn default_endpoints() -> Vec<Endpoint> {
+    let mut endpoints = Vec::new();
+    let mut id = 0u16;
+    let mut push = |name: &str, stage: Stage, skew: Ps, setup: Ps, is_macro: bool| {
+        endpoints.push(Endpoint {
+            id: EndpointId(id),
+            name: name.to_string(),
+            stage,
+            clock_skew_ps: skew,
+            setup_ps: setup,
+            is_macro,
+        });
+        id += 1;
+    };
+    push("u_fetch/pc_reg", Stage::Address, 12.0, 35.0, false);
+    push("u_fetch/imem_addr_pins", Stage::Address, 5.0, 120.0, true);
+    push("u_fetch/insn_reg", Stage::Fetch, 10.0, 35.0, false);
+    push("u_fetch/fetch_pc_reg", Stage::Fetch, 10.0, 35.0, false);
+    push("u_decode/ctrl_reg", Stage::Decode, 8.0, 35.0, false);
+    push("u_decode/operand_a_reg", Stage::Decode, 14.0, 35.0, false);
+    push("u_decode/operand_b_reg", Stage::Decode, 14.0, 35.0, false);
+    push("u_exec/result_reg", Stage::Execute, 18.0, 35.0, false);
+    push("u_exec/mul_result_reg", Stage::Execute, 22.0, 35.0, false);
+    push("u_exec/flag_reg", Stage::Execute, 10.0, 35.0, false);
+    push("u_lsu/dmem_addr_pins", Stage::Execute, 6.0, 120.0, true);
+    push("u_lsu/dmem_wdata_pins", Stage::Execute, 6.0, 120.0, true);
+    push("u_lsu/ctrl_reg", Stage::Execute, 12.0, 35.0, false);
+    push("u_ctrl/result_reg", Stage::Control, 16.0, 35.0, false);
+    push("u_ctrl/lsu_align_reg", Stage::Control, 12.0, 35.0, false);
+    push("u_ctrl/wb_mux_reg", Stage::Control, 10.0, 35.0, false);
+    push("u_rf/write_port", Stage::Writeback, 8.0, 60.0, false);
+    endpoints
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idca_isa::asm::Assembler;
+    use idca_pipeline::{SimConfig, Simulator};
+
+    fn trace(src: &str) -> PipelineTrace {
+        let program = Assembler::new().assemble(src).expect("assembles");
+        Simulator::new(SimConfig::default())
+            .run(&program)
+            .expect("runs")
+            .trace
+    }
+
+    #[test]
+    fn dynamic_delay_never_exceeds_class_worst_case() {
+        let model = TimingModel::at_nominal(ProfileKind::CriticalRangeOptimized);
+        let t = trace(
+            "l.movhi r4, 0xFFFF\n l.ori r4, r4, 0xFFFF\n l.addi r3, r0, 1\n\
+             l.add r5, r4, r3\n l.mul r6, r4, r4\n l.sw 0(r0), r6\n l.lwz r7, 0(r0)\n l.nop 1\n",
+        );
+        for record in t.cycles() {
+            let timing = model.cycle_timing(record);
+            for stage in Stage::ALL {
+                let class = record.timing_class(stage);
+                assert!(
+                    timing.stage(stage) <= model.worst_case_ps(stage, class) + 1e-9,
+                    "cycle {} stage {stage} class {class} exceeds its worst case",
+                    record.cycle
+                );
+            }
+            assert!(timing.max_delay_ps <= model.static_period_ps());
+        }
+    }
+
+    #[test]
+    fn worst_case_operands_excite_near_worst_delay() {
+        let model = TimingModel::at_nominal(ProfileKind::CriticalRangeOptimized);
+        // 0xFFFFFFFF + 1 produces a full-length carry chain.
+        let t = trace(
+            "l.movhi r4, 0xFFFF\n l.ori r4, r4, 0xFFFF\n l.addi r3, r0, 1\n\
+             l.add r5, r4, r3\n l.nop 0\n l.nop 1\n",
+        );
+        let mut best_add = 0.0f64;
+        for record in t.cycles() {
+            if record.timing_class(Stage::Execute) == TimingClass::Add {
+                best_add = best_add.max(model.stage_delay_ps(record, Stage::Execute));
+            }
+        }
+        let worst = model.worst_case_ps(Stage::Execute, TimingClass::Add);
+        assert!(
+            best_add > worst - 40.0,
+            "full carry chain should excite close to the worst case: {best_add} vs {worst}"
+        );
+    }
+
+    #[test]
+    fn multiplication_is_slower_than_logic() {
+        let model = TimingModel::at_nominal(ProfileKind::CriticalRangeOptimized);
+        let t = trace(
+            "l.movhi r4, 0x7FFF\n l.ori r4, r4, 0xFFFF\n l.mul r5, r4, r4\n\
+             l.and r6, r4, r4\n l.nop 1\n",
+        );
+        let mut mul_delay = 0.0f64;
+        let mut and_delay = 0.0f64;
+        for record in t.cycles() {
+            match record.timing_class(Stage::Execute) {
+                TimingClass::Mul => mul_delay = model.stage_delay_ps(record, Stage::Execute),
+                TimingClass::And => and_delay = model.stage_delay_ps(record, Stage::Execute),
+                _ => {}
+            }
+        }
+        assert!(mul_delay > and_delay + 200.0, "{mul_delay} vs {and_delay}");
+    }
+
+    #[test]
+    fn voltage_scaling_stretches_delays() {
+        let nominal = TimingModel::at_nominal(ProfileKind::CriticalRangeOptimized);
+        let low = TimingModel::with_voltage(ProfileKind::CriticalRangeOptimized, 600).unwrap();
+        assert!(low.static_period_ps() > nominal.static_period_ps() * 1.3);
+        let t = trace("l.addi r3, r0, 5\n l.add r4, r3, r3\n l.nop 1\n");
+        let record = &t.cycles()[4];
+        assert!(low.stage_delay_ps(record, Stage::Execute) > nominal.stage_delay_ps(record, Stage::Execute));
+    }
+
+    #[test]
+    fn event_log_reconstructs_stage_delays() {
+        let model = TimingModel::at_nominal(ProfileKind::CriticalRangeOptimized);
+        let t = trace("l.addi r3, r0, 5\n l.mul r4, r3, r3\n l.sw 0(r0), r4\n l.nop 1\n");
+        let log = model.event_log(&t);
+        assert!(!log.is_empty());
+        // Every event must have non-negative slack at the characterization
+        // period (the simulation clock is slower than the static limit).
+        assert!(log.worst_slack_ps().unwrap() >= 0.0);
+        // The effective delay of the principal execute endpoint in the
+        // multiply cycle must match the model's stage delay.
+        let mul_cycle = t
+            .cycles()
+            .iter()
+            .find(|c| c.timing_class(Stage::Execute) == TimingClass::Mul)
+            .unwrap();
+        let expected = model.stage_delay_ps(mul_cycle, Stage::Execute);
+        let mul_ep = log
+            .endpoints()
+            .iter()
+            .find(|e| e.name == "u_exec/mul_result_reg")
+            .unwrap();
+        let ev = log
+            .events()
+            .iter()
+            .find(|e| e.cycle == mul_cycle.cycle && e.endpoint == mul_ep.id)
+            .unwrap();
+        assert!((ev.effective_delay_ps(mul_ep) - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let model = TimingModel::at_nominal(ProfileKind::CriticalRangeOptimized);
+        let t1 = trace("l.addi r3, r0, 9\n l.mul r4, r3, r3\n l.nop 1\n");
+        let t2 = trace("l.addi r3, r0, 9\n l.mul r4, r3, r3\n l.nop 1\n");
+        for (a, b) in t1.cycles().iter().zip(t2.cycles()) {
+            assert_eq!(model.cycle_timing(a).max_delay_ps, model.cycle_timing(b).max_delay_ps);
+        }
+    }
+
+    #[test]
+    fn shielded_multiplier_has_no_events_for_non_multiply_instructions() {
+        let model = TimingModel::at_nominal(ProfileKind::CriticalRangeOptimized);
+        let t = trace("l.addi r3, r0, 3\n l.add r4, r3, r3\n l.nop 1\n");
+        let log = model.event_log(&t);
+        let mul_ep = log
+            .endpoints()
+            .iter()
+            .find(|e| e.name == "u_exec/mul_result_reg")
+            .unwrap()
+            .id;
+        assert!(
+            log.events().iter().all(|e| e.endpoint != mul_ep),
+            "multiplier endpoint should stay quiet without multiplications"
+        );
+    }
+}

@@ -1,0 +1,316 @@
+//! Activity-based power model.
+//!
+//! The paper derives power from the switching activity (VCD) of gate-level
+//! simulations fed into the physical-design tool. We substitute an
+//! activity-based model: each architectural unit contributes a per-cycle
+//! dynamic energy when it is exercised, scaled by the supply voltage through
+//! the cell library (`∝ V²`), plus a voltage-dependent leakage term. The
+//! coefficients are calibrated so that a typical embedded-benchmark mix on
+//! the conventional clocking scheme at 0.70 V consumes the paper's
+//! 13.7 µW/MHz.
+
+use crate::{CellLibrary, OperatingPoint, Ps};
+use idca_pipeline::{PipelineTrace, TraceStats};
+use serde::{Deserialize, Serialize};
+
+/// Per-unit dynamic energy coefficients in picojoules per cycle at the
+/// nominal (0.70 V) operating point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerCoefficients {
+    /// Clock tree and pipeline registers (always switching).
+    pub clock_tree_pj: f64,
+    /// Instruction fetch path including the instruction SRAM.
+    pub fetch_pj: f64,
+    /// Decoder and register-file read ports.
+    pub decode_rf_pj: f64,
+    /// Adder, logic unit and shifter.
+    pub alu_pj: f64,
+    /// The multiplier when it is active (operand-isolated otherwise).
+    pub mul_active_pj: f64,
+    /// Residual multiplier clocking energy when shielded/idle.
+    pub mul_idle_pj: f64,
+    /// Load/store unit plus data SRAM per access.
+    pub lsu_access_pj: f64,
+    /// LSU idle energy per cycle.
+    pub lsu_idle_pj: f64,
+    /// Control and writeback stages.
+    pub ctrl_wb_pj: f64,
+}
+
+impl Default for PowerCoefficients {
+    fn default() -> Self {
+        PowerCoefficients {
+            clock_tree_pj: 4.05,
+            fetch_pj: 3.05,
+            decode_rf_pj: 3.00,
+            alu_pj: 1.35,
+            mul_active_pj: 2.40,
+            mul_idle_pj: 0.15,
+            lsu_access_pj: 1.95,
+            lsu_idle_pj: 0.35,
+            ctrl_wb_pj: 1.05,
+        }
+    }
+}
+
+/// Switching-activity summary of one execution, extracted from the pipeline
+/// trace (the VCD substitute).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActivitySummary {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Cycles in which the execute stage held a real instruction.
+    pub execute_active_cycles: u64,
+    /// Data-memory accesses (loads + stores).
+    pub memory_accesses: u64,
+    /// Multiplications executed.
+    pub multiplications: u64,
+}
+
+impl ActivitySummary {
+    /// Extracts the activity summary from a pipeline trace.
+    #[must_use]
+    pub fn from_trace(trace: &PipelineTrace) -> Self {
+        Self::from_stats(&trace.stats())
+    }
+
+    /// Extracts the activity summary from pre-computed trace statistics.
+    #[must_use]
+    pub fn from_stats(stats: &TraceStats) -> Self {
+        ActivitySummary {
+            cycles: stats.cycles,
+            execute_active_cycles: stats.cycles.saturating_sub(stats.execute_bubbles),
+            memory_accesses: stats.memory_accesses,
+            multiplications: stats.multiplications,
+        }
+    }
+}
+
+/// Power and energy figures of one execution at one operating point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerReport {
+    /// Supply voltage in millivolts.
+    pub voltage_mv: u32,
+    /// Average clock period used for the run, in picoseconds.
+    pub period_ps: Ps,
+    /// Effective clock frequency in MHz.
+    pub frequency_mhz: f64,
+    /// Average dynamic energy per cycle in picojoules.
+    pub energy_per_cycle_pj: f64,
+    /// Dynamic power in microwatts.
+    pub dynamic_power_uw: f64,
+    /// Leakage power in microwatts.
+    pub leakage_uw: f64,
+    /// Total power in microwatts.
+    pub total_power_uw: f64,
+    /// Energy efficiency in µW/MHz (the paper's headline power metric).
+    pub uw_per_mhz: f64,
+}
+
+/// The activity-based power model.
+///
+/// # Example
+///
+/// ```
+/// use idca_timing::{ActivitySummary, CellLibrary, PowerModel};
+///
+/// # fn main() -> Result<(), idca_timing::LibraryError> {
+/// let model = PowerModel::new(CellLibrary::fdsoi28());
+/// let activity = ActivitySummary { cycles: 1000, execute_active_cycles: 950,
+///                                  memory_accesses: 200, multiplications: 30 };
+/// let point = model.library().operating_point(700)?;
+/// let report = model.report(&activity, &point, 2026.0);
+/// assert!(report.uw_per_mhz > 10.0 && report.uw_per_mhz < 18.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    library: CellLibrary,
+    coefficients: PowerCoefficients,
+    /// Extra dynamic power fraction charged for the tunable clock generator
+    /// when dynamic clock adjustment is active (0.0 disables it).
+    clock_generator_overhead: f64,
+}
+
+impl PowerModel {
+    /// Creates a power model with the default coefficients and no
+    /// clock-generator overhead.
+    #[must_use]
+    pub fn new(library: CellLibrary) -> Self {
+        PowerModel {
+            library,
+            coefficients: PowerCoefficients::default(),
+            clock_generator_overhead: 0.0,
+        }
+    }
+
+    /// Overrides the per-unit energy coefficients.
+    #[must_use]
+    pub fn with_coefficients(mut self, coefficients: PowerCoefficients) -> Self {
+        self.coefficients = coefficients;
+        self
+    }
+
+    /// Charges an extra fraction of dynamic power for the tunable clock
+    /// generator (the paper notes the CG "requires special care"; the
+    /// ablation benches use this knob).
+    #[must_use]
+    pub fn with_clock_generator_overhead(mut self, fraction: f64) -> Self {
+        self.clock_generator_overhead = fraction.max(0.0);
+        self
+    }
+
+    /// The cell library used for voltage scaling.
+    #[must_use]
+    pub fn library(&self) -> &CellLibrary {
+        &self.library
+    }
+
+    /// Average dynamic energy per cycle (picojoules) for a given activity
+    /// mix at a given operating point.
+    #[must_use]
+    pub fn energy_per_cycle_pj(&self, activity: &ActivitySummary, point: &OperatingPoint) -> f64 {
+        if activity.cycles == 0 {
+            return 0.0;
+        }
+        let c = &self.coefficients;
+        let cycles = activity.cycles as f64;
+        let exec_frac = activity.execute_active_cycles as f64 / cycles;
+        let mem_frac = activity.memory_accesses as f64 / cycles;
+        let mul_frac = activity.multiplications as f64 / cycles;
+        let nominal = c.clock_tree_pj
+            + c.fetch_pj
+            + c.decode_rf_pj
+            + c.alu_pj * exec_frac
+            + c.mul_active_pj * mul_frac
+            + c.mul_idle_pj * (1.0 - mul_frac)
+            + c.lsu_access_pj * mem_frac
+            + c.lsu_idle_pj * (1.0 - mem_frac)
+            + c.ctrl_wb_pj;
+        nominal * (1.0 + self.clock_generator_overhead) * point.energy_scale
+    }
+
+    /// Full power report for a run executed with average clock period
+    /// `period_ps` at operating point `point`.
+    #[must_use]
+    pub fn report(
+        &self,
+        activity: &ActivitySummary,
+        point: &OperatingPoint,
+        period_ps: Ps,
+    ) -> PowerReport {
+        let frequency_mhz = if period_ps > 0.0 {
+            1.0e6 / period_ps
+        } else {
+            0.0
+        };
+        let energy_per_cycle_pj = self.energy_per_cycle_pj(activity, point);
+        // pJ/cycle × cycles/µs = µW  (1 pJ × 1 MHz = 1 µW).
+        let dynamic_power_uw = energy_per_cycle_pj * frequency_mhz;
+        let leakage_uw = point.leakage_uw;
+        let total_power_uw = dynamic_power_uw + leakage_uw;
+        let uw_per_mhz = if frequency_mhz > 0.0 {
+            total_power_uw / frequency_mhz
+        } else {
+            0.0
+        };
+        PowerReport {
+            voltage_mv: point.voltage_mv,
+            period_ps,
+            frequency_mhz,
+            energy_per_cycle_pj,
+            dynamic_power_uw,
+            leakage_uw,
+            total_power_uw,
+            uw_per_mhz,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn typical_activity() -> ActivitySummary {
+        // A typical embedded mix: ~95 % execute occupancy, ~20 % memory
+        // accesses, ~3 % multiplications.
+        ActivitySummary {
+            cycles: 10_000,
+            execute_active_cycles: 9_500,
+            memory_accesses: 2_000,
+            multiplications: 300,
+        }
+    }
+
+    #[test]
+    fn nominal_efficiency_close_to_paper_baseline() {
+        let model = PowerModel::new(CellLibrary::fdsoi28());
+        let point = model.library().operating_point(700).unwrap();
+        let report = model.report(&typical_activity(), &point, 2026.0);
+        // The paper reports 13.7 µW/MHz for conventional clocking at 0.70 V.
+        assert!(
+            (12.5..15.0).contains(&report.uw_per_mhz),
+            "µW/MHz = {}",
+            report.uw_per_mhz
+        );
+        assert!((report.frequency_mhz - 493.6).abs() < 1.0);
+    }
+
+    #[test]
+    fn lower_voltage_improves_efficiency() {
+        let model = PowerModel::new(CellLibrary::fdsoi28());
+        let lib = model.library().clone();
+        let p70 = lib.operating_point(700).unwrap();
+        let p63 = lib.operating_point(630).unwrap();
+        let at_70 = model.report(&typical_activity(), &p70, 2026.0);
+        // At 0.63 V the logic is slower; run it at the correspondingly longer
+        // period so the comparison is iso-throughput-ish.
+        let at_63 = model.report(&typical_activity(), &p63, 2026.0 * p63.delay_scale);
+        assert!(at_63.uw_per_mhz < at_70.uw_per_mhz);
+        let gain = at_70.uw_per_mhz / at_63.uw_per_mhz;
+        assert!(gain > 1.15, "efficiency gain {gain}");
+    }
+
+    #[test]
+    fn energy_scales_with_memory_and_mul_activity() {
+        let model = PowerModel::new(CellLibrary::fdsoi28());
+        let point = model.library().operating_point(700).unwrap();
+        let mut quiet = typical_activity();
+        quiet.memory_accesses = 0;
+        quiet.multiplications = 0;
+        let mut busy = typical_activity();
+        busy.memory_accesses = 5_000;
+        busy.multiplications = 3_000;
+        assert!(
+            model.energy_per_cycle_pj(&busy, &point) > model.energy_per_cycle_pj(&quiet, &point)
+        );
+    }
+
+    #[test]
+    fn clock_generator_overhead_increases_power() {
+        let lib = CellLibrary::fdsoi28();
+        let point = lib.operating_point(700).unwrap();
+        let base = PowerModel::new(lib.clone());
+        let with_cg = PowerModel::new(lib).with_clock_generator_overhead(0.05);
+        let a = typical_activity();
+        assert!(
+            with_cg.energy_per_cycle_pj(&a, &point) > base.energy_per_cycle_pj(&a, &point)
+        );
+    }
+
+    #[test]
+    fn zero_cycles_reports_zero_energy() {
+        let model = PowerModel::new(CellLibrary::fdsoi28());
+        let point = model.library().operating_point(700).unwrap();
+        let a = ActivitySummary {
+            cycles: 0,
+            execute_active_cycles: 0,
+            memory_accesses: 0,
+            multiplications: 0,
+        };
+        assert_eq!(model.energy_per_cycle_pj(&a, &point), 0.0);
+        let report = model.report(&a, &point, 0.0);
+        assert_eq!(report.uw_per_mhz, 0.0);
+    }
+}

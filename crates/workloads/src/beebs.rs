@@ -1,0 +1,767 @@
+//! BEEBS-like embedded kernels.
+//!
+//! BEEBS (Bristol/Embecosm Embedded Benchmark Suite) collects small
+//! self-contained embedded kernels. The ten kernels in this module cover the
+//! same behavioural space on the modelled ORBIS32 subset: checksumming,
+//! recursion-free call/return control flow, dense integer linear algebra,
+//! sorting, filtering, dynamic programming, Monte-Carlo arithmetic,
+//! fixed-point physics, graph scanning and a transform butterfly.
+
+use crate::assemble_kernel;
+use idca_isa::Program;
+
+/// Bitwise CRC-32 (reflected polynomial `0xEDB88320`) over a 96-byte
+/// pseudo-random buffer; the checksum is published at data address `0x0F04`.
+#[must_use]
+pub fn crc32() -> Program {
+    assemble_kernel(
+        "beebs_crc32",
+        r#"
+            l.addi  r3, r0, 0           # byte index
+            l.addi  r4, r0, 96          # buffer length
+            l.movhi r5, 0xFFFF
+            l.ori   r5, r5, 0xFFFF      # crc = 0xFFFFFFFF
+            l.ori   r6, r0, 2024        # LCG state
+            l.movhi r10, 0xEDB8
+            l.ori   r10, r10, 0x8320    # reflected CRC-32 polynomial
+    c32_byte:
+            l.muli  r6, r6, 75
+            l.addi  r6, r6, 74
+            l.andi  r7, r6, 0xFF
+            l.xor   r5, r5, r7
+            l.addi  r8, r0, 8
+    c32_bit:
+            l.andi  r11, r5, 1
+            l.srli  r5, r5, 1
+            l.sfnei r11, 0
+            l.bf    c32_xor
+            l.nop   0
+            l.j     c32_cont
+            l.nop   0
+    c32_xor:
+            l.xor   r5, r5, r10
+    c32_cont:
+            l.addi  r8, r8, -1
+            l.sfnei r8, 0
+            l.bf    c32_bit
+            l.nop   0
+            l.addi  r3, r3, 1
+            l.sfne  r3, r4
+            l.bf    c32_byte
+            l.nop   0
+            l.movhi r12, 0xFFFF
+            l.ori   r12, r12, 0xFFFF
+            l.xor   r5, r5, r12         # final inversion
+            l.sw    0x0F04(r0), r5
+            l.nop   1
+        "#,
+    )
+}
+
+/// Iterative Fibonacci computed in a real subroutine (`l.jal` / `l.jr`),
+/// called for `n = 1..24`; the sum of the results is published at `0x0F08`.
+#[must_use]
+pub fn fibcall() -> Program {
+    assemble_kernel(
+        "beebs_fibcall",
+        r#"
+            l.addi  r17, r0, 0          # running sum
+            l.addi  r18, r0, 1          # n
+            l.addi  r19, r0, 25         # limit (exclusive)
+    fc_outer:
+            l.add   r3, r18, r0         # argument
+            l.jal   fib
+            l.nop   0
+            l.add   r17, r17, r11       # accumulate fib(n)
+            l.addi  r18, r18, 1
+            l.sfne  r18, r19
+            l.bf    fc_outer
+            l.nop   0
+            l.sw    0x0F08(r0), r17
+            l.nop   1
+
+    fib:                                # r3 = n, result in r11
+            l.addi  r11, r0, 0          # a = 0
+            l.addi  r12, r0, 1          # b = 1
+            l.addi  r13, r0, 0          # i = 0
+    fib_loop:
+            l.sfgeu r13, r3
+            l.bf    fib_done
+            l.nop   0
+            l.add   r14, r11, r12
+            l.add   r11, r12, r0        # a = b
+            l.add   r12, r14, r0        # b = a + b
+            l.addi  r13, r13, 1
+            l.j     fib_loop
+            l.nop   0
+    fib_done:
+            l.jr    r9
+            l.nop   0
+        "#,
+    )
+}
+
+/// 6×6 integer matrix multiplication (the BEEBS `matmult-int` analogue).
+#[must_use]
+pub fn matmult_int() -> Program {
+    assemble_kernel(
+        "beebs_matmult_int",
+        &crate::suite::matmul_source(6, 0x3000, 0x3100, 0x3200),
+    )
+}
+
+/// Insertion sort of 32 pseudo-random words held at data address `0x1800`.
+#[must_use]
+pub fn insertsort() -> Program {
+    assemble_kernel(
+        "beebs_insertsort",
+        r#"
+            l.addi  r1, r0, 0x1800      # array base
+            l.addi  r3, r0, 0
+            l.addi  r4, r0, 32          # element count
+            l.ori   r5, r0, 9973        # LCG state
+    is_init:
+            l.muli  r5, r5, 131
+            l.addi  r5, r5, 7
+            l.andi  r6, r5, 0x7FFF
+            l.slli  r7, r3, 2
+            l.add   r7, r7, r1
+            l.sw    0(r7), r6
+            l.addi  r3, r3, 1
+            l.sfne  r3, r4
+            l.bf    is_init
+            l.nop   0
+
+            l.addi  r3, r0, 1           # i
+    is_outer:
+            l.slli  r7, r3, 2
+            l.add   r7, r7, r1
+            l.lwz   r8, 0(r7)           # key = a[i]
+            l.addi  r10, r3, -1         # j
+    is_inner:
+            l.sflts r10, r0             # j < 0 ?
+            l.bf    is_place
+            l.nop   0
+            l.slli  r11, r10, 2
+            l.add   r11, r11, r1
+            l.lwz   r12, 0(r11)         # a[j]
+            l.sfleu r12, r8             # a[j] <= key ? stop shifting
+            l.bf    is_place
+            l.nop   0
+            l.sw    4(r11), r12         # a[j+1] = a[j]
+            l.addi  r10, r10, -1
+            l.j     is_inner
+            l.nop   0
+    is_place:
+            l.addi  r13, r10, 1
+            l.slli  r13, r13, 2
+            l.add   r13, r13, r1
+            l.sw    0(r13), r8          # a[j+1] = key
+            l.addi  r3, r3, 1
+            l.sfne  r3, r4
+            l.bf    is_outer
+            l.nop   0
+            l.nop   1
+        "#,
+    )
+}
+
+/// 16-tap FIR filter over 64 samples (two multiplications per tap), a
+/// multiply-heavy DSP kernel.
+#[must_use]
+pub fn fir() -> Program {
+    assemble_kernel(
+        "beebs_fir",
+        r#"
+            l.addi  r1, r0, 0x2800      # x base (80 samples)
+            l.addi  r2, r0, 0x2A00      # y base (64 outputs)
+            l.addi  r3, r0, 0
+            l.addi  r4, r0, 80
+            l.ori   r5, r0, 555
+    fir_initx:
+            l.muli  r5, r5, 214
+            l.addi  r5, r5, 13
+            l.andi  r6, r5, 0xFF
+            l.slli  r7, r3, 2
+            l.add   r7, r7, r1
+            l.sw    0(r7), r6
+            l.addi  r3, r3, 1
+            l.sfne  r3, r4
+            l.bf    fir_initx
+            l.nop   0
+
+            l.addi  r3, r0, 0           # output index n
+            l.addi  r4, r0, 64
+    fir_n:
+            l.addi  r8, r0, 0           # tap index k
+            l.addi  r10, r0, 0          # accumulator
+    fir_k:
+            l.add   r11, r3, r8         # x[n + k]
+            l.slli  r11, r11, 2
+            l.add   r11, r11, r1
+            l.lwz   r12, 0(r11)
+            l.muli  r13, r8, 3          # coefficient h[k] = (3k + 1) & 0x1F
+            l.addi  r13, r13, 1
+            l.andi  r13, r13, 0x1F
+            l.mul   r14, r12, r13
+            l.add   r10, r10, r14
+            l.addi  r8, r8, 1
+            l.sfnei r8, 16
+            l.bf    fir_k
+            l.nop   0
+            l.slli  r11, r3, 2
+            l.add   r11, r11, r2
+            l.sw    0(r11), r10
+            l.addi  r3, r3, 1
+            l.sfne  r3, r4
+            l.bf    fir_n
+            l.nop   0
+            l.nop   1
+        "#,
+    )
+}
+
+/// Levenshtein edit distance between two 12-symbol pseudo-random strings,
+/// computed with the classic two-row dynamic program. The distance is
+/// published at `0x0F10`.
+#[must_use]
+pub fn levenshtein() -> Program {
+    assemble_kernel(
+        "beebs_levenshtein",
+        r#"
+            l.addi  r1, r0, 0x3800      # prev row (13 words)
+            l.addi  r2, r0, 0x3880      # cur row (13 words)
+            l.addi  r20, r0, 0x3A00     # string s (words)
+            l.addi  r21, r0, 0x3A40     # string t (words)
+            l.ori   r5, r0, 4242        # LCG state
+            l.addi  r3, r0, 0
+    lv_strings:
+            l.muli  r5, r5, 197
+            l.addi  r5, r5, 11
+            l.andi  r6, r5, 0x7
+            l.slli  r7, r3, 2
+            l.add   r8, r7, r20
+            l.sw    0(r8), r6           # s[i]
+            l.muli  r5, r5, 197
+            l.addi  r5, r5, 11
+            l.andi  r6, r5, 0x7
+            l.add   r8, r7, r21
+            l.sw    0(r8), r6           # t[i]
+            l.addi  r3, r3, 1
+            l.sfnei r3, 12
+            l.bf    lv_strings
+            l.nop   0
+
+            l.addi  r3, r0, 0           # prev[j] = j
+    lv_prev_init:
+            l.slli  r7, r3, 2
+            l.add   r7, r7, r1
+            l.sw    0(r7), r3
+            l.addi  r3, r3, 1
+            l.sfnei r3, 13
+            l.bf    lv_prev_init
+            l.nop   0
+
+            l.addi  r10, r0, 1          # i = 1..=12
+    lv_i:
+            l.sw    0(r2), r10          # cur[0] = i
+            l.slli  r7, r10, 2
+            l.addi  r7, r7, -4
+            l.add   r7, r7, r20
+            l.lwz   r22, 0(r7)          # s[i-1]
+            l.addi  r11, r0, 1          # j = 1..=12
+    lv_j:
+            l.slli  r7, r11, 2
+            l.addi  r7, r7, -4
+            l.add   r7, r7, r21
+            l.lwz   r23, 0(r7)          # t[j-1]
+            l.addi  r24, r0, 1          # cost = 1
+            l.sfne  r22, r23
+            l.bf    lv_cost_done
+            l.nop   0
+            l.addi  r24, r0, 0          # cost = 0 when equal
+    lv_cost_done:
+            l.slli  r7, r11, 2
+            l.add   r8, r7, r1
+            l.lwz   r16, 0(r8)          # prev[j]
+            l.addi  r16, r16, 1         # deletion
+            l.addi  r8, r7, -4
+            l.add   r8, r8, r2
+            l.lwz   r17, 0(r8)          # cur[j-1]
+            l.addi  r17, r17, 1         # insertion
+            l.addi  r8, r7, -4
+            l.add   r8, r8, r1
+            l.lwz   r18, 0(r8)          # prev[j-1]
+            l.add   r18, r18, r24       # substitution
+            l.sfgtu r16, r17            # r16 = min(r16, r17)
+            l.cmov  r16, r17, r16
+            l.sfgtu r16, r18            # r16 = min(r16, r18)
+            l.cmov  r16, r18, r16
+            l.add   r8, r7, r2
+            l.sw    0(r8), r16          # cur[j]
+            l.addi  r11, r11, 1
+            l.sfnei r11, 13
+            l.bf    lv_j
+            l.nop   0
+
+            l.addi  r3, r0, 0           # copy cur -> prev
+    lv_copy:
+            l.slli  r7, r3, 2
+            l.add   r8, r7, r2
+            l.lwz   r16, 0(r8)
+            l.add   r8, r7, r1
+            l.sw    0(r8), r16
+            l.addi  r3, r3, 1
+            l.sfnei r3, 13
+            l.bf    lv_copy
+            l.nop   0
+
+            l.addi  r10, r10, 1
+            l.sfnei r10, 13
+            l.bf    lv_i
+            l.nop   0
+
+            l.lwz   r16, 48(r1)         # prev[12] = distance
+            l.sw    0x0F10(r0), r16
+            l.nop   1
+        "#,
+    )
+}
+
+/// Monte-Carlo estimation of a quarter-circle area: 300 pseudo-random
+/// points, two multiplications and one compare each. The inside-count is
+/// published at `0x0F0C`.
+#[must_use]
+pub fn montecarlo() -> Program {
+    assemble_kernel(
+        "beebs_montecarlo",
+        r#"
+            l.addi  r3, r0, 0           # iteration counter
+            l.addi  r4, r0, 300
+            l.ori   r5, r0, 31415       # LCG state
+            l.addi  r16, r0, 0          # inside count
+            l.movhi r15, 0x10           # radius² = 1024² = 0x00100000
+    mc_loop:
+            l.muli  r5, r5, 1103
+            l.addi  r5, r5, 12347
+            l.andi  r6, r5, 0x3FF       # x in 0..1023
+            l.muli  r5, r5, 1103
+            l.addi  r5, r5, 12347
+            l.andi  r7, r5, 0x3FF       # y in 0..1023
+            l.mul   r8, r6, r6
+            l.mul   r10, r7, r7
+            l.add   r8, r8, r10
+            l.sfltu r8, r15
+            l.bf    mc_inside
+            l.nop   0
+            l.j     mc_next
+            l.nop   0
+    mc_inside:
+            l.addi  r16, r16, 1
+    mc_next:
+            l.addi  r3, r3, 1
+            l.sfne  r3, r4
+            l.bf    mc_loop
+            l.nop   0
+            l.sw    0x0F0C(r0), r16
+            l.nop   1
+        "#,
+    )
+}
+
+/// Fixed-point n-body-style force accumulation over six bodies: pairwise
+/// distance products and accumulations, a multiply/add-heavy kernel.
+#[must_use]
+pub fn nbody_fixed() -> Program {
+    assemble_kernel(
+        "beebs_nbody",
+        r#"
+            l.addi  r1, r0, 0x3C00      # positions: x[i], y[i] interleaved
+            l.addi  r2, r0, 0x3D00      # accumulated forces
+            l.addi  r3, r0, 0
+            l.ori   r5, r0, 8191
+    nb_init:
+            l.muli  r5, r5, 173
+            l.addi  r5, r5, 29
+            l.andi  r6, r5, 0x3FF
+            l.slli  r7, r3, 2
+            l.add   r7, r7, r1
+            l.sw    0(r7), r6
+            l.addi  r3, r3, 1
+            l.sfnei r3, 12              # 6 bodies × (x, y)
+            l.bf    nb_init
+            l.nop   0
+
+            l.addi  r20, r0, 0          # outer body index i
+    nb_i:
+            l.addi  r21, r0, 0          # inner body index j
+            l.addi  r16, r0, 0          # fx accumulator
+            l.addi  r17, r0, 0          # fy accumulator
+    nb_j:
+            l.sfeq  r20, r21
+            l.bf    nb_skip
+            l.nop   0
+            l.slli  r7, r20, 3
+            l.add   r7, r7, r1
+            l.lwz   r10, 0(r7)          # x[i]
+            l.lwz   r11, 4(r7)          # y[i]
+            l.slli  r7, r21, 3
+            l.add   r7, r7, r1
+            l.lwz   r12, 0(r7)          # x[j]
+            l.lwz   r13, 4(r7)          # y[j]
+            l.sub   r12, r12, r10       # dx
+            l.sub   r13, r13, r11       # dy
+            l.mul   r14, r12, r12
+            l.mul   r15, r13, r13
+            l.add   r14, r14, r15       # dist²
+            l.addi  r14, r14, 1
+            l.srli  r14, r14, 8         # fixed-point force magnitude proxy
+            l.andi  r14, r14, 0xFF
+            l.mul   r18, r12, r14
+            l.add   r16, r16, r18
+            l.mul   r18, r13, r14
+            l.add   r17, r17, r18
+    nb_skip:
+            l.addi  r21, r21, 1
+            l.sfnei r21, 6
+            l.bf    nb_j
+            l.nop   0
+            l.slli  r7, r20, 3
+            l.add   r7, r7, r2
+            l.sw    0(r7), r16
+            l.sw    4(r7), r17
+            l.addi  r20, r20, 1
+            l.sfnei r20, 6
+            l.bf    nb_i
+            l.nop   0
+            l.nop   1
+        "#,
+    )
+}
+
+/// Dijkstra-style nearest-unvisited-node scan over an 8-node dense graph:
+/// repeated minimum scans and relaxations, load/compare/branch heavy.
+#[must_use]
+pub fn dijkstra_scan() -> Program {
+    assemble_kernel(
+        "beebs_dijkstra",
+        r#"
+            l.addi  r1, r0, 0x4000      # adjacency matrix (8×8 words)
+            l.addi  r2, r0, 0x4200      # dist[8]
+            l.addi  r20, r0, 0x4240     # visited[8]
+            l.addi  r3, r0, 0
+    dj_init_w:
+            l.srli  r6, r3, 3           # i = idx / 8
+            l.andi  r7, r3, 7           # j = idx % 8
+            l.mul   r8, r6, r7
+            l.addi  r8, r8, 1
+            l.andi  r8, r8, 0xF
+            l.addi  r8, r8, 1           # weight 1..16
+            l.slli  r10, r3, 2
+            l.add   r10, r10, r1
+            l.sw    0(r10), r8
+            l.addi  r3, r3, 1
+            l.sfnei r3, 64
+            l.bf    dj_init_w
+            l.nop   0
+
+            l.addi  r3, r0, 0
+            l.ori   r11, r0, 0x7FFF     # "infinity"
+    dj_init_d:
+            l.slli  r10, r3, 2
+            l.add   r12, r10, r2
+            l.sw    0(r12), r11
+            l.add   r12, r10, r20
+            l.sw    0(r12), r0          # not visited
+            l.addi  r3, r3, 1
+            l.sfnei r3, 8
+            l.bf    dj_init_d
+            l.nop   0
+            l.sw    0(r2), r0           # dist[0] = 0
+
+            l.addi  r22, r0, 0          # completed iterations
+    dj_round:
+            # find the unvisited node with the smallest distance
+            l.addi  r23, r0, -1         # best index
+            l.ori   r24, r0, 0x7FFF     # best distance
+            l.addi  r3, r0, 0
+    dj_scan:
+            l.slli  r10, r3, 2
+            l.add   r12, r10, r20
+            l.lwz   r13, 0(r12)         # visited?
+            l.sfnei r13, 0
+            l.bf    dj_scan_next
+            l.nop   0
+            l.add   r12, r10, r2
+            l.lwz   r13, 0(r12)         # dist[v]
+            l.sfgeu r13, r24
+            l.bf    dj_scan_next
+            l.nop   0
+            l.add   r24, r13, r0
+            l.add   r23, r3, r0
+    dj_scan_next:
+            l.addi  r3, r3, 1
+            l.sfnei r3, 8
+            l.bf    dj_scan
+            l.nop   0
+
+            # mark it visited and relax its neighbours
+            l.slli  r10, r23, 2
+            l.add   r12, r10, r20
+            l.addi  r13, r0, 1
+            l.sw    0(r12), r13
+            l.addi  r3, r0, 0
+    dj_relax:
+            l.muli  r10, r23, 8
+            l.add   r10, r10, r3
+            l.slli  r10, r10, 2
+            l.add   r10, r10, r1
+            l.lwz   r13, 0(r10)         # w[u][v]
+            l.add   r14, r24, r13       # dist[u] + w
+            l.slli  r10, r3, 2
+            l.add   r12, r10, r2
+            l.lwz   r15, 0(r12)         # dist[v]
+            l.sfgeu r14, r15
+            l.bf    dj_relax_next
+            l.nop   0
+            l.sw    0(r12), r14
+    dj_relax_next:
+            l.addi  r3, r3, 1
+            l.sfnei r3, 8
+            l.bf    dj_relax
+            l.nop   0
+
+            l.addi  r22, r22, 1
+            l.sfnei r22, 8
+            l.bf    dj_round
+            l.nop   0
+            l.lwz   r16, 28(r2)         # dist[7]
+            l.sw    0x0F14(r0), r16
+            l.nop   1
+        "#,
+    )
+}
+
+/// 8-point DCT-style butterfly applied to 32 rows of samples: structured
+/// add/sub/multiply/shift sequences with very little control flow.
+#[must_use]
+pub fn fdct() -> Program {
+    assemble_kernel(
+        "beebs_fdct",
+        r#"
+            l.addi  r1, r0, 0x4400      # sample rows (32 × 8 words)
+            l.addi  r3, r0, 0
+            l.ori   r5, r0, 27182
+    fd_init:
+            l.muli  r5, r5, 167
+            l.addi  r5, r5, 41
+            l.andi  r6, r5, 0x1FF
+            l.slli  r7, r3, 2
+            l.add   r7, r7, r1
+            l.sw    0(r7), r6
+            l.addi  r3, r3, 1
+            l.sfnei r3, 256             # 32 rows × 8 samples
+            l.bf    fd_init
+            l.nop   0
+
+            l.addi  r20, r0, 0          # row index
+    fd_row:
+            l.slli  r7, r20, 5          # row offset = row * 32 bytes
+            l.add   r7, r7, r1
+            l.lwz   r10, 0(r7)
+            l.lwz   r11, 4(r7)
+            l.lwz   r12, 8(r7)
+            l.lwz   r13, 12(r7)
+            l.lwz   r14, 16(r7)
+            l.lwz   r15, 20(r7)
+            l.lwz   r16, 24(r7)
+            l.lwz   r17, 28(r7)
+            # stage 1: butterflies
+            l.add   r21, r10, r17       # s0 = x0 + x7
+            l.sub   r22, r10, r17       # d0 = x0 - x7
+            l.add   r23, r11, r16       # s1
+            l.sub   r24, r11, r16       # d1
+            l.add   r25, r12, r15       # s2
+            l.sub   r26, r12, r15       # d2
+            l.add   r27, r13, r14       # s3
+            l.sub   r28, r13, r14       # d3
+            # stage 2: scaled combinations (Q8 fixed-point constants)
+            l.muli  r10, r21, 181
+            l.muli  r11, r23, 251
+            l.add   r10, r10, r11
+            l.srai  r10, r10, 8
+            l.muli  r11, r25, 142
+            l.muli  r12, r27, 97
+            l.add   r11, r11, r12
+            l.srai  r11, r11, 8
+            l.muli  r12, r22, 236
+            l.muli  r13, r24, 201
+            l.sub   r12, r12, r13
+            l.srai  r12, r12, 8
+            l.muli  r13, r26, 100
+            l.muli  r14, r28, 49
+            l.add   r13, r13, r14
+            l.srai  r13, r13, 8
+            # write the transformed row back
+            l.sw    0(r7), r10
+            l.sw    4(r7), r11
+            l.sw    8(r7), r12
+            l.sw    12(r7), r13
+            l.add   r14, r10, r12
+            l.sub   r15, r11, r13
+            l.sw    16(r7), r14
+            l.sw    20(r7), r15
+            l.xor   r16, r14, r15
+            l.sw    24(r7), r16
+            l.add   r17, r16, r10
+            l.sw    28(r7), r17
+            l.addi  r20, r20, 1
+            l.sfnei r20, 32
+            l.bf    fd_row
+            l.nop   0
+            l.nop   1
+        "#,
+    )
+}
+
+/// All ten BEEBS-like kernels.
+#[must_use]
+pub fn all() -> Vec<Program> {
+    vec![
+        crc32(),
+        fibcall(),
+        matmult_int(),
+        insertsort(),
+        fir(),
+        levenshtein(),
+        montecarlo(),
+        nbody_fixed(),
+        dijkstra_scan(),
+        fdct(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idca_isa::Reg;
+    use idca_pipeline::{SimConfig, SimResult, Simulator};
+
+    fn run(program: &Program) -> SimResult {
+        Simulator::new(SimConfig::default())
+            .run(program)
+            .unwrap_or_else(|e| panic!("{} failed to run: {e}", program.name()))
+    }
+
+    #[test]
+    fn all_kernels_terminate_with_reasonable_ipc() {
+        for program in all() {
+            let result = run(&program);
+            assert!(
+                result.trace.cycle_count() > 400,
+                "{} ran only {} cycles",
+                program.name(),
+                result.trace.cycle_count()
+            );
+            let ipc = result.trace.ipc();
+            assert!(ipc > 0.6, "{} has IPC {ipc}", program.name());
+        }
+    }
+
+    #[test]
+    fn crc32_matches_reference_implementation() {
+        let mut crc: u32 = 0xFFFF_FFFF;
+        let mut lcg: u32 = 2024;
+        for _ in 0..96 {
+            lcg = lcg.wrapping_mul(75).wrapping_add(74);
+            crc ^= lcg & 0xFF;
+            for _ in 0..8 {
+                let lsb = crc & 1;
+                crc >>= 1;
+                if lsb != 0 {
+                    crc ^= 0xEDB8_8320;
+                }
+            }
+        }
+        crc ^= 0xFFFF_FFFF;
+        let result = run(&crc32());
+        assert_eq!(result.state.memory.load_word(0x0F04).unwrap(), crc);
+    }
+
+    #[test]
+    fn fibcall_sums_fibonacci_numbers() {
+        let fib = |n: u64| -> u64 {
+            let (mut a, mut b) = (0u64, 1u64);
+            for _ in 0..n {
+                let next = a + b;
+                a = b;
+                b = next;
+            }
+            a
+        };
+        let expected: u64 = (1..25).map(fib).sum();
+        let result = run(&fibcall());
+        assert_eq!(u64::from(result.state.memory.load_word(0x0F08).unwrap()), expected);
+        // The subroutine must have been entered via the link register.
+        assert_ne!(result.state.reg(Reg::LINK), 0);
+    }
+
+    #[test]
+    fn insertsort_produces_sorted_memory() {
+        let result = run(&insertsort());
+        let mut previous = 0;
+        for i in 0..32u32 {
+            let value = result.state.memory.load_word(0x1800 + i * 4).unwrap();
+            assert!(value >= previous, "array not sorted at index {i}");
+            previous = value;
+        }
+    }
+
+    #[test]
+    fn montecarlo_count_matches_reference() {
+        let mut lcg: u32 = 31415;
+        let mut inside = 0u32;
+        for _ in 0..300 {
+            lcg = lcg.wrapping_mul(1103).wrapping_add(12347);
+            let x = lcg & 0x3FF;
+            lcg = lcg.wrapping_mul(1103).wrapping_add(12347);
+            let y = lcg & 0x3FF;
+            if x * x + y * y < 0x0010_0000 {
+                inside += 1;
+            }
+        }
+        let result = run(&montecarlo());
+        assert_eq!(result.state.memory.load_word(0x0F0C).unwrap(), inside);
+        assert!(inside > 100, "LCG should place a healthy fraction inside");
+    }
+
+    #[test]
+    fn levenshtein_distance_is_plausible() {
+        let result = run(&levenshtein());
+        let distance = result.state.memory.load_word(0x0F10).unwrap();
+        assert!(distance <= 12, "distance {distance} exceeds string length");
+        assert!(distance > 0, "two pseudo-random strings are unlikely to be equal");
+    }
+
+    #[test]
+    fn dijkstra_finds_finite_distance() {
+        let result = run(&dijkstra_scan());
+        let distance = result.state.memory.load_word(0x0F14).unwrap();
+        assert!(distance < 0x7FFF, "node 7 must be reachable, got {distance:#x}");
+        assert!(distance > 0);
+    }
+
+    #[test]
+    fn multiply_heavy_kernels_use_the_multiplier() {
+        for program in [fir(), montecarlo(), nbody_fixed(), fdct()] {
+            let result = run(&program);
+            let stats = result.trace.stats();
+            assert!(
+                stats.multiplications > 100,
+                "{} only issued {} multiplications",
+                program.name(),
+                stats.multiplications
+            );
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! CoreMark-like kernels.
+//!
+//! CoreMark exercises exactly four algorithm families: linked-list
+//! processing, matrix manipulation, a state machine and CRC. The kernels in
+//! this module reimplement those families in the modelled ORBIS32 subset
+//! with comparable instruction mixes (pointer chasing and compares for the
+//! list, multiply/accumulate for the matrix, dense branching for the state
+//! machine, shift/xor/branch loops for the CRC).
+
+use crate::assemble_kernel;
+use idca_isa::Program;
+
+/// Linked-list search: builds a 64-node list in data memory (value + next
+/// index per node) and walks it for 20 different keys. Pointer chasing,
+/// loads and compares dominate.
+#[must_use]
+pub fn list_search() -> Program {
+    assemble_kernel(
+        "core_list_search",
+        r#"
+            l.addi  r1, r0, 0x1000      # node array base (8 bytes per node)
+            l.addi  r3, r0, 0           # i
+            l.addi  r4, r0, 64          # node count
+    init:
+            l.slli  r5, r3, 3
+            l.add   r5, r5, r1
+            l.muli  r6, r3, 7
+            l.addi  r6, r6, 3
+            l.andi  r6, r6, 0x3f
+            l.sw    0(r5), r6           # node.value
+            l.addi  r7, r3, 1
+            l.sw    4(r5), r7           # node.next (index)
+            l.addi  r3, r3, 1
+            l.sfne  r3, r4
+            l.bf    init
+            l.nop   0
+
+            l.addi  r8, r0, 0           # search key
+            l.addi  r12, r0, 20         # number of searches
+    search:
+            l.addi  r3, r0, 0           # current node index
+            l.addi  r11, r0, 0          # visited counter
+    walk:
+            l.sfgeu r3, r4              # ran past the tail?
+            l.bf    next_key
+            l.nop   0
+            l.slli  r5, r3, 3
+            l.add   r5, r5, r1
+            l.lwz   r6, 0(r5)           # node.value
+            l.sfeq  r6, r8
+            l.bf    next_key
+            l.addi  r11, r11, 1         # delay slot: count the visit
+            l.lwz   r3, 4(r5)           # follow next pointer
+            l.j     walk
+            l.nop   0
+    next_key:
+            l.add   r16, r16, r11       # accumulate visit count
+            l.addi  r8, r8, 1
+            l.sfne  r8, r12
+            l.bf    search
+            l.nop   0
+            l.nop   1
+        "#,
+    )
+}
+
+/// 8×8 integer matrix multiplication with deterministic operand patterns.
+/// Multiply/accumulate and address arithmetic dominate.
+#[must_use]
+pub fn matrix_multiply() -> Program {
+    assemble_kernel("core_matrix", &crate::suite::matmul_source(8, 0x2000, 0x2200, 0x2400))
+}
+
+/// State machine over a 256-byte pseudo-random input stream: dense
+/// data-dependent branching, the control-heavy corner of CoreMark.
+#[must_use]
+pub fn state_machine() -> Program {
+    assemble_kernel(
+        "core_state_machine",
+        r#"
+            l.addi  r3, r0, 0           # i
+            l.addi  r4, r0, 256         # input length
+            l.ori   r5, r0, 12345       # LCG state
+            l.addi  r6, r0, 0           # FSM state
+            l.addi  r16, r0, 0          # accumulator
+    sm_loop:
+            l.muli  r5, r5, 1103
+            l.addi  r5, r5, 12347
+            l.andi  r7, r5, 0xFF        # next input byte
+            l.sfltui r7, 0x20
+            l.bf    sm_low
+            l.nop   0
+            l.sfltui r7, 0x80
+            l.bf    sm_mid
+            l.nop   0
+            l.xori  r6, r6, 1           # "symbol" class: toggle
+            l.j     sm_next
+            l.nop   0
+    sm_low:
+            l.addi  r6, r0, 0           # "whitespace": reset
+            l.j     sm_next
+            l.nop   0
+    sm_mid:
+            l.addi  r6, r6, 1           # "digit": advance, saturate at 3
+            l.sfgtsi r6, 3
+            l.bf    sm_cap
+            l.nop   0
+            l.j     sm_next
+            l.nop   0
+    sm_cap:
+            l.addi  r6, r0, 3
+    sm_next:
+            l.add   r16, r16, r6
+            l.addi  r3, r3, 1
+            l.sfne  r3, r4
+            l.bf    sm_loop
+            l.nop   0
+            l.nop   1
+        "#,
+    )
+}
+
+/// Bitwise CRC-16 (polynomial 0xA001) over a 128-byte pseudo-random buffer.
+/// Shifts, XORs and highly biased branches dominate.
+#[must_use]
+pub fn crc16() -> Program {
+    assemble_kernel(
+        "core_crc16",
+        r#"
+            l.addi  r3, r0, 0           # byte index
+            l.addi  r4, r0, 128         # buffer length
+            l.ori   r5, r0, 0xFFFF      # crc
+            l.ori   r6, r0, 777         # LCG state
+            l.ori   r10, r0, 0xA001     # reflected CRC-16 polynomial
+    crc_byte:
+            l.muli  r6, r6, 75
+            l.addi  r6, r6, 74
+            l.andi  r7, r6, 0xFF        # data byte
+            l.xor   r5, r5, r7
+            l.addi  r8, r0, 8           # bit counter
+    crc_bit:
+            l.andi  r9, r5, 1
+            l.srli  r5, r5, 1
+            l.sfnei r9, 0
+            l.bf    crc_xor
+            l.nop   0
+            l.j     crc_cont
+            l.nop   0
+    crc_xor:
+            l.xor   r5, r5, r10
+    crc_cont:
+            l.addi  r8, r8, -1
+            l.sfnei r8, 0
+            l.bf    crc_bit
+            l.nop   0
+            l.addi  r3, r3, 1
+            l.sfne  r3, r4
+            l.bf    crc_byte
+            l.nop   0
+            l.andi  r5, r5, 0xFFFF
+            l.sw    0x0F00(r0), r5      # publish the checksum
+            l.nop   1
+        "#,
+    )
+}
+
+/// All four CoreMark-like kernels with their benchmark names.
+#[must_use]
+pub fn all() -> Vec<Program> {
+    vec![list_search(), matrix_multiply(), state_machine(), crc16()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idca_pipeline::{SimConfig, Simulator};
+
+    fn run(program: &Program) -> idca_pipeline::SimResult {
+        Simulator::new(SimConfig::default())
+            .run(program)
+            .unwrap_or_else(|e| panic!("{} failed to run: {e}", program.name()))
+    }
+
+    #[test]
+    fn all_kernels_terminate_with_reasonable_ipc() {
+        for program in all() {
+            let result = run(&program);
+            let ipc = result.trace.ipc();
+            assert!(
+                result.trace.cycle_count() > 1_000,
+                "{} is too short ({} cycles)",
+                program.name(),
+                result.trace.cycle_count()
+            );
+            assert!(ipc > 0.6, "{} has IPC {ipc}", program.name());
+        }
+    }
+
+    #[test]
+    fn crc16_matches_reference_implementation() {
+        // Reproduce the kernel's LCG input stream and CRC in Rust.
+        let mut crc: u32 = 0xFFFF;
+        let mut lcg: u32 = 777;
+        for _ in 0..128 {
+            lcg = lcg.wrapping_mul(75).wrapping_add(74);
+            let byte = lcg & 0xFF;
+            crc ^= byte;
+            for _ in 0..8 {
+                let lsb = crc & 1;
+                crc >>= 1;
+                if lsb != 0 {
+                    crc ^= 0xA001;
+                }
+            }
+        }
+        crc &= 0xFFFF;
+        let result = run(&crc16());
+        assert_eq!(result.state.memory.load_word(0x0F00).unwrap(), crc);
+    }
+
+    #[test]
+    fn matrix_multiply_produces_expected_corner_element() {
+        // C[0][0] = sum_k A[0][k] * B[k][0] with A[i]=3i+1 (row major index)
+        // and B[i]=i^5, matching the kernel's init loops.
+        let n = 8u32;
+        let a = |idx: u32| idx * 3 + 1;
+        let b = |idx: u32| idx ^ 5;
+        let mut expected: u32 = 0;
+        for k in 0..n {
+            expected = expected.wrapping_add(a(k).wrapping_mul(b(k * n)));
+        }
+        let result = run(&matrix_multiply());
+        assert_eq!(result.state.memory.load_word(0x2400).unwrap(), expected);
+    }
+
+    #[test]
+    fn state_machine_visits_all_branch_arms() {
+        let result = run(&state_machine());
+        let stats = result.trace.stats();
+        // A healthy state machine run takes and skips branches.
+        assert!(stats.taken_branches > 100);
+        assert!(stats.branches > stats.taken_branches);
+    }
+
+    #[test]
+    fn list_search_is_memory_dominated() {
+        let result = run(&list_search());
+        let stats = result.trace.stats();
+        assert!(stats.memory_accesses > 500, "{}", stats.memory_accesses);
+        assert!(stats.multiplications < stats.memory_accesses);
+    }
+}

@@ -1,0 +1,59 @@
+//! # idca-workloads — benchmark kernels and characterization workloads
+//!
+//! The paper evaluates its dynamic clock-adjustment technique with the
+//! CoreMark and BEEBS embedded benchmark suites (compiled with the OpenRISC
+//! GCC toolchain) and characterizes the core's dynamic timing with
+//! hand-written kernels plus directed semi-random test programs.
+//!
+//! The cross-compilation toolchain and the original C sources are not
+//! available offline, so this crate provides equivalent workloads written
+//! directly in the modelled ORBIS32 subset:
+//!
+//! * [`coremark`] — CoreMark-like kernels: linked-list search, integer
+//!   matrix multiplication, a state machine over a pseudo-random byte
+//!   stream, and CRC-16.
+//! * [`beebs`] — BEEBS-like kernels: CRC-32, iterative Fibonacci with real
+//!   calls, integer matrix multiply, insertion sort, FIR filter,
+//!   Levenshtein distance, Monte-Carlo estimation, fixed-point n-body,
+//!   a Dijkstra-style nearest-node scan and an 8-point DCT.
+//! * [`characterization`] — directed per-instruction worst-case kernels and
+//!   a seeded semi-random program generator (the paper's "directed
+//!   semi-random test generation" stand-in), used to populate the delay LUT.
+//! * [`suite`] — the assembled benchmark suite with one [`Workload`] entry
+//!   per kernel, as consumed by the Fig. 8 benches and the `repro` harness.
+//!
+//! Every kernel terminates with the `l.nop 1` exit marker and keeps its data
+//! within the default 64 KiB data memory.
+//!
+//! # Example
+//!
+//! ```
+//! use idca_workloads::suite::benchmark_suite;
+//!
+//! let suite = benchmark_suite();
+//! assert!(suite.len() >= 12);
+//! assert!(suite.iter().any(|w| w.name.contains("crc32")));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod beebs;
+pub mod characterization;
+pub mod coremark;
+pub mod suite;
+
+pub use suite::{benchmark_suite, Category, Workload};
+
+use idca_isa::{asm::Assembler, Program};
+
+/// Assembles one kernel source, panicking with a readable message if the
+/// (statically known) source text is malformed. Workload sources are
+/// compile-time constants of this crate, so failing to assemble is a bug,
+/// not a runtime condition a caller could handle.
+pub(crate) fn assemble_kernel(name: &str, source: &str) -> Program {
+    Assembler::new()
+        .with_name(name)
+        .assemble(source)
+        .unwrap_or_else(|e| panic!("workload kernel `{name}` failed to assemble: {e}"))
+}

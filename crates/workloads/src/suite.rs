@@ -1,0 +1,198 @@
+//! The assembled benchmark suite and shared kernel generators.
+
+use crate::{beebs, characterization, coremark};
+use idca_isa::Program;
+
+/// Which suite a workload belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// CoreMark-like kernels (list, matrix, state machine, CRC).
+    CoreMark,
+    /// BEEBS-like embedded kernels.
+    Beebs,
+    /// Characterization workloads used to populate the delay LUT.
+    Characterization,
+}
+
+impl std::fmt::Display for Category {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Category::CoreMark => f.write_str("CoreMark"),
+            Category::Beebs => f.write_str("BEEBS"),
+            Category::Characterization => f.write_str("characterization"),
+        }
+    }
+}
+
+/// One benchmark: a named program plus its suite category.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Benchmark name (matches the program name).
+    pub name: String,
+    /// Suite the benchmark belongs to.
+    pub category: Category,
+    /// The executable program image.
+    pub program: Program,
+}
+
+impl Workload {
+    fn new(category: Category, program: Program) -> Self {
+        Workload {
+            name: program.name().to_string(),
+            category,
+            program,
+        }
+    }
+}
+
+/// The full evaluation suite used for Fig. 8: four CoreMark-like kernels and
+/// ten BEEBS-like kernels.
+#[must_use]
+pub fn benchmark_suite() -> Vec<Workload> {
+    let mut suite = Vec::new();
+    for program in coremark::all() {
+        suite.push(Workload::new(Category::CoreMark, program));
+    }
+    for program in beebs::all() {
+        suite.push(Workload::new(Category::Beebs, program));
+    }
+    suite
+}
+
+/// The characterization workload (directed kernels plus semi-random code)
+/// used to build the delay LUT, wrapped as a [`Workload`].
+#[must_use]
+pub fn characterization_workload(seed: u64) -> Workload {
+    Workload::new(
+        Category::Characterization,
+        characterization::characterization_program(seed),
+    )
+}
+
+/// Generates the assembly source of an `n×n` integer matrix multiplication
+/// with operand matrices initialized as `A[i] = 3·i + 1` and `B[i] = i ⊕ 5`.
+///
+/// The same generator backs the CoreMark-like 8×8 kernel and the BEEBS-like
+/// 6×6 `matmult-int` kernel.
+#[must_use]
+pub(crate) fn matmul_source(n: u32, a_base: u32, b_base: u32, c_base: u32) -> String {
+    let total = n * n;
+    format!(
+        r#"
+            l.movhi r1, {a_hi:#x}
+            l.ori   r1, r1, {a_lo:#x}      # A base
+            l.movhi r2, {b_hi:#x}
+            l.ori   r2, r2, {b_lo:#x}      # B base
+            l.movhi r13, {c_hi:#x}
+            l.ori   r13, r13, {c_lo:#x}    # C base
+            l.addi  r3, r0, 0
+            l.addi  r4, r0, {total}
+    mm_init:
+            l.slli  r5, r3, 2
+            l.add   r6, r5, r1
+            l.muli  r7, r3, 3
+            l.addi  r7, r7, 1
+            l.sw    0(r6), r7
+            l.add   r6, r5, r2
+            l.xori  r7, r3, 5
+            l.sw    0(r6), r7
+            l.addi  r3, r3, 1
+            l.sfne  r3, r4
+            l.bf    mm_init
+            l.nop   0
+
+            l.addi  r3, r0, 0              # i
+    mm_i:
+            l.addi  r5, r0, 0              # j
+    mm_j:
+            l.addi  r6, r0, 0              # k
+            l.addi  r7, r0, 0              # acc
+    mm_k:
+            l.muli  r8, r3, {n}
+            l.add   r8, r8, r6             # i*n + k
+            l.slli  r8, r8, 2
+            l.add   r8, r8, r1
+            l.lwz   r10, 0(r8)             # A[i][k]
+            l.muli  r11, r6, {n}
+            l.add   r11, r11, r5           # k*n + j
+            l.slli  r11, r11, 2
+            l.add   r11, r11, r2
+            l.lwz   r12, 0(r11)            # B[k][j]
+            l.mul   r14, r10, r12
+            l.add   r7, r7, r14
+            l.addi  r6, r6, 1
+            l.sfnei r6, {n}
+            l.bf    mm_k
+            l.nop   0
+            l.muli  r8, r3, {n}
+            l.add   r8, r8, r5
+            l.slli  r8, r8, 2
+            l.add   r8, r8, r13
+            l.sw    0(r8), r7              # C[i][j]
+            l.addi  r5, r5, 1
+            l.sfnei r5, {n}
+            l.bf    mm_j
+            l.nop   0
+            l.addi  r3, r3, 1
+            l.sfnei r3, {n}
+            l.bf    mm_i
+            l.nop   0
+            l.nop   1
+        "#,
+        a_hi = a_base >> 16,
+        a_lo = a_base & 0xFFFF,
+        b_hi = b_base >> 16,
+        b_lo = b_base & 0xFFFF,
+        c_hi = c_base >> 16,
+        c_lo = c_base & 0xFFFF,
+        total = total,
+        n = n,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idca_pipeline::{SimConfig, Simulator};
+
+    #[test]
+    fn suite_contains_both_categories_with_unique_names() {
+        let suite = benchmark_suite();
+        assert!(suite.iter().any(|w| w.category == Category::CoreMark));
+        assert!(suite.iter().any(|w| w.category == Category::Beebs));
+        assert!(suite.len() >= 12);
+        let mut names: Vec<&str> = suite.iter().map(|w| w.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), suite.len(), "benchmark names must be unique");
+    }
+
+    #[test]
+    fn every_workload_terminates() {
+        let sim = Simulator::new(SimConfig::default());
+        for workload in benchmark_suite() {
+            let result = sim
+                .run(&workload.program)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", workload.name));
+            assert!(
+                result.trace.cycle_count() > 500,
+                "{} ran only {} cycles",
+                workload.name,
+                result.trace.cycle_count()
+            );
+        }
+    }
+
+    #[test]
+    fn characterization_workload_is_labelled() {
+        let w = characterization_workload(7);
+        assert_eq!(w.category, Category::Characterization);
+        assert!(!w.program.is_empty());
+    }
+
+    #[test]
+    fn category_display_names() {
+        assert_eq!(Category::CoreMark.to_string(), "CoreMark");
+        assert_eq!(Category::Beebs.to_string(), "BEEBS");
+    }
+}

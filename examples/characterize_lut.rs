@@ -1,0 +1,66 @@
+//! Reproduces the paper's characterization flow end to end: run the directed
+//! plus semi-random characterization workload through the gate-level
+//! simulation substitute, perform dynamic timing analysis, extract the delay
+//! LUT (Table II) and export it as JSON.
+//!
+//! Run with: `cargo run --release --example characterize_lut`
+
+use idca::prelude::*;
+use idca::timing::Histogram;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = TimingModel::at_nominal(ProfileKind::CriticalRangeOptimized);
+    let characterization = characterization_workload(0xC0DE);
+    let trace = Simulator::new(SimConfig::default())
+        .run(&characterization.program)?
+        .trace;
+    println!(
+        "characterization: {} cycles, {} retired instructions",
+        trace.cycle_count(),
+        trace.retired()
+    );
+
+    // Gate-level-simulation substitute -> endpoint event log -> DTA.
+    let event_log = model.event_log(&trace);
+    println!(
+        "event log: {} events over {} endpoints, worst slack {:.0} ps",
+        event_log.len(),
+        event_log.endpoints().len(),
+        event_log.worst_slack_ps().unwrap_or(f64::NAN)
+    );
+    let dta = DynamicTimingAnalysis::from_event_log(&event_log, &trace, model.static_period_ps());
+
+    println!(
+        "\nper-cycle dynamic delay: mean {:.0} ps vs static {:.0} ps  (genie speedup {:.0} %)",
+        dta.mean_cycle_delay_ps(),
+        dta.static_period_ps(),
+        (dta.genie_speedup() - 1.0) * 100.0
+    );
+    println!("\nhistogram of per-cycle maximum delays (Fig. 5):");
+    print!("{}", downsample(dta.cycle_histogram()));
+
+    // The delay LUT / Table II.
+    let lut = DelayLut::from_dta(&dta, 8);
+    println!("\nTable II — dynamic instruction delay worst-cases:");
+    println!("{:<16} {:>12} {:>8} {:>14}", "instruction", "max delay", "stage", "observations");
+    for row in lut.table2_rows() {
+        println!(
+            "{:<16} {:>9.0} ps {:>8} {:>14}",
+            row.class.label(),
+            row.max_delay_ps,
+            row.stage.label(),
+            row.observations
+        );
+    }
+
+    let json = lut.to_json()?;
+    let path = std::env::temp_dir().join("idca_delay_lut.json");
+    std::fs::write(&path, &json)?;
+    println!("\ndelay LUT exported to {}", path.display());
+    Ok(())
+}
+
+/// Renders a histogram with a coarser bar so the example output stays short.
+fn downsample(histogram: &Histogram) -> String {
+    histogram.to_ascii(40)
+}

@@ -1,0 +1,80 @@
+//! Quickstart: assemble a small program, run it on the 6-stage pipeline and
+//! compare conventional clocking against instruction-based dynamic clock
+//! adjustment.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use idca::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small kernel: sum of squares of 1..=50, with a multiply, a store and
+    // a load in every iteration.
+    let program = Assembler::new().with_name("sum-of-squares").assemble(
+        r#"
+                l.addi  r1, r0, 0x100     # scratch pointer
+                l.addi  r3, r0, 50        # loop counter
+                l.addi  r4, r0, 0         # accumulator
+        loop:
+                l.mul   r5, r3, r3
+                l.sw    0(r1), r5
+                l.lwz   r6, 0(r1)
+                l.add   r4, r4, r6
+                l.addi  r3, r3, -1
+                l.sfne  r3, r0
+                l.bf    loop
+                l.nop   0
+                l.nop   1                 # exit marker
+        "#,
+    )?;
+
+    // Cycle-accurate execution with a full per-cycle activity trace.
+    let result = Simulator::new(SimConfig::default()).run(&program)?;
+    println!("program `{}`", program.name());
+    println!("  retired instructions : {}", result.trace.retired());
+    println!("  cycles               : {}", result.trace.cycle_count());
+    println!("  IPC                  : {:.3}", result.trace.ipc());
+    println!("  r4 (sum of squares)  : {}", result.state.reg(Reg::r(4)));
+
+    // The synthetic post-layout timing model at the nominal 0.70 V point.
+    let model = TimingModel::at_nominal(ProfileKind::CriticalRangeOptimized);
+    println!(
+        "\nstatic timing limit      : {:.0} ps  ({:.1} MHz)",
+        model.static_period_ps(),
+        1.0e6 / model.static_period_ps()
+    );
+
+    // Conventional synchronous clocking vs the paper's technique.
+    let baseline = run_with_policy(
+        &model,
+        &result.trace,
+        &StaticClock::of_model(&model),
+        &ClockGenerator::Ideal,
+    );
+    let lut = DelayLut::from_model(&model);
+    let dynamic = run_with_policy(
+        &model,
+        &result.trace,
+        &InstructionBased::new(lut),
+        &ClockGenerator::Ideal,
+    );
+    let genie = run_with_policy(
+        &model,
+        &result.trace,
+        &GenieOracle::new(model.clone()),
+        &ClockGenerator::Ideal,
+    );
+
+    println!("\nclocking policy comparison:");
+    for outcome in [&baseline, &dynamic, &genie] {
+        println!(
+            "  {:<18} {:>7.1} MHz   avg period {:>7.1} ps   violations {}",
+            outcome.policy, outcome.effective_frequency_mhz, outcome.avg_period_ps, outcome.violations
+        );
+    }
+    println!(
+        "\ninstruction-based speedup: {:.1} %  (genie bound {:.1} %)",
+        (dynamic.speedup_over(&baseline) - 1.0) * 100.0,
+        (genie.speedup_over(&baseline) - 1.0) * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! # idca — instruction-based dynamic clock adjustment (umbrella crate)
+//!
+//! Reproduction of *"Exploiting dynamic timing margins in microprocessors
+//! for frequency-over-scaling with instruction-based clock adjustment"*
+//! (Constantin, Wang, Karakonstantis, Chattopadhyay, Burg — DATE 2015).
+//!
+//! This crate re-exports the individual workspace crates under one roof:
+//!
+//! * [`isa`] — the OpenRISC ORBIS32 subset (instructions, assembler).
+//! * [`pipeline`] — the cycle-accurate 6-stage pipeline simulator.
+//! * [`timing`] — the synthetic post-layout timing model, dynamic timing
+//!   analysis and power model.
+//! * [`core`] — the delay LUT, clock-adjustment policies, dynamic-clock
+//!   simulation, evaluation and voltage-frequency scaling.
+//! * [`workloads`] — CoreMark-like and BEEBS-like benchmark kernels plus
+//!   the characterization workload.
+//!
+//! The most common entry points are also re-exported in the [`prelude`].
+//!
+//! # Quickstart
+//!
+//! ```
+//! use idca::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // 1. Assemble and run a program on the 6-stage pipeline.
+//! let program = Assembler::new().assemble(
+//!     "l.addi r3, r0, 100\nloop: l.addi r3, r3, -1\n l.sfne r3, r0\n l.bf loop\n l.nop 0\n l.nop 1\n",
+//! )?;
+//! let trace = Simulator::new(SimConfig::default()).run(&program)?.trace;
+//!
+//! // 2. Evaluate conventional vs instruction-based dynamic clocking.
+//! let model = TimingModel::at_nominal(ProfileKind::CriticalRangeOptimized);
+//! let baseline = run_with_policy(&model, &trace, &StaticClock::of_model(&model), &ClockGenerator::Ideal);
+//! let dynamic = run_with_policy(&model, &trace, &InstructionBased::from_model(&model), &ClockGenerator::Ideal);
+//! assert!(dynamic.speedup_over(&baseline) > 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use idca_core as core;
+pub use idca_isa as isa;
+pub use idca_pipeline as pipeline;
+pub use idca_timing as timing;
+pub use idca_workloads as workloads;
+
+/// Convenient glob-import of the most frequently used types.
+pub mod prelude {
+    pub use idca_core::{
+        eval, policy::ExecuteOnly, policy::GenieOracle, policy::InstructionBased,
+        policy::StaticClock, run_with_policy, vfs, ClockGenerator, ClockPolicy, DelayLut,
+        RunOutcome,
+    };
+    pub use idca_isa::{asm::Assembler, Insn, Opcode, Program, ProgramBuilder, Reg, TimingClass};
+    pub use idca_pipeline::{PipelineTrace, SimConfig, SimResult, Simulator, Stage};
+    pub use idca_timing::{
+        dta::DynamicTimingAnalysis, ActivitySummary, CellLibrary, PowerModel, ProfileKind,
+        TimingModel, TimingProfile,
+    };
+    pub use idca_workloads::{benchmark_suite, suite::characterization_workload, Workload};
+}

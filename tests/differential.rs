@@ -1,0 +1,72 @@
+//! Differential testing: the cycle-accurate pipeline simulator must produce
+//! exactly the same architectural results as the sequential reference
+//! interpreter on every benchmark workload.
+
+use idca::pipeline::{Interpreter, SimConfig, Simulator};
+use idca::prelude::*;
+
+#[test]
+fn pipeline_matches_interpreter_on_every_benchmark() {
+    let simulator = Simulator::new(SimConfig::default());
+    let interpreter = Interpreter::new();
+    for workload in benchmark_suite() {
+        let pipelined = simulator
+            .run(&workload.program)
+            .unwrap_or_else(|e| panic!("{}: pipeline failed: {e}", workload.name));
+        let golden = interpreter
+            .run(&workload.program)
+            .unwrap_or_else(|e| panic!("{}: interpreter failed: {e}", workload.name));
+
+        assert_eq!(
+            pipelined.state.regs.as_array(),
+            golden.regs.as_array(),
+            "{}: register files diverge",
+            workload.name
+        );
+        assert_eq!(
+            pipelined.state.flag, golden.flag,
+            "{}: flag diverges",
+            workload.name
+        );
+        // Compare the data-memory regions the kernels actually use.
+        for address in (0..0x8000u32).step_by(4) {
+            let a = pipelined.state.memory.load_word(address).unwrap();
+            let b = golden.memory.load_word(address).unwrap();
+            assert_eq!(a, b, "{}: memory diverges at {address:#06x}", workload.name);
+        }
+    }
+}
+
+#[test]
+fn pipeline_matches_interpreter_on_characterization_workloads() {
+    let simulator = Simulator::new(SimConfig::default());
+    let interpreter = Interpreter::new();
+    for seed in [1u64, 0xC0DE, 987_654_321] {
+        let workload = characterization_workload(seed);
+        let pipelined = simulator.run(&workload.program).expect("pipeline runs");
+        let golden = interpreter.run(&workload.program).expect("interpreter runs");
+        assert_eq!(
+            pipelined.state.regs.as_array(),
+            golden.regs.as_array(),
+            "seed {seed}: register files diverge"
+        );
+    }
+}
+
+#[test]
+fn retired_instruction_counts_match_between_models() {
+    // The pipeline retires exactly the architecturally executed instructions
+    // (bubbles and flushed wrong-path fetches never retire).
+    let simulator = Simulator::new(SimConfig::default());
+    let interpreter = Interpreter::new();
+    for workload in benchmark_suite().into_iter().take(6) {
+        let pipelined = simulator.run(&workload.program).unwrap();
+        let golden = interpreter.run(&workload.program).unwrap();
+        assert_eq!(
+            pipelined.trace.retired(),
+            golden.retired,
+            "{}: retirement counts diverge",
+            workload.name
+        );
+    }
+}
