@@ -17,20 +17,36 @@ fn bench_ablations(c: &mut Criterion) {
     group.sample_size(10);
     group.measurement_time(Duration::from_secs(8));
     group.bench_function("suite_with_quantized_clock_generator", |b| {
-        b.iter(|| {
-            black_box(&exp).fig8_with(black_box(&policy), &ClockGenerator::quantized_50ps())
-        })
+        b.iter(|| black_box(&exp).fig8_with(black_box(&policy), &ClockGenerator::quantized_50ps()))
     });
     group.finish();
 
     let ablations = exp.ablations();
     println!("\n[ablations] mean suite speedup by configuration:");
-    println!("[ablations]   ideal clock generator       : {:>5.1} %", ablations.ideal_cg_percent);
-    println!("[ablations]   quantized (50 ps) generator : {:>5.1} %", ablations.quantized_cg_percent);
-    println!("[ablations]   discrete (8-level) generator: {:>5.1} %", ablations.discrete_cg_percent);
-    println!("[ablations]   execute-only monitoring     : {:>5.1} %", ablations.execute_only_percent);
-    println!("[ablations]   conventional (wall) profile : {:>5.1} %", ablations.conventional_profile_percent);
-    println!("[ablations]   genie oracle                : {:>5.1} %", ablations.genie_percent);
+    println!(
+        "[ablations]   ideal clock generator       : {:>5.1} %",
+        ablations.ideal_cg_percent
+    );
+    println!(
+        "[ablations]   quantized (50 ps) generator : {:>5.1} %",
+        ablations.quantized_cg_percent
+    );
+    println!(
+        "[ablations]   discrete (8-level) generator: {:>5.1} %",
+        ablations.discrete_cg_percent
+    );
+    println!(
+        "[ablations]   execute-only monitoring     : {:>5.1} %",
+        ablations.execute_only_percent
+    );
+    println!(
+        "[ablations]   conventional (wall) profile : {:>5.1} %",
+        ablations.conventional_profile_percent
+    );
+    println!(
+        "[ablations]   genie oracle                : {:>5.1} %",
+        ablations.genie_percent
+    );
     println!(
         "[ablations] violations with a 500-cycle characterization LUT: {}",
         ablations.truncated_lut_violations

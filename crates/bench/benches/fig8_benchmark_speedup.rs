@@ -35,7 +35,10 @@ fn bench_fig8(c: &mut Criterion) {
         paper::FIG8_DYNAMIC_MHZ,
         paper::FIG8_SPEEDUP_PERCENT
     );
-    println!("[fig8] suite timing violations: {}", summary.total_violations());
+    println!(
+        "[fig8] suite timing violations: {}",
+        summary.total_violations()
+    );
 }
 
 criterion_group!(benches, bench_fig8);

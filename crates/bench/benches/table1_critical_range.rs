@@ -26,8 +26,17 @@ fn bench_table1(c: &mut Criterion) {
     println!("\n[table1] instruction        measured   paper");
     for row in exp.table1() {
         match row.paper {
-            Some(p) => println!("[table1] {:<18} {:>8.2} {:>7.2}", row.class.label(), row.factor, p),
-            None => println!("[table1] {:<18} {:>8.2}       -", row.class.label(), row.factor),
+            Some(p) => println!(
+                "[table1] {:<18} {:>8.2} {:>7.2}",
+                row.class.label(),
+                row.factor,
+                p
+            ),
+            None => println!(
+                "[table1] {:<18} {:>8.2}       -",
+                row.class.label(),
+                row.factor
+            ),
         }
     }
     let conventional = TimingProfile::new(ProfileKind::Conventional);

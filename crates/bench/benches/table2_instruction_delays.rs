@@ -20,7 +20,9 @@ fn bench_table2(c: &mut Criterion) {
 
     println!("\n[table2] instruction        measured  stage  observations   paper  stage");
     for row in exp.table2() {
-        let reference = paper::TABLE2.iter().find(|(label, _, _)| *label == row.class.label());
+        let reference = paper::TABLE2
+            .iter()
+            .find(|(label, _, _)| *label == row.class.label());
         let (paper_ps, paper_stage) = match reference {
             Some((_, ps, stage)) => (format!("{ps:.0}"), (*stage).to_string()),
             None => ("-".into(), "-".into()),

@@ -2,15 +2,59 @@
 //! section and prints paper-vs-measured rows (the source of EXPERIMENTS.md).
 //!
 //! Usage: `cargo run --release -p idca-bench --bin repro [-- --fig5 --table2 ...]`
-//! With no flags, every experiment is reproduced.
+//! With no flags, every experiment is reproduced. Unknown flags are
+//! rejected (a typo like `--fig9` must not silently select nothing).
 
 use idca_bench::{paper, Experiments};
+use std::process::ExitCode;
 
-fn main() {
+/// The accepted experiment flags with their descriptions.
+const FLAGS: [(&str, &str); 9] = [
+    (
+        "--fig5",
+        "per-cycle dynamic-delay histogram and genie bound",
+    ),
+    ("--fig6", "limiting-pipeline-stage shares"),
+    ("--fig7", "per-stage dynamic delays of l.mul"),
+    ("--fig8", "per-benchmark effective clock frequency"),
+    ("--table1", "critical-range optimization max-delay factors"),
+    ("--table2", "per-instruction worst-case dynamic delays"),
+    ("--power", "iso-throughput voltage scaling (§IV-B)"),
+    ("--ablations", "design-choice sensitivity studies"),
+    ("--summary", "headline paper-vs-measured summary"),
+];
+
+fn print_help() {
+    println!("repro — regenerates the paper's tables and figures (paper vs measured)");
+    println!();
+    println!("Usage: repro [FLAGS]\n");
+    println!("With no flags, every experiment is reproduced. Flags:");
+    for (flag, description) in FLAGS {
+        println!("  {flag:<12} {description}");
+    }
+    println!("  {:<12} print this help and exit", "--help");
+}
+
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print_help();
+        return ExitCode::SUCCESS;
+    }
+    if let Some(unknown) = args
+        .iter()
+        .find(|a| !FLAGS.iter().any(|(flag, _)| flag == a))
+    {
+        eprintln!("error: unknown flag `{unknown}`");
+        eprintln!("run `repro --help` for the accepted flags");
+        return ExitCode::FAILURE;
+    }
     let want = |flag: &str| args.is_empty() || args.iter().any(|a| a == flag);
 
-    eprintln!("preparing characterization run (seed {:#x})...", idca_bench::CHARACTERIZATION_SEED);
+    eprintln!(
+        "preparing characterization run (seed {:#x})...",
+        idca_bench::CHARACTERIZATION_SEED
+    );
     let exp = Experiments::prepare();
     println!(
         "static timing limit: {:.0} ps ({:.1} MHz) at 0.70 V  [paper: {:.0} ps / 494 MHz]",
@@ -20,8 +64,7 @@ fn main() {
     );
     println!(
         "characterization: {} cycles, {} retired instructions\n",
-        exp.characterization_trace.cycle_count(),
-        exp.characterization_trace.retired()
+        exp.characterization.cycles, exp.characterization.retired
     );
 
     if want("--fig5") {
@@ -66,8 +109,12 @@ fn main() {
             }
         }
         let sta_ratio = exp.model.static_period_ps()
-            / idca_timing::TimingProfile::new(idca_timing::ProfileKind::Conventional).static_period_ps();
-        println!("  STA period increase from the optimization: {:.1} %  [paper 9 %]\n", (sta_ratio - 1.0) * 100.0);
+            / idca_timing::TimingProfile::new(idca_timing::ProfileKind::Conventional)
+                .static_period_ps();
+        println!(
+            "  STA period increase from the optimization: {:.1} %  [paper 9 %]\n",
+            (sta_ratio - 1.0) * 100.0
+        );
     }
 
     if want("--table2") {
@@ -77,7 +124,9 @@ fn main() {
             "instruction", "measured ps", "stage", "observations", "paper ps", "stage"
         );
         for row in exp.table2() {
-            let reference = paper::TABLE2.iter().find(|(label, _, _)| *label == row.class.label());
+            let reference = paper::TABLE2
+                .iter()
+                .find(|(label, _, _)| *label == row.class.label());
             let (paper_ps, paper_stage) = match reference {
                 Some((_, ps, stage)) => (format!("{ps:.0}"), (*stage).to_string()),
                 None => ("-".to_string(), "-".to_string()),
@@ -97,7 +146,10 @@ fn main() {
 
     if want("--fig7") {
         println!("== Fig. 7 — per-stage dynamic delays of l.mul ==");
-        println!("  {:<6} {:>13} {:>10} {:>10}", "stage", "observations", "mean ps", "max ps");
+        println!(
+            "  {:<6} {:>13} {:>10} {:>10}",
+            "stage", "observations", "mean ps", "max ps"
+        );
         for row in exp.fig7() {
             println!(
                 "  {:<6} {:>13} {:>10.0} {:>10.0}",
@@ -132,7 +184,10 @@ fn main() {
             paper::FIG8_DYNAMIC_MHZ,
             paper::FIG8_SPEEDUP_PERCENT
         );
-        println!("  timing violations across the suite: {}\n", summary.total_violations());
+        println!(
+            "  timing violations across the suite: {}\n",
+            summary.total_violations()
+        );
     }
 
     if want("--power") {
@@ -164,12 +219,30 @@ fn main() {
     if want("--ablations") {
         println!("== Ablations ==");
         let ablations = exp.ablations();
-        println!("  mean suite speedup, ideal clock generator      : {:>5.1} %", ablations.ideal_cg_percent);
-        println!("  mean suite speedup, 50 ps quantized generator  : {:>5.1} %", ablations.quantized_cg_percent);
-        println!("  mean suite speedup, 8-level discrete generator : {:>5.1} %", ablations.discrete_cg_percent);
-        println!("  mean suite speedup, execute-only monitoring    : {:>5.1} %", ablations.execute_only_percent);
-        println!("  mean suite speedup, conventional (wall) profile: {:>5.1} %", ablations.conventional_profile_percent);
-        println!("  mean suite speedup, genie oracle               : {:>5.1} %", ablations.genie_percent);
+        println!(
+            "  mean suite speedup, ideal clock generator      : {:>5.1} %",
+            ablations.ideal_cg_percent
+        );
+        println!(
+            "  mean suite speedup, 50 ps quantized generator  : {:>5.1} %",
+            ablations.quantized_cg_percent
+        );
+        println!(
+            "  mean suite speedup, 8-level discrete generator : {:>5.1} %",
+            ablations.discrete_cg_percent
+        );
+        println!(
+            "  mean suite speedup, execute-only monitoring    : {:>5.1} %",
+            ablations.execute_only_percent
+        );
+        println!(
+            "  mean suite speedup, conventional (wall) profile: {:>5.1} %",
+            ablations.conventional_profile_percent
+        );
+        println!(
+            "  mean suite speedup, genie oracle               : {:>5.1} %",
+            ablations.genie_percent
+        );
         println!(
             "  violations with a truncated-characterization LUT: {}",
             ablations.truncated_lut_violations
@@ -190,4 +263,6 @@ fn main() {
             (summary.mean_speedup() - 1.0) * 100.0
         );
     }
+
+    ExitCode::SUCCESS
 }

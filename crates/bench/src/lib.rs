@@ -19,17 +19,16 @@
 use idca_core::{
     eval::{self, SuiteSummary},
     policy::{ExecuteOnly, GenieOracle, InstructionBased, StaticClock},
-    run_with_policy,
     vfs::{self, VoltageScalingResult},
-    ClockGenerator, DelayLut,
+    ClockGenerator, ClockPolicy, DelayLut, PolicyObserver,
 };
-use idca_isa::TimingClass;
-use idca_pipeline::{PipelineTrace, SimConfig, Simulator, Stage};
+use idca_isa::{Program, TimingClass};
+use idca_pipeline::{RunSummary, SimConfig, Simulator, Stage, TakeObserver};
 use idca_timing::{
     dta::DynamicTimingAnalysis, CellLibrary, Histogram, PowerModel, ProfileKind, TimingModel,
     TimingProfile,
 };
-use idca_workloads::{benchmark_suite, suite::characterization_workload};
+use idca_workloads::{benchmark_suite, suite, suite::characterization_workload, Workload};
 
 /// Seed used for the characterization workload throughout the harness.
 pub const CHARACTERIZATION_SEED: u64 = 0xC0DE;
@@ -165,7 +164,8 @@ pub struct Ablations {
 }
 
 /// Pre-computed state shared by all experiments: the timing models, the
-/// characterization run, its DTA and the extracted delay LUT.
+/// characterization run totals, its DTA, the extracted delay LUT and the
+/// pre-assembled benchmark suite.
 pub struct Experiments {
     /// Timing model of the critical-range-optimized core at 0.70 V.
     pub model: TimingModel,
@@ -175,8 +175,10 @@ pub struct Experiments {
     pub library: CellLibrary,
     /// The activity-based power model.
     pub power: PowerModel,
-    /// Pipeline trace of the characterization workload.
-    pub characterization_trace: PipelineTrace,
+    /// Run totals (cycles, retired instructions) of the characterization
+    /// workload. The per-cycle records stream straight into the DTA; no
+    /// trace is materialized.
+    pub characterization: RunSummary,
     /// DTA of the characterization run on the optimized core.
     pub dta: DynamicTimingAnalysis,
     /// Raw delay LUT extracted from the characterization (min. 8
@@ -186,11 +188,15 @@ pub struct Experiments {
     /// characterization entries plus a 1.5 % guardband covering data
     /// conditions the characterization stimuli did not produce.
     pub lut: DelayLut,
+    /// The assembled Fig. 8 benchmark suite (assembled once, in parallel).
+    pub suite: Vec<Workload>,
 }
 
 impl Experiments {
     /// Runs the characterization flow once and prepares everything the
-    /// individual experiments need.
+    /// individual experiments need. The characterization workload is
+    /// simulated exactly once, streaming into the dynamic timing analysis —
+    /// no `Vec<CycleRecord>` is allocated anywhere in this function.
     #[must_use]
     pub fn prepare() -> Self {
         let library = CellLibrary::fdsoi28();
@@ -198,22 +204,25 @@ impl Experiments {
         let conventional = TimingModel::at_nominal(ProfileKind::Conventional);
         let power = PowerModel::new(library.clone());
         let workload = characterization_workload(CHARACTERIZATION_SEED);
-        let characterization_trace = Simulator::new(SimConfig::default())
-            .run(&workload.program)
+        let mut dta_observer = DynamicTimingAnalysis::streaming(&model);
+        let characterization = Simulator::new(SimConfig::default())
+            .run_observed(&workload.program, &mut [&mut dta_observer])
             .expect("characterization workload runs")
-            .trace;
-        let dta = DynamicTimingAnalysis::run(&model, &characterization_trace);
+            .summary;
+        let dta = dta_observer.into_analysis();
         let raw_lut = DelayLut::from_dta(&dta, 8);
         let lut = raw_lut.with_guardband(0.015);
+        let suite = benchmark_suite();
         Experiments {
             model,
             conventional,
             library,
             power,
-            characterization_trace,
+            characterization,
             dta,
             raw_lut,
             lut,
+            suite,
         }
     }
 
@@ -278,7 +287,11 @@ impl Experiments {
                     stage,
                     observations: hist.count(),
                     mean_ps: hist.mean(),
-                    max_ps: if hist.count() == 0 { 0.0 } else { hist.observed_max() },
+                    max_ps: if hist.count() == 0 {
+                        0.0
+                    } else {
+                        hist.observed_max()
+                    },
                 }
             })
             .collect()
@@ -288,25 +301,48 @@ impl Experiments {
     /// clocking and under instruction-based dynamic clock adjustment.
     #[must_use]
     pub fn fig8(&self) -> (Vec<Fig8Row>, SuiteSummary) {
-        self.fig8_with(&InstructionBased::new(self.lut.clone()), &ClockGenerator::Ideal)
+        self.fig8_with(
+            &InstructionBased::new(self.lut.clone()),
+            &ClockGenerator::Ideal,
+        )
     }
 
     /// Fig. 8 with an arbitrary policy / clock generator (used by ablations).
+    ///
+    /// Each benchmark is simulated **once** — the static baseline and the
+    /// dynamic policy observe the same streaming pass — and the suite is
+    /// evaluated in parallel across workloads.
     #[must_use]
     pub fn fig8_with(
         &self,
-        policy: &dyn idca_core::ClockPolicy,
+        policy: &dyn ClockPolicy,
+        generator: &ClockGenerator,
+    ) -> (Vec<Fig8Row>, SuiteSummary) {
+        self.suite_summary_with(&self.model, policy, generator)
+    }
+
+    /// Parallel single-pass suite evaluation against an arbitrary model.
+    fn suite_summary_with(
+        &self,
+        model: &TimingModel,
+        policy: &dyn ClockPolicy,
         generator: &ClockGenerator,
     ) -> (Vec<Fig8Row>, SuiteSummary) {
         let simulator = Simulator::new(SimConfig::default());
+        let comparisons = suite::par_map(&self.suite, |workload| {
+            eval::compare_program(
+                model,
+                workload.name.clone(),
+                &simulator,
+                &workload.program,
+                policy,
+                generator,
+            )
+            .expect("benchmark runs")
+        });
         let mut rows = Vec::new();
         let mut summary = SuiteSummary::new();
-        for workload in benchmark_suite() {
-            let trace = simulator
-                .run(&workload.program)
-                .expect("benchmark runs")
-                .trace;
-            let comparison = eval::compare(&self.model, workload.name.clone(), &trace, policy, generator);
+        for comparison in comparisons {
             rows.push(Fig8Row {
                 benchmark: comparison.benchmark.clone(),
                 static_mhz: comparison.baseline.effective_frequency_mhz,
@@ -318,24 +354,39 @@ impl Experiments {
         (rows, summary)
     }
 
+    /// Evaluates one policy on one program in a single streaming pass.
+    fn outcome_for(
+        &self,
+        model: &TimingModel,
+        program: &Program,
+        policy: &dyn ClockPolicy,
+        generator: &ClockGenerator,
+    ) -> idca_core::RunOutcome {
+        let mut observer = PolicyObserver::new(model, policy, generator);
+        Simulator::new(SimConfig::default())
+            .run_observed(program, &mut [&mut observer])
+            .expect("benchmark runs");
+        observer.into_outcome()
+    }
+
     /// §IV-B: iso-throughput voltage scaling on a representative benchmark
     /// (the kernel whose speedup sits at the median of the Fig. 8 suite).
+    /// The benchmark is simulated once, with every candidate operating point
+    /// observing the same streaming pass.
     #[must_use]
     pub fn power_scaling(&self) -> VoltageScalingResult {
-        let workload = benchmark_suite()
-            .into_iter()
+        let workload = self
+            .suite
+            .iter()
             .find(|w| w.name == "beebs_dijkstra")
             .expect("beebs_dijkstra exists");
-        let trace = Simulator::new(SimConfig::default())
-            .run(&workload.program)
-            .expect("benchmark runs")
-            .trace;
         let lut = self.lut.clone();
-        vfs::scale_for_iso_throughput(
+        vfs::scale_for_iso_throughput_program(
             ProfileKind::CriticalRangeOptimized,
             &self.library,
             &self.power,
-            &trace,
+            &Simulator::new(SimConfig::default()),
+            &workload.program,
             &move |model: &TimingModel| {
                 Box::new(InstructionBased::new(
                     lut.scaled(model.operating_point().delay_scale),
@@ -354,49 +405,46 @@ impl Experiments {
         let (_, quantized) = self.fig8_with(&lut_policy, &ClockGenerator::quantized_50ps());
         let (_, discrete) =
             self.fig8_with(&lut_policy, &ClockGenerator::discrete(8, 900.0, 2100.0));
-        let (_, execute_only) = self.fig8_with(
-            &ExecuteOnly::new(self.lut.clone()),
+        let (_, execute_only) =
+            self.fig8_with(&ExecuteOnly::new(self.lut.clone()), &ClockGenerator::Ideal);
+        let (_, genie) = self.fig8_with(
+            &GenieOracle::new(self.model.clone()),
             &ClockGenerator::Ideal,
         );
-        let (_, genie) = self.fig8_with(&GenieOracle::new(self.model.clone()), &ClockGenerator::Ideal);
 
         // Conventional (timing-wall) profile: both the baseline and the LUT
         // come from the conventional implementation.
         let conventional_summary = {
-            let simulator = Simulator::new(SimConfig::default());
             let policy = InstructionBased::from_model(&self.conventional);
-            let mut summary = SuiteSummary::new();
-            for workload in benchmark_suite() {
-                let trace = simulator.run(&workload.program).expect("runs").trace;
-                summary.push(eval::compare(
-                    &self.conventional,
-                    workload.name,
-                    &trace,
-                    &policy,
-                    &ClockGenerator::Ideal,
-                ));
-            }
+            let (_, summary) =
+                self.suite_summary_with(&self.conventional, &policy, &ClockGenerator::Ideal);
             summary
         };
 
         // LUT built from a deliberately short characterization: count how
-        // many violations slip through on the full suite.
+        // many violations slip through on the full suite. The truncation is
+        // a streaming `TakeObserver` over a fresh characterization run — the
+        // equivalent of slicing a materialized trace, without one.
         let truncated_lut_violations = {
-            let short_trace = PipelineTrace::from_parts(
-                self.characterization_trace.cycles()[..500].to_vec(),
-                500,
-            );
-            let short_dta = DynamicTimingAnalysis::run(&self.model, &short_trace);
+            let workload = characterization_workload(CHARACTERIZATION_SEED);
+            let mut short = TakeObserver::new(DynamicTimingAnalysis::streaming(&self.model), 500);
+            Simulator::new(SimConfig::default())
+                .run_observed(&workload.program, &mut [&mut short])
+                .expect("characterization workload runs");
+            let short_dta = short.into_inner().into_analysis();
             let short_lut = DelayLut::from_dta(&short_dta, 1);
             let policy = InstructionBased::new(short_lut);
-            let simulator = Simulator::new(SimConfig::default());
-            let mut violations = 0;
-            for workload in benchmark_suite() {
-                let trace = simulator.run(&workload.program).expect("runs").trace;
-                violations +=
-                    run_with_policy(&self.model, &trace, &policy, &ClockGenerator::Ideal).violations;
-            }
-            violations
+            suite::par_map(&self.suite, |workload| {
+                self.outcome_for(
+                    &self.model,
+                    &workload.program,
+                    &policy,
+                    &ClockGenerator::Ideal,
+                )
+                .violations
+            })
+            .into_iter()
+            .sum()
         };
 
         let percent = |s: &SuiteSummary| (s.mean_speedup() - 1.0) * 100.0;
@@ -415,17 +463,14 @@ impl Experiments {
     /// (used by the power bench to report µW/MHz at 0.70 V).
     #[must_use]
     pub fn baseline_outcome(&self, benchmark: &str) -> idca_core::RunOutcome {
-        let workload = benchmark_suite()
-            .into_iter()
+        let workload = self
+            .suite
+            .iter()
             .find(|w| w.name == benchmark)
             .unwrap_or_else(|| panic!("unknown benchmark {benchmark}"));
-        let trace = Simulator::new(SimConfig::default())
-            .run(&workload.program)
-            .expect("benchmark runs")
-            .trace;
-        run_with_policy(
+        self.outcome_for(
             &self.model,
-            &trace,
+            &workload.program,
             &StaticClock::of_model(&self.model),
             &ClockGenerator::Ideal,
         )

@@ -18,7 +18,7 @@
 
 use crate::{ClockGenerator, DelayLut};
 use idca_isa::TimingClass;
-use idca_pipeline::{PipelineTrace, Stage};
+use idca_pipeline::{CycleObserver, CycleRecord, PipelineTrace, RunSummary, Stage};
 use idca_timing::{Ps, TimingModel};
 use serde::{Deserialize, Serialize};
 
@@ -88,6 +88,167 @@ impl Drift {
     }
 }
 
+/// Streaming online-adaptive clock controller: a [`CycleObserver`] that
+/// replays the adaptive prediction/observation/update loop on every cycle as
+/// the pipeline simulator produces it. Created by [`AdaptiveObserver::new`];
+/// [`run_adaptive`] drives the same accumulation from a materialized trace.
+pub struct AdaptiveObserver<'a> {
+    model: &'a TimingModel,
+    config: AdaptiveConfig,
+    generator: &'a ClockGenerator,
+    drift: Drift,
+    static_period: Ps,
+    // `learned[idx]` is the running maximum of (observed delay × (1+margin))
+    // for that (stage, class) pair; it is only *used* for prediction once the
+    // pair has been observed at least `warmup_observations` times. A seed LUT
+    // pre-populates the learned values (field-refinement of an existing
+    // characterization instead of learning from scratch).
+    learned: Vec<Ps>,
+    observations: Vec<u64>,
+    total_time: f64,
+    violations: u64,
+    warmup_cycles: u64,
+    outcome: Option<AdaptiveOutcome>,
+}
+
+impl<'a> AdaptiveObserver<'a> {
+    /// Creates the controller. Entries start at the static period (or at
+    /// `seed_lut` when provided) so the very first occurrences of an
+    /// instruction class are always safe.
+    #[must_use]
+    pub fn new(
+        model: &'a TimingModel,
+        config: &AdaptiveConfig,
+        generator: &'a ClockGenerator,
+        seed_lut: Option<&DelayLut>,
+        drift: Drift,
+    ) -> Self {
+        let table_len = Stage::COUNT * TimingClass::COUNT;
+        let learned: Vec<Ps> = match seed_lut {
+            Some(lut) => {
+                let mut t = vec![0.0; table_len];
+                for stage in Stage::ALL {
+                    for class in TimingClass::ALL {
+                        t[stage.index() * TimingClass::COUNT + class.index()] =
+                            lut.delay_ps(stage, class);
+                    }
+                }
+                t
+            }
+            None => vec![0.0; table_len],
+        };
+        let observations = vec![
+            if seed_lut.is_some() {
+                config.warmup_observations
+            } else {
+                0
+            };
+            table_len
+        ];
+        AdaptiveObserver {
+            model,
+            config: *config,
+            generator,
+            drift,
+            static_period: model.static_period_ps(),
+            learned,
+            observations,
+            total_time: 0.0,
+            violations: 0,
+            warmup_cycles: 0,
+            outcome: None,
+        }
+    }
+
+    /// Consumes the controller and returns the outcome of the run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation never called [`CycleObserver::finish`].
+    #[must_use]
+    pub fn into_outcome(self) -> AdaptiveOutcome {
+        self.outcome
+            .expect("simulation must complete (finish) before taking the outcome")
+    }
+}
+
+impl CycleObserver for AdaptiveObserver<'_> {
+    fn observe_cycle(&mut self, record: &CycleRecord) {
+        // 1. Predict: the controller only sees the instruction classes; any
+        //    entry that is still warming up keeps the whole cycle at the
+        //    always-safe static period.
+        let mut requested: Ps = 0.0;
+        let mut warm = true;
+        for stage in Stage::ALL {
+            let idx = stage.index() * TimingClass::COUNT + record.timing_class(stage).index();
+            if self.observations[idx] < self.config.warmup_observations {
+                warm = false;
+            } else {
+                requested = requested.max(self.learned[idx]);
+            }
+        }
+        if !warm {
+            requested = requested.max(self.static_period);
+            self.warmup_cycles += 1;
+        }
+        let realized = self.generator.realize(requested);
+
+        // 2. Observe: the delay monitor reports the actual per-stage delays
+        //    of the cycle (with environmental drift applied).
+        let timing = self.model.cycle_timing(record);
+        let drift_factor = self.drift.factor(record.cycle);
+        let actual_max = timing.max_delay_ps * drift_factor;
+        let violated = realized + 1e-9 < actual_max;
+        if violated {
+            self.violations += 1;
+        }
+        self.total_time += realized;
+
+        // 3. Adapt the in-flight entries.
+        for stage in Stage::ALL {
+            let idx = stage.index() * TimingClass::COUNT + record.timing_class(stage).index();
+            let observed = timing.stage(stage) * drift_factor;
+            self.observations[idx] += 1;
+            let target = observed * (1.0 + self.config.margin);
+            if target > self.learned[idx] {
+                self.learned[idx] = target;
+            }
+            if violated && observed + 1e-9 > realized {
+                // This stage's path was (one of) the violators: back off so
+                // the next occurrence gets extra headroom against the drift.
+                self.learned[idx] = (self.learned[idx] * (1.0 + self.config.violation_backoff))
+                    .min(self.static_period * 2.0);
+            }
+        }
+    }
+
+    fn finish(&mut self, summary: &RunSummary) {
+        let cycles = summary.cycles;
+        let avg_period_ps = if cycles == 0 {
+            0.0
+        } else {
+            self.total_time / cycles as f64
+        };
+        let effective_frequency_mhz = if avg_period_ps > 0.0 {
+            1.0e6 / avg_period_ps
+        } else {
+            0.0
+        };
+        self.outcome = Some(AdaptiveOutcome {
+            cycles,
+            avg_period_ps,
+            effective_frequency_mhz,
+            speedup_over_static: if avg_period_ps > 0.0 {
+                self.static_period / avg_period_ps
+            } else {
+                1.0
+            },
+            violations: self.violations,
+            warmup_cycles: self.warmup_cycles,
+        });
+    }
+}
+
 /// Replays `trace` under an online-adaptive delay table.
 ///
 /// Every cycle the controller requests the maximum table entry of the
@@ -95,9 +256,8 @@ impl Drift {
 /// it through `generator`, and then uses the observed actual delay of the
 /// cycle (scaled by `drift`) to update the table: tighten unexcited entries
 /// toward `observed × (1 + margin)`, back off entries that proved too
-/// optimistic. Entries start at the static period (or at `seed_lut` when
-/// provided) so the very first occurrences of an instruction class are
-/// always safe.
+/// optimistic. Drives the same accumulation as [`AdaptiveObserver`], so a
+/// materialized trace and a streaming run produce identical outcomes.
 #[must_use]
 pub fn run_adaptive(
     model: &TimingModel,
@@ -107,111 +267,15 @@ pub fn run_adaptive(
     seed_lut: Option<&DelayLut>,
     drift: Drift,
 ) -> AdaptiveOutcome {
-    let static_period = model.static_period_ps();
-    let table_len = Stage::COUNT * TimingClass::COUNT;
-    // `learned[idx]` is the running maximum of (observed delay × (1+margin))
-    // for that (stage, class) pair; it is only *used* for prediction once the
-    // pair has been observed at least `warmup_observations` times. A seed LUT
-    // pre-populates the learned values (field-refinement of an existing
-    // characterization instead of learning from scratch).
-    let mut learned: Vec<Ps> = match seed_lut {
-        Some(lut) => {
-            let mut t = vec![0.0; table_len];
-            for stage in Stage::ALL {
-                for class in TimingClass::ALL {
-                    t[stage.index() * TimingClass::COUNT + class.index()] =
-                        lut.delay_ps(stage, class);
-                }
-            }
-            t
-        }
-        None => vec![0.0; table_len],
-    };
-    let mut observations = vec![
-        if seed_lut.is_some() {
-            config.warmup_observations
-        } else {
-            0
-        };
-        table_len
-    ];
-
-    let mut total_time = 0.0;
-    let mut violations = 0u64;
-    let mut warmup_cycles = 0u64;
-
+    let mut observer = AdaptiveObserver::new(model, config, generator, seed_lut, drift);
     for record in trace.cycles() {
-        // 1. Predict: the controller only sees the instruction classes; any
-        //    entry that is still warming up keeps the whole cycle at the
-        //    always-safe static period.
-        let mut requested: Ps = 0.0;
-        let mut warm = true;
-        for stage in Stage::ALL {
-            let idx = stage.index() * TimingClass::COUNT + record.timing_class(stage).index();
-            if observations[idx] < config.warmup_observations {
-                warm = false;
-            } else {
-                requested = requested.max(learned[idx]);
-            }
-        }
-        if !warm {
-            requested = requested.max(static_period);
-            warmup_cycles += 1;
-        }
-        let realized = generator.realize(requested);
-
-        // 2. Observe: the delay monitor reports the actual per-stage delays
-        //    of the cycle (with environmental drift applied).
-        let timing = model.cycle_timing(record);
-        let drift_factor = drift.factor(record.cycle);
-        let actual_max = timing.max_delay_ps * drift_factor;
-        let violated = realized + 1e-9 < actual_max;
-        if violated {
-            violations += 1;
-        }
-        total_time += realized;
-
-        // 3. Adapt the in-flight entries.
-        for stage in Stage::ALL {
-            let idx = stage.index() * TimingClass::COUNT + record.timing_class(stage).index();
-            let observed = timing.stage(stage) * drift_factor;
-            observations[idx] += 1;
-            let target = observed * (1.0 + config.margin);
-            if target > learned[idx] {
-                learned[idx] = target;
-            }
-            if violated && observed + 1e-9 > realized {
-                // This stage's path was (one of) the violators: back off so
-                // the next occurrence gets extra headroom against the drift.
-                learned[idx] =
-                    (learned[idx] * (1.0 + config.violation_backoff)).min(static_period * 2.0);
-            }
-        }
+        observer.observe_cycle(record);
     }
-
-    let cycles = trace.cycle_count();
-    let avg_period_ps = if cycles == 0 {
-        0.0
-    } else {
-        total_time / cycles as f64
-    };
-    let effective_frequency_mhz = if avg_period_ps > 0.0 {
-        1.0e6 / avg_period_ps
-    } else {
-        0.0
-    };
-    AdaptiveOutcome {
-        cycles,
-        avg_period_ps,
-        effective_frequency_mhz,
-        speedup_over_static: if avg_period_ps > 0.0 {
-            static_period / avg_period_ps
-        } else {
-            1.0
-        },
-        violations,
-        warmup_cycles,
-    }
+    observer.finish(&RunSummary {
+        cycles: trace.cycle_count(),
+        retired: trace.retired(),
+    });
+    observer.into_outcome()
 }
 
 #[cfg(test)]
@@ -241,7 +305,10 @@ mod tests {
                          l.nop  1",
             )
             .unwrap();
-        Simulator::new(SimConfig::default()).run(&program).unwrap().trace
+        Simulator::new(SimConfig::default())
+            .run(&program)
+            .unwrap()
+            .trace
     }
 
     #[test]
@@ -256,7 +323,10 @@ mod tests {
             None,
             Drift::None,
         );
-        assert_eq!(outcome.violations, 0, "margin must keep the adaptation safe");
+        assert_eq!(
+            outcome.violations, 0,
+            "margin must keep the adaptation safe"
+        );
         assert!(
             outcome.speedup_over_static > 1.15,
             "learned speedup {}",
@@ -331,7 +401,10 @@ mod tests {
             }
             violations
         };
-        assert!(frozen > 0, "the drift must be strong enough to break the frozen LUT");
+        assert!(
+            frozen > 0,
+            "the drift must be strong enough to break the frozen LUT"
+        );
 
         // The adaptive table backs off as soon as the monitor reports
         // trouble and keeps the violation count dramatically lower.

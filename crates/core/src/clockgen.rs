@@ -12,10 +12,11 @@ use idca_timing::Ps;
 use serde::{Deserialize, Serialize};
 
 /// A model of the tunable clock generator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 #[non_exhaustive]
 pub enum ClockGenerator {
     /// An ideal generator that can produce any requested period exactly.
+    #[default]
     Ideal,
     /// A generator with a fixed period granularity: requested periods are
     /// rounded *up* to the next multiple of `step_ps` (never down, which
@@ -58,8 +59,14 @@ impl ClockGenerator {
     /// Panics if `levels < 2` or `fastest_ps >= slowest_ps`.
     #[must_use]
     pub fn discrete(levels: usize, fastest_ps: Ps, slowest_ps: Ps) -> Self {
-        assert!(levels >= 2, "a discrete clock generator needs at least two levels");
-        assert!(fastest_ps < slowest_ps, "fastest period must be shorter than slowest");
+        assert!(
+            levels >= 2,
+            "a discrete clock generator needs at least two levels"
+        );
+        assert!(
+            fastest_ps < slowest_ps,
+            "fastest period must be shorter than slowest"
+        );
         let step = (slowest_ps - fastest_ps) / (levels - 1) as f64;
         ClockGenerator::DiscreteLevels {
             periods_ps: (0..levels).map(|i| fastest_ps + step * i as f64).collect(),
@@ -96,12 +103,6 @@ impl ClockGenerator {
                 best.unwrap_or(longest)
             }
         }
-    }
-}
-
-impl Default for ClockGenerator {
-    fn default() -> Self {
-        ClockGenerator::Ideal
     }
 }
 

@@ -1,13 +1,38 @@
 use std::fmt;
 
+/// A malformed delay-LUT JSON document (wrong structure, missing field or
+/// unparsable number), reported by [`crate::DelayLut::from_json`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LutFormatError {
+    message: String,
+}
+
+impl LutFormatError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        LutFormatError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for LutFormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for LutFormatError {}
+
 /// Errors reported by the `idca-core` crate.
 #[derive(Debug)]
 #[non_exhaustive]
 pub enum CoreError {
     /// A requested supply voltage is outside the characterized library range.
     Library(idca_timing::LibraryError),
+    /// The pipeline simulation of a benchmark failed.
+    Pipeline(idca_pipeline::PipelineError),
     /// Serializing or deserializing a delay LUT failed.
-    LutSerialization(serde_json::Error),
+    LutSerialization(LutFormatError),
     /// No operating point satisfies the iso-throughput constraint during
     /// voltage-frequency scaling.
     NoFeasibleOperatingPoint {
@@ -20,6 +45,7 @@ impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CoreError::Library(e) => write!(f, "cell library error: {e}"),
+            CoreError::Pipeline(e) => write!(f, "pipeline simulation error: {e}"),
             CoreError::LutSerialization(e) => write!(f, "delay LUT serialization error: {e}"),
             CoreError::NoFeasibleOperatingPoint { required_mhz } => write!(
                 f,
@@ -33,9 +59,16 @@ impl std::error::Error for CoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CoreError::Library(e) => Some(e),
+            CoreError::Pipeline(e) => Some(e),
             CoreError::LutSerialization(e) => Some(e),
             CoreError::NoFeasibleOperatingPoint { .. } => None,
         }
+    }
+}
+
+impl From<idca_pipeline::PipelineError> for CoreError {
+    fn from(value: idca_pipeline::PipelineError) -> Self {
+        CoreError::Pipeline(value)
     }
 }
 
@@ -45,8 +78,8 @@ impl From<idca_timing::LibraryError> for CoreError {
     }
 }
 
-impl From<serde_json::Error> for CoreError {
-    fn from(value: serde_json::Error) -> Self {
+impl From<LutFormatError> for CoreError {
+    fn from(value: LutFormatError) -> Self {
         CoreError::LutSerialization(value)
     }
 }
@@ -59,7 +92,9 @@ mod tests {
     fn errors_are_send_sync_and_display() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<CoreError>();
-        let e = CoreError::NoFeasibleOperatingPoint { required_mhz: 494.0 };
+        let e = CoreError::NoFeasibleOperatingPoint {
+            required_mhz: 494.0,
+        };
         assert!(e.to_string().contains("494.0 MHz"));
     }
 

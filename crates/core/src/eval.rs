@@ -1,8 +1,17 @@
 //! Evaluation helpers: per-benchmark policy comparisons and suite-level
 //! aggregation (the data behind Fig. 8 and the headline 38 % result).
+//!
+//! [`compare_program`] is the single-pass entry point: it simulates a
+//! benchmark **once**, with the static-baseline and dynamic-policy
+//! [`PolicyObserver`]s riding on the same [`Simulator::run_observed`] pass,
+//! so the Fig. 8 evaluation neither materializes traces nor re-simulates per
+//! policy. [`compare`] is the trace-replay equivalent for callers that
+//! already hold a [`PipelineTrace`].
 
+use crate::sim::PolicyObserver;
 use crate::{run_with_policy, ClockGenerator, ClockPolicy, RunOutcome, StaticClock};
-use idca_pipeline::PipelineTrace;
+use idca_isa::Program;
+use idca_pipeline::{PipelineError, PipelineTrace, Simulator};
 use idca_timing::TimingModel;
 use serde::{Deserialize, Serialize};
 
@@ -56,6 +65,33 @@ pub fn compare(
     }
 }
 
+/// Compares a dynamic clock-adjustment policy against conventional static
+/// clocking by simulating `program` **once**: both policies observe the same
+/// streaming pass, no per-cycle storage is allocated, and the outcomes are
+/// identical to replaying a materialized trace through [`compare`].
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] if the benchmark itself fails to simulate.
+pub fn compare_program(
+    model: &TimingModel,
+    benchmark: impl Into<String>,
+    simulator: &Simulator,
+    program: &Program,
+    policy: &dyn ClockPolicy,
+    generator: &ClockGenerator,
+) -> Result<PolicyComparison, PipelineError> {
+    let static_policy = StaticClock::of_model(model);
+    let mut baseline = PolicyObserver::new(model, &static_policy, &ClockGenerator::Ideal);
+    let mut dynamic = PolicyObserver::new(model, policy, generator);
+    simulator.run_observed(program, &mut [&mut baseline, &mut dynamic])?;
+    Ok(PolicyComparison {
+        benchmark: benchmark.into(),
+        baseline: baseline.into_outcome(),
+        dynamic: dynamic.into_outcome(),
+    })
+}
+
 /// Aggregation of [`PolicyComparison`]s over a benchmark suite (Fig. 8).
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SuiteSummary {
@@ -99,7 +135,10 @@ impl SuiteSummary {
         if self.comparisons.is_empty() {
             return 1.0;
         }
-        self.comparisons.iter().map(PolicyComparison::speedup).sum::<f64>()
+        self.comparisons
+            .iter()
+            .map(PolicyComparison::speedup)
+            .sum::<f64>()
             / self.comparisons.len() as f64
     }
 
@@ -109,24 +148,28 @@ impl SuiteSummary {
         if self.comparisons.is_empty() {
             return 1.0;
         }
-        let log_sum: f64 = self
-            .comparisons
-            .iter()
-            .map(|c| c.speedup().ln())
-            .sum();
+        let log_sum: f64 = self.comparisons.iter().map(|c| c.speedup().ln()).sum();
         (log_sum / self.comparisons.len() as f64).exp()
     }
 
     /// Mean effective frequency under conventional clocking, in MHz.
     #[must_use]
     pub fn mean_baseline_frequency_mhz(&self) -> f64 {
-        mean(self.comparisons.iter().map(|c| c.baseline.effective_frequency_mhz))
+        mean(
+            self.comparisons
+                .iter()
+                .map(|c| c.baseline.effective_frequency_mhz),
+        )
     }
 
     /// Mean effective frequency under dynamic clock adjustment, in MHz.
     #[must_use]
     pub fn mean_dynamic_frequency_mhz(&self) -> f64 {
-        mean(self.comparisons.iter().map(|c| c.dynamic.effective_frequency_mhz))
+        mean(
+            self.comparisons
+                .iter()
+                .map(|c| c.dynamic.effective_frequency_mhz),
+        )
     }
 
     /// Total timing violations observed across the suite (expected: zero).
@@ -210,7 +253,10 @@ mod tests {
         // The multiplier-heavy loop must gain the least (its LUT entry is the
         // slowest), the pure ALU loop the most.
         let speedups: Vec<f64> = suite.comparisons().iter().map(|c| c.speedup()).collect();
-        assert!(speedups[0] > speedups[1], "alu should beat mul: {speedups:?}");
+        assert!(
+            speedups[0] > speedups[1],
+            "alu should beat mul: {speedups:?}"
+        );
     }
 
     #[test]

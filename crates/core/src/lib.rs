@@ -63,9 +63,9 @@ pub mod policy;
 mod sim;
 pub mod vfs;
 
-pub use adaptive::{run_adaptive, AdaptiveConfig, AdaptiveOutcome, Drift};
+pub use adaptive::{run_adaptive, AdaptiveConfig, AdaptiveObserver, AdaptiveOutcome, Drift};
 pub use clockgen::ClockGenerator;
-pub use error::CoreError;
+pub use error::{CoreError, LutFormatError};
 pub use lut::{DelayLut, LutSource, Table2Row};
 pub use policy::{ClockPolicy, ExecuteOnly, GenieOracle, InstructionBased, StaticClock};
-pub use sim::{run_with_policy, RunOutcome};
+pub use sim::{run_with_policy, PolicyObserver, RunOutcome};

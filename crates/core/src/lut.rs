@@ -6,6 +6,7 @@
 //! adjustment controller looks up the classes currently in flight in all
 //! stages and programs the clock generator with the maximum of the entries.
 
+use crate::error::LutFormatError;
 use crate::CoreError;
 use idca_isa::TimingClass;
 use idca_pipeline::Stage;
@@ -258,13 +259,27 @@ impl DelayLut {
 
     /// Serializes the LUT to JSON (the artifact handed to the clock
     /// adjustment controller / instruction-set simulator in the paper's
-    /// tool flow).
+    /// tool flow). The format is a small hand-rolled schema so the workspace
+    /// needs no JSON dependency.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::LutSerialization`] on serialization failure.
     pub fn to_json(&self) -> Result<String, CoreError> {
-        Ok(serde_json::to_string_pretty(self)?)
+        let entries: Vec<String> = self.entries.iter().map(|v| format!("{v:?}")).collect();
+        let observations: Vec<String> = self.observations.iter().map(u64::to_string).collect();
+        let source = match self.source {
+            LutSource::Characterization => "characterization",
+            LutSource::ProfileWorstCase => "profile-worst-case",
+        };
+        Ok(format!(
+            "{{\n  \"source\": \"{source}\",\n  \"static_period_ps\": {:?},\n  \
+             \"min_observations\": {},\n  \"entries\": [{}],\n  \"observations\": [{}]\n}}\n",
+            self.static_period_ps,
+            self.min_observations,
+            entries.join(", "),
+            observations.join(", "),
+        ))
     }
 
     /// Deserializes a LUT previously produced by [`DelayLut::to_json`].
@@ -273,7 +288,190 @@ impl DelayLut {
     ///
     /// Returns [`CoreError::LutSerialization`] on malformed input.
     pub fn from_json(text: &str) -> Result<Self, CoreError> {
-        Ok(serde_json::from_str(text)?)
+        let mut parser = json::Parser::new(text);
+        let mut source = None;
+        let mut static_period_ps = None;
+        let mut min_observations = None;
+        let mut entries: Option<Vec<Ps>> = None;
+        let mut observations: Option<Vec<u64>> = None;
+
+        parser.expect('{')?;
+        loop {
+            let key = parser.string()?;
+            parser.expect(':')?;
+            match key.as_str() {
+                "source" => {
+                    source = Some(match parser.string()?.as_str() {
+                        "characterization" => LutSource::Characterization,
+                        "profile-worst-case" => LutSource::ProfileWorstCase,
+                        other => {
+                            return Err(LutFormatError::new(format!(
+                                "unknown LUT source `{other}`"
+                            ))
+                            .into())
+                        }
+                    });
+                }
+                "static_period_ps" => static_period_ps = Some(parser.number()?),
+                "min_observations" => min_observations = Some(parser.integer()?),
+                "entries" => entries = Some(parser.array(json::Parser::number)?),
+                "observations" => observations = Some(parser.array(json::Parser::integer)?),
+                other => {
+                    return Err(LutFormatError::new(format!("unknown LUT field `{other}`")).into())
+                }
+            }
+            if !parser.comma_or_end('}')? {
+                break;
+            }
+        }
+        parser.end()?;
+
+        let missing = |field: &str| LutFormatError::new(format!("missing LUT field `{field}`"));
+        let entries = entries.ok_or_else(|| missing("entries"))?;
+        let observations = observations.ok_or_else(|| missing("observations"))?;
+        let expected = Stage::COUNT * TimingClass::COUNT;
+        if entries.len() != expected || observations.len() != expected {
+            return Err(LutFormatError::new(format!(
+                "LUT tables must hold {expected} entries, got {} delays / {} observation counts",
+                entries.len(),
+                observations.len()
+            ))
+            .into());
+        }
+        Ok(DelayLut {
+            entries,
+            observations,
+            source: source.ok_or_else(|| missing("source"))?,
+            static_period_ps: static_period_ps.ok_or_else(|| missing("static_period_ps"))?,
+            min_observations: min_observations.ok_or_else(|| missing("min_observations"))?,
+        })
+    }
+}
+
+/// A minimal parser for the fixed JSON schema of [`DelayLut::to_json`].
+mod json {
+    use crate::error::LutFormatError;
+
+    pub(super) struct Parser<'a> {
+        text: &'a str,
+        pos: usize,
+    }
+
+    impl<'a> Parser<'a> {
+        pub(super) fn new(text: &'a str) -> Self {
+            Parser { text, pos: 0 }
+        }
+
+        fn skip_whitespace(&mut self) {
+            let rest = &self.text[self.pos..];
+            self.pos += rest.len() - rest.trim_start().len();
+        }
+
+        fn peek(&mut self) -> Option<char> {
+            self.skip_whitespace();
+            self.text[self.pos..].chars().next()
+        }
+
+        pub(super) fn expect(&mut self, wanted: char) -> Result<(), LutFormatError> {
+            match self.peek() {
+                Some(c) if c == wanted => {
+                    self.pos += wanted.len_utf8();
+                    Ok(())
+                }
+                found => Err(LutFormatError::new(format!(
+                    "expected `{wanted}` at byte {}, found {found:?}",
+                    self.pos
+                ))),
+            }
+        }
+
+        pub(super) fn string(&mut self) -> Result<String, LutFormatError> {
+            self.expect('"')?;
+            let rest = &self.text[self.pos..];
+            // The schema never emits escapes, so a bare quote ends the string.
+            let len = rest
+                .find('"')
+                .ok_or_else(|| LutFormatError::new("unterminated string"))?;
+            let value = rest[..len].to_string();
+            self.pos += len + 1;
+            Ok(value)
+        }
+
+        fn numeric_token(&mut self) -> Result<&'a str, LutFormatError> {
+            self.skip_whitespace();
+            let rest = &self.text[self.pos..];
+            let len = rest
+                .find(|c: char| !matches!(c, '0'..='9' | '-' | '+' | '.' | 'e' | 'E'))
+                .unwrap_or(rest.len());
+            if len == 0 {
+                return Err(LutFormatError::new(format!(
+                    "expected a number at byte {}",
+                    self.pos
+                )));
+            }
+            self.pos += len;
+            Ok(&rest[..len])
+        }
+
+        pub(super) fn number(&mut self) -> Result<f64, LutFormatError> {
+            let token = self.numeric_token()?;
+            token
+                .parse()
+                .map_err(|_| LutFormatError::new(format!("malformed number `{token}`")))
+        }
+
+        pub(super) fn integer(&mut self) -> Result<u64, LutFormatError> {
+            let token = self.numeric_token()?;
+            token
+                .parse()
+                .map_err(|_| LutFormatError::new(format!("malformed integer `{token}`")))
+        }
+
+        pub(super) fn array<T>(
+            &mut self,
+            mut element: impl FnMut(&mut Self) -> Result<T, LutFormatError>,
+        ) -> Result<Vec<T>, LutFormatError> {
+            self.expect('[')?;
+            let mut items = Vec::new();
+            if self.peek() == Some(']') {
+                self.pos += 1;
+                return Ok(items);
+            }
+            loop {
+                items.push(element(self)?);
+                if !self.comma_or_end(']')? {
+                    return Ok(items);
+                }
+            }
+        }
+
+        /// Consumes either a `,` (returning `true`) or `close` (returning
+        /// `false`).
+        pub(super) fn comma_or_end(&mut self, close: char) -> Result<bool, LutFormatError> {
+            match self.peek() {
+                Some(',') => {
+                    self.pos += 1;
+                    Ok(true)
+                }
+                Some(c) if c == close => {
+                    self.pos += 1;
+                    Ok(false)
+                }
+                found => Err(LutFormatError::new(format!(
+                    "expected `,` or `{close}` at byte {}, found {found:?}",
+                    self.pos
+                ))),
+            }
+        }
+
+        pub(super) fn end(&mut self) -> Result<(), LutFormatError> {
+            match self.peek() {
+                None => Ok(()),
+                Some(c) => Err(LutFormatError::new(format!(
+                    "trailing content starting with `{c}`"
+                ))),
+            }
+        }
     }
 }
 
@@ -308,7 +506,10 @@ mod tests {
                          l.nop  1",
             )
             .unwrap();
-        let trace = Simulator::new(SimConfig::default()).run(&program).unwrap().trace;
+        let trace = Simulator::new(SimConfig::default())
+            .run(&program)
+            .unwrap()
+            .trace;
         DynamicTimingAnalysis::run(&model(), &trace)
     }
 

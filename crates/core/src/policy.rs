@@ -22,7 +22,10 @@ use idca_timing::{Ps, TimingModel};
 /// that the hardware controller of Fig. 1 would have (the instruction types
 /// currently in flight), except for [`GenieOracle`] which deliberately peeks
 /// at the exact dynamic delays to establish the upper bound.
-pub trait ClockPolicy {
+///
+/// Policies are immutable decision tables, so the trait requires [`Sync`]:
+/// the parallel suite runner shares one policy across worker threads.
+pub trait ClockPolicy: Sync {
     /// Short human-readable name used in reports.
     fn name(&self) -> &str;
 
@@ -195,7 +198,10 @@ mod tests {
 
     fn trace(src: &str) -> PipelineTrace {
         let program = Assembler::new().assemble(src).unwrap();
-        Simulator::new(SimConfig::default()).run(&program).unwrap().trace
+        Simulator::new(SimConfig::default())
+            .run(&program)
+            .unwrap()
+            .trace
     }
 
     fn model() -> TimingModel {
@@ -217,8 +223,10 @@ mod tests {
     fn instruction_based_requests_longer_periods_for_multiplies() {
         let m = model();
         let policy = InstructionBased::from_model(&m);
-        let t = trace("l.addi r3, r0, 7\n l.nop 0\n l.nop 0\n l.nop 0\n l.mul r4, r3, r3\n\
-                       l.nop 0\n l.nop 0\n l.nop 0\n l.nop 1\n");
+        let t = trace(
+            "l.addi r3, r0, 7\n l.nop 0\n l.nop 0\n l.nop 0\n l.mul r4, r3, r3\n\
+                       l.nop 0\n l.nop 0\n l.nop 0\n l.nop 1\n",
+        );
         let mut mul_period = 0.0f64;
         let mut nop_period = f64::MAX;
         for record in t.cycles() {
@@ -266,7 +274,10 @@ mod tests {
         let policy = GenieOracle::new(m.clone());
         let t = trace("l.addi r3, r0, 3\n l.mul r4, r3, r3\n l.nop 1\n");
         for record in t.cycles() {
-            assert_eq!(policy.period_ps(record), m.cycle_timing(record).max_delay_ps);
+            assert_eq!(
+                policy.period_ps(record),
+                m.cycle_timing(record).max_delay_ps
+            );
         }
     }
 

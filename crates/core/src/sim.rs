@@ -1,16 +1,21 @@
 //! The dynamic-clock simulation driver.
 //!
 //! This is the software equivalent of the paper's enhanced cycle-accurate
-//! instruction-set simulator: it replays a pipeline trace, asks a
-//! [`ClockPolicy`] for the clock period of every cycle, passes the request
-//! through the [`ClockGenerator`] model, accumulates the resulting execution
-//! time and — crucially — checks the *frequency-over-scaling without timing
-//! errors* invariant by comparing every realized period against the actual
-//! dynamic delay of that cycle.
+//! instruction-set simulator: for every cycle it asks a [`ClockPolicy`] for
+//! the clock period, passes the request through the [`ClockGenerator`]
+//! model, accumulates the resulting execution time and — crucially — checks
+//! the *frequency-over-scaling without timing errors* invariant by comparing
+//! every realized period against the actual dynamic delay of that cycle.
+//!
+//! The driver is a streaming accumulator: [`PolicyObserver`] implements
+//! [`CycleObserver`] and evaluates each cycle as the pipeline simulator
+//! produces it, so several policies can be compared in one simulation pass
+//! (see [`crate::eval`]). [`run_with_policy`] replays a materialized
+//! [`PipelineTrace`] through the same accumulation.
 
 use crate::{ClockGenerator, ClockPolicy};
-use idca_pipeline::PipelineTrace;
-use idca_timing::{ActivitySummary, Ps, TimingModel};
+use idca_pipeline::{CycleObserver, CycleRecord, PipelineTrace, RunSummary};
+use idca_timing::{ActivityObserver, ActivitySummary, Ps, TimingModel};
 use serde::{Deserialize, Serialize};
 
 /// Result of replaying one trace under one clocking policy.
@@ -54,9 +59,116 @@ impl RunOutcome {
     }
 }
 
+/// Streaming dynamic-clock evaluation: a [`CycleObserver`] that applies a
+/// [`ClockPolicy`] to every cycle as the pipeline simulator produces it,
+/// realizes the requested period through a [`ClockGenerator`], checks the
+/// no-timing-violation invariant against `model` and accumulates the
+/// switching activity — everything [`run_with_policy`] reports, with no
+/// materialized trace.
+///
+/// Several `PolicyObserver`s can ride on the same
+/// [`run_observed`](idca_pipeline::Simulator::run_observed) pass, which is
+/// how [`crate::eval::compare_program`] evaluates the static baseline and a
+/// dynamic policy with a single simulation of each benchmark.
+pub struct PolicyObserver<'a> {
+    model: &'a TimingModel,
+    policy: &'a dyn ClockPolicy,
+    generator: &'a ClockGenerator,
+    total_time_ps: f64,
+    min_period_ps: Ps,
+    max_period_ps: Ps,
+    violations: u64,
+    activity: ActivityObserver,
+    outcome: Option<RunOutcome>,
+}
+
+impl<'a> PolicyObserver<'a> {
+    /// Creates an observer evaluating `policy` through `generator` against
+    /// the dynamic delays of `model`.
+    #[must_use]
+    pub fn new(
+        model: &'a TimingModel,
+        policy: &'a dyn ClockPolicy,
+        generator: &'a ClockGenerator,
+    ) -> Self {
+        PolicyObserver {
+            model,
+            policy,
+            generator,
+            total_time_ps: 0.0,
+            min_period_ps: Ps::INFINITY,
+            max_period_ps: 0.0,
+            violations: 0,
+            activity: ActivityObserver::new(),
+            outcome: None,
+        }
+    }
+
+    /// Consumes the observer and returns the outcome of the run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation never called [`CycleObserver::finish`]
+    /// (i.e. the run errored out or the observer was never driven).
+    #[must_use]
+    pub fn into_outcome(self) -> RunOutcome {
+        self.outcome
+            .expect("simulation must complete (finish) before taking the outcome")
+    }
+}
+
+impl CycleObserver for PolicyObserver<'_> {
+    fn observe_cycle(&mut self, record: &CycleRecord) {
+        let requested = self.policy.period_ps(record);
+        let realized = self.generator.realize(requested);
+        let actual = self.model.cycle_timing(record).max_delay_ps;
+        if realized + 1e-9 < actual {
+            self.violations += 1;
+        }
+        self.total_time_ps += realized;
+        self.min_period_ps = self.min_period_ps.min(realized);
+        self.max_period_ps = self.max_period_ps.max(realized);
+        self.activity.observe_cycle(record);
+    }
+
+    fn finish(&mut self, summary: &RunSummary) {
+        self.activity.finish(summary);
+        let cycles = summary.cycles;
+        let avg_period_ps = if cycles == 0 {
+            0.0
+        } else {
+            self.total_time_ps / cycles as f64
+        };
+        let effective_frequency_mhz = if avg_period_ps > 0.0 {
+            1.0e6 / avg_period_ps
+        } else {
+            0.0
+        };
+        let mips = if self.total_time_ps > 0.0 {
+            summary.retired as f64 / (self.total_time_ps * 1e-6)
+        } else {
+            0.0
+        };
+        self.outcome = Some(RunOutcome {
+            policy: self.policy.name().to_string(),
+            cycles,
+            retired: summary.retired,
+            total_time_ps: self.total_time_ps,
+            avg_period_ps,
+            min_period_ps: if cycles == 0 { 0.0 } else { self.min_period_ps },
+            max_period_ps: self.max_period_ps,
+            effective_frequency_mhz,
+            mips,
+            violations: self.violations,
+            activity: self.activity.summary(),
+        });
+    }
+}
+
 /// Replays `trace` under `policy`, realizing every requested period through
 /// `generator`, and checks each cycle against the actual dynamic delays of
-/// `model`.
+/// `model`. This drives the same accumulation as [`PolicyObserver`], so a
+/// materialized trace and a streaming run produce identical outcomes.
 ///
 /// The returned [`RunOutcome::violations`] counts the cycles whose realized
 /// period undercut the true dynamic delay; with a LUT built from the
@@ -70,53 +182,15 @@ pub fn run_with_policy(
     policy: &dyn ClockPolicy,
     generator: &ClockGenerator,
 ) -> RunOutcome {
-    let mut total_time_ps = 0.0;
-    let mut min_period_ps = Ps::INFINITY;
-    let mut max_period_ps: Ps = 0.0;
-    let mut violations = 0u64;
-
+    let mut observer = PolicyObserver::new(model, policy, generator);
     for record in trace.cycles() {
-        let requested = policy.period_ps(record);
-        let realized = generator.realize(requested);
-        let actual = model.cycle_timing(record).max_delay_ps;
-        if realized + 1e-9 < actual {
-            violations += 1;
-        }
-        total_time_ps += realized;
-        min_period_ps = min_period_ps.min(realized);
-        max_period_ps = max_period_ps.max(realized);
+        observer.observe_cycle(record);
     }
-
-    let cycles = trace.cycle_count();
-    let avg_period_ps = if cycles == 0 {
-        0.0
-    } else {
-        total_time_ps / cycles as f64
-    };
-    let effective_frequency_mhz = if avg_period_ps > 0.0 {
-        1.0e6 / avg_period_ps
-    } else {
-        0.0
-    };
-    let mips = if total_time_ps > 0.0 {
-        trace.retired() as f64 / (total_time_ps * 1e-6)
-    } else {
-        0.0
-    };
-
-    RunOutcome {
-        policy: policy.name().to_string(),
-        cycles,
+    observer.finish(&RunSummary {
+        cycles: trace.cycle_count(),
         retired: trace.retired(),
-        total_time_ps,
-        avg_period_ps,
-        min_period_ps: if cycles == 0 { 0.0 } else { min_period_ps },
-        max_period_ps,
-        effective_frequency_mhz,
-        mips,
-        violations,
-        activity: ActivitySummary::from_trace(trace),
-    }
+    });
+    observer.into_outcome()
 }
 
 #[cfg(test)]
@@ -130,7 +204,10 @@ mod tests {
 
     fn trace(src: &str) -> PipelineTrace {
         let program = Assembler::new().assemble(src).unwrap();
-        Simulator::new(SimConfig::default()).run(&program).unwrap().trace
+        Simulator::new(SimConfig::default())
+            .run(&program)
+            .unwrap()
+            .trace
     }
 
     fn mixed_trace() -> PipelineTrace {

@@ -101,7 +101,9 @@ impl Assembler {
         let mut data_cursor: u32 = 0;
         let mut address = self.base_address;
         for line in &lines {
-            let Some(stmt) = &line.statement else { continue };
+            let Some(stmt) = &line.statement else {
+                continue;
+            };
             match stmt_kind(stmt) {
                 StmtKind::Org(value) => {
                     address = value;
@@ -144,7 +146,10 @@ fn preprocess(source: &str) -> Vec<SourceLine> {
         while let Some(colon) = rest.find(':') {
             let (head, tail) = rest.split_at(colon);
             let head = head.trim();
-            if head.is_empty() || !head.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '.')
+            if head.is_empty()
+                || !head
+                    .chars()
+                    .all(|c| c.is_alphanumeric() || c == '_' || c == '.')
             {
                 break;
             }
@@ -198,18 +203,14 @@ fn parse_directive(
     let (dir, rest) = stmt.split_once(char::is_whitespace).unwrap_or((stmt, ""));
     match dir.to_ascii_lowercase().as_str() {
         ".data" => {
-            *data_cursor = parse_u32(rest.trim()).map_err(|m| IsaError::ParseError {
-                line,
-                message: m,
-            })?;
+            *data_cursor =
+                parse_u32(rest.trim()).map_err(|m| IsaError::ParseError { line, message: m })?;
             Ok(())
         }
         ".word" => {
             for part in rest.split(',') {
-                let value = parse_u32(part.trim()).map_err(|m| IsaError::ParseError {
-                    line,
-                    message: m,
-                })?;
+                let value = parse_u32(part.trim())
+                    .map_err(|m| IsaError::ParseError { line, message: m })?;
                 builder.push_data_word(*data_cursor, value);
                 *data_cursor += 4;
             }
@@ -228,7 +229,10 @@ fn parse_u32(text: &str) -> Result<u32, String> {
         Some(d) => (true, d),
         None => (false, text),
     };
-    let value = if let Some(hex) = digits.strip_prefix("0x").or_else(|| digits.strip_prefix("0X")) {
+    let value = if let Some(hex) = digits
+        .strip_prefix("0x")
+        .or_else(|| digits.strip_prefix("0X"))
+    {
         u32::from_str_radix(hex, 16).map_err(|e| format!("invalid hex literal `{text}`: {e}"))?
     } else {
         digits
@@ -434,7 +438,8 @@ fn parse_instruction(
     }
 
     // Loads: `rD, offset(rA)`.
-    let load: Option<fn(Reg, i32, Reg) -> Result<Insn, IsaError>> = match mnemonic.as_str() {
+    type LoadCtor = fn(Reg, i32, Reg) -> Result<Insn, IsaError>;
+    let load: Option<LoadCtor> = match mnemonic.as_str() {
         "l.lwz" => Some(Insn::lwz),
         "l.lws" => Some(Insn::lws),
         "l.lhz" => Some(Insn::lhz),
@@ -450,7 +455,8 @@ fn parse_instruction(
     }
 
     // Stores: `offset(rA), rB`.
-    let store: Option<fn(i32, Reg, Reg) -> Result<Insn, IsaError>> = match mnemonic.as_str() {
+    type StoreCtor = fn(i32, Reg, Reg) -> Result<Insn, IsaError>;
+    let store: Option<StoreCtor> = match mnemonic.as_str() {
         "l.sw" => Some(Insn::sw),
         "l.sh" => Some(Insn::sh),
         "l.sb" => Some(Insn::sb),
@@ -535,7 +541,9 @@ mod tests {
 
     #[test]
     fn rejects_unknown_mnemonics() {
-        let err = Assembler::new().assemble("l.frobnicate r1, r2\n").unwrap_err();
+        let err = Assembler::new()
+            .assemble("l.frobnicate r1, r2\n")
+            .unwrap_err();
         match err {
             IsaError::ParseError { message, .. } => assert!(message.contains("frobnicate")),
             other => panic!("unexpected error {other:?}"),

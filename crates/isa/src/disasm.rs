@@ -26,7 +26,11 @@ pub fn format_insn(insn: &Insn) -> String {
     let imm = insn.imm();
     match insn.opcode() {
         Opcode::Nop => format!("{m} {}", imm.unwrap_or(0)),
-        Opcode::Movhi => format!("{m} {}, {:#x}", rd.unwrap(), imm.unwrap_or(0) as u32 & 0xFFFF),
+        Opcode::Movhi => format!(
+            "{m} {}, {:#x}",
+            rd.unwrap(),
+            imm.unwrap_or(0) as u32 & 0xFFFF
+        ),
         Opcode::J | Opcode::Jal | Opcode::Bf | Opcode::Bnf => {
             format!("{m} {}", imm.unwrap_or(0))
         }

@@ -89,7 +89,10 @@ impl fmt::Display for IsaError {
                 write!(f, "branch from {from:#x} to {to:#x} is out of range")
             }
             IsaError::ProgramTooLarge { words, capacity } => {
-                write!(f, "program of {words} words exceeds memory capacity of {capacity} words")
+                write!(
+                    f,
+                    "program of {words} words exceeds memory capacity of {capacity} words"
+                )
             }
         }
     }

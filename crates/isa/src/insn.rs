@@ -807,7 +807,7 @@ mod encode {
         let ra = reg_at(word, 16);
         let rb = reg_at(word, 11);
         let i16s = sext(word & 0xFFFF, 16);
-        let u16v = (word & 0xFFFF) as u32;
+        let u16v = word & 0xFFFF;
 
         let insn = match op {
             OP_J => Insn::j(sext(word & 0x03FF_FFFF, 26))?,
@@ -974,12 +974,18 @@ mod tests {
         // l.nop 0 encodes as 0x15000000 in the OpenRISC manual.
         assert_eq!(Insn::nop(0).encode(), 0x1500_0000);
         // l.addi rD,rA,I has major opcode 0x27.
-        assert_eq!(Insn::addi(Reg::r(3), Reg::r(4), 1).unwrap().encode() >> 26, 0x27);
+        assert_eq!(
+            Insn::addi(Reg::r(3), Reg::r(4), 1).unwrap().encode() >> 26,
+            0x27
+        );
         // l.j has major opcode 0x00, l.bf 0x04.
         assert_eq!(Insn::j(4).unwrap().encode() >> 26, 0x00);
         assert_eq!(Insn::bf(4).unwrap().encode() >> 26, 0x04);
         // l.sw has major opcode 0x35.
-        assert_eq!(Insn::sw(0, Reg::r(1), Reg::r(2)).unwrap().encode() >> 26, 0x35);
+        assert_eq!(
+            Insn::sw(0, Reg::r(1), Reg::r(2)).unwrap().encode() >> 26,
+            0x35
+        );
     }
 
     #[test]
@@ -1001,7 +1007,11 @@ mod tests {
         // values that exercise both halves and the sign bit.
         for offset in [-32768, -2049, -1, 0, 1, 2047, 2048, 32767] {
             let insn = Insn::sw(offset, Reg::r(1), Reg::r(2)).unwrap();
-            assert_eq!(Insn::decode(insn.encode()).unwrap(), insn, "offset {offset}");
+            assert_eq!(
+                Insn::decode(insn.encode()).unwrap(),
+                insn,
+                "offset {offset}"
+            );
         }
     }
 

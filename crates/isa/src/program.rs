@@ -89,7 +89,10 @@ impl Program {
         base_address: u32,
         words: &[u32],
     ) -> Result<Self, IsaError> {
-        let insns = words.iter().map(|&w| Insn::decode(w)).collect::<Result<Vec<_>, _>>()?;
+        let insns = words
+            .iter()
+            .map(|&w| Insn::decode(w))
+            .collect::<Result<Vec<_>, _>>()?;
         Ok(Program {
             name: name.into(),
             base_address,
@@ -206,14 +209,16 @@ impl ProgramBuilder {
     ///
     /// Returns [`IsaError::BranchOutOfRange`] if the target cannot be encoded
     /// and [`IsaError::ParseError`] if `opcode` is not PC-relative.
-    pub fn push_branch_to(&mut self, opcode: crate::Opcode, label: Label) -> Result<&mut Self, IsaError> {
+    pub fn push_branch_to(
+        &mut self,
+        opcode: crate::Opcode,
+        label: Label,
+    ) -> Result<&mut Self, IsaError> {
         let from = self.current_address();
         let delta_bytes = i64::from(label.0) - i64::from(from);
         let words = delta_bytes / i64::from(INSN_BYTES);
-        let words = i32::try_from(words).map_err(|_| IsaError::BranchOutOfRange {
-            from,
-            to: label.0,
-        })?;
+        let words =
+            i32::try_from(words).map_err(|_| IsaError::BranchOutOfRange { from, to: label.0 })?;
         let insn = match opcode {
             crate::Opcode::J => Insn::j(words),
             crate::Opcode::Jal => Insn::jal(words),

@@ -214,6 +214,9 @@ mod tests {
             stalled: false,
         };
         assert_eq!(record.timing_class(Stage::Execute), TimingClass::Bubble);
-        assert_eq!(record.occupant(Stage::Address).timing_class(), TimingClass::Bubble);
+        assert_eq!(
+            record.occupant(Stage::Address).timing_class(),
+            TimingClass::Bubble
+        );
     }
 }

@@ -271,8 +271,7 @@ impl Interpreter {
             let mut new_pending: Option<u32> = None;
             match insn.opcode() {
                 Opcode::J | Opcode::Jal => {
-                    let target =
-                        pc.wrapping_add((insn.imm().unwrap_or(0) as u32).wrapping_mul(4));
+                    let target = pc.wrapping_add((insn.imm().unwrap_or(0) as u32).wrapping_mul(4));
                     new_pending = Some(target);
                     if insn.opcode() == Opcode::Jal {
                         regs.write(Reg::LINK, pc.wrapping_add(8));
@@ -286,16 +285,14 @@ impl Interpreter {
                 }
                 Opcode::Bf => {
                     if flag {
-                        new_pending = Some(
-                            pc.wrapping_add((insn.imm().unwrap_or(0) as u32).wrapping_mul(4)),
-                        );
+                        new_pending =
+                            Some(pc.wrapping_add((insn.imm().unwrap_or(0) as u32).wrapping_mul(4)));
                     }
                 }
                 Opcode::Bnf => {
                     if !flag {
-                        new_pending = Some(
-                            pc.wrapping_add((insn.imm().unwrap_or(0) as u32).wrapping_mul(4)),
-                        );
+                        new_pending =
+                            Some(pc.wrapping_add((insn.imm().unwrap_or(0) as u32).wrapping_mul(4)));
                     }
                 }
                 Opcode::Lwz | Opcode::Lws => {
@@ -397,16 +394,14 @@ mod tests {
         // Sum 1..=5 using a countdown loop; the delay-slot instruction after
         // l.bf is part of the loop body (it executes even on the last,
         // not-taken iteration).
-        let r = run(
-            "        l.addi r3, r0, 5
+        let r = run("        l.addi r3, r0, 5
                      l.addi r4, r0, 0
              loop:   l.add  r4, r4, r3
                      l.addi r3, r3, -1
                      l.sfne r3, r0
                      l.bf   loop
                      l.nop  0
-                     l.nop  1",
-        );
+                     l.nop  1");
         assert_eq!(r.regs.read(Reg::r(4)), 15);
         assert_eq!(r.regs.read(Reg::r(3)), 0);
     }
@@ -414,27 +409,23 @@ mod tests {
     #[test]
     fn delay_slot_instruction_executes_before_jump_target() {
         // The l.addi in the delay slot of l.j must execute.
-        let r = run(
-            "        l.addi r3, r0, 1
+        let r = run("        l.addi r3, r0, 1
                      l.j    done
                      l.addi r3, r3, 10   # delay slot
                      l.addi r3, r3, 100  # skipped
-             done:   l.nop 1",
-        );
+             done:   l.nop 1");
         assert_eq!(r.regs.read(Reg::r(3)), 11);
     }
 
     #[test]
     fn jal_links_past_delay_slot_and_jr_returns() {
-        let r = run(
-            "        l.jal  func
+        let r = run("        l.jal  func
                      l.addi r3, r0, 1    # delay slot
                      l.addi r4, r0, 2    # return lands here
                      l.nop  1
              func:   l.addi r5, r0, 3
                      l.jr   r9
-                     l.addi r6, r0, 4    # delay slot of return",
-        );
+                     l.addi r6, r0, 4    # delay slot of return");
         assert_eq!(r.regs.read(Reg::r(3)), 1);
         assert_eq!(r.regs.read(Reg::r(4)), 2);
         assert_eq!(r.regs.read(Reg::r(5)), 3);
@@ -443,8 +434,7 @@ mod tests {
 
     #[test]
     fn memory_byte_half_word_accesses() {
-        let r = run(
-            "        l.addi r1, r0, 0x100
+        let r = run("        l.addi r1, r0, 0x100
                      l.addi r3, r0, -2
                      l.sw   0(r1), r3
                      l.lwz  r4, 0(r1)
@@ -454,8 +444,7 @@ mod tests {
                      l.lhs  r8, 2(r1)
                      l.sb   8(r1), r3
                      l.lbz  r9, 8(r1)
-                     l.nop  1",
-        );
+                     l.nop  1");
         assert_eq!(r.regs.read(Reg::r(4)), 0xFFFF_FFFE);
         assert_eq!(r.regs.read(Reg::r(5)), 0xFE);
         assert_eq!(r.regs.read(Reg::r(6)), 0xFFFF_FFFE);
@@ -476,10 +465,8 @@ mod tests {
 
     #[test]
     fn shifts_and_rotates() {
-        let r = run(
-            "l.addi r3, r0, 1\n l.slli r4, r3, 31\n l.srli r5, r4, 31\n\
-             l.srai r6, r4, 31\n l.rori r7, r3, 1\n l.nop 1\n",
-        );
+        let r = run("l.addi r3, r0, 1\n l.slli r4, r3, 31\n l.srli r5, r4, 31\n\
+             l.srai r6, r4, 31\n l.rori r7, r3, 1\n l.nop 1\n");
         assert_eq!(r.regs.read(Reg::r(4)), 0x8000_0000);
         assert_eq!(r.regs.read(Reg::r(5)), 1);
         assert_eq!(r.regs.read(Reg::r(6)), 0xFFFF_FFFF);

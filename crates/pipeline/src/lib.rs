@@ -8,12 +8,19 @@
 //! branch/jump, and a multiplier that is shielded from the other ALU inputs
 //! (operand isolation) exactly as described in §III-A of the paper.
 //!
-//! Besides architecturally-correct execution the simulator records a
-//! [`PipelineTrace`]: for every cycle, the instruction occupying each stage
-//! plus detailed *activity descriptors* (operand values, carry-chain length,
+//! Besides architecturally-correct execution the simulator emits, for every
+//! cycle, a [`CycleRecord`]: the instruction occupying each stage plus
+//! detailed *activity descriptors* (operand values, carry-chain length,
 //! multiplier activity, memory requests, forwarding sources, branch
 //! decisions). The `idca-timing` crate turns this activity into dynamic path
 //! delays — the equivalent of the paper's post-layout gate-level simulation.
+//!
+//! Records are delivered through the streaming [`CycleObserver`] interface
+//! ([`Simulator::run_observed`]): downstream analyses consume each cycle as
+//! it is produced, so one simulation pass feeds them all and nothing is
+//! materialized on the hot path. A full [`PipelineTrace`] is just one
+//! possible observer (kept for tests, serialization and file-based replay),
+//! produced by the convenience wrapper [`Simulator::run`].
 //!
 //! # Example
 //!
@@ -47,6 +54,7 @@ mod error;
 mod event;
 mod interp;
 mod memory;
+mod observer;
 mod regfile;
 mod simulator;
 mod stage;
@@ -59,8 +67,9 @@ pub use event::{
 };
 pub use interp::{Interpreter, InterpreterResult};
 pub use memory::Memory;
+pub use observer::{CycleObserver, RunSummary, TakeObserver};
 pub use regfile::RegisterFile;
-pub use simulator::{ArchState, SimConfig, SimResult, Simulator};
+pub use simulator::{ArchState, ObservedRun, SimConfig, SimResult, Simulator};
 pub use stage::Stage;
 pub use trace::{class_at, occupant_at, PipelineTrace, TraceStats};
 

@@ -28,7 +28,7 @@ impl Memory {
     }
 
     fn check(&self, address: u32, width: u32) -> Result<usize, PipelineError> {
-        if address % width != 0 {
+        if !address.is_multiple_of(width) {
             return Err(PipelineError::UnalignedAccess { address, width });
         }
         let end = address as u64 + u64::from(width);

@@ -1,0 +1,167 @@
+//! Streaming cycle observers.
+//!
+//! The paper's tool flow is a chain of per-cycle analyses — gate-level-style
+//! trace, dynamic timing analysis, clock-policy evaluation, power — and every
+//! one of them only ever needs the *current* cycle. A [`CycleObserver`]
+//! receives each [`CycleRecord`] as the simulator produces it
+//! ([`crate::Simulator::run_observed`]), so a workload is simulated once and
+//! all downstream analyses run in the same pass, with no full-trace
+//! materialization on the hot path. Materializing a [`crate::PipelineTrace`]
+//! is just another observer (used by tests and serialization).
+
+use crate::CycleRecord;
+
+/// Run totals handed to every observer when the simulation finishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunSummary {
+    /// Number of simulated cycles (equals the number of observed records).
+    pub cycles: u64,
+    /// Architecturally retired instructions.
+    pub retired: u64,
+}
+
+/// A streaming consumer of per-cycle pipeline records.
+///
+/// Observers are driven by [`crate::Simulator::run_observed`]: one
+/// [`CycleObserver::observe_cycle`] call per simulated cycle, in execution
+/// order, followed by exactly one [`CycleObserver::finish`] call carrying
+/// the run totals.
+pub trait CycleObserver {
+    /// Consumes the record of one simulated cycle.
+    fn observe_cycle(&mut self, record: &CycleRecord);
+
+    /// Called once after the last cycle with the run totals.
+    fn finish(&mut self, summary: &RunSummary) {
+        let _ = summary;
+    }
+}
+
+/// Forwarding impl so `&mut O` can be composed into observer slices.
+impl<O: CycleObserver + ?Sized> CycleObserver for &mut O {
+    fn observe_cycle(&mut self, record: &CycleRecord) {
+        (**self).observe_cycle(record);
+    }
+
+    fn finish(&mut self, summary: &RunSummary) {
+        (**self).finish(summary);
+    }
+}
+
+/// An observer adapter that forwards only the first `limit` cycles to its
+/// inner observer — the streaming equivalent of truncating a materialized
+/// trace (used e.g. to study LUTs built from deliberately short
+/// characterizations).
+#[derive(Debug, Clone)]
+pub struct TakeObserver<O> {
+    inner: O,
+    limit: u64,
+    seen: u64,
+}
+
+impl<O: CycleObserver> TakeObserver<O> {
+    /// Wraps `inner`, forwarding at most `limit` cycles.
+    #[must_use]
+    pub fn new(inner: O, limit: u64) -> Self {
+        TakeObserver {
+            inner,
+            limit,
+            seen: 0,
+        }
+    }
+
+    /// Consumes the adapter and returns the inner observer.
+    #[must_use]
+    pub fn into_inner(self) -> O {
+        self.inner
+    }
+}
+
+impl<O: CycleObserver> CycleObserver for TakeObserver<O> {
+    fn observe_cycle(&mut self, record: &CycleRecord) {
+        if self.seen < self.limit {
+            self.seen += 1;
+            self.inner.observe_cycle(record);
+        }
+    }
+
+    fn finish(&mut self, summary: &RunSummary) {
+        // The inner observer saw `seen` cycles; clamp the totals so its view
+        // stays consistent with what was forwarded.
+        let truncated = RunSummary {
+            cycles: self.seen,
+            retired: summary.retired.min(self.seen),
+        };
+        self.inner.finish(&truncated);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BubbleKind, Occupant, Stage};
+
+    #[derive(Default)]
+    struct Counting {
+        observed: u64,
+        finished: Option<RunSummary>,
+    }
+
+    impl CycleObserver for Counting {
+        fn observe_cycle(&mut self, _record: &CycleRecord) {
+            self.observed += 1;
+        }
+
+        fn finish(&mut self, summary: &RunSummary) {
+            self.finished = Some(*summary);
+        }
+    }
+
+    fn record(cycle: u64) -> CycleRecord {
+        CycleRecord {
+            cycle,
+            stages: [Occupant::Bubble(BubbleKind::Reset); Stage::COUNT],
+            exec: None,
+            mem_return: None,
+            writeback: None,
+            fetch_address: 0,
+            fetch_redirected: false,
+            stalled: false,
+        }
+    }
+
+    #[test]
+    fn take_observer_truncates_stream_and_summary() {
+        let mut take = TakeObserver::new(Counting::default(), 3);
+        for cycle in 0..10 {
+            take.observe_cycle(&record(cycle));
+        }
+        take.finish(&RunSummary {
+            cycles: 10,
+            retired: 8,
+        });
+        let inner = take.into_inner();
+        assert_eq!(inner.observed, 3);
+        assert_eq!(
+            inner.finished,
+            Some(RunSummary {
+                cycles: 3,
+                retired: 3
+            })
+        );
+    }
+
+    #[test]
+    fn mut_reference_forwards() {
+        let mut counting = Counting::default();
+        {
+            let as_ref = &mut counting;
+            as_ref.observe_cycle(&record(0));
+            as_ref.finish(&RunSummary {
+                cycles: 1,
+                retired: 0,
+            });
+        }
+        assert_eq!(counting.observed, 1);
+        assert!(counting.finished.is_some());
+    }
+}

@@ -21,8 +21,9 @@
 
 use crate::interp::alu;
 use crate::{
-    BranchActivity, BubbleKind, CycleRecord, ExecActivity, ForwardSource, MemRequest, Memory,
-    Occupant, PipelineError, PipelineTrace, RegisterFile, Stage, WbActivity, NOP_EXIT,
+    BranchActivity, BubbleKind, CycleObserver, CycleRecord, ExecActivity, ForwardSource,
+    MemRequest, Memory, Occupant, PipelineError, PipelineTrace, RegisterFile, RunSummary, Stage,
+    WbActivity, NOP_EXIT,
 };
 use idca_isa::{Insn, Opcode, Program, Reg, INSN_BYTES};
 use serde::{Deserialize, Serialize};
@@ -73,6 +74,16 @@ pub struct SimResult {
     pub state: ArchState,
     /// Per-cycle pipeline trace.
     pub trace: PipelineTrace,
+}
+
+/// The outcome of an observed (streaming) run: the final architectural state
+/// plus the run totals. The per-cycle records went to the observers.
+#[derive(Debug, Clone)]
+pub struct ObservedRun {
+    /// Final architectural state.
+    pub state: ArchState,
+    /// Run totals (cycles simulated, instructions retired).
+    pub summary: RunSummary,
 }
 
 /// The cycle-accurate pipeline simulator.
@@ -153,6 +164,11 @@ impl Simulator {
     /// Runs `program` to completion and returns the final architectural
     /// state together with the full per-cycle trace.
     ///
+    /// This is a convenience wrapper around [`Simulator::run_observed`] with
+    /// a single materializing [`PipelineTrace`] observer; analysis pipelines
+    /// that do not need the materialized records should call
+    /// [`Simulator::run_observed`] with streaming observers instead.
+    ///
     /// A program terminates when the exit marker `l.nop 1` retires, or when
     /// the pipeline drains after the program counter runs past the end of
     /// the image.
@@ -162,6 +178,35 @@ impl Simulator {
     /// Returns [`PipelineError`] for invalid memory accesses or when
     /// [`SimConfig::max_cycles`] is exceeded.
     pub fn run(&self, program: &Program) -> Result<SimResult, PipelineError> {
+        let mut trace = PipelineTrace::default();
+        let run = self.run_observed(program, &mut [&mut trace])?;
+        Ok(SimResult {
+            state: run.state,
+            trace,
+        })
+    }
+
+    /// Runs `program` to completion, streaming every [`CycleRecord`] to the
+    /// given observers as it is produced — the single-pass entry point of
+    /// the analysis pipeline. No per-cycle storage is allocated; composing
+    /// observers (timing analysis, clock-policy evaluation, power activity,
+    /// trace materialization, ...) makes one simulation serve them all.
+    ///
+    /// Each observer receives one [`CycleObserver::observe_cycle`] call per
+    /// simulated cycle in execution order, then exactly one
+    /// [`CycleObserver::finish`] call with the run totals.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError`] for invalid memory accesses or when
+    /// [`SimConfig::max_cycles`] is exceeded. Observers may have consumed an
+    /// arbitrary prefix of the run when an error is returned; `finish` is
+    /// not called in that case.
+    pub fn run_observed(
+        &self,
+        program: &Program,
+        observers: &mut [&mut dyn CycleObserver],
+    ) -> Result<ObservedRun, PipelineError> {
         let mut regs = RegisterFile::new();
         let mut memory = Memory::new(self.config.data_memory_size);
         memory.load_image(program.data())?;
@@ -171,9 +216,7 @@ impl Simulator {
         let base = program.base_address();
         let end = program.end_address();
         let in_range = |pc: u32| pc >= base && pc < end;
-        let fetch_insn = |pc: u32| -> Insn {
-            program.insns()[((pc - base) / INSN_BYTES) as usize]
-        };
+        let fetch_insn = |pc: u32| -> Insn { program.insns()[((pc - base) / INSN_BYTES) as usize] };
 
         let mut fetch_pc = base;
         let mut fe: Slot<Fetched> = Slot::Bubble(BubbleKind::Reset);
@@ -186,7 +229,7 @@ impl Simulator {
         let mut exit_seq: Option<u64> = None;
         let mut seq_counter: u64 = 0;
         let mut retired: u64 = 0;
-        let mut cycles: Vec<CycleRecord> = Vec::new();
+        let mut cycle_count: u64 = 0;
 
         for cycle in 0..self.config.max_cycles {
             // -------------------------------------------------------------
@@ -426,7 +469,10 @@ impl Simulator {
                 fetch_redirected,
                 stalled: false,
             };
-            cycles.push(record);
+            cycle_count += 1;
+            for observer in observers.iter_mut() {
+                observer.observe_cycle(&record);
+            }
 
             if finished {
                 break;
@@ -487,20 +533,27 @@ impl Simulator {
             let _ = &mut next_ctrl;
         }
 
-        if cycles.len() as u64 >= self.config.max_cycles {
+        if cycle_count >= self.config.max_cycles {
             return Err(PipelineError::CycleLimitExceeded {
                 limit: self.config.max_cycles,
             });
         }
 
-        Ok(SimResult {
+        let summary = RunSummary {
+            cycles: cycle_count,
+            retired,
+        };
+        for observer in observers.iter_mut() {
+            observer.finish(&summary);
+        }
+        Ok(ObservedRun {
             state: ArchState {
                 regs,
                 memory,
                 flag,
                 carry,
             },
-            trace: PipelineTrace::from_parts(cycles, retired),
+            summary,
         })
     }
 }
@@ -658,19 +711,15 @@ mod tests {
     fn forwarding_handles_back_to_back_dependencies() {
         // Each instruction depends on the previous one; without forwarding
         // the results would be stale.
-        let sim = run(
-            "l.addi r3, r0, 1\n l.add r3, r3, r3\n l.add r3, r3, r3\n\
-             l.add r3, r3, r3\n l.add r3, r3, r3\n l.nop 1\n",
-        );
+        let sim = run("l.addi r3, r0, 1\n l.add r3, r3, r3\n l.add r3, r3, r3\n\
+             l.add r3, r3, r3\n l.add r3, r3, r3\n l.nop 1\n");
         assert_eq!(sim.state.reg(Reg::r(3)), 16);
     }
 
     #[test]
     fn load_use_is_forwarded_from_control_stage() {
-        let sim = run(
-            "l.addi r1, r0, 0x40\n l.addi r3, r0, 99\n l.sw 0(r1), r3\n\
-             l.lwz r4, 0(r1)\n l.add r5, r4, r4\n l.nop 1\n",
-        );
+        let sim = run("l.addi r1, r0, 0x40\n l.addi r3, r0, 99\n l.sw 0(r1), r3\n\
+             l.lwz r4, 0(r1)\n l.add r5, r4, r4\n l.nop 1\n");
         assert_eq!(sim.state.reg(Reg::r(4)), 99);
         assert_eq!(sim.state.reg(Reg::r(5)), 198);
     }
@@ -781,14 +830,12 @@ mod tests {
 
     #[test]
     fn branch_activity_reports_decode_resolution() {
-        let sim = run(
-            "        l.sfeq r0, r0
+        let sim = run("        l.sfeq r0, r0
                      l.bf   target
                      l.nop  0
                      l.addi r3, r0, 9
              target: l.addi r4, r0, 7
-                     l.nop  1",
-        );
+                     l.nop  1");
         let branch = sim
             .trace
             .cycles()
@@ -817,15 +864,16 @@ mod tests {
             ..SimConfig::default()
         };
         let err = Simulator::new(config).run(&program).unwrap_err();
-        assert!(matches!(err, PipelineError::CycleLimitExceeded { limit: 50 }));
+        assert!(matches!(
+            err,
+            PipelineError::CycleLimitExceeded { limit: 50 }
+        ));
     }
 
     #[test]
     fn store_then_load_ordering_is_preserved() {
-        let sim = run(
-            "l.addi r1, r0, 0x80\n l.addi r3, r0, 5\n l.sw 0(r1), r3\n\
-             l.addi r3, r0, 6\n l.sw 0(r1), r3\n l.lwz r4, 0(r1)\n l.nop 1\n",
-        );
+        let sim = run("l.addi r1, r0, 0x80\n l.addi r3, r0, 5\n l.sw 0(r1), r3\n\
+             l.addi r3, r0, 6\n l.sw 0(r1), r3\n l.lwz r4, 0(r1)\n l.nop 1\n");
         assert_eq!(sim.state.reg(Reg::r(4)), 6);
     }
 }

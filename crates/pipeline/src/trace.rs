@@ -1,4 +1,4 @@
-use crate::{CycleRecord, Occupant, Stage};
+use crate::{CycleObserver, CycleRecord, Occupant, RunSummary, Stage};
 use idca_isa::TimingClass;
 use serde::{Deserialize, Serialize};
 
@@ -8,7 +8,13 @@ use serde::{Deserialize, Serialize};
 /// simulation dump: it contains, for every clock cycle, the instruction in
 /// flight in every stage plus the activity descriptors needed to derive
 /// dynamic path delays.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Materialization is deliberately *opt-in*: the trace is itself a
+/// [`CycleObserver`], so callers that need the full record sequence (tests,
+/// serialization, file-based replay) pass an empty trace to
+/// [`crate::Simulator::run_observed`], while the hot analysis path composes
+/// streaming observers instead and never allocates per-cycle storage.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct PipelineTrace {
     cycles: Vec<CycleRecord>,
     retired: u64,
@@ -58,41 +64,21 @@ impl PipelineTrace {
     #[must_use]
     pub fn stats(&self) -> TraceStats {
         let mut stats = TraceStats::default();
-        stats.cycles = self.cycle_count();
-        stats.retired = self.retired;
         for record in &self.cycles {
-            for stage in Stage::ALL {
-                let occupant = record.occupant(stage);
-                if stage == Stage::Execute {
-                    let class = occupant.timing_class();
-                    stats.execute_class_counts[class.index()] += 1;
-                    if !occupant.is_insn() {
-                        stats.execute_bubbles += 1;
-                    }
-                }
-            }
-            if let Some(exec) = &record.exec {
-                if exec.mem_request.is_some() {
-                    stats.memory_accesses += 1;
-                }
-                if let Some(branch) = &exec.branch {
-                    stats.branches += 1;
-                    if branch.taken {
-                        stats.taken_branches += 1;
-                    }
-                }
-                if exec.mul_active {
-                    stats.multiplications += 1;
-                }
-                if exec.forward_a.is_some() || exec.forward_b.is_some() {
-                    stats.forwarded_cycles += 1;
-                }
-            }
-            if record.stalled {
-                stats.stall_cycles += 1;
-            }
+            stats.observe(record);
         }
+        stats.retired = self.retired;
         stats
+    }
+}
+
+impl CycleObserver for PipelineTrace {
+    fn observe_cycle(&mut self, record: &CycleRecord) {
+        self.cycles.push(record.clone());
+    }
+
+    fn finish(&mut self, summary: &RunSummary) {
+        self.retired = summary.retired;
     }
 }
 
@@ -132,6 +118,39 @@ pub struct TraceStats {
 }
 
 impl TraceStats {
+    /// Accumulates one cycle record into the statistics. This is the single
+    /// counting rule shared by [`PipelineTrace::stats`] and by streaming
+    /// consumers that use `TraceStats` as a [`CycleObserver`], so the two
+    /// paths cannot drift apart.
+    pub fn observe(&mut self, record: &CycleRecord) {
+        self.cycles += 1;
+        let occupant = record.occupant(Stage::Execute);
+        self.execute_class_counts[occupant.timing_class().index()] += 1;
+        if !occupant.is_insn() {
+            self.execute_bubbles += 1;
+        }
+        if let Some(exec) = &record.exec {
+            if exec.mem_request.is_some() {
+                self.memory_accesses += 1;
+            }
+            if let Some(branch) = &exec.branch {
+                self.branches += 1;
+                if branch.taken {
+                    self.taken_branches += 1;
+                }
+            }
+            if exec.mul_active {
+                self.multiplications += 1;
+            }
+            if exec.forward_a.is_some() || exec.forward_b.is_some() {
+                self.forwarded_cycles += 1;
+            }
+        }
+        if record.stalled {
+            self.stall_cycles += 1;
+        }
+    }
+
     /// Number of execute-stage cycles occupied by a given timing class.
     #[must_use]
     pub fn class_count(&self, class: TimingClass) -> u64 {
@@ -146,6 +165,16 @@ impl TraceStats {
         } else {
             1.0 - self.execute_bubbles as f64 / self.cycles as f64
         }
+    }
+}
+
+impl CycleObserver for TraceStats {
+    fn observe_cycle(&mut self, record: &CycleRecord) {
+        self.observe(record);
+    }
+
+    fn finish(&mut self, summary: &RunSummary) {
+        self.retired = summary.retired;
     }
 }
 

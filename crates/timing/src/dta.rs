@@ -9,14 +9,19 @@
 //! per-instruction-class worst-case delays — the content of the delay
 //! prediction LUT — plus the distributions shown in Figs. 5–7.
 //!
-//! [`DynamicTimingAnalysis::run`] performs the whole flow directly from a
-//! [`TimingModel`] and a [`PipelineTrace`]; [`DynamicTimingAnalysis::from_event_log`]
-//! consumes a pre-recorded [`EventLog`] instead (the two are equivalent, the
-//! latter mirrors the paper's file-based tool chain).
+//! The analysis is a single-pass accumulator: [`DtaObserver`] implements
+//! [`CycleObserver`] and folds every [`CycleRecord`] into the statistics as
+//! the simulator produces it, so characterizing a workload needs neither a
+//! materialized trace nor a separate replay.
+//! [`DynamicTimingAnalysis::run`] wraps the same accumulation for callers
+//! that do hold a [`PipelineTrace`];
+//! [`DynamicTimingAnalysis::from_event_log`] consumes a pre-recorded
+//! [`EventLog`] instead (equivalent results, mirroring the paper's
+//! file-based tool chain).
 
 use crate::{EventLog, Histogram, Ps, TimingModel};
 use idca_isa::TimingClass;
-use idca_pipeline::{PipelineTrace, Stage};
+use idca_pipeline::{CycleObserver, CycleRecord, PipelineTrace, Stage};
 use serde::{Deserialize, Serialize};
 
 /// Result of a dynamic timing analysis over one execution trace.
@@ -55,16 +60,36 @@ impl DynamicTimingAnalysis {
         }
     }
 
+    /// Creates a streaming observer that performs the analysis cycle by
+    /// cycle as the simulator runs — the single-pass equivalent of
+    /// [`DynamicTimingAnalysis::run`].
+    #[must_use]
+    pub fn streaming(model: &TimingModel) -> DtaObserver<'_> {
+        DtaObserver {
+            dta: Self::empty(model.static_period_ps()),
+            model,
+        }
+    }
+
+    /// Folds one cycle record into the analysis, evaluating its dynamic
+    /// stage delays against `model`.
+    pub fn observe(&mut self, model: &TimingModel, record: &CycleRecord) {
+        let timing = model.cycle_timing(record);
+        let mut classes = [TimingClass::Bubble; Stage::COUNT];
+        for stage in Stage::ALL {
+            classes[stage.index()] = record.timing_class(stage);
+        }
+        self.accumulate_cycle(&timing.stage_delay_ps, &classes);
+    }
+
     /// Runs the analysis directly from the timing model and a pipeline trace
-    /// (gate-level simulation substitute and DTA in one step).
+    /// (gate-level simulation substitute and DTA in one step). Replays a
+    /// materialized trace through the same accumulation as [`DtaObserver`].
     #[must_use]
     pub fn run(model: &TimingModel, trace: &PipelineTrace) -> Self {
         let mut dta = Self::empty(model.static_period_ps());
         for record in trace.cycles() {
-            let timing = model.cycle_timing(record);
-            let classes: Vec<TimingClass> =
-                Stage::ALL.iter().map(|s| record.timing_class(*s)).collect();
-            dta.accumulate_cycle(&timing.stage_delay_ps, &classes);
+            dta.observe(model, record);
         }
         dta
     }
@@ -93,8 +118,10 @@ impl DynamicTimingAnalysis {
             }
         }
         for (record, delays) in trace.cycles().iter().zip(&per_cycle) {
-            let classes: Vec<TimingClass> =
-                Stage::ALL.iter().map(|s| record.timing_class(*s)).collect();
+            let mut classes = [TimingClass::Bubble; Stage::COUNT];
+            for stage in Stage::ALL {
+                classes[stage.index()] = record.timing_class(stage);
+            }
             dta.accumulate_cycle(delays, &classes);
         }
         dta
@@ -232,6 +259,36 @@ impl DynamicTimingAnalysis {
     }
 }
 
+/// Streaming dynamic timing analysis: a [`CycleObserver`] that evaluates the
+/// dynamic stage delays of every cycle against a [`TimingModel`] and folds
+/// them into a [`DynamicTimingAnalysis`] as the simulation runs. Created by
+/// [`DynamicTimingAnalysis::streaming`].
+#[derive(Debug, Clone)]
+pub struct DtaObserver<'m> {
+    model: &'m TimingModel,
+    dta: DynamicTimingAnalysis,
+}
+
+impl DtaObserver<'_> {
+    /// The analysis accumulated so far.
+    #[must_use]
+    pub fn analysis(&self) -> &DynamicTimingAnalysis {
+        &self.dta
+    }
+
+    /// Consumes the observer and returns the finished analysis.
+    #[must_use]
+    pub fn into_analysis(self) -> DynamicTimingAnalysis {
+        self.dta
+    }
+}
+
+impl CycleObserver for DtaObserver<'_> {
+    fn observe_cycle(&mut self, record: &CycleRecord) {
+        self.dta.observe(self.model, record);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -305,8 +362,7 @@ mod tests {
         for stage in Stage::ALL {
             for class in TimingClass::ALL {
                 assert!(
-                    dta.observed_worst_ps(stage, class)
-                        <= model.worst_case_ps(stage, class) + 1e-9,
+                    dta.observed_worst_ps(stage, class) <= model.worst_case_ps(stage, class) + 1e-9,
                     "{stage}/{class}"
                 );
             }
@@ -350,5 +406,37 @@ mod tests {
         assert_eq!(dta.cycles(), 0);
         assert_eq!(dta.mean_cycle_delay_ps(), 0.0);
         assert_eq!(dta.genie_speedup(), 1.0);
+    }
+
+    #[test]
+    fn streaming_observer_is_bit_identical_to_trace_replay() {
+        let model = TimingModel::at_nominal(ProfileKind::CriticalRangeOptimized);
+        let t = mixed_trace();
+        let replayed = DynamicTimingAnalysis::run(&model, &t);
+        let mut observer = DynamicTimingAnalysis::streaming(&model);
+        for record in t.cycles() {
+            observer.observe_cycle(record);
+        }
+        let streamed = observer.into_analysis();
+        assert_eq!(streamed.cycles(), replayed.cycles());
+        assert_eq!(
+            streamed.mean_cycle_delay_ps(),
+            replayed.mean_cycle_delay_ps()
+        );
+        assert_eq!(streamed.max_cycle_delay_ps(), replayed.max_cycle_delay_ps());
+        assert_eq!(streamed.limiting_counts(), replayed.limiting_counts());
+        for stage in Stage::ALL {
+            for class in TimingClass::ALL {
+                assert_eq!(
+                    streamed.observed_worst_ps(stage, class),
+                    replayed.observed_worst_ps(stage, class),
+                    "{stage}/{class}"
+                );
+                assert_eq!(
+                    streamed.observations(stage, class),
+                    replayed.observations(stage, class)
+                );
+            }
+        }
     }
 }

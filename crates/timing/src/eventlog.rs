@@ -131,7 +131,10 @@ impl EventLog {
     pub fn worst_slack_ps(&self) -> Option<Ps> {
         self.events
             .iter()
-            .filter_map(|ev| self.endpoint(ev.endpoint).map(|ep| ev.slack_ps(ep, self.sim_period_ps)))
+            .filter_map(|ev| {
+                self.endpoint(ev.endpoint)
+                    .map(|ep| ev.slack_ps(ep, self.sim_period_ps))
+            })
             .fold(None, |acc, s| Some(acc.map_or(s, |a: Ps| a.min(s))))
     }
 }

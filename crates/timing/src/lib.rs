@@ -63,11 +63,12 @@ mod model;
 mod power;
 mod profile;
 
+pub use dta::{DtaObserver, DynamicTimingAnalysis};
 pub use eventlog::{Endpoint, EndpointEvent, EndpointId, EventLog};
 pub use histogram::Histogram;
 pub use library::{CellLibrary, LibraryError, OperatingPoint};
-pub use model::{CycleTiming, TimingModel};
-pub use power::{ActivitySummary, PowerModel, PowerReport};
+pub use model::{CycleTiming, EventLogObserver, TimingModel};
+pub use power::{ActivityObserver, ActivitySummary, PowerModel, PowerReport};
 pub use profile::{ProfileKind, StageClassDelays, TimingProfile};
 
 /// Picoseconds, the time unit used throughout the timing model.

@@ -15,7 +15,7 @@ use crate::{
     ProfileKind, Ps, TimingProfile,
 };
 use idca_isa::TimingClass;
-use idca_pipeline::{CycleRecord, Occupant, PipelineTrace, Stage};
+use idca_pipeline::{CycleObserver, CycleRecord, Occupant, PipelineTrace, Stage};
 
 /// The dynamic delay of every pipeline stage in one cycle.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -203,9 +203,7 @@ impl TimingModel {
             },
             Stage::Execute => self.execute_excitation(record, class),
             Stage::Control => match class {
-                TimingClass::Load => {
-                    0.30 + 0.70 * popcount_frac(record.mem_return.unwrap_or(0))
-                }
+                TimingClass::Load => 0.30 + 0.70 * popcount_frac(record.mem_return.unwrap_or(0)),
                 TimingClass::Store => 0.35 + 0.45 * dither,
                 TimingClass::Mul => 0.45 + 0.35 * dither,
                 TimingClass::Bubble => 0.35,
@@ -245,7 +243,7 @@ impl TimingModel {
                 0.45 + 0.55 * drive
             }
             TimingClass::BranchCond => {
-                if exec.branch.map_or(false, |b| b.taken) {
+                if exec.branch.is_some_and(|b| b.taken) {
                     0.85
                 } else {
                     0.45
@@ -283,17 +281,30 @@ impl TimingModel {
         }
     }
 
-    /// Builds a complete event log for a trace (the characterization
-    /// "gate-level simulation" step of the paper's flow).
+    /// Creates a streaming observer that records endpoint events cycle by
+    /// cycle as the simulator runs — the single-pass equivalent of
+    /// [`TimingModel::event_log`].
     #[must_use]
-    pub fn event_log(&self, trace: &PipelineTrace) -> EventLog {
+    pub fn event_log_observer(&self) -> EventLogObserver<'_> {
         // The characterization simulation runs at a comfortably slow clock
         // (10 % above the static limit) so no violation can occur.
-        let mut log = EventLog::new(self.endpoints.clone(), self.static_period_ps() * 1.1);
-        for record in trace.cycles() {
-            self.append_events(record, &mut log);
+        EventLogObserver {
+            log: EventLog::new(self.endpoints.clone(), self.static_period_ps() * 1.1),
+            model: self,
         }
-        log
+    }
+
+    /// Builds a complete event log for a trace (the characterization
+    /// "gate-level simulation" step of the paper's flow). Replays a
+    /// materialized trace through the same recording as
+    /// [`EventLogObserver`].
+    #[must_use]
+    pub fn event_log(&self, trace: &PipelineTrace) -> EventLog {
+        let mut observer = self.event_log_observer();
+        for record in trace.cycles() {
+            observer.observe_cycle(record);
+        }
+        observer.into_log()
     }
 
     /// Fraction of the stage delay attributed to a given endpoint for the
@@ -333,6 +344,35 @@ impl TimingModel {
             },
             (Stage::Writeback, _) => 1.0,
         }
+    }
+}
+
+/// Streaming event-log recorder: a [`CycleObserver`] that appends the
+/// endpoint events of every cycle to an [`EventLog`] as the simulation runs.
+/// Created by [`TimingModel::event_log_observer`].
+#[derive(Debug, Clone)]
+pub struct EventLogObserver<'m> {
+    model: &'m TimingModel,
+    log: EventLog,
+}
+
+impl EventLogObserver<'_> {
+    /// The log recorded so far.
+    #[must_use]
+    pub fn log(&self) -> &EventLog {
+        &self.log
+    }
+
+    /// Consumes the observer and returns the finished log.
+    #[must_use]
+    pub fn into_log(self) -> EventLog {
+        self.log
+    }
+}
+
+impl CycleObserver for EventLogObserver<'_> {
+    fn observe_cycle(&mut self, record: &CycleRecord) {
+        self.model.append_events(record, &mut self.log);
     }
 }
 
@@ -484,7 +524,10 @@ mod tests {
         assert!(low.static_period_ps() > nominal.static_period_ps() * 1.3);
         let t = trace("l.addi r3, r0, 5\n l.add r4, r3, r3\n l.nop 1\n");
         let record = &t.cycles()[4];
-        assert!(low.stage_delay_ps(record, Stage::Execute) > nominal.stage_delay_ps(record, Stage::Execute));
+        assert!(
+            low.stage_delay_ps(record, Stage::Execute)
+                > nominal.stage_delay_ps(record, Stage::Execute)
+        );
     }
 
     #[test]
@@ -523,7 +566,10 @@ mod tests {
         let t1 = trace("l.addi r3, r0, 9\n l.mul r4, r3, r3\n l.nop 1\n");
         let t2 = trace("l.addi r3, r0, 9\n l.mul r4, r3, r3\n l.nop 1\n");
         for (a, b) in t1.cycles().iter().zip(t2.cycles()) {
-            assert_eq!(model.cycle_timing(a).max_delay_ps, model.cycle_timing(b).max_delay_ps);
+            assert_eq!(
+                model.cycle_timing(a).max_delay_ps,
+                model.cycle_timing(b).max_delay_ps
+            );
         }
     }
 

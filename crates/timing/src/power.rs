@@ -10,7 +10,7 @@
 //! 13.7 µW/MHz.
 
 use crate::{CellLibrary, OperatingPoint, Ps};
-use idca_pipeline::{PipelineTrace, TraceStats};
+use idca_pipeline::{CycleObserver, CycleRecord, PipelineTrace, RunSummary, TraceStats};
 use serde::{Deserialize, Serialize};
 
 /// Per-unit dynamic energy coefficients in picojoules per cycle at the
@@ -83,6 +83,44 @@ impl ActivitySummary {
             memory_accesses: stats.memory_accesses,
             multiplications: stats.multiplications,
         }
+    }
+}
+
+/// Streaming switching-activity accumulator: a [`CycleObserver`] that counts
+/// the per-unit activity of every cycle as the simulation runs, yielding the
+/// same [`ActivitySummary`] a materialized trace would — without the trace.
+#[derive(Debug, Clone, Default)]
+pub struct ActivityObserver {
+    stats: TraceStats,
+}
+
+impl ActivityObserver {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The activity accumulated so far.
+    #[must_use]
+    pub fn summary(&self) -> ActivitySummary {
+        ActivitySummary::from_stats(&self.stats)
+    }
+
+    /// The underlying occupancy statistics.
+    #[must_use]
+    pub fn stats(&self) -> &TraceStats {
+        &self.stats
+    }
+}
+
+impl CycleObserver for ActivityObserver {
+    fn observe_cycle(&mut self, record: &CycleRecord) {
+        self.stats.observe(record);
+    }
+
+    fn finish(&mut self, summary: &RunSummary) {
+        self.stats.retired = summary.retired;
     }
 }
 
@@ -294,9 +332,7 @@ mod tests {
         let base = PowerModel::new(lib.clone());
         let with_cg = PowerModel::new(lib).with_clock_generator_overhead(0.05);
         let a = typical_activity();
-        assert!(
-            with_cg.energy_per_cycle_pj(&a, &point) > base.energy_per_cycle_pj(&a, &point)
-        );
+        assert!(with_cg.energy_per_cycle_pj(&a, &point) > base.energy_per_cycle_pj(&a, &point));
     }
 
     #[test]

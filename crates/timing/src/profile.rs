@@ -293,10 +293,7 @@ impl TimingProfile {
     /// all stages (2026 ps for the optimized profile at 0.70 V).
     #[must_use]
     pub fn static_period_ps(&self) -> Ps {
-        self.sta_stage
-            .iter()
-            .copied()
-            .fold(0.0, Ps::max)
+        self.sta_stage.iter().copied().fold(0.0, Ps::max)
     }
 
     /// Worst-case delay of a class across all stages together with the

@@ -624,21 +624,25 @@ pub fn fdct() -> Program {
     )
 }
 
+/// Constructors of the ten BEEBS-like kernels, in suite order (the parallel
+/// suite runner assembles them concurrently).
+pub const KERNELS: &[fn() -> Program] = &[
+    crc32,
+    fibcall,
+    matmult_int,
+    insertsort,
+    fir,
+    levenshtein,
+    montecarlo,
+    nbody_fixed,
+    dijkstra_scan,
+    fdct,
+];
+
 /// All ten BEEBS-like kernels.
 #[must_use]
 pub fn all() -> Vec<Program> {
-    vec![
-        crc32(),
-        fibcall(),
-        matmult_int(),
-        insertsort(),
-        fir(),
-        levenshtein(),
-        montecarlo(),
-        nbody_fixed(),
-        dijkstra_scan(),
-        fdct(),
-    ]
+    KERNELS.iter().map(|kernel| kernel()).collect()
 }
 
 #[cfg(test)]
@@ -701,7 +705,10 @@ mod tests {
         };
         let expected: u64 = (1..25).map(fib).sum();
         let result = run(&fibcall());
-        assert_eq!(u64::from(result.state.memory.load_word(0x0F08).unwrap()), expected);
+        assert_eq!(
+            u64::from(result.state.memory.load_word(0x0F08).unwrap()),
+            expected
+        );
         // The subroutine must have been entered via the link register.
         assert_ne!(result.state.reg(Reg::LINK), 0);
     }
@@ -740,14 +747,20 @@ mod tests {
         let result = run(&levenshtein());
         let distance = result.state.memory.load_word(0x0F10).unwrap();
         assert!(distance <= 12, "distance {distance} exceeds string length");
-        assert!(distance > 0, "two pseudo-random strings are unlikely to be equal");
+        assert!(
+            distance > 0,
+            "two pseudo-random strings are unlikely to be equal"
+        );
     }
 
     #[test]
     fn dijkstra_finds_finite_distance() {
         let result = run(&dijkstra_scan());
         let distance = result.state.memory.load_word(0x0F14).unwrap();
-        assert!(distance < 0x7FFF, "node 7 must be reachable, got {distance:#x}");
+        assert!(
+            distance < 0x7FFF,
+            "node 7 must be reachable, got {distance:#x}"
+        );
         assert!(distance > 0);
     }
 

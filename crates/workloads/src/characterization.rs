@@ -271,9 +271,8 @@ fn move_extend() -> String {
 #[must_use]
 pub fn semi_random_source(seed: u64, blocks: usize) -> String {
     let mut rng = SmallRng::seed_from_u64(seed);
-    let mut out = String::from(
-        "            l.addi  r1, r0, 0x7000      # semi-random scratch base\n",
-    );
+    let mut out =
+        String::from("            l.addi  r1, r0, 0x7000      # semi-random scratch base\n");
     // Scratch registers available to the generator.
     const REGS: [u32; 10] = [16, 17, 18, 19, 21, 22, 23, 24, 25, 26];
     for _ in 0..blocks {
@@ -303,14 +302,8 @@ pub fn semi_random_source(seed: u64, blocks: usize) -> String {
                 67..=71 => format!("l.srli  r{rd}, r{ra}, {}", rng.gen_range(0..32)),
                 72..=76 => format!("l.sfgtu r{ra}, r{rb}"),
                 77..=80 => format!("l.cmov  r{rd}, r{ra}, r{rb}"),
-                81..=89 => format!(
-                    "l.sw    {}(r1), r{rb}",
-                    rng.gen_range(0..256) * 4
-                ),
-                _ => format!(
-                    "l.lwz   r{rd}, {}(r1)",
-                    rng.gen_range(0..256) * 4
-                ),
+                81..=89 => format!("l.sw    {}(r1), r{rb}", rng.gen_range(0..256) * 4),
+                _ => format!("l.lwz   r{rd}, {}(r1)", rng.gen_range(0..256) * 4),
             };
             out.push_str("            ");
             out.push_str(&line);

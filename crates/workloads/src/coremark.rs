@@ -68,7 +68,10 @@ pub fn list_search() -> Program {
 /// Multiply/accumulate and address arithmetic dominate.
 #[must_use]
 pub fn matrix_multiply() -> Program {
-    assemble_kernel("core_matrix", &crate::suite::matmul_source(8, 0x2000, 0x2200, 0x2400))
+    assemble_kernel(
+        "core_matrix",
+        &crate::suite::matmul_source(8, 0x2000, 0x2200, 0x2400),
+    )
 }
 
 /// State machine over a 256-byte pseudo-random input stream: dense
@@ -164,10 +167,14 @@ pub fn crc16() -> Program {
     )
 }
 
+/// Constructors of the four CoreMark-like kernels, in suite order (the
+/// parallel suite runner assembles them concurrently).
+pub const KERNELS: &[fn() -> Program] = &[list_search, matrix_multiply, state_machine, crc16];
+
 /// All four CoreMark-like kernels with their benchmark names.
 #[must_use]
 pub fn all() -> Vec<Program> {
-    vec![list_search(), matrix_multiply(), state_machine(), crc16()]
+    KERNELS.iter().map(|kernel| kernel()).collect()
 }
 
 #[cfg(test)]

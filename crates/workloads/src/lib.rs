@@ -43,7 +43,7 @@ pub mod characterization;
 pub mod coremark;
 pub mod suite;
 
-pub use suite::{benchmark_suite, Category, Workload};
+pub use suite::{benchmark_suite, par_map, Category, Workload};
 
 use idca_isa::{asm::Assembler, Program};
 

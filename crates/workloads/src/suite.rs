@@ -1,7 +1,9 @@
-//! The assembled benchmark suite and shared kernel generators.
+//! The assembled benchmark suite, the parallel suite runner and shared
+//! kernel generators.
 
 use crate::{beebs, characterization, coremark};
 use idca_isa::Program;
+use rayon::prelude::*;
 
 /// Which suite a workload belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -46,17 +48,33 @@ impl Workload {
 }
 
 /// The full evaluation suite used for Fig. 8: four CoreMark-like kernels and
-/// ten BEEBS-like kernels.
+/// ten BEEBS-like kernels. The kernels are assembled in parallel (one rayon
+/// task per kernel); suite order is deterministic regardless of the worker
+/// count.
 #[must_use]
 pub fn benchmark_suite() -> Vec<Workload> {
-    let mut suite = Vec::new();
-    for program in coremark::all() {
-        suite.push(Workload::new(Category::CoreMark, program));
-    }
-    for program in beebs::all() {
-        suite.push(Workload::new(Category::Beebs, program));
-    }
-    suite
+    let builders: Vec<(Category, fn() -> Program)> = coremark::KERNELS
+        .iter()
+        .map(|&kernel| (Category::CoreMark, kernel))
+        .chain(
+            beebs::KERNELS
+                .iter()
+                .map(|&kernel| (Category::Beebs, kernel)),
+        )
+        .collect();
+    builders
+        .into_par_iter()
+        .map(|(category, build)| Workload::new(category, build()))
+        .collect()
+}
+
+/// The parallel suite runner: evaluates `f` on every workload concurrently
+/// (rayon across the suite) and returns the results in suite order. This is
+/// what lets the Fig. 8 evaluation and the ablation sweeps scale with cores:
+/// each worker simulates its benchmark once, streaming into whatever
+/// observers `f` composes.
+pub fn par_map<R: Send>(workloads: &[Workload], f: impl Fn(&Workload) -> R + Sync) -> Vec<R> {
+    workloads.par_iter().map(f).collect()
 }
 
 /// The characterization workload (directed kernels plus semi-random code)
@@ -194,5 +212,25 @@ mod tests {
     fn category_display_names() {
         assert_eq!(Category::CoreMark.to_string(), "CoreMark");
         assert_eq!(Category::Beebs.to_string(), "BEEBS");
+    }
+
+    #[test]
+    fn par_map_preserves_suite_order() {
+        let suite = benchmark_suite();
+        let names = par_map(&suite, |workload| workload.name.clone());
+        let expected: Vec<String> = suite.iter().map(|w| w.name.clone()).collect();
+        assert_eq!(names, expected);
+    }
+
+    #[test]
+    fn parallel_assembly_matches_serial_kernel_order() {
+        let suite = benchmark_suite();
+        let serial: Vec<String> = crate::coremark::all()
+            .into_iter()
+            .chain(crate::beebs::all())
+            .map(|program| program.name().to_string())
+            .collect();
+        let parallel: Vec<String> = suite.iter().map(|w| w.name.clone()).collect();
+        assert_eq!(parallel, serial);
     }
 }

@@ -42,7 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The delay LUT / Table II.
     let lut = DelayLut::from_dta(&dta, 8);
     println!("\nTable II — dynamic instruction delay worst-cases:");
-    println!("{:<16} {:>12} {:>8} {:>14}", "instruction", "max delay", "stage", "observations");
+    println!(
+        "{:<16} {:>12} {:>8} {:>14}",
+        "instruction", "max delay", "stage", "observations"
+    );
     for row in lut.table2_rows() {
         println!(
             "{:<16} {:>9.0} ps {:>8} {:>14}",

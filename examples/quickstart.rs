@@ -27,48 +27,49 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "#,
     )?;
 
-    // Cycle-accurate execution with a full per-cycle activity trace.
-    let result = Simulator::new(SimConfig::default()).run(&program)?;
-    println!("program `{}`", program.name());
-    println!("  retired instructions : {}", result.trace.retired());
-    println!("  cycles               : {}", result.trace.cycle_count());
-    println!("  IPC                  : {:.3}", result.trace.ipc());
-    println!("  r4 (sum of squares)  : {}", result.state.reg(Reg::r(4)));
-
     // The synthetic post-layout timing model at the nominal 0.70 V point.
     let model = TimingModel::at_nominal(ProfileKind::CriticalRangeOptimized);
+
+    // Single-pass evaluation: conventional synchronous clocking, the paper's
+    // instruction-based technique and the genie-aided oracle all observe the
+    // same cycle stream while the program is simulated exactly once.
+    let static_policy = StaticClock::of_model(&model);
+    let lut_policy = InstructionBased::new(DelayLut::from_model(&model));
+    let genie_policy = GenieOracle::new(model.clone());
+    let mut baseline_obs = PolicyObserver::new(&model, &static_policy, &ClockGenerator::Ideal);
+    let mut dynamic_obs = PolicyObserver::new(&model, &lut_policy, &ClockGenerator::Ideal);
+    let mut genie_obs = PolicyObserver::new(&model, &genie_policy, &ClockGenerator::Ideal);
+    let run = Simulator::new(SimConfig::default()).run_observed(
+        &program,
+        &mut [&mut baseline_obs, &mut dynamic_obs, &mut genie_obs],
+    )?;
+
+    println!("program `{}`", program.name());
+    println!("  retired instructions : {}", run.summary.retired);
+    println!("  cycles               : {}", run.summary.cycles);
+    println!(
+        "  IPC                  : {:.3}",
+        run.summary.retired as f64 / run.summary.cycles as f64
+    );
+    println!("  r4 (sum of squares)  : {}", run.state.reg(Reg::r(4)));
     println!(
         "\nstatic timing limit      : {:.0} ps  ({:.1} MHz)",
         model.static_period_ps(),
         1.0e6 / model.static_period_ps()
     );
 
-    // Conventional synchronous clocking vs the paper's technique.
-    let baseline = run_with_policy(
-        &model,
-        &result.trace,
-        &StaticClock::of_model(&model),
-        &ClockGenerator::Ideal,
-    );
-    let lut = DelayLut::from_model(&model);
-    let dynamic = run_with_policy(
-        &model,
-        &result.trace,
-        &InstructionBased::new(lut),
-        &ClockGenerator::Ideal,
-    );
-    let genie = run_with_policy(
-        &model,
-        &result.trace,
-        &GenieOracle::new(model.clone()),
-        &ClockGenerator::Ideal,
-    );
+    let baseline = baseline_obs.into_outcome();
+    let dynamic = dynamic_obs.into_outcome();
+    let genie = genie_obs.into_outcome();
 
     println!("\nclocking policy comparison:");
     for outcome in [&baseline, &dynamic, &genie] {
         println!(
             "  {:<18} {:>7.1} MHz   avg period {:>7.1} ps   violations {}",
-            outcome.policy, outcome.effective_frequency_mhz, outcome.avg_period_ps, outcome.violations
+            outcome.policy,
+            outcome.effective_frequency_mhz,
+            outcome.avg_period_ps,
+            outcome.violations
         );
     }
     println!(

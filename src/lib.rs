@@ -19,21 +19,34 @@
 //!
 //! # Quickstart
 //!
+//! The single-pass entry point is `Simulator::run_observed`: the program is
+//! simulated **once**, and every analysis — here the static-clocking
+//! baseline and the paper's instruction-based adjustment — rides along as a
+//! streaming [`CycleObserver`](idca_pipeline::CycleObserver) on the same
+//! pass, with no per-cycle trace materialized.
+//!
 //! ```
 //! use idca::prelude::*;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! // 1. Assemble and run a program on the 6-stage pipeline.
+//! // 1. Assemble a program for the 6-stage pipeline.
 //! let program = Assembler::new().assemble(
 //!     "l.addi r3, r0, 100\nloop: l.addi r3, r3, -1\n l.sfne r3, r0\n l.bf loop\n l.nop 0\n l.nop 1\n",
 //! )?;
-//! let trace = Simulator::new(SimConfig::default()).run(&program)?.trace;
 //!
-//! // 2. Evaluate conventional vs instruction-based dynamic clocking.
+//! // 2. Evaluate conventional vs instruction-based dynamic clocking in one
+//! //    fused simulation pass.
 //! let model = TimingModel::at_nominal(ProfileKind::CriticalRangeOptimized);
-//! let baseline = run_with_policy(&model, &trace, &StaticClock::of_model(&model), &ClockGenerator::Ideal);
-//! let dynamic = run_with_policy(&model, &trace, &InstructionBased::from_model(&model), &ClockGenerator::Ideal);
+//! let static_policy = StaticClock::of_model(&model);
+//! let dynamic_policy = InstructionBased::from_model(&model);
+//! let mut baseline = PolicyObserver::new(&model, &static_policy, &ClockGenerator::Ideal);
+//! let mut dynamic = PolicyObserver::new(&model, &dynamic_policy, &ClockGenerator::Ideal);
+//! Simulator::new(SimConfig::default())
+//!     .run_observed(&program, &mut [&mut baseline, &mut dynamic])?;
+//!
+//! let (baseline, dynamic) = (baseline.into_outcome(), dynamic.into_outcome());
 //! assert!(dynamic.speedup_over(&baseline) > 1.0);
+//! assert_eq!(dynamic.violations, 0);
 //! # Ok(())
 //! # }
 //! ```
@@ -52,13 +65,16 @@ pub mod prelude {
     pub use idca_core::{
         eval, policy::ExecuteOnly, policy::GenieOracle, policy::InstructionBased,
         policy::StaticClock, run_with_policy, vfs, ClockGenerator, ClockPolicy, DelayLut,
-        RunOutcome,
+        PolicyObserver, RunOutcome,
     };
     pub use idca_isa::{asm::Assembler, Insn, Opcode, Program, ProgramBuilder, Reg, TimingClass};
-    pub use idca_pipeline::{PipelineTrace, SimConfig, SimResult, Simulator, Stage};
+    pub use idca_pipeline::{
+        CycleObserver, ObservedRun, PipelineTrace, RunSummary, SimConfig, SimResult, Simulator,
+        Stage,
+    };
     pub use idca_timing::{
-        dta::DynamicTimingAnalysis, ActivitySummary, CellLibrary, PowerModel, ProfileKind,
-        TimingModel, TimingProfile,
+        dta::DynamicTimingAnalysis, ActivityObserver, ActivitySummary, CellLibrary, PowerModel,
+        ProfileKind, TimingModel, TimingProfile,
     };
     pub use idca_workloads::{benchmark_suite, suite::characterization_workload, Workload};
 }

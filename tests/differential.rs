@@ -44,7 +44,9 @@ fn pipeline_matches_interpreter_on_characterization_workloads() {
     for seed in [1u64, 0xC0DE, 987_654_321] {
         let workload = characterization_workload(seed);
         let pipelined = simulator.run(&workload.program).expect("pipeline runs");
-        let golden = interpreter.run(&workload.program).expect("interpreter runs");
+        let golden = interpreter
+            .run(&workload.program)
+            .expect("interpreter runs");
         assert_eq!(
             pipelined.state.regs.as_array(),
             golden.regs.as_array(),

@@ -33,7 +33,10 @@ fn full_flow_characterize_then_evaluate() {
 
     let mut summary = eval::SuiteSummary::new();
     for workload in benchmark_suite().into_iter().take(6) {
-        let trace = simulator.run(&workload.program).expect("benchmark runs").trace;
+        let trace = simulator
+            .run(&workload.program)
+            .expect("benchmark runs")
+            .trace;
         let baseline = run_with_policy(&model, &trace, &baseline_policy, &ClockGenerator::Ideal);
         let dynamic = run_with_policy(&model, &trace, &policy, &ClockGenerator::Ideal);
         let oracle = run_with_policy(&model, &trace, &genie, &ClockGenerator::Ideal);
@@ -66,7 +69,10 @@ fn profile_lut_guarantees_zero_violations_on_every_benchmark() {
     let policy = InstructionBased::from_model(&model);
     let simulator = Simulator::new(SimConfig::default());
     for workload in benchmark_suite() {
-        let trace = simulator.run(&workload.program).expect("benchmark runs").trace;
+        let trace = simulator
+            .run(&workload.program)
+            .expect("benchmark runs")
+            .trace;
         let outcome = run_with_policy(&model, &trace, &policy, &ClockGenerator::Ideal);
         assert_eq!(
             outcome.violations, 0,
@@ -95,7 +101,12 @@ fn quantized_clock_generator_preserves_correctness_and_most_of_the_gain() {
     );
     let ideal = run_with_policy(&model, &trace, &policy, &ClockGenerator::Ideal);
     let quantized = run_with_policy(&model, &trace, &policy, &ClockGenerator::quantized_50ps());
-    let discrete = run_with_policy(&model, &trace, &policy, &ClockGenerator::discrete(8, 900.0, 2100.0));
+    let discrete = run_with_policy(
+        &model,
+        &trace,
+        &policy,
+        &ClockGenerator::discrete(8, 900.0, 2100.0),
+    );
 
     for outcome in [&ideal, &quantized, &discrete] {
         assert_eq!(outcome.violations, 0);
@@ -139,7 +150,8 @@ fn lut_json_roundtrip_through_filesystem_artifacts() {
     let json = lut.to_json().expect("serializes");
     let path = std::env::temp_dir().join("idca_integration_lut.json");
     std::fs::write(&path, &json).expect("writes");
-    let loaded = DelayLut::from_json(&std::fs::read_to_string(&path).expect("reads")).expect("parses");
+    let loaded =
+        DelayLut::from_json(&std::fs::read_to_string(&path).expect("reads")).expect("parses");
     assert_eq!(loaded, lut);
     std::fs::remove_file(&path).ok();
 }

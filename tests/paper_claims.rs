@@ -54,10 +54,15 @@ fn fig6_execute_stage_dominates() {
     let dta = characterization_dta(&model);
     let ex = dta.limiting_fraction(Stage::Execute);
     let adr = dta.limiting_fraction(Stage::Address);
-    let others: f64 = [Stage::Fetch, Stage::Decode, Stage::Control, Stage::Writeback]
-        .iter()
-        .map(|s| dta.limiting_fraction(*s))
-        .sum();
+    let others: f64 = [
+        Stage::Fetch,
+        Stage::Decode,
+        Stage::Control,
+        Stage::Writeback,
+    ]
+    .iter()
+    .map(|s| dta.limiting_fraction(*s))
+    .sum();
     assert!(ex > 0.75, "execute-stage dominance {ex}");
     assert!(adr < 0.25, "address-stage share {adr}");
     assert!(others < 0.10, "remaining stages share {others}");
@@ -87,7 +92,10 @@ fn table1_critical_range_factors() {
     let optimized = TimingProfile::new(ProfileKind::CriticalRangeOptimized);
     let conventional = TimingProfile::new(ProfileKind::Conventional);
     let sta_penalty = optimized.static_period_ps() / conventional.static_period_ps();
-    assert!((sta_penalty - 1.09).abs() < 0.02, "STA penalty {sta_penalty}");
+    assert!(
+        (sta_penalty - 1.09).abs() < 0.02,
+        "STA penalty {sta_penalty}"
+    );
 }
 
 /// Table II: characterized per-instruction worst-case delays land close to
@@ -179,7 +187,11 @@ fn power_voltage_scaling_band() {
         &library,
         &power,
         &trace,
-        &|m| Box::new(InstructionBased::new(lut.scaled(m.operating_point().delay_scale))),
+        &|m| {
+            Box::new(InstructionBased::new(
+                lut.scaled(m.operating_point().delay_scale),
+            ))
+        },
         &ClockGenerator::Ideal,
     )
     .expect("a feasible operating point exists");

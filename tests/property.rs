@@ -3,9 +3,9 @@
 //! random programs, the no-timing-violation guarantee of the worst-case LUT
 //! and the clock-generator safety property.
 
-use idca::prelude::*;
 use idca::isa::disasm;
 use idca::pipeline::Interpreter;
+use idca::prelude::*;
 use proptest::prelude::*;
 
 fn reg_strategy() -> impl Strategy<Value = Reg> {
@@ -33,7 +33,8 @@ fn insn_strategy() -> impl Strategy<Value = Insn> {
         (r(), r(), 0u32..32).prop_map(|(d, a, s)| Insn::srai(d, a, s).unwrap()),
         (r(), 0u32..=65535).prop_map(|(d, k)| Insn::movhi(d, k).unwrap()),
         (r(), r()).prop_map(|(a, b)| Insn::sf(idca::isa::SetFlagCond::Gtu, a, b)),
-        (r(), -32768i32..=32767).prop_map(|(a, i)| Insn::sfi(idca::isa::SetFlagCond::Lts, a, i).unwrap()),
+        (r(), -32768i32..=32767)
+            .prop_map(|(a, i)| Insn::sfi(idca::isa::SetFlagCond::Lts, a, i).unwrap()),
         (r(), -8192i32..=8191, r()).prop_map(|(d, off, a)| Insn::lwz(d, off & !3, a).unwrap()),
         (-8192i32..=8191, r(), r()).prop_map(|(off, a, b)| Insn::sw(off & !3, a, b).unwrap()),
         (-33_000_000i32 / 4..=33_000_000 / 4).prop_map(|off| Insn::j(off).unwrap()),
@@ -73,19 +74,52 @@ proptest! {
 /// window, and the program ends with the exit marker.
 fn straight_line_program() -> impl Strategy<Value = Program> {
     let step = prop_oneof![
-        (2u32..16, 2u32..16, 2u32..16).prop_map(|(d, a, b)| vec![Insn::add(Reg::r(d), Reg::r(a), Reg::r(b))]),
-        (2u32..16, 2u32..16, 2u32..16).prop_map(|(d, a, b)| vec![Insn::sub(Reg::r(d), Reg::r(a), Reg::r(b))]),
-        (2u32..16, 2u32..16, 2u32..16).prop_map(|(d, a, b)| vec![Insn::xor(Reg::r(d), Reg::r(a), Reg::r(b))]),
-        (2u32..16, 2u32..16, 2u32..16).prop_map(|(d, a, b)| vec![Insn::mul(Reg::r(d), Reg::r(a), Reg::r(b))]),
-        (2u32..16, 2u32..16, -2048i32..2048).prop_map(|(d, a, i)| vec![Insn::addi(Reg::r(d), Reg::r(a), i).unwrap()]),
-        (2u32..16, 2u32..16, 0u32..32).prop_map(|(d, a, s)| vec![Insn::slli(Reg::r(d), Reg::r(a), s).unwrap()]),
-        (2u32..16, 2u32..16).prop_map(|(a, b)| vec![Insn::sf(idca::isa::SetFlagCond::Ltu, Reg::r(a), Reg::r(b))]),
+        (2u32..16, 2u32..16, 2u32..16).prop_map(|(d, a, b)| vec![Insn::add(
+            Reg::r(d),
+            Reg::r(a),
+            Reg::r(b)
+        )]),
+        (2u32..16, 2u32..16, 2u32..16).prop_map(|(d, a, b)| vec![Insn::sub(
+            Reg::r(d),
+            Reg::r(a),
+            Reg::r(b)
+        )]),
+        (2u32..16, 2u32..16, 2u32..16).prop_map(|(d, a, b)| vec![Insn::xor(
+            Reg::r(d),
+            Reg::r(a),
+            Reg::r(b)
+        )]),
+        (2u32..16, 2u32..16, 2u32..16).prop_map(|(d, a, b)| vec![Insn::mul(
+            Reg::r(d),
+            Reg::r(a),
+            Reg::r(b)
+        )]),
+        (2u32..16, 2u32..16, -2048i32..2048).prop_map(|(d, a, i)| vec![Insn::addi(
+            Reg::r(d),
+            Reg::r(a),
+            i
+        )
+        .unwrap()]),
+        (2u32..16, 2u32..16, 0u32..32).prop_map(|(d, a, s)| vec![Insn::slli(
+            Reg::r(d),
+            Reg::r(a),
+            s
+        )
+        .unwrap()]),
+        (2u32..16, 2u32..16).prop_map(|(a, b)| vec![Insn::sf(
+            idca::isa::SetFlagCond::Ltu,
+            Reg::r(a),
+            Reg::r(b)
+        )]),
         (2u32..16, 0i32..64, 2u32..16).prop_map(|(d, off, b)| vec![
             Insn::sw(off * 4, Reg::r(1), Reg::r(b)).unwrap(),
             Insn::lwz(Reg::r(d), off * 4, Reg::r(1)).unwrap(),
         ]),
     ];
-    (proptest::collection::vec(step, 1..40), proptest::collection::vec(any::<u16>(), 14))
+    (
+        proptest::collection::vec(step, 1..40),
+        proptest::collection::vec(any::<u16>(), 14),
+    )
         .prop_map(|(steps, seeds)| {
             let mut builder = ProgramBuilder::named("proptest-program");
             // Scratch memory base in r1, random initial register values.

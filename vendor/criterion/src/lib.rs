@@ -1,0 +1,139 @@
+//! Offline substitute for the subset of `criterion` this workspace uses.
+//!
+//! The workspace builds without network access, so the real criterion cannot
+//! be fetched. The benches only need `Criterion::benchmark_group`,
+//! `sample_size`, `measurement_time`, `bench_function`, `Bencher::iter` and
+//! the `criterion_group!` / `criterion_main!` macros; this crate implements
+//! them as a small wall-clock harness that reports mean iteration time.
+//! Statistical analysis, plots and regressions of the real criterion are
+//! intentionally out of scope. Swapping in the real crate requires no source
+//! changes.
+
+use std::time::{Duration, Instant};
+
+/// Entry point handed to every bench function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_benchmark("", id, 10, Duration::from_secs(1), f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Caps the wall-clock time spent measuring each benchmark.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement_time = time;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_benchmark(&self.name, id, self.sample_size, self.measurement_time, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    group: &str,
+    id: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    mut f: F,
+) {
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    let mut bencher = Bencher {
+        samples: Vec::with_capacity(sample_size),
+    };
+    let deadline = Instant::now() + measurement_time;
+    for _ in 0..sample_size {
+        f(&mut bencher);
+        if Instant::now() >= deadline {
+            break;
+        }
+    }
+    let total: Duration = bencher.samples.iter().sum();
+    let count = bencher.samples.len().max(1);
+    println!(
+        "bench: {label:<56} {:>12.3?} /iter ({count} samples)",
+        total / count as u32
+    );
+}
+
+/// Times individual iterations of the benchmarked routine.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times one call of `routine` (one sample per `iter` call).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        let output = routine();
+        self.samples.push(start.elapsed());
+        std::hint::black_box(output);
+    }
+}
+
+/// Re-export mirroring `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Harness flags (e.g. `--bench`, filters) configure the real
+            // criterion; this substitute accepts and ignores them.
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,164 @@
+//! Minimal offline substitute for the `rand` crate.
+//!
+//! Provides exactly the subset the workspace uses: [`rngs::SmallRng`],
+//! [`SeedableRng::seed_from_u64`], [`Rng::gen`] and [`Rng::gen_range`] over
+//! integer ranges. The generator is a SplitMix64-seeded xorshift64*, which
+//! is more than adequate for the semi-random workload generation it backs
+//! (reproducibility per seed is the only property the callers rely on).
+//! Swapping in the real `rand` crate requires no source changes.
+
+/// Types that can be constructed from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator deterministically from `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling interface over a raw 64-bit generator.
+pub trait Rng {
+    /// The next raw 64 bits of the stream.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniformly distributed value of `T`.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// A uniformly distributed value inside `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}
+
+/// Types with a natural "uniform over the whole domain" distribution.
+pub trait Standard {
+    /// Draws one value from `rng`.
+    fn sample<R: Rng>(rng: &mut R) -> Self;
+}
+
+impl Standard for u32 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u16 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 48) as u16
+    }
+}
+
+/// Ranges a uniform value can be drawn from.
+pub trait SampleRange<T> {
+    /// Draws one value from `rng` inside the range.
+    fn sample<R: Rng>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample<R: Rng>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range called with empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample<R: Rng>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range called with empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let offset = (rng.next_u64() as u128) % span;
+                (start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u16, u32, u64, usize, i16, i32, i64);
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// A small, fast, deterministic generator (xorshift64* seeded through
+    /// SplitMix64), mirroring the role of `rand::rngs::SmallRng`.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 scramble so consecutive seeds land far apart.
+            let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            SmallRng {
+                state: z.max(1), // xorshift state must be non-zero
+            }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let v: i32 = rng.gen_range(-2048..2048);
+            assert!((-2048..2048).contains(&v));
+            let u: usize = rng.gen_range(0..10);
+            assert!(u < 10);
+            let w: i32 = rng.gen_range(-5..=5);
+            assert!((-5..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn full_width_values_vary() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let a: u32 = rng.gen();
+        let b: u32 = rng.gen();
+        assert_ne!(a, b);
+    }
+}

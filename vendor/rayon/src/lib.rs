@@ -1,0 +1,227 @@
+//! Offline substitute for the subset of `rayon` this workspace uses.
+//!
+//! The workspace builds without network access, so the real rayon cannot be
+//! fetched. This crate implements the same surface the suite runner relies
+//! on — `into_par_iter()` / `par_iter()` followed by `map(...).collect()` —
+//! with genuine data parallelism on `std::thread::scope`: items are pulled
+//! from a shared atomic cursor by one worker per available core, and
+//! `collect()` preserves input order. Swapping in the real rayon requires no
+//! source changes.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub mod prelude {
+    //! Glob-import surface mirroring `rayon::prelude`.
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Number of worker threads used for a parallel region.
+fn thread_count(items: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(items.max(1))
+}
+
+/// Runs `f` over `items`, in parallel, preserving input order in the result.
+fn parallel_map<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
+    let workers = thread_count(items.len());
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = slots.iter().map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = cursor.fetch_add(1, Ordering::Relaxed);
+                if index >= slots.len() {
+                    break;
+                }
+                let item = slots[index]
+                    .lock()
+                    .expect("item slot poisoned")
+                    .take()
+                    .expect("each slot is claimed exactly once");
+                let output = f(item);
+                *results[index].lock().expect("result slot poisoned") = Some(output);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker filled every claimed slot")
+        })
+        .collect()
+}
+
+/// A value convertible into a parallel iterator over owned items.
+pub trait IntoParallelIterator {
+    /// The item type produced.
+    type Item: Send;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// A value whose references can be iterated in parallel.
+pub trait IntoParallelRefIterator<'a> {
+    /// The reference item type produced.
+    type Item: Send;
+    /// Produces a parallel iterator over references.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        self.as_slice().par_iter()
+    }
+}
+
+/// Operations available on parallel iterators.
+pub trait ParallelIterator: Sized {
+    /// The item type flowing through the pipeline.
+    type Item: Send;
+
+    /// Maps every item through `f` (evaluated in parallel at `collect`).
+    fn map<R: Send, F: Fn(Self::Item) -> R + Sync>(self, f: F) -> ParMap<Self, F>;
+
+    /// Executes the pipeline and gathers the results in input order.
+    fn collect<C: FromParallelOutput<Self::Item>>(self) -> C;
+}
+
+/// The root parallel iterator over a list of items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for ParIter<T> {
+    type Item = T;
+
+    fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParMap<Self, F> {
+        ParMap { inner: self, f }
+    }
+
+    fn collect<C: FromParallelOutput<T>>(self) -> C {
+        C::from_vec(self.items)
+    }
+}
+
+/// A mapped parallel iterator.
+pub struct ParMap<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<T: Send, R: Send, F: Fn(T) -> R + Sync> ParallelIterator for ParMap<ParIter<T>, F> {
+    type Item = R;
+
+    fn map<R2: Send, F2: Fn(R) -> R2 + Sync>(self, f: F2) -> ParMap<Self, F2> {
+        ParMap { inner: self, f }
+    }
+
+    fn collect<C: FromParallelOutput<R>>(self) -> C {
+        C::from_vec(parallel_map(self.inner.items, self.f))
+    }
+}
+
+impl<I, R: Send, F, R2: Send, F2> ParallelIterator for ParMap<ParMap<I, F>, F2>
+where
+    ParMap<I, F>: ParallelIterator<Item = R>,
+    F2: Fn(R) -> R2 + Sync,
+{
+    type Item = R2;
+
+    fn map<R3: Send, F3: Fn(R2) -> R3 + Sync>(self, f: F3) -> ParMap<Self, F3> {
+        ParMap { inner: self, f }
+    }
+
+    fn collect<C: FromParallelOutput<R2>>(self) -> C {
+        // Inner stages collapse to a Vec first; the outer map is the one
+        // that fans out across threads.
+        let inner: Vec<R> = self.inner.collect();
+        C::from_vec(parallel_map(inner, self.f))
+    }
+}
+
+/// Collection types a parallel pipeline can gather into.
+pub trait FromParallelOutput<T> {
+    /// Builds the collection from the ordered results.
+    fn from_vec(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelOutput<T> for Vec<T> {
+    fn from_vec(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..100).collect();
+        let doubled: Vec<u64> = input.into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_over_references() {
+        let input: Vec<String> = (0..20).map(|i| format!("w{i}")).collect();
+        let lens: Vec<usize> = input.par_iter().map(|s| s.len()).collect();
+        assert_eq!(lens.len(), 20);
+        assert_eq!(lens[0], 2);
+    }
+
+    #[test]
+    fn chained_maps_compose() {
+        let input: Vec<i64> = (0..50).collect();
+        let out: Vec<i64> = input
+            .into_par_iter()
+            .map(|x| x + 1)
+            .map(|x| x * 3)
+            .collect();
+        assert_eq!(out[49], 150);
+    }
+
+    #[test]
+    fn work_actually_runs_on_multiple_threads_when_available() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen = Mutex::new(HashSet::new());
+        let input: Vec<u32> = (0..64).collect();
+        let _: Vec<()> = input
+            .into_par_iter()
+            .map(|_| {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                seen.lock().unwrap().insert(std::thread::current().id());
+            })
+            .collect();
+        let threads = seen.lock().unwrap().len();
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        assert!(threads >= cores.min(2), "expected parallel execution");
+    }
+}

@@ -1,0 +1,17 @@
+//! Marker-trait substitute for the real `serde` crate.
+//!
+//! This workspace builds in a fully offline environment, so the real serde
+//! cannot be fetched from crates.io. The workspace crates use
+//! `#[derive(Serialize, Deserialize)]` purely as forward-looking markers —
+//! nothing in the codebase drives a serde `Serializer`/`Deserializer` (the
+//! delay-LUT JSON format is hand-rolled in `idca-core`). The traits here are
+//! therefore empty markers and the re-exported derives expand to nothing.
+//! Replacing this stub with the real crate requires no source changes.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,22 @@
+//! No-op substitute for the real `serde_derive` macros.
+//!
+//! This workspace builds in a fully offline environment, so the real serde
+//! crates cannot be fetched. The workspace crates only use
+//! `#[derive(Serialize, Deserialize)]` as declarative markers (no code path
+//! performs serde-based serialization; the delay-LUT JSON format is
+//! hand-rolled in `idca-core`), so the derives can safely expand to nothing.
+//! Swapping in the real `serde`/`serde_derive` requires no source changes.
+
+use proc_macro::TokenStream;
+
+/// Accepts and discards a `#[derive(Serialize)]` invocation.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts and discards a `#[derive(Deserialize)]` invocation.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
