@@ -4,8 +4,13 @@
 //! Usage: `cargo run --release -p idca-bench --bin repro [-- --fig5 --table2 ...]`
 //! With no flags, every experiment is reproduced. Unknown flags are
 //! rejected (a typo like `--fig9` must not silently select nothing).
+//!
+//! The `sweep` subcommand runs the Monte Carlo PVT sweep instead:
+//! `repro sweep --seeds N --corners M --seed S` prints a stable,
+//! machine-readable `key=value` report that is byte-identical across thread
+//! counts and repeated runs with the same seed.
 
-use idca_bench::{paper, Experiments};
+use idca_bench::{paper, Experiments, SweepConfig};
 use std::process::ExitCode;
 
 /// The accepted experiment flags with their descriptions.
@@ -27,16 +32,86 @@ const FLAGS: [(&str, &str); 9] = [
 fn print_help() {
     println!("repro — regenerates the paper's tables and figures (paper vs measured)");
     println!();
-    println!("Usage: repro [FLAGS]\n");
+    println!("Usage: repro [FLAGS]");
+    println!("       repro sweep [--seeds N] [--corners M] [--seed S]\n");
     println!("With no flags, every experiment is reproduced. Flags:");
     for (flag, description) in FLAGS {
         println!("  {flag:<12} {description}");
     }
     println!("  {:<12} print this help and exit", "--help");
+    println!();
+    print_sweep_help();
+}
+
+fn print_sweep_help() {
+    println!("sweep — Monte Carlo PVT sweep: N generated programs x M sampled corners");
+    println!(
+        "  {:<12} number of generated programs (default 32)",
+        "--seeds N"
+    );
+    println!(
+        "  {:<12} number of sampled PVT corners (default 4)",
+        "--corners M"
+    );
+    println!(
+        "  {:<12} master seed driving programs and corners (default 49374)",
+        "--seed S"
+    );
+    println!("  output: stable machine-readable key=value report on stdout");
+}
+
+/// Parses and runs the `sweep` subcommand.
+fn run_sweep(args: &[String]) -> ExitCode {
+    let mut config = SweepConfig::default();
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        if flag == "--help" || flag == "-h" {
+            print_sweep_help();
+            return ExitCode::SUCCESS;
+        }
+        let Some(value) = iter.next() else {
+            eprintln!("error: `{flag}` requires a value");
+            return ExitCode::FAILURE;
+        };
+        let parsed: Result<u64, _> = value.parse();
+        let Ok(parsed) = parsed else {
+            eprintln!("error: `{flag}` expects an unsigned integer, got `{value}`");
+            return ExitCode::FAILURE;
+        };
+        match flag.as_str() {
+            "--seeds" if (1..=100_000).contains(&parsed) => config.seeds = parsed as u32,
+            "--corners" if (1..=100_000).contains(&parsed) => config.corners = parsed as u32,
+            "--seed" => config.master_seed = parsed,
+            "--seeds" | "--corners" => {
+                eprintln!("error: `{flag}` must be between 1 and 100000");
+                return ExitCode::FAILURE;
+            }
+            unknown => {
+                eprintln!("error: unknown sweep flag `{unknown}`");
+                eprintln!("run `repro sweep --help` for the accepted flags");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let jobs = u64::from(config.seeds) * u64::from(config.corners);
+    if jobs > 1_000_000 {
+        eprintln!("error: seeds x corners = {jobs} jobs exceeds the 1000000-job limit");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "running PVT sweep: {} seeds x {} corners (master seed {:#x})...",
+        config.seeds, config.corners, config.master_seed
+    );
+    let report = Experiments::pvt_sweep(&config);
+    print!("{}", report.render());
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("sweep") {
+        return run_sweep(&args[1..]);
+    }
     if args.iter().any(|a| a == "--help" || a == "-h") {
         print_help();
         return ExitCode::SUCCESS;

@@ -15,6 +15,7 @@
 //! | Fig. 8 | per-benchmark effective frequency | [`Experiments::fig8`] |
 //! | §IV-B | voltage scaling / energy efficiency | [`Experiments::power_scaling`] |
 //! | ablations | CG quantization, execute-only, profile, LUT source | [`Experiments::ablations`] |
+//! | PVT outlook | Monte Carlo seeds × corners sweep | [`Experiments::pvt_sweep`] |
 
 use idca_core::{
     eval::{self, SuiteSummary},
@@ -29,6 +30,10 @@ use idca_timing::{
     TimingProfile,
 };
 use idca_workloads::{benchmark_suite, suite, suite::characterization_workload, Workload};
+
+pub mod sweep;
+
+pub use sweep::{SweepConfig, SweepReport};
 
 /// Seed used for the characterization workload throughout the harness.
 pub const CHARACTERIZATION_SEED: u64 = 0xC0DE;
@@ -457,6 +462,16 @@ impl Experiments {
             genie_percent: percent(&genie),
             truncated_lut_violations,
         }
+    }
+
+    /// The Monte Carlo PVT sweep: `seeds` generated programs × `corners`
+    /// sampled PVT corners, sharded across rayon workers, each job one
+    /// streaming simulation pass through the PolicyObserver/AdaptiveObserver
+    /// stack. Unlike the other experiments this needs no characterization
+    /// run, so it is an associated function rather than a method.
+    #[must_use]
+    pub fn pvt_sweep(config: &SweepConfig) -> SweepReport {
+        sweep::pvt_sweep(config)
     }
 
     /// The conventional-clocking baseline outcome for a single benchmark

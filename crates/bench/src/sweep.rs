@@ -1,0 +1,491 @@
+//! The Monte Carlo PVT sweep engine.
+//!
+//! The paper's evaluation fixes one timing corner and 14 kernels; its
+//! conclusion claims the technique survives process/voltage/temperature
+//! variation via online LUT updating. This module tests that claim at
+//! scale: `N` seed-generated programs ([`idca_gen`]) × `M` sampled PVT
+//! corners ([`idca_timing::VariationModel`]), fanned out across rayon
+//! workers. Each worker simulates its program **once** through the existing
+//! streaming observer stack — a static-baseline [`PolicyObserver`], a
+//! margin-guarded instruction-based [`PolicyObserver`], an execute-only
+//! [`PolicyObserver`] and an online-learning [`AdaptiveObserver`] all ride
+//! the same [`Simulator::run_observed`] pass — and folds its outcome into a
+//! mergeable [`SweepReport`].
+//!
+//! Determinism is load-bearing: programs and corners are hash-derived from
+//! the master seed, workers are stateless, and [`SweepReport::merge`] sorts
+//! by `(seed, corner)` — so the rendered report is byte-identical across
+//! thread counts, shards and repeated runs (proven by the golden-output
+//! tests).
+
+use idca_core::{
+    policy::{ExecuteOnly, InstructionBased, StaticClock},
+    AdaptiveConfig, AdaptiveObserver, ClockGenerator, DelayLut, Drift, PolicyObserver,
+};
+use idca_gen::{generate_program, nth_seed, GenConfig};
+use idca_pipeline::{SimConfig, Simulator};
+use idca_timing::{ProfileKind, PvtCorner, TimingModel, VariationModel};
+use idca_workloads::suite::par_map;
+
+/// Names of the policies evaluated per job, in report order.
+pub const SWEEP_POLICIES: [&str; 4] = ["static", "instruction-based", "execute-only", "adaptive"];
+
+/// Configuration of one Monte Carlo PVT sweep.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Number of generated programs (`N` seeds).
+    pub seeds: u32,
+    /// Number of sampled PVT corners (`M`).
+    pub corners: u32,
+    /// Master seed: programs, corners and every report number derive from
+    /// this single value.
+    pub master_seed: u64,
+    /// Program-generator configuration shared by all seeds.
+    pub gen: GenConfig,
+    /// The PVT variation distribution corners are sampled from.
+    pub variation: VariationModel,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            seeds: 32,
+            corners: 4,
+            master_seed: 0xC0DE,
+            gen: GenConfig::default(),
+            variation: VariationModel::default(),
+        }
+    }
+}
+
+/// Outcome of one policy on one `(program, corner)` job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolicyJobOutcome {
+    /// Cycles whose realized period undercut the actual (corner-scaled)
+    /// dynamic delay.
+    pub violations: u64,
+    /// Effective clock frequency in MHz.
+    pub mhz: f64,
+    /// Cycles spent at the safe static period while adaptive entries warmed
+    /// up (0 for non-adaptive policies).
+    pub warmup_cycles: u64,
+}
+
+/// Outcome of one `(program, corner)` job: the static baseline plus every
+/// dynamic policy, all measured on the same simulation pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepJobOutcome {
+    /// Index of the program seed within the sweep.
+    pub seed_index: u32,
+    /// Index of the PVT corner within the sweep.
+    pub corner_index: u32,
+    /// Simulated cycles of the generated program.
+    pub cycles: u64,
+    /// Per-policy outcomes in [`SWEEP_POLICIES`] order (the static baseline
+    /// is entry 0; speedups are measured against it).
+    pub policies: [PolicyJobOutcome; SWEEP_POLICIES.len()],
+}
+
+impl SweepJobOutcome {
+    fn speedup(&self, policy: usize) -> f64 {
+        let baseline = self.policies[0].mhz;
+        if baseline == 0.0 {
+            1.0
+        } else {
+            self.policies[policy].mhz / baseline
+        }
+    }
+}
+
+/// Aggregated, mergeable result of a (possibly sharded) PVT sweep.
+///
+/// A report holds the per-job outcomes; quantiles and rates are computed at
+/// render time. [`SweepReport::merge`] concatenates two shards and restores
+/// the canonical `(seed, corner)` order, so folding order — and therefore
+/// thread count — cannot influence the rendered bytes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// Number of program seeds the full sweep was configured with.
+    pub seeds: u32,
+    /// Number of PVT corners the full sweep was configured with.
+    pub corners: u32,
+    /// The master seed.
+    pub master_seed: u64,
+    /// The LUT guardband fraction covering every samplable corner.
+    pub margin: f64,
+    /// The sampled corners (corner index order).
+    pub corner_samples: Vec<PvtCorner>,
+    /// Per-job outcomes in canonical `(seed, corner)` order.
+    pub jobs: Vec<SweepJobOutcome>,
+}
+
+impl SweepReport {
+    /// Creates an empty report shell for a sweep configuration.
+    #[must_use]
+    pub fn empty(config: &SweepConfig, corner_samples: Vec<PvtCorner>) -> Self {
+        SweepReport {
+            seeds: config.seeds,
+            corners: config.corners,
+            master_seed: config.master_seed,
+            margin: config.variation.margin(),
+            corner_samples,
+            jobs: Vec::new(),
+        }
+    }
+
+    /// Folds another shard into this report and restores canonical job
+    /// order. Merging is commutative and associative up to the final sort,
+    /// so any sharding of the job space produces the same report.
+    pub fn merge(&mut self, mut other: SweepReport) {
+        self.jobs.append(&mut other.jobs);
+        self.jobs
+            .sort_by_key(|job| (job.seed_index, job.corner_index));
+    }
+
+    /// Total simulated cycles across all jobs.
+    #[must_use]
+    pub fn total_cycles(&self) -> u64 {
+        self.jobs.iter().map(|j| j.cycles).sum()
+    }
+
+    /// Total violation count of one policy (by [`SWEEP_POLICIES`] index).
+    #[must_use]
+    pub fn violations(&self, policy: usize) -> u64 {
+        self.jobs
+            .iter()
+            .map(|j| j.policies[policy].violations)
+            .sum()
+    }
+
+    /// Fraction of simulated cycles a policy violated.
+    #[must_use]
+    pub fn violation_rate(&self, policy: usize) -> f64 {
+        let cycles = self.total_cycles();
+        if cycles == 0 {
+            0.0
+        } else {
+            self.violations(policy) as f64 / cycles as f64
+        }
+    }
+
+    /// Number of jobs in which a policy violated at least once.
+    #[must_use]
+    pub fn violating_jobs(&self, policy: usize) -> u32 {
+        self.jobs
+            .iter()
+            .filter(|j| j.policies[policy].violations > 0)
+            .count() as u32
+    }
+
+    /// The per-job speedup samples of one policy over the static baseline,
+    /// in canonical job order.
+    #[must_use]
+    pub fn speedups(&self, policy: usize) -> Vec<f64> {
+        self.jobs.iter().map(|j| j.speedup(policy)).collect()
+    }
+
+    /// Fraction of adaptive cycles spent warming up at the static period.
+    #[must_use]
+    pub fn adaptive_warmup_fraction(&self) -> f64 {
+        let cycles = self.total_cycles();
+        if cycles == 0 {
+            return 0.0;
+        }
+        let warmup: u64 = self.jobs.iter().map(|j| j.policies[3].warmup_cycles).sum();
+        warmup as f64 / cycles as f64
+    }
+
+    /// Per-job convergence ratio of the adaptive controller: its effective
+    /// frequency relative to the pre-characterized instruction-based policy
+    /// on the same job (1.0 = the online-learned LUT fully recovered the
+    /// characterized gain).
+    #[must_use]
+    pub fn adaptive_recovery(&self) -> Vec<f64> {
+        self.jobs
+            .iter()
+            .map(|j| {
+                if j.policies[1].mhz == 0.0 {
+                    1.0
+                } else {
+                    j.policies[3].mhz / j.policies[1].mhz
+                }
+            })
+            .collect()
+    }
+
+    /// Renders the stable, machine-readable `key=value` report. All numbers
+    /// are fixed-precision and derived only from the master seed, so the
+    /// output is byte-identical across runs, thread counts and shardings.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let mut line = |s: String| {
+            out.push_str(&s);
+            out.push('\n');
+        };
+        line("pvt_sweep.version=1".to_string());
+        line(format!("pvt_sweep.master_seed={}", self.master_seed));
+        line(format!("pvt_sweep.seeds={}", self.seeds));
+        line(format!("pvt_sweep.corners={}", self.corners));
+        line(format!("pvt_sweep.jobs={}", self.jobs.len()));
+        line(format!("pvt_sweep.margin_frac={:.6}", self.margin));
+        line(format!("pvt_sweep.total_cycles={}", self.total_cycles()));
+        for corner in &self.corner_samples {
+            line(format!("corner.{}={}", corner.index, corner.describe()));
+        }
+        for (p, name) in SWEEP_POLICIES.iter().enumerate() {
+            line(format!("policy.{name}.violations={}", self.violations(p)));
+            line(format!(
+                "policy.{name}.violation_rate={:.8}",
+                self.violation_rate(p)
+            ));
+            line(format!(
+                "policy.{name}.violating_jobs={}",
+                self.violating_jobs(p)
+            ));
+            if p == 0 {
+                continue; // the baseline's speedup over itself is 1 by definition
+            }
+            let speedups = self.speedups(p);
+            line(format!("policy.{name}.speedup.mean={:.4}", mean(&speedups)));
+            for (label, q) in [
+                ("min", 0.0),
+                ("p05", 0.05),
+                ("p25", 0.25),
+                ("p50", 0.50),
+                ("p75", 0.75),
+                ("p95", 0.95),
+                ("max", 1.0),
+            ] {
+                line(format!(
+                    "policy.{name}.speedup.{label}={:.4}",
+                    quantile(&speedups, q)
+                ));
+            }
+        }
+        let recovery = self.adaptive_recovery();
+        line(format!(
+            "adaptive.warmup_frac={:.6}",
+            self.adaptive_warmup_fraction()
+        ));
+        line(format!("adaptive.recovery.mean={:.4}", mean(&recovery)));
+        line(format!(
+            "adaptive.recovery.p05={:.4}",
+            quantile(&recovery, 0.05)
+        ));
+        line(format!(
+            "adaptive.recovery.p50={:.4}",
+            quantile(&recovery, 0.50)
+        ));
+        out
+    }
+}
+
+/// Mean of a sample set (`NaN` when empty — a defined, printable value).
+fn mean(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return f64::NAN;
+    }
+    samples.iter().sum::<f64>() / samples.len() as f64
+}
+
+/// Empirical quantile via the nearest-rank method on a sorted copy (`NaN`
+/// when empty). `q` is clamped into `[0, 1]`.
+fn quantile(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let q = if q.is_nan() { 0.5 } else { q.clamp(0.0, 1.0) };
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Runs one `(program, corner)` job: a single streaming simulation pass
+/// observed by the full policy stack against the corner's varied timing
+/// model.
+fn run_job(
+    simulator: &Simulator,
+    program: &idca_isa::Program,
+    nominal: &TimingModel,
+    variation: &VariationModel,
+    corner: &PvtCorner,
+    guarded_lut: &DelayLut,
+    seed_index: u32,
+) -> SweepJobOutcome {
+    let varied = variation.apply(nominal, corner);
+    let static_policy = StaticClock::of_model(&varied);
+    let lut_policy = InstructionBased::new(guarded_lut.clone());
+    let exec_only = ExecuteOnly::new(guarded_lut.clone());
+
+    let mut ob_static = PolicyObserver::new(&varied, &static_policy, &ClockGenerator::Ideal);
+    let mut ob_lut = PolicyObserver::new(&varied, &lut_policy, &ClockGenerator::Ideal);
+    let mut ob_exec = PolicyObserver::new(&varied, &exec_only, &ClockGenerator::Ideal);
+    let mut ob_adaptive = AdaptiveObserver::new(
+        &varied,
+        &AdaptiveConfig::default(),
+        &ClockGenerator::Ideal,
+        None,
+        Drift::None,
+    );
+
+    let run = simulator
+        .run_observed(
+            program,
+            &mut [&mut ob_static, &mut ob_lut, &mut ob_exec, &mut ob_adaptive],
+        )
+        .expect("generated programs terminate within the cycle limit");
+
+    let policy_outcome = |o: idca_core::RunOutcome| PolicyJobOutcome {
+        violations: o.violations,
+        mhz: o.effective_frequency_mhz,
+        warmup_cycles: 0,
+    };
+    let adaptive = ob_adaptive.into_outcome();
+    SweepJobOutcome {
+        seed_index,
+        corner_index: corner.index,
+        cycles: run.summary.cycles,
+        policies: [
+            policy_outcome(ob_static.into_outcome()),
+            policy_outcome(ob_lut.into_outcome()),
+            policy_outcome(ob_exec.into_outcome()),
+            PolicyJobOutcome {
+                violations: adaptive.violations,
+                mhz: adaptive.effective_frequency_mhz,
+                warmup_cycles: adaptive.warmup_cycles,
+            },
+        ],
+    }
+}
+
+/// Runs the full sweep: generates the programs, samples the corners, fans
+/// `seeds × corners` jobs across rayon workers and folds the outcomes into
+/// one canonical [`SweepReport`].
+#[must_use]
+pub fn pvt_sweep(config: &SweepConfig) -> SweepReport {
+    let nominal = TimingModel::at_nominal(ProfileKind::CriticalRangeOptimized);
+    // The deployed LUT: analytic worst cases inflated by exactly the
+    // variation margin, so every in-distribution corner is covered.
+    let guarded_lut = DelayLut::from_model(&nominal).scaled(1.0 + config.variation.margin());
+
+    let corner_samples: Vec<PvtCorner> = (0..config.corners)
+        .map(|i| config.variation.sample_corner(config.master_seed, i))
+        .collect();
+
+    // Program generation is itself fanned across workers (suite order stays
+    // deterministic because par_map preserves input order).
+    let seed_indices: Vec<u32> = (0..config.seeds).collect();
+    let programs = par_map(&seed_indices, |&i| {
+        generate_program(nth_seed(config.master_seed, u64::from(i)), &config.gen)
+    });
+
+    let jobs: Vec<(u32, u32)> = (0..config.seeds)
+        .flat_map(|s| (0..config.corners).map(move |c| (s, c)))
+        .collect();
+    let simulator = Simulator::new(SimConfig::default());
+    let outcomes = par_map(&jobs, |&(seed_index, corner_index)| {
+        run_job(
+            &simulator,
+            &programs[seed_index as usize],
+            &nominal,
+            &config.variation,
+            &corner_samples[corner_index as usize],
+            &guarded_lut,
+            seed_index,
+        )
+    });
+
+    // par_map preserves input order and `jobs` was built seed-major, so
+    // `outcomes` is already one complete job set in canonical order; the
+    // sort makes that invariant explicit rather than positional.
+    let mut report = SweepReport::empty(config, corner_samples);
+    report.jobs = outcomes;
+    report
+        .jobs
+        .sort_by_key(|job| (job.seed_index, job.corner_index));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> SweepConfig {
+        SweepConfig {
+            seeds: 4,
+            corners: 3,
+            master_seed: 0x5EED,
+            ..SweepConfig::default()
+        }
+    }
+
+    #[test]
+    fn sweep_is_deterministic_and_covers_all_jobs() {
+        let config = small_config();
+        let a = pvt_sweep(&config);
+        let b = pvt_sweep(&config);
+        assert_eq!(a, b);
+        assert_eq!(a.jobs.len(), 12);
+        assert_eq!(a.render(), b.render());
+    }
+
+    #[test]
+    fn guarded_policies_stay_violation_free_in_distribution() {
+        let report = pvt_sweep(&small_config());
+        // static (0), instruction-based (1) and execute-only (2) carry the
+        // full variation margin: no samplable corner may violate them.
+        for (policy, name) in SWEEP_POLICIES.iter().enumerate().take(3) {
+            assert_eq!(
+                report.violations(policy),
+                0,
+                "{name} violated in-distribution"
+            );
+        }
+    }
+
+    #[test]
+    fn dynamic_policies_beat_the_static_baseline_on_average() {
+        let report = pvt_sweep(&small_config());
+        let speedups = report.speedups(1);
+        assert!(mean(&speedups) > 1.1, "mean speedup {}", mean(&speedups));
+        assert!(quantile(&speedups, 0.05) > 1.0);
+        // Adaptive recovers a solid share of the characterized gain.
+        let recovery = mean(&report.adaptive_recovery());
+        assert!(recovery > 0.8, "adaptive recovery {recovery}");
+    }
+
+    #[test]
+    fn merge_order_does_not_change_the_report() {
+        let config = small_config();
+        let full = pvt_sweep(&config);
+        // Re-shard by corner parity and merge in the "wrong" order.
+        let mut even = SweepReport::empty(&config, full.corner_samples.clone());
+        let mut odd = SweepReport::empty(&config, full.corner_samples.clone());
+        for job in &full.jobs {
+            let target = if job.corner_index % 2 == 0 {
+                &mut even
+            } else {
+                &mut odd
+            };
+            target.jobs.push(job.clone());
+        }
+        odd.jobs.reverse();
+        let mut merged = SweepReport::empty(&config, full.corner_samples.clone());
+        merged.merge(odd);
+        merged.merge(even);
+        assert_eq!(merged.render(), full.render());
+    }
+
+    #[test]
+    fn quantiles_of_empty_samples_are_defined() {
+        assert!(quantile(&[], 0.5).is_nan());
+        assert!(mean(&[]).is_nan());
+        let empty = SweepReport::empty(&small_config(), vec![]);
+        // Rendering an empty report must not panic and must stay stable.
+        assert_eq!(empty.render(), empty.render());
+        assert_eq!(empty.total_cycles(), 0);
+        assert_eq!(empty.violation_rate(1), 0.0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Golden snapshot tests for the `repro` binary's stdout.
+//!
+//! Two properties are pinned:
+//!
+//! 1. **Format stability** — the `repro --summary` headline and the
+//!    `repro sweep` machine-readable report must match the committed golden
+//!    files byte for byte, so report-format (or result) regressions are
+//!    caught in CI. Refresh the snapshots with
+//!    `UPDATE_GOLDEN=1 cargo test -p idca-bench --test golden_output`.
+//! 2. **Thread-count invariance** — the sweep report must be byte-identical
+//!    under `RAYON_NUM_THREADS=1` and `=4` (the merge order is canonical,
+//!    not scheduling-dependent).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Runs the repro binary with `args` and `threads` rayon workers and
+/// returns its stdout. Panics if the binary fails.
+fn repro_stdout(args: &[&str], threads: &str) -> String {
+    let output = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .env("RAYON_NUM_THREADS", threads)
+        .output()
+        .expect("repro binary runs");
+    assert!(
+        output.status.success(),
+        "repro {args:?} failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8(output.stdout).expect("repro output is UTF-8")
+}
+
+/// Compares `actual` against the golden file, rewriting it when
+/// `UPDATE_GOLDEN` is set.
+fn assert_matches_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, actual).expect("golden file is writable");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {}: {e}", path.display()));
+    assert_eq!(
+        actual,
+        expected,
+        "`repro` stdout diverged from {} — if the change is intentional, \
+         refresh with UPDATE_GOLDEN=1 cargo test -p idca-bench --test golden_output",
+        path.display()
+    );
+}
+
+#[test]
+fn sweep_report_is_byte_identical_across_thread_counts_and_matches_golden() {
+    let args = ["sweep", "--seeds", "4", "--corners", "2", "--seed", "7"];
+    let single = repro_stdout(&args, "1");
+    let four = repro_stdout(&args, "4");
+    assert_eq!(
+        single, four,
+        "sweep report differs between RAYON_NUM_THREADS=1 and =4"
+    );
+    // Repeated runs with the same seed are byte-identical too.
+    assert_eq!(single, repro_stdout(&args, "4"));
+    assert_matches_golden("sweep_s4_c2_seed7.txt", &single);
+}
+
+#[test]
+fn summary_report_matches_golden() {
+    let single = repro_stdout(&["--summary"], "2");
+    let four = repro_stdout(&["--summary"], "4");
+    assert_eq!(
+        single, four,
+        "--summary output differs between thread counts"
+    );
+    assert_matches_golden("summary.txt", &single);
+}
+
+#[test]
+fn sweep_rejects_malformed_flags() {
+    let run = |args: &[&str]| {
+        Command::new(env!("CARGO_BIN_EXE_repro"))
+            .args(args)
+            .output()
+            .expect("repro binary runs")
+    };
+    assert!(!run(&["sweep", "--seeds"]).status.success());
+    assert!(!run(&["sweep", "--seeds", "zero"]).status.success());
+    assert!(!run(&["sweep", "--seeds", "0"]).status.success());
+    assert!(!run(&["sweep", "--bogus", "1"]).status.success());
+    assert!(run(&["sweep", "--help"]).status.success());
+}

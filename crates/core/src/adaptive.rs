@@ -170,6 +170,28 @@ impl<'a> AdaptiveObserver<'a> {
         self.outcome
             .expect("simulation must complete (finish) before taking the outcome")
     }
+
+    /// The current learned table entry of a `(stage, class)` pair, in
+    /// picoseconds. Entries start at 0 (or at the seed LUT) and only ever
+    /// grow: they are the running maximum of `observed × (1 + margin)`,
+    /// plus any violation backoff. Exposed so tests can assert the
+    /// convergence invariants of the online-updating outlook.
+    #[must_use]
+    pub fn learned_ps(&self, stage: Stage, class: TimingClass) -> Ps {
+        self.learned[stage.index() * TimingClass::COUNT + class.index()]
+    }
+
+    /// How many times a `(stage, class)` pair has been observed so far.
+    #[must_use]
+    pub fn observation_count(&self, stage: Stage, class: TimingClass) -> u64 {
+        self.observations[stage.index() * TimingClass::COUNT + class.index()]
+    }
+
+    /// The controller configuration.
+    #[must_use]
+    pub fn config(&self) -> &AdaptiveConfig {
+        &self.config
+    }
 }
 
 impl CycleObserver for AdaptiveObserver<'_> {

@@ -32,6 +32,10 @@
 //! * [`PowerModel`] — activity-based energy per cycle and µW/MHz at any
 //!   operating point, calibrated to the paper's 13.7 µW/MHz conventional
 //!   baseline at 0.70 V.
+//! * [`VariationModel`] / [`PvtCorner`] — process/voltage/temperature
+//!   variation: deterministic corner sampling and per-cell delay
+//!   perturbation for Monte Carlo sweeps (the paper's PVT outlook,
+//!   evaluated rather than just cited).
 //!
 //! # Example
 //!
@@ -62,6 +66,7 @@ mod library;
 mod model;
 mod power;
 mod profile;
+mod variation;
 
 pub use dta::{DtaObserver, DynamicTimingAnalysis};
 pub use eventlog::{Endpoint, EndpointEvent, EndpointId, EventLog};
@@ -70,6 +75,7 @@ pub use library::{CellLibrary, LibraryError, OperatingPoint};
 pub use model::{CycleTiming, EventLogObserver, TimingModel};
 pub use power::{ActivityObserver, ActivitySummary, PowerModel, PowerReport};
 pub use profile::{ProfileKind, StageClassDelays, TimingProfile};
+pub use variation::{PvtCorner, VariationModel, NOMINAL_TEMPERATURE_C};
 
 /// Picoseconds, the time unit used throughout the timing model.
 pub type Ps = f64;

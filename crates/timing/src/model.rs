@@ -395,7 +395,8 @@ fn quantize_dither(value: f64) -> f64 {
 /// Deterministic pseudo-random value in `[0, 1)` derived from the cycle
 /// index and a couple of salts (split-mix style mixing). Keeping this
 /// hash-based rather than RNG-based makes every simulation bit-reproducible.
-fn hash01(a: u64, b: u64, c: u64) -> f64 {
+/// Shared with the PVT [`crate::VariationModel`] corner sampler.
+pub(crate) fn hash01(a: u64, b: u64, c: u64) -> f64 {
     let mut x = a
         .wrapping_mul(0x9E37_79B9_7F4A_7C15)
         .wrapping_add(b.wrapping_mul(0xBF58_476D_1CE4_E5B9))

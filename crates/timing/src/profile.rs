@@ -318,6 +318,36 @@ impl TimingProfile {
     pub fn worst_case_table(&self) -> &StageClassDelays {
         &self.base
     }
+
+    /// Returns a copy of the profile with every `(stage, class)` path group
+    /// scaled by `factor(stage, class)` — the hook the PVT
+    /// [`VariationModel`](crate::VariationModel) uses to perturb per-cell
+    /// delays for a sampled corner.
+    ///
+    /// Worst-case delay and data-dependent spread scale together (the whole
+    /// path population shifts). Each stage's STA limit is stretched by the
+    /// largest factor of any class in that stage, and never shrinks below
+    /// the nominal limit: a chip is signed off (and statically clocked) at
+    /// design-time STA, so a fast corner does not raise the static clock.
+    #[must_use]
+    pub fn with_cell_variation(&self, factor: impl Fn(Stage, TimingClass) -> f64) -> TimingProfile {
+        let mut varied = self.clone();
+        for stage in Stage::ALL {
+            let mut stage_max: f64 = 1.0;
+            for class in TimingClass::ALL {
+                let f = factor(stage, class).max(0.0);
+                stage_max = stage_max.max(f);
+                varied
+                    .base
+                    .set(stage, class, self.base.get(stage, class) * f);
+                varied
+                    .spread
+                    .set(stage, class, self.spread.get(stage, class) * f);
+            }
+            varied.sta_stage[stage.index()] = self.sta_stage[stage.index()] * stage_max;
+        }
+        varied
+    }
 }
 
 #[cfg(test)]

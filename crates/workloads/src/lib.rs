@@ -20,7 +20,10 @@
 //!   a seeded semi-random program generator (the paper's "directed
 //!   semi-random test generation" stand-in), used to populate the delay LUT.
 //! * [`suite`] — the assembled benchmark suite with one [`Workload`] entry
-//!   per kernel, as consumed by the Fig. 8 benches and the `repro` harness.
+//!   per kernel, as consumed by the Fig. 8 benches and the `repro` harness,
+//!   plus [`synthetic_suite`]: seed-generated `idca_gen` programs
+//!   ([`Category::Synthetic`]) that scale the suite to arbitrary unseen
+//!   instruction mixes for fuzzing and Monte Carlo PVT sweeps.
 //!
 //! Every kernel terminates with the `l.nop 1` exit marker and keeps its data
 //! within the default 64 KiB data memory.
@@ -43,7 +46,9 @@ pub mod characterization;
 pub mod coremark;
 pub mod suite;
 
-pub use suite::{benchmark_suite, par_map, Category, Workload};
+pub use suite::{
+    benchmark_suite, par_map, synthetic_suite, synthetic_workload, Category, Workload,
+};
 
 use idca_isa::{asm::Assembler, Program};
 

@@ -14,6 +14,9 @@ pub enum Category {
     Beebs,
     /// Characterization workloads used to populate the delay LUT.
     Characterization,
+    /// Seed-generated synthetic programs (`idca_gen`), used by the
+    /// differential fuzzer and the Monte Carlo PVT sweep.
+    Synthetic,
 }
 
 impl std::fmt::Display for Category {
@@ -22,6 +25,7 @@ impl std::fmt::Display for Category {
             Category::CoreMark => f.write_str("CoreMark"),
             Category::Beebs => f.write_str("BEEBS"),
             Category::Characterization => f.write_str("characterization"),
+            Category::Synthetic => f.write_str("synthetic"),
         }
     }
 }
@@ -68,13 +72,14 @@ pub fn benchmark_suite() -> Vec<Workload> {
         .collect()
 }
 
-/// The parallel suite runner: evaluates `f` on every workload concurrently
-/// (rayon across the suite) and returns the results in suite order. This is
-/// what lets the Fig. 8 evaluation and the ablation sweeps scale with cores:
-/// each worker simulates its benchmark once, streaming into whatever
-/// observers `f` composes.
-pub fn par_map<R: Send>(workloads: &[Workload], f: impl Fn(&Workload) -> R + Sync) -> Vec<R> {
-    workloads.par_iter().map(f).collect()
+/// The parallel suite runner: evaluates `f` on every item concurrently
+/// (rayon across the slice) and returns the results in input order. This is
+/// what lets the Fig. 8 evaluation, the ablation sweeps and the Monte Carlo
+/// PVT sweep scale with cores: each worker simulates its workload (or
+/// `(seed, corner)` job) once, streaming into whatever observers `f`
+/// composes.
+pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    items.par_iter().map(f).collect()
 }
 
 /// The characterization workload (directed kernels plus semi-random code)
@@ -85,6 +90,38 @@ pub fn characterization_workload(seed: u64) -> Workload {
         Category::Characterization,
         characterization::characterization_program(seed),
     )
+}
+
+/// One seed-generated synthetic program (`idca_gen`), wrapped as a
+/// [`Workload`] so it plugs into [`par_map`] and every suite-level analysis
+/// exactly like a hand-written kernel.
+#[must_use]
+pub fn synthetic_workload(seed: u64, config: &idca_gen::GenConfig) -> Workload {
+    Workload::new(
+        Category::Synthetic,
+        idca_gen::generate_program(seed, config),
+    )
+}
+
+/// A whole synthetic suite: `count` generated programs with seeds fanned out
+/// from `master_seed`, assembled in parallel (one rayon task per program)
+/// with deterministic suite order. This is the scenario-diversity
+/// counterpart of [`benchmark_suite`]: where the Fig. 8 suite fixes 14
+/// kernels, the synthetic suite scales to thousands of unseen instruction
+/// mixes.
+#[must_use]
+pub fn synthetic_suite(
+    master_seed: u64,
+    count: usize,
+    config: &idca_gen::GenConfig,
+) -> Vec<Workload> {
+    let seeds: Vec<u64> = (0..count as u64)
+        .map(|i| idca_gen::nth_seed(master_seed, i))
+        .collect();
+    seeds
+        .into_par_iter()
+        .map(|seed| synthetic_workload(seed, config))
+        .collect()
 }
 
 /// Generates the assembly source of an `n×n` integer matrix multiplication
@@ -212,6 +249,28 @@ mod tests {
     fn category_display_names() {
         assert_eq!(Category::CoreMark.to_string(), "CoreMark");
         assert_eq!(Category::Beebs.to_string(), "BEEBS");
+        assert_eq!(Category::Synthetic.to_string(), "synthetic");
+    }
+
+    #[test]
+    fn synthetic_suite_is_deterministic_ordered_and_terminates() {
+        let cfg = idca_gen::GenConfig::default();
+        let a = synthetic_suite(0xBEEF, 6, &cfg);
+        let b = synthetic_suite(0xBEEF, 6, &cfg);
+        assert_eq!(a.len(), 6);
+        for (wa, wb) in a.iter().zip(&b) {
+            assert_eq!(wa.name, wb.name);
+            assert_eq!(wa.program.insns(), wb.program.insns());
+            assert_eq!(wa.category, Category::Synthetic);
+        }
+        let sim = Simulator::new(SimConfig::default());
+        let cycles = par_map(&a, |w| {
+            sim.run_observed(&w.program, &mut [])
+                .unwrap_or_else(|e| panic!("{} failed: {e}", w.name))
+                .summary
+                .cycles
+        });
+        assert!(cycles.iter().all(|&c| c > 50));
     }
 
     #[test]

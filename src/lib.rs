@@ -7,6 +7,7 @@
 //! This crate re-exports the individual workspace crates under one roof:
 //!
 //! * [`isa`] — the OpenRISC ORBIS32 subset (instructions, assembler).
+//! * [`gen`] — deterministic seeded program generator (fuzzing, sweeps).
 //! * [`pipeline`] — the cycle-accurate 6-stage pipeline simulator.
 //! * [`timing`] — the synthetic post-layout timing model, dynamic timing
 //!   analysis and power model.
@@ -55,6 +56,7 @@
 #![warn(missing_docs)]
 
 pub use idca_core as core;
+pub use idca_gen as gen;
 pub use idca_isa as isa;
 pub use idca_pipeline as pipeline;
 pub use idca_timing as timing;
@@ -67,6 +69,7 @@ pub mod prelude {
         policy::StaticClock, run_with_policy, vfs, ClockGenerator, ClockPolicy, DelayLut,
         PolicyObserver, RunOutcome,
     };
+    pub use idca_gen::{generate_program, nth_seed, ClassMix, GenConfig};
     pub use idca_isa::{asm::Assembler, Insn, Opcode, Program, ProgramBuilder, Reg, TimingClass};
     pub use idca_pipeline::{
         CycleObserver, ObservedRun, PipelineTrace, RunSummary, SimConfig, SimResult, Simulator,
@@ -74,7 +77,10 @@ pub mod prelude {
     };
     pub use idca_timing::{
         dta::DynamicTimingAnalysis, ActivityObserver, ActivitySummary, CellLibrary, PowerModel,
-        ProfileKind, TimingModel, TimingProfile,
+        ProfileKind, PvtCorner, TimingModel, TimingProfile, VariationModel,
     };
-    pub use idca_workloads::{benchmark_suite, suite::characterization_workload, Workload};
+    pub use idca_workloads::{
+        benchmark_suite, suite::characterization_workload, synthetic_suite, synthetic_workload,
+        Workload,
+    };
 }

@@ -1,7 +1,12 @@
 //! Differential testing: the cycle-accurate pipeline simulator must produce
 //! exactly the same architectural results as the sequential reference
-//! interpreter on every benchmark workload.
+//! interpreter — on every benchmark workload, and on a fuzzed population of
+//! seed-generated programs (`idca_gen`). The fuzz budget is bounded (200
+//! seeds by default) and overridable via `IDCA_FUZZ_SEEDS`, so CI runtime
+//! stays predictable; a failing seed is shrunk to a minimal configuration
+//! before it is reported.
 
+use idca::gen::ClassMix;
 use idca::pipeline::{Interpreter, SimConfig, Simulator};
 use idca::prelude::*;
 
@@ -52,6 +57,199 @@ fn pipeline_matches_interpreter_on_characterization_workloads() {
             golden.regs.as_array(),
             "seed {seed}: register files diverge"
         );
+    }
+}
+
+/// Compares the pipeline and the interpreter on one generated program.
+/// Returns a human-readable divergence description, or `None` on agreement.
+fn divergence(seed: u64, config: &GenConfig) -> Option<String> {
+    let program = generate_program(seed, config);
+    let pipelined = match Simulator::new(SimConfig::default()).run_observed(&program, &mut []) {
+        Ok(run) => run,
+        Err(e) => return Some(format!("pipeline failed: {e}")),
+    };
+    let golden = match Interpreter::new().run(&program) {
+        Ok(result) => result,
+        Err(e) => return Some(format!("interpreter failed: {e}")),
+    };
+    if pipelined.state.regs.as_array() != golden.regs.as_array() {
+        for r in 0..32u32 {
+            let (a, b) = (
+                pipelined.state.regs.read(Reg::r(r)),
+                golden.regs.read(Reg::r(r)),
+            );
+            if a != b {
+                return Some(format!(
+                    "r{r} diverges: pipeline {a:#010x}, interpreter {b:#010x}"
+                ));
+            }
+        }
+    }
+    if pipelined.state.flag != golden.flag {
+        return Some(format!(
+            "flag diverges: pipeline {}, interpreter {}",
+            pipelined.state.flag, golden.flag
+        ));
+    }
+    if pipelined.summary.retired != golden.retired {
+        return Some(format!(
+            "retired counts diverge: pipeline {}, interpreter {}",
+            pipelined.summary.retired, golden.retired
+        ));
+    }
+    // The generator confines every access to its scratch window; compare the
+    // whole window plus a guard band.
+    let window_end = idca::gen::MEM_BASE + 2048 * 4 + 64;
+    for address in (0..window_end).step_by(4) {
+        let a = pipelined.state.memory.load_word(address).expect("in range");
+        let b = golden.memory.load_word(address).expect("in range");
+        if a != b {
+            return Some(format!(
+                "memory diverges at {address:#06x}: pipeline {a:#010x}, interpreter {b:#010x}"
+            ));
+        }
+    }
+    None
+}
+
+/// Shrinks a failing configuration: repeatedly tries structurally smaller
+/// variants (fewer blocks, shorter bodies, shallower loops, fewer
+/// iterations, no memory, single-class mixes) and keeps any that still
+/// fails, until no reduction reproduces the divergence.
+fn shrink(seed: u64, config: &GenConfig) -> (GenConfig, String) {
+    let mut current = *config;
+    let mut message = divergence(seed, &current).expect("shrink starts from a failing config");
+    loop {
+        let mut candidates = vec![
+            GenConfig {
+                blocks: (current.blocks / 2).max(1),
+                ..current
+            },
+            GenConfig {
+                block_len: (current.block_len / 2).max(1),
+                ..current
+            },
+            GenConfig {
+                max_loop_depth: current.max_loop_depth.saturating_sub(1),
+                ..current
+            },
+            GenConfig {
+                max_loop_iters: (current.max_loop_iters / 2).max(1),
+                ..current
+            },
+        ];
+        // Try muting whole instruction classes.
+        for mute in [
+            ClassMix {
+                load: 0,
+                store: 0,
+                ..current.mix
+            },
+            ClassMix {
+                branch: 0,
+                jump: 0,
+                ..current.mix
+            },
+            ClassMix {
+                mul: 0,
+                shift: 0,
+                ..current.mix
+            },
+        ] {
+            candidates.push(GenConfig {
+                mix: mute,
+                ..current
+            });
+        }
+        let mut reduced = false;
+        for candidate in candidates {
+            if candidate == current {
+                continue;
+            }
+            if let Some(msg) = divergence(seed, &candidate) {
+                current = candidate;
+                message = msg;
+                reduced = true;
+                break;
+            }
+        }
+        if !reduced {
+            return (current, message);
+        }
+    }
+}
+
+/// The bounded differential fuzz: every generated seed must leave the
+/// pipeline and the reference interpreter in identical architectural state
+/// (registers, flag, retirement count and data memory). Mismatches are
+/// shrunk to a minimal failing configuration and reported with the seed so
+/// the failure is a one-liner to reproduce.
+#[test]
+fn generated_programs_match_the_reference_interpreter() {
+    let budget: u64 = std::env::var("IDCA_FUZZ_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200);
+    const MASTER_SEED: u64 = 0xD1FF;
+    let config = GenConfig::default();
+    let mut checked = 0u64;
+    for index in 0..budget {
+        let seed = nth_seed(MASTER_SEED, index);
+        if let Some(message) = divergence(seed, &config) {
+            let (minimal, minimal_message) = shrink(seed, &config);
+            panic!(
+                "differential fuzz failure at seed {seed:#018x} (index {index}): {message}\n\
+                 shrunk to {minimal:?}\n\
+                 minimal divergence: {minimal_message}\n\
+                 reproduce with: generate_program({seed:#x}, &config)"
+            );
+        }
+        checked += 1;
+    }
+    assert_eq!(checked, budget, "every budgeted seed must be exercised");
+}
+
+/// A second fuzz population with a deliberately hostile mix: dense control
+/// flow and memory traffic, the constructs most likely to expose
+/// forwarding/flush bugs in the pipeline.
+#[test]
+fn control_and_memory_heavy_programs_match_the_reference_interpreter() {
+    // A quarter of the main fuzz budget (at least one seed), so
+    // IDCA_FUZZ_SEEDS scales both populations together.
+    let budget: u64 = (std::env::var("IDCA_FUZZ_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200)
+        / 4)
+    .max(1);
+    let config = GenConfig {
+        blocks: 4,
+        block_len: 10,
+        max_loop_depth: 3,
+        max_loop_iters: 4,
+        mem_window_words: 32,
+        mix: ClassMix {
+            alu: 8,
+            logic: 4,
+            shift: 2,
+            mul: 2,
+            set_flag: 10,
+            mov: 4,
+            load: 16,
+            store: 16,
+            branch: 14,
+            jump: 6,
+        },
+    };
+    for index in 0..budget {
+        let seed = nth_seed(0xB00B5, index);
+        if let Some(message) = divergence(seed, &config) {
+            let (minimal, minimal_message) = shrink(seed, &config);
+            panic!(
+                "hostile-mix fuzz failure at seed {seed:#018x} (index {index}): {message}\n\
+                 shrunk to {minimal:?}\nminimal divergence: {minimal_message}"
+            );
+        }
     }
 }
 

@@ -1,0 +1,95 @@
+//! Regression tests for edge cases audited while building the sweep/fuzz
+//! layer: empty-trace handling in the histogram percentiles and speedup
+//! evaluation on zero-cycle programs must return *defined* results (NaN or
+//! neutral values) instead of panicking. The behaviours below were verified
+//! correct at audit time; these tests pin them down.
+
+use idca::prelude::*;
+use idca::timing::Histogram;
+
+#[test]
+fn empty_histogram_percentiles_are_defined_not_panicking() {
+    let h = Histogram::new(0.0, 2000.0, 25.0);
+    assert_eq!(h.count(), 0);
+    // Every statistic of an empty histogram is a defined value.
+    for q in [0.0, 0.05, 0.5, 0.95, 1.0] {
+        assert!(
+            h.percentile(q).is_nan(),
+            "percentile({q}) must be NaN when empty"
+        );
+    }
+    assert!(h.observed_min().is_nan());
+    assert!(h.observed_max().is_nan());
+    assert_eq!(h.mean(), 0.0);
+    assert_eq!(h.to_ascii(40), "");
+}
+
+#[test]
+fn histogram_percentile_tolerates_degenerate_quantiles() {
+    let mut h = Histogram::new(0.0, 100.0, 10.0);
+    h.add(42.0);
+    // Out-of-range and NaN quantile requests clamp instead of panicking.
+    let lo = h.percentile(-3.0);
+    let hi = h.percentile(7.0);
+    let nan_q = h.percentile(f64::NAN);
+    assert!(lo.is_finite());
+    assert!(hi.is_finite());
+    assert!(nan_q.is_finite());
+}
+
+#[test]
+fn speedup_on_zero_cycle_trace_is_neutral() {
+    let model = TimingModel::at_nominal(ProfileKind::CriticalRangeOptimized);
+    let empty = PipelineTrace::from_parts(vec![], 0);
+    let policy = InstructionBased::from_model(&model);
+    let comparison = eval::compare(&model, "empty", &empty, &policy, &ClockGenerator::Ideal);
+    // Both outcomes have zero cycles and zero frequency; the speedup must be
+    // the neutral 1.0, not a 0/0 panic or NaN.
+    assert_eq!(comparison.baseline.cycles, 0);
+    assert_eq!(comparison.speedup(), 1.0);
+    assert_eq!(comparison.frequency_gain_mhz(), 0.0);
+    assert_eq!(comparison.dynamic.violations, 0);
+}
+
+#[test]
+fn empty_program_evaluates_to_a_defined_comparison() {
+    // A program with no instructions drains immediately; the evaluation
+    // pipeline must stay defined end to end.
+    let program = ProgramBuilder::named("empty").build();
+    let model = TimingModel::at_nominal(ProfileKind::CriticalRangeOptimized);
+    let policy = InstructionBased::from_model(&model);
+    let comparison = eval::compare_program(
+        &model,
+        "empty",
+        &Simulator::new(SimConfig::default()),
+        &program,
+        &policy,
+        &ClockGenerator::Ideal,
+    )
+    .expect("empty program simulates");
+    assert!(comparison.speedup().is_finite());
+    assert_eq!(comparison.dynamic.violations, 0);
+
+    let mut suite = eval::SuiteSummary::new();
+    suite.push(comparison);
+    assert!(suite.mean_speedup().is_finite());
+    assert!(suite.geometric_mean_speedup().is_finite());
+}
+
+#[test]
+fn adaptive_run_on_zero_cycle_trace_is_neutral() {
+    use idca::core::{run_adaptive, AdaptiveConfig, Drift};
+    let model = TimingModel::at_nominal(ProfileKind::CriticalRangeOptimized);
+    let empty = PipelineTrace::from_parts(vec![], 0);
+    let outcome = run_adaptive(
+        &model,
+        &empty,
+        &AdaptiveConfig::default(),
+        &ClockGenerator::Ideal,
+        None,
+        Drift::None,
+    );
+    assert_eq!(outcome.cycles, 0);
+    assert_eq!(outcome.speedup_over_static, 1.0);
+    assert_eq!(outcome.violations, 0);
+}

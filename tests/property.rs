@@ -1,8 +1,11 @@
 //! Property-based tests on the core invariants of the reproduction:
 //! instruction encoding round-trips, pipeline-vs-interpreter equivalence on
 //! random programs, the no-timing-violation guarantee of the worst-case LUT
-//! and the clock-generator safety property.
+//! (at the nominal corner and across sampled PVT corners within the LUT
+//! margin), the clock-generator safety property, and the convergence
+//! invariants of the online-adaptive delay table.
 
+use idca::core::{AdaptiveConfig, AdaptiveObserver, Drift};
 use idca::isa::disasm;
 use idca::pipeline::Interpreter;
 use idca::prelude::*;
@@ -166,6 +169,120 @@ proptest! {
         // And the genie oracle can never be slower than the LUT policy.
         let genie = run_with_policy(&model, &trace, &GenieOracle::new(model.clone()), &ClockGenerator::Ideal);
         prop_assert!(genie.total_time_ps <= outcome.total_time_ps + 1e-6);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// PVT safety: every non-genie policy whose LUT carries the variation
+    /// margin stays violation-free at any corner the [`VariationModel`] can
+    /// sample — the static baseline because the varied model re-derives its
+    /// (derated) static period, the LUT policies because their entries are
+    /// inflated by exactly the worst samplable slowdown.
+    #[test]
+    fn margin_guarded_policies_survive_sampled_pvt_corners(
+        master_seed in any::<u64>(),
+        corner_index in 0u32..256,
+        program_seed in any::<u64>(),
+    ) {
+        let variation = VariationModel::default();
+        let corner = variation.sample_corner(master_seed, corner_index);
+        let nominal = TimingModel::at_nominal(ProfileKind::CriticalRangeOptimized);
+        let varied = variation.apply(&nominal, &corner);
+        let guarded = DelayLut::from_model(&nominal).scaled(1.0 + variation.margin());
+
+        let config = GenConfig { blocks: 2, block_len: 8, ..GenConfig::default() };
+        let program = generate_program(program_seed, &config);
+
+        let static_policy = StaticClock::of_model(&varied);
+        let lut_policy = InstructionBased::new(guarded.clone());
+        let exec_only = ExecuteOnly::new(guarded);
+        let mut observers = [
+            PolicyObserver::new(&varied, &static_policy, &ClockGenerator::Ideal),
+            PolicyObserver::new(&varied, &lut_policy, &ClockGenerator::Ideal),
+            PolicyObserver::new(&varied, &exec_only, &ClockGenerator::Ideal),
+        ];
+        {
+            let mut refs: Vec<&mut dyn CycleObserver> =
+                observers.iter_mut().map(|o| o as &mut dyn CycleObserver).collect();
+            Simulator::new(SimConfig::default())
+                .run_observed(&program, &mut refs)
+                .expect("generated program runs");
+        }
+        for observer in observers {
+            let outcome = observer.into_outcome();
+            prop_assert_eq!(
+                outcome.violations, 0,
+                "policy {} violated at corner {} ({})",
+                outcome.policy, corner.index, corner.describe()
+            );
+        }
+    }
+
+    /// Adaptive-LUT convergence invariants: after every observed cycle, each
+    /// in-flight entry covers that cycle's observed delay plus the safety
+    /// margin, and entries tighten monotonically (they never decrease) all
+    /// the way through warmup and steady state.
+    #[test]
+    fn adaptive_entries_cover_observations_and_tighten_monotonically(program_seed in any::<u64>()) {
+        let model = TimingModel::at_nominal(ProfileKind::CriticalRangeOptimized);
+        let config = GenConfig { blocks: 2, block_len: 8, ..GenConfig::default() };
+        let program = generate_program(program_seed, &config);
+        let trace = Simulator::new(SimConfig::default())
+            .run(&program)
+            .expect("generated program runs")
+            .trace;
+
+        let mut controller = AdaptiveObserver::new(
+            &model,
+            &AdaptiveConfig::default(),
+            &ClockGenerator::Ideal,
+            None,
+            Drift::None,
+        );
+        let margin = controller.config().margin;
+        let mut previous = vec![0.0f64; Stage::COUNT * TimingClass::COUNT];
+        for record in trace.cycles() {
+            controller.observe_cycle(record);
+            let timing = model.cycle_timing(record);
+            for stage in Stage::ALL {
+                let class = record.timing_class(stage);
+                let learned = controller.learned_ps(stage, class);
+                let required = timing.stage(stage) * (1.0 + margin);
+                prop_assert!(
+                    learned + 1e-9 >= required,
+                    "cycle {}: entry {stage}/{class} = {learned} ps dropped below \
+                     observed delay + margin = {required} ps",
+                    record.cycle
+                );
+            }
+            for stage in Stage::ALL {
+                for class in TimingClass::ALL {
+                    let idx = stage.index() * TimingClass::COUNT + class.index();
+                    let learned = controller.learned_ps(stage, class);
+                    prop_assert!(
+                        learned + 1e-12 >= previous[idx],
+                        "cycle {}: entry {stage}/{class} loosened from {} to {learned}",
+                        record.cycle,
+                        previous[idx]
+                    );
+                    previous[idx] = learned;
+                }
+            }
+        }
+        // Bookkeeping sanity: each cycle observes exactly one (stage, class)
+        // pair per stage, so the observation counts sum to cycles × stages.
+        let mut total_observations = 0u64;
+        for stage in Stage::ALL {
+            for class in TimingClass::ALL {
+                total_observations += controller.observation_count(stage, class);
+            }
+        }
+        prop_assert_eq!(
+            total_observations,
+            trace.cycle_count() * Stage::COUNT as u64
+        );
     }
 }
 

@@ -16,11 +16,21 @@ pub mod prelude {
     pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
 }
 
-/// Number of worker threads used for a parallel region.
+/// Number of worker threads used for a parallel region. Like the real
+/// rayon, an explicit `RAYON_NUM_THREADS` environment variable overrides
+/// the detected core count (used e.g. to prove sweep reports are
+/// byte-identical across thread counts).
 fn thread_count(items: usize) -> usize {
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
+    let configured = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0);
+    configured
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
         .min(items.max(1))
 }
 
