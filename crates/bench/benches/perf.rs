@@ -1,0 +1,106 @@
+//! Perf harness for the hot paths: `run_observed` over the 14-kernel
+//! suite, digest replay vs direct simulation on a generated program, and
+//! the two-phase PVT sweep at 20×4 (vs the single-phase reference). This is
+//! the wall-clock trajectory the repo tracks; `repro bench --json` turns
+//! the same sweep measurement into `BENCH_sweep.json` for CI.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use idca_bench::sweep::{pvt_sweep, pvt_sweep_direct};
+use idca_bench::SweepConfig;
+use idca_core::{
+    policy::{InstructionBased, StaticClock},
+    replay_digest, ClockGenerator, PolicyObserver,
+};
+use idca_gen::{generate_program, nth_seed, GenConfig};
+use idca_pipeline::{DigestObserver, SimBuffers, SimConfig, Simulator};
+use idca_timing::{ProfileKind, TimingModel};
+use idca_workloads::benchmark_suite;
+use std::hint::black_box;
+
+fn bench_run_observed_suite(c: &mut Criterion) {
+    let suite = benchmark_suite();
+    let simulator = Simulator::new(SimConfig::default());
+    let mut group = c.benchmark_group("perf");
+    group.sample_size(10);
+    group.bench_function("run_observed_14_kernel_suite", |b| {
+        let mut buffers = SimBuffers::for_config(simulator.config());
+        b.iter(|| {
+            let mut cycles = 0u64;
+            for workload in &suite {
+                let summary = simulator
+                    .run_observed_with_buffers(black_box(&workload.program), &mut [], &mut buffers)
+                    .expect("kernels run");
+                cycles += summary.cycles;
+            }
+            cycles
+        })
+    });
+    group.finish();
+}
+
+fn bench_digest_replay_vs_direct(c: &mut Criterion) {
+    let model = TimingModel::at_nominal(ProfileKind::CriticalRangeOptimized);
+    let simulator = Simulator::new(SimConfig::default());
+    let program = generate_program(nth_seed(7, 0), &GenConfig::default());
+    let static_policy = StaticClock::of_model(&model);
+    let lut_policy = InstructionBased::from_model(&model);
+
+    let mut observer = DigestObserver::new();
+    simulator
+        .run_observed(&program, &mut [&mut observer])
+        .expect("program runs");
+    let digest = observer.into_digest();
+
+    let mut group = c.benchmark_group("perf");
+    group.sample_size(20);
+    group.bench_function("policy_eval_direct_simulation", |b| {
+        b.iter(|| {
+            let mut ob_static = PolicyObserver::new(&model, &static_policy, &ClockGenerator::Ideal);
+            let mut ob_lut = PolicyObserver::new(&model, &lut_policy, &ClockGenerator::Ideal);
+            simulator
+                .run_observed(black_box(&program), &mut [&mut ob_static, &mut ob_lut])
+                .expect("program runs");
+            (ob_static.into_outcome(), ob_lut.into_outcome())
+        })
+    });
+    group.bench_function("policy_eval_digest_replay", |b| {
+        b.iter(|| {
+            (
+                replay_digest(
+                    &model,
+                    black_box(&digest),
+                    &static_policy,
+                    &ClockGenerator::Ideal,
+                ),
+                replay_digest(&model, &digest, &lut_policy, &ClockGenerator::Ideal),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_pvt_sweep(c: &mut Criterion) {
+    let config = SweepConfig {
+        seeds: 20,
+        corners: 4,
+        master_seed: 7,
+        ..SweepConfig::default()
+    };
+    let mut group = c.benchmark_group("perf");
+    group.sample_size(10);
+    group.bench_function("pvt_sweep_20x4_two_phase", |b| {
+        b.iter(|| pvt_sweep(black_box(&config)))
+    });
+    group.bench_function("pvt_sweep_20x4_direct_reference", |b| {
+        b.iter(|| pvt_sweep_direct(black_box(&config)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_run_observed_suite,
+    bench_digest_replay_vs_direct,
+    bench_pvt_sweep
+);
+criterion_main!(benches);

@@ -10,8 +10,9 @@
 //! machine-readable `key=value` report that is byte-identical across thread
 //! counts and repeated runs with the same seed.
 
-use idca_bench::{paper, Experiments, SweepConfig};
+use idca_bench::{paper, Experiments, SweepConfig, SweepTiming};
 use std::process::ExitCode;
+use std::time::Duration;
 
 /// The accepted experiment flags with their descriptions.
 const FLAGS: [(&str, &str); 9] = [
@@ -33,7 +34,8 @@ fn print_help() {
     println!("repro — regenerates the paper's tables and figures (paper vs measured)");
     println!();
     println!("Usage: repro [FLAGS]");
-    println!("       repro sweep [--seeds N] [--corners M] [--seed S]\n");
+    println!("       repro sweep [--seeds N] [--corners M] [--seed S]");
+    println!("       repro bench [--seeds N] [--corners M] [--seed S] [--runs K] [--json] [--out PATH]\n");
     println!("With no flags, every experiment is reproduced. Flags:");
     for (flag, description) in FLAGS {
         println!("  {flag:<12} {description}");
@@ -41,6 +43,26 @@ fn print_help() {
     println!("  {:<12} print this help and exit", "--help");
     println!();
     print_sweep_help();
+    println!();
+    print_bench_help();
+}
+
+fn print_bench_help() {
+    println!("bench — PVT-sweep throughput measurement (simulate-once / evaluate-many)");
+    println!(
+        "  {:<12} sweep size, like the sweep subcommand (defaults 100 x 8, seed 7)",
+        "--seeds/..."
+    );
+    println!(
+        "  {:<12} timed repetitions; the fastest is reported (default 3)",
+        "--runs K"
+    );
+    println!(
+        "  {:<12} also write the machine-readable report to BENCH_sweep.json",
+        "--json"
+    );
+    println!("  {:<12} override the --json output path", "--out PATH");
+    println!("  output: key=value throughput report (cycles/sec, jobs/sec, per-phase wall)");
 }
 
 fn print_sweep_help() {
@@ -107,10 +129,141 @@ fn run_sweep(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Milliseconds with microsecond resolution (stable fixed-point rendering).
+fn ms(duration: Duration) -> f64 {
+    duration.as_secs_f64() * 1e3
+}
+
+/// Parses and runs the `bench` subcommand: times the two-phase PVT sweep
+/// and reports throughput, optionally as `BENCH_sweep.json` so CI can track
+/// the perf trajectory and flag regressions.
+fn run_bench(args: &[String]) -> ExitCode {
+    let mut config = SweepConfig {
+        seeds: 100,
+        corners: 8,
+        master_seed: 7,
+        ..SweepConfig::default()
+    };
+    let mut runs: u32 = 3;
+    let mut write_json = false;
+    let mut out_path = String::from("BENCH_sweep.json");
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--help" | "-h" => {
+                print_bench_help();
+                return ExitCode::SUCCESS;
+            }
+            "--json" => {
+                write_json = true;
+                continue;
+            }
+            _ => {}
+        }
+        let Some(value) = iter.next() else {
+            eprintln!("error: `{flag}` requires a value");
+            return ExitCode::FAILURE;
+        };
+        if flag == "--out" {
+            out_path = value.clone();
+            write_json = true;
+            continue;
+        }
+        let parsed: Result<u64, _> = value.parse();
+        let Ok(parsed) = parsed else {
+            eprintln!("error: `{flag}` expects an unsigned integer, got `{value}`");
+            return ExitCode::FAILURE;
+        };
+        match flag.as_str() {
+            "--seeds" if (1..=100_000).contains(&parsed) => config.seeds = parsed as u32,
+            "--corners" if (1..=100_000).contains(&parsed) => config.corners = parsed as u32,
+            "--seed" => config.master_seed = parsed,
+            "--runs" if (1..=100).contains(&parsed) => runs = parsed as u32,
+            "--seeds" | "--corners" => {
+                eprintln!("error: `{flag}` must be between 1 and 100000");
+                return ExitCode::FAILURE;
+            }
+            "--runs" => {
+                eprintln!("error: `--runs` must be between 1 and 100");
+                return ExitCode::FAILURE;
+            }
+            unknown => {
+                eprintln!("error: unknown bench flag `{unknown}`");
+                eprintln!("run `repro bench --help` for the accepted flags");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let jobs = u64::from(config.seeds) * u64::from(config.corners);
+    eprintln!(
+        "benchmarking PVT sweep: {} seeds x {} corners, {} timed runs...",
+        config.seeds, config.corners, runs
+    );
+    // Take the fastest of `runs` repetitions (the usual wall-clock noise
+    // filter); every repetition produces the identical report, so the
+    // cycle totals can come from any of them.
+    let mut best: Option<(u64, SweepTiming)> = None;
+    for _ in 0..runs {
+        let (report, timing) = Experiments::pvt_sweep_timed(&config);
+        let evaluated = report.total_cycles();
+        if best
+            .as_ref()
+            .is_none_or(|(_, t)| timing.total() < t.total())
+        {
+            best = Some((evaluated, timing));
+        }
+    }
+    let (evaluated_cycles, timing) = best.expect("at least one timed run");
+    let wall = timing.total().as_secs_f64();
+    let jobs_per_sec = jobs as f64 / wall;
+    let cycles_per_sec = evaluated_cycles as f64 / wall;
+
+    println!("bench.schema=1");
+    println!("bench.seeds={}", config.seeds);
+    println!("bench.corners={}", config.corners);
+    println!("bench.master_seed={}", config.master_seed);
+    println!("bench.jobs={jobs}");
+    println!("bench.evaluated_cycles={evaluated_cycles}");
+    println!("bench.wall_ms={:.3}", ms(timing.total()));
+    println!("bench.simulate_ms={:.3}", ms(timing.simulate));
+    println!("bench.replay_ms={:.3}", ms(timing.replay));
+    println!("bench.jobs_per_sec={jobs_per_sec:.1}");
+    println!("bench.cycles_per_sec={cycles_per_sec:.0}");
+
+    if write_json {
+        let json = format!(
+            "{{\n  \"schema\": 1,\n  \"seeds\": {},\n  \"corners\": {},\n  \"master_seed\": {},\n  \
+             \"jobs\": {},\n  \"evaluated_cycles\": {},\n  \"wall_ms\": {:.3},\n  \
+             \"simulate_ms\": {:.3},\n  \"replay_ms\": {:.3},\n  \"jobs_per_sec\": {:.1},\n  \
+             \"cycles_per_sec\": {:.0}\n}}\n",
+            config.seeds,
+            config.corners,
+            config.master_seed,
+            jobs,
+            evaluated_cycles,
+            ms(timing.total()),
+            ms(timing.simulate),
+            ms(timing.replay),
+            jobs_per_sec,
+            cycles_per_sec,
+        );
+        if let Err(error) = std::fs::write(&out_path, json) {
+            eprintln!("error: cannot write {out_path}: {error}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {out_path}");
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("sweep") {
         return run_sweep(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("bench") {
+        return run_bench(&args[1..]);
     }
     if args.iter().any(|a| a == "--help" || a == "-h") {
         print_help();

@@ -33,7 +33,7 @@ use idca_workloads::{benchmark_suite, suite, suite::characterization_workload, W
 
 pub mod sweep;
 
-pub use sweep::{SweepConfig, SweepReport};
+pub use sweep::{SweepConfig, SweepReport, SweepTiming};
 
 /// Seed used for the characterization workload throughout the harness.
 pub const CHARACTERIZATION_SEED: u64 = 0xC0DE;
@@ -465,13 +465,22 @@ impl Experiments {
     }
 
     /// The Monte Carlo PVT sweep: `seeds` generated programs × `corners`
-    /// sampled PVT corners, sharded across rayon workers, each job one
-    /// streaming simulation pass through the PolicyObserver/AdaptiveObserver
-    /// stack. Unlike the other experiments this needs no characterization
+    /// sampled PVT corners, two-phase — each program simulated exactly once
+    /// into a timing digest (phase 1), every `(digest, corner)` pair then
+    /// replayed through the PolicyObserver/AdaptiveObserver stack without a
+    /// simulator in the loop (phase 2), both phases sharded across rayon
+    /// workers. Unlike the other experiments this needs no characterization
     /// run, so it is an associated function rather than a method.
     #[must_use]
     pub fn pvt_sweep(config: &SweepConfig) -> SweepReport {
         sweep::pvt_sweep(config)
+    }
+
+    /// [`Experiments::pvt_sweep`] with the per-phase wall-clock breakdown
+    /// (the `repro bench` perf harness reports it).
+    #[must_use]
+    pub fn pvt_sweep_timed(config: &SweepConfig) -> (SweepReport, SweepTiming) {
+        sweep::pvt_sweep_timed(config)
     }
 
     /// The conventional-clocking baseline outcome for a single benchmark

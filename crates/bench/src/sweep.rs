@@ -1,16 +1,30 @@
-//! The Monte Carlo PVT sweep engine.
+//! The Monte Carlo PVT sweep engine — simulate once, evaluate many.
 //!
 //! The paper's evaluation fixes one timing corner and 14 kernels; its
 //! conclusion claims the technique survives process/voltage/temperature
 //! variation via online LUT updating. This module tests that claim at
 //! scale: `N` seed-generated programs ([`idca_gen`]) × `M` sampled PVT
-//! corners ([`idca_timing::VariationModel`]), fanned out across rayon
-//! workers. Each worker simulates its program **once** through the existing
-//! streaming observer stack — a static-baseline [`PolicyObserver`], a
-//! margin-guarded instruction-based [`PolicyObserver`], an execute-only
-//! [`PolicyObserver`] and an online-learning [`AdaptiveObserver`] all ride
-//! the same [`Simulator::run_observed`] pass — and folds its outcome into a
-//! mergeable [`SweepReport`].
+//! corners ([`idca_timing::VariationModel`]).
+//!
+//! Architectural execution does not depend on the PVT corner, so the sweep
+//! runs in **two phases**:
+//!
+//! 1. **Simulate** (`O(N)`): each seed's program is simulated exactly once
+//!    (parallel over seeds, worker-local [`SimBuffers`] scratch), with a
+//!    [`DigestObserver`] capturing the run's [`TimingDigest`] — the
+//!    compact, replayable timing view of every cycle.
+//! 2. **Replay** (`O(N×M)` cheap folds): every `(digest, corner)` pair is
+//!    fanned across rayon workers; the corner-varied model is evaluated
+//!    once per cycle and shared by a static-baseline [`PolicyObserver`], a
+//!    margin-guarded instruction-based [`PolicyObserver`], an execute-only
+//!    [`PolicyObserver`] and an online-learning [`AdaptiveObserver`] —
+//!    with no pipeline simulator in the loop.
+//!
+//! The digest replay is bit-identical to live observation (pinned by the
+//! digest-equivalence tests and by [`pvt_sweep_direct`], the retained
+//! single-phase reference implementation), so the report is byte-for-byte
+//! the same as the original `N×M`-simulations engine while doing a fraction
+//! of the work.
 //!
 //! Determinism is load-bearing: programs and corners are hash-derived from
 //! the master seed, workers are stateless, and [`SweepReport::merge`] sorts
@@ -23,9 +37,14 @@ use idca_core::{
     AdaptiveConfig, AdaptiveObserver, ClockGenerator, DelayLut, Drift, PolicyObserver,
 };
 use idca_gen::{generate_program, nth_seed, GenConfig};
-use idca_pipeline::{SimConfig, Simulator};
+use idca_isa::Program;
+use idca_pipeline::{
+    CycleObserver, DigestObserver, SimBuffers, SimConfig, Simulator, TimingDigest,
+};
 use idca_timing::{ProfileKind, PvtCorner, TimingModel, VariationModel};
 use idca_workloads::suite::par_map;
+use std::cell::RefCell;
+use std::time::{Duration, Instant};
 
 /// Names of the policies evaluated per job, in report order.
 pub const SWEEP_POLICIES: [&str; 4] = ["static", "instruction-based", "execute-only", "adaptive"];
@@ -248,6 +267,9 @@ impl SweepReport {
             }
             let speedups = self.speedups(p);
             line(format!("policy.{name}.speedup.mean={:.4}", mean(&speedups)));
+            // One sort serves every quantile of this policy (the old
+            // per-quantile `to_vec` + sort was 7 sorts per policy).
+            let sorted = sorted_samples(speedups);
             for (label, q) in [
                 ("min", 0.0),
                 ("p05", 0.05),
@@ -259,7 +281,7 @@ impl SweepReport {
             ] {
                 line(format!(
                     "policy.{name}.speedup.{label}={:.4}",
-                    quantile(&speedups, q)
+                    quantile_sorted(&sorted, q)
                 ));
             }
         }
@@ -269,13 +291,14 @@ impl SweepReport {
             self.adaptive_warmup_fraction()
         ));
         line(format!("adaptive.recovery.mean={:.4}", mean(&recovery)));
+        let sorted = sorted_samples(recovery);
         line(format!(
             "adaptive.recovery.p05={:.4}",
-            quantile(&recovery, 0.05)
+            quantile_sorted(&sorted, 0.05)
         ));
         line(format!(
             "adaptive.recovery.p50={:.4}",
-            quantile(&recovery, 0.50)
+            quantile_sorted(&sorted, 0.50)
         ));
         out
     }
@@ -289,22 +312,154 @@ fn mean(samples: &[f64]) -> f64 {
     samples.iter().sum::<f64>() / samples.len() as f64
 }
 
-/// Empirical quantile via the nearest-rank method on a sorted copy (`NaN`
-/// when empty). `q` is clamped into `[0, 1]`.
-fn quantile(samples: &[f64], q: f64) -> f64 {
-    if samples.is_empty() {
+/// Consumes a sample set and returns it sorted for [`quantile_sorted`].
+fn sorted_samples(mut samples: Vec<f64>) -> Vec<f64> {
+    samples.sort_by(f64::total_cmp);
+    samples
+}
+
+/// Empirical quantile via the nearest-rank method on pre-sorted samples
+/// (`NaN` when empty). `q` is clamped into `[0, 1]`.
+fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
         return f64::NAN;
     }
-    let mut sorted = samples.to_vec();
-    sorted.sort_by(f64::total_cmp);
     let q = if q.is_nan() { 0.5 } else { q.clamp(0.0, 1.0) };
     let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
     sorted[rank - 1]
 }
 
+/// Empirical quantile of an unsorted sample set (test convenience).
+#[cfg(test)]
+fn quantile(samples: &[f64], q: f64) -> f64 {
+    quantile_sorted(&sorted_samples(samples.to_vec()), q)
+}
+
+/// Wall-clock breakdown of one two-phase sweep, for the perf harness.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SweepTiming {
+    /// Phase 1: simulate each seed once, capturing timing digests.
+    pub simulate: Duration,
+    /// Phase 2: fan the `seeds × corners` digest replays.
+    pub replay: Duration,
+}
+
+impl SweepTiming {
+    /// Total sweep wall time (both phases).
+    #[must_use]
+    pub fn total(&self) -> Duration {
+        self.simulate + self.replay
+    }
+}
+
+/// Phase 1 worker: generates and simulates one seed's program, capturing
+/// its [`TimingDigest`]. The register file and 64 KiB memory image live in
+/// worker-local scratch ([`SimBuffers`]) reused across every program the
+/// worker simulates, instead of being allocated per job.
+fn digest_program(simulator: &Simulator, program: &Program) -> TimingDigest {
+    thread_local! {
+        static SCRATCH: RefCell<Option<SimBuffers>> = const { RefCell::new(None) };
+    }
+    SCRATCH.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        let buffers = slot.get_or_insert_with(|| SimBuffers::for_config(simulator.config()));
+        let mut observer = DigestObserver::new();
+        simulator
+            .run_observed_with_buffers(program, &mut [&mut observer], buffers)
+            .expect("generated programs terminate within the cycle limit");
+        observer.into_digest()
+    })
+}
+
+/// Corner-constant replay state: the varied timing model and the immutable
+/// policy tables, built **once per corner** and shared (they are `Sync`) by
+/// every job of that corner — in the replay phase each job's real work is a
+/// cheap digest fold, so repeating this setup per `(seed, corner)` job
+/// would be a measurable fixed cost.
+struct CornerContext {
+    corner_index: u32,
+    varied: TimingModel,
+    static_policy: StaticClock,
+    lut_policy: InstructionBased,
+    exec_only: ExecuteOnly,
+}
+
+impl CornerContext {
+    fn new(
+        nominal: &TimingModel,
+        variation: &VariationModel,
+        corner: &PvtCorner,
+        guarded_lut: &DelayLut,
+    ) -> CornerContext {
+        let varied = variation.apply(nominal, corner);
+        CornerContext {
+            corner_index: corner.index,
+            static_policy: StaticClock::of_model(&varied),
+            lut_policy: InstructionBased::new(guarded_lut.clone()),
+            exec_only: ExecuteOnly::new(guarded_lut.clone()),
+            varied,
+        }
+    }
+}
+
+/// Phase 2 worker: replays one digest against one corner's varied timing
+/// model, evaluating the full policy stack with a single model evaluation
+/// per cycle — no simulator in the loop. Bit-identical to [`run_job`] on
+/// the originating simulation (see the digest-equivalence tests).
+fn replay_job(digest: &TimingDigest, ctx: &CornerContext, seed_index: u32) -> SweepJobOutcome {
+    let varied = &ctx.varied;
+    let mut ob_static = PolicyObserver::new(varied, &ctx.static_policy, &ClockGenerator::Ideal);
+    let mut ob_lut = PolicyObserver::new(varied, &ctx.lut_policy, &ClockGenerator::Ideal);
+    let mut ob_exec = PolicyObserver::new(varied, &ctx.exec_only, &ClockGenerator::Ideal);
+    let mut ob_adaptive = AdaptiveObserver::new(
+        varied,
+        &AdaptiveConfig::default(),
+        &ClockGenerator::Ideal,
+        None,
+        Drift::None,
+    );
+
+    digest.for_each_cycle(|cycle, dc| {
+        // One model evaluation per cycle, shared by all four observers.
+        let timing = varied.digest_cycle_timing(cycle, dc);
+        ob_static.observe_digest_timed(cycle, dc, &timing);
+        ob_lut.observe_digest_timed(cycle, dc, &timing);
+        ob_exec.observe_digest_timed(cycle, dc, &timing);
+        ob_adaptive.observe_digest_timed(cycle, dc, &timing);
+    });
+    let summary = digest.summary();
+    ob_static.finish(&summary);
+    ob_lut.finish(&summary);
+    ob_exec.finish(&summary);
+    ob_adaptive.finish(&summary);
+
+    let policy_outcome = |o: idca_core::RunOutcome| PolicyJobOutcome {
+        violations: o.violations,
+        mhz: o.effective_frequency_mhz,
+        warmup_cycles: 0,
+    };
+    let adaptive = ob_adaptive.into_outcome();
+    SweepJobOutcome {
+        seed_index,
+        corner_index: ctx.corner_index,
+        cycles: summary.cycles,
+        policies: [
+            policy_outcome(ob_static.into_outcome()),
+            policy_outcome(ob_lut.into_outcome()),
+            policy_outcome(ob_exec.into_outcome()),
+            PolicyJobOutcome {
+                violations: adaptive.violations,
+                mhz: adaptive.effective_frequency_mhz,
+                warmup_cycles: adaptive.warmup_cycles,
+            },
+        ],
+    }
+}
+
 /// Runs one `(program, corner)` job: a single streaming simulation pass
 /// observed by the full policy stack against the corner's varied timing
-/// model.
+/// model. This is the single-phase reference implementation retained for
+/// [`pvt_sweep_direct`]; the production sweep replays digests instead.
 fn run_job(
     simulator: &Simulator,
     program: &idca_isa::Program,
@@ -360,31 +515,110 @@ fn run_job(
     }
 }
 
-/// Runs the full sweep: generates the programs, samples the corners, fans
-/// `seeds × corners` jobs across rayon workers and folds the outcomes into
-/// one canonical [`SweepReport`].
-#[must_use]
-pub fn pvt_sweep(config: &SweepConfig) -> SweepReport {
+/// Shared sweep preamble: the nominal model, the margin-guarded deployed
+/// LUT and the sampled corners.
+fn sweep_setup(config: &SweepConfig) -> (TimingModel, DelayLut, Vec<PvtCorner>) {
     let nominal = TimingModel::at_nominal(ProfileKind::CriticalRangeOptimized);
     // The deployed LUT: analytic worst cases inflated by exactly the
     // variation margin, so every in-distribution corner is covered.
     let guarded_lut = DelayLut::from_model(&nominal).scaled(1.0 + config.variation.margin());
-
     let corner_samples: Vec<PvtCorner> = (0..config.corners)
         .map(|i| config.variation.sample_corner(config.master_seed, i))
         .collect();
+    (nominal, guarded_lut, corner_samples)
+}
 
-    // Program generation is itself fanned across workers (suite order stays
-    // deterministic because par_map preserves input order).
+/// The seed-major `(seed, corner)` job list of one sweep.
+fn job_list(config: &SweepConfig) -> Vec<(u32, u32)> {
+    (0..config.seeds)
+        .flat_map(|s| (0..config.corners).map(move |c| (s, c)))
+        .collect()
+}
+
+/// Finalizes a report from per-job outcomes in canonical order.
+fn finish_report(
+    config: &SweepConfig,
+    corner_samples: Vec<PvtCorner>,
+    outcomes: Vec<SweepJobOutcome>,
+) -> SweepReport {
+    // par_map preserves input order and the job list is built seed-major,
+    // so `outcomes` is already one complete job set in canonical order; the
+    // sort makes that invariant explicit rather than positional.
+    let mut report = SweepReport::empty(config, corner_samples);
+    report.jobs = outcomes;
+    report
+        .jobs
+        .sort_by_key(|job| (job.seed_index, job.corner_index));
+    report
+}
+
+/// Runs the full sweep, two-phase: phase 1 simulates each seed's program
+/// exactly once (parallel over seeds) capturing [`TimingDigest`]s, phase 2
+/// fans the `seeds × corners` digest replays across rayon workers and folds
+/// the outcomes into one canonical [`SweepReport`] — byte-identical to the
+/// single-phase [`pvt_sweep_direct`] at a fraction of the work.
+#[must_use]
+pub fn pvt_sweep(config: &SweepConfig) -> SweepReport {
+    pvt_sweep_timed(config).0
+}
+
+/// [`pvt_sweep`] with the per-phase wall-clock breakdown (perf harness).
+#[must_use]
+pub fn pvt_sweep_timed(config: &SweepConfig) -> (SweepReport, SweepTiming) {
+    let (nominal, guarded_lut, corner_samples) = sweep_setup(config);
+
+    // Phase 1 — simulate once per seed. Program generation and simulation
+    // run fused in the same worker (par_map preserves input order, so the
+    // digest list is deterministic regardless of worker count).
+    let start = Instant::now();
+    let simulator = Simulator::new(SimConfig::default());
+    let seed_indices: Vec<u32> = (0..config.seeds).collect();
+    let digests = par_map(&seed_indices, |&i| {
+        let program = generate_program(nth_seed(config.master_seed, u64::from(i)), &config.gen);
+        digest_program(&simulator, &program)
+    });
+    let simulate = start.elapsed();
+
+    // Phase 2 — replay every digest against every corner. The varied model
+    // and policy tables are corner-constant, so they are built once per
+    // corner and shared across that corner's N jobs.
+    let start = Instant::now();
+    let contexts: Vec<CornerContext> = corner_samples
+        .iter()
+        .map(|corner| CornerContext::new(&nominal, &config.variation, corner, &guarded_lut))
+        .collect();
+    let jobs = job_list(config);
+    let outcomes = par_map(&jobs, |&(seed_index, corner_index)| {
+        replay_job(
+            &digests[seed_index as usize],
+            &contexts[corner_index as usize],
+            seed_index,
+        )
+    });
+    let replay = start.elapsed();
+
+    (
+        finish_report(config, corner_samples, outcomes),
+        SweepTiming { simulate, replay },
+    )
+}
+
+/// The single-phase reference sweep: every `(seed, corner)` job runs its
+/// own full pipeline simulation with the policy stack riding along, exactly
+/// like the original engine. Kept (and exercised by tests) to prove the
+/// two-phase [`pvt_sweep`] byte-identical; also the honest baseline for the
+/// perf harness's simulate-once speedup measurement.
+#[must_use]
+pub fn pvt_sweep_direct(config: &SweepConfig) -> SweepReport {
+    let (nominal, guarded_lut, corner_samples) = sweep_setup(config);
+
     let seed_indices: Vec<u32> = (0..config.seeds).collect();
     let programs = par_map(&seed_indices, |&i| {
         generate_program(nth_seed(config.master_seed, u64::from(i)), &config.gen)
     });
 
-    let jobs: Vec<(u32, u32)> = (0..config.seeds)
-        .flat_map(|s| (0..config.corners).map(move |c| (s, c)))
-        .collect();
     let simulator = Simulator::new(SimConfig::default());
+    let jobs = job_list(config);
     let outcomes = par_map(&jobs, |&(seed_index, corner_index)| {
         run_job(
             &simulator,
@@ -396,16 +630,7 @@ pub fn pvt_sweep(config: &SweepConfig) -> SweepReport {
             seed_index,
         )
     });
-
-    // par_map preserves input order and `jobs` was built seed-major, so
-    // `outcomes` is already one complete job set in canonical order; the
-    // sort makes that invariant explicit rather than positional.
-    let mut report = SweepReport::empty(config, corner_samples);
-    report.jobs = outcomes;
-    report
-        .jobs
-        .sort_by_key(|job| (job.seed_index, job.corner_index));
-    report
+    finish_report(config, corner_samples, outcomes)
 }
 
 #[cfg(test)]
@@ -418,6 +643,23 @@ mod tests {
             corners: 3,
             master_seed: 0x5EED,
             ..SweepConfig::default()
+        }
+    }
+
+    #[test]
+    fn two_phase_sweep_is_byte_identical_to_direct_reference() {
+        for (seeds, corners, master_seed) in [(4, 3, 0x5EED), (6, 2, 7), (3, 5, 0xC0DE)] {
+            let config = SweepConfig {
+                seeds,
+                corners,
+                master_seed,
+                ..SweepConfig::default()
+            };
+            let two_phase = pvt_sweep(&config);
+            let direct = pvt_sweep_direct(&config);
+            // Bit-identical job rows (f64 equality), not just rendered text.
+            assert_eq!(two_phase, direct, "{seeds}x{corners}@{master_seed:#x}");
+            assert_eq!(two_phase.render(), direct.render());
         }
     }
 

@@ -1,0 +1,38 @@
+//! Property test of the sweep-level digest-equivalence contract: for random
+//! sweep shapes and master seeds (i.e. random `idca_gen` programs × random
+//! PVT corners), the two-phase simulate-once / evaluate-many engine must
+//! produce **bit-identical** `SweepReport` rows — violations, effective
+//! frequencies (and therefore every speedup quantile), adaptive warmup —
+//! to the single-phase direct `run_observed` reference, and render the
+//! identical bytes.
+
+use idca_bench::sweep::{pvt_sweep, pvt_sweep_direct};
+use idca_bench::SweepConfig;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn two_phase_rows_are_bit_identical_to_direct(
+        seeds in 1u32..6,
+        corners in 1u32..5,
+        master_seed in any::<u64>(),
+    ) {
+        let config = SweepConfig {
+            seeds,
+            corners,
+            master_seed,
+            ..SweepConfig::default()
+        };
+        let two_phase = pvt_sweep(&config);
+        let direct = pvt_sweep_direct(&config);
+        prop_assert_eq!(two_phase.jobs.len(), (seeds * corners) as usize);
+        for (a, b) in two_phase.jobs.iter().zip(&direct.jobs) {
+            // Field-for-field f64 equality, not tolerance: the replay is
+            // the same arithmetic, so the rows must match to the last bit.
+            prop_assert_eq!(a, b);
+        }
+        prop_assert_eq!(two_phase.render(), direct.render());
+    }
+}

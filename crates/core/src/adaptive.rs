@@ -18,8 +18,10 @@
 
 use crate::{ClockGenerator, DelayLut};
 use idca_isa::TimingClass;
-use idca_pipeline::{CycleObserver, CycleRecord, PipelineTrace, RunSummary, Stage};
-use idca_timing::{Ps, TimingModel};
+use idca_pipeline::{
+    CycleObserver, CycleRecord, DigestCycle, PipelineTrace, RunSummary, Stage, TimingDigest,
+};
+use idca_timing::{CycleTiming, Ps, TimingModel};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the online-adaptive clock controller.
@@ -192,17 +194,43 @@ impl<'a> AdaptiveObserver<'a> {
     pub fn config(&self) -> &AdaptiveConfig {
         &self.config
     }
-}
 
-impl CycleObserver for AdaptiveObserver<'_> {
-    fn observe_cycle(&mut self, record: &CycleRecord) {
+    /// Replays the predict/observe/update loop on one *digested* cycle —
+    /// the replay counterpart of [`CycleObserver::observe_cycle`],
+    /// bit-identical to observing the originating [`CycleRecord`].
+    pub fn observe_digest(&mut self, cycle: u64, digest_cycle: &DigestCycle) {
+        let timing = self.model.digest_cycle_timing(cycle, digest_cycle);
+        self.observe_digest_timed(cycle, digest_cycle, &timing);
+    }
+
+    /// [`AdaptiveObserver::observe_digest`] with the cycle's
+    /// [`CycleTiming`] already evaluated (shared across the observers of
+    /// one replay pass).
+    pub fn observe_digest_timed(
+        &mut self,
+        cycle: u64,
+        digest_cycle: &DigestCycle,
+        timing: &CycleTiming,
+    ) {
+        self.observe_parts(cycle, &digest_cycle.classes, timing);
+    }
+
+    /// The predict/observe/update loop shared by the live and the replay
+    /// paths, driven by the per-stage classes and the cycle's dynamic
+    /// delays.
+    fn observe_parts(
+        &mut self,
+        cycle: u64,
+        classes: &[TimingClass; Stage::COUNT],
+        timing: &CycleTiming,
+    ) {
         // 1. Predict: the controller only sees the instruction classes; any
         //    entry that is still warming up keeps the whole cycle at the
         //    always-safe static period.
         let mut requested: Ps = 0.0;
         let mut warm = true;
         for stage in Stage::ALL {
-            let idx = stage.index() * TimingClass::COUNT + record.timing_class(stage).index();
+            let idx = stage.index() * TimingClass::COUNT + classes[stage.index()].index();
             if self.observations[idx] < self.config.warmup_observations {
                 warm = false;
             } else {
@@ -217,8 +245,7 @@ impl CycleObserver for AdaptiveObserver<'_> {
 
         // 2. Observe: the delay monitor reports the actual per-stage delays
         //    of the cycle (with environmental drift applied).
-        let timing = self.model.cycle_timing(record);
-        let drift_factor = self.drift.factor(record.cycle);
+        let drift_factor = self.drift.factor(cycle);
         let actual_max = timing.max_delay_ps * drift_factor;
         let violated = realized + 1e-9 < actual_max;
         if violated {
@@ -228,7 +255,7 @@ impl CycleObserver for AdaptiveObserver<'_> {
 
         // 3. Adapt the in-flight entries.
         for stage in Stage::ALL {
-            let idx = stage.index() * TimingClass::COUNT + record.timing_class(stage).index();
+            let idx = stage.index() * TimingClass::COUNT + classes[stage.index()].index();
             let observed = timing.stage(stage) * drift_factor;
             self.observations[idx] += 1;
             let target = observed * (1.0 + self.config.margin);
@@ -242,6 +269,17 @@ impl CycleObserver for AdaptiveObserver<'_> {
                     .min(self.static_period * 2.0);
             }
         }
+    }
+}
+
+impl CycleObserver for AdaptiveObserver<'_> {
+    fn observe_cycle(&mut self, record: &CycleRecord) {
+        let mut classes = [TimingClass::Bubble; Stage::COUNT];
+        for stage in Stage::ALL {
+            classes[stage.index()] = record.timing_class(stage);
+        }
+        let timing = self.model.cycle_timing(record);
+        self.observe_parts(record.cycle, &classes, &timing);
     }
 
     fn finish(&mut self, summary: &RunSummary) {
@@ -297,6 +335,27 @@ pub fn run_adaptive(
         cycles: trace.cycle_count(),
         retired: trace.retired(),
     });
+    observer.into_outcome()
+}
+
+/// Replays a [`TimingDigest`] under the online-adaptive delay table — the
+/// simulate-once / evaluate-many counterpart of [`run_adaptive`]: one
+/// digested simulation can train and evaluate the controller against any
+/// number of (e.g. PVT-varied) timing models without re-simulating. Drives
+/// the same accumulation as [`AdaptiveObserver`] on the live pass, so the
+/// outcome and the learned table are bit-identical.
+#[must_use]
+pub fn replay_adaptive_digest(
+    model: &TimingModel,
+    digest: &TimingDigest,
+    config: &AdaptiveConfig,
+    generator: &ClockGenerator,
+    seed_lut: Option<&DelayLut>,
+    drift: Drift,
+) -> AdaptiveOutcome {
+    let mut observer = AdaptiveObserver::new(model, config, generator, seed_lut, drift);
+    digest.for_each_cycle(|cycle, dc| observer.observe_digest(cycle, dc));
+    observer.finish(&digest.summary());
     observer.into_outcome()
 }
 

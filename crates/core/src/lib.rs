@@ -63,9 +63,11 @@ pub mod policy;
 mod sim;
 pub mod vfs;
 
-pub use adaptive::{run_adaptive, AdaptiveConfig, AdaptiveObserver, AdaptiveOutcome, Drift};
+pub use adaptive::{
+    replay_adaptive_digest, run_adaptive, AdaptiveConfig, AdaptiveObserver, AdaptiveOutcome, Drift,
+};
 pub use clockgen::ClockGenerator;
 pub use error::{CoreError, LutFormatError};
 pub use lut::{DelayLut, LutSource, Table2Row};
 pub use policy::{ClockPolicy, ExecuteOnly, GenieOracle, InstructionBased, StaticClock};
-pub use sim::{run_with_policy, PolicyObserver, RunOutcome};
+pub use sim::{replay_digest, run_with_policy, PolicyObserver, RunOutcome};

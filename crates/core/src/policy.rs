@@ -13,7 +13,7 @@
 
 use crate::DelayLut;
 use idca_isa::TimingClass;
-use idca_pipeline::{CycleRecord, Stage};
+use idca_pipeline::{CycleRecord, DigestCycle, Stage};
 use idca_timing::{Ps, TimingModel};
 
 /// A per-cycle clock-period decision rule.
@@ -31,6 +31,15 @@ pub trait ClockPolicy: Sync {
 
     /// The clock period requested for this cycle, in picoseconds.
     fn period_ps(&self, record: &CycleRecord) -> Ps;
+
+    /// The clock period requested for one *digested* cycle — the
+    /// simulate-once / evaluate-many counterpart of
+    /// [`ClockPolicy::period_ps`]. The digest carries exactly the
+    /// information the hardware controller of Fig. 1 sees (the instruction
+    /// classes in flight), so every policy must decide identically from it;
+    /// the bit-identity of both paths is pinned by the digest-equivalence
+    /// property tests.
+    fn digest_period_ps(&self, cycle: u64, digest_cycle: &DigestCycle) -> Ps;
 }
 
 /// Conventional synchronous clocking: every cycle uses the static-timing
@@ -68,6 +77,10 @@ impl ClockPolicy for StaticClock {
     }
 
     fn period_ps(&self, _record: &CycleRecord) -> Ps {
+        self.period_ps
+    }
+
+    fn digest_period_ps(&self, _cycle: u64, _digest_cycle: &DigestCycle) -> Ps {
         self.period_ps
     }
 }
@@ -114,6 +127,10 @@ impl ClockPolicy for InstructionBased {
         }
         self.lut.period_for(&classes)
     }
+
+    fn digest_period_ps(&self, _cycle: u64, digest_cycle: &DigestCycle) -> Ps {
+        self.lut.period_for(&digest_cycle.classes)
+    }
 }
 
 /// The simplified controller discussed in §IV-A of the paper: because the
@@ -159,6 +176,11 @@ impl ClockPolicy for ExecuteOnly {
         let class = record.timing_class(Stage::Execute);
         self.lut.delay_ps(Stage::Execute, class).max(self.guard_ps)
     }
+
+    fn digest_period_ps(&self, _cycle: u64, digest_cycle: &DigestCycle) -> Ps {
+        let class = digest_cycle.classes[Stage::Execute.index()];
+        self.lut.delay_ps(Stage::Execute, class).max(self.guard_ps)
+    }
 }
 
 /// Genie-aided clock adjustment: the clock period of every cycle equals the
@@ -186,6 +208,12 @@ impl ClockPolicy for GenieOracle {
 
     fn period_ps(&self, record: &CycleRecord) -> Ps {
         self.model.cycle_timing(record).max_delay_ps
+    }
+
+    fn digest_period_ps(&self, cycle: u64, digest_cycle: &DigestCycle) -> Ps {
+        self.model
+            .digest_cycle_timing(cycle, digest_cycle)
+            .max_delay_ps
     }
 }
 

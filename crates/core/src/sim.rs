@@ -14,8 +14,10 @@
 //! [`PipelineTrace`] through the same accumulation.
 
 use crate::{ClockGenerator, ClockPolicy};
-use idca_pipeline::{CycleObserver, CycleRecord, PipelineTrace, RunSummary};
-use idca_timing::{ActivityObserver, ActivitySummary, Ps, TimingModel};
+use idca_pipeline::{
+    CycleObserver, CycleRecord, DigestCycle, PipelineTrace, RunSummary, TimingDigest,
+};
+use idca_timing::{ActivityObserver, ActivitySummary, CycleTiming, Ps, TimingModel};
 use serde::{Deserialize, Serialize};
 
 /// Result of replaying one trace under one clocking policy.
@@ -115,19 +117,52 @@ impl<'a> PolicyObserver<'a> {
         self.outcome
             .expect("simulation must complete (finish) before taking the outcome")
     }
-}
 
-impl CycleObserver for PolicyObserver<'_> {
-    fn observe_cycle(&mut self, record: &CycleRecord) {
-        let requested = self.policy.period_ps(record);
+    /// Evaluates one *digested* cycle — the replay counterpart of
+    /// [`CycleObserver::observe_cycle`]: the policy decides from the
+    /// digest's classes, the violation check compares against the digest
+    /// replay of the model's dynamic delays, and the activity statistics
+    /// fold the digest's occupancy bits. Bit-identical to observing the
+    /// originating [`CycleRecord`].
+    pub fn observe_digest(&mut self, cycle: u64, digest_cycle: &DigestCycle) {
+        let timing = self.model.digest_cycle_timing(cycle, digest_cycle);
+        self.observe_digest_timed(cycle, digest_cycle, &timing);
+    }
+
+    /// [`PolicyObserver::observe_digest`] with the cycle's [`CycleTiming`]
+    /// already evaluated, so several observers riding the same replay (the
+    /// PVT sweep folds four policies per digest) share one model
+    /// evaluation per cycle.
+    pub fn observe_digest_timed(
+        &mut self,
+        cycle: u64,
+        digest_cycle: &DigestCycle,
+        timing: &CycleTiming,
+    ) {
+        let requested = self.policy.digest_period_ps(cycle, digest_cycle);
+        self.step(requested, timing.max_delay_ps);
+        self.activity.observe_digest(digest_cycle);
+    }
+
+    /// The per-cycle accumulation shared by the live and the replay paths:
+    /// realize the requested period, check the violation invariant against
+    /// the actual dynamic delay, accumulate the realized time.
+    fn step(&mut self, requested: Ps, actual: Ps) {
         let realized = self.generator.realize(requested);
-        let actual = self.model.cycle_timing(record).max_delay_ps;
         if realized + 1e-9 < actual {
             self.violations += 1;
         }
         self.total_time_ps += realized;
         self.min_period_ps = self.min_period_ps.min(realized);
         self.max_period_ps = self.max_period_ps.max(realized);
+    }
+}
+
+impl CycleObserver for PolicyObserver<'_> {
+    fn observe_cycle(&mut self, record: &CycleRecord) {
+        let requested = self.policy.period_ps(record);
+        let actual = self.model.cycle_timing(record).max_delay_ps;
+        self.step(requested, actual);
         self.activity.observe_cycle(record);
     }
 
@@ -190,6 +225,26 @@ pub fn run_with_policy(
         cycles: trace.cycle_count(),
         retired: trace.retired(),
     });
+    observer.into_outcome()
+}
+
+/// Replays a [`TimingDigest`] under `policy` — the simulate-once /
+/// evaluate-many entry point: one digested simulation can be evaluated
+/// against any number of (e.g. PVT-varied) timing models without a
+/// simulator in the loop. Drives the same accumulation as
+/// [`PolicyObserver`] on the live pass, so the outcome — violations,
+/// realized periods, effective frequency, activity — is bit-identical to
+/// [`run_with_policy`] on the originating execution.
+#[must_use]
+pub fn replay_digest(
+    model: &TimingModel,
+    digest: &TimingDigest,
+    policy: &dyn ClockPolicy,
+    generator: &ClockGenerator,
+) -> RunOutcome {
+    let mut observer = PolicyObserver::new(model, policy, generator);
+    digest.for_each_cycle(|cycle, dc| observer.observe_digest(cycle, dc));
+    observer.finish(&digest.summary());
     observer.into_outcome()
 }
 

@@ -1,0 +1,452 @@
+//! The timing digest: a compact, replayable per-cycle view of one execution.
+//!
+//! A Monte Carlo PVT sweep evaluates the *same* program against many
+//! corner-varied timing models. Architectural execution is identical across
+//! corners, so re-running the full pipeline simulation per corner wastes
+//! almost all of its work: the timing analyses only ever consume
+//!
+//! * the instruction **class** occupying each stage,
+//! * the data-dependent **path excitation** of each stage (a normalized
+//!   `[0, 1]` descriptor derived from operand activity — carry chains,
+//!   multiplier widths, popcounts, forwarding, redirects),
+//! * the fetch address (salt of the per-cycle residual-variation dither),
+//! * and a handful of **activity bits** (execute occupancy, memory access,
+//!   multiplier use, branches, forwarding, stalls) for the power model.
+//!
+//! [`DigestCycle`] records exactly that, [`DigestObserver`] captures it in
+//! the same streaming pass as every other [`CycleObserver`], and
+//! [`TimingDigest`] stores the cycle stream deduplicated (a pool of unique
+//! cycles) and run-length encoded, so loop-heavy kernels with value-stable
+//! activity compress toward their basic-block count. The timing and core
+//! crates provide `replay_digest` entry points that fold a digest against
+//! any [`idca_timing`-style] model and reproduce the direct simulation's
+//! results **bit-identically** — turning an `N×M` sweep into `N` simulation
+//! passes plus `N×M` cheap digest folds.
+//!
+//! [`idca_timing`-style]: crate::CycleRecord
+//!
+//! # Excitation coefficients
+//!
+//! The downstream timing model blends every stage's raw excitation with a
+//! per-cycle pseudo-random dither derived from `(cycle, stage,
+//! fetch_address)`. All raw excitations are *affine* in that dither, so a
+//! [`StageExcitation`] stores the two coefficients `(base, dither_gain)`
+//! instead of a value: the replay recomputes `base + dither_gain × dither`
+//! with the exact arithmetic of the direct path, which is what makes the
+//! replay bit-identical while keeping [`DigestCycle`] independent of the
+//! cycle index (a prerequisite for run-length encoding).
+
+use crate::{CycleObserver, CycleRecord, CycleRecordFlags, Occupant, RunSummary, Stage};
+use idca_isa::TimingClass;
+use std::collections::HashMap;
+
+/// Data-dependent path excitation of one stage in one cycle, expressed as
+/// coefficients of the per-cycle dither: `raw = base + dither_gain × dither`
+/// with `dither ∈ [0, 1]`.
+///
+/// This is the single source of truth for the activity → excitation mapping
+/// (the paper's "which paths does this operand pattern toggle" question);
+/// the timing model evaluates it for the direct simulation path and the
+/// digest replay alike.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageExcitation {
+    /// Dither-independent part of the raw excitation.
+    pub base: f64,
+    /// Sensitivity of the raw excitation to the per-cycle dither.
+    pub dither_gain: f64,
+}
+
+impl StageExcitation {
+    /// Computes the excitation coefficients of `stage` from a cycle record.
+    #[must_use]
+    pub fn of_record(record: &CycleRecord, stage: Stage) -> StageExcitation {
+        let class = record.timing_class(stage);
+        let (base, dither_gain) = match stage {
+            Stage::Address => {
+                if record.fetch_redirected && is_control_class(class) {
+                    // Branch-target adder + PC mux + instruction-memory
+                    // address setup: the long address-stage path.
+                    (0.70, 0.30)
+                } else {
+                    (0.30, 0.40)
+                }
+            }
+            Stage::Fetch => match record.occupant(stage) {
+                Occupant::Insn { insn, .. } => (0.25 + 0.75 * popcount_frac(insn.encode()), 0.0),
+                Occupant::Bubble(_) => (0.35, 0.0),
+            },
+            Stage::Decode => match record.occupant(stage) {
+                Occupant::Insn { insn, .. } => {
+                    let mut e = 0.35;
+                    if insn.opcode().reads_ra() {
+                        e += 0.18;
+                    }
+                    if insn.opcode().reads_rb() {
+                        e += 0.18;
+                    }
+                    if insn.imm().is_some() {
+                        e += 0.12;
+                    }
+                    (e, 0.12)
+                }
+                Occupant::Bubble(_) => (0.35, 0.0),
+            },
+            Stage::Execute => (execute_excitation(record, class), 0.0),
+            Stage::Control => match class {
+                TimingClass::Load => (
+                    0.30 + 0.70 * popcount_frac(record.mem_return.unwrap_or(0)),
+                    0.0,
+                ),
+                TimingClass::Store => (0.35, 0.45),
+                TimingClass::Mul => (0.45, 0.35),
+                TimingClass::Bubble => (0.35, 0.0),
+                _ => (0.35, 0.35),
+            },
+            Stage::Writeback => match &record.writeback {
+                Some(wb) => (0.25 + 0.75 * popcount_frac(wb.value), 0.0),
+                None => (0.35, 0.0),
+            },
+        };
+        StageExcitation { base, dither_gain }
+    }
+
+    /// The raw (pre-blend) excitation at a given dither value. Evaluated
+    /// with the same `base + gain × dither` expression for the direct and
+    /// the replay path, so both produce bit-identical delays.
+    #[must_use]
+    pub fn raw(&self, dither: f64) -> f64 {
+        self.base + self.dither_gain * dither
+    }
+}
+
+fn is_control_class(class: TimingClass) -> bool {
+    matches!(
+        class,
+        TimingClass::Jump | TimingClass::JumpReg | TimingClass::BranchCond
+    )
+}
+
+fn popcount_frac(value: u32) -> f64 {
+    f64::from(value.count_ones()) / 32.0
+}
+
+fn execute_excitation(record: &CycleRecord, class: TimingClass) -> f64 {
+    let Some(exec) = &record.exec else {
+        return 0.40;
+    };
+    let mut e = match class {
+        TimingClass::Add | TimingClass::SetFlag => f64::from(exec.carry_chain) / 32.0,
+        TimingClass::Mul => f64::from(exec.mul_bits) / 32.0,
+        TimingClass::Shift => f64::from(exec.shift_amount) / 31.0,
+        TimingClass::And | TimingClass::Or | TimingClass::Xor | TimingClass::Move => {
+            popcount_frac(exec.op_a ^ exec.op_b)
+        }
+        TimingClass::Load | TimingClass::Store => {
+            // The LSU path (address adder → SRAM address/write pins) is
+            // driven by the address-generation carry chain and by how
+            // many address bits toggle at the macro inputs; the address
+            // space is 16 bits wide, so toggling is normalized to it.
+            let addr = exec.mem_request.map_or(0, |m| m.address);
+            let addr_toggle = f64::from((addr & 0xFFFF).count_ones()) / 16.0;
+            let drive = (f64::from(exec.carry_chain) / 32.0).max(addr_toggle);
+            0.45 + 0.55 * drive
+        }
+        TimingClass::BranchCond => {
+            if exec.branch.is_some_and(|b| b.taken) {
+                0.85
+            } else {
+                0.45
+            }
+        }
+        TimingClass::Jump => 0.55,
+        TimingClass::JumpReg => popcount_frac(exec.result).max(0.5),
+        TimingClass::Nop => 0.30,
+        TimingClass::Bubble => 0.40,
+    };
+    if exec.forward_a.is_some() || exec.forward_b.is_some() {
+        // The forwarding multiplexers lengthen the operand path.
+        e = (e + 0.12).min(1.0);
+    }
+    e
+}
+
+/// The timing-relevant content of one simulated cycle: per-stage instruction
+/// classes and excitation coefficients, the fetch address (dither salt) and
+/// the activity bits consumed by the power model. Deliberately free of the
+/// cycle index, so identical pipeline situations produce identical digest
+/// cycles regardless of when they occur.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DigestCycle {
+    /// Timing class occupying each stage (indexed by [`Stage::index`]).
+    pub classes: [TimingClass; Stage::COUNT],
+    /// Excitation coefficients of each stage (indexed by [`Stage::index`]).
+    pub excitation: [StageExcitation; Stage::COUNT],
+    /// Instruction-memory address presented this cycle (dither salt).
+    pub fetch_address: u32,
+    /// Activity bits ([`CycleRecordFlags`]) for occupancy/power accounting.
+    pub flags: CycleRecordFlags,
+}
+
+impl DigestCycle {
+    /// Extracts the digest of one cycle record.
+    #[must_use]
+    pub fn of_record(record: &CycleRecord) -> DigestCycle {
+        let mut classes = [TimingClass::Bubble; Stage::COUNT];
+        let mut excitation = [StageExcitation {
+            base: 0.0,
+            dither_gain: 0.0,
+        }; Stage::COUNT];
+        for stage in Stage::ALL {
+            classes[stage.index()] = record.timing_class(stage);
+            excitation[stage.index()] = StageExcitation::of_record(record, stage);
+        }
+        DigestCycle {
+            classes,
+            excitation,
+            fetch_address: record.fetch_address,
+            flags: CycleRecordFlags::of_record(record),
+        }
+    }
+
+    /// Bit-exact dedup key (f64 coefficients compared by bit pattern).
+    fn key(&self) -> DigestKey {
+        let mut bits = [0u64; 2 * Stage::COUNT];
+        let mut classes = [0u8; Stage::COUNT];
+        for i in 0..Stage::COUNT {
+            bits[2 * i] = self.excitation[i].base.to_bits();
+            bits[2 * i + 1] = self.excitation[i].dither_gain.to_bits();
+            classes[i] = self.classes[i].index() as u8;
+        }
+        DigestKey {
+            classes,
+            bits,
+            fetch_address: self.fetch_address,
+            flags: self.flags.bits(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct DigestKey {
+    classes: [u8; Stage::COUNT],
+    bits: [u64; 2 * Stage::COUNT],
+    fetch_address: u32,
+    flags: u8,
+}
+
+/// One run of identical consecutive digest cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct DigestRun {
+    /// Index into the unique-cycle pool.
+    cycle_id: u32,
+    /// Number of consecutive occurrences.
+    len: u32,
+}
+
+/// A complete, replayable timing digest of one program execution: the
+/// deduplicated pool of unique [`DigestCycle`]s plus the run-length-encoded
+/// cycle stream and the run totals.
+///
+/// Produced by [`DigestObserver`] (streaming) or
+/// [`TimingDigest::from_trace`] (from a materialized trace). Consumed by the
+/// `replay_digest` entry points of `idca-timing` and `idca-core`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TimingDigest {
+    pool: Vec<DigestCycle>,
+    runs: Vec<DigestRun>,
+    cycles: u64,
+    retired: u64,
+}
+
+impl TimingDigest {
+    /// Digests a materialized pipeline trace (test/offline convenience; the
+    /// hot path streams through [`DigestObserver`] instead).
+    #[must_use]
+    pub fn from_trace(trace: &crate::PipelineTrace) -> TimingDigest {
+        let mut observer = DigestObserver::new();
+        for record in trace.cycles() {
+            observer.observe_cycle(record);
+        }
+        observer.finish(&RunSummary {
+            cycles: trace.cycle_count(),
+            retired: trace.retired(),
+        });
+        observer.into_digest()
+    }
+
+    /// Number of simulated cycles the digest represents.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Architecturally retired instructions of the digested run.
+    #[must_use]
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// The run totals, as every observer's `finish` received them.
+    #[must_use]
+    pub fn summary(&self) -> RunSummary {
+        RunSummary {
+            cycles: self.cycles,
+            retired: self.retired,
+        }
+    }
+
+    /// Number of *unique* cycles in the pool (the digest's working set).
+    #[must_use]
+    pub fn unique_cycles(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Number of RLE runs in the encoded stream.
+    #[must_use]
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Expands the encoded stream, invoking `f` once per simulated cycle in
+    /// execution order with the cycle index and the digest record. This is
+    /// the replay driver: cycle indices are reconstructed from stream
+    /// position, exactly as the simulator numbered them.
+    pub fn for_each_cycle<F: FnMut(u64, &DigestCycle)>(&self, mut f: F) {
+        let mut cycle: u64 = 0;
+        for run in &self.runs {
+            let dc = &self.pool[run.cycle_id as usize];
+            for _ in 0..run.len {
+                f(cycle, dc);
+                cycle += 1;
+            }
+        }
+    }
+}
+
+/// Streaming digest capture: a [`CycleObserver`] that folds every
+/// [`CycleRecord`] into a [`TimingDigest`] as the simulator produces it —
+/// phase 1 of the simulate-once / evaluate-many sweep.
+#[derive(Debug, Default)]
+pub struct DigestObserver {
+    digest: TimingDigest,
+    index: HashMap<DigestKey, u32>,
+    last_key: Option<DigestKey>,
+}
+
+impl DigestObserver {
+    /// Creates an empty digest observer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the observer and returns the finished digest.
+    #[must_use]
+    pub fn into_digest(self) -> TimingDigest {
+        self.digest
+    }
+
+    fn push(&mut self, dc: DigestCycle) {
+        let key = dc.key();
+        self.digest.cycles += 1;
+        if self.last_key == Some(key) {
+            if let Some(run) = self.digest.runs.last_mut() {
+                run.len += 1;
+                return;
+            }
+        }
+        let next_id = self.digest.pool.len() as u32;
+        let id = *self.index.entry(key).or_insert(next_id);
+        if id == next_id {
+            self.digest.pool.push(dc);
+        }
+        self.digest.runs.push(DigestRun {
+            cycle_id: id,
+            len: 1,
+        });
+        self.last_key = Some(key);
+    }
+}
+
+impl CycleObserver for DigestObserver {
+    fn observe_cycle(&mut self, record: &CycleRecord) {
+        self.push(DigestCycle::of_record(record));
+    }
+
+    fn finish(&mut self, summary: &RunSummary) {
+        self.digest.retired = summary.retired;
+        debug_assert_eq!(self.digest.cycles, summary.cycles);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SimConfig, Simulator};
+    use idca_isa::asm::Assembler;
+
+    fn trace(src: &str) -> crate::PipelineTrace {
+        let program = Assembler::new().assemble(src).expect("assembles");
+        Simulator::new(SimConfig::default())
+            .run(&program)
+            .expect("runs")
+            .trace
+    }
+
+    #[test]
+    fn digest_round_trips_the_cycle_stream() {
+        let t = trace(
+            "        l.addi r3, r0, 40
+             loop:   l.addi r3, r3, -1
+                     l.sfne r3, r0
+                     l.bf   loop
+                     l.nop  0
+                     l.nop  1",
+        );
+        let digest = TimingDigest::from_trace(&t);
+        assert_eq!(digest.cycles(), t.cycle_count());
+        assert_eq!(digest.retired(), t.retired());
+        // Expansion reproduces, per cycle, exactly the digest of the
+        // original record (RLE + pooling are lossless).
+        let mut expanded = Vec::new();
+        digest.for_each_cycle(|cycle, dc| expanded.push((cycle, *dc)));
+        assert_eq!(expanded.len() as u64, t.cycle_count());
+        for (record, (cycle, dc)) in t.cycles().iter().zip(&expanded) {
+            assert_eq!(record.cycle, *cycle);
+            assert_eq!(DigestCycle::of_record(record), *dc);
+        }
+    }
+
+    #[test]
+    fn value_stable_loops_compress_below_their_cycle_count() {
+        // A loop whose per-iteration operand activity repeats (a countdown
+        // re-excites mostly the same classes) must dedupe below 1:1; the
+        // drain/reset bubbles at both ends also coalesce into runs.
+        let t = trace(
+            "        l.addi r3, r0, 200
+             loop:   l.addi r3, r3, -1
+                     l.sfne r3, r0
+                     l.bf   loop
+                     l.nop  0
+                     l.nop  1",
+        );
+        let digest = TimingDigest::from_trace(&t);
+        assert!(digest.cycles() > 200);
+        assert!(
+            (digest.unique_cycles() as u64) < digest.cycles(),
+            "pool {} should undercut {} cycles",
+            digest.unique_cycles(),
+            digest.cycles()
+        );
+    }
+
+    #[test]
+    fn empty_digest_is_well_formed() {
+        let digest = TimingDigest::default();
+        assert_eq!(digest.cycles(), 0);
+        assert_eq!(digest.unique_cycles(), 0);
+        let mut called = false;
+        digest.for_each_cycle(|_, _| called = true);
+        assert!(!called);
+    }
+}

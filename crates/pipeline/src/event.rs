@@ -182,6 +182,73 @@ impl CycleRecord {
     }
 }
 
+/// The boolean activity facts of one cycle, packed into a byte — everything
+/// the occupancy/power statistics ([`crate::TraceStats`]) need beyond the
+/// per-stage timing classes. Part of the timing digest
+/// ([`crate::DigestCycle`]), so digest replay reproduces the same activity
+/// accounting as the direct simulation pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct CycleRecordFlags(u8);
+
+impl CycleRecordFlags {
+    /// The execute stage holds a real instruction.
+    pub const EXECUTE_INSN: u8 = 1 << 0;
+    /// A data-memory request was issued this cycle.
+    pub const MEM_ACCESS: u8 = 1 << 1;
+    /// The shielded multiplier was active this cycle.
+    pub const MUL_ACTIVE: u8 = 1 << 2;
+    /// A branch/jump resolved this cycle.
+    pub const BRANCH: u8 = 1 << 3;
+    /// The resolved branch/jump was taken.
+    pub const BRANCH_TAKEN: u8 = 1 << 4;
+    /// At least one execute operand was forwarded.
+    pub const FORWARDED: u8 = 1 << 5;
+    /// The pipeline was stalled this cycle.
+    pub const STALLED: u8 = 1 << 6;
+
+    /// Extracts the flags of one cycle record.
+    #[must_use]
+    pub fn of_record(record: &CycleRecord) -> CycleRecordFlags {
+        let mut bits = 0u8;
+        if record.occupant(Stage::Execute).is_insn() {
+            bits |= Self::EXECUTE_INSN;
+        }
+        if let Some(exec) = &record.exec {
+            if exec.mem_request.is_some() {
+                bits |= Self::MEM_ACCESS;
+            }
+            if exec.mul_active {
+                bits |= Self::MUL_ACTIVE;
+            }
+            if let Some(branch) = &exec.branch {
+                bits |= Self::BRANCH;
+                if branch.taken {
+                    bits |= Self::BRANCH_TAKEN;
+                }
+            }
+            if exec.forward_a.is_some() || exec.forward_b.is_some() {
+                bits |= Self::FORWARDED;
+            }
+        }
+        if record.stalled {
+            bits |= Self::STALLED;
+        }
+        CycleRecordFlags(bits)
+    }
+
+    /// The raw bit pattern.
+    #[must_use]
+    pub fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Tests one of the flag constants.
+    #[must_use]
+    pub fn contains(self, flag: u8) -> bool {
+        self.0 & flag != 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

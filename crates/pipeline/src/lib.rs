@@ -50,6 +50,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod digest;
 mod error;
 mod event;
 mod interp;
@@ -60,16 +61,17 @@ mod simulator;
 mod stage;
 mod trace;
 
+pub use digest::{DigestCycle, DigestObserver, StageExcitation, TimingDigest};
 pub use error::PipelineError;
 pub use event::{
-    BranchActivity, BubbleKind, CycleRecord, ExecActivity, ForwardSource, MemRequest, Occupant,
-    WbActivity,
+    BranchActivity, BubbleKind, CycleRecord, CycleRecordFlags, ExecActivity, ForwardSource,
+    MemRequest, Occupant, WbActivity,
 };
 pub use interp::{Interpreter, InterpreterResult};
 pub use memory::Memory;
 pub use observer::{CycleObserver, RunSummary, TakeObserver};
 pub use regfile::RegisterFile;
-pub use simulator::{ArchState, ObservedRun, SimConfig, SimResult, Simulator};
+pub use simulator::{ArchState, ObservedRun, SimBuffers, SimConfig, SimResult, Simulator};
 pub use stage::Stage;
 pub use trace::{class_at, occupant_at, PipelineTrace, TraceStats};
 

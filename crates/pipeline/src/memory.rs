@@ -27,6 +27,19 @@ impl Memory {
         self.bytes.len() as u32
     }
 
+    /// Clears the memory back to all-zeroes, resizing to `size` bytes if the
+    /// current capacity differs. Lets a long-running worker reuse one
+    /// allocation across many simulations instead of constructing a fresh
+    /// image per run.
+    pub fn reset(&mut self, size: usize) {
+        if self.bytes.len() == size {
+            self.bytes.fill(0);
+        } else {
+            self.bytes.clear();
+            self.bytes.resize(size, 0);
+        }
+    }
+
     fn check(&self, address: u32, width: u32) -> Result<usize, PipelineError> {
         if !address.is_multiple_of(width) {
             return Err(PipelineError::UnalignedAccess { address, width });

@@ -20,6 +20,11 @@ impl RegisterFile {
         }
     }
 
+    /// Clears every register back to zero (reset state), in place.
+    pub fn clear(&mut self) {
+        self.regs = [0; NUM_GPRS];
+    }
+
     /// Reads a register (`r0` always reads zero).
     #[must_use]
     pub fn read(&self, reg: Reg) -> u32 {

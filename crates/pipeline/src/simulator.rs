@@ -86,6 +86,73 @@ pub struct ObservedRun {
     pub summary: RunSummary,
 }
 
+/// Reusable per-worker simulation state: the register file and the data
+/// memory image. Constructing these — in particular the 64 KiB memory —
+/// from scratch for every simulated program is pure allocation churn on
+/// sweep workers; a worker allocates one `SimBuffers` and passes it to
+/// [`Simulator::run_observed_with_buffers`] for every job instead.
+#[derive(Debug, Clone)]
+pub struct SimBuffers {
+    regs: RegisterFile,
+    memory: Memory,
+    flag: bool,
+    carry: bool,
+}
+
+impl SimBuffers {
+    /// Creates buffers sized for `config`'s data memory.
+    #[must_use]
+    pub fn for_config(config: &SimConfig) -> Self {
+        SimBuffers {
+            regs: RegisterFile::new(),
+            memory: Memory::new(config.data_memory_size),
+            flag: false,
+            carry: false,
+        }
+    }
+
+    /// Resets the buffers to the architectural reset state (all registers
+    /// and memory zero), resizing the memory if `config` changed.
+    fn reset_for(&mut self, config: &SimConfig) {
+        self.regs.clear();
+        self.memory.reset(config.data_memory_size);
+        self.flag = false;
+        self.carry = false;
+    }
+
+    /// The register file after the most recent **successful** run. After an
+    /// erroring run the buffers hold the partially-executed state (see
+    /// [`SimBuffers::flag`]).
+    #[must_use]
+    pub fn regs(&self) -> &RegisterFile {
+        &self.regs
+    }
+
+    /// The data memory after the most recent **successful** run (partial
+    /// state after an error, see [`SimBuffers::flag`]).
+    #[must_use]
+    pub fn memory(&self) -> &Memory {
+        &self.memory
+    }
+
+    /// The compare flag after the most recent **successful** run. When
+    /// [`Simulator::run_observed_with_buffers`] returns an error the
+    /// accessors are not a consistent architectural snapshot: registers and
+    /// memory reflect the partial execution while the flags stay at their
+    /// reset values.
+    #[must_use]
+    pub fn flag(&self) -> bool {
+        self.flag
+    }
+
+    /// The carry flag after the most recent **successful** run (see
+    /// [`SimBuffers::flag`] for the error-path caveat).
+    #[must_use]
+    pub fn carry(&self) -> bool {
+        self.carry
+    }
+}
+
 /// The cycle-accurate pipeline simulator.
 ///
 /// See the crate-level documentation for an end-to-end example.
@@ -207,8 +274,51 @@ impl Simulator {
         program: &Program,
         observers: &mut [&mut dyn CycleObserver],
     ) -> Result<ObservedRun, PipelineError> {
-        let mut regs = RegisterFile::new();
-        let mut memory = Memory::new(self.config.data_memory_size);
+        let mut buffers = SimBuffers::for_config(&self.config);
+        let summary = self.run_core(program, observers, &mut buffers)?;
+        Ok(ObservedRun {
+            state: ArchState {
+                regs: buffers.regs,
+                memory: buffers.memory,
+                flag: buffers.flag,
+                carry: buffers.carry,
+            },
+            summary,
+        })
+    }
+
+    /// [`Simulator::run_observed`] with caller-owned scratch state: the
+    /// register file and memory image in `buffers` are reset and reused
+    /// instead of being allocated per run, which removes the dominant
+    /// allocation churn from workers that simulate many programs (e.g. the
+    /// PVT-sweep digest phase). The final architectural state stays
+    /// readable through the [`SimBuffers`] accessors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError`] for invalid memory accesses or when
+    /// [`SimConfig::max_cycles`] is exceeded, like [`Simulator::run_observed`].
+    pub fn run_observed_with_buffers(
+        &self,
+        program: &Program,
+        observers: &mut [&mut dyn CycleObserver],
+        buffers: &mut SimBuffers,
+    ) -> Result<RunSummary, PipelineError> {
+        buffers.reset_for(&self.config);
+        self.run_core(program, observers, buffers)
+    }
+
+    /// The simulation loop shared by [`Simulator::run_observed`] and
+    /// [`Simulator::run_observed_with_buffers`]. Expects `buffers` in the
+    /// architectural reset state.
+    fn run_core(
+        &self,
+        program: &Program,
+        observers: &mut [&mut dyn CycleObserver],
+        buffers: &mut SimBuffers,
+    ) -> Result<RunSummary, PipelineError> {
+        let regs = &mut buffers.regs;
+        let memory = &mut buffers.memory;
         memory.load_image(program.data())?;
         let mut flag = false;
         let mut carry = false;
@@ -261,10 +371,10 @@ impl Simulator {
             if let Slot::Insn(entry) = &mut ctrl_entry {
                 match entry.mem {
                     Some(MemOp::Store { address, value }) => {
-                        store(&mut memory, entry.insn.opcode(), address, value)?;
+                        store(memory, entry.insn.opcode(), address, value)?;
                     }
                     Some(MemOp::Load { address }) => {
-                        let value = load(&memory, entry.insn.opcode(), address)?;
+                        let value = load(memory, entry.insn.opcode(), address)?;
                         entry.value = value;
                         mem_return = Some(value);
                     }
@@ -288,8 +398,8 @@ impl Simulator {
                         exit_seq = Some(fetched.seq);
                     }
 
-                    let (a, fwd_a) = resolve_operand(insn.ra(), &ctrl_entry, &wb, &regs);
-                    let (rb_value, fwd_b) = resolve_operand(insn.rb(), &ctrl_entry, &wb, &regs);
+                    let (a, fwd_a) = resolve_operand(insn.ra(), &ctrl_entry, &wb, regs);
+                    let (rb_value, fwd_b) = resolve_operand(insn.rb(), &ctrl_entry, &wb, regs);
                     let b = alu::operand_b(&insn, rb_value);
                     let outcome = alu::execute(&insn, a, b, flag, carry);
 
@@ -546,15 +656,9 @@ impl Simulator {
         for observer in observers.iter_mut() {
             observer.finish(&summary);
         }
-        Ok(ObservedRun {
-            state: ArchState {
-                regs,
-                memory,
-                flag,
-                carry,
-            },
-            summary,
-        })
+        buffers.flag = flag;
+        buffers.carry = carry;
+        Ok(summary)
     }
 }
 

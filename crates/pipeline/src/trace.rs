@@ -151,6 +151,40 @@ impl TraceStats {
         }
     }
 
+    /// Accumulates one digest cycle into the statistics — the digest-replay
+    /// counterpart of [`TraceStats::observe`]. Both paths count from the
+    /// same facts (the digest's classes and activity flags are extracted
+    /// from the records this method's sibling consumes), so a replayed
+    /// digest yields the identical statistics.
+    pub fn observe_digest(&mut self, digest_cycle: &crate::DigestCycle) {
+        use crate::CycleRecordFlags as F;
+        self.cycles += 1;
+        let class = digest_cycle.classes[Stage::Execute.index()];
+        self.execute_class_counts[class.index()] += 1;
+        let flags = digest_cycle.flags;
+        if !flags.contains(F::EXECUTE_INSN) {
+            self.execute_bubbles += 1;
+        }
+        if flags.contains(F::MEM_ACCESS) {
+            self.memory_accesses += 1;
+        }
+        if flags.contains(F::BRANCH) {
+            self.branches += 1;
+            if flags.contains(F::BRANCH_TAKEN) {
+                self.taken_branches += 1;
+            }
+        }
+        if flags.contains(F::MUL_ACTIVE) {
+            self.multiplications += 1;
+        }
+        if flags.contains(F::FORWARDED) {
+            self.forwarded_cycles += 1;
+        }
+        if flags.contains(F::STALLED) {
+            self.stall_cycles += 1;
+        }
+    }
+
     /// Number of execute-stage cycles occupied by a given timing class.
     #[must_use]
     pub fn class_count(&self, class: TimingClass) -> u64 {

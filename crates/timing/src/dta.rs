@@ -21,7 +21,7 @@
 
 use crate::{EventLog, Histogram, Ps, TimingModel};
 use idca_isa::TimingClass;
-use idca_pipeline::{CycleObserver, CycleRecord, PipelineTrace, Stage};
+use idca_pipeline::{CycleObserver, CycleRecord, PipelineTrace, Stage, TimingDigest};
 use serde::{Deserialize, Serialize};
 
 /// Result of a dynamic timing analysis over one execution trace.
@@ -91,6 +91,22 @@ impl DynamicTimingAnalysis {
         for record in trace.cycles() {
             dta.observe(model, record);
         }
+        dta
+    }
+
+    /// Replays a [`TimingDigest`] against `model` — the simulate-once /
+    /// evaluate-many entry point. The digest carries the per-stage classes
+    /// and excitation coefficients of every cycle, so the analysis is
+    /// bit-identical to [`DynamicTimingAnalysis::run`] on the originating
+    /// execution while skipping the pipeline simulation entirely (one
+    /// digested run can be characterized against any number of models).
+    #[must_use]
+    pub fn replay_digest(model: &TimingModel, digest: &TimingDigest) -> Self {
+        let mut dta = Self::empty(model.static_period_ps());
+        digest.for_each_cycle(|cycle, dc| {
+            let timing = model.digest_cycle_timing(cycle, dc);
+            dta.accumulate_cycle(&timing.stage_delay_ps, &dc.classes);
+        });
         dta
     }
 

@@ -15,7 +15,9 @@ use crate::{
     ProfileKind, Ps, TimingProfile,
 };
 use idca_isa::TimingClass;
-use idca_pipeline::{CycleObserver, CycleRecord, Occupant, PipelineTrace, Stage};
+use idca_pipeline::{
+    CycleObserver, CycleRecord, DigestCycle, PipelineTrace, Stage, StageExcitation,
+};
 
 /// The dynamic delay of every pipeline stage in one cycle.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -152,113 +154,58 @@ impl TimingModel {
     #[must_use]
     pub fn stage_delay_ps(&self, record: &CycleRecord, stage: Stage) -> Ps {
         let class = record.timing_class(stage);
+        let dither = stage_dither(record.cycle, stage, record.fetch_address);
+        let excitation = blend_excitation(
+            StageExcitation::of_record(record, stage).raw(dither),
+            dither,
+        );
+        self.delay_from_excitation(stage, class, excitation)
+    }
+
+    /// Dynamic delay of one stage of a digested cycle — the replay
+    /// counterpart of [`TimingModel::stage_delay_ps`]. The digest carries
+    /// the same excitation coefficients the direct path derives from the
+    /// live [`CycleRecord`], and the dither is recomputed from the same
+    /// `(cycle, stage, fetch_address)` salt, so both paths evaluate the
+    /// identical arithmetic and produce bit-identical delays.
+    #[must_use]
+    pub fn digest_stage_delay_ps(&self, cycle: u64, digest: &DigestCycle, stage: Stage) -> Ps {
+        let class = digest.classes[stage.index()];
+        let dither = stage_dither(cycle, stage, digest.fetch_address);
+        let excitation = blend_excitation(digest.excitation[stage.index()].raw(dither), dither);
+        self.delay_from_excitation(stage, class, excitation)
+    }
+
+    /// Evaluates the dynamic delay of every stage of a digested cycle — the
+    /// replay counterpart of [`TimingModel::cycle_timing`], bit-identical by
+    /// construction (see [`TimingModel::digest_stage_delay_ps`]).
+    #[must_use]
+    pub fn digest_cycle_timing(&self, cycle: u64, digest: &DigestCycle) -> CycleTiming {
+        let mut delays = [0.0; Stage::COUNT];
+        let mut max_delay = 0.0;
+        let mut limiting = Stage::Execute;
+        for stage in Stage::ALL {
+            let delay = self.digest_stage_delay_ps(cycle, digest, stage);
+            delays[stage.index()] = delay;
+            if delay > max_delay {
+                max_delay = delay;
+                limiting = stage;
+            }
+        }
+        CycleTiming {
+            stage_delay_ps: delays,
+            max_delay_ps: max_delay,
+            limiting_stage: limiting,
+        }
+    }
+
+    /// The delay of `(stage, class)` at a given blended excitation — the
+    /// single evaluation shared by the direct and the digest-replay paths.
+    fn delay_from_excitation(&self, stage: Stage, class: TimingClass, excitation: f64) -> Ps {
         let base = self.profile.worst_case(stage, class);
         let spread = self.profile.spread(stage, class);
-        let excitation = self.excitation(record, stage, class);
         let delay = base - spread * (1.0 - excitation);
         delay.max(base * 0.35) * self.point.delay_scale
-    }
-
-    /// Data-dependent excitation in `[0, 1]`: 1 excites the worst-case path
-    /// of the `(stage, class)` group, 0 the shortest relevant path.
-    fn excitation(&self, record: &CycleRecord, stage: Stage, class: TimingClass) -> f64 {
-        // The residual-variation dither is quantized to eight levels so that
-        // its supremum is actually *attained* after a modest number of
-        // observations — a characterization run therefore sees the same
-        // worst case that any longer benchmark run can produce.
-        let dither = quantize_dither(hash01(
-            record.cycle,
-            stage.index() as u64,
-            record.fetch_address.into(),
-        ));
-        let raw = match stage {
-            Stage::Address => {
-                if record.fetch_redirected && is_control_class(class) {
-                    // Branch-target adder + PC mux + instruction-memory
-                    // address setup: the long address-stage path.
-                    0.70 + 0.30 * dither
-                } else {
-                    0.30 + 0.40 * dither
-                }
-            }
-            Stage::Fetch => match record.occupant(stage) {
-                Occupant::Insn { insn, .. } => 0.25 + 0.75 * popcount_frac(insn.encode()),
-                Occupant::Bubble(_) => 0.35,
-            },
-            Stage::Decode => match record.occupant(stage) {
-                Occupant::Insn { insn, .. } => {
-                    let mut e = 0.35;
-                    if insn.opcode().reads_ra() {
-                        e += 0.18;
-                    }
-                    if insn.opcode().reads_rb() {
-                        e += 0.18;
-                    }
-                    if insn.imm().is_some() {
-                        e += 0.12;
-                    }
-                    e + 0.12 * dither
-                }
-                Occupant::Bubble(_) => 0.35,
-            },
-            Stage::Execute => self.execute_excitation(record, class),
-            Stage::Control => match class {
-                TimingClass::Load => 0.30 + 0.70 * popcount_frac(record.mem_return.unwrap_or(0)),
-                TimingClass::Store => 0.35 + 0.45 * dither,
-                TimingClass::Mul => 0.45 + 0.35 * dither,
-                TimingClass::Bubble => 0.35,
-                _ => 0.35 + 0.35 * dither,
-            },
-            Stage::Writeback => match &record.writeback {
-                Some(wb) => 0.25 + 0.75 * popcount_frac(wb.value),
-                None => 0.35,
-            },
-        };
-        // Blend a little dither into every stage so repeated identical
-        // activity does not collapse onto a single delay value (modelling
-        // residual unmodelled variation such as crosstalk), while keeping the
-        // result bounded by the class worst-case.
-        (raw * 0.92 + 0.08 * dither).clamp(0.0, 1.0)
-    }
-
-    fn execute_excitation(&self, record: &CycleRecord, class: TimingClass) -> f64 {
-        let Some(exec) = &record.exec else {
-            return 0.40;
-        };
-        let mut e = match class {
-            TimingClass::Add | TimingClass::SetFlag => f64::from(exec.carry_chain) / 32.0,
-            TimingClass::Mul => f64::from(exec.mul_bits) / 32.0,
-            TimingClass::Shift => f64::from(exec.shift_amount) / 31.0,
-            TimingClass::And | TimingClass::Or | TimingClass::Xor | TimingClass::Move => {
-                popcount_frac(exec.op_a ^ exec.op_b)
-            }
-            TimingClass::Load | TimingClass::Store => {
-                // The LSU path (address adder → SRAM address/write pins) is
-                // driven by the address-generation carry chain and by how
-                // many address bits toggle at the macro inputs; the address
-                // space is 16 bits wide, so toggling is normalized to it.
-                let addr = exec.mem_request.map_or(0, |m| m.address);
-                let addr_toggle = f64::from((addr & 0xFFFF).count_ones()) / 16.0;
-                let drive = (f64::from(exec.carry_chain) / 32.0).max(addr_toggle);
-                0.45 + 0.55 * drive
-            }
-            TimingClass::BranchCond => {
-                if exec.branch.is_some_and(|b| b.taken) {
-                    0.85
-                } else {
-                    0.45
-                }
-            }
-            TimingClass::Jump => 0.55,
-            TimingClass::JumpReg => popcount_frac(exec.result).max(0.5),
-            TimingClass::Nop => 0.30,
-            TimingClass::Bubble => 0.40,
-        };
-        if exec.forward_a.is_some() || exec.forward_b.is_some() {
-            // The forwarding multiplexers lengthen the operand path.
-            e = (e + 0.12).min(1.0);
-        }
-        e
     }
 
     /// Appends the endpoint events of one cycle to an [`EventLog`].
@@ -376,15 +323,22 @@ impl CycleObserver for EventLogObserver<'_> {
     }
 }
 
-fn is_control_class(class: TimingClass) -> bool {
-    matches!(
-        class,
-        TimingClass::Jump | TimingClass::JumpReg | TimingClass::BranchCond
-    )
+/// The per-cycle, per-stage residual-variation dither. Quantized to eight
+/// levels so that its supremum is actually *attained* after a modest number
+/// of observations — a characterization run therefore sees the same worst
+/// case that any longer benchmark run can produce. Keyed by `(cycle, stage,
+/// fetch_address)` only, so the digest replay recomputes the identical
+/// value without storing it.
+fn stage_dither(cycle: u64, stage: Stage, fetch_address: u32) -> f64 {
+    quantize_dither(hash01(cycle, stage.index() as u64, fetch_address.into()))
 }
 
-fn popcount_frac(value: u32) -> f64 {
-    f64::from(value.count_ones()) / 32.0
+/// Blends a little dither into every stage's raw excitation so repeated
+/// identical activity does not collapse onto a single delay value
+/// (modelling residual unmodelled variation such as crosstalk), while
+/// keeping the result bounded by the class worst-case.
+fn blend_excitation(raw: f64, dither: f64) -> f64 {
+    (raw * 0.92 + 0.08 * dither).clamp(0.0, 1.0)
 }
 
 /// Quantizes a `[0, 1)` dither value to eight discrete levels `0, 1/7, ..., 1`.

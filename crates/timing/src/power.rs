@@ -112,6 +112,13 @@ impl ActivityObserver {
     pub fn stats(&self) -> &TraceStats {
         &self.stats
     }
+
+    /// Accumulates one digested cycle — the digest-replay counterpart of
+    /// [`CycleObserver::observe_cycle`], yielding the identical activity
+    /// statistics without the live record.
+    pub fn observe_digest(&mut self, digest_cycle: &idca_pipeline::DigestCycle) {
+        self.stats.observe_digest(digest_cycle);
+    }
 }
 
 impl CycleObserver for ActivityObserver {

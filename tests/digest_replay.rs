@@ -1,0 +1,175 @@
+//! Digest-equivalence tests: replaying a [`TimingDigest`] against a timing
+//! model must be **bit-identical** to running the corresponding streaming
+//! observers on the live simulation pass — for the DTA, all clock policies,
+//! the adaptive controller and the activity statistics, at the nominal
+//! corner and across sampled PVT corners. This is the correctness contract
+//! of the simulate-once / evaluate-many sweep architecture.
+
+use idca::core::{
+    replay_adaptive_digest, replay_digest, run_adaptive, AdaptiveConfig, AdaptiveObserver, Drift,
+};
+use idca::pipeline::{DigestCycle, DigestObserver, TimingDigest};
+use idca::prelude::*;
+use proptest::prelude::*;
+
+fn model() -> TimingModel {
+    TimingModel::at_nominal(ProfileKind::CriticalRangeOptimized)
+}
+
+/// Simulates one generated program, capturing the digest and the
+/// materialized trace from the same pass.
+fn digest_and_trace(program: &Program) -> (TimingDigest, PipelineTrace) {
+    let mut digest = DigestObserver::new();
+    let mut trace = PipelineTrace::default();
+    Simulator::new(SimConfig::default())
+        .run_observed(program, &mut [&mut digest, &mut trace])
+        .expect("generated programs terminate");
+    (digest.into_digest(), trace)
+}
+
+#[test]
+fn rle_round_trip_reproduces_every_cycle() {
+    let program = generate_program(nth_seed(0xD16E57, 3), &GenConfig::default());
+    let (digest, trace) = digest_and_trace(&program);
+    assert_eq!(digest.cycles(), trace.cycle_count());
+    assert_eq!(digest.retired(), trace.retired());
+    let mut i = 0usize;
+    digest.for_each_cycle(|cycle, dc| {
+        let record = &trace.cycles()[i];
+        assert_eq!(record.cycle, cycle);
+        assert_eq!(&DigestCycle::of_record(record), dc, "cycle {cycle}");
+        i += 1;
+    });
+    assert_eq!(i as u64, trace.cycle_count());
+    // The encoding must actually deduplicate something on a loopy program.
+    assert!(digest.unique_cycles() as u64 <= digest.cycles());
+}
+
+#[test]
+fn dta_replay_is_bit_identical_to_streaming() {
+    let m = model();
+    let program = generate_program(nth_seed(0xD16E57, 5), &GenConfig::default());
+    let (digest, trace) = digest_and_trace(&program);
+    let direct = DynamicTimingAnalysis::run(&m, &trace);
+    let replayed = DynamicTimingAnalysis::replay_digest(&m, &digest);
+    assert_eq!(direct.cycles(), replayed.cycles());
+    assert_eq!(direct.mean_cycle_delay_ps(), replayed.mean_cycle_delay_ps());
+    assert_eq!(direct.max_cycle_delay_ps(), replayed.max_cycle_delay_ps());
+    assert_eq!(direct.limiting_counts(), replayed.limiting_counts());
+    for stage in Stage::ALL {
+        for class in TimingClass::ALL {
+            assert_eq!(
+                direct.observed_worst_ps(stage, class),
+                replayed.observed_worst_ps(stage, class),
+                "{stage}/{class}"
+            );
+            assert_eq!(
+                direct.observations(stage, class),
+                replayed.observations(stage, class)
+            );
+        }
+    }
+}
+
+/// Every policy's replayed outcome (including the embedded activity
+/// summary) must equal the live outcome field for field.
+fn assert_policies_replay_identically(
+    m: &TimingModel,
+    digest: &TimingDigest,
+    trace: &PipelineTrace,
+) {
+    let static_policy = StaticClock::of_model(m);
+    let lut_policy = InstructionBased::from_model(m);
+    let exec_policy = ExecuteOnly::new(DelayLut::from_model(m));
+    let genie = GenieOracle::new(m.clone());
+    let policies: [&dyn ClockPolicy; 4] = [&static_policy, &lut_policy, &exec_policy, &genie];
+    for (generator, policy) in [ClockGenerator::Ideal, ClockGenerator::quantized_50ps()]
+        .iter()
+        .flat_map(|g| policies.iter().map(move |p| (g, *p)))
+    {
+        let direct = run_with_policy(m, trace, policy, generator);
+        let replayed = replay_digest(m, digest, policy, generator);
+        assert_eq!(direct, replayed, "policy {}", policy.name());
+    }
+}
+
+#[test]
+fn policy_replay_is_bit_identical_at_nominal() {
+    let m = model();
+    let program = generate_program(nth_seed(0xD16E57, 7), &GenConfig::default());
+    let (digest, trace) = digest_and_trace(&program);
+    assert_policies_replay_identically(&m, &digest, &trace);
+}
+
+#[test]
+fn adaptive_replay_is_bit_identical_including_learned_table() {
+    let m = model();
+    let program = generate_program(nth_seed(0xD16E57, 11), &GenConfig::default());
+    let (digest, trace) = digest_and_trace(&program);
+    let config = AdaptiveConfig::default();
+    for drift in [
+        Drift::None,
+        Drift::LinearSlowdown {
+            fraction_per_kilocycle: 0.01,
+        },
+    ] {
+        let direct = run_adaptive(&m, &trace, &config, &ClockGenerator::Ideal, None, drift);
+        let replayed =
+            replay_adaptive_digest(&m, &digest, &config, &ClockGenerator::Ideal, None, drift);
+        assert_eq!(direct, replayed, "drift {drift:?}");
+        // The learned tables themselves must agree entry for entry.
+        let mut live = AdaptiveObserver::new(&m, &config, &ClockGenerator::Ideal, None, drift);
+        for record in trace.cycles() {
+            live.observe_cycle(record);
+        }
+        let mut replay = AdaptiveObserver::new(&m, &config, &ClockGenerator::Ideal, None, drift);
+        digest.for_each_cycle(|cycle, dc| replay.observe_digest(cycle, dc));
+        for stage in Stage::ALL {
+            for class in TimingClass::ALL {
+                assert_eq!(
+                    live.learned_ps(stage, class),
+                    replay.learned_ps(stage, class)
+                );
+                assert_eq!(
+                    live.observation_count(stage, class),
+                    replay.observation_count(stage, class)
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For random generated programs and random PVT corners, replaying the
+    /// digest against the corner-varied model is bit-identical to live
+    /// observation of a fresh simulation — policies and adaptive alike.
+    #[test]
+    fn digest_replay_matches_direct_across_corners(
+        seed in any::<u64>(),
+        corner_index in 0u32..32,
+        corner_seed in any::<u64>(),
+    ) {
+        let nominal = model();
+        let variation = VariationModel::default();
+        let corner = variation.sample_corner(corner_seed, corner_index);
+        let varied = variation.apply(&nominal, &corner);
+
+        let program = generate_program(seed, &GenConfig::default());
+        let (digest, trace) = digest_and_trace(&program);
+
+        let lut_policy = InstructionBased::from_model(&varied);
+        let direct = run_with_policy(&varied, &trace, &lut_policy, &ClockGenerator::Ideal);
+        let replayed = replay_digest(&varied, &digest, &lut_policy, &ClockGenerator::Ideal);
+        prop_assert_eq!(&direct, &replayed);
+
+        let config = AdaptiveConfig::default();
+        let direct_adaptive =
+            run_adaptive(&varied, &trace, &config, &ClockGenerator::Ideal, None, Drift::None);
+        let replayed_adaptive = replay_adaptive_digest(
+            &varied, &digest, &config, &ClockGenerator::Ideal, None, Drift::None,
+        );
+        prop_assert_eq!(&direct_adaptive, &replayed_adaptive);
+    }
+}
