@@ -11,6 +11,7 @@
 //! counts and repeated runs with the same seed.
 
 use idca_bench::{paper, Experiments, SweepConfig, SweepTiming};
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -34,13 +35,13 @@ fn print_help() {
     println!("repro — regenerates the paper's tables and figures (paper vs measured)");
     println!();
     println!("Usage: repro [FLAGS]");
-    println!("       repro sweep [--seeds N] [--corners M] [--seed S]");
-    println!("       repro bench [--seeds N] [--corners M] [--seed S] [--runs K] [--json] [--out PATH]\n");
+    println!("       repro sweep [--seeds N] [--corners M] [--seed S] [--digest-cache DIR]");
+    println!("       repro bench [--seeds N] [--corners M] [--seed S] [--runs K] [--json] [--out PATH] [--digest-cache DIR]\n");
     println!("With no flags, every experiment is reproduced. Flags:");
     for (flag, description) in FLAGS {
-        println!("  {flag:<12} {description}");
+        println!("  {flag:<16} {description}");
     }
-    println!("  {:<12} print this help and exit", "--help");
+    println!("  {:<16} print this help and exit", "--help");
     println!();
     print_sweep_help();
     println!();
@@ -50,41 +51,71 @@ fn print_help() {
 fn print_bench_help() {
     println!("bench — PVT-sweep throughput measurement (simulate-once / evaluate-many)");
     println!(
-        "  {:<12} sweep size, like the sweep subcommand (defaults 100 x 8, seed 7)",
+        "  {:<16} sweep size, like the sweep subcommand (defaults 100 x 8, seed 7)",
         "--seeds/..."
     );
     println!(
-        "  {:<12} timed repetitions; the fastest is reported (default 3)",
+        "  {:<16} timed repetitions; the fastest is reported (default 3)",
         "--runs K"
     );
     println!(
-        "  {:<12} also write the machine-readable report to BENCH_sweep.json",
+        "  {:<16} also write the machine-readable report to BENCH_sweep.json",
         "--json"
     );
-    println!("  {:<12} override the --json output path", "--out PATH");
+    println!("  {:<16} override the --json output path", "--out PATH");
+    println!(
+        "  {:<16} load/save phase-1 digests in DIR (see sweep --digest-cache)",
+        "--digest-cache"
+    );
     println!("  output: key=value throughput report (cycles/sec, jobs/sec, per-phase wall)");
 }
 
 fn print_sweep_help() {
     println!("sweep — Monte Carlo PVT sweep: N generated programs x M sampled corners");
     println!(
-        "  {:<12} number of generated programs (default 32)",
+        "  {:<16} number of generated programs (default 32)",
         "--seeds N"
     );
     println!(
-        "  {:<12} number of sampled PVT corners (default 4)",
+        "  {:<16} number of sampled PVT corners (default 4)",
         "--corners M"
     );
     println!(
-        "  {:<12} master seed driving programs and corners (default 49374)",
+        "  {:<16} master seed driving programs and corners (default 49374)",
         "--seed S"
     );
+    println!(
+        "  {:<16} persist phase-1 timing digests in DIR, keyed by",
+        "--digest-cache"
+    );
+    println!(
+        "  {:<16} (program seed, generator-config hash, simulator version);",
+        ""
+    );
+    println!(
+        "  {:<16} warm entries skip the simulation phase entirely",
+        ""
+    );
     println!("  output: stable machine-readable key=value report on stdout");
+}
+
+/// Creates a digest-cache directory (errors are fatal: an explicitly
+/// requested cache that cannot exist should fail loudly, not silently run
+/// uncached).
+fn prepare_cache_dir(dir: &PathBuf) -> Result<(), ExitCode> {
+    std::fs::create_dir_all(dir).map_err(|error| {
+        eprintln!(
+            "error: cannot create digest-cache directory {}: {error}",
+            dir.display()
+        );
+        ExitCode::FAILURE
+    })
 }
 
 /// Parses and runs the `sweep` subcommand.
 fn run_sweep(args: &[String]) -> ExitCode {
     let mut config = SweepConfig::default();
+    let mut cache_dir: Option<PathBuf> = None;
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
         if flag == "--help" || flag == "-h" {
@@ -95,6 +126,10 @@ fn run_sweep(args: &[String]) -> ExitCode {
             eprintln!("error: `{flag}` requires a value");
             return ExitCode::FAILURE;
         };
+        if flag == "--digest-cache" {
+            cache_dir = Some(PathBuf::from(value));
+            continue;
+        }
         let parsed: Result<u64, _> = value.parse();
         let Ok(parsed) = parsed else {
             eprintln!("error: `{flag}` expects an unsigned integer, got `{value}`");
@@ -120,11 +155,22 @@ fn run_sweep(args: &[String]) -> ExitCode {
         eprintln!("error: seeds x corners = {jobs} jobs exceeds the 1000000-job limit");
         return ExitCode::FAILURE;
     }
+    if let Some(dir) = &cache_dir {
+        if let Err(code) = prepare_cache_dir(dir) {
+            return code;
+        }
+    }
     eprintln!(
         "running PVT sweep: {} seeds x {} corners (master seed {:#x})...",
         config.seeds, config.corners, config.master_seed
     );
-    let report = Experiments::pvt_sweep(&config);
+    let (report, timing) = Experiments::pvt_sweep_timed_with_cache(&config, cache_dir.as_deref());
+    if cache_dir.is_some() {
+        eprintln!(
+            "digest cache: {} hits, {} simulated",
+            timing.digest_cache_hits, timing.simulated_programs
+        );
+    }
     print!("{}", report.render());
     ExitCode::SUCCESS
 }
@@ -147,6 +193,7 @@ fn run_bench(args: &[String]) -> ExitCode {
     let mut runs: u32 = 3;
     let mut write_json = false;
     let mut out_path = String::from("BENCH_sweep.json");
+    let mut cache_dir: Option<PathBuf> = None;
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
         match flag.as_str() {
@@ -167,6 +214,10 @@ fn run_bench(args: &[String]) -> ExitCode {
         if flag == "--out" {
             out_path = value.clone();
             write_json = true;
+            continue;
+        }
+        if flag == "--digest-cache" {
+            cache_dir = Some(PathBuf::from(value));
             continue;
         }
         let parsed: Result<u64, _> = value.parse();
@@ -195,6 +246,11 @@ fn run_bench(args: &[String]) -> ExitCode {
         }
     }
 
+    if let Some(dir) = &cache_dir {
+        if let Err(code) = prepare_cache_dir(dir) {
+            return code;
+        }
+    }
     let jobs = u64::from(config.seeds) * u64::from(config.corners);
     eprintln!(
         "benchmarking PVT sweep: {} seeds x {} corners, {} timed runs...",
@@ -205,7 +261,8 @@ fn run_bench(args: &[String]) -> ExitCode {
     // cycle totals can come from any of them.
     let mut best: Option<(u64, SweepTiming)> = None;
     for _ in 0..runs {
-        let (report, timing) = Experiments::pvt_sweep_timed(&config);
+        let (report, timing) =
+            Experiments::pvt_sweep_timed_with_cache(&config, cache_dir.as_deref());
         let evaluated = report.total_cycles();
         if best
             .as_ref()
@@ -218,8 +275,12 @@ fn run_bench(args: &[String]) -> ExitCode {
     let wall = timing.total().as_secs_f64();
     let jobs_per_sec = jobs as f64 / wall;
     let cycles_per_sec = evaluated_cycles as f64 / wall;
+    // Banked-replay phase throughput: every digested cycle is evaluated
+    // against every corner, so `evaluated_cycles` (summed over jobs) is the
+    // cycle·corner count the replay phase pushed through its SIMD lanes.
+    let replay_cycle_corners_per_sec = evaluated_cycles as f64 / timing.replay.as_secs_f64();
 
-    println!("bench.schema=1");
+    println!("bench.schema=2");
     println!("bench.seeds={}", config.seeds);
     println!("bench.corners={}", config.corners);
     println!("bench.master_seed={}", config.master_seed);
@@ -228,15 +289,19 @@ fn run_bench(args: &[String]) -> ExitCode {
     println!("bench.wall_ms={:.3}", ms(timing.total()));
     println!("bench.simulate_ms={:.3}", ms(timing.simulate));
     println!("bench.replay_ms={:.3}", ms(timing.replay));
+    println!("bench.simulated_programs={}", timing.simulated_programs);
+    println!("bench.digest_cache_hits={}", timing.digest_cache_hits);
     println!("bench.jobs_per_sec={jobs_per_sec:.1}");
     println!("bench.cycles_per_sec={cycles_per_sec:.0}");
+    println!("bench.replay_cycle_corners_per_sec={replay_cycle_corners_per_sec:.0}");
 
     if write_json {
         let json = format!(
-            "{{\n  \"schema\": 1,\n  \"seeds\": {},\n  \"corners\": {},\n  \"master_seed\": {},\n  \
+            "{{\n  \"schema\": 2,\n  \"seeds\": {},\n  \"corners\": {},\n  \"master_seed\": {},\n  \
              \"jobs\": {},\n  \"evaluated_cycles\": {},\n  \"wall_ms\": {:.3},\n  \
-             \"simulate_ms\": {:.3},\n  \"replay_ms\": {:.3},\n  \"jobs_per_sec\": {:.1},\n  \
-             \"cycles_per_sec\": {:.0}\n}}\n",
+             \"simulate_ms\": {:.3},\n  \"replay_ms\": {:.3},\n  \"simulated_programs\": {},\n  \
+             \"digest_cache_hits\": {},\n  \"jobs_per_sec\": {:.1},\n  \
+             \"cycles_per_sec\": {:.0},\n  \"replay_cycle_corners_per_sec\": {:.0}\n}}\n",
             config.seeds,
             config.corners,
             config.master_seed,
@@ -245,8 +310,11 @@ fn run_bench(args: &[String]) -> ExitCode {
             ms(timing.total()),
             ms(timing.simulate),
             ms(timing.replay),
+            timing.simulated_programs,
+            timing.digest_cache_hits,
             jobs_per_sec,
             cycles_per_sec,
+            replay_cycle_corners_per_sec,
         );
         if let Err(error) = std::fs::write(&out_path, json) {
             eprintln!("error: cannot write {out_path}: {error}");

@@ -21,10 +21,10 @@ use idca_core::{
     eval::{self, SuiteSummary},
     policy::{ExecuteOnly, GenieOracle, InstructionBased, StaticClock},
     vfs::{self, VoltageScalingResult},
-    ClockGenerator, ClockPolicy, DelayLut, PolicyObserver,
+    ClockGenerator, ClockPolicy, DelayLut,
 };
-use idca_isa::{Program, TimingClass};
-use idca_pipeline::{RunSummary, SimConfig, Simulator, Stage, TakeObserver};
+use idca_isa::TimingClass;
+use idca_pipeline::{DigestObserver, RunSummary, SimConfig, Simulator, Stage, TimingDigest};
 use idca_timing::{
     dta::DynamicTimingAnalysis, CellLibrary, Histogram, PowerModel, ProfileKind, TimingModel,
     TimingProfile,
@@ -186,6 +186,15 @@ pub struct Experiments {
     pub characterization: RunSummary,
     /// DTA of the characterization run on the optimized core.
     pub dta: DynamicTimingAnalysis,
+    /// Timing digest of the characterization run, captured on the same
+    /// streaming pass as the DTA. Re-characterizing against a different
+    /// model (profile, voltage, corner) replays this digest through
+    /// [`DynamicTimingAnalysis::replay_digest`] instead of re-simulating.
+    pub characterization_digest: TimingDigest,
+    /// Timing digests of the Fig. 8 suite, one per [`Experiments::suite`]
+    /// entry: every benchmark is simulated exactly once, here; all policy
+    /// evaluations (Fig. 8, every ablation) are digest replays.
+    pub suite_digests: Vec<TimingDigest>,
     /// Raw delay LUT extracted from the characterization (min. 8
     /// observations) — this is what Table II reports.
     pub raw_lut: DelayLut,
@@ -199,9 +208,13 @@ pub struct Experiments {
 
 impl Experiments {
     /// Runs the characterization flow once and prepares everything the
-    /// individual experiments need. The characterization workload is
-    /// simulated exactly once, streaming into the dynamic timing analysis —
-    /// no `Vec<CycleRecord>` is allocated anywhere in this function.
+    /// individual experiments need. Every workload — the characterization
+    /// stimulus and each suite benchmark — is simulated exactly once, here:
+    /// the characterization pass streams into the dynamic timing analysis
+    /// with a [`DigestObserver`] riding along, and each benchmark's digest
+    /// is captured in parallel, so the experiments themselves (Fig. 8 and
+    /// every ablation) are pure digest replays. No `Vec<CycleRecord>` is
+    /// allocated anywhere in this function.
     #[must_use]
     pub fn prepare() -> Self {
         let library = CellLibrary::fdsoi28();
@@ -210,14 +223,27 @@ impl Experiments {
         let power = PowerModel::new(library.clone());
         let workload = characterization_workload(CHARACTERIZATION_SEED);
         let mut dta_observer = DynamicTimingAnalysis::streaming(&model);
+        let mut digest_observer = DigestObserver::new();
         let characterization = Simulator::new(SimConfig::default())
-            .run_observed(&workload.program, &mut [&mut dta_observer])
+            .run_observed(
+                &workload.program,
+                &mut [&mut dta_observer, &mut digest_observer],
+            )
             .expect("characterization workload runs")
             .summary;
         let dta = dta_observer.into_analysis();
+        let characterization_digest = digest_observer.into_digest();
         let raw_lut = DelayLut::from_dta(&dta, 8);
         let lut = raw_lut.with_guardband(0.015);
         let suite = benchmark_suite();
+        let simulator = Simulator::new(SimConfig::default());
+        let suite_digests = suite::par_map(&suite, |workload| {
+            let mut observer = DigestObserver::new();
+            simulator
+                .run_observed(&workload.program, &mut [&mut observer])
+                .expect("benchmark runs");
+            observer.into_digest()
+        });
         Experiments {
             model,
             conventional,
@@ -225,6 +251,8 @@ impl Experiments {
             power,
             characterization,
             dta,
+            characterization_digest,
+            suite_digests,
             raw_lut,
             lut,
             suite,
@@ -314,9 +342,9 @@ impl Experiments {
 
     /// Fig. 8 with an arbitrary policy / clock generator (used by ablations).
     ///
-    /// Each benchmark is simulated **once** — the static baseline and the
-    /// dynamic policy observe the same streaming pass — and the suite is
-    /// evaluated in parallel across workloads.
+    /// No benchmark is re-simulated: each policy pair replays the digests
+    /// captured once in [`Experiments::prepare`] (bit-identical to a live
+    /// pass), in parallel across workloads.
     #[must_use]
     pub fn fig8_with(
         &self,
@@ -326,24 +354,26 @@ impl Experiments {
         self.suite_summary_with(&self.model, policy, generator)
     }
 
-    /// Parallel single-pass suite evaluation against an arbitrary model.
+    /// Parallel digest-replay suite evaluation against an arbitrary model.
+    /// The digests are model-independent (they capture architecture and
+    /// path excitation, not delays), so the same captured suite serves the
+    /// optimized profile, the conventional profile and any varied corner —
+    /// profile sweeps never re-simulate.
     fn suite_summary_with(
         &self,
         model: &TimingModel,
         policy: &dyn ClockPolicy,
         generator: &ClockGenerator,
     ) -> (Vec<Fig8Row>, SuiteSummary) {
-        let simulator = Simulator::new(SimConfig::default());
-        let comparisons = suite::par_map(&self.suite, |workload| {
-            eval::compare_program(
+        let indices: Vec<usize> = (0..self.suite.len()).collect();
+        let comparisons = suite::par_map(&indices, |&i| {
+            eval::compare_digest(
                 model,
-                workload.name.clone(),
-                &simulator,
-                &workload.program,
+                self.suite[i].name.clone(),
+                &self.suite_digests[i],
                 policy,
                 generator,
             )
-            .expect("benchmark runs")
         });
         let mut rows = Vec::new();
         let mut summary = SuiteSummary::new();
@@ -359,19 +389,15 @@ impl Experiments {
         (rows, summary)
     }
 
-    /// Evaluates one policy on one program in a single streaming pass.
-    fn outcome_for(
+    /// Evaluates one policy on one pre-captured suite digest.
+    fn outcome_for_digest(
         &self,
         model: &TimingModel,
-        program: &Program,
+        digest: &TimingDigest,
         policy: &dyn ClockPolicy,
         generator: &ClockGenerator,
     ) -> idca_core::RunOutcome {
-        let mut observer = PolicyObserver::new(model, policy, generator);
-        Simulator::new(SimConfig::default())
-            .run_observed(program, &mut [&mut observer])
-            .expect("benchmark runs");
-        observer.into_outcome()
+        idca_core::replay_digest(model, digest, policy, generator)
     }
 
     /// §IV-B: iso-throughput voltage scaling on a representative benchmark
@@ -427,26 +453,19 @@ impl Experiments {
         };
 
         // LUT built from a deliberately short characterization: count how
-        // many violations slip through on the full suite. The truncation is
-        // a streaming `TakeObserver` over a fresh characterization run — the
-        // equivalent of slicing a materialized trace, without one.
+        // many violations slip through on the full suite. The truncated
+        // characterization is a digest replay of the first 500 cycles of
+        // the pass captured in `prepare` — bit-identical to re-simulating
+        // behind a `TakeObserver`, with no simulator in the loop — and the
+        // suite evaluation replays the captured benchmark digests.
         let truncated_lut_violations = {
-            let workload = characterization_workload(CHARACTERIZATION_SEED);
-            let mut short = TakeObserver::new(DynamicTimingAnalysis::streaming(&self.model), 500);
-            Simulator::new(SimConfig::default())
-                .run_observed(&workload.program, &mut [&mut short])
-                .expect("characterization workload runs");
-            let short_dta = short.into_inner().into_analysis();
+            let short_digest = self.characterization_digest.truncated(500);
+            let short_dta = DynamicTimingAnalysis::replay_digest(&self.model, &short_digest);
             let short_lut = DelayLut::from_dta(&short_dta, 1);
             let policy = InstructionBased::new(short_lut);
-            suite::par_map(&self.suite, |workload| {
-                self.outcome_for(
-                    &self.model,
-                    &workload.program,
-                    &policy,
-                    &ClockGenerator::Ideal,
-                )
-                .violations
+            suite::par_map(&self.suite_digests, |digest| {
+                self.outcome_for_digest(&self.model, digest, &policy, &ClockGenerator::Ideal)
+                    .violations
             })
             .into_iter()
             .sum()
@@ -483,18 +502,34 @@ impl Experiments {
         sweep::pvt_sweep_timed(config)
     }
 
+    /// [`Experiments::pvt_sweep_timed`] with a persistent digest cache:
+    /// valid cached digests skip phase 1's simulations, stale or corrupt
+    /// entries are re-simulated and rewritten, and the report is
+    /// byte-identical either way (`repro sweep --digest-cache DIR`).
+    #[must_use]
+    pub fn pvt_sweep_timed_with_cache(
+        config: &SweepConfig,
+        cache_dir: Option<&std::path::Path>,
+    ) -> (SweepReport, SweepTiming) {
+        sweep::pvt_sweep_timed_with_cache(config, cache_dir)
+    }
+
     /// The conventional-clocking baseline outcome for a single benchmark
     /// (used by the power bench to report µW/MHz at 0.70 V).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `benchmark` is not part of the Fig. 8 suite.
     #[must_use]
     pub fn baseline_outcome(&self, benchmark: &str) -> idca_core::RunOutcome {
-        let workload = self
+        let index = self
             .suite
             .iter()
-            .find(|w| w.name == benchmark)
+            .position(|w| w.name == benchmark)
             .unwrap_or_else(|| panic!("unknown benchmark {benchmark}"));
-        self.outcome_for(
+        self.outcome_for_digest(
             &self.model,
-            &workload.program,
+            &self.suite_digests[index],
             &StaticClock::of_model(&self.model),
             &ClockGenerator::Ideal,
         )

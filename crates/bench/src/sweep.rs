@@ -12,19 +12,28 @@
 //! 1. **Simulate** (`O(N)`): each seed's program is simulated exactly once
 //!    (parallel over seeds, worker-local [`SimBuffers`] scratch), with a
 //!    [`DigestObserver`] capturing the run's [`TimingDigest`] — the
-//!    compact, replayable timing view of every cycle.
-//! 2. **Replay** (`O(N×M)` cheap folds): every `(digest, corner)` pair is
-//!    fanned across rayon workers; the corner-varied model is evaluated
-//!    once per cycle and shared by a static-baseline [`PolicyObserver`], a
-//!    margin-guarded instruction-based [`PolicyObserver`], an execute-only
-//!    [`PolicyObserver`] and an online-learning [`AdaptiveObserver`] —
+//!    compact, replayable timing view of every cycle. With a digest cache
+//!    directory configured, digests are loaded from disk instead (keyed by
+//!    `(program seed, generator-config hash, simulator version)`), so
+//!    repeat sweeps skip this phase entirely.
+//! 2. **Replay** (`O(N)` corner-batched digest walks): the sweep is
+//!    sharded into `N` per-seed jobs. Each job walks its digest **once**,
+//!    RLE run-block by run-block — one pool decode and one set of
+//!    corner-invariant policy decisions per block, one dither per cycle —
+//!    and evaluates every cycle against **all** `M` corners at once
+//!    through the vectorized [`CornerBank`] lanes. The per-lane
+//!    [`CycleTiming`](idca_timing::CycleTiming)s feed `M` policy stacks
+//!    (static baseline, margin-guarded instruction-based, execute-only
+//!    [`PolicyObserver`]s and an online-learning [`AdaptiveObserver`]) —
 //!    with no pipeline simulator in the loop.
 //!
-//! The digest replay is bit-identical to live observation (pinned by the
-//! digest-equivalence tests and by [`pvt_sweep_direct`], the retained
-//! single-phase reference implementation), so the report is byte-for-byte
-//! the same as the original `N×M`-simulations engine while doing a fraction
-//! of the work.
+//! The banked replay is bit-identical to the retained lane-by-lane path
+//! ([`pvt_sweep_lanewise`], which replays each `(digest, corner)` pair
+//! separately) and to live observation ([`pvt_sweep_direct`], the retained
+//! single-phase reference implementation) — pinned by the
+//! digest-equivalence and banked-replay property tests — so the report is
+//! byte-for-byte the same as the original `N×M`-simulations engine while
+//! doing a fraction of the work.
 //!
 //! Determinism is load-bearing: programs and corners are hash-derived from
 //! the master seed, workers are stateless, and [`SweepReport::merge`] sorts
@@ -34,16 +43,18 @@
 
 use idca_core::{
     policy::{ExecuteOnly, InstructionBased, StaticClock},
-    AdaptiveConfig, AdaptiveObserver, ClockGenerator, DelayLut, Drift, PolicyObserver,
+    AdaptiveConfig, AdaptiveObserver, ClockGenerator, ClockPolicy, DelayLut, Drift, PolicyObserver,
 };
 use idca_gen::{generate_program, nth_seed, GenConfig};
 use idca_isa::Program;
 use idca_pipeline::{
     CycleObserver, DigestObserver, SimBuffers, SimConfig, Simulator, TimingDigest,
+    SIMULATOR_VERSION,
 };
-use idca_timing::{ProfileKind, PvtCorner, TimingModel, VariationModel};
+use idca_timing::{CornerBank, ProfileKind, Ps, PvtCorner, TimingModel, VariationModel};
 use idca_workloads::suite::par_map;
 use std::cell::RefCell;
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 /// Names of the policies evaluated per job, in report order.
@@ -335,13 +346,18 @@ fn quantile(samples: &[f64], q: f64) -> f64 {
     quantile_sorted(&sorted_samples(samples.to_vec()), q)
 }
 
-/// Wall-clock breakdown of one two-phase sweep, for the perf harness.
+/// Wall-clock breakdown (and phase-1 work accounting) of one two-phase
+/// sweep, for the perf harness and the cache-behaviour smoke tests.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SweepTiming {
-    /// Phase 1: simulate each seed once, capturing timing digests.
+    /// Phase 1: acquire each seed's timing digest (simulate or cache load).
     pub simulate: Duration,
-    /// Phase 2: fan the `seeds × corners` digest replays.
+    /// Phase 2: the corner-batched digest replays.
     pub replay: Duration,
+    /// Programs phase 1 actually simulated (0 on a fully warm cache).
+    pub simulated_programs: u32,
+    /// Digests phase 1 loaded from the cache instead of simulating.
+    pub digest_cache_hits: u32,
 }
 
 impl SweepTiming {
@@ -352,17 +368,25 @@ impl SweepTiming {
     }
 }
 
-/// Phase 1 worker: generates and simulates one seed's program, capturing
-/// its [`TimingDigest`]. The register file and 64 KiB memory image live in
-/// worker-local scratch ([`SimBuffers`]) reused across every program the
-/// worker simulates, instead of being allocated per job.
-fn digest_program(simulator: &Simulator, program: &Program) -> TimingDigest {
+/// Runs `f` with this worker thread's simulation scratch (register file and
+/// 64 KiB memory image), allocating it on first use and reusing it for
+/// every subsequent job on the same thread — both sweep engines route
+/// their simulations through here so neither pays per-job allocation noise.
+fn with_worker_buffers<R>(simulator: &Simulator, f: impl FnOnce(&mut SimBuffers) -> R) -> R {
     thread_local! {
         static SCRATCH: RefCell<Option<SimBuffers>> = const { RefCell::new(None) };
     }
     SCRATCH.with(|cell| {
         let mut slot = cell.borrow_mut();
         let buffers = slot.get_or_insert_with(|| SimBuffers::for_config(simulator.config()));
+        f(buffers)
+    })
+}
+
+/// Phase 1 worker: generates and simulates one seed's program, capturing
+/// its [`TimingDigest`] in worker-local scratch.
+fn digest_program(simulator: &Simulator, program: &Program) -> TimingDigest {
+    with_worker_buffers(simulator, |buffers| {
         let mut observer = DigestObserver::new();
         simulator
             .run_observed_with_buffers(program, &mut [&mut observer], buffers)
@@ -456,6 +480,112 @@ fn replay_job(digest: &TimingDigest, ctx: &CornerContext, seed_index: u32) -> Sw
     }
 }
 
+/// Phase 2 worker of the corner-batched engine: replays one seed's digest
+/// against **every** corner in a single walk. Each RLE run-block is decoded
+/// once; the table-driven policies' requests (constant across the block,
+/// and — because all corners deploy the same margin-guarded LUT —
+/// corner-invariant too) are decided once per block; each cycle's dither is
+/// hashed once and broadcast; and the per-corner delay folds run through
+/// the [`CornerBank`]'s vectorized lanes. Produces the same rows, bit for
+/// bit, as running [`replay_job`] per corner (pinned by the banked-replay
+/// tests): one decode, one dither, `M` corner outcomes.
+fn replay_seed_banked(
+    digest: &TimingDigest,
+    contexts: &[CornerContext],
+    bank: &CornerBank,
+    seed_index: u32,
+) -> Vec<SweepJobOutcome> {
+    if contexts.is_empty() {
+        return Vec::new();
+    }
+    let mut ob_static: Vec<PolicyObserver<'_>> = contexts
+        .iter()
+        .map(|ctx| PolicyObserver::new(&ctx.varied, &ctx.static_policy, &ClockGenerator::Ideal))
+        .collect();
+    let mut ob_lut: Vec<PolicyObserver<'_>> = contexts
+        .iter()
+        .map(|ctx| PolicyObserver::new(&ctx.varied, &ctx.lut_policy, &ClockGenerator::Ideal))
+        .collect();
+    let mut ob_exec: Vec<PolicyObserver<'_>> = contexts
+        .iter()
+        .map(|ctx| PolicyObserver::new(&ctx.varied, &ctx.exec_only, &ClockGenerator::Ideal))
+        .collect();
+    let mut ob_adaptive: Vec<AdaptiveObserver<'_>> = contexts
+        .iter()
+        .map(|ctx| {
+            AdaptiveObserver::new(
+                &ctx.varied,
+                &AdaptiveConfig::default(),
+                &ClockGenerator::Ideal,
+                None,
+                Drift::None,
+            )
+        })
+        .collect();
+
+    // The static baseline's request never changes: hoist it out of the walk.
+    let static_req: Vec<Ps> = contexts
+        .iter()
+        .map(|ctx| ctx.static_policy.period())
+        .collect();
+
+    let mut evaluator = bank.evaluator();
+    digest.for_each_run(|start, len, dc| {
+        // Stage classes are constant across a run-block and every corner
+        // deploys the same guarded LUT, so one decision serves the whole
+        // block across all corners.
+        let lut_req = contexts[0].lut_policy.digest_period_ps(start, dc);
+        let exec_req = contexts[0].exec_only.digest_period_ps(start, dc);
+        for cycle in start..start + u64::from(len) {
+            let timings = evaluator.cycle_timings(cycle, dc);
+            for (corner, timing) in timings.iter().enumerate() {
+                ob_static[corner].observe_digest_prepared(static_req[corner], dc, timing);
+                ob_lut[corner].observe_digest_prepared(lut_req, dc, timing);
+                ob_exec[corner].observe_digest_prepared(exec_req, dc, timing);
+                ob_adaptive[corner].observe_digest_timed(cycle, dc, timing);
+            }
+        }
+    });
+
+    let summary = digest.summary();
+    let policy_outcome = |o: idca_core::RunOutcome| PolicyJobOutcome {
+        violations: o.violations,
+        mhz: o.effective_frequency_mhz,
+        warmup_cycles: 0,
+    };
+    let stacks = ob_static
+        .into_iter()
+        .zip(ob_lut)
+        .zip(ob_exec)
+        .zip(ob_adaptive);
+    contexts
+        .iter()
+        .zip(stacks)
+        .map(|(ctx, (((mut ob_s, mut ob_l), mut ob_e), mut ob_a))| {
+            ob_s.finish(&summary);
+            ob_l.finish(&summary);
+            ob_e.finish(&summary);
+            ob_a.finish(&summary);
+            let adaptive = ob_a.into_outcome();
+            SweepJobOutcome {
+                seed_index,
+                corner_index: ctx.corner_index,
+                cycles: summary.cycles,
+                policies: [
+                    policy_outcome(ob_s.into_outcome()),
+                    policy_outcome(ob_l.into_outcome()),
+                    policy_outcome(ob_e.into_outcome()),
+                    PolicyJobOutcome {
+                        violations: adaptive.violations,
+                        mhz: adaptive.effective_frequency_mhz,
+                        warmup_cycles: adaptive.warmup_cycles,
+                    },
+                ],
+            }
+        })
+        .collect()
+}
+
 /// Runs one `(program, corner)` job: a single streaming simulation pass
 /// observed by the full policy stack against the corner's varied timing
 /// model. This is the single-phase reference implementation retained for
@@ -485,12 +615,18 @@ fn run_job(
         Drift::None,
     );
 
-    let run = simulator
-        .run_observed(
-            program,
-            &mut [&mut ob_static, &mut ob_lut, &mut ob_exec, &mut ob_adaptive],
-        )
-        .expect("generated programs terminate within the cycle limit");
+    // Like the two-phase engine's phase 1, the honest single-phase baseline
+    // simulates in worker-local scratch: the comparison between the engines
+    // should measure evaluation strategy, not per-job allocation noise.
+    let summary = with_worker_buffers(simulator, |buffers| {
+        simulator
+            .run_observed_with_buffers(
+                program,
+                &mut [&mut ob_static, &mut ob_lut, &mut ob_exec, &mut ob_adaptive],
+                buffers,
+            )
+            .expect("generated programs terminate within the cycle limit")
+    });
 
     let policy_outcome = |o: idca_core::RunOutcome| PolicyJobOutcome {
         violations: o.violations,
@@ -501,7 +637,7 @@ fn run_job(
     SweepJobOutcome {
         seed_index,
         corner_index: corner.index,
-        cycles: run.summary.cycles,
+        cycles: summary.cycles,
         policies: [
             policy_outcome(ob_static.into_outcome()),
             policy_outcome(ob_lut.into_outcome()),
@@ -552,11 +688,74 @@ fn finish_report(
     report
 }
 
-/// Runs the full sweep, two-phase: phase 1 simulates each seed's program
-/// exactly once (parallel over seeds) capturing [`TimingDigest`]s, phase 2
-/// fans the `seeds × corners` digest replays across rayon workers and folds
-/// the outcomes into one canonical [`SweepReport`] — byte-identical to the
-/// single-phase [`pvt_sweep_direct`] at a fraction of the work.
+/// Magic of one digest-cache entry file (a small key header wrapping the
+/// [`TimingDigest`] binary format).
+const CACHE_MAGIC: &[u8; 8] = b"IDCACHE1";
+/// Cache entry header: magic + program seed + generator-config hash +
+/// simulator version.
+const CACHE_HEADER_BYTES: usize = 8 + 8 + 8 + 4;
+
+/// The on-disk location of one cached digest. The full cache key is in the
+/// file name, so sweeps over different generator configurations (or
+/// simulator versions) coexist in one directory instead of evicting each
+/// other; the same key is repeated inside the entry header and re-verified
+/// on load as defense against renamed or hand-edited files.
+fn cache_entry_path(dir: &Path, program_seed: u64, config_hash: u64) -> PathBuf {
+    dir.join(format!(
+        "digest-{program_seed:016x}-{config_hash:016x}-v{SIMULATOR_VERSION}.bin"
+    ))
+}
+
+/// Loads one cached digest. Returns `None` — a cache miss, never an error —
+/// unless the entry exists, carries exactly the expected
+/// `(program_seed, config_hash, SIMULATOR_VERSION)` key and its digest
+/// payload passes every integrity check of [`TimingDigest::from_bytes`]:
+/// stale or corrupt entries are re-simulated, not trusted.
+fn load_cached_digest(dir: &Path, program_seed: u64, config_hash: u64) -> Option<TimingDigest> {
+    let bytes = std::fs::read(cache_entry_path(dir, program_seed, config_hash)).ok()?;
+    if bytes.len() < CACHE_HEADER_BYTES || &bytes[..8] != CACHE_MAGIC {
+        return None;
+    }
+    let word = |at: usize| u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes"));
+    if word(8) != program_seed || word(16) != config_hash {
+        return None;
+    }
+    let version = u32::from_le_bytes(bytes[24..28].try_into().expect("4 bytes"));
+    if version != SIMULATOR_VERSION {
+        return None;
+    }
+    TimingDigest::from_bytes(&bytes[CACHE_HEADER_BYTES..]).ok()
+}
+
+/// Writes one digest-cache entry. Best-effort: the entry is staged to a
+/// process-unique temp file and renamed into place, so a reader in this or
+/// any concurrent process never sees a torn entry (and even a torn write
+/// from an unclean shutdown is demoted to a miss by the digest checksum);
+/// any I/O failure leaves the sweep result untouched — the cache is an
+/// accelerator, never a correctness dependency.
+fn store_cached_digest(dir: &Path, program_seed: u64, config_hash: u64, digest: &TimingDigest) {
+    let payload = digest.to_bytes();
+    let mut bytes = Vec::with_capacity(CACHE_HEADER_BYTES + payload.len());
+    bytes.extend_from_slice(CACHE_MAGIC);
+    bytes.extend_from_slice(&program_seed.to_le_bytes());
+    bytes.extend_from_slice(&config_hash.to_le_bytes());
+    bytes.extend_from_slice(&SIMULATOR_VERSION.to_le_bytes());
+    bytes.extend_from_slice(&payload);
+    let staged = dir.join(format!(
+        ".digest-{program_seed:016x}-{:x}.tmp",
+        std::process::id()
+    ));
+    if std::fs::write(&staged, &bytes).is_ok() {
+        let _ = std::fs::rename(&staged, cache_entry_path(dir, program_seed, config_hash));
+    }
+}
+
+/// Runs the full sweep: phase 1 acquires each seed's [`TimingDigest`]
+/// (simulating exactly once, parallel over seeds), phase 2 fans `N`
+/// per-seed corner-batched replays across rayon workers and folds the
+/// outcomes into one canonical [`SweepReport`] — byte-identical to the
+/// lane-by-lane [`pvt_sweep_lanewise`] and the single-phase
+/// [`pvt_sweep_direct`] at a fraction of the work.
 #[must_use]
 pub fn pvt_sweep(config: &SweepConfig) -> SweepReport {
     pvt_sweep_timed(config).0
@@ -565,11 +764,94 @@ pub fn pvt_sweep(config: &SweepConfig) -> SweepReport {
 /// [`pvt_sweep`] with the per-phase wall-clock breakdown (perf harness).
 #[must_use]
 pub fn pvt_sweep_timed(config: &SweepConfig) -> (SweepReport, SweepTiming) {
+    pvt_sweep_timed_with_cache(config, None)
+}
+
+/// [`pvt_sweep_timed`] with an optional persistent digest cache: when
+/// `cache_dir` is given, phase 1 loads each seed's digest from
+/// `digest-<seed>.bin` if a valid entry keyed by the exact
+/// `(program seed, generator-config hash, simulator version)` exists, and
+/// backfills the cache after simulating otherwise. A fully warm cache skips
+/// phase 1's simulations entirely ([`SweepTiming::simulated_programs`]
+/// is 0); the report is byte-identical either way, because the digest
+/// binary round-trip is bit-exact.
+#[must_use]
+pub fn pvt_sweep_timed_with_cache(
+    config: &SweepConfig,
+    cache_dir: Option<&Path>,
+) -> (SweepReport, SweepTiming) {
     let (nominal, guarded_lut, corner_samples) = sweep_setup(config);
 
-    // Phase 1 — simulate once per seed. Program generation and simulation
-    // run fused in the same worker (par_map preserves input order, so the
-    // digest list is deterministic regardless of worker count).
+    // Phase 1 — one digest per seed: cache hit or simulate-and-backfill.
+    // Program generation and simulation run fused in the same worker
+    // (par_map preserves input order, so the digest list is deterministic
+    // regardless of worker count).
+    let start = Instant::now();
+    let simulator = Simulator::new(SimConfig::default());
+    let config_hash = config.gen.content_hash();
+    let seed_indices: Vec<u32> = (0..config.seeds).collect();
+    let digests = par_map(&seed_indices, |&i| {
+        let program_seed = nth_seed(config.master_seed, u64::from(i));
+        if let Some(dir) = cache_dir {
+            if let Some(digest) = load_cached_digest(dir, program_seed, config_hash) {
+                return (digest, true);
+            }
+        }
+        let program = generate_program(program_seed, &config.gen);
+        let digest = digest_program(&simulator, &program);
+        if let Some(dir) = cache_dir {
+            store_cached_digest(dir, program_seed, config_hash, &digest);
+        }
+        (digest, false)
+    });
+    let simulate = start.elapsed();
+    let digest_cache_hits = digests.iter().filter(|(_, hit)| *hit).count() as u32;
+
+    // Phase 2 — corner-batched: `N` per-seed jobs, each walking its digest
+    // once against the whole bank. The varied models, policy tables and the
+    // SoA corner bank are corner-constant, so they are built once and
+    // shared by every job.
+    let start = Instant::now();
+    let contexts: Vec<CornerContext> = corner_samples
+        .iter()
+        .map(|corner| CornerContext::new(&nominal, &config.variation, corner, &guarded_lut))
+        .collect();
+    let varied_models: Vec<TimingModel> = contexts.iter().map(|ctx| ctx.varied.clone()).collect();
+    let bank = CornerBank::from_models(&varied_models);
+    let outcomes: Vec<SweepJobOutcome> = par_map(&seed_indices, |&i| {
+        replay_seed_banked(&digests[i as usize].0, &contexts, &bank, i)
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    let replay = start.elapsed();
+
+    (
+        finish_report(config, corner_samples, outcomes),
+        SweepTiming {
+            simulate,
+            replay,
+            simulated_programs: config.seeds - digest_cache_hits,
+            digest_cache_hits,
+        },
+    )
+}
+
+/// The retained lane-by-lane two-phase engine: phase 1 is identical to
+/// [`pvt_sweep`], phase 2 replays each `(digest, corner)` pair as its own
+/// job through the scalar replay path. Kept (and exercised by the property
+/// tests) to pin the corner-batched kernel byte-identical; also the honest
+/// baseline for the banked-replay speedup measurement.
+#[must_use]
+pub fn pvt_sweep_lanewise(config: &SweepConfig) -> SweepReport {
+    pvt_sweep_lanewise_timed(config).0
+}
+
+/// [`pvt_sweep_lanewise`] with the per-phase wall-clock breakdown.
+#[must_use]
+pub fn pvt_sweep_lanewise_timed(config: &SweepConfig) -> (SweepReport, SweepTiming) {
+    let (nominal, guarded_lut, corner_samples) = sweep_setup(config);
+
     let start = Instant::now();
     let simulator = Simulator::new(SimConfig::default());
     let seed_indices: Vec<u32> = (0..config.seeds).collect();
@@ -579,9 +861,6 @@ pub fn pvt_sweep_timed(config: &SweepConfig) -> (SweepReport, SweepTiming) {
     });
     let simulate = start.elapsed();
 
-    // Phase 2 — replay every digest against every corner. The varied model
-    // and policy tables are corner-constant, so they are built once per
-    // corner and shared across that corner's N jobs.
     let start = Instant::now();
     let contexts: Vec<CornerContext> = corner_samples
         .iter()
@@ -599,7 +878,12 @@ pub fn pvt_sweep_timed(config: &SweepConfig) -> (SweepReport, SweepTiming) {
 
     (
         finish_report(config, corner_samples, outcomes),
-        SweepTiming { simulate, replay },
+        SweepTiming {
+            simulate,
+            replay,
+            simulated_programs: config.seeds,
+            digest_cache_hits: 0,
+        },
     )
 }
 
@@ -647,7 +931,9 @@ mod tests {
     }
 
     #[test]
-    fn two_phase_sweep_is_byte_identical_to_direct_reference() {
+    fn banked_sweep_is_byte_identical_to_lanewise_and_direct_references() {
+        // Corner counts deliberately straddle the SIMD lane width (3, 5) so
+        // the padded lanes are exercised alongside exact multiples.
         for (seeds, corners, master_seed) in [(4, 3, 0x5EED), (6, 2, 7), (3, 5, 0xC0DE)] {
             let config = SweepConfig {
                 seeds,
@@ -655,12 +941,80 @@ mod tests {
                 master_seed,
                 ..SweepConfig::default()
             };
-            let two_phase = pvt_sweep(&config);
+            let banked = pvt_sweep(&config);
+            let lanewise = pvt_sweep_lanewise(&config);
             let direct = pvt_sweep_direct(&config);
             // Bit-identical job rows (f64 equality), not just rendered text.
-            assert_eq!(two_phase, direct, "{seeds}x{corners}@{master_seed:#x}");
-            assert_eq!(two_phase.render(), direct.render());
+            assert_eq!(banked, lanewise, "{seeds}x{corners}@{master_seed:#x}");
+            assert_eq!(banked, direct, "{seeds}x{corners}@{master_seed:#x}");
+            assert_eq!(banked.render(), direct.render());
         }
+    }
+
+    #[test]
+    fn digest_cache_round_trips_and_rejects_stale_entries() {
+        let dir = std::env::temp_dir().join(format!(
+            "idca-digest-cache-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("cache dir is creatable");
+        let config = small_config();
+
+        // Cold: everything is simulated and the cache is populated.
+        let (cold, cold_timing) = pvt_sweep_timed_with_cache(&config, Some(&dir));
+        assert_eq!(cold_timing.simulated_programs, config.seeds);
+        assert_eq!(cold_timing.digest_cache_hits, 0);
+        let entries = std::fs::read_dir(&dir).expect("cache dir readable").count();
+        assert_eq!(entries, config.seeds as usize);
+
+        // Warm: nothing is simulated; the report is byte-identical.
+        let (warm, warm_timing) = pvt_sweep_timed_with_cache(&config, Some(&dir));
+        assert_eq!(warm_timing.simulated_programs, 0);
+        assert_eq!(warm_timing.digest_cache_hits, config.seeds);
+        assert_eq!(warm, cold);
+        assert_eq!(warm.render(), cold.render());
+
+        // Stale: flip one bit of one entry's *embedded* generator-config
+        // hash (the defense-in-depth copy inside the header — e.g. a file
+        // renamed or copied by hand). That entry must be re-simulated (and
+        // rewritten), not trusted.
+        let seed0 = nth_seed(config.master_seed, 0);
+        let path = cache_entry_path(&dir, seed0, config.gen.content_hash());
+        let mut bytes = std::fs::read(&path).expect("entry exists");
+        bytes[16] ^= 0x01;
+        std::fs::write(&path, &bytes).expect("entry is writable");
+        let (stale, stale_timing) = pvt_sweep_timed_with_cache(&config, Some(&dir));
+        assert_eq!(stale_timing.simulated_programs, 1);
+        assert_eq!(stale_timing.digest_cache_hits, config.seeds - 1);
+        assert_eq!(stale, cold);
+
+        // Corrupt: truncate one entry's digest payload; the checksummed
+        // codec rejects it and the sweep re-simulates.
+        let bytes = std::fs::read(&path).expect("entry exists");
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).expect("entry is writable");
+        let (corrupt, corrupt_timing) = pvt_sweep_timed_with_cache(&config, Some(&dir));
+        assert_eq!(corrupt_timing.simulated_programs, 1);
+        assert_eq!(corrupt, cold);
+
+        // A different generator config must not hit the old entries — and,
+        // because the config hash is part of the file name, it must not
+        // evict them either: both configs' entries coexist, and the
+        // original config stays fully warm afterwards.
+        let other = SweepConfig {
+            gen: idca_gen::GenConfig {
+                block_len: config.gen.block_len + 1,
+                ..config.gen
+            },
+            ..config.clone()
+        };
+        let (_, other_timing) = pvt_sweep_timed_with_cache(&other, Some(&dir));
+        assert_eq!(other_timing.digest_cache_hits, 0);
+        let (_, rewarm_timing) = pvt_sweep_timed_with_cache(&config, Some(&dir));
+        assert_eq!(rewarm_timing.digest_cache_hits, config.seeds);
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

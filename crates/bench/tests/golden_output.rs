@@ -81,6 +81,52 @@ fn summary_report_matches_golden() {
 }
 
 #[test]
+fn digest_cached_sweep_is_byte_identical_cold_warm_threaded_and_stale() {
+    let dir = std::env::temp_dir().join(format!("idca-golden-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_arg = dir.to_str().expect("temp dir is UTF-8").to_string();
+    let args = [
+        "sweep",
+        "--seeds",
+        "4",
+        "--corners",
+        "2",
+        "--seed",
+        "7",
+        "--digest-cache",
+        &dir_arg,
+    ];
+
+    // Cold run populates the cache; stdout matches the uncached golden.
+    let cold = repro_stdout(&args, "4");
+    assert_matches_golden("sweep_s4_c2_seed7.txt", &cold);
+    let entries: Vec<_> = std::fs::read_dir(&dir)
+        .expect("cache dir exists after the cold run")
+        .map(|e| e.expect("cache dir entry").path())
+        .collect();
+    assert_eq!(entries.len(), 4, "one cache entry per seed");
+
+    // Warm cache, and warm cache across thread counts: byte-identical.
+    assert_eq!(repro_stdout(&args, "4"), cold, "warm cache diverged");
+    assert_eq!(
+        repro_stdout(&args, "1"),
+        repro_stdout(&args, "4"),
+        "cached sweep differs between RAYON_NUM_THREADS=1 and =4"
+    );
+
+    // Stale entry: corrupt one file's generator-config hash (bytes 16..24
+    // of the entry header). The sweep must re-simulate that seed and still
+    // produce the identical report.
+    let victim = &entries[0];
+    let mut bytes = std::fs::read(victim).expect("cache entry readable");
+    bytes[16..24].copy_from_slice(&0xDEAD_BEEFu64.to_le_bytes());
+    std::fs::write(victim, &bytes).expect("cache entry writable");
+    assert_eq!(repro_stdout(&args, "4"), cold, "stale entry was trusted");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn sweep_rejects_malformed_flags() {
     let run = |args: &[&str]| {
         Command::new(env!("CARGO_BIN_EXE_repro"))

@@ -11,7 +11,7 @@
 use crate::sim::PolicyObserver;
 use crate::{run_with_policy, ClockGenerator, ClockPolicy, RunOutcome, StaticClock};
 use idca_isa::Program;
-use idca_pipeline::{PipelineError, PipelineTrace, Simulator};
+use idca_pipeline::{CycleObserver, PipelineError, PipelineTrace, Simulator, TimingDigest};
 use idca_timing::TimingModel;
 use serde::{Deserialize, Serialize};
 
@@ -90,6 +90,39 @@ pub fn compare_program(
         baseline: baseline.into_outcome(),
         dynamic: dynamic.into_outcome(),
     })
+}
+
+/// Compares a dynamic clock-adjustment policy against conventional static
+/// clocking by replaying a pre-captured [`TimingDigest`] — the
+/// simulate-once / evaluate-many counterpart of [`compare_program`]: one
+/// digested simulation serves any number of `(model, policy, generator)`
+/// evaluations with no simulator in the loop, and both observers share a
+/// single model evaluation per cycle. Bit-identical to [`compare_program`]
+/// on the originating program (the digest replay is the same arithmetic).
+#[must_use]
+pub fn compare_digest(
+    model: &TimingModel,
+    benchmark: impl Into<String>,
+    digest: &TimingDigest,
+    policy: &dyn ClockPolicy,
+    generator: &ClockGenerator,
+) -> PolicyComparison {
+    let static_policy = StaticClock::of_model(model);
+    let mut baseline = PolicyObserver::new(model, &static_policy, &ClockGenerator::Ideal);
+    let mut dynamic = PolicyObserver::new(model, policy, generator);
+    digest.for_each_cycle(|cycle, dc| {
+        let timing = model.digest_cycle_timing(cycle, dc);
+        baseline.observe_digest_timed(cycle, dc, &timing);
+        dynamic.observe_digest_timed(cycle, dc, &timing);
+    });
+    let summary = digest.summary();
+    baseline.finish(&summary);
+    dynamic.finish(&summary);
+    PolicyComparison {
+        benchmark: benchmark.into(),
+        baseline: baseline.into_outcome(),
+        dynamic: dynamic.into_outcome(),
+    }
 }
 
 /// Aggregation of [`PolicyComparison`]s over a benchmark suite (Fig. 8).
@@ -257,6 +290,17 @@ mod tests {
             speedups[0] > speedups[1],
             "alu should beat mul: {speedups:?}"
         );
+    }
+
+    #[test]
+    fn digest_comparison_matches_trace_comparison() {
+        let model = TimingModel::at_nominal(ProfileKind::CriticalRangeOptimized);
+        let policy = InstructionBased::from_model(&model);
+        let t = loop_trace("l.mul r4, r3, r3\n l.sw 0(r0), r4\n l.lwz r5, 0(r0)");
+        let digest = TimingDigest::from_trace(&t);
+        let via_trace = compare(&model, "kernel", &t, &policy, &ClockGenerator::Ideal);
+        let via_digest = compare_digest(&model, "kernel", &digest, &policy, &ClockGenerator::Ideal);
+        assert_eq!(via_trace, via_digest);
     }
 
     #[test]

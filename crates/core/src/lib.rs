@@ -70,4 +70,4 @@ pub use clockgen::ClockGenerator;
 pub use error::{CoreError, LutFormatError};
 pub use lut::{DelayLut, LutSource, Table2Row};
 pub use policy::{ClockPolicy, ExecuteOnly, GenieOracle, InstructionBased, StaticClock};
-pub use sim::{replay_digest, run_with_policy, PolicyObserver, RunOutcome};
+pub use sim::{replay_digest, replay_digest_banked, run_with_policy, PolicyObserver, RunOutcome};

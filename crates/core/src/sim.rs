@@ -17,7 +17,7 @@ use crate::{ClockGenerator, ClockPolicy};
 use idca_pipeline::{
     CycleObserver, CycleRecord, DigestCycle, PipelineTrace, RunSummary, TimingDigest,
 };
-use idca_timing::{ActivityObserver, ActivitySummary, CycleTiming, Ps, TimingModel};
+use idca_timing::{ActivityObserver, ActivitySummary, CornerBank, CycleTiming, Ps, TimingModel};
 use serde::{Deserialize, Serialize};
 
 /// Result of replaying one trace under one clocking policy.
@@ -144,6 +144,23 @@ impl<'a> PolicyObserver<'a> {
         self.activity.observe_digest(digest_cycle);
     }
 
+    /// [`PolicyObserver::observe_digest_timed`] with the policy's requested
+    /// period also precomputed. The banked sweep walks digests one RLE
+    /// run-block at a time; within a block the stage classes are constant,
+    /// so the table-driven policies' decisions are too — the caller
+    /// evaluates [`ClockPolicy::digest_period_ps`] once per block and feeds
+    /// the identical value to every cycle (and, for corner-invariant
+    /// policies, every corner) instead of re-deriving it per lane.
+    pub fn observe_digest_prepared(
+        &mut self,
+        requested: Ps,
+        digest_cycle: &DigestCycle,
+        timing: &CycleTiming,
+    ) {
+        self.step(requested, timing.max_delay_ps);
+        self.activity.observe_digest(digest_cycle);
+    }
+
     /// The per-cycle accumulation shared by the live and the replay paths:
     /// realize the requested period, check the violation invariant against
     /// the actual dynamic delay, accumulate the realized time.
@@ -246,6 +263,43 @@ pub fn replay_digest(
     digest.for_each_cycle(|cycle, dc| observer.observe_digest(cycle, dc));
     observer.finish(&digest.summary());
     observer.into_outcome()
+}
+
+/// Replays a [`TimingDigest`] under `policy` against **all** `models` in a
+/// single digest walk — the corner-batched counterpart of
+/// [`replay_digest`]. The per-cycle dither and excitation blend are
+/// computed once and broadcast; the per-corner delay folds run through the
+/// [`CornerBank`]'s vectorized lanes. Outcome `i` is bit-identical to
+/// `replay_digest(&models[i], digest, policy, generator)` (pinned by the
+/// banked-replay property tests), at a fraction of the walk cost.
+#[must_use]
+pub fn replay_digest_banked(
+    models: &[TimingModel],
+    digest: &TimingDigest,
+    policy: &dyn ClockPolicy,
+    generator: &ClockGenerator,
+) -> Vec<RunOutcome> {
+    let bank = CornerBank::from_models(models);
+    let mut observers: Vec<PolicyObserver<'_>> = models
+        .iter()
+        .map(|model| PolicyObserver::new(model, policy, generator))
+        .collect();
+    bank.replay_digest(digest, |cycle, dc, timings| {
+        // The policy sees only the digest, never the model, so its request
+        // is corner-invariant: decide once, apply to every lane.
+        let requested = policy.digest_period_ps(cycle, dc);
+        for (observer, timing) in observers.iter_mut().zip(timings) {
+            observer.observe_digest_prepared(requested, dc, timing);
+        }
+    });
+    let summary = digest.summary();
+    observers
+        .into_iter()
+        .map(|mut observer| {
+            observer.finish(&summary);
+            observer.into_outcome()
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -379,6 +433,26 @@ mod tests {
             &ClockGenerator::Ideal,
         );
         assert_eq!(outcome.violations, 0);
+    }
+
+    #[test]
+    fn banked_replay_matches_per_corner_replay() {
+        use idca_timing::VariationModel;
+        let nominal = TimingModel::at_nominal(ProfileKind::CriticalRangeOptimized);
+        let vm = VariationModel::default();
+        let models: Vec<TimingModel> = (0..5)
+            .map(|i| vm.apply(&nominal, &vm.sample_corner(0xBA2C, i)))
+            .collect();
+        let digest = idca_pipeline::TimingDigest::from_trace(&mixed_trace());
+        let policy = InstructionBased::from_model(&nominal);
+        let banked = replay_digest_banked(&models, &digest, &policy, &ClockGenerator::Ideal);
+        assert_eq!(banked.len(), models.len());
+        for (model, outcome) in models.iter().zip(&banked) {
+            let scalar = replay_digest(model, &digest, &policy, &ClockGenerator::Ideal);
+            assert_eq!(*outcome, scalar);
+        }
+        // An empty bank yields no outcomes but also no panic.
+        assert!(replay_digest_banked(&[], &digest, &policy, &ClockGenerator::Ideal).is_empty());
     }
 
     #[test]

@@ -321,6 +321,344 @@ impl TimingDigest {
             }
         }
     }
+
+    /// Walks the encoded stream one *run-block* at a time, invoking `f` with
+    /// the first cycle index of the block, the block length and the shared
+    /// digest record. This is the batched replay driver: a consumer decodes
+    /// the pooled cycle once per block instead of once per cycle (the
+    /// corner-batched sweep walks run-blocks and only recomputes the
+    /// cycle-indexed dither inside them).
+    pub fn for_each_run<F: FnMut(u64, u32, &DigestCycle)>(&self, mut f: F) {
+        let mut cycle: u64 = 0;
+        for run in &self.runs {
+            f(cycle, run.len, &self.pool[run.cycle_id as usize]);
+            cycle += u64::from(run.len);
+        }
+    }
+
+    /// Returns the digest of only the first `cycles` simulated cycles —
+    /// the replay equivalent of truncating a characterization run (pool
+    /// entries no longer referenced are dropped and ids are remapped in
+    /// first-use order). The retired-instruction total is clamped to the
+    /// new cycle count; it is an upper bound, not an architectural replay.
+    #[must_use]
+    pub fn truncated(&self, cycles: u64) -> TimingDigest {
+        let mut out = TimingDigest::default();
+        let mut remap: Vec<Option<u32>> = vec![None; self.pool.len()];
+        let mut remaining = cycles;
+        for run in &self.runs {
+            if remaining == 0 {
+                break;
+            }
+            let take = u64::from(run.len).min(remaining) as u32;
+            remaining -= u64::from(take);
+            let slot = &mut remap[run.cycle_id as usize];
+            let id = *slot.get_or_insert_with(|| {
+                out.pool.push(self.pool[run.cycle_id as usize]);
+                (out.pool.len() - 1) as u32
+            });
+            out.runs.push(DigestRun {
+                cycle_id: id,
+                len: take,
+            });
+            out.cycles += u64::from(take);
+        }
+        out.retired = self.retired.min(out.cycles);
+        out
+    }
+
+    /// Serializes the digest to the compact versioned binary format.
+    ///
+    /// Layout (all integers little-endian):
+    ///
+    /// ```text
+    /// magic "IDCADGST" | version u32 | body_checksum u64 (FNV-1a)
+    /// | cycles u64 | retired u64 | pool_len u32 | runs_len u32
+    /// | pool entries | run entries
+    /// ```
+    ///
+    /// The checksum covers everything after itself (run totals and tables
+    /// alike), so any single corrupted byte of a stored digest is detected.
+    /// Each pool entry stores the six stage classes (one byte each), the six
+    /// excitation coefficient pairs as raw `f64` bit patterns (replay must be
+    /// bit-exact, so the float round-trip is by bits, never by text), the
+    /// fetch address and the activity flags; each run entry is a
+    /// `(cycle_id, len)` pair. [`TimingDigest::from_bytes`] re-validates
+    /// every structural invariant, so a digest loaded from disk is as
+    /// trustworthy as a freshly captured one.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let payload_len =
+            self.pool.len() * codec::POOL_ENTRY_BYTES + self.runs.len() * codec::RUN_ENTRY_BYTES;
+        let mut body = Vec::with_capacity(codec::BODY_HEADER_BYTES + payload_len);
+        body.extend_from_slice(&self.cycles.to_le_bytes());
+        body.extend_from_slice(&self.retired.to_le_bytes());
+        body.extend_from_slice(&(self.pool.len() as u32).to_le_bytes());
+        body.extend_from_slice(&(self.runs.len() as u32).to_le_bytes());
+        for dc in &self.pool {
+            for class in dc.classes {
+                body.push(class.index() as u8);
+            }
+            for excitation in dc.excitation {
+                body.extend_from_slice(&excitation.base.to_bits().to_le_bytes());
+                body.extend_from_slice(&excitation.dither_gain.to_bits().to_le_bytes());
+            }
+            body.extend_from_slice(&dc.fetch_address.to_le_bytes());
+            body.push(dc.flags.bits());
+        }
+        for run in &self.runs {
+            body.extend_from_slice(&run.cycle_id.to_le_bytes());
+            body.extend_from_slice(&run.len.to_le_bytes());
+        }
+
+        let mut bytes = Vec::with_capacity(codec::PREFIX_BYTES + body.len());
+        bytes.extend_from_slice(codec::MAGIC);
+        bytes.extend_from_slice(&codec::VERSION.to_le_bytes());
+        bytes.extend_from_slice(&codec::fnv1a(&body).to_le_bytes());
+        bytes.extend_from_slice(&body);
+        bytes
+    }
+
+    /// Deserializes a digest produced by [`TimingDigest::to_bytes`].
+    ///
+    /// Every failure mode of a file from disk — wrong magic, unknown
+    /// version, truncation, trailing garbage, a flipped payload bit, classes
+    /// or run ids out of range, run lengths that do not add up to the header
+    /// cycle count — is reported as a [`DigestFormatError`]; no input can
+    /// panic this parser or yield a structurally inconsistent digest.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DigestFormatError`] describing the first violation found.
+    pub fn from_bytes(bytes: &[u8]) -> Result<TimingDigest, DigestFormatError> {
+        let mut r = codec::Reader::new(bytes);
+        if r.bytes_exact(codec::MAGIC.len())? != codec::MAGIC {
+            return Err(DigestFormatError::BadMagic);
+        }
+        let version = r.u32()?;
+        if version != codec::VERSION {
+            return Err(DigestFormatError::UnsupportedVersion(version));
+        }
+        let checksum = r.u64()?;
+        let body = r.remaining();
+
+        let cycles = r.u64()?;
+        let retired = r.u64()?;
+        let pool_len = r.u32()? as usize;
+        let runs_len = r.u32()? as usize;
+        let payload_len = r.remaining().len();
+        let expected = pool_len
+            .checked_mul(codec::POOL_ENTRY_BYTES)
+            .and_then(|p| runs_len.checked_mul(codec::RUN_ENTRY_BYTES).map(|r| p + r))
+            .ok_or(DigestFormatError::Malformed("table sizes overflow"))?;
+        if payload_len < expected {
+            return Err(DigestFormatError::Truncated {
+                expected,
+                actual: payload_len,
+            });
+        }
+        if payload_len > expected {
+            return Err(DigestFormatError::Malformed("trailing bytes after tables"));
+        }
+        if codec::fnv1a(body) != checksum {
+            return Err(DigestFormatError::ChecksumMismatch);
+        }
+
+        let mut pool = Vec::with_capacity(pool_len);
+        for _ in 0..pool_len {
+            let mut classes = [TimingClass::Bubble; Stage::COUNT];
+            for slot in &mut classes {
+                let index = r.u8()? as usize;
+                *slot = *TimingClass::ALL
+                    .get(index)
+                    .ok_or(DigestFormatError::Malformed("timing class out of range"))?;
+            }
+            let mut excitation = [StageExcitation {
+                base: 0.0,
+                dither_gain: 0.0,
+            }; Stage::COUNT];
+            for slot in &mut excitation {
+                slot.base = f64::from_bits(r.u64()?);
+                slot.dither_gain = f64::from_bits(r.u64()?);
+            }
+            let fetch_address = r.u32()?;
+            let flags = CycleRecordFlags::from_bits(r.u8()?)
+                .ok_or(DigestFormatError::Malformed("undefined activity flag bits"))?;
+            pool.push(DigestCycle {
+                classes,
+                excitation,
+                fetch_address,
+                flags,
+            });
+        }
+
+        let mut runs = Vec::with_capacity(runs_len);
+        let mut total: u64 = 0;
+        for _ in 0..runs_len {
+            let cycle_id = r.u32()?;
+            let len = r.u32()?;
+            if cycle_id as usize >= pool_len {
+                return Err(DigestFormatError::Malformed(
+                    "run references missing pool id",
+                ));
+            }
+            if len == 0 {
+                return Err(DigestFormatError::Malformed("empty run"));
+            }
+            total += u64::from(len);
+            runs.push(DigestRun { cycle_id, len });
+        }
+        if total != cycles {
+            return Err(DigestFormatError::Malformed(
+                "run lengths disagree with header cycle count",
+            ));
+        }
+        if retired > cycles {
+            // A pipeline cannot retire more instructions than it ran cycles;
+            // live capture and `truncated` both guarantee this.
+            return Err(DigestFormatError::Malformed(
+                "retired count exceeds cycle count",
+            ));
+        }
+
+        Ok(TimingDigest {
+            pool,
+            runs,
+            cycles,
+            retired,
+        })
+    }
+}
+
+/// Errors reported by [`TimingDigest::from_bytes`]. A digest file on disk is
+/// untrusted input: every variant here is a rejected file, never a panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DigestFormatError {
+    /// The file does not start with the digest magic.
+    BadMagic,
+    /// The format version is newer (or older) than this reader supports.
+    UnsupportedVersion(
+        /// The version found in the header.
+        u32,
+    ),
+    /// The file ends early: a read needed more bytes than remain (whether
+    /// in the fixed prefix, the body header, or the tables the header
+    /// announced).
+    Truncated {
+        /// Bytes the failing read needed.
+        expected: usize,
+        /// Bytes actually available at that point.
+        actual: usize,
+    },
+    /// The payload does not hash to the header checksum (bit rot or a
+    /// partial write).
+    ChecksumMismatch,
+    /// A structural invariant is violated (out-of-range class, dangling run
+    /// id, inconsistent cycle totals, trailing bytes, ...).
+    Malformed(
+        /// Which invariant failed.
+        &'static str,
+    ),
+}
+
+impl std::fmt::Display for DigestFormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DigestFormatError::BadMagic => write!(f, "not a timing-digest file (bad magic)"),
+            DigestFormatError::UnsupportedVersion(v) => {
+                write!(f, "unsupported timing-digest format version {v}")
+            }
+            DigestFormatError::Truncated { expected, actual } => write!(
+                f,
+                "truncated timing digest: needs {expected} bytes, {actual} available"
+            ),
+            DigestFormatError::ChecksumMismatch => {
+                write!(f, "timing-digest payload checksum mismatch")
+            }
+            DigestFormatError::Malformed(what) => write!(f, "malformed timing digest: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DigestFormatError {}
+
+/// Byte-level helpers of the digest binary format.
+mod codec {
+    use super::DigestFormatError;
+    use crate::Stage;
+
+    /// File magic of the digest format.
+    pub(super) const MAGIC: &[u8] = b"IDCADGST";
+    /// Current format version.
+    pub(super) const VERSION: u32 = 1;
+    /// Unchecksummed prefix: magic + version + checksum.
+    pub(super) const PREFIX_BYTES: usize = 8 + 4 + 8;
+    /// Checksummed body header: cycles + retired + pool_len + runs_len.
+    pub(super) const BODY_HEADER_BYTES: usize = 8 + 8 + 4 + 4;
+    /// Serialized size of one pool entry: classes + excitation coefficient
+    /// pairs + fetch address + flags.
+    pub(super) const POOL_ENTRY_BYTES: usize = Stage::COUNT + Stage::COUNT * 16 + 4 + 1;
+    /// Serialized size of one run entry.
+    pub(super) const RUN_ENTRY_BYTES: usize = 8;
+
+    /// 64-bit FNV-1a over a byte slice (the header's payload checksum).
+    pub(super) fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+        for &byte in bytes {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        hash
+    }
+
+    /// Bounds-checked little-endian reader: every primitive read reports
+    /// [`DigestFormatError::Truncated`] instead of slicing out of range.
+    pub(super) struct Reader<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl<'a> Reader<'a> {
+        pub(super) fn new(bytes: &'a [u8]) -> Self {
+            Reader { bytes, pos: 0 }
+        }
+
+        /// The unread tail (used to checksum the payload before parsing it).
+        pub(super) fn remaining(&self) -> &'a [u8] {
+            &self.bytes[self.pos..]
+        }
+
+        pub(super) fn bytes_exact(&mut self, len: usize) -> Result<&'a [u8], DigestFormatError> {
+            let end = self
+                .pos
+                .checked_add(len)
+                .filter(|&end| end <= self.bytes.len())
+                .ok_or(DigestFormatError::Truncated {
+                    expected: len,
+                    actual: self.bytes.len() - self.pos,
+                })?;
+            let slice = &self.bytes[self.pos..end];
+            self.pos = end;
+            Ok(slice)
+        }
+
+        pub(super) fn u8(&mut self) -> Result<u8, DigestFormatError> {
+            Ok(self.bytes_exact(1)?[0])
+        }
+
+        pub(super) fn u32(&mut self) -> Result<u32, DigestFormatError> {
+            Ok(u32::from_le_bytes(
+                self.bytes_exact(4)?.try_into().expect("4 bytes"),
+            ))
+        }
+
+        pub(super) fn u64(&mut self) -> Result<u64, DigestFormatError> {
+            Ok(u64::from_le_bytes(
+                self.bytes_exact(8)?.try_into().expect("8 bytes"),
+            ))
+        }
+    }
 }
 
 /// Streaming digest capture: a [`CycleObserver`] that folds every
@@ -438,6 +776,143 @@ mod tests {
             digest.unique_cycles(),
             digest.cycles()
         );
+    }
+
+    #[test]
+    fn run_block_walk_expands_to_the_cycle_walk() {
+        let t = trace(
+            "        l.addi r3, r0, 60
+             loop:   l.addi r3, r3, -1
+                     l.sfne r3, r0
+                     l.bf   loop
+                     l.nop  0
+                     l.nop  1",
+        );
+        let digest = TimingDigest::from_trace(&t);
+        let mut per_cycle = Vec::new();
+        digest.for_each_cycle(|cycle, dc| per_cycle.push((cycle, *dc)));
+        let mut expanded = Vec::new();
+        digest.for_each_run(|start, len, dc| {
+            for offset in 0..u64::from(len) {
+                expanded.push((start + offset, *dc));
+            }
+        });
+        assert!(digest.run_count() as u64 <= digest.cycles());
+        assert_eq!(expanded, per_cycle);
+    }
+
+    #[test]
+    fn truncation_keeps_a_prefix_and_compacts_the_pool() {
+        let t = trace(
+            "        l.addi r3, r0, 80
+             loop:   l.addi r3, r3, -1
+                     l.sfne r3, r0
+                     l.bf   loop
+                     l.nop  0
+                     l.nop  1",
+        );
+        let digest = TimingDigest::from_trace(&t);
+        let keep = digest.cycles() / 3;
+        let short = digest.truncated(keep);
+        assert_eq!(short.cycles(), keep);
+        assert!(short.unique_cycles() <= digest.unique_cycles());
+        let mut full = Vec::new();
+        digest.for_each_cycle(|cycle, dc| {
+            if cycle < keep {
+                full.push((cycle, *dc));
+            }
+        });
+        let mut prefix = Vec::new();
+        short.for_each_cycle(|cycle, dc| prefix.push((cycle, *dc)));
+        assert_eq!(prefix, full);
+        // Truncating beyond the end is the identity on the cycle stream.
+        assert_eq!(
+            digest.truncated(digest.cycles() + 10).cycles(),
+            digest.cycles()
+        );
+    }
+
+    #[test]
+    fn binary_round_trip_is_byte_exact() {
+        let t = trace(
+            "        l.addi r3, r0, 33
+             loop:   l.mul  r4, r3, r3
+                     l.sw   0(r0), r4
+                     l.addi r3, r3, -1
+                     l.sfne r3, r0
+                     l.bf   loop
+                     l.nop  0
+                     l.nop  1",
+        );
+        let digest = TimingDigest::from_trace(&t);
+        let bytes = digest.to_bytes();
+        let back = TimingDigest::from_bytes(&bytes).expect("round-trips");
+        assert_eq!(back, digest);
+        // Serializing the reloaded digest reproduces the identical bytes.
+        assert_eq!(back.to_bytes(), bytes);
+        // The empty digest round-trips too.
+        let empty = TimingDigest::default();
+        assert_eq!(
+            TimingDigest::from_bytes(&empty.to_bytes()).expect("empty round-trips"),
+            empty
+        );
+    }
+
+    #[test]
+    fn corrupt_and_truncated_digests_are_rejected_without_panicking() {
+        let t = trace("l.addi r3, r0, 5\n l.mul r4, r3, r3\n l.nop 1\n");
+        let bytes = TimingDigest::from_trace(&t).to_bytes();
+
+        // Wrong magic.
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        assert_eq!(
+            TimingDigest::from_bytes(&bad),
+            Err(DigestFormatError::BadMagic)
+        );
+
+        // Unknown version.
+        let mut bad = bytes.clone();
+        bad[8] = 0xEE;
+        assert!(matches!(
+            TimingDigest::from_bytes(&bad),
+            Err(DigestFormatError::UnsupportedVersion(_))
+        ));
+
+        // Every possible truncation length parses to an error, never a panic.
+        for len in 0..bytes.len() {
+            assert!(
+                TimingDigest::from_bytes(&bytes[..len]).is_err(),
+                "prefix {len}"
+            );
+        }
+
+        // Trailing garbage is rejected.
+        let mut bad = bytes.clone();
+        bad.push(0);
+        assert!(TimingDigest::from_bytes(&bad).is_err());
+
+        // A flipped payload bit trips the checksum.
+        let mut bad = bytes.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x01;
+        assert_eq!(
+            TimingDigest::from_bytes(&bad),
+            Err(DigestFormatError::ChecksumMismatch)
+        );
+
+        // In fact *any* single corrupted byte — header counters included —
+        // is rejected: the checksum covers everything after itself.
+        for at in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[at] ^= 0x10;
+            assert!(TimingDigest::from_bytes(&bad).is_err(), "flip at byte {at}");
+        }
+
+        // Errors render a human-readable description.
+        assert!(DigestFormatError::ChecksumMismatch
+            .to_string()
+            .contains("checksum"));
     }
 
     #[test]

@@ -242,6 +242,21 @@ impl CycleRecordFlags {
         self.0
     }
 
+    /// Reconstructs flags from a raw bit pattern (digest deserialization).
+    /// Bits outside the defined flag set are rejected so a corrupt byte
+    /// cannot smuggle undefined activity into the power accounting.
+    #[must_use]
+    pub fn from_bits(bits: u8) -> Option<CycleRecordFlags> {
+        const ALL: u8 = CycleRecordFlags::EXECUTE_INSN
+            | CycleRecordFlags::MEM_ACCESS
+            | CycleRecordFlags::MUL_ACTIVE
+            | CycleRecordFlags::BRANCH
+            | CycleRecordFlags::BRANCH_TAKEN
+            | CycleRecordFlags::FORWARDED
+            | CycleRecordFlags::STALLED;
+        (bits & !ALL == 0).then_some(CycleRecordFlags(bits))
+    }
+
     /// Tests one of the flag constants.
     #[must_use]
     pub fn contains(self, flag: u8) -> bool {

@@ -61,7 +61,7 @@ mod simulator;
 mod stage;
 mod trace;
 
-pub use digest::{DigestCycle, DigestObserver, StageExcitation, TimingDigest};
+pub use digest::{DigestCycle, DigestFormatError, DigestObserver, StageExcitation, TimingDigest};
 pub use error::PipelineError;
 pub use event::{
     BranchActivity, BubbleKind, CycleRecord, CycleRecordFlags, ExecActivity, ForwardSource,
@@ -78,3 +78,9 @@ pub use trace::{class_at, occupant_at, PipelineTrace, TraceStats};
 /// The `l.nop` immediate that requests simulation exit, following the
 /// convention of the OpenRISC architectural simulator (`NOP_EXIT`).
 pub const NOP_EXIT: u16 = 1;
+
+/// Version of the simulator's observable behaviour: bump whenever a change
+/// can alter the [`CycleRecord`]s (and therefore the [`TimingDigest`]) a
+/// program produces. Persistent digest caches key on this so digests
+/// captured by an older simulator are re-simulated instead of trusted.
+pub const SIMULATOR_VERSION: u32 = 1;

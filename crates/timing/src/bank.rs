@@ -1,0 +1,350 @@
+//! The corner-batched timing-evaluation kernel.
+//!
+//! A Monte Carlo PVT sweep replays the same [`TimingDigest`] against many
+//! corner-varied [`TimingModel`]s. Evaluated corner by corner, each replay
+//! walks the digest separately and repeats the per-cycle work — decode the
+//! pooled cycle, hash the six stage dithers, blend the six excitations —
+//! that is *corner-invariant*: only the final `(base, spread, scale)` fold
+//! differs between corners.
+//!
+//! [`CornerBank`] restructures that evaluation. It holds the per-`(stage,
+//! class)` delay parameters of all `M` corners in structure-of-arrays
+//! layout — a `base` lane array, a `spread` lane array and a `scale` lane
+//! array, padded to the fixed [`LANE_WIDTH`] — so the delay fold
+//!
+//! ```text
+//! delay = max(base - spread × (1 - excitation), base × 0.35) × scale
+//! ```
+//!
+//! runs over all corners at once in `[f64; 4]` chunks that LLVM
+//! auto-vectorizes, while the dither and the blended excitation are computed
+//! once per cycle and broadcast. Every lane performs **exactly** the scalar
+//! arithmetic of [`TimingModel::digest_cycle_timing`] (the parameters are
+//! read from the already-varied models, the operations are in the same
+//! order, and Rust never contracts float expressions), so the batched kernel
+//! is bit-identical to the lane-by-lane path — pinned by the unit tests here
+//! and by the workspace-level banked-replay property tests.
+
+use crate::model::{blend_excitation, stage_dither};
+use crate::{CycleTiming, Ps, TimingModel};
+use idca_isa::TimingClass;
+use idca_pipeline::{DigestCycle, Stage, TimingDigest};
+
+/// Width of one evaluation lane chunk. The fold loops are written in chunks
+/// of this many `f64`s so the auto-vectorizer maps them onto 256-bit vector
+/// registers; banks whose corner count is not a multiple are padded with
+/// inert lanes.
+pub const LANE_WIDTH: usize = 4;
+
+/// The per-`(stage, class)` delay parameters of `M` timing-model corners in
+/// structure-of-arrays layout, ready for batched evaluation.
+///
+/// Built from the already-varied models with [`CornerBank::from_models`];
+/// evaluated per digested cycle through a [`BankEvaluator`] (which owns the
+/// reusable scratch) or in one sweep with [`CornerBank::replay_digest`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CornerBank {
+    corners: usize,
+    padded: usize,
+    /// Worst-case delay lanes, `(stage, class)`-major: entry
+    /// `(stage.index() * TimingClass::COUNT + class.index()) * padded + lane`
+    /// is corner `lane`'s varied worst case of that path group.
+    base: Vec<Ps>,
+    /// Data-dependent spread lanes, same layout as `base`.
+    spread: Vec<Ps>,
+    /// Per-corner operating-point delay scale (one lane vector shared by
+    /// every `(stage, class)` pair).
+    scale: Vec<f64>,
+    /// Per-corner static periods (handy for per-lane static baselines).
+    static_period_ps: Vec<Ps>,
+}
+
+impl CornerBank {
+    /// Packs the delay parameters of the given (typically corner-varied)
+    /// models into lane order. Lane `l` reproduces `models[l]` exactly: the
+    /// parameters are read back from each model, so whatever variation was
+    /// applied to produce it is captured bit-for-bit.
+    #[must_use]
+    pub fn from_models(models: &[TimingModel]) -> CornerBank {
+        let corners = models.len();
+        let padded = corners.next_multiple_of(LANE_WIDTH);
+        let mut base = vec![0.0; Stage::COUNT * TimingClass::COUNT * padded];
+        let mut spread = vec![0.0; Stage::COUNT * TimingClass::COUNT * padded];
+        for stage in Stage::ALL {
+            for class in TimingClass::ALL {
+                let at = lane_offset(padded, stage, class);
+                for (lane, model) in models.iter().enumerate() {
+                    base[at + lane] = model.profile().worst_case(stage, class);
+                    spread[at + lane] = model.profile().spread(stage, class);
+                }
+            }
+        }
+        let mut scale = vec![0.0; padded];
+        for (lane, model) in models.iter().enumerate() {
+            scale[lane] = model.operating_point().delay_scale;
+        }
+        let static_period_ps = models.iter().map(TimingModel::static_period_ps).collect();
+        CornerBank {
+            corners,
+            padded,
+            base,
+            spread,
+            scale,
+            static_period_ps,
+        }
+    }
+
+    /// Number of corners in the bank (excluding padding lanes).
+    #[must_use]
+    pub fn corners(&self) -> usize {
+        self.corners
+    }
+
+    /// `true` when the bank holds no corner.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.corners == 0
+    }
+
+    /// The static-timing-analysis period of one corner's model.
+    #[must_use]
+    pub fn static_period_ps(&self, corner: usize) -> Ps {
+        self.static_period_ps[corner]
+    }
+
+    /// Number of lanes including padding: [`CornerBank::corners`] rounded
+    /// up to the next [`LANE_WIDTH`] multiple. This is the buffer length
+    /// [`CornerBank::delays_from_excitation`] requires.
+    #[must_use]
+    pub fn padded_lanes(&self) -> usize {
+        self.padded
+    }
+
+    /// Evaluates the `(stage, class)` delay at a blended excitation for
+    /// every corner at once — the batched counterpart of the scalar
+    /// `delay_from_excitation` shared by the direct and replay paths.
+    /// `out` must hold at least [`CornerBank::padded_lanes`] entries; the
+    /// first [`CornerBank::corners`] are the per-corner delays, the rest is
+    /// scratch ([`CornerBank::evaluator`] sizes this for you).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is shorter than [`CornerBank::padded_lanes`].
+    pub fn delays_from_excitation(
+        &self,
+        stage: Stage,
+        class: TimingClass,
+        excitation: f64,
+        out: &mut [Ps],
+    ) {
+        let at = lane_offset(self.padded, stage, class);
+        let base = &self.base[at..at + self.padded];
+        let spread = &self.spread[at..at + self.padded];
+        let scale = &self.scale[..self.padded];
+        let out = &mut out[..self.padded];
+        let shortfall = 1.0 - excitation;
+        // Fixed-width chunks: the inner loop has no bounds checks and a
+        // compile-time trip count, which is what lets LLVM emit packed
+        // f64x4 subtract/multiply/max instructions for it.
+        let mut lanes = out
+            .chunks_exact_mut(LANE_WIDTH)
+            .zip(base.chunks_exact(LANE_WIDTH))
+            .zip(spread.chunks_exact(LANE_WIDTH))
+            .zip(scale.chunks_exact(LANE_WIDTH));
+        for (((out4, base4), spread4), scale4) in &mut lanes {
+            for l in 0..LANE_WIDTH {
+                let delay = base4[l] - spread4[l] * shortfall;
+                out4[l] = delay.max(base4[l] * 0.35) * scale4[l];
+            }
+        }
+    }
+
+    /// Creates an evaluator bound to this bank, owning the reusable lane
+    /// scratch and [`CycleTiming`] output buffer.
+    #[must_use]
+    pub fn evaluator(&self) -> BankEvaluator<'_> {
+        BankEvaluator {
+            bank: self,
+            lanes: vec![0.0; self.padded],
+            timings: vec![
+                CycleTiming {
+                    stage_delay_ps: [0.0; Stage::COUNT],
+                    max_delay_ps: 0.0,
+                    limiting_stage: Stage::Execute,
+                };
+                self.corners
+            ],
+        }
+    }
+
+    /// Replays a whole digest against the bank: one digest walk, with `f`
+    /// invoked once per simulated cycle carrying the per-corner
+    /// [`CycleTiming`]s (index = corner). Pool entries are decoded once per
+    /// RLE run-block; the per-cycle dithers are computed once and broadcast
+    /// across corners.
+    pub fn replay_digest<F: FnMut(u64, &DigestCycle, &[CycleTiming])>(
+        &self,
+        digest: &TimingDigest,
+        mut f: F,
+    ) {
+        let mut evaluator = self.evaluator();
+        digest.for_each_run(|start, len, dc| {
+            for cycle in start..start + u64::from(len) {
+                f(cycle, dc, evaluator.cycle_timings(cycle, dc));
+            }
+        });
+    }
+}
+
+/// Reusable per-walk state of one [`CornerBank`]: the padded lane scratch
+/// and the per-corner [`CycleTiming`] outputs. Create with
+/// [`CornerBank::evaluator`]; one evaluator serves any number of cycles.
+#[derive(Debug, Clone)]
+pub struct BankEvaluator<'b> {
+    bank: &'b CornerBank,
+    lanes: Vec<Ps>,
+    timings: Vec<CycleTiming>,
+}
+
+impl BankEvaluator<'_> {
+    /// The bank this evaluator reads from.
+    #[must_use]
+    pub fn bank(&self) -> &CornerBank {
+        self.bank
+    }
+
+    /// Evaluates one digested cycle against every corner of the bank,
+    /// returning one [`CycleTiming`] per corner (index = corner). Each
+    /// entry is bit-identical to
+    /// `models[corner].digest_cycle_timing(cycle, dc)` on the model the
+    /// bank was built from: the dither, blend and delay arithmetic is the
+    /// same, only batched.
+    pub fn cycle_timings(&mut self, cycle: u64, dc: &DigestCycle) -> &[CycleTiming] {
+        for stage in Stage::ALL {
+            // Corner-invariant per-cycle terms, computed once and broadcast.
+            let dither = stage_dither(cycle, stage, dc.fetch_address);
+            let excitation = blend_excitation(dc.excitation[stage.index()].raw(dither), dither);
+            self.bank.delays_from_excitation(
+                stage,
+                dc.classes[stage.index()],
+                excitation,
+                &mut self.lanes,
+            );
+            for (timing, delay) in self.timings.iter_mut().zip(&self.lanes) {
+                timing.stage_delay_ps[stage.index()] = *delay;
+            }
+        }
+        // The max/limiting fold mirrors the scalar `digest_cycle_timing`
+        // loop (stage order, strict `>` comparison) so ties resolve to the
+        // identical limiting stage.
+        for timing in &mut self.timings {
+            let mut max_delay = 0.0;
+            let mut limiting = Stage::Execute;
+            for stage in Stage::ALL {
+                let delay = timing.stage_delay_ps[stage.index()];
+                if delay > max_delay {
+                    max_delay = delay;
+                    limiting = stage;
+                }
+            }
+            timing.max_delay_ps = max_delay;
+            timing.limiting_stage = limiting;
+        }
+        &self.timings
+    }
+}
+
+/// Start of the lane vector of one `(stage, class)` pair.
+fn lane_offset(padded: usize, stage: Stage, class: TimingClass) -> usize {
+    (stage.index() * TimingClass::COUNT + class.index()) * padded
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ProfileKind, VariationModel};
+    use idca_isa::asm::Assembler;
+    use idca_pipeline::{SimConfig, Simulator};
+
+    fn digest(src: &str) -> TimingDigest {
+        let program = Assembler::new().assemble(src).expect("assembles");
+        let trace = Simulator::new(SimConfig::default())
+            .run(&program)
+            .expect("runs")
+            .trace;
+        TimingDigest::from_trace(&trace)
+    }
+
+    fn mixed_digest() -> TimingDigest {
+        digest(
+            "        l.addi r1, r0, 0x100
+                     l.addi r3, r0, 40
+             loop:   l.mul  r5, r3, r3
+                     l.sw   0(r1), r5
+                     l.lwz  r6, 0(r1)
+                     l.add  r4, r4, r6
+                     l.xor  r7, r4, r3
+                     l.addi r3, r3, -1
+                     l.sfne r3, r0
+                     l.bf   loop
+                     l.nop  0
+                     l.nop  1",
+        )
+    }
+
+    fn varied_models(count: u32, master_seed: u64) -> Vec<TimingModel> {
+        let nominal = TimingModel::at_nominal(ProfileKind::CriticalRangeOptimized);
+        let vm = VariationModel::default();
+        (0..count)
+            .map(|i| vm.apply(&nominal, &vm.sample_corner(master_seed, i)))
+            .collect()
+    }
+
+    #[test]
+    fn banked_timings_are_bit_identical_to_scalar_replay() {
+        let d = mixed_digest();
+        // Corner counts straddling the lane width, including non-multiples.
+        for corners in [1, 2, 3, 4, 5, 7, 8, 9] {
+            let models = varied_models(corners, 0xBA2C);
+            let bank = CornerBank::from_models(&models);
+            assert_eq!(bank.corners(), corners as usize);
+            bank.replay_digest(&d, |cycle, dc, timings| {
+                for (model, banked) in models.iter().zip(timings) {
+                    let scalar = model.digest_cycle_timing(cycle, dc);
+                    assert_eq!(scalar, *banked, "corners {corners} cycle {cycle}");
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn bank_reads_back_the_model_parameters() {
+        let models = varied_models(3, 7);
+        let bank = CornerBank::from_models(&models);
+        for (corner, model) in models.iter().enumerate() {
+            assert_eq!(bank.static_period_ps(corner), model.static_period_ps());
+        }
+        // Full excitation leaves only base × scale; the batched fold must
+        // agree with the scalar worst case.
+        let mut lanes = vec![0.0; bank.padded_lanes()];
+        bank.delays_from_excitation(Stage::Execute, TimingClass::Mul, 1.0, &mut lanes);
+        for (corner, model) in models.iter().enumerate() {
+            assert_eq!(
+                lanes[corner],
+                model.worst_case_ps(Stage::Execute, TimingClass::Mul)
+            );
+        }
+    }
+
+    #[test]
+    fn empty_bank_is_inert() {
+        let bank = CornerBank::from_models(&[]);
+        assert!(bank.is_empty());
+        let mut visited = 0u64;
+        bank.replay_digest(&mixed_digest(), |_, _, timings| {
+            assert!(timings.is_empty());
+            visited += 1;
+        });
+        assert!(visited > 0);
+    }
+}

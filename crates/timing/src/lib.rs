@@ -36,6 +36,10 @@
 //!   variation: deterministic corner sampling and per-cell delay
 //!   perturbation for Monte Carlo sweeps (the paper's PVT outlook,
 //!   evaluated rather than just cited).
+//! * [`CornerBank`] — the corner-batched evaluation kernel: the delay
+//!   parameters of `M` varied models packed in structure-of-arrays lanes,
+//!   so one digested cycle is evaluated against every corner at once in
+//!   auto-vectorized `f64x4` chunks, bit-identical to the scalar path.
 //!
 //! # Example
 //!
@@ -59,6 +63,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bank;
 pub mod dta;
 mod eventlog;
 mod histogram;
@@ -68,6 +73,7 @@ mod power;
 mod profile;
 mod variation;
 
+pub use bank::{BankEvaluator, CornerBank, LANE_WIDTH};
 pub use dta::{DtaObserver, DynamicTimingAnalysis};
 pub use eventlog::{Endpoint, EndpointEvent, EndpointId, EventLog};
 pub use histogram::Histogram;

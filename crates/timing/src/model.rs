@@ -329,7 +329,7 @@ impl CycleObserver for EventLogObserver<'_> {
 /// case that any longer benchmark run can produce. Keyed by `(cycle, stage,
 /// fetch_address)` only, so the digest replay recomputes the identical
 /// value without storing it.
-fn stage_dither(cycle: u64, stage: Stage, fetch_address: u32) -> f64 {
+pub(crate) fn stage_dither(cycle: u64, stage: Stage, fetch_address: u32) -> f64 {
     quantize_dither(hash01(cycle, stage.index() as u64, fetch_address.into()))
 }
 
@@ -337,7 +337,7 @@ fn stage_dither(cycle: u64, stage: Stage, fetch_address: u32) -> f64 {
 /// identical activity does not collapse onto a single delay value
 /// (modelling residual unmodelled variation such as crosstalk), while
 /// keeping the result bounded by the class worst-case.
-fn blend_excitation(raw: f64, dither: f64) -> f64 {
+pub(crate) fn blend_excitation(raw: f64, dither: f64) -> f64 {
     (raw * 0.92 + 0.08 * dither).clamp(0.0, 1.0)
 }
 

@@ -76,8 +76,8 @@ pub mod prelude {
         Stage,
     };
     pub use idca_timing::{
-        dta::DynamicTimingAnalysis, ActivityObserver, ActivitySummary, CellLibrary, PowerModel,
-        ProfileKind, PvtCorner, TimingModel, TimingProfile, VariationModel,
+        dta::DynamicTimingAnalysis, ActivityObserver, ActivitySummary, CellLibrary, CornerBank,
+        PowerModel, ProfileKind, PvtCorner, TimingModel, TimingProfile, VariationModel,
     };
     pub use idca_workloads::{
         benchmark_suite, suite::characterization_workload, synthetic_suite, synthetic_workload,

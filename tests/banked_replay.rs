@@ -1,0 +1,126 @@
+//! Equivalence contract of the corner-batched replay kernel and the digest
+//! binary codec, over *random* inputs:
+//!
+//! * replaying a digest against `M` corner-varied models through the SIMD
+//!   [`CornerBank`] lanes must be **bit-identical** to the retained
+//!   lane-by-lane scalar replay, for every policy, for corner counts on
+//!   both sides of (and straddling) the lane width — padding lanes must be
+//!   inert;
+//! * serializing a digest and loading it back must reproduce the identical
+//!   digest, the identical bytes, and the identical replay outcomes;
+//! * no corruption of serialized bytes may panic the loader.
+
+use idca::core::{replay_digest, replay_digest_banked};
+use idca::pipeline::{DigestObserver, TimingDigest};
+use idca::prelude::*;
+use proptest::prelude::*;
+
+fn nominal() -> TimingModel {
+    TimingModel::at_nominal(ProfileKind::CriticalRangeOptimized)
+}
+
+/// Generates and simulates the `master_seed`-derived program, capturing its
+/// timing digest.
+fn digest_of(master_seed: u64) -> TimingDigest {
+    let program = generate_program(nth_seed(master_seed, 0), &GenConfig::default());
+    let mut observer = DigestObserver::new();
+    Simulator::new(SimConfig::default())
+        .run_observed(&program, &mut [&mut observer])
+        .expect("generated programs terminate");
+    observer.into_digest()
+}
+
+/// Samples `corners` PVT-varied models from the default variation model.
+fn varied_models(corners: u32, master_seed: u64) -> Vec<TimingModel> {
+    let base = nominal();
+    let vm = VariationModel::default();
+    (0..corners)
+        .map(|i| vm.apply(&base, &vm.sample_corner(master_seed, i)))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn banked_replay_is_bit_identical_to_lane_by_lane(
+        corners in 1u32..=9,
+        master_seed in any::<u64>(),
+    ) {
+        let digest = digest_of(master_seed);
+        let models = varied_models(corners, master_seed);
+        let base = nominal();
+        let policies: [&dyn ClockPolicy; 3] = [
+            &StaticClock::of_model(&base),
+            &InstructionBased::from_model(&base),
+            &ExecuteOnly::new(DelayLut::from_model(&base)),
+        ];
+        for policy in policies {
+            let banked =
+                replay_digest_banked(&models, &digest, policy, &ClockGenerator::Ideal);
+            prop_assert_eq!(banked.len(), models.len());
+            for (model, outcome) in models.iter().zip(&banked) {
+                let scalar = replay_digest(model, &digest, policy, &ClockGenerator::Ideal);
+                // Field-for-field f64 equality, not tolerance: the banked
+                // lanes perform the identical arithmetic, so violations,
+                // realized periods and the activity statistics must match
+                // to the last bit.
+                prop_assert_eq!(outcome, &scalar, "policy {}", policy.name());
+            }
+        }
+    }
+
+    #[test]
+    fn banked_cycle_timings_match_the_scalar_model(
+        corners in 1u32..=9,
+        master_seed in any::<u64>(),
+    ) {
+        let digest = digest_of(master_seed);
+        let models = varied_models(corners, master_seed);
+        let bank = CornerBank::from_models(&models);
+        let mut mismatches = 0u64;
+        bank.replay_digest(&digest, |cycle, dc, timings| {
+            for (model, banked) in models.iter().zip(timings) {
+                if model.digest_cycle_timing(cycle, dc) != *banked {
+                    mismatches += 1;
+                }
+            }
+        });
+        prop_assert_eq!(mismatches, 0);
+    }
+
+    #[test]
+    fn digest_binary_round_trip_is_byte_exact_and_replay_identical(
+        master_seed in any::<u64>(),
+    ) {
+        let digest = digest_of(master_seed);
+        let bytes = digest.to_bytes();
+        let back = TimingDigest::from_bytes(&bytes).expect("round-trips");
+        prop_assert_eq!(&back, &digest);
+        prop_assert_eq!(back.to_bytes(), bytes);
+        // A reloaded digest replays to the identical outcome.
+        let model = nominal();
+        let policy = InstructionBased::from_model(&model);
+        prop_assert_eq!(
+            replay_digest(&model, &back, &policy, &ClockGenerator::Ideal),
+            replay_digest(&model, &digest, &policy, &ClockGenerator::Ideal)
+        );
+    }
+
+    #[test]
+    fn corrupted_digest_bytes_error_without_panicking(
+        master_seed in any::<u64>(),
+        position in any::<u64>(),
+        mask in 1u8..=255u8,
+    ) {
+        let bytes = digest_of(master_seed).to_bytes();
+        // Single-byte corruption anywhere is rejected (checksummed), and
+        // truncation to any length errors instead of panicking.
+        let at = (position % bytes.len() as u64) as usize;
+        let mut bad = bytes.clone();
+        bad[at] ^= mask;
+        prop_assert!(TimingDigest::from_bytes(&bad).is_err(), "flip at {}", at);
+        let cut = at; // reuse the position as an arbitrary truncation point
+        prop_assert!(TimingDigest::from_bytes(&bytes[..cut]).is_err());
+    }
+}
