@@ -68,6 +68,8 @@ fn print_bench_help() {
         "--digest-cache"
     );
     println!("  output: key=value throughput report (cycles/sec, jobs/sec, per-phase wall)");
+    println!("  the JSON fields, their units and how CI consumes them are documented");
+    println!("  in docs/BENCH_SCHEMA.md");
 }
 
 fn print_sweep_help() {

@@ -17,6 +17,9 @@
 //! | ablations | CG quantization, execute-only, profile, LUT source | [`Experiments::ablations`] |
 //! | PVT outlook | Monte Carlo seeds × corners sweep | [`Experiments::pvt_sweep`] |
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use idca_core::{
     eval::{self, SuiteSummary},
     policy::{ExecuteOnly, GenieOracle, InstructionBased, StaticClock},

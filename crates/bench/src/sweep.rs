@@ -19,13 +19,15 @@
 //! 2. **Replay** (`O(N)` corner-batched digest walks): the sweep is
 //!    sharded into `N` per-seed jobs. Each job walks its digest **once**,
 //!    RLE run-block by run-block — one pool decode and one set of
-//!    corner-invariant policy decisions per block, one dither per cycle —
-//!    and evaluates every cycle against **all** `M` corners at once
-//!    through the vectorized [`CornerBank`] lanes. The per-lane
-//!    [`CycleTiming`](idca_timing::CycleTiming)s feed `M` policy stacks
-//!    (static baseline, margin-guarded instruction-based, execute-only
-//!    [`PolicyObserver`]s and an online-learning [`AdaptiveObserver`]) —
-//!    with no pipeline simulator in the loop.
+//!    corner-invariant policy decisions per block, one batched dither
+//!    kernel per cycle — and evaluates every cycle against **all** `M`
+//!    corners at once through the vectorized [`CornerBank`] lanes. The
+//!    per-lane [`CycleTiming`](idca_timing::CycleTiming)s feed `M` policy
+//!    stacks (static baseline, margin-guarded instruction-based and
+//!    execute-only [`PolicyObserver`]s, plus all `M` online-learning
+//!    adaptive controllers folded through one SoA [`AdaptiveBank`]) —
+//!    with no pipeline simulator and no per-corner scalar state in the
+//!    loop.
 //!
 //! The banked replay is bit-identical to the retained lane-by-lane path
 //! ([`pvt_sweep_lanewise`], which replays each `(digest, corner)` pair
@@ -43,7 +45,8 @@
 
 use idca_core::{
     policy::{ExecuteOnly, InstructionBased, StaticClock},
-    AdaptiveConfig, AdaptiveObserver, ClockGenerator, ClockPolicy, DelayLut, Drift, PolicyObserver,
+    AdaptiveBank, AdaptiveConfig, AdaptiveObserver, ClockGenerator, ClockPolicy, DelayLut, Drift,
+    PolicyObserver,
 };
 use idca_gen::{generate_program, nth_seed, GenConfig};
 use idca_isa::Program;
@@ -484,11 +487,21 @@ fn replay_job(digest: &TimingDigest, ctx: &CornerContext, seed_index: u32) -> Sw
 /// against **every** corner in a single walk. Each RLE run-block is decoded
 /// once; the table-driven policies' requests (constant across the block,
 /// and — because all corners deploy the same margin-guarded LUT —
-/// corner-invariant too) are decided once per block; each cycle's dither is
-/// hashed once and broadcast; and the per-corner delay folds run through
-/// the [`CornerBank`]'s vectorized lanes. Produces the same rows, bit for
-/// bit, as running [`replay_job`] per corner (pinned by the banked-replay
-/// tests): one decode, one dither, `M` corner outcomes.
+/// corner-invariant too) are decided once per block; each cycle's six stage
+/// dithers come out of one batched hash kernel and are broadcast; the
+/// per-corner delay folds run through the [`CornerBank`]'s vectorized
+/// lanes; and the `M` adaptive controllers' learned tables live in one
+/// SoA [`AdaptiveBank`] updated in lane-friendly folds — no per-corner
+/// scalar state walks the digest anymore.
+///
+/// The sweep keeps only violations and frequencies per row, so the
+/// [`PolicyObserver`]s fold **no** switching activity here
+/// ([`PolicyObserver::observe_timing_prepared`]) — the lane-by-lane
+/// reference path still folds it per policy, and the rows are proven
+/// byte-identical anyway because [`SweepJobOutcome`] never carries
+/// activity. Produces the same rows, bit for bit, as running
+/// [`replay_job`] per corner (pinned by the banked-replay tests): one
+/// decode, one dither batch, `M` corner outcomes.
 fn replay_seed_banked(
     digest: &TimingDigest,
     contexts: &[CornerContext],
@@ -510,18 +523,16 @@ fn replay_seed_banked(
         .iter()
         .map(|ctx| PolicyObserver::new(&ctx.varied, &ctx.exec_only, &ClockGenerator::Ideal))
         .collect();
-    let mut ob_adaptive: Vec<AdaptiveObserver<'_>> = contexts
-        .iter()
-        .map(|ctx| {
-            AdaptiveObserver::new(
-                &ctx.varied,
-                &AdaptiveConfig::default(),
-                &ClockGenerator::Ideal,
-                None,
-                Drift::None,
-            )
-        })
-        .collect();
+    let mut ob_adaptive = AdaptiveBank::from_static_periods(
+        contexts
+            .iter()
+            .map(|ctx| ctx.varied.static_period_ps())
+            .collect(),
+        &AdaptiveConfig::default(),
+        &ClockGenerator::Ideal,
+        None,
+        Drift::None,
+    );
 
     // The static baseline's request never changes: hoist it out of the walk.
     let static_req: Vec<Ps> = contexts
@@ -539,15 +550,17 @@ fn replay_seed_banked(
         for cycle in start..start + u64::from(len) {
             let timings = evaluator.cycle_timings(cycle, dc);
             for (corner, timing) in timings.iter().enumerate() {
-                ob_static[corner].observe_digest_prepared(static_req[corner], dc, timing);
-                ob_lut[corner].observe_digest_prepared(lut_req, dc, timing);
-                ob_exec[corner].observe_digest_prepared(exec_req, dc, timing);
-                ob_adaptive[corner].observe_digest_timed(cycle, dc, timing);
+                ob_static[corner].observe_timing_prepared(static_req[corner], timing);
+                ob_lut[corner].observe_timing_prepared(lut_req, timing);
+                ob_exec[corner].observe_timing_prepared(exec_req, timing);
             }
+            ob_adaptive.observe_digest_timed(cycle, dc, timings);
         }
     });
 
     let summary = digest.summary();
+    ob_adaptive.finish(&summary);
+    let adaptive_outcomes = ob_adaptive.into_outcomes();
     let policy_outcome = |o: idca_core::RunOutcome| PolicyJobOutcome {
         violations: o.violations,
         mhz: o.effective_frequency_mhz,
@@ -557,16 +570,14 @@ fn replay_seed_banked(
         .into_iter()
         .zip(ob_lut)
         .zip(ob_exec)
-        .zip(ob_adaptive);
+        .zip(adaptive_outcomes);
     contexts
         .iter()
         .zip(stacks)
-        .map(|(ctx, (((mut ob_s, mut ob_l), mut ob_e), mut ob_a))| {
+        .map(|(ctx, (((mut ob_s, mut ob_l), mut ob_e), adaptive))| {
             ob_s.finish(&summary);
             ob_l.finish(&summary);
             ob_e.finish(&summary);
-            ob_a.finish(&summary);
-            let adaptive = ob_a.into_outcome();
             SweepJobOutcome {
                 seed_index,
                 corner_index: ctx.corner_index,

@@ -21,7 +21,7 @@ use idca_isa::TimingClass;
 use idca_pipeline::{
     CycleObserver, CycleRecord, DigestCycle, PipelineTrace, RunSummary, Stage, TimingDigest,
 };
-use idca_timing::{CycleTiming, Ps, TimingModel};
+use idca_timing::{CornerBank, CycleTiming, Ps, TimingModel, LANE_WIDTH};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the online-adaptive clock controller.
@@ -309,6 +309,285 @@ impl CycleObserver for AdaptiveObserver<'_> {
     }
 }
 
+/// Start of the lane vector of one `(stage, class)` learned-table entry in
+/// the [`AdaptiveBank`]'s structure-of-arrays tables.
+fn table_offset(padded: usize, stage: Stage, class: TimingClass) -> usize {
+    (stage.index() * TimingClass::COUNT + class.index()) * padded
+}
+
+/// The corner-batched online-adaptive controller: the learned delay tables,
+/// observation counters and run accumulators of `M` independent
+/// [`AdaptiveObserver`]s packed in structure-of-arrays layout, mirroring
+/// [`CornerBank`] on the timing side.
+///
+/// In a corner-batched digest replay the adaptive controller used to be the
+/// only remaining per-corner scalar state: every corner's observer re-walked
+/// its own `learned`/`observations` tables per cycle. The bank instead keys
+/// each `(stage, class)` entry once per cycle (the classes come from the
+/// corner-invariant digest) and folds all `M` lanes of that entry
+/// contiguously — predict, realize, observe, adapt — in lane-friendly loops
+/// padded to [`LANE_WIDTH`].
+///
+/// Every lane performs **exactly** the scalar arithmetic of
+/// [`AdaptiveObserver`] in the same order, so outcome `i` is bit-identical
+/// to running `AdaptiveObserver` against `models[i]` alone — pinned by the
+/// unit tests here and the workspace banked-replay property tests.
+pub struct AdaptiveBank<'a> {
+    config: AdaptiveConfig,
+    generator: &'a ClockGenerator,
+    drift: Drift,
+    corners: usize,
+    padded: usize,
+    /// Per-corner static periods (the always-safe fallback request).
+    static_period: Vec<Ps>,
+    /// Learned-table lanes, `(stage, class)`-major: entry
+    /// `(stage.index() * TimingClass::COUNT + class.index()) * padded + lane`
+    /// is corner `lane`'s running maximum of `observed × (1 + margin)`.
+    learned: Vec<Ps>,
+    /// Observation counters, same layout as `learned`.
+    observations: Vec<u64>,
+    total_time: Vec<f64>,
+    violations: Vec<u64>,
+    warmup_cycles: Vec<u64>,
+    // Per-cycle scratch, reused across the whole walk.
+    requested: Vec<Ps>,
+    warm: Vec<bool>,
+    realized: Vec<Ps>,
+    violated: Vec<bool>,
+    outcomes: Option<Vec<AdaptiveOutcome>>,
+}
+
+impl<'a> AdaptiveBank<'a> {
+    /// Creates one adaptive controller per model, exactly as
+    /// [`AdaptiveObserver::new`] would: entries start at 0 (or at
+    /// `seed_lut`, with the warmup already satisfied) so the very first
+    /// occurrences of an instruction class are always safe.
+    #[must_use]
+    pub fn new(
+        models: &[TimingModel],
+        config: &AdaptiveConfig,
+        generator: &'a ClockGenerator,
+        seed_lut: Option<&DelayLut>,
+        drift: Drift,
+    ) -> Self {
+        Self::from_static_periods(
+            models.iter().map(TimingModel::static_period_ps).collect(),
+            config,
+            generator,
+            seed_lut,
+            drift,
+        )
+    }
+
+    /// [`AdaptiveBank::new`] from the corners' static periods alone — the
+    /// only model parameter the controllers consume (the dynamic delays
+    /// arrive pre-evaluated through
+    /// [`AdaptiveBank::observe_digest_timed`]), so callers that already
+    /// hold the periods (e.g. via [`CornerBank::static_period_ps`]) need
+    /// not materialize a model slice.
+    #[must_use]
+    pub fn from_static_periods(
+        static_periods: Vec<Ps>,
+        config: &AdaptiveConfig,
+        generator: &'a ClockGenerator,
+        seed_lut: Option<&DelayLut>,
+        drift: Drift,
+    ) -> Self {
+        let corners = static_periods.len();
+        let padded = corners.next_multiple_of(LANE_WIDTH);
+        let table_len = Stage::COUNT * TimingClass::COUNT;
+        let mut learned = vec![0.0; table_len * padded];
+        let mut observations = vec![0u64; table_len * padded];
+        if let Some(lut) = seed_lut {
+            for stage in Stage::ALL {
+                for class in TimingClass::ALL {
+                    let at = table_offset(padded, stage, class);
+                    let seeded = lut.delay_ps(stage, class);
+                    for lane in 0..corners {
+                        learned[at + lane] = seeded;
+                        observations[at + lane] = config.warmup_observations;
+                    }
+                }
+            }
+        }
+        AdaptiveBank {
+            config: *config,
+            generator,
+            drift,
+            corners,
+            padded,
+            static_period: static_periods,
+            learned,
+            observations,
+            total_time: vec![0.0; corners],
+            violations: vec![0; corners],
+            warmup_cycles: vec![0; corners],
+            requested: vec![0.0; padded],
+            warm: vec![true; padded],
+            realized: vec![0.0; corners],
+            violated: vec![false; corners],
+            outcomes: None,
+        }
+    }
+
+    /// Number of corners in the bank (excluding padding lanes).
+    #[must_use]
+    pub fn corners(&self) -> usize {
+        self.corners
+    }
+
+    /// `true` when the bank holds no corner.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.corners == 0
+    }
+
+    /// One corner's current learned table entry, in picoseconds — the
+    /// banked counterpart of [`AdaptiveObserver::learned_ps`].
+    #[must_use]
+    pub fn learned_ps(&self, corner: usize, stage: Stage, class: TimingClass) -> Ps {
+        self.learned[table_offset(self.padded, stage, class) + corner]
+    }
+
+    /// How many times one corner has observed a `(stage, class)` pair —
+    /// the banked counterpart of [`AdaptiveObserver::observation_count`].
+    #[must_use]
+    pub fn observation_count(&self, corner: usize, stage: Stage, class: TimingClass) -> u64 {
+        self.observations[table_offset(self.padded, stage, class) + corner]
+    }
+
+    /// Replays the predict/observe/update loop of **all** corners on one
+    /// digested cycle, given the per-corner [`CycleTiming`]s a
+    /// [`idca_timing::BankEvaluator`] produced for it (index = corner).
+    /// Bit-identical, lane by lane, to
+    /// [`AdaptiveObserver::observe_digest_timed`] on the matching model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `timings` does not carry exactly one entry per corner.
+    pub fn observe_digest_timed(&mut self, cycle: u64, dc: &DigestCycle, timings: &[CycleTiming]) {
+        assert_eq!(
+            timings.len(),
+            self.corners,
+            "one CycleTiming per corner is required"
+        );
+        let padded = self.padded;
+
+        // 1. Predict: the controllers only see the (corner-invariant)
+        //    instruction classes; any entry still warming up keeps that
+        //    lane's whole cycle at its always-safe static period. The fold
+        //    walks each keyed entry's lanes contiguously in LANE_WIDTH
+        //    chunks.
+        self.requested.fill(0.0);
+        self.warm.fill(true);
+        for stage in Stage::ALL {
+            let at = table_offset(padded, stage, dc.classes[stage.index()]);
+            let lanes = self
+                .requested
+                .chunks_exact_mut(LANE_WIDTH)
+                .zip(self.warm.chunks_exact_mut(LANE_WIDTH))
+                .zip(self.learned[at..at + padded].chunks_exact(LANE_WIDTH))
+                .zip(self.observations[at..at + padded].chunks_exact(LANE_WIDTH));
+            for (((req4, warm4), learned4), obs4) in lanes {
+                for l in 0..LANE_WIDTH {
+                    if obs4[l] < self.config.warmup_observations {
+                        warm4[l] = false;
+                    } else {
+                        req4[l] = req4[l].max(learned4[l]);
+                    }
+                }
+            }
+        }
+
+        // 2. Realize and observe: per corner, the same arithmetic (and the
+        //    same order of operations) as the scalar observer.
+        let drift_factor = self.drift.factor(cycle);
+        for (lane, timing) in timings.iter().enumerate() {
+            let mut requested = self.requested[lane];
+            if !self.warm[lane] {
+                requested = requested.max(self.static_period[lane]);
+                self.warmup_cycles[lane] += 1;
+            }
+            let realized = self.generator.realize(requested);
+            let actual_max = timing.max_delay_ps * drift_factor;
+            let violated = realized + 1e-9 < actual_max;
+            if violated {
+                self.violations[lane] += 1;
+            }
+            self.total_time[lane] += realized;
+            self.realized[lane] = realized;
+            self.violated[lane] = violated;
+        }
+
+        // 3. Adapt the in-flight entries, again lane-contiguously per keyed
+        //    `(stage, class)` entry.
+        for stage in Stage::ALL {
+            let at = table_offset(padded, stage, dc.classes[stage.index()]);
+            let learned = &mut self.learned[at..at + padded];
+            let observations = &mut self.observations[at..at + padded];
+            for (lane, timing) in timings.iter().enumerate() {
+                let observed = timing.stage_delay_ps[stage.index()] * drift_factor;
+                observations[lane] += 1;
+                let target = observed * (1.0 + self.config.margin);
+                if target > learned[lane] {
+                    learned[lane] = target;
+                }
+                if self.violated[lane] && observed + 1e-9 > self.realized[lane] {
+                    // This lane's stage was (one of) the violators: back off
+                    // so the next occurrence gets headroom against drift.
+                    learned[lane] = (learned[lane] * (1.0 + self.config.violation_backoff))
+                        .min(self.static_period[lane] * 2.0);
+                }
+            }
+        }
+    }
+
+    /// Finalizes every corner's outcome from the run totals — the banked
+    /// counterpart of [`CycleObserver::finish`] on each scalar observer.
+    pub fn finish(&mut self, summary: &RunSummary) {
+        let cycles = summary.cycles;
+        let outcomes = (0..self.corners)
+            .map(|lane| {
+                let avg_period_ps = if cycles == 0 {
+                    0.0
+                } else {
+                    self.total_time[lane] / cycles as f64
+                };
+                let effective_frequency_mhz = if avg_period_ps > 0.0 {
+                    1.0e6 / avg_period_ps
+                } else {
+                    0.0
+                };
+                AdaptiveOutcome {
+                    cycles,
+                    avg_period_ps,
+                    effective_frequency_mhz,
+                    speedup_over_static: if avg_period_ps > 0.0 {
+                        self.static_period[lane] / avg_period_ps
+                    } else {
+                        1.0
+                    },
+                    violations: self.violations[lane],
+                    warmup_cycles: self.warmup_cycles[lane],
+                }
+            })
+            .collect();
+        self.outcomes = Some(outcomes);
+    }
+
+    /// Consumes the bank and returns one outcome per corner (index =
+    /// corner).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replay never called [`AdaptiveBank::finish`].
+    #[must_use]
+    pub fn into_outcomes(self) -> Vec<AdaptiveOutcome> {
+        self.outcomes
+            .expect("the replay must complete (finish) before taking the outcomes")
+    }
+}
+
 /// Replays `trace` under an online-adaptive delay table.
 ///
 /// Every cycle the controller requests the maximum table entry of the
@@ -357,6 +636,32 @@ pub fn replay_adaptive_digest(
     digest.for_each_cycle(|cycle, dc| observer.observe_digest(cycle, dc));
     observer.finish(&digest.summary());
     observer.into_outcome()
+}
+
+/// Trains and evaluates one adaptive controller per model in a **single**
+/// digest walk — the corner-batched counterpart of
+/// [`replay_adaptive_digest`]. The per-cycle dither/excitation evaluation
+/// runs once through a [`CornerBank`] and is broadcast across corners; the
+/// `M` controllers' tables live in one [`AdaptiveBank`] and are updated in
+/// lane-friendly folds. Outcome `i` is bit-identical to
+/// `replay_adaptive_digest(&models[i], ...)` (pinned by the banked-replay
+/// property tests), at a fraction of the walk cost.
+#[must_use]
+pub fn replay_adaptive_digest_banked(
+    models: &[TimingModel],
+    digest: &TimingDigest,
+    config: &AdaptiveConfig,
+    generator: &ClockGenerator,
+    seed_lut: Option<&DelayLut>,
+    drift: Drift,
+) -> Vec<AdaptiveOutcome> {
+    let bank = CornerBank::from_models(models);
+    let mut adaptive = AdaptiveBank::new(models, config, generator, seed_lut, drift);
+    bank.replay_digest(digest, |cycle, dc, timings| {
+        adaptive.observe_digest_timed(cycle, dc, timings);
+    });
+    adaptive.finish(&digest.summary());
+    adaptive.into_outcomes()
 }
 
 #[cfg(test)]
@@ -503,6 +808,101 @@ mod tests {
             adaptive.violations
         );
         assert!(adaptive.speedup_over_static > 1.05);
+    }
+
+    fn varied_models(count: u32, master_seed: u64) -> Vec<TimingModel> {
+        use idca_timing::VariationModel;
+        let nominal = TimingModel::at_nominal(ProfileKind::CriticalRangeOptimized);
+        let vm = VariationModel::default();
+        (0..count)
+            .map(|i| vm.apply(&nominal, &vm.sample_corner(master_seed, i)))
+            .collect()
+    }
+
+    #[test]
+    fn adaptive_bank_is_bit_identical_to_scalar_observers() {
+        let digest = TimingDigest::from_trace(&long_trace());
+        let config = AdaptiveConfig::default();
+        // Corner counts straddling the lane width, plus both seeding modes
+        // and a non-trivial drift (which exercises the backoff path).
+        for corners in [1usize, 3, 4, 5, 8] {
+            let models = varied_models(corners as u32, 0xADA7);
+            let seed = DelayLut::from_model(&models[0]);
+            for (seed_lut, drift) in [
+                (None, Drift::None),
+                (
+                    Some(&seed),
+                    Drift::LinearSlowdown {
+                        fraction_per_kilocycle: 0.02,
+                    },
+                ),
+            ] {
+                let banked = replay_adaptive_digest_banked(
+                    &models,
+                    &digest,
+                    &config,
+                    &ClockGenerator::Ideal,
+                    seed_lut,
+                    drift,
+                );
+                assert_eq!(banked.len(), corners);
+                for (corner, model) in models.iter().enumerate() {
+                    let scalar = replay_adaptive_digest(
+                        model,
+                        &digest,
+                        &config,
+                        &ClockGenerator::Ideal,
+                        seed_lut,
+                        drift,
+                    );
+                    assert_eq!(banked[corner], scalar, "corners {corners} lane {corner}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_bank_learned_tables_match_the_scalar_observer() {
+        let digest = TimingDigest::from_trace(&long_trace());
+        let models = varied_models(3, 7);
+        let config = AdaptiveConfig::default();
+        let corner_bank = idca_timing::CornerBank::from_models(&models);
+        let mut bank =
+            AdaptiveBank::new(&models, &config, &ClockGenerator::Ideal, None, Drift::None);
+        corner_bank.replay_digest(&digest, |cycle, dc, timings| {
+            bank.observe_digest_timed(cycle, dc, timings);
+        });
+        for (corner, model) in models.iter().enumerate() {
+            let mut scalar =
+                AdaptiveObserver::new(model, &config, &ClockGenerator::Ideal, None, Drift::None);
+            digest.for_each_cycle(|cycle, dc| scalar.observe_digest(cycle, dc));
+            for stage in Stage::ALL {
+                for class in TimingClass::ALL {
+                    assert_eq!(
+                        bank.learned_ps(corner, stage, class),
+                        scalar.learned_ps(stage, class)
+                    );
+                    assert_eq!(
+                        bank.observation_count(corner, stage, class),
+                        scalar.observation_count(stage, class)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_adaptive_bank_is_inert() {
+        let digest = TimingDigest::from_trace(&long_trace());
+        let outcomes = replay_adaptive_digest_banked(
+            &[],
+            &digest,
+            &AdaptiveConfig::default(),
+            &ClockGenerator::Ideal,
+            None,
+            Drift::None,
+        );
+        assert!(outcomes.is_empty());
     }
 
     #[test]

@@ -20,7 +20,14 @@
 //! * [`run_with_policy`] — the dynamic-clock simulation driver: replays a
 //!   pipeline trace under a policy, accumulates execution time, checks the
 //!   *no-timing-violation* invariant against the actual dynamic delays and
-//!   reports the effective clock frequency.
+//!   reports the effective clock frequency. [`replay_digest`] and
+//!   [`replay_digest_banked`] drive the same accumulation from a captured
+//!   [`TimingDigest`](idca_pipeline::TimingDigest) — the latter against
+//!   `M` corner-varied models in a single digest walk.
+//! * [`adaptive`] — the paper's online-updating outlook: a streaming
+//!   [`AdaptiveObserver`] that learns the delay table in the field, and
+//!   the corner-batched [`AdaptiveBank`] that trains `M` such controllers
+//!   at once in structure-of-arrays folds.
 //! * [`eval`] — speedup comparisons between policies and suite-level
 //!   aggregation (Fig. 8 of the paper).
 //! * [`vfs`] — voltage-frequency scaling: converts the frequency gain into a
@@ -64,7 +71,8 @@ mod sim;
 pub mod vfs;
 
 pub use adaptive::{
-    replay_adaptive_digest, run_adaptive, AdaptiveConfig, AdaptiveObserver, AdaptiveOutcome, Drift,
+    replay_adaptive_digest, replay_adaptive_digest_banked, run_adaptive, AdaptiveBank,
+    AdaptiveConfig, AdaptiveObserver, AdaptiveOutcome, Drift,
 };
 pub use clockgen::ClockGenerator;
 pub use error::{CoreError, LutFormatError};

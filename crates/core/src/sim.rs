@@ -161,6 +161,17 @@ impl<'a> PolicyObserver<'a> {
         self.activity.observe_digest(digest_cycle);
     }
 
+    /// [`PolicyObserver::observe_digest_prepared`] without the
+    /// switching-activity fold, for callers that discard
+    /// [`RunOutcome::activity`] (the PVT sweep keeps only violations and
+    /// frequencies, so folding the same digest's activity once per policy
+    /// per corner was pure overhead on the banked path). Every other
+    /// outcome field is accumulated identically; the outcome's activity
+    /// summary stays at its empty default.
+    pub fn observe_timing_prepared(&mut self, requested: Ps, timing: &CycleTiming) {
+        self.step(requested, timing.max_delay_ps);
+    }
+
     /// The per-cycle accumulation shared by the live and the replay paths:
     /// realize the requested period, check the violation invariant against
     /// the actual dynamic delay, accumulate the realized time.
@@ -272,6 +283,39 @@ pub fn replay_digest(
 /// [`CornerBank`]'s vectorized lanes. Outcome `i` is bit-identical to
 /// `replay_digest(&models[i], digest, policy, generator)` (pinned by the
 /// banked-replay property tests), at a fraction of the walk cost.
+///
+/// # Example
+///
+/// Capture a digest once, then evaluate one policy against several
+/// PVT-varied corners in a single walk:
+///
+/// ```
+/// use idca_core::{policy::InstructionBased, replay_digest_banked, ClockGenerator};
+/// use idca_isa::asm::Assembler;
+/// use idca_pipeline::{DigestObserver, SimConfig, Simulator};
+/// use idca_timing::{ProfileKind, TimingModel, VariationModel};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let program = Assembler::new().assemble(
+///     "l.addi r3, r0, 20\nloop: l.addi r3, r3, -1\n l.sfne r3, r0\n l.bf loop\n l.nop 0\n l.nop 1\n",
+/// )?;
+/// let mut observer = DigestObserver::new();
+/// Simulator::new(SimConfig::default()).run_observed(&program, &mut [&mut observer])?;
+/// let digest = observer.into_digest();
+///
+/// let nominal = TimingModel::at_nominal(ProfileKind::CriticalRangeOptimized);
+/// let variation = VariationModel::default();
+/// let corners: Vec<TimingModel> = (0..4u32)
+///     .map(|i| variation.apply(&nominal, &variation.sample_corner(7, i)))
+///     .collect();
+/// let policy = InstructionBased::from_model(&nominal);
+///
+/// let outcomes = replay_digest_banked(&corners, &digest, &policy, &ClockGenerator::Ideal);
+/// assert_eq!(outcomes.len(), corners.len());
+/// assert!(outcomes.iter().all(|o| o.cycles == digest.cycles()));
+/// # Ok(())
+/// # }
+/// ```
 #[must_use]
 pub fn replay_digest_banked(
     models: &[TimingModel],

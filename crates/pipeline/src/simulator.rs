@@ -263,6 +263,30 @@ impl Simulator {
     /// simulated cycle in execution order, then exactly one
     /// [`CycleObserver::finish`] call with the run totals.
     ///
+    /// # Example
+    ///
+    /// Run one simulation with two observers riding the same pass — a
+    /// digest capture and a full trace — and check they saw the same run:
+    ///
+    /// ```
+    /// use idca_isa::asm::Assembler;
+    /// use idca_pipeline::{DigestObserver, PipelineTrace, SimConfig, Simulator};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let program = Assembler::new().assemble(
+    ///     "l.addi r3, r0, 5\nloop: l.addi r3, r3, -1\n l.sfne r3, r0\n l.bf loop\n l.nop 0\n l.nop 1\n",
+    /// )?;
+    /// let mut digest = DigestObserver::new();
+    /// let mut trace = PipelineTrace::default();
+    /// let run = Simulator::new(SimConfig::default())
+    ///     .run_observed(&program, &mut [&mut digest, &mut trace])?;
+    ///
+    /// assert_eq!(trace.cycle_count(), run.summary.cycles);
+    /// assert_eq!(digest.into_digest().cycles(), run.summary.cycles);
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
     /// # Errors
     ///
     /// Returns [`PipelineError`] for invalid memory accesses or when

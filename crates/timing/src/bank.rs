@@ -25,7 +25,7 @@
 //! is bit-identical to the lane-by-lane path — pinned by the unit tests here
 //! and by the workspace-level banked-replay property tests.
 
-use crate::model::{blend_excitation, stage_dither};
+use crate::model::{blend_excitation, stage_dithers};
 use crate::{CycleTiming, Ps, TimingModel};
 use idca_isa::TimingClass;
 use idca_pipeline::{DigestCycle, Stage, TimingDigest};
@@ -220,9 +220,13 @@ impl BankEvaluator<'_> {
     /// bank was built from: the dither, blend and delay arithmetic is the
     /// same, only batched.
     pub fn cycle_timings(&mut self, cycle: u64, dc: &DigestCycle) -> &[CycleTiming] {
+        // Corner-invariant per-cycle terms, computed once and broadcast: all
+        // six stage dithers come out of one batched hash kernel (shared with
+        // the scalar `digest_cycle_timing`, so both paths stay bit-identical
+        // by construction).
+        let dithers = stage_dithers(cycle, dc.fetch_address);
         for stage in Stage::ALL {
-            // Corner-invariant per-cycle terms, computed once and broadcast.
-            let dither = stage_dither(cycle, stage, dc.fetch_address);
+            let dither = dithers[stage.index()];
             let excitation = blend_excitation(dc.excitation[stage.index()].raw(dither), dither);
             self.bank.delays_from_excitation(
                 stage,

@@ -40,6 +40,8 @@
 //!   parameters of `M` varied models packed in structure-of-arrays lanes,
 //!   so one digested cycle is evaluated against every corner at once in
 //!   auto-vectorized `f64x4` chunks, bit-identical to the scalar path.
+//!   The six per-cycle stage dithers it broadcasts come out of one batched
+//!   hash kernel shared with the scalar evaluation paths.
 //!
 //! # Example
 //!

@@ -132,11 +132,17 @@ impl TimingModel {
     /// Evaluates the dynamic delay of every stage for one cycle.
     #[must_use]
     pub fn cycle_timing(&self, record: &CycleRecord) -> CycleTiming {
+        let dithers = stage_dithers(record.cycle, record.fetch_address);
         let mut delays = [0.0; Stage::COUNT];
         let mut max_delay = 0.0;
         let mut limiting = Stage::Execute;
         for stage in Stage::ALL {
-            let delay = self.stage_delay_ps(record, stage);
+            let dither = dithers[stage.index()];
+            let excitation = blend_excitation(
+                StageExcitation::of_record(record, stage).raw(dither),
+                dither,
+            );
+            let delay = self.delay_from_excitation(stage, record.timing_class(stage), excitation);
             delays[stage.index()] = delay;
             if delay > max_delay {
                 max_delay = delay;
@@ -181,11 +187,15 @@ impl TimingModel {
     /// construction (see [`TimingModel::digest_stage_delay_ps`]).
     #[must_use]
     pub fn digest_cycle_timing(&self, cycle: u64, digest: &DigestCycle) -> CycleTiming {
+        let dithers = stage_dithers(cycle, digest.fetch_address);
         let mut delays = [0.0; Stage::COUNT];
         let mut max_delay = 0.0;
         let mut limiting = Stage::Execute;
         for stage in Stage::ALL {
-            let delay = self.digest_stage_delay_ps(cycle, digest, stage);
+            let dither = dithers[stage.index()];
+            let excitation = blend_excitation(digest.excitation[stage.index()].raw(dither), dither);
+            let delay =
+                self.delay_from_excitation(stage, digest.classes[stage.index()], excitation);
             delays[stage.index()] = delay;
             if delay > max_delay {
                 max_delay = delay;
@@ -333,6 +343,26 @@ pub(crate) fn stage_dither(cycle: u64, stage: Stage, fetch_address: u32) -> f64 
     quantize_dither(hash01(cycle, stage.index() as u64, fetch_address.into()))
 }
 
+/// All six per-stage dithers of one cycle in a single batched kernel — the
+/// shared evaluation of both the scalar [`TimingModel::cycle_timing`] /
+/// [`TimingModel::digest_cycle_timing`] paths and the corner-batched
+/// [`crate::BankEvaluator`]. The `(cycle, fetch_address)` hash terms are
+/// stage-invariant, so they are mixed once and only the stage salt varies
+/// across the fixed-trip-count loop (wrapping addition is associative and
+/// commutative, so each lane reproduces [`stage_dither`] bit for bit —
+/// pinned by the unit tests below).
+pub(crate) fn stage_dithers(cycle: u64, fetch_address: u32) -> [f64; Stage::COUNT] {
+    let shared = cycle
+        .wrapping_mul(HASH_SALT_A)
+        .wrapping_add(u64::from(fetch_address).wrapping_mul(HASH_SALT_C));
+    let mut dithers = [0.0; Stage::COUNT];
+    for (index, dither) in dithers.iter_mut().enumerate() {
+        let mixed = mix01(shared.wrapping_add((index as u64).wrapping_mul(HASH_SALT_B)));
+        *dither = quantize_dither(mixed);
+    }
+    dithers
+}
+
 /// Blends a little dither into every stage's raw excitation so repeated
 /// identical activity does not collapse onto a single delay value
 /// (modelling residual unmodelled variation such as crosstalk), while
@@ -346,19 +376,33 @@ fn quantize_dither(value: f64) -> f64 {
     ((value * 8.0).floor() / 7.0).clamp(0.0, 1.0)
 }
 
+/// Salt multiplying the first hash input (split-mix increment constant).
+const HASH_SALT_A: u64 = 0x9E37_79B9_7F4A_7C15;
+/// Salt multiplying the second hash input.
+const HASH_SALT_B: u64 = 0xBF58_476D_1CE4_E5B9;
+/// Salt multiplying the third hash input.
+const HASH_SALT_C: u64 = 0x94D0_49BB_1331_11EB;
+
 /// Deterministic pseudo-random value in `[0, 1)` derived from the cycle
 /// index and a couple of salts (split-mix style mixing). Keeping this
 /// hash-based rather than RNG-based makes every simulation bit-reproducible.
 /// Shared with the PVT [`crate::VariationModel`] corner sampler.
 pub(crate) fn hash01(a: u64, b: u64, c: u64) -> f64 {
-    let mut x = a
-        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-        .wrapping_add(b.wrapping_mul(0xBF58_476D_1CE4_E5B9))
-        .wrapping_add(c.wrapping_mul(0x94D0_49BB_1331_11EB));
+    mix01(
+        a.wrapping_mul(HASH_SALT_A)
+            .wrapping_add(b.wrapping_mul(HASH_SALT_B))
+            .wrapping_add(c.wrapping_mul(HASH_SALT_C)),
+    )
+}
+
+/// The split-mix finisher shared by [`hash01`] and the batched
+/// [`stage_dithers`] kernel: avalanches the salted sum and maps the top
+/// bits into `[0, 1)`.
+fn mix01(mut x: u64) -> f64 {
     x ^= x >> 30;
-    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = x.wrapping_mul(HASH_SALT_B);
     x ^= x >> 27;
-    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x = x.wrapping_mul(HASH_SALT_C);
     x ^= x >> 31;
     (x >> 11) as f64 / (1u64 << 53) as f64
 }
@@ -513,6 +557,23 @@ mod tests {
             .find(|e| e.cycle == mul_cycle.cycle && e.endpoint == mul_ep.id)
             .unwrap();
         assert!((ev.effective_delay_ps(mul_ep) - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn batched_dithers_match_the_per_stage_hash() {
+        // The batched kernel hoists the stage-invariant hash terms; wrapping
+        // arithmetic is associative, so every lane must equal the scalar
+        // per-stage dither to the last bit.
+        for (cycle, fetch_address) in [(0u64, 0u32), (1, 0x100), (u64::MAX, u32::MAX), (12345, 4)] {
+            let batched = stage_dithers(cycle, fetch_address);
+            for stage in Stage::ALL {
+                assert_eq!(
+                    batched[stage.index()],
+                    stage_dither(cycle, stage, fetch_address),
+                    "cycle {cycle} stage {stage}"
+                );
+            }
+        }
     }
 
     #[test]

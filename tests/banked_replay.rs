@@ -10,7 +10,10 @@
 //!   digest, the identical bytes, and the identical replay outcomes;
 //! * no corruption of serialized bytes may panic the loader.
 
-use idca::core::{replay_digest, replay_digest_banked};
+use idca::core::{
+    replay_adaptive_digest, replay_adaptive_digest_banked, replay_digest, replay_digest_banked,
+    AdaptiveConfig, Drift,
+};
 use idca::pipeline::{DigestObserver, TimingDigest};
 use idca::prelude::*;
 use proptest::prelude::*;
@@ -67,6 +70,54 @@ proptest! {
                 // to the last bit.
                 prop_assert_eq!(outcome, &scalar, "policy {}", policy.name());
             }
+        }
+    }
+
+    #[test]
+    fn banked_adaptive_replay_is_bit_identical_to_scalar_observers(
+        corners in 1u32..=9,
+        master_seed in any::<u64>(),
+        seeded in any::<bool>(),
+        drift_centikilo in 0u32..=3,
+    ) {
+        let digest = digest_of(master_seed);
+        let models = varied_models(corners, master_seed);
+        let config = AdaptiveConfig::default();
+        let seed_lut = DelayLut::from_model(&nominal());
+        let seed_lut = seeded.then_some(&seed_lut);
+        // Include drifting runs: drift exercises the violation-backoff
+        // branch of the learned-table update, which a drift-free replay of
+        // a margin-guarded table never takes.
+        let drift = if drift_centikilo == 0 {
+            Drift::None
+        } else {
+            Drift::LinearSlowdown {
+                fraction_per_kilocycle: f64::from(drift_centikilo) * 0.01,
+            }
+        };
+        let banked = replay_adaptive_digest_banked(
+            &models,
+            &digest,
+            &config,
+            &ClockGenerator::Ideal,
+            seed_lut,
+            drift,
+        );
+        prop_assert_eq!(banked.len(), models.len());
+        for (model, outcome) in models.iter().zip(&banked) {
+            let scalar = replay_adaptive_digest(
+                model,
+                &digest,
+                &config,
+                &ClockGenerator::Ideal,
+                seed_lut,
+                drift,
+            );
+            // Field-for-field f64 equality: the SoA adaptive bank performs
+            // the identical predict/realize/observe/adapt arithmetic per
+            // lane, so learned periods, violations and warmup counts must
+            // match to the last bit.
+            prop_assert_eq!(outcome, &scalar, "corners {}", corners);
         }
     }
 
