@@ -282,7 +282,7 @@ fn run_bench(args: &[String]) -> ExitCode {
     // cycle·corner count the replay phase pushed through its SIMD lanes.
     let replay_cycle_corners_per_sec = evaluated_cycles as f64 / timing.replay.as_secs_f64();
 
-    println!("bench.schema=2");
+    println!("bench.schema=3");
     println!("bench.seeds={}", config.seeds);
     println!("bench.corners={}", config.corners);
     println!("bench.master_seed={}", config.master_seed);
@@ -290,6 +290,7 @@ fn run_bench(args: &[String]) -> ExitCode {
     println!("bench.evaluated_cycles={evaluated_cycles}");
     println!("bench.wall_ms={:.3}", ms(timing.total()));
     println!("bench.simulate_ms={:.3}", ms(timing.simulate));
+    println!("bench.predecode_ms={:.3}", ms(timing.predecode));
     println!("bench.replay_ms={:.3}", ms(timing.replay));
     println!("bench.simulated_programs={}", timing.simulated_programs);
     println!("bench.digest_cache_hits={}", timing.digest_cache_hits);
@@ -299,9 +300,10 @@ fn run_bench(args: &[String]) -> ExitCode {
 
     if write_json {
         let json = format!(
-            "{{\n  \"schema\": 2,\n  \"seeds\": {},\n  \"corners\": {},\n  \"master_seed\": {},\n  \
+            "{{\n  \"schema\": 3,\n  \"seeds\": {},\n  \"corners\": {},\n  \"master_seed\": {},\n  \
              \"jobs\": {},\n  \"evaluated_cycles\": {},\n  \"wall_ms\": {:.3},\n  \
-             \"simulate_ms\": {:.3},\n  \"replay_ms\": {:.3},\n  \"simulated_programs\": {},\n  \
+             \"simulate_ms\": {:.3},\n  \"predecode_ms\": {:.3},\n  \"replay_ms\": {:.3},\n  \
+             \"simulated_programs\": {},\n  \
              \"digest_cache_hits\": {},\n  \"jobs_per_sec\": {:.1},\n  \
              \"cycles_per_sec\": {:.0},\n  \"replay_cycle_corners_per_sec\": {:.0}\n}}\n",
             config.seeds,
@@ -311,6 +313,7 @@ fn run_bench(args: &[String]) -> ExitCode {
             evaluated_cycles,
             ms(timing.total()),
             ms(timing.simulate),
+            ms(timing.predecode),
             ms(timing.replay),
             timing.simulated_programs,
             timing.digest_cache_hits,

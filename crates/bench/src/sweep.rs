@@ -51,8 +51,8 @@ use idca_core::{
 use idca_gen::{generate_program, nth_seed, GenConfig};
 use idca_isa::Program;
 use idca_pipeline::{
-    CycleObserver, DigestObserver, SimBuffers, SimConfig, Simulator, TimingDigest,
-    SIMULATOR_VERSION,
+    CycleObserver, DigestObserver, PredecodedProgram, SimBuffers, SimConfig, Simulator,
+    TimingDigest, SIMULATOR_VERSION,
 };
 use idca_timing::{CornerBank, ProfileKind, Ps, PvtCorner, TimingModel, VariationModel};
 use idca_workloads::suite::par_map;
@@ -355,6 +355,12 @@ fn quantile(samples: &[f64], q: f64) -> f64 {
 pub struct SweepTiming {
     /// Phase 1: acquire each seed's timing digest (simulate or cache load).
     pub simulate: Duration,
+    /// Time phase 1 spent lowering programs into predecoded micro-op
+    /// tables, summed across workers. A subset of `simulate` (not an
+    /// additional phase), reported separately so the one-time lowering
+    /// cost stays visible next to the dispatch win it buys; 0 on a fully
+    /// warm digest cache, where nothing is lowered at all.
+    pub predecode: Duration,
     /// Phase 2: the corner-batched digest replays.
     pub replay: Duration,
     /// Programs phase 1 actually simulated (0 on a fully warm cache).
@@ -387,14 +393,22 @@ fn with_worker_buffers<R>(simulator: &Simulator, f: impl FnOnce(&mut SimBuffers)
 }
 
 /// Phase 1 worker: generates and simulates one seed's program, capturing
-/// its [`TimingDigest`] in worker-local scratch.
-fn digest_program(simulator: &Simulator, program: &Program) -> TimingDigest {
+/// its [`TimingDigest`] in worker-local scratch. The program is lowered
+/// once into a [`PredecodedProgram`]; the simulation dispatches from the
+/// micro-op table and the digest capture reuses the table's per-pc hints
+/// instead of re-deriving timing classes and excitation bases per cycle.
+/// Returns the digest plus the time spent lowering (so the sweep timing
+/// can report the one-time predecode cost separately).
+fn digest_program(simulator: &Simulator, program: &Program) -> (TimingDigest, Duration) {
     with_worker_buffers(simulator, |buffers| {
-        let mut observer = DigestObserver::new();
+        let start = Instant::now();
+        let pre = PredecodedProgram::lower(program);
+        let predecode = start.elapsed();
+        let mut observer = DigestObserver::with_hints(pre.digest_hints());
         simulator
-            .run_observed_with_buffers(program, &mut [&mut observer], buffers)
+            .run_observed_predecoded_with_buffers(&pre, &mut [&mut observer], buffers)
             .expect("generated programs terminate within the cycle limit");
-        observer.into_digest()
+        (observer.into_digest(), predecode)
     })
 }
 
@@ -805,18 +819,19 @@ pub fn pvt_sweep_timed_with_cache(
         let program_seed = nth_seed(config.master_seed, u64::from(i));
         if let Some(dir) = cache_dir {
             if let Some(digest) = load_cached_digest(dir, program_seed, config_hash) {
-                return (digest, true);
+                return (digest, true, Duration::ZERO);
             }
         }
         let program = generate_program(program_seed, &config.gen);
-        let digest = digest_program(&simulator, &program);
+        let (digest, predecode) = digest_program(&simulator, &program);
         if let Some(dir) = cache_dir {
             store_cached_digest(dir, program_seed, config_hash, &digest);
         }
-        (digest, false)
+        (digest, false, predecode)
     });
     let simulate = start.elapsed();
-    let digest_cache_hits = digests.iter().filter(|(_, hit)| *hit).count() as u32;
+    let digest_cache_hits = digests.iter().filter(|(_, hit, _)| *hit).count() as u32;
+    let predecode = digests.iter().map(|(_, _, d)| *d).sum();
 
     // Phase 2 — corner-batched: `N` per-seed jobs, each walking its digest
     // once against the whole bank. The varied models, policy tables and the
@@ -841,6 +856,7 @@ pub fn pvt_sweep_timed_with_cache(
         finish_report(config, corner_samples, outcomes),
         SweepTiming {
             simulate,
+            predecode,
             replay,
             simulated_programs: config.seeds - digest_cache_hits,
             digest_cache_hits,
@@ -871,6 +887,7 @@ pub fn pvt_sweep_lanewise_timed(config: &SweepConfig) -> (SweepReport, SweepTimi
         digest_program(&simulator, &program)
     });
     let simulate = start.elapsed();
+    let predecode = digests.iter().map(|(_, d)| *d).sum();
 
     let start = Instant::now();
     let contexts: Vec<CornerContext> = corner_samples
@@ -880,7 +897,7 @@ pub fn pvt_sweep_lanewise_timed(config: &SweepConfig) -> (SweepReport, SweepTimi
     let jobs = job_list(config);
     let outcomes = par_map(&jobs, |&(seed_index, corner_index)| {
         replay_job(
-            &digests[seed_index as usize],
+            &digests[seed_index as usize].0,
             &contexts[corner_index as usize],
             seed_index,
         )
@@ -891,6 +908,7 @@ pub fn pvt_sweep_lanewise_timed(config: &SweepConfig) -> (SweepReport, SweepTimi
         finish_report(config, corner_samples, outcomes),
         SweepTiming {
             simulate,
+            predecode,
             replay,
             simulated_programs: config.seeds,
             digest_cache_hits: 0,

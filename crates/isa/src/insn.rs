@@ -125,6 +125,29 @@ impl Insn {
         self.operands.imm
     }
 
+    /// The two source-register ports `(rA, rB)` exactly as the forwarding
+    /// network sees them: the raw operand fields, independent of whether the
+    /// opcode architecturally reads them. Stable accessor for predecode
+    /// lowering (one call instead of two `Option` probes per cycle).
+    #[must_use]
+    pub fn source_regs(&self) -> (Option<Reg>, Option<Reg>) {
+        (self.operands.ra, self.operands.rb)
+    }
+
+    /// The *effective* architectural destination register: the `rD` field
+    /// when [`Opcode::writes_rd`] holds, `None` otherwise (stores, compares,
+    /// plain branches and `l.nop` never write back even if a malformed
+    /// operand bundle carries an `rd`). Link-register writes of `l.jal` /
+    /// `l.jalr` are a property of the jump itself, not of this field.
+    #[must_use]
+    pub fn dest_reg(&self) -> Option<Reg> {
+        if self.opcode.writes_rd() {
+            self.operands.rd
+        } else {
+            None
+        }
+    }
+
     // ---------------------------------------------------------------------
     // Typed constructors (register-register ALU)
     // ---------------------------------------------------------------------

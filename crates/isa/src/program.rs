@@ -72,6 +72,20 @@ impl Program {
         self.base_address + (self.insns.len() as u32) * INSN_BYTES
     }
 
+    /// The word index of the instruction at byte address `pc`, or `None`
+    /// when `pc` lies outside `[base_address, end_address)` **or** is not
+    /// word-aligned. This is the bounds-checked fetch accessor simulators
+    /// should use instead of indexing [`Program::insns`] directly.
+    #[must_use]
+    pub fn insn_index(&self, pc: u32) -> Option<usize> {
+        let offset = pc.wrapping_sub(self.base_address);
+        if pc < self.base_address || !offset.is_multiple_of(INSN_BYTES) {
+            return None;
+        }
+        let index = (offset / INSN_BYTES) as usize;
+        (index < self.insns.len()).then_some(index)
+    }
+
     /// Encodes the whole instruction stream into 32-bit words.
     #[must_use]
     pub fn to_words(&self) -> Vec<u32> {

@@ -37,8 +37,8 @@
 //! cycle index (a prerequisite for run-length encoding).
 
 use crate::{CycleObserver, CycleRecord, CycleRecordFlags, Occupant, RunSummary, Stage};
-use idca_isa::TimingClass;
-use std::collections::HashMap;
+use idca_isa::{Insn, TimingClass, INSN_BYTES};
+use std::sync::Arc;
 
 /// Data-dependent path excitation of one stage in one cycle, expressed as
 /// coefficients of the per-cycle dither: `raw = base + dither_gain × dither`
@@ -60,54 +60,7 @@ impl StageExcitation {
     /// Computes the excitation coefficients of `stage` from a cycle record.
     #[must_use]
     pub fn of_record(record: &CycleRecord, stage: Stage) -> StageExcitation {
-        let class = record.timing_class(stage);
-        let (base, dither_gain) = match stage {
-            Stage::Address => {
-                if record.fetch_redirected && is_control_class(class) {
-                    // Branch-target adder + PC mux + instruction-memory
-                    // address setup: the long address-stage path.
-                    (0.70, 0.30)
-                } else {
-                    (0.30, 0.40)
-                }
-            }
-            Stage::Fetch => match record.occupant(stage) {
-                Occupant::Insn { insn, .. } => (0.25 + 0.75 * popcount_frac(insn.encode()), 0.0),
-                Occupant::Bubble(_) => (0.35, 0.0),
-            },
-            Stage::Decode => match record.occupant(stage) {
-                Occupant::Insn { insn, .. } => {
-                    let mut e = 0.35;
-                    if insn.opcode().reads_ra() {
-                        e += 0.18;
-                    }
-                    if insn.opcode().reads_rb() {
-                        e += 0.18;
-                    }
-                    if insn.imm().is_some() {
-                        e += 0.12;
-                    }
-                    (e, 0.12)
-                }
-                Occupant::Bubble(_) => (0.35, 0.0),
-            },
-            Stage::Execute => (execute_excitation(record, class), 0.0),
-            Stage::Control => match class {
-                TimingClass::Load => (
-                    0.30 + 0.70 * popcount_frac(record.mem_return.unwrap_or(0)),
-                    0.0,
-                ),
-                TimingClass::Store => (0.35, 0.45),
-                TimingClass::Mul => (0.45, 0.35),
-                TimingClass::Bubble => (0.35, 0.0),
-                _ => (0.35, 0.35),
-            },
-            Stage::Writeback => match &record.writeback {
-                Some(wb) => (0.25 + 0.75 * popcount_frac(wb.value), 0.0),
-                None => (0.35, 0.0),
-            },
-        };
-        StageExcitation { base, dither_gain }
+        excitation_for(record, stage, record.timing_class(stage), None)
     }
 
     /// The raw (pre-blend) excitation at a given dither value. Evaluated
@@ -116,6 +69,128 @@ impl StageExcitation {
     #[must_use]
     pub fn raw(&self, dither: f64) -> f64 {
         self.base + self.dither_gain * dither
+    }
+}
+
+/// The single source of truth for the per-stage activity → excitation
+/// mapping. `class` is the stage occupant's timing class (precomputed by
+/// both callers); `hint` optionally supplies the instruction-static fetch
+/// and decode bases from a [`DigestHints`] table — the hinted and unhinted
+/// expressions are bit-identical by construction (the hint stores the result
+/// of exactly the fallback arithmetic), which the digest test suite pins.
+fn excitation_for(
+    record: &CycleRecord,
+    stage: Stage,
+    class: TimingClass,
+    hint: Option<&HintEntry>,
+) -> StageExcitation {
+    let (base, dither_gain) = match stage {
+        Stage::Address => {
+            if record.fetch_redirected && is_control_class(class) {
+                // Branch-target adder + PC mux + instruction-memory
+                // address setup: the long address-stage path.
+                (0.70, 0.30)
+            } else {
+                (0.30, 0.40)
+            }
+        }
+        Stage::Fetch => match record.occupant(stage) {
+            Occupant::Insn { insn, .. } => (
+                hint.map_or_else(
+                    || 0.25 + 0.75 * popcount_frac(insn.encode()),
+                    |h| h.fetch_base,
+                ),
+                0.0,
+            ),
+            Occupant::Bubble(_) => (0.35, 0.0),
+        },
+        Stage::Decode => match record.occupant(stage) {
+            Occupant::Insn { insn, .. } => (
+                hint.map_or_else(|| decode_base(insn), |h| h.decode_base),
+                0.12,
+            ),
+            Occupant::Bubble(_) => (0.35, 0.0),
+        },
+        Stage::Execute => (execute_excitation(record, class), 0.0),
+        Stage::Control => match class {
+            TimingClass::Load => (
+                0.30 + 0.70 * popcount_frac(record.mem_return.unwrap_or(0)),
+                0.0,
+            ),
+            TimingClass::Store => (0.35, 0.45),
+            TimingClass::Mul => (0.45, 0.35),
+            TimingClass::Bubble => (0.35, 0.0),
+            _ => (0.35, 0.35),
+        },
+        Stage::Writeback => match &record.writeback {
+            Some(wb) => (0.25 + 0.75 * popcount_frac(wb.value), 0.0),
+            None => (0.35, 0.0),
+        },
+    };
+    StageExcitation { base, dither_gain }
+}
+
+/// The instruction-static part of the decode-stage excitation (operand-port
+/// and immediate decoder activity).
+fn decode_base(insn: &Insn) -> f64 {
+    let mut e = 0.35;
+    if insn.opcode().reads_ra() {
+        e += 0.18;
+    }
+    if insn.opcode().reads_rb() {
+        e += 0.18;
+    }
+    if insn.imm().is_some() {
+        e += 0.12;
+    }
+    e
+}
+
+/// Per-instruction digest excitation facts that depend only on the
+/// instruction word: its timing class, the fetch-stage popcount base and the
+/// decode-stage operand-port base. A [`crate::PredecodedProgram`] computes
+/// one table per program; [`DigestObserver::with_hints`] then skips the
+/// per-cycle instruction re-encode and accessor matching during capture.
+/// Hinted and unhinted capture are bit-identical (pinned by tests): the
+/// table stores the result of exactly the arithmetic the unhinted path runs.
+#[derive(Debug, Clone)]
+pub struct DigestHints {
+    base: u32,
+    entries: Vec<HintEntry>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct HintEntry {
+    class: TimingClass,
+    fetch_base: f64,
+    decode_base: f64,
+}
+
+impl DigestHints {
+    /// Precomputes the hint table for a program image starting at byte
+    /// address `base`.
+    #[must_use]
+    pub fn for_insns(base: u32, insns: &[Insn]) -> DigestHints {
+        let entries = insns
+            .iter()
+            .map(|insn| HintEntry {
+                class: insn.timing_class(),
+                fetch_base: 0.25 + 0.75 * popcount_frac(insn.encode()),
+                decode_base: decode_base(insn),
+            })
+            .collect();
+        DigestHints { base, entries }
+    }
+
+    /// The hint entry for the instruction at byte address `pc`, or `None`
+    /// when `pc` is outside the table or misaligned (the caller then falls
+    /// back to deriving the facts from the record's instruction word).
+    fn entry(&self, pc: u32) -> Option<&HintEntry> {
+        let offset = pc.wrapping_sub(self.base);
+        if pc < self.base || !offset.is_multiple_of(INSN_BYTES) {
+            return None;
+        }
+        self.entries.get((offset / INSN_BYTES) as usize)
     }
 }
 
@@ -208,30 +283,115 @@ impl DigestCycle {
         }
     }
 
-    /// Bit-exact dedup key (f64 coefficients compared by bit pattern).
-    fn key(&self) -> DigestKey {
-        let mut bits = [0u64; 2 * Stage::COUNT];
-        let mut classes = [0u8; Stage::COUNT];
-        for i in 0..Stage::COUNT {
-            bits[2 * i] = self.excitation[i].base.to_bits();
-            bits[2 * i + 1] = self.excitation[i].dither_gain.to_bits();
-            classes[i] = self.classes[i].index() as u8;
-        }
-        DigestKey {
-            classes,
-            bits,
-            fetch_address: self.fetch_address,
-            flags: self.flags.bits(),
+    /// [`DigestCycle::of_record`] with a precomputed [`DigestHints`] table:
+    /// per-stage instruction classes and the static fetch/decode excitation
+    /// bases come from one table lookup per occupied stage instead of
+    /// re-encoding and re-classifying the instruction word. Bit-identical to
+    /// the unhinted extraction (pinned by tests); occupants whose `pc` falls
+    /// outside the hint table fall back to the unhinted derivation.
+    ///
+    /// This is the digest-capture hot path, so the per-stage derivations are
+    /// written straight-line here instead of looping through the generic
+    /// `excitation_for` dispatch: each stage's arm below computes exactly
+    /// the expression its `excitation_for` arm computes, in the same
+    /// floating-point order.
+    #[must_use]
+    pub fn of_record_hinted(record: &CycleRecord, hints: &DigestHints) -> DigestCycle {
+        let class_and_hint = |occupant: &Occupant| match occupant {
+            Occupant::Insn { pc, insn, .. } => match hints.entry(*pc) {
+                Some(h) => (h.class, Some(h)),
+                None => (insn.timing_class(), None),
+            },
+            Occupant::Bubble(_) => (TimingClass::Bubble, None),
+        };
+        let ex = |base: f64, dither_gain: f64| StageExcitation { base, dither_gain };
+
+        let (adr_class, _) = class_and_hint(record.occupant(Stage::Address));
+        let adr = if record.fetch_redirected && is_control_class(adr_class) {
+            ex(0.70, 0.30)
+        } else {
+            ex(0.30, 0.40)
+        };
+
+        let (fe_class, fe_hint) = class_and_hint(record.occupant(Stage::Fetch));
+        let fe = match (fe_hint, record.occupant(Stage::Fetch)) {
+            (Some(h), _) => ex(h.fetch_base, 0.0),
+            (None, Occupant::Insn { insn, .. }) => {
+                ex(0.25 + 0.75 * popcount_frac(insn.encode()), 0.0)
+            }
+            (None, Occupant::Bubble(_)) => ex(0.35, 0.0),
+        };
+
+        let (dc_class, dc_hint) = class_and_hint(record.occupant(Stage::Decode));
+        let dc = match (dc_hint, record.occupant(Stage::Decode)) {
+            (Some(h), _) => ex(h.decode_base, 0.12),
+            (None, Occupant::Insn { insn, .. }) => ex(decode_base(insn), 0.12),
+            (None, Occupant::Bubble(_)) => ex(0.35, 0.0),
+        };
+
+        let (ex_class, _) = class_and_hint(record.occupant(Stage::Execute));
+        let exc = ex(execute_excitation(record, ex_class), 0.0);
+
+        let (ctl_class, _) = class_and_hint(record.occupant(Stage::Control));
+        let ctl = match ctl_class {
+            TimingClass::Load => ex(
+                0.30 + 0.70 * popcount_frac(record.mem_return.unwrap_or(0)),
+                0.0,
+            ),
+            TimingClass::Store => ex(0.35, 0.45),
+            TimingClass::Mul => ex(0.45, 0.35),
+            TimingClass::Bubble => ex(0.35, 0.0),
+            _ => ex(0.35, 0.35),
+        };
+
+        let (wb_class, _) = class_and_hint(record.occupant(Stage::Writeback));
+        let wb = match &record.writeback {
+            Some(wb) => ex(0.25 + 0.75 * popcount_frac(wb.value), 0.0),
+            None => ex(0.35, 0.0),
+        };
+
+        DigestCycle {
+            classes: [adr_class, fe_class, dc_class, ex_class, ctl_class, wb_class],
+            excitation: [adr, fe, dc, exc, ctl, wb],
+            fetch_address: record.fetch_address,
+            flags: CycleRecordFlags::of_record(record),
         }
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct DigestKey {
-    classes: [u8; Stage::COUNT],
-    bits: [u64; 2 * Stage::COUNT],
-    fetch_address: u32,
-    flags: u8,
+/// Bit-exact digest-cycle equality: the dedup criterion of the observer's
+/// pool. f64 coefficients are compared by bit pattern (never by value), so
+/// dedup can never merge cycles whose serialized bytes would differ. The
+/// fetch address leads because consecutive cycles almost always differ in
+/// it, making the miss path a one-word compare.
+fn same_cycle(a: &DigestCycle, b: &DigestCycle) -> bool {
+    a.fetch_address == b.fetch_address
+        && a.flags == b.flags
+        && a.classes == b.classes
+        && a.excitation.iter().zip(&b.excitation).all(|(x, y)| {
+            x.base.to_bits() == y.base.to_bits()
+                && x.dither_gain.to_bits() == y.dither_gain.to_bits()
+        })
+}
+
+/// 64-bit content hash of a digest cycle for the dedup index: five word
+/// mixes — packed classes, fetch address + flags, and the three excitation
+/// bases that actually vary with data (execute, control, writeback; the
+/// front-stage coefficients are functions of the classes already mixed).
+/// Collisions are handled exactly (see [`DedupIndex`]), so the hash quality
+/// only affects speed, never the digest bytes.
+fn cycle_hash(dc: &DigestCycle) -> u64 {
+    let mut h = DigestKeyHasher::default();
+    let mut packed = 0u64;
+    for (i, class) in dc.classes.iter().enumerate() {
+        packed |= (class.index() as u64) << (8 * i);
+    }
+    h.mix(packed);
+    h.mix(u64::from(dc.fetch_address) | (u64::from(dc.flags.bits()) << 32));
+    h.mix(dc.excitation[Stage::Execute.index()].base.to_bits());
+    h.mix(dc.excitation[Stage::Control.index()].base.to_bits());
+    h.mix(dc.excitation[Stage::Writeback.index()].base.to_bits());
+    h.0
 }
 
 /// One run of identical consecutive digest cycles.
@@ -661,14 +821,144 @@ mod codec {
     }
 }
 
+/// Fast non-cryptographic word mixer for the digest dedup index (the
+/// default SipHash showed up as a main cost of digest capture).
+/// [`cycle_hash`] folds a cycle's words through it; [`DedupIndex`] uses the
+/// result directly as the probe start. A multiply-rotate mix is safe here
+/// because every hash hit is verified exactly — pool ids are assigned in
+/// insertion order regardless of hash, so the digest bytes cannot change.
+#[derive(Debug, Default)]
+struct DigestKeyHasher(u64);
+
+impl DigestKeyHasher {
+    const K: u64 = 0x517C_C1B7_2722_0A95;
+
+    fn mix(&mut self, word: u64) {
+        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(Self::K);
+    }
+}
+
+/// Open-addressing dedup index: flat `(hash, pool_id)` slots with linear
+/// probing, kept at most half full. Every hash hit is verified bit-exactly
+/// with [`same_cycle`] before the pool id is reused, and a colliding-but-
+/// different cycle simply probes onward, so hash quality (and the probe
+/// order itself) can only affect speed — pool ids are always assigned in
+/// first-occurrence order, which is what pins the digest bytes.
+#[derive(Debug, Default)]
+struct DedupIndex {
+    /// `id == u32::MAX` marks an empty slot. Length is a power of two.
+    slots: Vec<(u64, u32)>,
+    len: usize,
+}
+
+impl DedupIndex {
+    const EMPTY: u32 = u32::MAX;
+
+    /// Finds the pool id of `dc`, or inserts `next_id` for it and returns
+    /// `None`. `pool` is the observer's unique-cycle pool (for exact
+    /// verification of hash hits).
+    fn find_or_insert(
+        &mut self,
+        dc: &DigestCycle,
+        pool: &[DigestCycle],
+        next_id: u32,
+    ) -> Option<u32> {
+        if self.slots.len() < (self.len + 1) * 2 {
+            self.grow();
+        }
+        let hash = cycle_hash(dc);
+        let mask = self.slots.len() - 1;
+        let mut i = hash as usize & mask;
+        loop {
+            let (slot_hash, slot_id) = self.slots[i];
+            if slot_id == Self::EMPTY {
+                self.slots[i] = (hash, next_id);
+                self.len += 1;
+                return None;
+            }
+            if slot_hash == hash && same_cycle(dc, &pool[slot_id as usize]) {
+                return Some(slot_id);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Doubles the table and reinserts every pool id by its recorded hash.
+    fn grow(&mut self) {
+        let new_cap = (self.slots.len() * 2).max(1024);
+        let mask = new_cap - 1;
+        let mut slots = vec![(0u64, Self::EMPTY); new_cap];
+        for &(hash, id) in self.slots.iter().filter(|(_, id)| *id != Self::EMPTY) {
+            let mut i = hash as usize & mask;
+            while slots[i].1 != Self::EMPTY {
+                i = (i + 1) & mask;
+            }
+            slots[i] = (hash, id);
+        }
+        self.slots = slots;
+    }
+}
+
+/// The facts of one hazard-free fast-path cycle, as recorded by the
+/// predecoded engine's basic-block burst loop: per-stage micro-op table
+/// indices (the address/fetch/decode/execute stages always hold table ops
+/// during a burst; control and writeback may still carry pre-burst bubbles)
+/// plus the data-dependent execute/control/writeback activity. Everything
+/// [`DigestObserver::observe_fast_cycle`] needs to reproduce — bit-exactly —
+/// the [`DigestCycle`] that [`DigestCycle::of_record_hinted`] would extract
+/// from the equivalent [`CycleRecord`], without that record ever being
+/// materialized.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FastCycleFacts {
+    /// Instruction-memory address presented this cycle (dither salt).
+    pub fetch_address: u32,
+    /// Micro-op index of the address-stage occupant (the op at `fetch_address`).
+    pub adr_idx: u32,
+    /// Micro-op index of the fetch-stage occupant.
+    pub fe_idx: u32,
+    /// Micro-op index of the decode-stage occupant.
+    pub dc_idx: u32,
+    /// Micro-op index of the execute-stage occupant.
+    pub ex_idx: u32,
+    /// Micro-op index of the control-stage occupant (`None` = bubble).
+    pub ctrl_idx: Option<u32>,
+    /// Micro-op index of the writeback-stage occupant (`None` = bubble).
+    pub wb_idx: Option<u32>,
+    /// Load data returned by the control stage this cycle, if any.
+    pub mem_return: Option<u32>,
+    /// Value written to the register file this cycle, if any.
+    pub wb_value: Option<u32>,
+    /// Execute-stage operand A.
+    pub op_a: u32,
+    /// Execute-stage operand B (after immediate selection).
+    pub op_b: u32,
+    /// Execute-stage result.
+    pub result: u32,
+    /// Adder carry-chain length of the execute op.
+    pub carry_chain: u8,
+    /// Multiplier operand width (0 for non-multiplies).
+    pub mul_bits: u8,
+    /// Shift amount (0 for non-shifts).
+    pub shift_amount: u8,
+    /// Data-memory address issued by the execute op, if any.
+    pub mem_address: Option<u32>,
+    /// The shielded multiplier toggled this cycle.
+    pub mul_active: bool,
+    /// At least one execute operand was forwarded.
+    pub forwarded: bool,
+}
+
 /// Streaming digest capture: a [`CycleObserver`] that folds every
 /// [`CycleRecord`] into a [`TimingDigest`] as the simulator produces it —
 /// phase 1 of the simulate-once / evaluate-many sweep.
 #[derive(Debug, Default)]
 pub struct DigestObserver {
     digest: TimingDigest,
-    index: HashMap<DigestKey, u32>,
-    last_key: Option<DigestKey>,
+    /// Content-hash index over the pool, verified exactly on every hit.
+    index: DedupIndex,
+    /// Pool id of the previous cycle (run-length extension check).
+    last_id: Option<u32>,
+    hints: Option<Arc<DigestHints>>,
 }
 
 impl DigestObserver {
@@ -678,42 +968,170 @@ impl DigestObserver {
         Self::default()
     }
 
+    /// Creates an observer that captures through a precomputed
+    /// [`DigestHints`] table (see
+    /// [`crate::PredecodedProgram::digest_hints`]). Produces bit-identical
+    /// digests to [`DigestObserver::new`]; the hints only skip redundant
+    /// per-cycle work.
+    #[must_use]
+    pub fn with_hints(hints: Arc<DigestHints>) -> Self {
+        DigestObserver {
+            hints: Some(hints),
+            ..Self::default()
+        }
+    }
+
     /// Consumes the observer and returns the finished digest.
     #[must_use]
     pub fn into_digest(self) -> TimingDigest {
         self.digest
     }
 
+    /// Folds one hazard-free fast-path cycle into the digest without an
+    /// intermediate [`CycleRecord`]. Only reachable through
+    /// [`CycleObserver::as_hinted_digest`], so `self.hints` is present and —
+    /// by the caller pairing the observer with the program it simulates —
+    /// indexes the same micro-op table the facts' indices point into.
+    ///
+    /// Every arm below reproduces, in the same floating-point order, exactly
+    /// what [`DigestCycle::of_record_hinted`] computes for a burst cycle: an
+    /// un-redirected, un-stalled cycle whose front four stages hold plain
+    /// table ops with an exec-activity record and no branch resolution. The
+    /// differential suite pins the resulting digests against full-record
+    /// capture on the reference engine.
+    pub(crate) fn observe_fast_cycle(&mut self, fc: &FastCycleFacts) {
+        let hints = self.hints.as_ref().expect("fast-path capture is hinted");
+        let entry = |idx: u32| &hints.entries[idx as usize];
+        let ex = |base: f64, dither_gain: f64| StageExcitation { base, dither_gain };
+
+        // Address: never redirected during a burst.
+        let adr_class = entry(fc.adr_idx).class;
+        let adr = ex(0.30, 0.40);
+
+        let fe_hint = entry(fc.fe_idx);
+        let fe = ex(fe_hint.fetch_base, 0.0);
+        let dc_hint = entry(fc.dc_idx);
+        let dc = ex(dc_hint.decode_base, 0.12);
+
+        // Execute: `execute_excitation` with activity present and no branch.
+        let ex_class = entry(fc.ex_idx).class;
+        let mut exec_base = match ex_class {
+            TimingClass::Add | TimingClass::SetFlag => f64::from(fc.carry_chain) / 32.0,
+            TimingClass::Mul => f64::from(fc.mul_bits) / 32.0,
+            TimingClass::Shift => f64::from(fc.shift_amount) / 31.0,
+            TimingClass::And | TimingClass::Or | TimingClass::Xor | TimingClass::Move => {
+                popcount_frac(fc.op_a ^ fc.op_b)
+            }
+            TimingClass::Load | TimingClass::Store => {
+                let addr = fc.mem_address.unwrap_or(0);
+                let addr_toggle = f64::from((addr & 0xFFFF).count_ones()) / 16.0;
+                let drive = (f64::from(fc.carry_chain) / 32.0).max(addr_toggle);
+                0.45 + 0.55 * drive
+            }
+            // Control classes are not plain ops, so they never execute in a
+            // burst; the arms still mirror `execute_excitation` exactly.
+            TimingClass::BranchCond => 0.45,
+            TimingClass::Jump => 0.55,
+            TimingClass::JumpReg => popcount_frac(fc.result).max(0.5),
+            TimingClass::Nop => 0.30,
+            TimingClass::Bubble => 0.40,
+        };
+        if fc.forwarded {
+            exec_base = (exec_base + 0.12).min(1.0);
+        }
+        let exc = ex(exec_base, 0.0);
+
+        let ctl_class = fc
+            .ctrl_idx
+            .map_or(TimingClass::Bubble, |idx| entry(idx).class);
+        let ctl = match ctl_class {
+            TimingClass::Load => ex(0.30 + 0.70 * popcount_frac(fc.mem_return.unwrap_or(0)), 0.0),
+            TimingClass::Store => ex(0.35, 0.45),
+            TimingClass::Mul => ex(0.45, 0.35),
+            TimingClass::Bubble => ex(0.35, 0.0),
+            _ => ex(0.35, 0.35),
+        };
+
+        let wb_class = fc
+            .wb_idx
+            .map_or(TimingClass::Bubble, |idx| entry(idx).class);
+        let wb = match fc.wb_value {
+            Some(value) => ex(0.25 + 0.75 * popcount_frac(value), 0.0),
+            None => ex(0.35, 0.0),
+        };
+
+        let mut bits = CycleRecordFlags::EXECUTE_INSN;
+        if fc.mem_address.is_some() {
+            bits |= CycleRecordFlags::MEM_ACCESS;
+        }
+        if fc.mul_active {
+            bits |= CycleRecordFlags::MUL_ACTIVE;
+        }
+        if fc.forwarded {
+            bits |= CycleRecordFlags::FORWARDED;
+        }
+
+        self.push(DigestCycle {
+            classes: [
+                adr_class,
+                fe_hint.class,
+                dc_hint.class,
+                ex_class,
+                ctl_class,
+                wb_class,
+            ],
+            excitation: [adr, fe, dc, exc, ctl, wb],
+            fetch_address: fc.fetch_address,
+            flags: CycleRecordFlags::from_bits(bits).expect("burst flags are defined bits"),
+        });
+    }
+
     fn push(&mut self, dc: DigestCycle) {
-        let key = dc.key();
         self.digest.cycles += 1;
-        if self.last_key == Some(key) {
-            if let Some(run) = self.digest.runs.last_mut() {
-                run.len += 1;
-                return;
+        if let Some(last) = self.last_id {
+            if same_cycle(&dc, &self.digest.pool[last as usize]) {
+                if let Some(run) = self.digest.runs.last_mut() {
+                    run.len += 1;
+                    return;
+                }
             }
         }
         let next_id = self.digest.pool.len() as u32;
-        let id = *self.index.entry(key).or_insert(next_id);
-        if id == next_id {
-            self.digest.pool.push(dc);
-        }
+        let id = match self.index.find_or_insert(&dc, &self.digest.pool, next_id) {
+            Some(id) => id,
+            None => {
+                self.digest.pool.push(dc);
+                next_id
+            }
+        };
         self.digest.runs.push(DigestRun {
             cycle_id: id,
             len: 1,
         });
-        self.last_key = Some(key);
+        self.last_id = Some(id);
     }
 }
 
 impl CycleObserver for DigestObserver {
     fn observe_cycle(&mut self, record: &CycleRecord) {
-        self.push(DigestCycle::of_record(record));
+        let dc = match &self.hints {
+            Some(hints) => DigestCycle::of_record_hinted(record, hints),
+            None => DigestCycle::of_record(record),
+        };
+        self.push(dc);
     }
 
     fn finish(&mut self, summary: &RunSummary) {
         self.digest.retired = summary.retired;
         debug_assert_eq!(self.digest.cycles, summary.cycles);
+    }
+
+    fn as_hinted_digest(&mut self) -> Option<&mut DigestObserver> {
+        if self.hints.is_some() {
+            Some(self)
+        } else {
+            None
+        }
     }
 }
 
@@ -913,6 +1331,77 @@ mod tests {
         assert!(DigestFormatError::ChecksumMismatch
             .to_string()
             .contains("checksum"));
+    }
+
+    #[test]
+    fn hinted_capture_is_bit_identical_to_unhinted() {
+        // Exercise every hint-relevant stage situation: arithmetic with and
+        // without immediates, multiplies, loads/stores, decode-resolved
+        // branches and an execute-resolved register jump (whose flush
+        // bubbles and redirects must digest identically too).
+        let src = "        l.jal  body
+                           l.addi r1, r0, 0x200
+                           l.nop  1
+                   body:   l.addi r3, r0, 17
+                   loop:   l.mul  r4, r3, r3
+                           l.sw   0(r1), r4
+                           l.lwz  r5, 0(r1)
+                           l.xor  r6, r5, r3
+                           l.addi r3, r3, -1
+                           l.sfne r3, r0
+                           l.bf   loop
+                           l.nop  0
+                           l.jr   r9
+                           l.nop  0";
+        let program = Assembler::new().assemble(src).expect("assembles");
+        let sim = Simulator::new(SimConfig::default());
+        let mut plain = DigestObserver::new();
+        sim.run_observed(&program, &mut [&mut plain]).expect("runs");
+        let pre = crate::PredecodedProgram::lower(&program);
+        let mut hinted = DigestObserver::with_hints(pre.digest_hints());
+        sim.run_observed(&program, &mut [&mut hinted])
+            .expect("runs");
+        assert_eq!(
+            plain.into_digest().to_bytes(),
+            hinted.into_digest().to_bytes()
+        );
+    }
+
+    #[test]
+    fn fused_burst_capture_is_bit_identical_to_record_capture() {
+        // A lone hinted observer takes the compact fast-path delivery
+        // (`observe_fast_cycle`); adding any second observer forces the
+        // burst to materialize full records instead. Both captures must
+        // produce byte-identical digests.
+        let src = "        l.addi r1, r0, 0x200
+                           l.addi r3, r0, 25
+                   loop:   l.mul  r4, r3, r3
+                           l.sw   0(r1), r4
+                           l.lwz  r5, 0(r1)
+                           l.xor  r6, r5, r3
+                           l.add  r7, r6, r4
+                           l.srli r8, r7, 3
+                           l.addi r3, r3, -1
+                           l.sfne r3, r0
+                           l.bf   loop
+                           l.nop  0
+                           l.nop  1";
+        let program = Assembler::new().assemble(src).expect("assembles");
+        let sim = Simulator::new(SimConfig::default());
+        let pre = crate::PredecodedProgram::lower(&program);
+
+        let mut fused = DigestObserver::with_hints(pre.digest_hints());
+        sim.run_observed(&program, &mut [&mut fused]).expect("runs");
+
+        let mut recorded = DigestObserver::with_hints(pre.digest_hints());
+        let mut chaperone = crate::TraceStats::default();
+        sim.run_observed(&program, &mut [&mut recorded, &mut chaperone])
+            .expect("runs");
+
+        assert_eq!(
+            fused.into_digest().to_bytes(),
+            recorded.into_digest().to_bytes()
+        );
     }
 
     #[test]

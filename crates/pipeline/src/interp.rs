@@ -6,8 +6,9 @@
 //! (differential testing). It shares the instruction semantics of the
 //! pipeline's execute stage through [`alu`].
 
-use crate::{Memory, PipelineError, RegisterFile, NOP_EXIT};
-use idca_isa::{Insn, Opcode, Program, Reg, INSN_BYTES};
+use crate::predecode::{exec_alu, CtlKind, MemKind, PredecodedProgram};
+use crate::{Memory, PipelineError, RegisterFile};
+use idca_isa::{Program, Reg, INSN_BYTES};
 
 pub(crate) mod alu {
     //! Shared instruction semantics used by both the interpreter and the
@@ -57,7 +58,30 @@ pub(crate) mod alu {
     /// Longest carry-propagation run when computing `a + b + cin` on the
     /// main adder; a proxy for the dynamic depth of the adder path excited
     /// by the operands.
+    ///
+    /// Bit-parallel form of the per-bit recurrence (retained below as the
+    /// test oracle [`carry_chain_reference`]): in the 33-bit sum
+    /// `x = a + b + cin`, the vector `x ^ a ^ b` holds the carry *into*
+    /// every bit position, and the per-bit run condition
+    /// `generate | (propagate & carry_in)` is exactly the carry *out* of
+    /// that bit — the carry-in vector shifted down by one. The metric is
+    /// then the longest run of set bits in that mask.
     pub(crate) fn carry_chain(a: u32, b: u32, cin: bool) -> u8 {
+        let x = u64::from(a) + u64::from(b) + u64::from(cin);
+        let carries = x ^ u64::from(a) ^ u64::from(b);
+        let mut mask = (carries >> 1) as u32;
+        let mut best: u8 = 0;
+        while mask != 0 {
+            mask &= mask << 1;
+            best += 1;
+        }
+        best
+    }
+
+    /// The original per-bit recurrence, kept as the oracle the bit-parallel
+    /// [`carry_chain`] is pinned against.
+    #[cfg(test)]
+    pub(crate) fn carry_chain_reference(a: u32, b: u32, cin: bool) -> u8 {
         let mut carry = u32::from(cin);
         let mut run: u8 = 0;
         let mut best: u8 = 0;
@@ -228,12 +252,29 @@ impl Interpreter {
     /// Returns a [`PipelineError`] for invalid memory accesses, an
     /// out-of-range program counter or an exhausted instruction budget.
     pub fn run(&self, program: &Program) -> Result<InterpreterResult, PipelineError> {
+        self.run_predecoded(&PredecodedProgram::lower(program))
+    }
+
+    /// [`Interpreter::run`] for a program already lowered to its
+    /// [`PredecodedProgram`] form: dispatches straight from the micro-op
+    /// table, sharing the lowering with the pipeline simulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PipelineError`] like [`Interpreter::run`].
+    pub fn run_predecoded(
+        &self,
+        pre: &PredecodedProgram,
+    ) -> Result<InterpreterResult, PipelineError> {
         let mut regs = RegisterFile::new();
         let mut memory = Memory::new(self.data_memory_size);
-        memory.load_image(program.data())?;
+        memory.load_image(pre.data())?;
         let mut flag = false;
         let mut carry = false;
-        let mut pc = program.base_address();
+        let base = pre.base_address();
+        let end = pre.end_address();
+        let ops = pre.ops();
+        let mut pc = base;
         let mut retired: u64 = 0;
         // Target that takes effect after the delay-slot instruction.
         let mut pending_target: Option<u32> = None;
@@ -244,21 +285,25 @@ impl Interpreter {
                     limit: self.max_instructions,
                 });
             }
-            let Some(insn) = fetch(program, pc) else {
+            if pc < base || pc >= end {
                 // Falling off the end of the image terminates execution,
                 // mirroring the pipeline simulator's drain behaviour.
                 break;
-            };
+            }
+            // In range but misaligned (a register jump can produce such a
+            // PC): a structured error, matching the simulator's hardened
+            // fetch path.
+            let op = &ops[pre.fetch_index(pc)? as usize];
             retired += 1;
 
-            if insn.opcode() == Opcode::Nop && insn.imm() == Some(i32::from(NOP_EXIT)) {
+            if op.ctl == CtlKind::Exit {
                 break;
             }
 
-            let a = insn.ra().map_or(0, |r| regs.read(r));
-            let rb_value = insn.rb().map_or(0, |r| regs.read(r));
-            let b = alu::operand_b(&insn, rb_value);
-            let outcome = alu::execute(&insn, a, b, flag, carry);
+            let a = op.ra.map_or(0, |r| regs.read(r));
+            let rb_value = op.rb.map_or(0, |r| regs.read(r));
+            let b = op.op_b_imm.unwrap_or(rb_value);
+            let outcome = exec_alu(op.alu, a, b, flag, carry);
 
             if let Some(new_flag) = outcome.flag {
                 flag = new_flag;
@@ -269,75 +314,58 @@ impl Interpreter {
 
             let mut next_pc = pc.wrapping_add(INSN_BYTES);
             let mut new_pending: Option<u32> = None;
-            match insn.opcode() {
-                Opcode::J | Opcode::Jal => {
-                    let target = pc.wrapping_add((insn.imm().unwrap_or(0) as u32).wrapping_mul(4));
-                    new_pending = Some(target);
-                    if insn.opcode() == Opcode::Jal {
+            match op.ctl {
+                CtlKind::Jump { link } => {
+                    new_pending = Some(pc.wrapping_add(op.branch_disp));
+                    if link {
                         regs.write(Reg::LINK, pc.wrapping_add(8));
                     }
                 }
-                Opcode::Jr | Opcode::Jalr => {
+                CtlKind::JumpReg { link } => {
                     new_pending = Some(rb_value);
-                    if insn.opcode() == Opcode::Jalr {
+                    if link {
                         regs.write(Reg::LINK, pc.wrapping_add(8));
                     }
                 }
-                Opcode::Bf => {
+                CtlKind::BranchIfFlag => {
                     if flag {
-                        new_pending =
-                            Some(pc.wrapping_add((insn.imm().unwrap_or(0) as u32).wrapping_mul(4)));
+                        new_pending = Some(pc.wrapping_add(op.branch_disp));
                     }
                 }
-                Opcode::Bnf => {
+                CtlKind::BranchIfNotFlag => {
                     if !flag {
-                        new_pending =
-                            Some(pc.wrapping_add((insn.imm().unwrap_or(0) as u32).wrapping_mul(4)));
+                        new_pending = Some(pc.wrapping_add(op.branch_disp));
                     }
                 }
-                Opcode::Lwz | Opcode::Lws => {
-                    let addr = outcome.address.unwrap_or(0);
-                    regs.write(insn.rd().expect("load has rd"), memory.load_word(addr)?);
-                }
-                Opcode::Lhz => {
-                    let addr = outcome.address.unwrap_or(0);
-                    regs.write(
-                        insn.rd().expect("load has rd"),
-                        u32::from(memory.load_half(addr)?),
-                    );
-                }
-                Opcode::Lhs => {
-                    let addr = outcome.address.unwrap_or(0);
-                    let v = memory.load_half(addr)? as i16;
-                    regs.write(insn.rd().expect("load has rd"), v as i32 as u32);
-                }
-                Opcode::Lbz => {
-                    let addr = outcome.address.unwrap_or(0);
-                    regs.write(
-                        insn.rd().expect("load has rd"),
-                        u32::from(memory.load_byte(addr)?),
-                    );
-                }
-                Opcode::Lbs => {
-                    let addr = outcome.address.unwrap_or(0);
-                    let v = memory.load_byte(addr)? as i8;
-                    regs.write(insn.rd().expect("load has rd"), v as i32 as u32);
-                }
-                Opcode::Sw => {
-                    memory.store_word(outcome.address.unwrap_or(0), rb_value)?;
-                }
-                Opcode::Sh => {
-                    memory.store_half(outcome.address.unwrap_or(0), rb_value as u16)?;
-                }
-                Opcode::Sb => {
-                    memory.store_byte(outcome.address.unwrap_or(0), rb_value as u8)?;
-                }
-                _ => {
-                    if insn.opcode().writes_rd() {
-                        if let Some(rd) = insn.rd() {
-                            regs.write(rd, outcome.result);
-                        }
+                CtlKind::None | CtlKind::Exit => {}
+            }
+
+            if op.mem.is_load() {
+                let addr = outcome.address.unwrap_or(0);
+                let value = match op.mem {
+                    MemKind::LoadWord => memory.load_word(addr)?,
+                    MemKind::LoadHalf { signed: false } => u32::from(memory.load_half(addr)?),
+                    MemKind::LoadHalf { signed: true } => {
+                        memory.load_half(addr)? as i16 as i32 as u32
                     }
+                    MemKind::LoadByte { signed: false } => u32::from(memory.load_byte(addr)?),
+                    MemKind::LoadByte { signed: true } => {
+                        memory.load_byte(addr)? as i8 as i32 as u32
+                    }
+                    _ => 0,
+                };
+                regs.write(op.rd.expect("load has rd"), value);
+            } else if op.mem.is_store() {
+                let addr = outcome.address.unwrap_or(0);
+                match op.mem {
+                    MemKind::StoreWord => memory.store_word(addr, rb_value)?,
+                    MemKind::StoreHalf => memory.store_half(addr, rb_value as u16)?,
+                    MemKind::StoreByte => memory.store_byte(addr, rb_value as u8)?,
+                    _ => {}
+                }
+            } else if op.ctl == CtlKind::None {
+                if let Some(rd) = op.rd {
+                    regs.write(rd, outcome.result);
                 }
             }
 
@@ -358,15 +386,6 @@ impl Interpreter {
             retired,
         })
     }
-}
-
-fn fetch(program: &Program, pc: u32) -> Option<Insn> {
-    let base = program.base_address();
-    if pc < base {
-        return None;
-    }
-    let index = ((pc - base) / INSN_BYTES) as usize;
-    program.insns().get(index).copied()
 }
 
 #[cfg(test)]
@@ -461,6 +480,51 @@ mod tests {
         // Single-bit add with no propagation.
         assert_eq!(alu::carry_chain(1, 2, false), 0);
         assert!(alu::carry_chain(0x0F0F_0F0F, 0x0101_0101, false) >= 4);
+    }
+
+    #[test]
+    fn bit_parallel_carry_chain_matches_the_per_bit_reference() {
+        let edges = [
+            0u32,
+            1,
+            2,
+            3,
+            0x8000_0000,
+            0xFFFF_FFFF,
+            0xFFFF_FFFE,
+            0x7FFF_FFFF,
+            0x5555_5555,
+            0xAAAA_AAAA,
+            0x0F0F_0F0F,
+            0x0101_0101,
+        ];
+        for &a in &edges {
+            for &b in &edges {
+                for cin in [false, true] {
+                    assert_eq!(
+                        alu::carry_chain(a, b, cin),
+                        alu::carry_chain_reference(a, b, cin),
+                        "a={a:#x} b={b:#x} cin={cin}"
+                    );
+                }
+            }
+        }
+        // Deterministic pseudo-random sweep.
+        let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
+        for _ in 0..20_000 {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            let a = (state >> 32) as u32;
+            let b = state as u32;
+            for cin in [false, true] {
+                assert_eq!(
+                    alu::carry_chain(a, b, cin),
+                    alu::carry_chain_reference(a, b, cin),
+                    "a={a:#x} b={b:#x} cin={cin}"
+                );
+            }
+        }
     }
 
     #[test]

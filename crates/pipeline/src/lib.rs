@@ -56,12 +56,15 @@ mod event;
 mod interp;
 mod memory;
 mod observer;
+mod predecode;
 mod regfile;
 mod simulator;
 mod stage;
 mod trace;
 
-pub use digest::{DigestCycle, DigestFormatError, DigestObserver, StageExcitation, TimingDigest};
+pub use digest::{
+    DigestCycle, DigestFormatError, DigestHints, DigestObserver, StageExcitation, TimingDigest,
+};
 pub use error::PipelineError;
 pub use event::{
     BranchActivity, BubbleKind, CycleRecord, CycleRecordFlags, ExecActivity, ForwardSource,
@@ -70,6 +73,7 @@ pub use event::{
 pub use interp::{Interpreter, InterpreterResult};
 pub use memory::Memory;
 pub use observer::{CycleObserver, RunSummary, TakeObserver};
+pub use predecode::{AdderKind, AluKind, CtlKind, MemKind, MicroOp, PredecodedProgram};
 pub use regfile::RegisterFile;
 pub use simulator::{ArchState, ObservedRun, SimBuffers, SimConfig, SimResult, Simulator};
 pub use stage::Stage;

@@ -9,7 +9,7 @@
 //! materialization on the hot path. Materializing a [`crate::PipelineTrace`]
 //! is just another observer (used by tests and serialization).
 
-use crate::CycleRecord;
+use crate::{CycleRecord, DigestObserver};
 
 /// Run totals handed to every observer when the simulation finishes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -34,6 +34,19 @@ pub trait CycleObserver {
     fn finish(&mut self, summary: &RunSummary) {
         let _ = summary;
     }
+
+    /// Internal fast-path hook: the hinted [`DigestObserver`] behind this
+    /// observer, if there is one. When a hinted digest capture is the *only*
+    /// observer of a predecoded run, the simulator folds hazard-free
+    /// basic-block burst cycles straight into the digest without
+    /// materializing a [`CycleRecord`] per cycle. Capture through either
+    /// path is bit-identical (pinned by the digest and differential tests).
+    /// Adapters that filter or reorder cycles (e.g. `TakeObserver`) must
+    /// keep the default `None` so they always see the full record stream.
+    #[doc(hidden)]
+    fn as_hinted_digest(&mut self) -> Option<&mut DigestObserver> {
+        None
+    }
 }
 
 /// Forwarding impl so `&mut O` can be composed into observer slices.
@@ -44,6 +57,10 @@ impl<O: CycleObserver + ?Sized> CycleObserver for &mut O {
 
     fn finish(&mut self, summary: &RunSummary) {
         (**self).finish(summary);
+    }
+
+    fn as_hinted_digest(&mut self) -> Option<&mut DigestObserver> {
+        (**self).as_hinted_digest()
     }
 }
 

@@ -19,11 +19,13 @@
 //! * The multiplier is shielded by operand-isolation registers: its inputs
 //!   only toggle for multiply instructions.
 
+use crate::digest::FastCycleFacts;
 use crate::interp::alu;
+use crate::predecode::{self, CtlKind, MicroOp, PredecodedProgram};
 use crate::{
-    BranchActivity, BubbleKind, CycleObserver, CycleRecord, ExecActivity, ForwardSource,
-    MemRequest, Memory, Occupant, PipelineError, PipelineTrace, RegisterFile, RunSummary, Stage,
-    WbActivity, NOP_EXIT,
+    BranchActivity, BubbleKind, CycleObserver, CycleRecord, DigestObserver, ExecActivity,
+    ForwardSource, MemRequest, Memory, Occupant, PipelineError, PipelineTrace, RegisterFile,
+    RunSummary, Stage, WbActivity, NOP_EXIT,
 };
 use idca_isa::{Insn, Opcode, Program, Reg, INSN_BYTES};
 use serde::{Deserialize, Serialize};
@@ -196,6 +198,38 @@ struct WbEntry {
     value: u32,
 }
 
+/// Predecoded-engine twin of [`Fetched`]: stages carry the micro-op table
+/// index instead of the instruction word (the word is recovered from the
+/// table only when a [`CycleRecord`] is materialized).
+#[derive(Debug, Clone, Copy)]
+struct FetchedOp {
+    pc: u32,
+    idx: u32,
+    seq: u64,
+    resolution: Option<BranchActivity>,
+}
+
+/// Predecoded-engine twin of [`CtrlEntry`].
+#[derive(Debug, Clone, Copy)]
+struct CtrlOp {
+    pc: u32,
+    idx: u32,
+    seq: u64,
+    rd: Option<Reg>,
+    value: u32,
+    mem: Option<MemOp>,
+}
+
+/// Predecoded-engine twin of [`WbEntry`].
+#[derive(Debug, Clone, Copy)]
+struct WbOp {
+    pc: u32,
+    idx: u32,
+    seq: u64,
+    rd: Option<Reg>,
+    value: u32,
+}
+
 #[derive(Debug, Clone, Copy)]
 enum Slot<T> {
     Insn(T),
@@ -213,6 +247,18 @@ impl<T> Slot<T> {
     fn is_bubble(&self) -> bool {
         matches!(self, Slot::Bubble(_))
     }
+}
+
+/// Where a basic-block burst delivers its per-cycle observations: either a
+/// lone hinted [`DigestObserver`] consuming compact [`FastCycleFacts`]
+/// directly, or the generic observer slice consuming full, freshly
+/// materialized [`CycleRecord`]s. Both deliveries are bit-identical from
+/// the digest's point of view (pinned by the differential suite); the
+/// compact one exists because record materialization dominates phase-1
+/// digest capture.
+enum BurstSink<'a, 'b> {
+    Digest(&'a mut DigestObserver),
+    Records(&'a mut [&'b mut dyn CycleObserver]),
 }
 
 impl Simulator {
@@ -298,6 +344,50 @@ impl Simulator {
         program: &Program,
         observers: &mut [&mut dyn CycleObserver],
     ) -> Result<ObservedRun, PipelineError> {
+        self.run_observed_predecoded(&PredecodedProgram::lower(program), observers)
+    }
+
+    /// [`Simulator::run_observed`] for a program already lowered to its
+    /// [`PredecodedProgram`] form. Callers that run the same program many
+    /// times (bench repetitions, differential fuzzing) lower once and reuse
+    /// the table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError`] like [`Simulator::run_observed`].
+    pub fn run_observed_predecoded(
+        &self,
+        pre: &PredecodedProgram,
+        observers: &mut [&mut dyn CycleObserver],
+    ) -> Result<ObservedRun, PipelineError> {
+        let mut buffers = SimBuffers::for_config(&self.config);
+        let summary = self.run_core_pre(pre, observers, &mut buffers)?;
+        Ok(ObservedRun {
+            state: ArchState {
+                regs: buffers.regs,
+                memory: buffers.memory,
+                flag: buffers.flag,
+                carry: buffers.carry,
+            },
+            summary,
+        })
+    }
+
+    /// [`Simulator::run_observed`] on the retained per-cycle reference loop:
+    /// every stage re-derives its facts from the instruction word each cycle
+    /// instead of dispatching from the predecoded micro-op table. Exists so
+    /// differential tests can pin the predecoded engine bit-identical
+    /// (same [`CycleRecord`] stream, digests and summaries) against the
+    /// original formulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError`] like [`Simulator::run_observed`].
+    pub fn run_observed_reference(
+        &self,
+        program: &Program,
+        observers: &mut [&mut dyn CycleObserver],
+    ) -> Result<ObservedRun, PipelineError> {
         let mut buffers = SimBuffers::for_config(&self.config);
         let summary = self.run_core(program, observers, &mut buffers)?;
         Ok(ObservedRun {
@@ -328,8 +418,27 @@ impl Simulator {
         observers: &mut [&mut dyn CycleObserver],
         buffers: &mut SimBuffers,
     ) -> Result<RunSummary, PipelineError> {
+        self.run_observed_predecoded_with_buffers(
+            &PredecodedProgram::lower(program),
+            observers,
+            buffers,
+        )
+    }
+
+    /// [`Simulator::run_observed_with_buffers`] for an already-lowered
+    /// program: caller-owned scratch state *and* a reusable micro-op table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError`] like [`Simulator::run_observed`].
+    pub fn run_observed_predecoded_with_buffers(
+        &self,
+        pre: &PredecodedProgram,
+        observers: &mut [&mut dyn CycleObserver],
+        buffers: &mut SimBuffers,
+    ) -> Result<RunSummary, PipelineError> {
         buffers.reset_for(&self.config);
-        self.run_core(program, observers, buffers)
+        self.run_core_pre(pre, observers, buffers)
     }
 
     /// The simulation loop shared by [`Simulator::run_observed`] and
@@ -350,7 +459,16 @@ impl Simulator {
         let base = program.base_address();
         let end = program.end_address();
         let in_range = |pc: u32| pc >= base && pc < end;
-        let fetch_insn = |pc: u32| -> Insn { program.insns()[((pc - base) / INSN_BYTES) as usize] };
+        // Hardened fetch: a register jump can put any value in the PC, so a
+        // misaligned in-range address must become a structured error, never
+        // a silently-truncated index (out-of-range addresses drain the
+        // pipeline before reaching this accessor).
+        let fetch_insn = |pc: u32| -> Result<Insn, PipelineError> {
+            let index = program
+                .insn_index(pc)
+                .ok_or(PipelineError::PcOutOfRange { pc })?;
+            Ok(program.insns()[index])
+        };
 
         let mut fetch_pc = base;
         let mut fe: Slot<Fetched> = Slot::Bubble(BubbleKind::Reset);
@@ -558,7 +676,7 @@ impl Simulator {
                 seq_counter += 1;
                 Slot::Insn(Fetched {
                     pc: effective_fetch,
-                    insn: fetch_insn(effective_fetch),
+                    insn: fetch_insn(effective_fetch)?,
                     seq,
                     resolution: None,
                 })
@@ -579,7 +697,7 @@ impl Simulator {
             } else if in_range(effective_fetch) {
                 Occupant::Insn {
                     pc: effective_fetch,
-                    insn: fetch_insn(effective_fetch),
+                    insn: fetch_insn(effective_fetch)?,
                     seq: seq_counter,
                 }
             } else {
@@ -684,6 +802,518 @@ impl Simulator {
         buffers.carry = carry;
         Ok(summary)
     }
+
+    /// The predecoded simulation loop: structurally the same cycle as
+    /// [`Simulator::run_core`], but every per-cycle fact comes from the
+    /// [`MicroOp`] table instead of being re-derived from the instruction
+    /// word, and hazard-free basic-block interiors are dispatched on a fast
+    /// path with the `Slot`/`Option` unwrapping and control-flow checks
+    /// hoisted out of the loop. Bit-identical to the reference loop — same
+    /// [`CycleRecord`] stream, same errors — pinned by the differential
+    /// suite.
+    #[allow(clippy::too_many_lines)]
+    fn run_core_pre(
+        &self,
+        pre: &PredecodedProgram,
+        observers: &mut [&mut dyn CycleObserver],
+        buffers: &mut SimBuffers,
+    ) -> Result<RunSummary, PipelineError> {
+        let regs = &mut buffers.regs;
+        let memory = &mut buffers.memory;
+        memory.load_image(pre.data())?;
+        let mut flag = false;
+        let mut carry = false;
+
+        let base = pre.base_address();
+        let end = pre.end_address();
+        let ops = pre.ops();
+        let n_ops = ops.len() as u32;
+        let in_range = |pc: u32| pc >= base && pc < end;
+
+        let mut fetch_pc = base;
+        let mut fe: Slot<FetchedOp> = Slot::Bubble(BubbleKind::Reset);
+        let mut dc: Slot<FetchedOp> = Slot::Bubble(BubbleKind::Reset);
+        let mut ex: Slot<FetchedOp> = Slot::Bubble(BubbleKind::Reset);
+        let mut ctrl: Slot<CtrlOp> = Slot::Bubble(BubbleKind::Reset);
+        let mut wb: Slot<WbOp> = Slot::Bubble(BubbleKind::Reset);
+
+        let mut halting = false;
+        let mut exit_seq: Option<u64> = None;
+        let mut seq_counter: u64 = 0;
+        let mut retired: u64 = 0;
+        let mut cycle_count: u64 = 0;
+        // A lone hinted digest observer opts bursts into compact delivery
+        // (no per-cycle `CycleRecord`); see `BurstSink`.
+        let fused_digest = observers.len() == 1 && observers[0].as_hinted_digest().is_some();
+
+        while cycle_count < self.config.max_cycles {
+            // -------------------------------------------------------------
+            // Basic-block fast path: while the three youngest stages hold
+            // plain (non-control, non-exit) micro-ops and fetch runs inside
+            // a runway of plain ops, nothing can redirect or halt, so the
+            // per-cycle dispatch reduces to table walks. The window holds
+            // [execute, decode, fetch] oldest-first.
+            // -------------------------------------------------------------
+            if !halting {
+                if let (Slot::Insn(xe), Slot::Insn(xd), Slot::Insn(xf)) = (&ex, &dc, &fe) {
+                    if ops[xe.idx as usize].is_plain()
+                        && ops[xd.idx as usize].is_plain()
+                        && ops[xf.idx as usize].is_plain()
+                        && in_range(fetch_pc)
+                        && (fetch_pc - base).is_multiple_of(INSN_BYTES)
+                    {
+                        let fi = (fetch_pc - base) / INSN_BYTES;
+                        // k cycles are hazard-free when the k-2 ops fetched
+                        // behind the current window (those that reach decode
+                        // within the window) are plain, fetch stays in the
+                        // image, and the cycle budget allows it.
+                        let k = u64::from(pre.runway(fi).saturating_add(2))
+                            .min(u64::from(n_ops - fi))
+                            .min(self.config.max_cycles - cycle_count);
+                        if k >= 4 {
+                            let mut window = [*xe, *xd, *xf];
+                            let mut sink = if fused_digest {
+                                BurstSink::Digest(
+                                    observers[0].as_hinted_digest().expect("checked at entry"),
+                                )
+                            } else {
+                                BurstSink::Records(&mut *observers)
+                            };
+                            for j in 0..k {
+                                let fetch_idx = fi + j as u32;
+                                let fetch_addr = base + fetch_idx * INSN_BYTES;
+
+                                let mut writeback_activity = None;
+                                if let Slot::Insn(entry) = &wb {
+                                    if let Some(rd) = entry.rd {
+                                        regs.write(rd, entry.value);
+                                        writeback_activity = Some(WbActivity {
+                                            rd,
+                                            value: entry.value,
+                                        });
+                                    }
+                                    retired += 1;
+                                }
+
+                                let mut mem_return = None;
+                                let mut ctrl_entry = ctrl;
+                                if let Slot::Insn(entry) = &mut ctrl_entry {
+                                    match entry.mem {
+                                        Some(MemOp::Store { address, value }) => {
+                                            store_pre(
+                                                memory,
+                                                &ops[entry.idx as usize],
+                                                address,
+                                                value,
+                                            )?;
+                                        }
+                                        Some(MemOp::Load { address }) => {
+                                            let value = load_pre(
+                                                memory,
+                                                &ops[entry.idx as usize],
+                                                address,
+                                            )?;
+                                            entry.value = value;
+                                            mem_return = Some(value);
+                                        }
+                                        None => {}
+                                    }
+                                }
+
+                                let exe = window[0];
+                                let op = &ops[exe.idx as usize];
+                                let (a, fwd_a) = resolve_operand_pre(op.ra, &ctrl_entry, &wb, regs);
+                                let (rb_value, fwd_b) =
+                                    resolve_operand_pre(op.rb, &ctrl_entry, &wb, regs);
+                                let b = op.op_b_imm.unwrap_or(rb_value);
+                                let outcome = predecode::exec_alu(op.alu, a, b, flag, carry);
+                                if let Some(new_flag) = outcome.flag {
+                                    flag = new_flag;
+                                }
+                                if let Some(new_carry) = outcome.carry {
+                                    carry = new_carry;
+                                }
+                                let value = outcome.result;
+                                let mem = mem_op_for(op, &outcome, rb_value);
+                                let carry_chain = predecode::adder_chain(op.adder, a, b, carry);
+                                let mul_bits = mul_bits_pre(op.is_mul, a, b);
+                                let shift_amount = if op.is_shift { (b & 0x1F) as u8 } else { 0 };
+                                let next_ctrl = Slot::Insn(CtrlOp {
+                                    pc: exe.pc,
+                                    idx: exe.idx,
+                                    seq: exe.seq,
+                                    rd: op.rd,
+                                    value,
+                                    mem,
+                                });
+
+                                let seq = seq_counter;
+                                seq_counter += 1;
+
+                                match &mut sink {
+                                    BurstSink::Digest(digest) => {
+                                        digest.observe_fast_cycle(&FastCycleFacts {
+                                            fetch_address: fetch_addr,
+                                            adr_idx: fetch_idx,
+                                            fe_idx: window[2].idx,
+                                            dc_idx: window[1].idx,
+                                            ex_idx: exe.idx,
+                                            ctrl_idx: ctrl_entry.as_ref().map(|e| e.idx),
+                                            wb_idx: wb.as_ref().map(|e| e.idx),
+                                            mem_return,
+                                            wb_value: writeback_activity.map(|w| w.value),
+                                            op_a: a,
+                                            op_b: b,
+                                            result: value,
+                                            carry_chain,
+                                            mul_bits,
+                                            shift_amount,
+                                            mem_address: mem.map(|m| match m {
+                                                MemOp::Load { address }
+                                                | MemOp::Store { address, .. } => address,
+                                            }),
+                                            mul_active: op.is_mul,
+                                            forwarded: fwd_a.is_some() || fwd_b.is_some(),
+                                        });
+                                    }
+                                    BurstSink::Records(obs) => {
+                                        let exec_activity = Some(ExecActivity {
+                                            pc: exe.pc,
+                                            insn: op.insn,
+                                            op_a: a,
+                                            op_b: b,
+                                            result: value,
+                                            carry_chain,
+                                            mul_active: op.is_mul,
+                                            mul_bits,
+                                            shift_amount,
+                                            forward_a: fwd_a,
+                                            forward_b: fwd_b,
+                                            flag_written: outcome.flag,
+                                            branch: None,
+                                            mem_request: mem.map(|m| mem_request_for(op, m)),
+                                        });
+                                        let record = CycleRecord {
+                                            cycle: cycle_count,
+                                            stages: [
+                                                Occupant::Insn {
+                                                    pc: fetch_addr,
+                                                    insn: ops[fetch_idx as usize].insn,
+                                                    seq: seq_counter,
+                                                },
+                                                fetched_op_occupant(ops, &window[2]),
+                                                fetched_op_occupant(ops, &window[1]),
+                                                fetched_op_occupant(ops, &window[0]),
+                                                ctrl_op_occupant(ops, &ctrl_entry),
+                                                wb_op_occupant(ops, &wb),
+                                            ],
+                                            exec: exec_activity,
+                                            mem_return,
+                                            writeback: writeback_activity,
+                                            fetch_address: fetch_addr,
+                                            fetch_redirected: false,
+                                            stalled: false,
+                                        };
+                                        for observer in obs.iter_mut() {
+                                            observer.observe_cycle(&record);
+                                        }
+                                    }
+                                }
+                                cycle_count += 1;
+
+                                wb = match ctrl_entry {
+                                    Slot::Insn(e) => Slot::Insn(WbOp {
+                                        pc: e.pc,
+                                        idx: e.idx,
+                                        seq: e.seq,
+                                        rd: e.rd,
+                                        value: e.value,
+                                    }),
+                                    Slot::Bubble(kind) => Slot::Bubble(kind),
+                                };
+                                ctrl = next_ctrl;
+                                window[0] = window[1];
+                                window[1] = window[2];
+                                window[2] = FetchedOp {
+                                    pc: fetch_addr,
+                                    idx: fetch_idx,
+                                    seq,
+                                    resolution: None,
+                                };
+                            }
+                            ex = Slot::Insn(window[0]);
+                            dc = Slot::Insn(window[1]);
+                            fe = Slot::Insn(window[2]);
+                            fetch_pc = base + (fi + k as u32) * INSN_BYTES;
+                            continue;
+                        }
+                    }
+                }
+            }
+
+            // -------------------------------------------------------------
+            // Reference-structured cycle (block boundaries, redirects,
+            // drains, halts) — micro-op-driven twin of `run_core`'s body.
+            // -------------------------------------------------------------
+            let mut writeback_activity = None;
+            let mut finished = false;
+            if let Some(entry) = wb.as_ref() {
+                if let Some(rd) = entry.rd {
+                    regs.write(rd, entry.value);
+                    writeback_activity = Some(WbActivity {
+                        rd,
+                        value: entry.value,
+                    });
+                }
+                retired += 1;
+                if exit_seq == Some(entry.seq) {
+                    finished = true;
+                }
+            }
+
+            let mut mem_return = None;
+            let mut ctrl_entry = ctrl;
+            if let Slot::Insn(entry) = &mut ctrl_entry {
+                match entry.mem {
+                    Some(MemOp::Store { address, value }) => {
+                        store_pre(memory, &ops[entry.idx as usize], address, value)?;
+                    }
+                    Some(MemOp::Load { address }) => {
+                        let value = load_pre(memory, &ops[entry.idx as usize], address)?;
+                        entry.value = value;
+                        mem_return = Some(value);
+                    }
+                    None => {}
+                }
+            }
+
+            let mut exec_activity = None;
+            let mut ex_redirect: Option<u32> = None;
+            let next_ctrl: Slot<CtrlOp> = match ex {
+                Slot::Bubble(kind) => Slot::Bubble(kind),
+                Slot::Insn(fetched) => {
+                    let op = &ops[fetched.idx as usize];
+
+                    if op.ctl == CtlKind::Exit {
+                        halting = true;
+                        exit_seq = Some(fetched.seq);
+                    }
+
+                    let (a, fwd_a) = resolve_operand_pre(op.ra, &ctrl_entry, &wb, regs);
+                    let (rb_value, fwd_b) = resolve_operand_pre(op.rb, &ctrl_entry, &wb, regs);
+                    let b = op.op_b_imm.unwrap_or(rb_value);
+                    let outcome = predecode::exec_alu(op.alu, a, b, flag, carry);
+
+                    if let Some(new_flag) = outcome.flag {
+                        flag = new_flag;
+                    }
+                    if let Some(new_carry) = outcome.carry {
+                        carry = new_carry;
+                    }
+
+                    let mut value = outcome.result;
+                    let mut rd = op.rd;
+                    let mut branch = fetched.resolution;
+                    match op.ctl {
+                        CtlKind::Jump { link: true } => {
+                            rd = Some(Reg::LINK);
+                            value = fetched.pc.wrapping_add(8);
+                        }
+                        CtlKind::JumpReg { link } => {
+                            if link {
+                                rd = Some(Reg::LINK);
+                                value = fetched.pc.wrapping_add(8);
+                            }
+                            ex_redirect = Some(rb_value);
+                            branch = Some(BranchActivity {
+                                taken: true,
+                                target: rb_value,
+                                resolved_in: Stage::Execute,
+                            });
+                        }
+                        _ => {}
+                    }
+
+                    let mem = mem_op_for(op, &outcome, rb_value);
+                    let mem_request = mem.map(|m| mem_request_for(op, m));
+
+                    exec_activity = Some(ExecActivity {
+                        pc: fetched.pc,
+                        insn: op.insn,
+                        op_a: a,
+                        op_b: b,
+                        result: value,
+                        carry_chain: predecode::adder_chain(op.adder, a, b, carry),
+                        mul_active: op.is_mul,
+                        mul_bits: mul_bits_pre(op.is_mul, a, b),
+                        shift_amount: if op.is_shift { (b & 0x1F) as u8 } else { 0 },
+                        forward_a: fwd_a,
+                        forward_b: fwd_b,
+                        flag_written: outcome.flag,
+                        branch,
+                        mem_request,
+                    });
+
+                    Slot::Insn(CtrlOp {
+                        pc: fetched.pc,
+                        idx: fetched.idx,
+                        seq: fetched.seq,
+                        rd,
+                        value,
+                        mem,
+                    })
+                }
+            };
+
+            let mut dc_redirect: Option<u32> = None;
+            let mut dc_out = dc;
+            if let Slot::Insn(fetched) = &mut dc_out {
+                let op = &ops[fetched.idx as usize];
+                let taken = match op.ctl {
+                    CtlKind::Jump { .. } => Some(true),
+                    CtlKind::BranchIfFlag => Some(flag),
+                    CtlKind::BranchIfNotFlag => Some(!flag),
+                    _ => None,
+                };
+                if let Some(taken) = taken {
+                    let target = fetched.pc.wrapping_add(op.branch_disp);
+                    fetched.resolution = Some(BranchActivity {
+                        taken,
+                        target,
+                        resolved_in: Stage::Decode,
+                    });
+                    if taken {
+                        dc_redirect = Some(target);
+                    }
+                }
+            }
+
+            let effective_fetch = dc_redirect.unwrap_or(fetch_pc);
+            let fetch_redirected = dc_redirect.is_some() || ex_redirect.is_some();
+            let new_fe: Slot<FetchedOp> = if halting {
+                Slot::Bubble(BubbleKind::Drain)
+            } else if ex_redirect.is_some() {
+                Slot::Bubble(BubbleKind::Flush)
+            } else if in_range(effective_fetch) {
+                let idx = pre.fetch_index(effective_fetch)?;
+                let seq = seq_counter;
+                seq_counter += 1;
+                Slot::Insn(FetchedOp {
+                    pc: effective_fetch,
+                    idx,
+                    seq,
+                    resolution: None,
+                })
+            } else {
+                Slot::Bubble(BubbleKind::Drain)
+            };
+
+            let adr_occupant = if let (Some(_), Slot::Insn(f)) = (dc_redirect, &dc_out) {
+                Occupant::Insn {
+                    pc: f.pc,
+                    insn: ops[f.idx as usize].insn,
+                    seq: f.seq,
+                }
+            } else if halting {
+                Occupant::Bubble(BubbleKind::Drain)
+            } else if in_range(effective_fetch) {
+                Occupant::Insn {
+                    pc: effective_fetch,
+                    insn: ops[pre.fetch_index(effective_fetch)? as usize].insn,
+                    seq: seq_counter,
+                }
+            } else {
+                Occupant::Bubble(BubbleKind::Drain)
+            };
+
+            let record = CycleRecord {
+                cycle: cycle_count,
+                stages: [
+                    adr_occupant,
+                    fetched_op_slot_occupant(ops, &fe),
+                    fetched_op_slot_occupant(ops, &dc_out),
+                    fetched_op_slot_occupant(ops, &ex),
+                    ctrl_op_occupant(ops, &ctrl_entry),
+                    wb_op_occupant(ops, &wb),
+                ],
+                exec: exec_activity,
+                mem_return,
+                writeback: writeback_activity,
+                fetch_address: effective_fetch,
+                fetch_redirected,
+                stalled: false,
+            };
+            cycle_count += 1;
+            for observer in observers.iter_mut() {
+                observer.observe_cycle(&record);
+            }
+
+            if finished {
+                break;
+            }
+
+            wb = match ctrl_entry {
+                Slot::Insn(e) => Slot::Insn(WbOp {
+                    pc: e.pc,
+                    idx: e.idx,
+                    seq: e.seq,
+                    rd: e.rd,
+                    value: e.value,
+                }),
+                Slot::Bubble(kind) => Slot::Bubble(kind),
+            };
+            ctrl = next_ctrl;
+            if halting {
+                ex = Slot::Bubble(BubbleKind::Drain);
+                dc = Slot::Bubble(BubbleKind::Drain);
+                fe = Slot::Bubble(BubbleKind::Drain);
+            } else {
+                ex = dc_out;
+                dc = if ex_redirect.is_some() {
+                    Slot::Bubble(BubbleKind::Flush)
+                } else {
+                    fe
+                };
+                fe = new_fe;
+            }
+
+            if let Some(target) = ex_redirect {
+                fetch_pc = target;
+            } else if let Some(target) = dc_redirect {
+                fetch_pc = target.wrapping_add(INSN_BYTES);
+            } else if !halting && in_range(effective_fetch) {
+                fetch_pc = effective_fetch.wrapping_add(INSN_BYTES);
+            }
+
+            if !halting
+                && !in_range(fetch_pc)
+                && fe.is_bubble()
+                && dc.is_bubble()
+                && ex.is_bubble()
+                && ctrl.is_bubble()
+                && wb.is_bubble()
+            {
+                break;
+            }
+        }
+
+        if cycle_count >= self.config.max_cycles {
+            return Err(PipelineError::CycleLimitExceeded {
+                limit: self.config.max_cycles,
+            });
+        }
+
+        let summary = RunSummary {
+            cycles: cycle_count,
+            retired,
+        };
+        for observer in observers.iter_mut() {
+            observer.finish(&summary);
+        }
+        buffers.flag = flag;
+        buffers.carry = carry;
+        Ok(summary)
+    }
 }
 
 fn redirect_source(dc_out: &Slot<Fetched>, dc_redirect: Option<u32>) -> Option<Occupant> {
@@ -731,6 +1361,135 @@ fn slot_occupant_wb(slot: &Slot<WbEntry>) -> Occupant {
             seq: e.seq,
         },
         Slot::Bubble(kind) => Occupant::Bubble(*kind),
+    }
+}
+
+fn fetched_op_occupant(ops: &[MicroOp], f: &FetchedOp) -> Occupant {
+    Occupant::Insn {
+        pc: f.pc,
+        insn: ops[f.idx as usize].insn,
+        seq: f.seq,
+    }
+}
+
+fn fetched_op_slot_occupant(ops: &[MicroOp], slot: &Slot<FetchedOp>) -> Occupant {
+    match slot {
+        Slot::Insn(f) => fetched_op_occupant(ops, f),
+        Slot::Bubble(kind) => Occupant::Bubble(*kind),
+    }
+}
+
+fn ctrl_op_occupant(ops: &[MicroOp], slot: &Slot<CtrlOp>) -> Occupant {
+    match slot {
+        Slot::Insn(e) => Occupant::Insn {
+            pc: e.pc,
+            insn: ops[e.idx as usize].insn,
+            seq: e.seq,
+        },
+        Slot::Bubble(kind) => Occupant::Bubble(*kind),
+    }
+}
+
+fn wb_op_occupant(ops: &[MicroOp], slot: &Slot<WbOp>) -> Occupant {
+    match slot {
+        Slot::Insn(e) => Occupant::Insn {
+            pc: e.pc,
+            insn: ops[e.idx as usize].insn,
+            seq: e.seq,
+        },
+        Slot::Bubble(kind) => Occupant::Bubble(*kind),
+    }
+}
+
+fn resolve_operand_pre(
+    reg: Option<Reg>,
+    ctrl: &Slot<CtrlOp>,
+    wb: &Slot<WbOp>,
+    regs: &RegisterFile,
+) -> (u32, Option<ForwardSource>) {
+    let Some(reg) = reg else { return (0, None) };
+    if reg.is_zero() {
+        return (0, None);
+    }
+    if let Some(entry) = ctrl.as_ref() {
+        if entry.rd == Some(reg) {
+            return (entry.value, Some(ForwardSource::Control));
+        }
+    }
+    if let Some(entry) = wb.as_ref() {
+        if entry.rd == Some(reg) {
+            return (entry.value, Some(ForwardSource::Writeback));
+        }
+    }
+    (regs.read(reg), None)
+}
+
+fn mem_op_for(op: &MicroOp, outcome: &alu::AluOutcome, rb_value: u32) -> Option<MemOp> {
+    if op.mem.is_load() {
+        Some(MemOp::Load {
+            address: outcome.address.unwrap_or(0),
+        })
+    } else if op.mem.is_store() {
+        Some(MemOp::Store {
+            address: outcome.address.unwrap_or(0),
+            value: rb_value,
+        })
+    } else {
+        None
+    }
+}
+
+fn mem_request_for(op: &MicroOp, mem: MemOp) -> MemRequest {
+    match mem {
+        MemOp::Load { address } => MemRequest {
+            address,
+            width: op.mem_width,
+            is_store: false,
+            value: 0,
+        },
+        MemOp::Store { address, value } => MemRequest {
+            address,
+            width: op.mem_width,
+            is_store: true,
+            value,
+        },
+    }
+}
+
+fn mul_bits_pre(is_mul: bool, a: u32, b: u32) -> u8 {
+    if is_mul {
+        let bits_a = 32 - a.leading_zeros();
+        let bits_b = 32 - b.leading_zeros();
+        bits_a.max(bits_b) as u8
+    } else {
+        0
+    }
+}
+
+fn load_pre(memory: &Memory, op: &MicroOp, address: u32) -> Result<u32, PipelineError> {
+    use crate::predecode::MemKind;
+    Ok(match op.mem {
+        MemKind::LoadWord => memory.load_word(address)?,
+        MemKind::LoadHalf { signed: false } => u32::from(memory.load_half(address)?),
+        MemKind::LoadHalf { signed: true } => memory.load_half(address)? as i16 as i32 as u32,
+        MemKind::LoadByte { signed: false } => u32::from(memory.load_byte(address)?),
+        MemKind::LoadByte { signed: true } => memory.load_byte(address)? as i8 as i32 as u32,
+        _ => 0,
+    })
+}
+
+fn store_pre(
+    memory: &mut Memory,
+    op: &MicroOp,
+    address: u32,
+    value: u32,
+) -> Result<(), PipelineError> {
+    use crate::predecode::MemKind;
+    match op.mem {
+        MemKind::StoreWord => memory.store_word(address, value),
+        MemKind::StoreHalf => memory.store_half(address, value as u16),
+        MemKind::StoreByte => memory.store_byte(address, value as u8),
+        _ => Ok(()),
     }
 }
 

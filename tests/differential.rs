@@ -270,3 +270,87 @@ fn retired_instruction_counts_match_between_models() {
         );
     }
 }
+
+/// The predecoded fast-path engine is pinned **bit-identical** to the
+/// retained per-cycle reference loop: same `RunSummary`, same architectural
+/// state, same `CycleRecord` stream, and same timing-digest bytes (hinted
+/// capture on the fast path vs unhinted capture on the reference loop —
+/// which also exercises the fused burst→digest path, since a lone hinted
+/// observer takes it).
+///
+/// The population is a deliberately hostile mix — branch/jump and
+/// load/store heavy with nested short loops — so bursts stay short and
+/// every fast-path entry/exit edge (hazard bail-out, control handoff,
+/// drain) is crossed many times per program.
+#[test]
+fn predecoded_engine_is_bit_identical_to_reference_loop_on_hostile_mix() {
+    use idca::pipeline::{DigestObserver, PipelineTrace, PredecodedProgram};
+
+    let config = GenConfig {
+        blocks: 4,
+        block_len: 10,
+        max_loop_depth: 3,
+        max_loop_iters: 4,
+        mem_window_words: 32,
+        mix: ClassMix {
+            alu: 8,
+            logic: 4,
+            shift: 2,
+            mul: 2,
+            set_flag: 10,
+            mov: 4,
+            load: 16,
+            store: 16,
+            branch: 14,
+            jump: 6,
+        },
+    };
+    let simulator = Simulator::new(SimConfig::default());
+    for index in 0..40u64 {
+        let seed = nth_seed(0xB00B5, index);
+        let program = generate_program(seed, &config);
+        let pre = PredecodedProgram::lower(&program);
+
+        // Reference loop: unhinted digest capture plus a full trace.
+        let mut ref_digest = DigestObserver::new();
+        let mut ref_trace = PipelineTrace::default();
+        let reference = simulator
+            .run_observed_reference(&program, &mut [&mut ref_digest, &mut ref_trace])
+            .unwrap_or_else(|e| panic!("seed {seed:#x}: reference engine failed: {e}"));
+
+        // Predecoded engine, digest-only (lone hinted observer → fused
+        // burst capture).
+        let mut fast_digest = DigestObserver::with_hints(pre.digest_hints());
+        let fused = simulator
+            .run_observed_predecoded(&pre, &mut [&mut fast_digest])
+            .unwrap_or_else(|e| panic!("seed {seed:#x}: predecoded engine failed: {e}"));
+
+        // Predecoded engine again with a trace observer (record path).
+        let mut fast_trace = PipelineTrace::default();
+        let recorded = simulator
+            .run_observed_predecoded(&pre, &mut [&mut fast_trace])
+            .unwrap_or_else(|e| panic!("seed {seed:#x}: predecoded engine failed: {e}"));
+
+        assert_eq!(
+            fused.summary, reference.summary,
+            "seed {seed:#x}: run summaries diverge"
+        );
+        assert_eq!(recorded.summary, reference.summary);
+        assert_eq!(
+            fused.state.regs.as_array(),
+            reference.state.regs.as_array(),
+            "seed {seed:#x}: register files diverge"
+        );
+        assert_eq!(fused.state.flag, reference.state.flag);
+        assert_eq!(fused.state.carry, reference.state.carry);
+        assert_eq!(
+            fast_trace, ref_trace,
+            "seed {seed:#x}: cycle-record streams diverge"
+        );
+        assert_eq!(
+            fast_digest.into_digest().to_bytes(),
+            ref_digest.into_digest().to_bytes(),
+            "seed {seed:#x}: timing-digest bytes diverge"
+        );
+    }
+}

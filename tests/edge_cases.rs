@@ -93,3 +93,75 @@ fn adaptive_run_on_zero_cycle_trace_is_neutral() {
     assert_eq!(outcome.speedup_over_static, 1.0);
     assert_eq!(outcome.violations, 0);
 }
+
+/// A register jump that leaves the program image entirely must *drain* the
+/// pipeline (mirroring what real fetch hardware sees: no more instructions),
+/// not panic or error — and the predecoded fast-path engine, the per-cycle
+/// reference loop, and the sequential interpreter must all agree on the
+/// resulting architectural state.
+#[test]
+fn register_jump_outside_the_image_drains_cleanly_on_every_engine() {
+    use idca::pipeline::Interpreter;
+    let program = Assembler::new()
+        .assemble(
+            "l.movhi r5, 0x4000\n\
+             l.addi  r3, r0, 7\n\
+             l.jr    r5\n\
+             l.addi  r3, r3, 1\n\
+             l.addi  r3, r3, 100\n\
+             l.nop   1\n",
+        )
+        .expect("assembles");
+
+    let simulator = Simulator::new(SimConfig::default());
+    let fast = simulator
+        .run_observed(&program, &mut [])
+        .expect("predecoded engine drains cleanly");
+    let reference = simulator
+        .run_observed_reference(&program, &mut [])
+        .expect("reference engine drains cleanly");
+    let golden = Interpreter::new()
+        .run(&program)
+        .expect("interpreter drains cleanly");
+
+    // The delay slot executes before the jump leaves the image; the
+    // instructions after it never do.
+    assert_eq!(fast.state.regs.read(Reg::r(3)), 8);
+    assert_eq!(fast.state.regs.as_array(), reference.state.regs.as_array());
+    assert_eq!(fast.state.regs.as_array(), golden.regs.as_array());
+    assert_eq!(fast.state.flag, golden.flag);
+    assert_eq!(fast.summary, reference.summary);
+    // movhi, addi, jr, delay-slot addi.
+    assert_eq!(fast.summary.retired, 4);
+    assert_eq!(golden.retired, 4);
+}
+
+/// A register jump to a *misaligned* address inside the image is a
+/// structured [`PipelineError::PcOutOfRange`] — never a panic — and all
+/// three engines report the same offending pc.
+#[test]
+fn register_jump_to_misaligned_pc_is_a_structured_error_on_every_engine() {
+    use idca::pipeline::{Interpreter, PipelineError};
+    let program = Assembler::new()
+        .assemble(
+            "l.addi r5, r0, 6\n\
+             l.jr   r5\n\
+             l.nop  0\n\
+             l.nop  1\n",
+        )
+        .expect("assembles");
+
+    let simulator = Simulator::new(SimConfig::default());
+    let expected = PipelineError::PcOutOfRange { pc: 6 };
+    assert_eq!(
+        simulator.run_observed(&program, &mut []).unwrap_err(),
+        expected
+    );
+    assert_eq!(
+        simulator
+            .run_observed_reference(&program, &mut [])
+            .unwrap_err(),
+        expected
+    );
+    assert_eq!(Interpreter::new().run(&program).unwrap_err(), expected);
+}
