@@ -8,10 +8,19 @@
 //! The `sweep` subcommand runs the Monte Carlo PVT sweep instead:
 //! `repro sweep --seeds N --corners M --seed S` prints a stable,
 //! machine-readable `key=value` report that is byte-identical across thread
-//! counts and repeated runs with the same seed.
+//! counts and repeated runs with the same seed. With `--shard K/N` it runs
+//! only the `K`-th of `N` deterministic seed partitions and writes a
+//! checksummed binary partial report (`--out`); `repro merge` folds the
+//! partials back into the byte-identical single-process report, and
+//! `repro serve` answers quantile/violation/speedup queries over a
+//! directory of merged reports without ever re-running the replay engine.
 
-use idca_bench::{paper, Experiments, SweepConfig, SweepTiming};
-use std::path::PathBuf;
+use idca_bench::{
+    merge_reports, paper, pvt_sweep_seed_range_timed_with_cache, Corpus, DigestCacheStats,
+    Experiments, ServeSession, SweepConfig, SweepReport, SweepShard, SweepTiming,
+};
+use std::io::{BufRead, Write};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -36,6 +45,9 @@ fn print_help() {
     println!();
     println!("Usage: repro [FLAGS]");
     println!("       repro sweep [--seeds N] [--corners M] [--seed S] [--digest-cache DIR]");
+    println!("                   [--shard K/N --out PATH]");
+    println!("       repro merge OUT.sweep PARTIAL.sweep...");
+    println!("       repro serve --corpus DIR [--digest-cache DIR]");
     println!("       repro bench [--seeds N] [--corners M] [--seed S] [--runs K] [--json] [--out PATH] [--digest-cache DIR]\n");
     println!("With no flags, every experiment is reproduced. Flags:");
     for (flag, description) in FLAGS {
@@ -45,7 +57,35 @@ fn print_help() {
     println!();
     print_sweep_help();
     println!();
+    print_merge_help();
+    println!();
+    print_serve_help();
+    println!();
     print_bench_help();
+}
+
+fn print_merge_help() {
+    println!("merge — folds sharded partial reports into the full sweep report");
+    println!("  usage: repro merge OUT.sweep PARTIAL.sweep...");
+    println!("  validates that the partials describe one sweep, overlap nowhere and");
+    println!("  cover every (seed, corner) job, writes the merged binary report to");
+    println!("  OUT.sweep (atomically) and renders it to stdout — byte-identical to");
+    println!("  the single-process `repro sweep` run of the same configuration");
+}
+
+fn print_serve_help() {
+    println!("serve — long-running query service over merged sweep reports");
+    println!(
+        "  {:<16} directory of *.sweep report files to index (required)",
+        "--corpus DIR"
+    );
+    println!(
+        "  {:<16} warm digest cache to report statistics for",
+        "--digest-cache"
+    );
+    println!("  reports are ingested once at startup; quantile / violation / speedup");
+    println!("  queries (one per stdin line, see the `help` query) are answered from");
+    println!("  the in-memory index without re-running any simulation or replay");
 }
 
 fn print_bench_help() {
@@ -98,83 +138,323 @@ fn print_sweep_help() {
         "  {:<16} warm entries skip the simulation phase entirely",
         ""
     );
+    println!(
+        "  {:<16} run only the K-th of N deterministic seed partitions",
+        "--shard K/N"
+    );
+    println!(
+        "  {:<16} write the (partial) report in the checksummed binary",
+        "--out PATH"
+    );
+    println!(
+        "  {:<16} format for `repro merge` (required with --shard)",
+        ""
+    );
     println!("  output: stable machine-readable key=value report on stdout");
+    println!("  (suppressed under --shard: a partial report's aggregates are");
+    println!("  meaningless until merged)");
 }
 
 /// Creates a digest-cache directory (errors are fatal: an explicitly
 /// requested cache that cannot exist should fail loudly, not silently run
 /// uncached).
-fn prepare_cache_dir(dir: &PathBuf) -> Result<(), ExitCode> {
+fn prepare_cache_dir(dir: &Path) -> Result<(), String> {
     std::fs::create_dir_all(dir).map_err(|error| {
-        eprintln!(
-            "error: cannot create digest-cache directory {}: {error}",
+        format!(
+            "cannot create digest-cache directory {}: {error}",
             dir.display()
-        );
-        ExitCode::FAILURE
+        )
     })
 }
 
+/// The sweep-shape flags shared verbatim by `repro sweep` and `repro
+/// bench`, parsed and validated in exactly one place so the two
+/// subcommands cannot drift (they once range-checked `--seeds`
+/// differently).
+struct SweepShapeArgs {
+    config: SweepConfig,
+    cache_dir: Option<PathBuf>,
+}
+
+impl SweepShapeArgs {
+    fn new(defaults: SweepConfig) -> Self {
+        SweepShapeArgs {
+            config: defaults,
+            cache_dir: None,
+        }
+    }
+
+    /// Consumes one `flag value` pair if it is a shared flag; returns
+    /// `false` (untouched) so the caller can try its subcommand-specific
+    /// flags.
+    fn consume(&mut self, flag: &str, value: &str) -> Result<bool, String> {
+        match flag {
+            "--digest-cache" => self.cache_dir = Some(PathBuf::from(value)),
+            "--seeds" => self.config.seeds = parse_count(flag, value)?,
+            "--corners" => self.config.corners = parse_count(flag, value)?,
+            "--seed" => {
+                self.config.master_seed = value
+                    .parse()
+                    .map_err(|_| format!("`{flag}` expects an unsigned integer, got `{value}`"))?;
+            }
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// Post-parse validation: the job grid stays under the 1,000,000-job
+    /// limit and an explicitly requested digest cache directory exists.
+    fn finish(&self) -> Result<(), String> {
+        let jobs = u64::from(self.config.seeds) * u64::from(self.config.corners);
+        if jobs > 1_000_000 {
+            return Err(format!(
+                "seeds x corners = {jobs} jobs exceeds the 1000000-job limit"
+            ));
+        }
+        if let Some(dir) = &self.cache_dir {
+            prepare_cache_dir(dir)?;
+        }
+        Ok(())
+    }
+}
+
+/// Shared `--seeds` / `--corners` range check (1..=100,000).
+fn parse_count(flag: &str, value: &str) -> Result<u32, String> {
+    value
+        .parse::<u64>()
+        .ok()
+        .filter(|parsed| (1..=100_000).contains(parsed))
+        .map(|parsed| parsed as u32)
+        .ok_or_else(|| format!("`{flag}` must be an integer between 1 and 100000, got `{value}`"))
+}
+
+/// Shared `--shard K/N` validation (also exercised by `SweepShard::parse`
+/// unit tests): rejects `0/N`, `K > N` and malformed specs with the
+/// library's message.
+fn parse_shard(value: &str) -> Result<SweepShard, String> {
+    SweepShard::parse(value).map_err(|error| format!("invalid --shard `{value}`: {error}"))
+}
+
+/// Shared `--corpus DIR` validation: the directory must already exist
+/// (serving an empty, silently auto-created corpus would mask a typo).
+fn parse_corpus_dir(value: &str) -> Result<PathBuf, String> {
+    let dir = PathBuf::from(value);
+    if !dir.is_dir() {
+        return Err(format!("--corpus directory {value} does not exist"));
+    }
+    Ok(dir)
+}
+
+/// Writes a binary sweep report atomically (stage + rename), mirroring the
+/// digest cache: a crashed or interrupted shard leaves either the complete
+/// report or nothing — never a truncated file for `repro merge` to trip
+/// over.
+fn write_report_atomic(path: &Path, report: &SweepReport) -> Result<(), String> {
+    let bytes = report.to_bytes();
+    let dir = match path.parent() {
+        Some(parent) if !parent.as_os_str().is_empty() => parent,
+        _ => Path::new("."),
+    };
+    let name = path
+        .file_name()
+        .ok_or_else(|| format!("{} is not a file path", path.display()))?;
+    let staged = dir.join(format!(
+        ".{}.{}.tmp",
+        name.to_string_lossy(),
+        std::process::id()
+    ));
+    let write = std::fs::write(&staged, &bytes)
+        .and_then(|()| std::fs::rename(&staged, path))
+        .map_err(|error| format!("cannot write {}: {error}", path.display()));
+    if write.is_err() {
+        std::fs::remove_file(&staged).ok();
+    }
+    write
+}
+
 /// Parses and runs the `sweep` subcommand.
-fn run_sweep(args: &[String]) -> ExitCode {
-    let mut config = SweepConfig::default();
-    let mut cache_dir: Option<PathBuf> = None;
+fn run_sweep(args: &[String]) -> Result<ExitCode, String> {
+    let mut shape = SweepShapeArgs::new(SweepConfig::default());
+    let mut shard: Option<SweepShard> = None;
+    let mut out: Option<PathBuf> = None;
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
         if flag == "--help" || flag == "-h" {
             print_sweep_help();
-            return ExitCode::SUCCESS;
+            return Ok(ExitCode::SUCCESS);
         }
-        let Some(value) = iter.next() else {
-            eprintln!("error: `{flag}` requires a value");
-            return ExitCode::FAILURE;
-        };
-        if flag == "--digest-cache" {
-            cache_dir = Some(PathBuf::from(value));
+        let value = iter
+            .next()
+            .ok_or_else(|| format!("`{flag}` requires a value"))?;
+        if shape.consume(flag, value)? {
             continue;
         }
-        let parsed: Result<u64, _> = value.parse();
-        let Ok(parsed) = parsed else {
-            eprintln!("error: `{flag}` expects an unsigned integer, got `{value}`");
-            return ExitCode::FAILURE;
-        };
         match flag.as_str() {
-            "--seeds" if (1..=100_000).contains(&parsed) => config.seeds = parsed as u32,
-            "--corners" if (1..=100_000).contains(&parsed) => config.corners = parsed as u32,
-            "--seed" => config.master_seed = parsed,
-            "--seeds" | "--corners" => {
-                eprintln!("error: `{flag}` must be between 1 and 100000");
-                return ExitCode::FAILURE;
-            }
+            "--shard" => shard = Some(parse_shard(value)?),
+            "--out" => out = Some(PathBuf::from(value)),
             unknown => {
-                eprintln!("error: unknown sweep flag `{unknown}`");
-                eprintln!("run `repro sweep --help` for the accepted flags");
-                return ExitCode::FAILURE;
+                return Err(format!(
+                    "unknown sweep flag `{unknown}`\nrun `repro sweep --help` for the accepted flags"
+                ));
             }
         }
     }
-    let jobs = u64::from(config.seeds) * u64::from(config.corners);
-    if jobs > 1_000_000 {
-        eprintln!("error: seeds x corners = {jobs} jobs exceeds the 1000000-job limit");
-        return ExitCode::FAILURE;
+    shape.finish()?;
+    let SweepShapeArgs { config, cache_dir } = shape;
+    if shard.is_some() && out.is_none() {
+        return Err("`--shard` requires `--out PATH` for the binary partial report".to_string());
     }
-    if let Some(dir) = &cache_dir {
-        if let Err(code) = prepare_cache_dir(dir) {
-            return code;
+    let seed_range = match shard {
+        Some(shard) => {
+            let range = shard.seed_range(config.seeds);
+            eprintln!(
+                "running PVT sweep shard {shard}: seeds [{}, {}) of {} x {} corners (master seed {:#x})...",
+                range.start, range.end, config.seeds, config.corners, config.master_seed
+            );
+            range
         }
-    }
-    eprintln!(
-        "running PVT sweep: {} seeds x {} corners (master seed {:#x})...",
-        config.seeds, config.corners, config.master_seed
-    );
-    let (report, timing) = Experiments::pvt_sweep_timed_with_cache(&config, cache_dir.as_deref());
+        None => {
+            eprintln!(
+                "running PVT sweep: {} seeds x {} corners (master seed {:#x})...",
+                config.seeds, config.corners, config.master_seed
+            );
+            0..config.seeds
+        }
+    };
+    let (report, timing) =
+        pvt_sweep_seed_range_timed_with_cache(&config, seed_range, cache_dir.as_deref())
+            .map_err(|error| error.to_string())?;
     if cache_dir.is_some() {
         eprintln!(
             "digest cache: {} hits, {} simulated",
             timing.digest_cache_hits, timing.simulated_programs
         );
     }
-    print!("{}", report.render());
-    ExitCode::SUCCESS
+    if let Some(path) = &out {
+        write_report_atomic(path, &report)?;
+        eprintln!("wrote {} ({} jobs)", path.display(), report.jobs.len());
+    }
+    // A partial report's aggregate statistics are meaningless until merged,
+    // so only the full run renders to stdout.
+    if shard.is_none() {
+        print!("{}", report.render());
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Parses and runs the `merge` subcommand: `repro merge OUT IN...`.
+fn run_merge(args: &[String]) -> Result<ExitCode, String> {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print_merge_help();
+        return Ok(ExitCode::SUCCESS);
+    }
+    let [out, inputs @ ..] = args else {
+        return Err("usage: repro merge OUT.sweep PARTIAL.sweep...".to_string());
+    };
+    if inputs.is_empty() {
+        return Err("merge needs at least one partial report".to_string());
+    }
+    let mut parts = Vec::with_capacity(inputs.len());
+    for input in inputs {
+        let bytes =
+            std::fs::read(input).map_err(|error| format!("cannot read {input}: {error}"))?;
+        parts.push(SweepReport::from_bytes(&bytes).map_err(|error| format!("{input}: {error}"))?);
+    }
+    let merged = merge_reports(parts).map_err(|error| error.to_string())?;
+    write_report_atomic(Path::new(out), &merged)?;
+    eprintln!(
+        "merged {} partials into {out} ({} jobs)",
+        inputs.len(),
+        merged.jobs.len()
+    );
+    print!("{}", merged.render());
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Parses and runs the `serve` subcommand: ingest a corpus of merged
+/// reports once, then answer queries from the in-memory index.
+fn run_serve(args: &[String]) -> Result<ExitCode, String> {
+    let mut corpus_dir: Option<PathBuf> = None;
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        if flag == "--help" || flag == "-h" {
+            print_serve_help();
+            return Ok(ExitCode::SUCCESS);
+        }
+        let value = iter
+            .next()
+            .ok_or_else(|| format!("`{flag}` requires a value"))?;
+        match flag.as_str() {
+            "--corpus" => corpus_dir = Some(parse_corpus_dir(value)?),
+            "--digest-cache" => cache_dir = Some(PathBuf::from(value)),
+            unknown => {
+                return Err(format!(
+                    "unknown serve flag `{unknown}`\nrun `repro serve --help` for the accepted flags"
+                ));
+            }
+        }
+    }
+    let corpus_dir = corpus_dir.ok_or_else(|| "serve requires `--corpus DIR`".to_string())?;
+
+    let mut report_files: Vec<PathBuf> = std::fs::read_dir(&corpus_dir)
+        .map_err(|error| format!("cannot read corpus {}: {error}", corpus_dir.display()))?
+        .filter_map(Result::ok)
+        .map(|entry| entry.path())
+        .filter(|path| path.extension().is_some_and(|e| e == "sweep"))
+        .collect();
+    report_files.sort();
+    if report_files.is_empty() {
+        return Err(format!(
+            "corpus {} contains no *.sweep report files",
+            corpus_dir.display()
+        ));
+    }
+    let mut corpus = Corpus::new();
+    for path in &report_files {
+        let bytes = std::fs::read(path)
+            .map_err(|error| format!("cannot read {}: {error}", path.display()))?;
+        let report = SweepReport::from_bytes(&bytes)
+            .map_err(|error| format!("{}: {error}", path.display()))?;
+        corpus
+            .ingest(report)
+            .map_err(|error| format!("{}: {error}", path.display()))?;
+    }
+    let cache = match &cache_dir {
+        Some(dir) => Some(
+            DigestCacheStats::scan(dir)
+                .map_err(|error| format!("cannot scan digest cache {}: {error}", dir.display()))?,
+        ),
+        None => None,
+    };
+    eprintln!(
+        "serving {} reports ({} jobs, {} cycles); one query per line, `help` lists them",
+        corpus.reports(),
+        corpus.jobs(),
+        corpus.cycles()
+    );
+
+    let session = ServeSession::new(corpus, cache);
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|error| format!("cannot read query: {error}"))?;
+        let trimmed = line.trim();
+        if trimmed == "quit" || trimmed == "exit" {
+            break;
+        }
+        match session.query(&line) {
+            Ok(reply) if reply.is_empty() => {}
+            Ok(reply) => println!("{reply}"),
+            Err(error) => println!("error: {error}"),
+        }
+        // Replies must reach a piped client promptly, not sit in the
+        // block-buffered stdout until the session ends.
+        stdout
+            .flush()
+            .map_err(|error| format!("cannot flush reply: {error}"))?;
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 /// Milliseconds with microsecond resolution (stable fixed-point rendering).
@@ -185,23 +465,22 @@ fn ms(duration: Duration) -> f64 {
 /// Parses and runs the `bench` subcommand: times the two-phase PVT sweep
 /// and reports throughput, optionally as `BENCH_sweep.json` so CI can track
 /// the perf trajectory and flag regressions.
-fn run_bench(args: &[String]) -> ExitCode {
-    let mut config = SweepConfig {
+fn run_bench(args: &[String]) -> Result<ExitCode, String> {
+    let mut shape = SweepShapeArgs::new(SweepConfig {
         seeds: 100,
         corners: 8,
         master_seed: 7,
         ..SweepConfig::default()
-    };
+    });
     let mut runs: u32 = 3;
     let mut write_json = false;
     let mut out_path = String::from("BENCH_sweep.json");
-    let mut cache_dir: Option<PathBuf> = None;
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
         match flag.as_str() {
             "--help" | "-h" => {
                 print_bench_help();
-                return ExitCode::SUCCESS;
+                return Ok(ExitCode::SUCCESS);
             }
             "--json" => {
                 write_json = true;
@@ -209,50 +488,34 @@ fn run_bench(args: &[String]) -> ExitCode {
             }
             _ => {}
         }
-        let Some(value) = iter.next() else {
-            eprintln!("error: `{flag}` requires a value");
-            return ExitCode::FAILURE;
-        };
-        if flag == "--out" {
-            out_path = value.clone();
-            write_json = true;
+        let value = iter
+            .next()
+            .ok_or_else(|| format!("`{flag}` requires a value"))?;
+        if shape.consume(flag, value)? {
             continue;
         }
-        if flag == "--digest-cache" {
-            cache_dir = Some(PathBuf::from(value));
-            continue;
-        }
-        let parsed: Result<u64, _> = value.parse();
-        let Ok(parsed) = parsed else {
-            eprintln!("error: `{flag}` expects an unsigned integer, got `{value}`");
-            return ExitCode::FAILURE;
-        };
         match flag.as_str() {
-            "--seeds" if (1..=100_000).contains(&parsed) => config.seeds = parsed as u32,
-            "--corners" if (1..=100_000).contains(&parsed) => config.corners = parsed as u32,
-            "--seed" => config.master_seed = parsed,
-            "--runs" if (1..=100).contains(&parsed) => runs = parsed as u32,
-            "--seeds" | "--corners" => {
-                eprintln!("error: `{flag}` must be between 1 and 100000");
-                return ExitCode::FAILURE;
+            "--out" => {
+                out_path = value.clone();
+                write_json = true;
             }
             "--runs" => {
-                eprintln!("error: `--runs` must be between 1 and 100");
-                return ExitCode::FAILURE;
+                runs = value
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|parsed| (1..=100).contains(parsed))
+                    .map(|parsed| parsed as u32)
+                    .ok_or_else(|| format!("`--runs` must be between 1 and 100, got `{value}`"))?;
             }
             unknown => {
-                eprintln!("error: unknown bench flag `{unknown}`");
-                eprintln!("run `repro bench --help` for the accepted flags");
-                return ExitCode::FAILURE;
+                return Err(format!(
+                    "unknown bench flag `{unknown}`\nrun `repro bench --help` for the accepted flags"
+                ));
             }
         }
     }
-
-    if let Some(dir) = &cache_dir {
-        if let Err(code) = prepare_cache_dir(dir) {
-            return code;
-        }
-    }
+    shape.finish()?;
+    let SweepShapeArgs { config, cache_dir } = shape;
     let jobs = u64::from(config.seeds) * u64::from(config.corners);
     eprintln!(
         "benchmarking PVT sweep: {} seeds x {} corners, {} timed runs...",
@@ -264,7 +527,8 @@ fn run_bench(args: &[String]) -> ExitCode {
     let mut best: Option<(u64, SweepTiming)> = None;
     for _ in 0..runs {
         let (report, timing) =
-            Experiments::pvt_sweep_timed_with_cache(&config, cache_dir.as_deref());
+            Experiments::pvt_sweep_timed_with_cache(&config, cache_dir.as_deref())
+                .map_err(|error| error.to_string())?;
         let evaluated = report.total_cycles();
         if best
             .as_ref()
@@ -321,22 +585,32 @@ fn run_bench(args: &[String]) -> ExitCode {
             cycles_per_sec,
             replay_cycle_corners_per_sec,
         );
-        if let Err(error) = std::fs::write(&out_path, json) {
-            eprintln!("error: cannot write {out_path}: {error}");
-            return ExitCode::FAILURE;
-        }
+        std::fs::write(&out_path, json)
+            .map_err(|error| format!("cannot write {out_path}: {error}"))?;
         eprintln!("wrote {out_path}");
     }
-    ExitCode::SUCCESS
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Renders a subcommand's structured error on stderr with a nonzero exit.
+fn exit_with(result: Result<ExitCode, String>) -> ExitCode {
+    match result {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) == Some("sweep") {
-        return run_sweep(&args[1..]);
-    }
-    if args.first().map(String::as_str) == Some("bench") {
-        return run_bench(&args[1..]);
+    match args.first().map(String::as_str) {
+        Some("sweep") => return exit_with(run_sweep(&args[1..])),
+        Some("merge") => return exit_with(run_merge(&args[1..])),
+        Some("serve") => return exit_with(run_serve(&args[1..])),
+        Some("bench") => return exit_with(run_bench(&args[1..])),
+        _ => {}
     }
     if args.iter().any(|a| a == "--help" || a == "-h") {
         print_help();

@@ -34,9 +34,16 @@ use idca_timing::{
 };
 use idca_workloads::{benchmark_suite, suite, suite::characterization_workload, Workload};
 
+pub mod serve;
+pub mod shard;
 pub mod sweep;
 
-pub use sweep::{SweepConfig, SweepReport, SweepTiming};
+pub use serve::{Corpus, CorpusError, DigestCacheStats, QueryError, ServeSession};
+pub use shard::{merge_reports, MergeError, ReportFormatError, ShardSpecError, SweepShard};
+pub use sweep::{
+    pvt_sweep, pvt_sweep_seed_range_timed_with_cache, SweepConfig, SweepError, SweepReport,
+    SweepTiming,
+};
 
 /// Seed used for the characterization workload throughout the harness.
 pub const CHARACTERIZATION_SEED: u64 = 0xC0DE;
@@ -493,15 +500,22 @@ impl Experiments {
     /// simulator in the loop (phase 2), both phases sharded across rayon
     /// workers. Unlike the other experiments this needs no characterization
     /// run, so it is an associated function rather than a method.
-    #[must_use]
-    pub fn pvt_sweep(config: &SweepConfig) -> SweepReport {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SweepError`] when a seed's simulation fails (for example a
+    /// cycle-limit overrun), naming the failing seed.
+    pub fn pvt_sweep(config: &SweepConfig) -> Result<SweepReport, SweepError> {
         sweep::pvt_sweep(config)
     }
 
     /// [`Experiments::pvt_sweep`] with the per-phase wall-clock breakdown
     /// (the `repro bench` perf harness reports it).
-    #[must_use]
-    pub fn pvt_sweep_timed(config: &SweepConfig) -> (SweepReport, SweepTiming) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SweepError`] when a seed's simulation fails.
+    pub fn pvt_sweep_timed(config: &SweepConfig) -> Result<(SweepReport, SweepTiming), SweepError> {
         sweep::pvt_sweep_timed(config)
     }
 
@@ -509,11 +523,14 @@ impl Experiments {
     /// valid cached digests skip phase 1's simulations, stale or corrupt
     /// entries are re-simulated and rewritten, and the report is
     /// byte-identical either way (`repro sweep --digest-cache DIR`).
-    #[must_use]
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SweepError`] when a seed's simulation fails.
     pub fn pvt_sweep_timed_with_cache(
         config: &SweepConfig,
         cache_dir: Option<&std::path::Path>,
-    ) -> (SweepReport, SweepTiming) {
+    ) -> Result<(SweepReport, SweepTiming), SweepError> {
         sweep::pvt_sweep_timed_with_cache(config, cache_dir)
     }
 

@@ -1,0 +1,735 @@
+//! Sharded sweep orchestration: deterministic job partitioning, the
+//! versioned binary partial-report codec and the merge algebra.
+//!
+//! The two-phase sweep engine is single-process; this module is what lets a
+//! fleet of processes (CI runners, machines) split one `N×M` job grid and
+//! still produce the *exact* bytes of the single-process run:
+//!
+//! * [`SweepShard`] — a validated `K/N` shard specification that partitions
+//!   the **seed axis** into contiguous, balanced ranges. Seeds (not
+//!   `(seed, corner)` jobs) are the unit of sharding because phase 1
+//!   simulates per seed and phase 2 replays per seed against all corners —
+//!   a seed split across shards would be simulated twice.
+//! * [`SweepReport::to_bytes`] / [`SweepReport::from_bytes`] — a versioned,
+//!   checksummed binary codec mirroring the [`TimingDigest`] codec: FNV-1a
+//!   body checksum, bounds-checked reads, every structural invariant
+//!   re-validated. Any single corrupted byte of a stored report is rejected
+//!   with a [`ReportFormatError`], never a panic. Effective frequencies are
+//!   stored as raw `f64` bit patterns, so a report that went to disk and
+//!   back renders byte-identically.
+//! * [`merge_reports`] — folds partial reports into the canonical full
+//!   report. Mismatched sweep identities, overlapping shards and missing
+//!   jobs are structured [`MergeError`]s, never silent double-counts; a
+//!   successful merge is proven (by the shard-merge property tests and the
+//!   CI smoke job) byte-identical to the single-process sweep.
+//!
+//! [`TimingDigest`]: idca_pipeline::TimingDigest
+
+use crate::sweep::{PolicyJobOutcome, SweepJobOutcome, SweepReport, SWEEP_POLICIES};
+use idca_timing::PvtCorner;
+use std::ops::Range;
+
+/// A validated `K/N` shard specification (1-based `K`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepShard {
+    index: u32,
+    count: u32,
+}
+
+impl SweepShard {
+    /// Builds a shard spec, rejecting `K = 0`, `N = 0` and `K > N`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShardSpecError`] describing the violated constraint.
+    pub fn new(index: u32, count: u32) -> Result<SweepShard, ShardSpecError> {
+        if count == 0 {
+            return Err(ShardSpecError::ZeroCount);
+        }
+        if index == 0 {
+            return Err(ShardSpecError::ZeroIndex);
+        }
+        if index > count {
+            return Err(ShardSpecError::IndexOutOfRange { index, count });
+        }
+        Ok(SweepShard { index, count })
+    }
+
+    /// Parses a `K/N` spec like `2/4` (as accepted by `repro sweep
+    /// --shard`). `K` is 1-based: `--shard 1/4` is the first of four
+    /// shards; `0/N`, `K > N` and anything non-numeric are rejected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShardSpecError`] for malformed or out-of-range specs.
+    pub fn parse(spec: &str) -> Result<SweepShard, ShardSpecError> {
+        let Some((index, count)) = spec.split_once('/') else {
+            return Err(ShardSpecError::Malformed);
+        };
+        let index: u32 = index.parse().map_err(|_| ShardSpecError::Malformed)?;
+        let count: u32 = count.parse().map_err(|_| ShardSpecError::Malformed)?;
+        SweepShard::new(index, count)
+    }
+
+    /// The 1-based shard index `K`.
+    #[must_use]
+    pub fn index(&self) -> u32 {
+        self.index
+    }
+
+    /// The shard count `N`.
+    #[must_use]
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// The contiguous, balanced seed range this shard owns out of `seeds`
+    /// total: shard `K/N` covers `[⌊(K−1)·S/N⌋, ⌊K·S/N⌋)`. Every seed
+    /// belongs to exactly one shard, range sizes differ by at most one, and
+    /// shards beyond the seed count come out empty (legal — their partial
+    /// reports merge as no-ops).
+    #[must_use]
+    pub fn seed_range(&self, seeds: u32) -> Range<u32> {
+        let slice = |k: u32| (u64::from(seeds) * u64::from(k) / u64::from(self.count)) as u32;
+        slice(self.index - 1)..slice(self.index)
+    }
+}
+
+impl std::fmt::Display for SweepShard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+/// Errors of [`SweepShard::parse`] / [`SweepShard::new`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ShardSpecError {
+    /// The spec is not two `/`-separated unsigned integers.
+    Malformed,
+    /// `K = 0`: shard indices are 1-based (`--shard 1/N` is the first).
+    ZeroIndex,
+    /// `N = 0`: a sweep cannot be split into zero shards.
+    ZeroCount,
+    /// `K > N`.
+    IndexOutOfRange {
+        /// The offending 1-based index.
+        index: u32,
+        /// The shard count it exceeds.
+        count: u32,
+    },
+}
+
+impl std::fmt::Display for ShardSpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardSpecError::Malformed => {
+                write!(f, "shard spec must be K/N with unsigned integers, like 2/4")
+            }
+            ShardSpecError::ZeroIndex => {
+                write!(f, "shard index is 1-based: the first shard is 1/N, not 0/N")
+            }
+            ShardSpecError::ZeroCount => write!(f, "shard count must be at least 1"),
+            ShardSpecError::IndexOutOfRange { index, count } => {
+                write!(f, "shard index {index} exceeds shard count {count}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShardSpecError {}
+
+/// Byte-level constants of the partial-report binary format.
+mod codec {
+    /// File magic of the sweep-report format.
+    pub(super) const MAGIC: &[u8] = b"IDCASWRP";
+    /// Current format version.
+    pub(super) const VERSION: u32 = 1;
+    /// Checksummed body header: seeds + corners + master_seed + margin +
+    /// corner_count + job_count.
+    pub(super) const BODY_HEADER_BYTES: usize = 4 + 4 + 8 + 8 + 4 + 4;
+    /// Serialized size of one corner sample: index + sigma + droop + temp +
+    /// salt.
+    pub(super) const CORNER_ENTRY_BYTES: usize = 4 + 8 + 8 + 8 + 8;
+    /// Serialized size of one job row: seed + corner + cycles + per-policy
+    /// (violations, mhz, warmup) triples.
+    pub(super) const JOB_ENTRY_BYTES: usize = 4 + 4 + 8 + super::SWEEP_POLICIES.len() * 24;
+
+    /// 64-bit FNV-1a over a byte slice (the header's payload checksum).
+    pub(super) fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+        for &byte in bytes {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        hash
+    }
+}
+
+/// Bounds-checked little-endian reader over a report byte stream.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    /// The unread tail (used to checksum the payload before parsing it).
+    fn remaining(&self) -> &'a [u8] {
+        &self.bytes[self.pos..]
+    }
+
+    fn bytes_exact(&mut self, len: usize) -> Result<&'a [u8], ReportFormatError> {
+        let end = self
+            .pos
+            .checked_add(len)
+            .filter(|&end| end <= self.bytes.len())
+            .ok_or(ReportFormatError::Truncated {
+                expected: len,
+                actual: self.bytes.len() - self.pos,
+            })?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u32(&mut self) -> Result<u32, ReportFormatError> {
+        Ok(u32::from_le_bytes(
+            self.bytes_exact(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, ReportFormatError> {
+        Ok(u64::from_le_bytes(
+            self.bytes_exact(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn f64_bits(&mut self) -> Result<f64, ReportFormatError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+}
+
+impl SweepReport {
+    /// Serializes the (partial or full) report to the compact versioned
+    /// binary format — the unit that ships between shard processes.
+    ///
+    /// Layout (all integers little-endian):
+    ///
+    /// ```text
+    /// magic "IDCASWRP" | version u32 | body_checksum u64 (FNV-1a)
+    /// | seeds u32 | corners u32 | master_seed u64 | margin f64-bits
+    /// | corner_count u32 | job_count u32
+    /// | corner entries | job entries
+    /// ```
+    ///
+    /// The checksum covers everything after itself, so any single corrupted
+    /// byte of a stored report is detected. All `f64` fields (margin,
+    /// corner coordinates, effective frequencies) are stored as raw bit
+    /// patterns: merging deserialized shards must reproduce the
+    /// single-process report **byte-identically**, so the float round-trip
+    /// is by bits, never by text.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let payload_len = self.corner_samples.len() * codec::CORNER_ENTRY_BYTES
+            + self.jobs.len() * codec::JOB_ENTRY_BYTES;
+        let mut body = Vec::with_capacity(codec::BODY_HEADER_BYTES + payload_len);
+        body.extend_from_slice(&self.seeds.to_le_bytes());
+        body.extend_from_slice(&self.corners.to_le_bytes());
+        body.extend_from_slice(&self.master_seed.to_le_bytes());
+        body.extend_from_slice(&self.margin.to_bits().to_le_bytes());
+        body.extend_from_slice(&(self.corner_samples.len() as u32).to_le_bytes());
+        body.extend_from_slice(&(self.jobs.len() as u32).to_le_bytes());
+        for corner in &self.corner_samples {
+            body.extend_from_slice(&corner.index.to_le_bytes());
+            body.extend_from_slice(&corner.process_sigma.to_bits().to_le_bytes());
+            body.extend_from_slice(&corner.voltage_droop_mv.to_bits().to_le_bytes());
+            body.extend_from_slice(&corner.temperature_c.to_bits().to_le_bytes());
+            body.extend_from_slice(&corner.salt().to_le_bytes());
+        }
+        for job in &self.jobs {
+            body.extend_from_slice(&job.seed_index.to_le_bytes());
+            body.extend_from_slice(&job.corner_index.to_le_bytes());
+            body.extend_from_slice(&job.cycles.to_le_bytes());
+            for policy in &job.policies {
+                body.extend_from_slice(&policy.violations.to_le_bytes());
+                body.extend_from_slice(&policy.mhz.to_bits().to_le_bytes());
+                body.extend_from_slice(&policy.warmup_cycles.to_le_bytes());
+            }
+        }
+
+        let mut bytes = Vec::with_capacity(codec::MAGIC.len() + 4 + 8 + body.len());
+        bytes.extend_from_slice(codec::MAGIC);
+        bytes.extend_from_slice(&codec::VERSION.to_le_bytes());
+        bytes.extend_from_slice(&codec::fnv1a(&body).to_le_bytes());
+        bytes.extend_from_slice(&body);
+        bytes
+    }
+
+    /// Deserializes a report produced by [`SweepReport::to_bytes`].
+    ///
+    /// A report file is untrusted input shipped between machines: wrong
+    /// magic, unknown version, truncation, trailing garbage, a flipped
+    /// payload bit, out-of-range or out-of-order job coordinates and
+    /// inconsistent corner tables are all reported as a
+    /// [`ReportFormatError`] — no input can panic this parser or yield a
+    /// structurally inconsistent report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReportFormatError`] describing the first violation found.
+    pub fn from_bytes(bytes: &[u8]) -> Result<SweepReport, ReportFormatError> {
+        let mut r = Reader::new(bytes);
+        if r.bytes_exact(codec::MAGIC.len())? != codec::MAGIC {
+            return Err(ReportFormatError::BadMagic);
+        }
+        let version = r.u32()?;
+        if version != codec::VERSION {
+            return Err(ReportFormatError::UnsupportedVersion(version));
+        }
+        let checksum = r.u64()?;
+        let body = r.remaining();
+
+        let seeds = r.u32()?;
+        let corners = r.u32()?;
+        let master_seed = r.u64()?;
+        let margin = r.f64_bits()?;
+        let corner_count = r.u32()? as usize;
+        let job_count = r.u32()? as usize;
+        let payload_len = r.remaining().len();
+        let expected = corner_count
+            .checked_mul(codec::CORNER_ENTRY_BYTES)
+            .and_then(|c| job_count.checked_mul(codec::JOB_ENTRY_BYTES).map(|j| c + j))
+            .ok_or(ReportFormatError::Malformed("table sizes overflow"))?;
+        if payload_len < expected {
+            return Err(ReportFormatError::Truncated {
+                expected,
+                actual: payload_len,
+            });
+        }
+        if payload_len > expected {
+            return Err(ReportFormatError::Malformed("trailing bytes after tables"));
+        }
+        if codec::fnv1a(body) != checksum {
+            return Err(ReportFormatError::ChecksumMismatch);
+        }
+        if corner_count != corners as usize {
+            return Err(ReportFormatError::Malformed(
+                "corner table disagrees with header corner count",
+            ));
+        }
+        let max_jobs = (u64::from(seeds) * u64::from(corners)) as usize;
+        if job_count > max_jobs {
+            return Err(ReportFormatError::Malformed(
+                "more jobs than the seeds x corners grid",
+            ));
+        }
+
+        let mut corner_samples = Vec::with_capacity(corner_count);
+        for position in 0..corner_count {
+            let index = r.u32()?;
+            if index as usize != position {
+                return Err(ReportFormatError::Malformed(
+                    "corner indices must be dense and in order",
+                ));
+            }
+            let process_sigma = r.f64_bits()?;
+            let voltage_droop_mv = r.f64_bits()?;
+            let temperature_c = r.f64_bits()?;
+            let salt = r.u64()?;
+            corner_samples.push(PvtCorner::from_raw(
+                index,
+                process_sigma,
+                voltage_droop_mv,
+                temperature_c,
+                salt,
+            ));
+        }
+
+        let mut jobs: Vec<SweepJobOutcome> = Vec::with_capacity(job_count);
+        for _ in 0..job_count {
+            let seed_index = r.u32()?;
+            let corner_index = r.u32()?;
+            if seed_index >= seeds || corner_index >= corners {
+                return Err(ReportFormatError::Malformed(
+                    "job coordinates outside the sweep grid",
+                ));
+            }
+            if let Some(last) = jobs.last() {
+                // Canonical (seed, corner) order, strictly: rejects both
+                // disorder and duplicate rows inside one report.
+                if (last.seed_index, last.corner_index) >= (seed_index, corner_index) {
+                    return Err(ReportFormatError::Malformed(
+                        "job rows not in strictly ascending (seed, corner) order",
+                    ));
+                }
+            }
+            let cycles = r.u64()?;
+            let mut policies = [PolicyJobOutcome {
+                violations: 0,
+                mhz: 0.0,
+                warmup_cycles: 0,
+            }; SWEEP_POLICIES.len()];
+            for policy in &mut policies {
+                policy.violations = r.u64()?;
+                policy.mhz = r.f64_bits()?;
+                policy.warmup_cycles = r.u64()?;
+            }
+            jobs.push(SweepJobOutcome {
+                seed_index,
+                corner_index,
+                cycles,
+                policies,
+            });
+        }
+
+        Ok(SweepReport {
+            seeds,
+            corners,
+            master_seed,
+            margin,
+            corner_samples,
+            jobs,
+        })
+    }
+}
+
+/// Errors reported by [`SweepReport::from_bytes`]. A report file on disk is
+/// untrusted input: every variant here is a rejected file, never a panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ReportFormatError {
+    /// The file does not start with the sweep-report magic.
+    BadMagic,
+    /// The format version is newer (or older) than this reader supports.
+    UnsupportedVersion(
+        /// The version found in the header.
+        u32,
+    ),
+    /// The file ends early: a read needed more bytes than remain.
+    Truncated {
+        /// Bytes the failing read needed.
+        expected: usize,
+        /// Bytes actually available at that point.
+        actual: usize,
+    },
+    /// The payload does not hash to the header checksum (bit rot or a
+    /// partial write).
+    ChecksumMismatch,
+    /// A structural invariant is violated (job outside the grid, rows out
+    /// of canonical order, inconsistent corner table, trailing bytes, ...).
+    Malformed(
+        /// Which invariant failed.
+        &'static str,
+    ),
+}
+
+impl std::fmt::Display for ReportFormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReportFormatError::BadMagic => write!(f, "not a sweep-report file (bad magic)"),
+            ReportFormatError::UnsupportedVersion(v) => {
+                write!(f, "unsupported sweep-report format version {v}")
+            }
+            ReportFormatError::Truncated { expected, actual } => write!(
+                f,
+                "truncated sweep report: needs {expected} bytes, {actual} available"
+            ),
+            ReportFormatError::ChecksumMismatch => {
+                write!(f, "sweep-report payload checksum mismatch")
+            }
+            ReportFormatError::Malformed(what) => write!(f, "malformed sweep report: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ReportFormatError {}
+
+/// Errors of [`merge_reports`]: the partial reports do not form a clean
+/// partition of one sweep's job grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MergeError {
+    /// No partial reports were given.
+    NoInputs,
+    /// Two partials disagree on the sweep identity (they come from
+    /// different sweeps, or one header is forged).
+    ConfigMismatch {
+        /// Which header field disagreed.
+        field: &'static str,
+    },
+    /// The same `(seed, corner)` job appears in more than one partial —
+    /// merging would silently double-count it.
+    OverlappingJobs {
+        /// Seed index of the duplicated job.
+        seed_index: u32,
+        /// Corner index of the duplicated job.
+        corner_index: u32,
+    },
+    /// The union of the partials does not cover the full grid (a shard is
+    /// missing).
+    MissingJobs {
+        /// Jobs the full grid needs.
+        expected: u64,
+        /// Jobs the partials supplied.
+        actual: u64,
+        /// Canonically-first job with no row.
+        first_missing: (u32, u32),
+    },
+}
+
+impl std::fmt::Display for MergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MergeError::NoInputs => write!(f, "no partial reports to merge"),
+            MergeError::ConfigMismatch { field } => {
+                write!(f, "partial reports disagree on sweep {field}")
+            }
+            MergeError::OverlappingJobs {
+                seed_index,
+                corner_index,
+            } => write!(
+                f,
+                "job (seed {seed_index}, corner {corner_index}) appears in more than one partial report"
+            ),
+            MergeError::MissingJobs {
+                expected,
+                actual,
+                first_missing,
+            } => write!(
+                f,
+                "merged partials cover {actual} of {expected} jobs; first missing job is (seed {}, corner {})",
+                first_missing.0, first_missing.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+/// Folds partial shard reports into the canonical full report.
+///
+/// Validates that every partial describes the *same* sweep (seeds, corners,
+/// master seed, margin, sampled corners — compared bit-exactly), that no
+/// `(seed, corner)` job appears twice, and that the union covers the full
+/// grid; the result is then jobs-sorted into canonical order and — because
+/// shard rows are bit-identical to the single-process rows — renders the
+/// exact bytes of the unsharded run. Merge order cannot matter: the inputs
+/// are validated as a set and the output order is canonical.
+///
+/// # Errors
+///
+/// Returns a [`MergeError`] naming the first identity mismatch, duplicated
+/// job or missing job.
+pub fn merge_reports(reports: Vec<SweepReport>) -> Result<SweepReport, MergeError> {
+    let mut parts = reports.into_iter();
+    let mut merged = parts.next().ok_or(MergeError::NoInputs)?;
+    for part in parts {
+        if part.seeds != merged.seeds {
+            return Err(MergeError::ConfigMismatch { field: "seeds" });
+        }
+        if part.corners != merged.corners {
+            return Err(MergeError::ConfigMismatch { field: "corners" });
+        }
+        if part.master_seed != merged.master_seed {
+            return Err(MergeError::ConfigMismatch {
+                field: "master seed",
+            });
+        }
+        if part.margin.to_bits() != merged.margin.to_bits() {
+            return Err(MergeError::ConfigMismatch {
+                field: "variation margin",
+            });
+        }
+        if part.corner_samples != merged.corner_samples {
+            return Err(MergeError::ConfigMismatch {
+                field: "corner samples",
+            });
+        }
+        merged.merge(part);
+    }
+
+    // `SweepReport::merge` restored canonical order; one linear scan now
+    // rejects overlaps and finds the first coverage gap.
+    let mut expected_iter =
+        (0..merged.seeds).flat_map(|s| (0..merged.corners).map(move |c| (s, c)));
+    for pair in merged.jobs.windows(2) {
+        if (pair[0].seed_index, pair[0].corner_index) == (pair[1].seed_index, pair[1].corner_index)
+        {
+            return Err(MergeError::OverlappingJobs {
+                seed_index: pair[0].seed_index,
+                corner_index: pair[0].corner_index,
+            });
+        }
+    }
+    let expected = u64::from(merged.seeds) * u64::from(merged.corners);
+    let actual = merged.jobs.len() as u64;
+    if actual != expected {
+        let first_missing = expected_iter
+            .by_ref()
+            .find(|&(s, c)| {
+                !merged
+                    .jobs
+                    .iter()
+                    .any(|j| (j.seed_index, j.corner_index) == (s, c))
+            })
+            .unwrap_or((merged.seeds, merged.corners));
+        return Err(MergeError::MissingJobs {
+            expected,
+            actual,
+            first_missing,
+        });
+    }
+    Ok(merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::{pvt_sweep, SweepConfig};
+
+    fn small_report() -> SweepReport {
+        pvt_sweep(&SweepConfig {
+            seeds: 3,
+            corners: 2,
+            master_seed: 0x5EED,
+            ..SweepConfig::default()
+        })
+        .expect("sweep runs")
+    }
+
+    #[test]
+    fn shard_spec_parses_and_rejects() {
+        let shard = SweepShard::parse("2/4").expect("valid spec");
+        assert_eq!((shard.index(), shard.count()), (2, 4));
+        assert_eq!(shard.to_string(), "2/4");
+        assert_eq!(SweepShard::parse("0/4"), Err(ShardSpecError::ZeroIndex));
+        assert_eq!(SweepShard::parse("1/0"), Err(ShardSpecError::ZeroCount));
+        assert_eq!(
+            SweepShard::parse("5/4"),
+            Err(ShardSpecError::IndexOutOfRange { index: 5, count: 4 })
+        );
+        for bad in ["", "3", "/", "a/b", "1/2/3", "-1/4", "1.5/4"] {
+            assert_eq!(
+                SweepShard::parse(bad),
+                Err(ShardSpecError::Malformed),
+                "{bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_seed_ranges_partition_the_seed_axis() {
+        for seeds in [0u32, 1, 5, 8, 100] {
+            for count in 1u32..=8 {
+                let mut covered = Vec::new();
+                let mut previous_end = 0;
+                for index in 1..=count {
+                    let range = SweepShard::new(index, count).unwrap().seed_range(seeds);
+                    assert_eq!(
+                        range.start, previous_end,
+                        "{seeds} seeds, shard {index}/{count}"
+                    );
+                    previous_end = range.end;
+                    covered.extend(range);
+                }
+                assert_eq!(previous_end, seeds);
+                assert_eq!(covered, (0..seeds).collect::<Vec<_>>());
+            }
+        }
+    }
+
+    #[test]
+    fn report_codec_round_trips_bit_exactly() {
+        let report = small_report();
+        let bytes = report.to_bytes();
+        let back = SweepReport::from_bytes(&bytes).expect("round-trips");
+        assert_eq!(back, report);
+        assert_eq!(back.render(), report.render());
+        assert_eq!(back.to_bytes(), bytes);
+        // An empty partial (legal for a shard with no seeds) round-trips too.
+        let empty = SweepReport {
+            jobs: Vec::new(),
+            ..report
+        };
+        let back = SweepReport::from_bytes(&empty.to_bytes()).expect("empty round-trips");
+        assert_eq!(back, empty);
+    }
+
+    #[test]
+    fn every_single_byte_corruption_is_rejected() {
+        let bytes = small_report().to_bytes();
+        for at in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[at] ^= 0x01;
+            assert!(
+                SweepReport::from_bytes(&bad).is_err(),
+                "flipped bit at byte {at} was accepted"
+            );
+        }
+        // Every truncation is rejected as well.
+        for len in 0..bytes.len() {
+            assert!(
+                SweepReport::from_bytes(&bytes[..len]).is_err(),
+                "truncation to {len} bytes was accepted"
+            );
+        }
+        // Trailing garbage is rejected.
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(SweepReport::from_bytes(&padded).is_err());
+    }
+
+    #[test]
+    fn merge_rejects_overlap_missing_and_mismatch() {
+        let full = small_report();
+        let half = |range: Range<u32>| SweepReport {
+            jobs: full
+                .jobs
+                .iter()
+                .filter(|j| range.contains(&j.seed_index))
+                .cloned()
+                .collect(),
+            ..full.clone()
+        };
+        let first = half(0..2);
+        let second = half(2..3);
+
+        // A clean partition merges to the full report.
+        let merged = merge_reports(vec![second.clone(), first.clone()]).expect("partition merges");
+        assert_eq!(merged, full);
+
+        assert_eq!(merge_reports(vec![]), Err(MergeError::NoInputs));
+        // Duplicate shard: overlap named by job.
+        assert!(matches!(
+            merge_reports(vec![first.clone(), first.clone(), second.clone()]),
+            Err(MergeError::OverlappingJobs {
+                seed_index: 0,
+                corner_index: 0
+            })
+        ));
+        // Missing shard: coverage gap named by first missing job.
+        assert_eq!(
+            merge_reports(vec![first.clone()]),
+            Err(MergeError::MissingJobs {
+                expected: 6,
+                actual: 4,
+                first_missing: (2, 0)
+            })
+        );
+        // Identity mismatch.
+        let foreign = SweepReport {
+            master_seed: full.master_seed + 1,
+            ..second.clone()
+        };
+        assert_eq!(
+            merge_reports(vec![first, foreign]),
+            Err(MergeError::ConfigMismatch {
+                field: "master seed"
+            })
+        );
+    }
+}

@@ -51,12 +51,13 @@ use idca_core::{
 use idca_gen::{generate_program, nth_seed, GenConfig};
 use idca_isa::Program;
 use idca_pipeline::{
-    CycleObserver, DigestObserver, PredecodedProgram, SimBuffers, SimConfig, Simulator,
-    TimingDigest, SIMULATOR_VERSION,
+    CycleObserver, DigestObserver, PipelineError, PredecodedProgram, SimBuffers, SimConfig,
+    Simulator, TimingDigest, SIMULATOR_VERSION,
 };
 use idca_timing::{CornerBank, ProfileKind, Ps, PvtCorner, TimingModel, VariationModel};
 use idca_workloads::suite::par_map;
 use std::cell::RefCell;
+use std::ops::Range;
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
@@ -77,6 +78,12 @@ pub struct SweepConfig {
     pub gen: GenConfig,
     /// The PVT variation distribution corners are sampled from.
     pub variation: VariationModel,
+    /// Per-program simulated-cycle budget. A seed whose program does not
+    /// reach the exit marker within this many cycles fails its sweep with a
+    /// structured [`SweepError::JobFailed`] naming the seed and the limit —
+    /// never a panic. Not part of the digest-cache key: the limit can only
+    /// abort a simulation, not change a completed digest.
+    pub max_cycles: u64,
 }
 
 impl Default for SweepConfig {
@@ -87,6 +94,51 @@ impl Default for SweepConfig {
             master_seed: 0xC0DE,
             gen: GenConfig::default(),
             variation: VariationModel::default(),
+            max_cycles: SimConfig::default().max_cycles,
+        }
+    }
+}
+
+/// Structured failure of a sweep (or one of its shards). The sweep engines
+/// return this instead of panicking: one pathological seed must fail only
+/// its own run — with enough context to reproduce it — not abort a whole
+/// sharded fleet with a worker panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SweepError {
+    /// One `(seed)` job's simulation failed (cycle-limit overrun, memory
+    /// fault, ...). Carries the sweep-local seed index, the derived program
+    /// seed and the underlying pipeline error so the exact program can be
+    /// regenerated and debugged in isolation.
+    JobFailed {
+        /// Index of the failing seed within the sweep.
+        seed_index: u32,
+        /// The derived program-generator seed of the failing job.
+        program_seed: u64,
+        /// What the pipeline reported (names the cycle limit on overrun).
+        error: PipelineError,
+    },
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::JobFailed {
+                seed_index,
+                program_seed,
+                error,
+            } => write!(
+                f,
+                "sweep job for seed index {seed_index} (program seed {program_seed:#x}) failed: {error}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SweepError::JobFailed { error, .. } => Some(error),
         }
     }
 }
@@ -319,7 +371,7 @@ impl SweepReport {
 }
 
 /// Mean of a sample set (`NaN` when empty — a defined, printable value).
-fn mean(samples: &[f64]) -> f64 {
+pub(crate) fn mean(samples: &[f64]) -> f64 {
     if samples.is_empty() {
         return f64::NAN;
     }
@@ -327,14 +379,14 @@ fn mean(samples: &[f64]) -> f64 {
 }
 
 /// Consumes a sample set and returns it sorted for [`quantile_sorted`].
-fn sorted_samples(mut samples: Vec<f64>) -> Vec<f64> {
+pub(crate) fn sorted_samples(mut samples: Vec<f64>) -> Vec<f64> {
     samples.sort_by(f64::total_cmp);
     samples
 }
 
 /// Empirical quantile via the nearest-rank method on pre-sorted samples
 /// (`NaN` when empty). `q` is clamped into `[0, 1]`.
-fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+pub(crate) fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
         return f64::NAN;
     }
@@ -399,17 +451,39 @@ fn with_worker_buffers<R>(simulator: &Simulator, f: impl FnOnce(&mut SimBuffers)
 /// instead of re-deriving timing classes and excitation bases per cycle.
 /// Returns the digest plus the time spent lowering (so the sweep timing
 /// can report the one-time predecode cost separately).
-fn digest_program(simulator: &Simulator, program: &Program) -> (TimingDigest, Duration) {
+///
+/// # Errors
+///
+/// Propagates the simulation's [`PipelineError`] (e.g. a cycle-limit
+/// overrun on a pathological program) instead of panicking the worker.
+fn digest_program(
+    simulator: &Simulator,
+    program: &Program,
+) -> Result<(TimingDigest, Duration), PipelineError> {
     with_worker_buffers(simulator, |buffers| {
         let start = Instant::now();
         let pre = PredecodedProgram::lower(program);
         let predecode = start.elapsed();
         let mut observer = DigestObserver::with_hints(pre.digest_hints());
-        simulator
-            .run_observed_predecoded_with_buffers(&pre, &mut [&mut observer], buffers)
-            .expect("generated programs terminate within the cycle limit");
-        (observer.into_digest(), predecode)
+        simulator.run_observed_predecoded_with_buffers(&pre, &mut [&mut observer], buffers)?;
+        Ok((observer.into_digest(), predecode))
     })
+}
+
+/// Wraps a per-seed worker failure in the structured sweep error.
+fn job_failed(seed_index: u32, program_seed: u64, error: PipelineError) -> SweepError {
+    SweepError::JobFailed {
+        seed_index,
+        program_seed,
+        error,
+    }
+}
+
+/// Folds a parallel worker's per-item results, reporting the first failure
+/// in canonical (input) order — deterministic regardless of which worker
+/// hit its error first.
+fn collect_jobs<T>(results: Vec<Result<T, SweepError>>) -> Result<Vec<T>, SweepError> {
+    results.into_iter().collect()
 }
 
 /// Corner-constant replay state: the varied timing model and the immutable
@@ -623,7 +697,7 @@ fn run_job(
     corner: &PvtCorner,
     guarded_lut: &DelayLut,
     seed_index: u32,
-) -> SweepJobOutcome {
+) -> Result<SweepJobOutcome, PipelineError> {
     let varied = variation.apply(nominal, corner);
     let static_policy = StaticClock::of_model(&varied);
     let lut_policy = InstructionBased::new(guarded_lut.clone());
@@ -644,14 +718,12 @@ fn run_job(
     // simulates in worker-local scratch: the comparison between the engines
     // should measure evaluation strategy, not per-job allocation noise.
     let summary = with_worker_buffers(simulator, |buffers| {
-        simulator
-            .run_observed_with_buffers(
-                program,
-                &mut [&mut ob_static, &mut ob_lut, &mut ob_exec, &mut ob_adaptive],
-                buffers,
-            )
-            .expect("generated programs terminate within the cycle limit")
-    });
+        simulator.run_observed_with_buffers(
+            program,
+            &mut [&mut ob_static, &mut ob_lut, &mut ob_exec, &mut ob_adaptive],
+            buffers,
+        )
+    })?;
 
     let policy_outcome = |o: idca_core::RunOutcome| PolicyJobOutcome {
         violations: o.violations,
@@ -659,7 +731,7 @@ fn run_job(
         warmup_cycles: 0,
     };
     let adaptive = ob_adaptive.into_outcome();
-    SweepJobOutcome {
+    Ok(SweepJobOutcome {
         seed_index,
         corner_index: corner.index,
         cycles: summary.cycles,
@@ -673,6 +745,15 @@ fn run_job(
                 warmup_cycles: adaptive.warmup_cycles,
             },
         ],
+    })
+}
+
+/// The simulator configuration of one sweep (the configured cycle budget
+/// over the default memory image).
+fn sim_config(config: &SweepConfig) -> SimConfig {
+    SimConfig {
+        max_cycles: config.max_cycles,
+        ..SimConfig::default()
     }
 }
 
@@ -781,14 +862,21 @@ fn store_cached_digest(dir: &Path, program_seed: u64, config_hash: u64, digest: 
 /// outcomes into one canonical [`SweepReport`] — byte-identical to the
 /// lane-by-lane [`pvt_sweep_lanewise`] and the single-phase
 /// [`pvt_sweep_direct`] at a fraction of the work.
-#[must_use]
-pub fn pvt_sweep(config: &SweepConfig) -> SweepReport {
-    pvt_sweep_timed(config).0
+///
+/// # Errors
+///
+/// Returns [`SweepError::JobFailed`] naming the first failing seed (in
+/// canonical order) if any program fails to simulate.
+pub fn pvt_sweep(config: &SweepConfig) -> Result<SweepReport, SweepError> {
+    Ok(pvt_sweep_timed(config)?.0)
 }
 
 /// [`pvt_sweep`] with the per-phase wall-clock breakdown (perf harness).
-#[must_use]
-pub fn pvt_sweep_timed(config: &SweepConfig) -> (SweepReport, SweepTiming) {
+///
+/// # Errors
+///
+/// Returns [`SweepError::JobFailed`] if any program fails to simulate.
+pub fn pvt_sweep_timed(config: &SweepConfig) -> Result<(SweepReport, SweepTiming), SweepError> {
     pvt_sweep_timed_with_cache(config, None)
 }
 
@@ -800,43 +888,68 @@ pub fn pvt_sweep_timed(config: &SweepConfig) -> (SweepReport, SweepTiming) {
 /// phase 1's simulations entirely ([`SweepTiming::simulated_programs`]
 /// is 0); the report is byte-identical either way, because the digest
 /// binary round-trip is bit-exact.
-#[must_use]
+///
+/// # Errors
+///
+/// Returns [`SweepError::JobFailed`] if any program fails to simulate.
 pub fn pvt_sweep_timed_with_cache(
     config: &SweepConfig,
     cache_dir: Option<&Path>,
-) -> (SweepReport, SweepTiming) {
-    let (nominal, guarded_lut, corner_samples) = sweep_setup(config);
+) -> Result<(SweepReport, SweepTiming), SweepError> {
+    pvt_sweep_seed_range_timed_with_cache(config, 0..config.seeds, cache_dir)
+}
 
-    // Phase 1 — one digest per seed: cache hit or simulate-and-backfill.
-    // Program generation and simulation run fused in the same worker
-    // (par_map preserves input order, so the digest list is deterministic
-    // regardless of worker count).
+/// The sharded engine underneath [`pvt_sweep_timed_with_cache`]: runs only
+/// the seeds in `seed_range` (each against **all** corners) and returns a
+/// partial [`SweepReport`] whose header still describes the *full* sweep.
+/// Because per-seed jobs are independent, the partial rows are bit-identical
+/// to the same rows of the single-process run, so merging every shard of a
+/// partition reproduces that run exactly (see `shard::merge_reports`).
+///
+/// # Errors
+///
+/// Returns [`SweepError::JobFailed`] if any program in the range fails to
+/// simulate. An empty or out-of-range shard (`seed_range` clamped to the
+/// configured seed count) yields an empty partial report, not an error.
+pub fn pvt_sweep_seed_range_timed_with_cache(
+    config: &SweepConfig,
+    seed_range: Range<u32>,
+    cache_dir: Option<&Path>,
+) -> Result<(SweepReport, SweepTiming), SweepError> {
+    let (nominal, guarded_lut, corner_samples) = sweep_setup(config);
+    let seed_range = seed_range.start.min(config.seeds)..seed_range.end.min(config.seeds);
+
+    // Phase 1 — one digest per in-range seed: cache hit or
+    // simulate-and-backfill. Program generation and simulation run fused in
+    // the same worker (par_map preserves input order, so the digest list is
+    // deterministic regardless of worker count).
     let start = Instant::now();
-    let simulator = Simulator::new(SimConfig::default());
+    let simulator = Simulator::new(sim_config(config));
     let config_hash = config.gen.content_hash();
-    let seed_indices: Vec<u32> = (0..config.seeds).collect();
-    let digests = par_map(&seed_indices, |&i| {
+    let seed_indices: Vec<u32> = seed_range.collect();
+    let digests = collect_jobs(par_map(&seed_indices, |&i| {
         let program_seed = nth_seed(config.master_seed, u64::from(i));
         if let Some(dir) = cache_dir {
             if let Some(digest) = load_cached_digest(dir, program_seed, config_hash) {
-                return (digest, true, Duration::ZERO);
+                return Ok((digest, true, Duration::ZERO));
             }
         }
         let program = generate_program(program_seed, &config.gen);
-        let (digest, predecode) = digest_program(&simulator, &program);
+        let (digest, predecode) = digest_program(&simulator, &program)
+            .map_err(|error| job_failed(i, program_seed, error))?;
         if let Some(dir) = cache_dir {
             store_cached_digest(dir, program_seed, config_hash, &digest);
         }
-        (digest, false, predecode)
-    });
+        Ok((digest, false, predecode))
+    }))?;
     let simulate = start.elapsed();
     let digest_cache_hits = digests.iter().filter(|(_, hit, _)| *hit).count() as u32;
     let predecode = digests.iter().map(|(_, _, d)| *d).sum();
 
-    // Phase 2 — corner-batched: `N` per-seed jobs, each walking its digest
-    // once against the whole bank. The varied models, policy tables and the
-    // SoA corner bank are corner-constant, so they are built once and
-    // shared by every job.
+    // Phase 2 — corner-batched: one per-seed job per in-range seed, each
+    // walking its digest once against the whole bank. The varied models,
+    // policy tables and the SoA corner bank are corner-constant, so they
+    // are built once and shared by every job.
     let start = Instant::now();
     let contexts: Vec<CornerContext> = corner_samples
         .iter()
@@ -844,24 +957,25 @@ pub fn pvt_sweep_timed_with_cache(
         .collect();
     let varied_models: Vec<TimingModel> = contexts.iter().map(|ctx| ctx.varied.clone()).collect();
     let bank = CornerBank::from_models(&varied_models);
-    let outcomes: Vec<SweepJobOutcome> = par_map(&seed_indices, |&i| {
-        replay_seed_banked(&digests[i as usize].0, &contexts, &bank, i)
+    let positions: Vec<usize> = (0..seed_indices.len()).collect();
+    let outcomes: Vec<SweepJobOutcome> = par_map(&positions, |&p| {
+        replay_seed_banked(&digests[p].0, &contexts, &bank, seed_indices[p])
     })
     .into_iter()
     .flatten()
     .collect();
     let replay = start.elapsed();
 
-    (
+    Ok((
         finish_report(config, corner_samples, outcomes),
         SweepTiming {
             simulate,
             predecode,
             replay,
-            simulated_programs: config.seeds - digest_cache_hits,
+            simulated_programs: seed_indices.len() as u32 - digest_cache_hits,
             digest_cache_hits,
         },
-    )
+    ))
 }
 
 /// The retained lane-by-lane two-phase engine: phase 1 is identical to
@@ -869,23 +983,32 @@ pub fn pvt_sweep_timed_with_cache(
 /// job through the scalar replay path. Kept (and exercised by the property
 /// tests) to pin the corner-batched kernel byte-identical; also the honest
 /// baseline for the banked-replay speedup measurement.
-#[must_use]
-pub fn pvt_sweep_lanewise(config: &SweepConfig) -> SweepReport {
-    pvt_sweep_lanewise_timed(config).0
+///
+/// # Errors
+///
+/// Returns [`SweepError::JobFailed`] if any program fails to simulate.
+pub fn pvt_sweep_lanewise(config: &SweepConfig) -> Result<SweepReport, SweepError> {
+    Ok(pvt_sweep_lanewise_timed(config)?.0)
 }
 
 /// [`pvt_sweep_lanewise`] with the per-phase wall-clock breakdown.
-#[must_use]
-pub fn pvt_sweep_lanewise_timed(config: &SweepConfig) -> (SweepReport, SweepTiming) {
+///
+/// # Errors
+///
+/// Returns [`SweepError::JobFailed`] if any program fails to simulate.
+pub fn pvt_sweep_lanewise_timed(
+    config: &SweepConfig,
+) -> Result<(SweepReport, SweepTiming), SweepError> {
     let (nominal, guarded_lut, corner_samples) = sweep_setup(config);
 
     let start = Instant::now();
-    let simulator = Simulator::new(SimConfig::default());
+    let simulator = Simulator::new(sim_config(config));
     let seed_indices: Vec<u32> = (0..config.seeds).collect();
-    let digests = par_map(&seed_indices, |&i| {
-        let program = generate_program(nth_seed(config.master_seed, u64::from(i)), &config.gen);
-        digest_program(&simulator, &program)
-    });
+    let digests = collect_jobs(par_map(&seed_indices, |&i| {
+        let program_seed = nth_seed(config.master_seed, u64::from(i));
+        let program = generate_program(program_seed, &config.gen);
+        digest_program(&simulator, &program).map_err(|error| job_failed(i, program_seed, error))
+    }))?;
     let simulate = start.elapsed();
     let predecode = digests.iter().map(|(_, d)| *d).sum();
 
@@ -904,7 +1027,7 @@ pub fn pvt_sweep_lanewise_timed(config: &SweepConfig) -> (SweepReport, SweepTimi
     });
     let replay = start.elapsed();
 
-    (
+    Ok((
         finish_report(config, corner_samples, outcomes),
         SweepTiming {
             simulate,
@@ -913,7 +1036,7 @@ pub fn pvt_sweep_lanewise_timed(config: &SweepConfig) -> (SweepReport, SweepTimi
             simulated_programs: config.seeds,
             digest_cache_hits: 0,
         },
-    )
+    ))
 }
 
 /// The single-phase reference sweep: every `(seed, corner)` job runs its
@@ -921,8 +1044,11 @@ pub fn pvt_sweep_lanewise_timed(config: &SweepConfig) -> (SweepReport, SweepTimi
 /// like the original engine. Kept (and exercised by tests) to prove the
 /// two-phase [`pvt_sweep`] byte-identical; also the honest baseline for the
 /// perf harness's simulate-once speedup measurement.
-#[must_use]
-pub fn pvt_sweep_direct(config: &SweepConfig) -> SweepReport {
+///
+/// # Errors
+///
+/// Returns [`SweepError::JobFailed`] if any program fails to simulate.
+pub fn pvt_sweep_direct(config: &SweepConfig) -> Result<SweepReport, SweepError> {
     let (nominal, guarded_lut, corner_samples) = sweep_setup(config);
 
     let seed_indices: Vec<u32> = (0..config.seeds).collect();
@@ -930,9 +1056,9 @@ pub fn pvt_sweep_direct(config: &SweepConfig) -> SweepReport {
         generate_program(nth_seed(config.master_seed, u64::from(i)), &config.gen)
     });
 
-    let simulator = Simulator::new(SimConfig::default());
+    let simulator = Simulator::new(sim_config(config));
     let jobs = job_list(config);
-    let outcomes = par_map(&jobs, |&(seed_index, corner_index)| {
+    let outcomes = collect_jobs(par_map(&jobs, |&(seed_index, corner_index)| {
         run_job(
             &simulator,
             &programs[seed_index as usize],
@@ -942,8 +1068,15 @@ pub fn pvt_sweep_direct(config: &SweepConfig) -> SweepReport {
             &guarded_lut,
             seed_index,
         )
-    });
-    finish_report(config, corner_samples, outcomes)
+        .map_err(|error| {
+            job_failed(
+                seed_index,
+                nth_seed(config.master_seed, u64::from(seed_index)),
+                error,
+            )
+        })
+    }))?;
+    Ok(finish_report(config, corner_samples, outcomes))
 }
 
 #[cfg(test)]
@@ -960,6 +1093,45 @@ mod tests {
     }
 
     #[test]
+    fn cycle_limit_overrun_is_a_structured_error_not_a_panic() {
+        // A cycle budget too small for any generated program forces every
+        // job to fail: the sweep must surface the *first* failure in
+        // canonical order as a structured error naming the seed and the
+        // configured limit — never panic, never return a partial report.
+        let config = SweepConfig {
+            seeds: 2,
+            corners: 1,
+            master_seed: 0x5EED,
+            max_cycles: 2,
+            ..SweepConfig::default()
+        };
+        for result in [
+            pvt_sweep(&config),
+            pvt_sweep_lanewise(&config),
+            pvt_sweep_direct(&config),
+            pvt_sweep_seed_range_timed_with_cache(&config, 0..config.seeds, None)
+                .map(|(report, _)| report),
+        ] {
+            let error = result.expect_err("a 2-cycle budget cannot fit any program");
+            let SweepError::JobFailed {
+                seed_index,
+                program_seed,
+                error: ref cause,
+            } = error;
+            assert_eq!(seed_index, 0, "first failure in canonical order");
+            assert_eq!(program_seed, nth_seed(config.master_seed, 0));
+            assert!(matches!(cause, PipelineError::CycleLimitExceeded { .. }));
+            let message = error.to_string();
+            assert!(message.contains("seed index 0"), "{message}");
+            assert!(message.contains("2"), "limit named: {message}");
+            assert!(
+                std::error::Error::source(&error).is_some(),
+                "pipeline cause is chained"
+            );
+        }
+    }
+
+    #[test]
     fn banked_sweep_is_byte_identical_to_lanewise_and_direct_references() {
         // Corner counts deliberately straddle the SIMD lane width (3, 5) so
         // the padded lanes are exercised alongside exact multiples.
@@ -970,9 +1142,9 @@ mod tests {
                 master_seed,
                 ..SweepConfig::default()
             };
-            let banked = pvt_sweep(&config);
-            let lanewise = pvt_sweep_lanewise(&config);
-            let direct = pvt_sweep_direct(&config);
+            let banked = pvt_sweep(&config).expect("sweep runs");
+            let lanewise = pvt_sweep_lanewise(&config).expect("sweep runs");
+            let direct = pvt_sweep_direct(&config).expect("sweep runs");
             // Bit-identical job rows (f64 equality), not just rendered text.
             assert_eq!(banked, lanewise, "{seeds}x{corners}@{master_seed:#x}");
             assert_eq!(banked, direct, "{seeds}x{corners}@{master_seed:#x}");
@@ -992,14 +1164,16 @@ mod tests {
         let config = small_config();
 
         // Cold: everything is simulated and the cache is populated.
-        let (cold, cold_timing) = pvt_sweep_timed_with_cache(&config, Some(&dir));
+        let (cold, cold_timing) =
+            pvt_sweep_timed_with_cache(&config, Some(&dir)).expect("sweep runs");
         assert_eq!(cold_timing.simulated_programs, config.seeds);
         assert_eq!(cold_timing.digest_cache_hits, 0);
         let entries = std::fs::read_dir(&dir).expect("cache dir readable").count();
         assert_eq!(entries, config.seeds as usize);
 
         // Warm: nothing is simulated; the report is byte-identical.
-        let (warm, warm_timing) = pvt_sweep_timed_with_cache(&config, Some(&dir));
+        let (warm, warm_timing) =
+            pvt_sweep_timed_with_cache(&config, Some(&dir)).expect("sweep runs");
         assert_eq!(warm_timing.simulated_programs, 0);
         assert_eq!(warm_timing.digest_cache_hits, config.seeds);
         assert_eq!(warm, cold);
@@ -1014,7 +1188,8 @@ mod tests {
         let mut bytes = std::fs::read(&path).expect("entry exists");
         bytes[16] ^= 0x01;
         std::fs::write(&path, &bytes).expect("entry is writable");
-        let (stale, stale_timing) = pvt_sweep_timed_with_cache(&config, Some(&dir));
+        let (stale, stale_timing) =
+            pvt_sweep_timed_with_cache(&config, Some(&dir)).expect("sweep runs");
         assert_eq!(stale_timing.simulated_programs, 1);
         assert_eq!(stale_timing.digest_cache_hits, config.seeds - 1);
         assert_eq!(stale, cold);
@@ -1023,7 +1198,8 @@ mod tests {
         // codec rejects it and the sweep re-simulates.
         let bytes = std::fs::read(&path).expect("entry exists");
         std::fs::write(&path, &bytes[..bytes.len() - 3]).expect("entry is writable");
-        let (corrupt, corrupt_timing) = pvt_sweep_timed_with_cache(&config, Some(&dir));
+        let (corrupt, corrupt_timing) =
+            pvt_sweep_timed_with_cache(&config, Some(&dir)).expect("sweep runs");
         assert_eq!(corrupt_timing.simulated_programs, 1);
         assert_eq!(corrupt, cold);
 
@@ -1038,9 +1214,10 @@ mod tests {
             },
             ..config.clone()
         };
-        let (_, other_timing) = pvt_sweep_timed_with_cache(&other, Some(&dir));
+        let (_, other_timing) = pvt_sweep_timed_with_cache(&other, Some(&dir)).expect("sweep runs");
         assert_eq!(other_timing.digest_cache_hits, 0);
-        let (_, rewarm_timing) = pvt_sweep_timed_with_cache(&config, Some(&dir));
+        let (_, rewarm_timing) =
+            pvt_sweep_timed_with_cache(&config, Some(&dir)).expect("sweep runs");
         assert_eq!(rewarm_timing.digest_cache_hits, config.seeds);
 
         let _ = std::fs::remove_dir_all(&dir);
@@ -1049,8 +1226,8 @@ mod tests {
     #[test]
     fn sweep_is_deterministic_and_covers_all_jobs() {
         let config = small_config();
-        let a = pvt_sweep(&config);
-        let b = pvt_sweep(&config);
+        let a = pvt_sweep(&config).expect("sweep runs");
+        let b = pvt_sweep(&config).expect("sweep runs");
         assert_eq!(a, b);
         assert_eq!(a.jobs.len(), 12);
         assert_eq!(a.render(), b.render());
@@ -1058,7 +1235,7 @@ mod tests {
 
     #[test]
     fn guarded_policies_stay_violation_free_in_distribution() {
-        let report = pvt_sweep(&small_config());
+        let report = pvt_sweep(&small_config()).expect("sweep runs");
         // static (0), instruction-based (1) and execute-only (2) carry the
         // full variation margin: no samplable corner may violate them.
         for (policy, name) in SWEEP_POLICIES.iter().enumerate().take(3) {
@@ -1072,7 +1249,7 @@ mod tests {
 
     #[test]
     fn dynamic_policies_beat_the_static_baseline_on_average() {
-        let report = pvt_sweep(&small_config());
+        let report = pvt_sweep(&small_config()).expect("sweep runs");
         let speedups = report.speedups(1);
         assert!(mean(&speedups) > 1.1, "mean speedup {}", mean(&speedups));
         assert!(quantile(&speedups, 0.05) > 1.0);
@@ -1084,7 +1261,7 @@ mod tests {
     #[test]
     fn merge_order_does_not_change_the_report() {
         let config = small_config();
-        let full = pvt_sweep(&config);
+        let full = pvt_sweep(&config).expect("sweep runs");
         // Re-shard by corner parity and merge in the "wrong" order.
         let mut even = SweepReport::empty(&config, full.corner_samples.clone());
         let mut odd = SweepReport::empty(&config, full.corner_samples.clone());

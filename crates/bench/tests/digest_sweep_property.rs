@@ -25,8 +25,8 @@ proptest! {
             master_seed,
             ..SweepConfig::default()
         };
-        let two_phase = pvt_sweep(&config);
-        let direct = pvt_sweep_direct(&config);
+        let two_phase = pvt_sweep(&config).expect("two-phase sweep runs");
+        let direct = pvt_sweep_direct(&config).expect("direct sweep runs");
         prop_assert_eq!(two_phase.jobs.len(), (seeds * corners) as usize);
         for (a, b) in two_phase.jobs.iter().zip(&direct.jobs) {
             // Field-for-field f64 equality, not tolerance: the replay is

@@ -127,6 +127,139 @@ fn digest_cached_sweep_is_byte_identical_cold_warm_threaded_and_stale() {
 }
 
 #[test]
+fn sharded_sweep_merges_to_the_single_process_golden() {
+    let dir = std::env::temp_dir().join(format!("idca-golden-shard-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("shard work dir");
+    let path = |name: &str| {
+        dir.join(name)
+            .to_str()
+            .expect("temp path is UTF-8")
+            .to_string()
+    };
+
+    // Run each half of the sweep as its own process, then merge: the merged
+    // stdout must match the single-process golden byte for byte.
+    let shape = ["--seeds", "4", "--corners", "2", "--seed", "7"];
+    for (shard, out) in [("1/2", path("part-1.sweep")), ("2/2", path("part-2.sweep"))] {
+        let mut args = vec!["sweep"];
+        args.extend_from_slice(&shape);
+        args.extend_from_slice(&["--shard", shard, "--out", &out]);
+        let shard_run = repro_stdout(&args, "2");
+        assert_eq!(shard_run, "", "a shard must not render a partial report");
+    }
+    let merged = repro_stdout(
+        &[
+            "merge",
+            &path("merged.sweep"),
+            &path("part-2.sweep"),
+            &path("part-1.sweep"),
+        ],
+        "2",
+    );
+    assert_matches_golden("sweep_s4_c2_seed7.txt", &merged);
+
+    // The merged binary report re-renders identically through another merge
+    // (merge of one complete report is the identity).
+    let remerged = repro_stdout(
+        &["merge", &path("remerged.sweep"), &path("merged.sweep")],
+        "2",
+    );
+    assert_eq!(remerged, merged);
+
+    // Overlapping and missing shards are structured errors, not reports.
+    let run = |args: &[&str]| {
+        Command::new(env!("CARGO_BIN_EXE_repro"))
+            .args(args)
+            .output()
+            .expect("repro binary runs")
+    };
+    let overlap = run(&[
+        "merge",
+        &path("bad.sweep"),
+        &path("part-1.sweep"),
+        &path("part-1.sweep"),
+        &path("part-2.sweep"),
+    ]);
+    assert!(!overlap.status.success());
+    assert!(String::from_utf8_lossy(&overlap.stderr).contains("more than one partial"));
+    let missing = run(&["merge", &path("bad.sweep"), &path("part-1.sweep")]);
+    assert!(!missing.status.success());
+    assert!(String::from_utf8_lossy(&missing.stderr).contains("first missing job"));
+
+    // A corrupted partial is rejected by the codec, named by file.
+    let victim = dir.join("part-1.sweep");
+    let mut bytes = std::fs::read(&victim).expect("partial readable");
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x01;
+    std::fs::write(&victim, &bytes).expect("partial writable");
+    let corrupt = run(&[
+        "merge",
+        &path("bad.sweep"),
+        &path("part-1.sweep"),
+        &path("part-2.sweep"),
+    ]);
+    assert!(!corrupt.status.success());
+    assert!(String::from_utf8_lossy(&corrupt.stderr).contains("part-1.sweep"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serve_answers_queries_from_a_merged_corpus() {
+    use std::io::Write;
+
+    let dir = std::env::temp_dir().join(format!("idca-golden-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let corpus = dir.join("corpus");
+    std::fs::create_dir_all(&corpus).expect("corpus dir");
+    let out = corpus.join("full.sweep");
+    repro_stdout(
+        &[
+            "sweep",
+            "--seeds",
+            "4",
+            "--corners",
+            "2",
+            "--seed",
+            "7",
+            "--out",
+            out.to_str().expect("UTF-8 path"),
+        ],
+        "2",
+    );
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["serve", "--corpus", corpus.to_str().expect("UTF-8 path")])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("serve starts");
+    child
+        .stdin
+        .take()
+        .expect("serve stdin")
+        .write_all(b"corpus\nquantile adaptive 0.5\nbogus\nquit\n")
+        .expect("queries written");
+    let output = child.wait_with_output().expect("serve exits");
+    assert!(
+        output.status.success(),
+        "serve failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8(output.stdout).expect("serve output is UTF-8");
+    assert!(stdout.contains("reports=1 jobs=8"), "{stdout}");
+    assert!(
+        stdout.contains("policy=adaptive q=0.5 speedup="),
+        "{stdout}"
+    );
+    assert!(stdout.contains("error: unknown command"), "{stdout}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn sweep_rejects_malformed_flags() {
     let run = |args: &[&str]| {
         Command::new(env!("CARGO_BIN_EXE_repro"))
@@ -139,4 +272,23 @@ fn sweep_rejects_malformed_flags() {
     assert!(!run(&["sweep", "--seeds", "0"]).status.success());
     assert!(!run(&["sweep", "--bogus", "1"]).status.success());
     assert!(run(&["sweep", "--help"]).status.success());
+
+    // Shard specs are validated in one place; each rejection names the rule.
+    for bad in ["0/4", "5/4", "1/0", "x/4", "1-4", "1/2/3"] {
+        let output = run(&["sweep", "--shard", bad, "--out", "unused.sweep"]);
+        assert!(!output.status.success(), "--shard {bad} was accepted");
+        assert!(
+            String::from_utf8_lossy(&output.stderr).contains("invalid --shard"),
+            "--shard {bad} error is unstructured"
+        );
+    }
+    // --shard without --out has nowhere to put the partial report.
+    assert!(!run(&["sweep", "--shard", "1/2"]).status.success());
+    // serve validates --corpus in the same shared place.
+    assert!(!run(&["serve"]).status.success());
+    assert!(!run(&["serve", "--corpus", "/nonexistent-idca-corpus"])
+        .status
+        .success());
+    assert!(run(&["merge", "--help"]).status.success());
+    assert!(run(&["serve", "--help"]).status.success());
 }

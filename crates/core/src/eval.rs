@@ -143,6 +143,17 @@ impl SuiteSummary {
         self.comparisons.push(comparison);
     }
 
+    /// Folds another summary into this one and restores a canonical
+    /// benchmark-name order, so sharded suite evaluations aggregate to the
+    /// same summary regardless of which worker produced which slice (the
+    /// suite-level counterpart of the sweep report's shard merge). Sorting
+    /// is by name only — duplicate names keep their relative fold order.
+    pub fn merge(&mut self, mut other: SuiteSummary) {
+        self.comparisons.append(&mut other.comparisons);
+        self.comparisons
+            .sort_by(|a, b| a.benchmark.cmp(&b.benchmark));
+    }
+
     /// The individual benchmark comparisons in insertion order.
     #[must_use]
     pub fn comparisons(&self) -> &[PolicyComparison] {
@@ -301,6 +312,32 @@ mod tests {
         let via_trace = compare(&model, "kernel", &t, &policy, &ClockGenerator::Ideal);
         let via_digest = compare_digest(&model, "kernel", &digest, &policy, &ClockGenerator::Ideal);
         assert_eq!(via_trace, via_digest);
+    }
+
+    #[test]
+    fn suite_summary_merge_matches_unsharded_aggregation() {
+        let model = TimingModel::at_nominal(ProfileKind::CriticalRangeOptimized);
+        let policy = InstructionBased::from_model(&model);
+        let kernels = [
+            ("a_alu", "l.add r4, r4, r3\n l.and r5, r4, r3"),
+            ("b_mul", "l.mul r4, r3, r3\n l.mul r5, r4, r3"),
+            ("c_mem", "l.sw 0(r0), r4\n l.lwz r5, 0(r0)"),
+        ];
+        let mut full = SuiteSummary::new();
+        for (name, body) in kernels {
+            let t = loop_trace(body);
+            full.push(compare(&model, name, &t, &policy, &ClockGenerator::Ideal));
+        }
+        // Shard the suite in the "wrong" order and merge.
+        let mut merged = SuiteSummary::new();
+        for (name, body) in [kernels[2], kernels[0], kernels[1]] {
+            let mut shard = SuiteSummary::new();
+            let t = loop_trace(body);
+            shard.push(compare(&model, name, &t, &policy, &ClockGenerator::Ideal));
+            merged.merge(shard);
+        }
+        assert_eq!(merged, full);
+        assert_eq!(merged.mean_speedup(), full.mean_speedup());
     }
 
     #[test]

@@ -116,6 +116,35 @@ impl Histogram {
         self.max
     }
 
+    /// Folds another histogram into this one. Both histograms must share the
+    /// exact binning (`min`, `max`, `bin_width`): merging is only meaningful
+    /// bin-by-bin, and a silent re-bin would corrupt every downstream
+    /// percentile. Used by the sweep-corpus server to aggregate per-report
+    /// distributions without retaining raw samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HistogramMergeError::BinningMismatch`] (and leaves `self`
+    /// untouched) when the binnings differ.
+    pub fn merge(&mut self, other: &Histogram) -> Result<(), HistogramMergeError> {
+        if self.min != other.min || self.max != other.max || self.bin_width != other.bin_width {
+            return Err(HistogramMergeError::BinningMismatch {
+                expected: (self.min, self.max, self.bin_width),
+                actual: (other.min, other.max, other.bin_width),
+            });
+        }
+        for (slot, &count) in self.counts.iter_mut().zip(&other.counts) {
+            *slot += count;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        // min/max of an empty histogram are the +/-infinity sentinels, which
+        // fold neutrally.
+        self.observed_min = self.observed_min.min(other.observed_min);
+        self.observed_max = self.observed_max.max(other.observed_max);
+        Ok(())
+    }
+
     /// Iterates over `(bin_lower_edge, count)` pairs.
     pub fn bins(&self) -> impl Iterator<Item = (Ps, u64)> + '_ {
         self.counts
@@ -139,6 +168,33 @@ impl Histogram {
         out
     }
 }
+
+/// Error returned by [`Histogram::merge`]: the two histograms do not share a
+/// binning, so a bin-by-bin fold would be meaningless.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum HistogramMergeError {
+    /// The `(min, max, bin_width)` triples differ.
+    BinningMismatch {
+        /// Binning of the receiving histogram.
+        expected: (Ps, Ps, Ps),
+        /// Binning of the histogram being merged in.
+        actual: (Ps, Ps, Ps),
+    },
+}
+
+impl std::fmt::Display for HistogramMergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HistogramMergeError::BinningMismatch { expected, actual } => write!(
+                f,
+                "histogram binning mismatch: expected (min {}, max {}, bin {}), got (min {}, max {}, bin {})",
+                expected.0, expected.1, expected.2, actual.0, actual.1, actual.2
+            ),
+        }
+    }
+}
+
+impl std::error::Error for HistogramMergeError {}
 
 #[cfg(test)]
 mod tests {
@@ -193,6 +249,50 @@ mod tests {
     #[should_panic(expected = "bin width must be positive")]
     fn zero_bin_width_panics() {
         let _ = Histogram::new(0.0, 10.0, 0.0);
+    }
+
+    #[test]
+    fn merge_folds_counts_sum_and_extrema() {
+        let mut a = Histogram::new(0.0, 100.0, 10.0);
+        let mut b = Histogram::new(0.0, 100.0, 10.0);
+        a.add(5.0);
+        a.add(42.0);
+        b.add(95.0);
+        b.add(-3.0); // clamped into bin 0, extrema keep the raw value
+        let mut sequential = Histogram::new(0.0, 100.0, 10.0);
+        for v in [5.0, 42.0, 95.0, -3.0] {
+            sequential.add(v);
+        }
+        a.merge(&b).expect("identical binning merges");
+        assert_eq!(a, sequential);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.observed_min(), -3.0);
+        assert_eq!(a.observed_max(), 95.0);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_in_both_directions() {
+        let mut filled = Histogram::new(0.0, 10.0, 1.0);
+        filled.add(4.5);
+        let snapshot = filled.clone();
+        filled.merge(&Histogram::new(0.0, 10.0, 1.0)).unwrap();
+        assert_eq!(filled, snapshot);
+        let mut empty = Histogram::new(0.0, 10.0, 1.0);
+        empty.merge(&snapshot).unwrap();
+        assert_eq!(empty, snapshot);
+    }
+
+    #[test]
+    fn merge_rejects_binning_mismatch_and_leaves_target_untouched() {
+        let mut a = Histogram::new(0.0, 100.0, 10.0);
+        a.add(50.0);
+        let snapshot = a.clone();
+        let mut b = Histogram::new(0.0, 100.0, 25.0);
+        b.add(50.0);
+        let err = a.merge(&b).unwrap_err();
+        assert!(matches!(err, HistogramMergeError::BinningMismatch { .. }));
+        assert!(err.to_string().contains("binning mismatch"));
+        assert_eq!(a, snapshot, "failed merge must not mutate the target");
     }
 
     #[test]

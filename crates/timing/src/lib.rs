@@ -78,7 +78,7 @@ mod variation;
 pub use bank::{BankEvaluator, CornerBank, LANE_WIDTH};
 pub use dta::{DtaObserver, DynamicTimingAnalysis};
 pub use eventlog::{Endpoint, EndpointEvent, EndpointId, EventLog};
-pub use histogram::Histogram;
+pub use histogram::{Histogram, HistogramMergeError};
 pub use library::{CellLibrary, LibraryError, OperatingPoint};
 pub use model::{CycleTiming, EventLogObserver, TimingModel};
 pub use power::{ActivityObserver, ActivitySummary, PowerModel, PowerReport};

@@ -67,6 +67,36 @@ impl PvtCorner {
             self.process_sigma, self.voltage_droop_mv, self.temperature_c
         )
     }
+
+    /// The within-die variation salt (an opaque hash-derived word). Exposed
+    /// only so binary report codecs can round-trip a corner bit-exactly;
+    /// pair with [`PvtCorner::from_raw`].
+    #[must_use]
+    pub fn salt(&self) -> u64 {
+        self.salt
+    }
+
+    /// Rebuilds a corner from its serialized fields. This is the codec
+    /// counterpart of [`VariationModel::sample_corner`]: a corner that went
+    /// through `(index, process_sigma, voltage_droop_mv, temperature_c,
+    /// salt())` and back is bit-identical to the original, so replaying or
+    /// merging reports built from deserialized corners cannot drift.
+    #[must_use]
+    pub fn from_raw(
+        index: u32,
+        process_sigma: f64,
+        voltage_droop_mv: f64,
+        temperature_c: f64,
+        salt: u64,
+    ) -> PvtCorner {
+        PvtCorner {
+            index,
+            process_sigma,
+            voltage_droop_mv,
+            temperature_c,
+            salt,
+        }
+    }
 }
 
 /// The PVT variation distribution and its delay impact.
@@ -208,6 +238,32 @@ mod tests {
 
     fn nominal() -> TimingModel {
         TimingModel::at_nominal(ProfileKind::CriticalRangeOptimized)
+    }
+
+    #[test]
+    fn corner_raw_round_trip_is_bit_identical() {
+        let vm = VariationModel::default();
+        for index in 0..16 {
+            let corner = vm.sample_corner(0xC0DE, index);
+            let back = PvtCorner::from_raw(
+                corner.index,
+                corner.process_sigma,
+                corner.voltage_droop_mv,
+                corner.temperature_c,
+                corner.salt(),
+            );
+            assert_eq!(corner, back);
+            // The salt feeds the per-cell hash, so the round-tripped corner
+            // must produce bit-identical delay factors everywhere.
+            for stage in Stage::ALL {
+                for class in TimingClass::ALL {
+                    assert_eq!(
+                        vm.cell_factor(&corner, stage, class).to_bits(),
+                        vm.cell_factor(&back, stage, class).to_bits()
+                    );
+                }
+            }
+        }
     }
 
     #[test]
