@@ -17,9 +17,10 @@
 
 use idca_bench::{
     merge_reports, paper, pvt_sweep_seed_range_timed_with_cache, Corpus, DigestCacheStats,
-    Experiments, ServeSession, SweepConfig, SweepReport, SweepShard, SweepTiming,
+    Experiments, FaultSpec, QueryError, ServeSession, SweepConfig, SweepReport, SweepShard,
+    SweepTiming,
 };
-use std::io::{BufRead, Write};
+use std::io::{BufRead, Read, Write};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Duration;
@@ -45,7 +46,7 @@ fn print_help() {
     println!();
     println!("Usage: repro [FLAGS]");
     println!("       repro sweep [--seeds N] [--corners M] [--seed S] [--digest-cache DIR]");
-    println!("                   [--shard K/N --out PATH]");
+    println!("                   [--faults SPEC] [--shard K/N --out PATH]");
     println!("       repro merge OUT.sweep PARTIAL.sweep...");
     println!("       repro serve --corpus DIR [--digest-cache DIR]");
     println!("       repro bench [--seeds N] [--corners M] [--seed S] [--runs K] [--json] [--out PATH] [--digest-cache DIR]\n");
@@ -139,6 +140,22 @@ fn print_sweep_help() {
         ""
     );
     println!(
+        "  {:<16} inject a deterministic fault scenario, SPEC is",
+        "--faults SPEC"
+    );
+    println!(
+        "  {:<16} key=value pairs like seed=1,droop-rate=0.3,spike-rate=0.01,",
+        ""
+    );
+    println!(
+        "  {:<16} droop-mag=0.15,spike-mag=0.25,shift-mag=0,penalty=8,",
+        ""
+    );
+    println!(
+        "  {:<16} detect-window=0.1; adds recovery/silent-risk columns",
+        ""
+    );
+    println!(
         "  {:<16} run only the K-th of N deterministic seed partitions",
         "--shard K/N"
     );
@@ -196,6 +213,12 @@ impl SweepShapeArgs {
                 self.config.master_seed = value
                     .parse()
                     .map_err(|_| format!("`{flag}` expects an unsigned integer, got `{value}`"))?;
+            }
+            "--faults" => {
+                self.config.faults = Some(
+                    FaultSpec::parse(value)
+                        .map_err(|error| format!("invalid --faults `{value}`: {error}"))?,
+                );
             }
             _ => return Ok(false),
         }
@@ -436,14 +459,61 @@ fn run_serve(args: &[String]) -> Result<ExitCode, String> {
 
     let session = ServeSession::new(corpus, cache);
     let stdin = std::io::stdin();
+    let mut reader = std::io::BufReader::new(stdin.lock());
     let mut stdout = std::io::stdout();
-    for line in stdin.lock().lines() {
-        let line = line.map_err(|error| format!("cannot read query: {error}"))?;
-        let trimmed = line.trim();
-        if trimmed == "quit" || trimmed == "exit" {
-            break;
+    let mut buffer = Vec::with_capacity(256);
+    loop {
+        // Byte-level reads: stdin is untrusted input, so a binary paste
+        // (invalid UTF-8), an unbounded line or a mid-line EOF must each
+        // become a structured reply or a clean exit, never a panic or a
+        // silently dropped session.
+        buffer.clear();
+        let read = (&mut reader)
+            .take(MAX_QUERY_BYTES as u64 + 1)
+            .read_until(b'\n', &mut buffer)
+            .map_err(|error| format!("cannot read query: {error}"))?;
+        if read == 0 {
+            break; // clean EOF
         }
-        match session.query(&line) {
+        let mut terminated = buffer.last() == Some(&b'\n');
+        if terminated {
+            buffer.pop();
+        }
+        if buffer.last() == Some(&b'\r') {
+            buffer.pop();
+        }
+        let reply = if buffer.len() > MAX_QUERY_BYTES {
+            // Drain the rest of the oversized line in bounded chunks so the
+            // next read starts exactly at the next line boundary; bytes of
+            // the *following* query are never consumed.
+            let mut scratch = Vec::with_capacity(4096);
+            while !terminated {
+                scratch.clear();
+                let n = (&mut reader)
+                    .take(4096)
+                    .read_until(b'\n', &mut scratch)
+                    .map_err(|error| format!("cannot read query: {error}"))?;
+                terminated = scratch.last() == Some(&b'\n');
+                if n == 0 {
+                    break;
+                }
+            }
+            Err(QueryError::LineTooLong {
+                limit: MAX_QUERY_BYTES,
+            })
+        } else {
+            match std::str::from_utf8(&buffer) {
+                Ok(line) => {
+                    let trimmed = line.trim();
+                    if trimmed == "quit" || trimmed == "exit" {
+                        break;
+                    }
+                    session.query(line)
+                }
+                Err(_) => Err(QueryError::InvalidUtf8),
+            }
+        };
+        match reply {
             Ok(reply) if reply.is_empty() => {}
             Ok(reply) => println!("{reply}"),
             Err(error) => println!("error: {error}"),
@@ -453,9 +523,17 @@ fn run_serve(args: &[String]) -> Result<ExitCode, String> {
         stdout
             .flush()
             .map_err(|error| format!("cannot flush reply: {error}"))?;
+        if !terminated {
+            break; // mid-line EOF: the final unterminated query was answered
+        }
     }
     Ok(ExitCode::SUCCESS)
 }
+
+/// Upper bound on one serve query line; real queries are tens of bytes, so
+/// anything longer is a runaway or hostile writer and is answered with a
+/// structured error instead of being buffered without limit.
+const MAX_QUERY_BYTES: usize = 4096;
 
 /// Milliseconds with microsecond resolution (stable fixed-point rendering).
 fn ms(duration: Duration) -> f64 {

@@ -27,11 +27,14 @@ fn speedup_histogram() -> Histogram {
 
 /// Identity of one ingested report, used to reject duplicate ingestion
 /// (the same merged report indexed twice would double every statistic).
+/// The fault-spec fingerprint is part of the identity: the same sweep run
+/// under a different fault scenario is a different experiment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct ReportKey {
     master_seed: u64,
     seeds: u32,
     corners: u32,
+    fault_fingerprint: Option<u64>,
 }
 
 /// Per-policy aggregate over every ingested report.
@@ -43,6 +46,14 @@ struct PolicyIndex {
     /// quantile queries are a direct nearest-rank lookup.
     speedups: Vec<f64>,
     histogram: Histogram,
+    /// Fault-violation cycles absorbed by the K-cycle replay mechanism.
+    recovered: u64,
+    /// Replay-penalty cycles charged for those recoveries.
+    replay_penalty: u64,
+    /// Margin-exceeding cycles the detection window missed (silent risk).
+    silent_risk: u64,
+    /// Per-job speedups on the recovery-adjusted clock, kept sorted.
+    effective_speedups: Vec<f64>,
 }
 
 /// The in-memory index `repro serve` answers from.
@@ -89,6 +100,10 @@ impl Corpus {
                 violating_jobs: 0,
                 speedups: Vec::new(),
                 histogram: speedup_histogram(),
+                recovered: 0,
+                replay_penalty: 0,
+                silent_risk: 0,
+                effective_speedups: Vec::new(),
             }),
             recovery: Vec::new(),
         }
@@ -107,6 +122,7 @@ impl Corpus {
             master_seed: report.master_seed,
             seeds: report.seeds,
             corners: report.corners,
+            fault_fingerprint: report.faults.map(|s| s.fingerprint()),
         };
         if self.keys.contains(&key) {
             return Err(CorpusError::DuplicateReport {
@@ -131,6 +147,13 @@ impl Corpus {
                 .expect("corpus histograms share one fixed binning");
             index.speedups.extend(report.speedups(policy));
             index.speedups.sort_by(f64::total_cmp);
+            index.recovered += report.recovered(policy);
+            index.replay_penalty += report.replay_penalty(policy);
+            index.silent_risk += report.silent_risk(policy);
+            index
+                .effective_speedups
+                .extend(report.effective_speedups(policy));
+            index.effective_speedups.sort_by(f64::total_cmp);
         }
         self.recovery.extend(report.adaptive_recovery());
         self.recovery.sort_by(f64::total_cmp);
@@ -235,6 +258,15 @@ pub enum QueryError {
         /// The offending argument.
         String,
     ),
+    /// The raw request line is not valid UTF-8. Raised by the server's
+    /// stdin loop (queries themselves take `&str`), answered like any other
+    /// query error so a binary paste cannot kill the session.
+    InvalidUtf8,
+    /// The raw request line exceeds the server's line-length cap.
+    LineTooLong {
+        /// The cap, in bytes, the line overran.
+        limit: usize,
+    },
 }
 
 impl std::fmt::Display for QueryError {
@@ -251,6 +283,12 @@ impl std::fmt::Display for QueryError {
             QueryError::BadArity { usage } => write!(f, "usage: {usage}"),
             QueryError::BadNumber(argument) => {
                 write!(f, "not a number: {argument:?}")
+            }
+            QueryError::InvalidUtf8 => {
+                write!(f, "query line is not valid UTF-8")
+            }
+            QueryError::LineTooLong { limit } => {
+                write!(f, "query line exceeds {limit} bytes")
             }
         }
     }
@@ -307,6 +345,7 @@ const HELP: &str = "commands:\n\
   violations <policy>      violation totals and rate for a policy\n\
   hist <policy>            ASCII speedup histogram\n\
   recovery                 adaptive post-warm-up recovery quantiles\n\
+  risk <policy>            fault recovery / replay-penalty / silent-risk totals\n\
   cache                    warm digest-cache statistics\n\
   help                     this text\n\
   quit                     end the session\n\
@@ -433,6 +472,19 @@ impl ServeSession {
                     quantile_sorted(samples, 0.50),
                 ))
             }
+            "risk" => {
+                arity(1, "risk <policy>")?;
+                let policy = self.corpus.policy(arguments[0])?;
+                let index = &self.corpus.policies[policy];
+                Ok(format!(
+                    "policy={} recovered={} replay_penalty={} silent_risk={} effective_speedup_mean={:.4}",
+                    SWEEP_POLICIES[policy],
+                    index.recovered,
+                    index.replay_penalty,
+                    index.silent_risk,
+                    mean(&index.effective_speedups),
+                ))
+            }
             "cache" => {
                 arity(0, "cache")?;
                 Ok(match self.cache {
@@ -556,6 +608,67 @@ mod tests {
         ] {
             assert!(error.to_string().contains(needle), "{error}");
         }
+    }
+
+    #[test]
+    fn risk_query_reports_fault_recovery_totals() {
+        use idca_timing::FaultSpec;
+
+        let spec =
+            FaultSpec::parse("seed=3,droop-rate=0.6,droop-mag=0.8,penalty=4").expect("valid spec");
+        let faulted = pvt_sweep(&SweepConfig {
+            seeds: 3,
+            corners: 2,
+            master_seed: 0x5EED,
+            faults: Some(spec),
+            ..SweepConfig::default()
+        })
+        .expect("faulted sweep runs");
+        let mut corpus = Corpus::new();
+        // Same grid and master seed, different fault scenario: a distinct
+        // experiment, so both ingest cleanly.
+        corpus.ingest(report(0x5EED)).expect("unfaulted ingest");
+        corpus.ingest(faulted.clone()).expect("faulted ingest");
+        let error = corpus.ingest(faulted).expect_err("duplicate faulted");
+        assert!(matches!(error, CorpusError::DuplicateReport { .. }));
+
+        let session = ServeSession::new(corpus, None);
+        let risk = session.query("risk adaptive").unwrap();
+        assert!(risk.starts_with("policy=adaptive recovered="), "{risk}");
+        assert!(risk.contains("silent_risk="), "{risk}");
+        assert!(risk.contains("effective_speedup_mean="), "{risk}");
+        // The faulted half of the corpus recorded recovery activity.
+        let statics = session.query("risk static").unwrap();
+        let total: u64 = SWEEP_POLICIES
+            .iter()
+            .map(|p| {
+                let reply = session.query(&format!("risk {p}")).unwrap();
+                reply
+                    .split_whitespace()
+                    .find_map(|w| w.strip_prefix("recovered="))
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .unwrap()
+            })
+            .sum();
+        assert!(total > 0, "no recovery activity indexed: {statics}");
+        assert_eq!(
+            session.query("risk"),
+            Err(QueryError::BadArity {
+                usage: "risk <policy>"
+            })
+        );
+    }
+
+    #[test]
+    fn hardening_errors_render_structured_messages() {
+        assert_eq!(
+            QueryError::InvalidUtf8.to_string(),
+            "query line is not valid UTF-8"
+        );
+        assert_eq!(
+            QueryError::LineTooLong { limit: 4096 }.to_string(),
+            "query line exceeds 4096 bytes"
+        );
     }
 
     #[test]

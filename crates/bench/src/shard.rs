@@ -26,7 +26,7 @@
 //! [`TimingDigest`]: idca_pipeline::TimingDigest
 
 use crate::sweep::{PolicyJobOutcome, SweepJobOutcome, SweepReport, SWEEP_POLICIES};
-use idca_timing::PvtCorner;
+use idca_timing::{FaultSpec, PvtCorner};
 use std::ops::Range;
 
 /// A validated `K/N` shard specification (1-based `K`).
@@ -143,17 +143,25 @@ impl std::error::Error for ShardSpecError {}
 mod codec {
     /// File magic of the sweep-report format.
     pub(super) const MAGIC: &[u8] = b"IDCASWRP";
-    /// Current format version.
-    pub(super) const VERSION: u32 = 1;
+    /// Current format version. Version 2 added the fault-spec block to the
+    /// body header and the recovery columns to every policy entry; version-1
+    /// files are rejected with [`super::ReportFormatError::UnsupportedVersion`]
+    /// (re-run the shards — a sweep is cheaper than a format bridge).
+    pub(super) const VERSION: u32 = 2;
+    /// Fixed-size fault-spec block inside the body header: present flag +
+    /// fault seed + six f64 parameters (droop rate/mag, spike rate/mag,
+    /// shift mag, detect window) + replay penalty. All-zero when absent.
+    pub(super) const FAULT_BLOCK_BYTES: usize = 4 + 8 + 6 * 8 + 4;
     /// Checksummed body header: seeds + corners + master_seed + margin +
-    /// corner_count + job_count.
-    pub(super) const BODY_HEADER_BYTES: usize = 4 + 4 + 8 + 8 + 4 + 4;
+    /// fault block + corner_count + job_count.
+    pub(super) const BODY_HEADER_BYTES: usize = 4 + 4 + 8 + 8 + FAULT_BLOCK_BYTES + 4 + 4;
     /// Serialized size of one corner sample: index + sigma + droop + temp +
     /// salt.
     pub(super) const CORNER_ENTRY_BYTES: usize = 4 + 8 + 8 + 8 + 8;
     /// Serialized size of one job row: seed + corner + cycles + per-policy
-    /// (violations, mhz, warmup) triples.
-    pub(super) const JOB_ENTRY_BYTES: usize = 4 + 4 + 8 + super::SWEEP_POLICIES.len() * 24;
+    /// (violations, mhz, warmup, recovered, replay penalty, silent risk,
+    /// recovery mhz) tuples.
+    pub(super) const JOB_ENTRY_BYTES: usize = 4 + 4 + 8 + super::SWEEP_POLICIES.len() * 56;
 
     /// 64-bit FNV-1a over a byte slice (the header's payload checksum).
     pub(super) fn fnv1a(bytes: &[u8]) -> u64 {
@@ -222,14 +230,16 @@ impl SweepReport {
     /// ```text
     /// magic "IDCASWRP" | version u32 | body_checksum u64 (FNV-1a)
     /// | seeds u32 | corners u32 | master_seed u64 | margin f64-bits
+    /// | fault block (present u32, fault seed u64, droop rate/mag,
+    ///   spike rate/mag, shift mag, detect window f64-bits, penalty u32)
     /// | corner_count u32 | job_count u32
     /// | corner entries | job entries
     /// ```
     ///
     /// The checksum covers everything after itself, so any single corrupted
-    /// byte of a stored report is detected. All `f64` fields (margin,
-    /// corner coordinates, effective frequencies) are stored as raw bit
-    /// patterns: merging deserialized shards must reproduce the
+    /// byte of a stored report is detected. All `f64` fields (margin, fault
+    /// parameters, corner coordinates, effective frequencies) are stored as
+    /// raw bit patterns: merging deserialized shards must reproduce the
     /// single-process report **byte-identically**, so the float round-trip
     /// is by bits, never by text.
     #[must_use]
@@ -241,6 +251,32 @@ impl SweepReport {
         body.extend_from_slice(&self.corners.to_le_bytes());
         body.extend_from_slice(&self.master_seed.to_le_bytes());
         body.extend_from_slice(&self.margin.to_bits().to_le_bytes());
+        // The fault block is fixed-size (all-zero when absent) so the body
+        // header never shifts and a flag flip cannot desynchronize the
+        // tables.
+        let fault = self.faults.unwrap_or(FaultSpec {
+            seed: 0,
+            droop_rate: 0.0,
+            droop_mag: 0.0,
+            spike_rate: 0.0,
+            spike_mag: 0.0,
+            shift_mag: 0.0,
+            replay_penalty: 0,
+            detect_window: 0.0,
+        });
+        body.extend_from_slice(&u32::from(self.faults.is_some()).to_le_bytes());
+        body.extend_from_slice(&fault.seed.to_le_bytes());
+        for value in [
+            fault.droop_rate,
+            fault.droop_mag,
+            fault.spike_rate,
+            fault.spike_mag,
+            fault.shift_mag,
+            fault.detect_window,
+        ] {
+            body.extend_from_slice(&value.to_bits().to_le_bytes());
+        }
+        body.extend_from_slice(&fault.replay_penalty.to_le_bytes());
         body.extend_from_slice(&(self.corner_samples.len() as u32).to_le_bytes());
         body.extend_from_slice(&(self.jobs.len() as u32).to_le_bytes());
         for corner in &self.corner_samples {
@@ -258,6 +294,10 @@ impl SweepReport {
                 body.extend_from_slice(&policy.violations.to_le_bytes());
                 body.extend_from_slice(&policy.mhz.to_bits().to_le_bytes());
                 body.extend_from_slice(&policy.warmup_cycles.to_le_bytes());
+                body.extend_from_slice(&policy.recovered_cycles.to_le_bytes());
+                body.extend_from_slice(&policy.replay_penalty_cycles.to_le_bytes());
+                body.extend_from_slice(&policy.silent_risk_cycles.to_le_bytes());
+                body.extend_from_slice(&policy.recovery_mhz.to_bits().to_le_bytes());
             }
         }
 
@@ -297,6 +337,28 @@ impl SweepReport {
         let corners = r.u32()?;
         let master_seed = r.u64()?;
         let margin = r.f64_bits()?;
+        let fault_flag = r.u32()?;
+        if fault_flag > 1 {
+            return Err(ReportFormatError::Malformed("fault flag must be 0 or 1"));
+        }
+        let fault_seed = r.u64()?;
+        let droop_rate = r.f64_bits()?;
+        let droop_mag = r.f64_bits()?;
+        let spike_rate = r.f64_bits()?;
+        let spike_mag = r.f64_bits()?;
+        let shift_mag = r.f64_bits()?;
+        let detect_window = r.f64_bits()?;
+        let replay_penalty = r.u32()?;
+        let faults = (fault_flag == 1).then_some(FaultSpec {
+            seed: fault_seed,
+            droop_rate,
+            droop_mag,
+            spike_rate,
+            spike_mag,
+            shift_mag,
+            replay_penalty,
+            detect_window,
+        });
         let corner_count = r.u32()? as usize;
         let job_count = r.u32()? as usize;
         let payload_len = r.remaining().len();
@@ -372,11 +434,19 @@ impl SweepReport {
                 violations: 0,
                 mhz: 0.0,
                 warmup_cycles: 0,
+                recovered_cycles: 0,
+                replay_penalty_cycles: 0,
+                silent_risk_cycles: 0,
+                recovery_mhz: 0.0,
             }; SWEEP_POLICIES.len()];
             for policy in &mut policies {
                 policy.violations = r.u64()?;
                 policy.mhz = r.f64_bits()?;
                 policy.warmup_cycles = r.u64()?;
+                policy.recovered_cycles = r.u64()?;
+                policy.replay_penalty_cycles = r.u64()?;
+                policy.silent_risk_cycles = r.u64()?;
+                policy.recovery_mhz = r.f64_bits()?;
             }
             jobs.push(SweepJobOutcome {
                 seed_index,
@@ -391,6 +461,7 @@ impl SweepReport {
             corners,
             master_seed,
             margin,
+            faults,
             corner_samples,
             jobs,
         })
@@ -513,7 +584,8 @@ impl std::error::Error for MergeError {}
 /// Folds partial shard reports into the canonical full report.
 ///
 /// Validates that every partial describes the *same* sweep (seeds, corners,
-/// master seed, margin, sampled corners — compared bit-exactly), that no
+/// master seed, margin, fault spec, sampled corners — compared bit-exactly),
+/// that no
 /// `(seed, corner)` job appears twice, and that the union covers the full
 /// grid; the result is then jobs-sorted into canonical order and — because
 /// shard rows are bit-identical to the single-process rows — renders the
@@ -542,6 +614,11 @@ pub fn merge_reports(reports: Vec<SweepReport>) -> Result<SweepReport, MergeErro
         if part.margin.to_bits() != merged.margin.to_bits() {
             return Err(MergeError::ConfigMismatch {
                 field: "variation margin",
+            });
+        }
+        if part.faults.map(|s| s.fingerprint()) != merged.faults.map(|s| s.fingerprint()) {
+            return Err(MergeError::ConfigMismatch {
+                field: "fault spec",
             });
         }
         if part.corner_samples != merged.corner_samples {
@@ -731,5 +808,61 @@ mod tests {
                 field: "master seed"
             })
         );
+    }
+
+    #[test]
+    fn faulted_report_codec_round_trips_and_merge_checks_fault_identity() {
+        let spec = FaultSpec::parse("seed=5,droop-rate=0.4,spike-rate=0.01,penalty=4")
+            .expect("valid fault spec");
+        let faulted = pvt_sweep(&SweepConfig {
+            seeds: 3,
+            corners: 2,
+            master_seed: 0x5EED,
+            faults: Some(spec),
+            ..SweepConfig::default()
+        })
+        .expect("faulted sweep runs");
+
+        // The fault block and recovery columns survive the codec bit-exactly.
+        let bytes = faulted.to_bytes();
+        let back = SweepReport::from_bytes(&bytes).expect("faulted report round-trips");
+        assert_eq!(back, faulted);
+        assert_eq!(back.to_bytes(), bytes);
+        assert_eq!(
+            back.faults.map(|s| s.fingerprint()),
+            Some(spec.fingerprint())
+        );
+
+        // Partials from different fault scenarios (including "no faults at
+        // all") never merge: the rows would describe different physics.
+        let half = |range: Range<u32>, faults: Option<FaultSpec>| SweepReport {
+            faults,
+            jobs: faulted
+                .jobs
+                .iter()
+                .filter(|j| range.contains(&j.seed_index))
+                .cloned()
+                .collect(),
+            ..faulted.clone()
+        };
+        assert_eq!(
+            merge_reports(vec![half(0..2, Some(spec)), half(2..3, None)]),
+            Err(MergeError::ConfigMismatch {
+                field: "fault spec"
+            })
+        );
+        let mut other = spec;
+        other.seed ^= 1;
+        assert_eq!(
+            merge_reports(vec![half(0..2, Some(spec)), half(2..3, Some(other))]),
+            Err(MergeError::ConfigMismatch {
+                field: "fault spec"
+            })
+        );
+        // Matching fault specs merge back to the full faulted report.
+        let merged = merge_reports(vec![half(2..3, Some(spec)), half(0..2, Some(spec))])
+            .expect("faulted partition merges");
+        assert_eq!(merged, faulted);
+        assert_eq!(merged.render(), faulted.render());
     }
 }

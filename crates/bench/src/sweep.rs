@@ -22,7 +22,7 @@
 //!    corner-invariant policy decisions per block, one batched dither
 //!    kernel per cycle — and evaluates every cycle against **all** `M`
 //!    corners at once through the vectorized [`CornerBank`] lanes. The
-//!    per-lane [`CycleTiming`](idca_timing::CycleTiming)s feed `M` policy
+//!    per-lane [`CycleTiming`]s feed `M` policy
 //!    stacks (static baseline, margin-guarded instruction-based and
 //!    execute-only [`PolicyObserver`]s, plus all `M` online-learning
 //!    adaptive controllers folded through one SoA [`AdaptiveBank`]) —
@@ -54,7 +54,10 @@ use idca_pipeline::{
     CycleObserver, DigestObserver, PipelineError, PredecodedProgram, SimBuffers, SimConfig,
     Simulator, TimingDigest, SIMULATOR_VERSION,
 };
-use idca_timing::{CornerBank, ProfileKind, Ps, PvtCorner, TimingModel, VariationModel};
+use idca_timing::{
+    CornerBank, CycleTiming, FaultPlan, FaultSpec, ProfileKind, Ps, PvtCorner, TimingModel,
+    VariationModel,
+};
 use idca_workloads::suite::par_map;
 use std::cell::RefCell;
 use std::ops::Range;
@@ -84,6 +87,13 @@ pub struct SweepConfig {
     /// never a panic. Not part of the digest-cache key: the limit can only
     /// abort a simulation, not change a completed digest.
     pub max_cycles: u64,
+    /// Optional deterministic fault injection: when set, every replay
+    /// perturbs each cycle's timing through a [`FaultPlan`] seeded from
+    /// this spec and scores violations under its recovery model. Not part
+    /// of the digest-cache key: faults perturb the *timing evaluation* of
+    /// a digest, never the digested execution itself, so one cached digest
+    /// serves every fault scenario.
+    pub faults: Option<FaultSpec>,
 }
 
 impl Default for SweepConfig {
@@ -95,6 +105,7 @@ impl Default for SweepConfig {
             gen: GenConfig::default(),
             variation: VariationModel::default(),
             max_cycles: SimConfig::default().max_cycles,
+            faults: None,
         }
     }
 }
@@ -154,6 +165,16 @@ pub struct PolicyJobOutcome {
     /// Cycles spent at the safe static period while adaptive entries warmed
     /// up (0 for non-adaptive policies).
     pub warmup_cycles: u64,
+    /// Violating cycles caught by the fault plan's detection window and
+    /// repaired by replay (0 without a fault plan).
+    pub recovered_cycles: u64,
+    /// Total replay cycles charged for the recovered violations.
+    pub replay_penalty_cycles: u64,
+    /// Violating cycles that escaped detection: silent-corruption risk.
+    pub silent_risk_cycles: u64,
+    /// Effective frequency in MHz after charging the replay penalty time
+    /// (bit-equal to `mhz` when nothing was recovered).
+    pub recovery_mhz: f64,
 }
 
 /// Outcome of one `(program, corner)` job: the static baseline plus every
@@ -180,6 +201,18 @@ impl SweepJobOutcome {
             self.policies[policy].mhz / baseline
         }
     }
+
+    /// Speedup over the static baseline on the recovery-charged
+    /// frequencies: what the policy actually delivers once every detected
+    /// violation has paid its replay penalty.
+    fn effective_speedup(&self, policy: usize) -> f64 {
+        let baseline = self.policies[0].recovery_mhz;
+        if baseline == 0.0 {
+            1.0
+        } else {
+            self.policies[policy].recovery_mhz / baseline
+        }
+    }
 }
 
 /// Aggregated, mergeable result of a (possibly sharded) PVT sweep.
@@ -198,6 +231,10 @@ pub struct SweepReport {
     pub master_seed: u64,
     /// The LUT guardband fraction covering every samplable corner.
     pub margin: f64,
+    /// The fault-injection spec this sweep ran under (`None` = the
+    /// steady-state sweep). Part of the report identity: shards can only
+    /// merge when they ran the same fault scenario.
+    pub faults: Option<FaultSpec>,
     /// The sampled corners (corner index order).
     pub corner_samples: Vec<PvtCorner>,
     /// Per-job outcomes in canonical `(seed, corner)` order.
@@ -213,6 +250,7 @@ impl SweepReport {
             corners: config.corners,
             master_seed: config.master_seed,
             margin: config.variation.margin(),
+            faults: config.faults,
             corner_samples,
             jobs: Vec::new(),
         }
@@ -269,6 +307,46 @@ impl SweepReport {
         self.jobs.iter().map(|j| j.speedup(policy)).collect()
     }
 
+    /// Total recovered (detected-and-replayed) violation cycles of one
+    /// policy.
+    #[must_use]
+    pub fn recovered(&self, policy: usize) -> u64 {
+        self.jobs
+            .iter()
+            .map(|j| j.policies[policy].recovered_cycles)
+            .sum()
+    }
+
+    /// Total replay-penalty cycles one policy was charged for recovery.
+    #[must_use]
+    pub fn replay_penalty(&self, policy: usize) -> u64 {
+        self.jobs
+            .iter()
+            .map(|j| j.policies[policy].replay_penalty_cycles)
+            .sum()
+    }
+
+    /// Total silent-corruption-risk cycles of one policy (violations that
+    /// escaped the detection window).
+    #[must_use]
+    pub fn silent_risk(&self, policy: usize) -> u64 {
+        self.jobs
+            .iter()
+            .map(|j| j.policies[policy].silent_risk_cycles)
+            .sum()
+    }
+
+    /// The per-job *effective* speedup samples of one policy — speedup over
+    /// the static baseline on the recovery-charged frequencies — in
+    /// canonical job order.
+    #[must_use]
+    pub fn effective_speedups(&self, policy: usize) -> Vec<f64> {
+        self.jobs
+            .iter()
+            .map(|j| j.effective_speedup(policy))
+            .collect()
+    }
+
     /// Fraction of adaptive cycles spent warming up at the static period.
     #[must_use]
     pub fn adaptive_warmup_fraction(&self) -> f64 {
@@ -314,6 +392,9 @@ impl SweepReport {
         line(format!("pvt_sweep.corners={}", self.corners));
         line(format!("pvt_sweep.jobs={}", self.jobs.len()));
         line(format!("pvt_sweep.margin_frac={:.6}", self.margin));
+        if let Some(spec) = &self.faults {
+            line(format!("pvt_sweep.faults={}", spec.describe()));
+        }
         line(format!("pvt_sweep.total_cycles={}", self.total_cycles()));
         for corner in &self.corner_samples {
             line(format!("corner.{}={}", corner.index, corner.describe()));
@@ -328,6 +409,14 @@ impl SweepReport {
                 "policy.{name}.violating_jobs={}",
                 self.violating_jobs(p)
             ));
+            if self.faults.is_some() {
+                line(format!("policy.{name}.recovered={}", self.recovered(p)));
+                line(format!(
+                    "policy.{name}.replay_penalty={}",
+                    self.replay_penalty(p)
+                ));
+                line(format!("policy.{name}.silent_risk={}", self.silent_risk(p)));
+            }
             if p == 0 {
                 continue; // the baseline's speedup over itself is 1 by definition
             }
@@ -349,6 +438,20 @@ impl SweepReport {
                     "policy.{name}.speedup.{label}={:.4}",
                     quantile_sorted(&sorted, q)
                 ));
+            }
+            if self.faults.is_some() {
+                let effective = self.effective_speedups(p);
+                line(format!(
+                    "policy.{name}.effective_speedup.mean={:.4}",
+                    mean(&effective)
+                ));
+                let sorted = sorted_samples(effective);
+                for (label, q) in [("p05", 0.05), ("p50", 0.50), ("p95", 0.95)] {
+                    line(format!(
+                        "policy.{name}.effective_speedup.{label}={:.4}",
+                        quantile_sorted(&sorted, q)
+                    ));
+                }
             }
         }
         let recovery = self.adaptive_recovery();
@@ -517,15 +620,71 @@ impl CornerContext {
     }
 }
 
+/// Maps a policy observer's [`idca_core::RunOutcome`] to the sweep's
+/// per-job row.
+fn policy_outcome(o: idca_core::RunOutcome) -> PolicyJobOutcome {
+    PolicyJobOutcome {
+        violations: o.violations,
+        mhz: o.effective_frequency_mhz,
+        warmup_cycles: 0,
+        recovered_cycles: o.recovered_cycles,
+        replay_penalty_cycles: o.replay_penalty_cycles,
+        silent_risk_cycles: o.silent_risk_cycles,
+        recovery_mhz: o.recovery_frequency_mhz,
+    }
+}
+
+/// Maps an adaptive controller's [`idca_core::AdaptiveOutcome`] to the
+/// sweep's per-job row.
+fn adaptive_outcome(o: idca_core::AdaptiveOutcome) -> PolicyJobOutcome {
+    PolicyJobOutcome {
+        violations: o.violations,
+        mhz: o.effective_frequency_mhz,
+        warmup_cycles: o.warmup_cycles,
+        recovered_cycles: o.recovered_cycles,
+        replay_penalty_cycles: o.replay_penalty_cycles,
+        silent_risk_cycles: o.silent_risk_cycles,
+        recovery_mhz: o.recovery_frequency_mhz,
+    }
+}
+
+/// Attaches the sweep's fault plan (when configured) to a policy observer.
+fn with_sweep_faults<'a>(
+    observer: PolicyObserver<'a>,
+    faults: Option<&'a FaultPlan>,
+) -> PolicyObserver<'a> {
+    match faults {
+        Some(plan) => observer.with_faults(plan),
+        None => observer,
+    }
+}
+
 /// Phase 2 worker: replays one digest against one corner's varied timing
 /// model, evaluating the full policy stack with a single model evaluation
 /// per cycle — no simulator in the loop. Bit-identical to [`run_job`] on
-/// the originating simulation (see the digest-equivalence tests).
-fn replay_job(digest: &TimingDigest, ctx: &CornerContext, seed_index: u32) -> SweepJobOutcome {
+/// the originating simulation (see the digest-equivalence tests). With a
+/// fault plan, the shared per-cycle timing is perturbed once (the same
+/// pure `(fault seed, cycle)` function every engine applies) before all
+/// four observers see it.
+fn replay_job(
+    digest: &TimingDigest,
+    ctx: &CornerContext,
+    faults: Option<&FaultPlan>,
+    seed_index: u32,
+) -> SweepJobOutcome {
     let varied = &ctx.varied;
-    let mut ob_static = PolicyObserver::new(varied, &ctx.static_policy, &ClockGenerator::Ideal);
-    let mut ob_lut = PolicyObserver::new(varied, &ctx.lut_policy, &ClockGenerator::Ideal);
-    let mut ob_exec = PolicyObserver::new(varied, &ctx.exec_only, &ClockGenerator::Ideal);
+    let mut ob_static = with_sweep_faults(
+        PolicyObserver::new(varied, &ctx.static_policy, &ClockGenerator::Ideal),
+        faults,
+    );
+    let mut ob_lut = with_sweep_faults(
+        PolicyObserver::new(varied, &ctx.lut_policy, &ClockGenerator::Ideal),
+        faults,
+    );
+    let mut ob_exec = with_sweep_faults(
+        PolicyObserver::new(varied, &ctx.exec_only, &ClockGenerator::Ideal),
+        faults,
+    );
     let mut ob_adaptive = AdaptiveObserver::new(
         varied,
         &AdaptiveConfig::default(),
@@ -533,10 +692,17 @@ fn replay_job(digest: &TimingDigest, ctx: &CornerContext, seed_index: u32) -> Sw
         None,
         Drift::None,
     );
+    if let Some(plan) = faults {
+        ob_adaptive = ob_adaptive.with_faults(plan);
+    }
 
     digest.for_each_cycle(|cycle, dc| {
         // One model evaluation per cycle, shared by all four observers.
         let timing = varied.digest_cycle_timing(cycle, dc);
+        let timing = match faults {
+            Some(plan) => plan.faulted(cycle, &timing),
+            None => timing,
+        };
         ob_static.observe_digest_timed(cycle, dc, &timing);
         ob_lut.observe_digest_timed(cycle, dc, &timing);
         ob_exec.observe_digest_timed(cycle, dc, &timing);
@@ -548,12 +714,6 @@ fn replay_job(digest: &TimingDigest, ctx: &CornerContext, seed_index: u32) -> Sw
     ob_exec.finish(&summary);
     ob_adaptive.finish(&summary);
 
-    let policy_outcome = |o: idca_core::RunOutcome| PolicyJobOutcome {
-        violations: o.violations,
-        mhz: o.effective_frequency_mhz,
-        warmup_cycles: 0,
-    };
-    let adaptive = ob_adaptive.into_outcome();
     SweepJobOutcome {
         seed_index,
         corner_index: ctx.corner_index,
@@ -562,11 +722,7 @@ fn replay_job(digest: &TimingDigest, ctx: &CornerContext, seed_index: u32) -> Sw
             policy_outcome(ob_static.into_outcome()),
             policy_outcome(ob_lut.into_outcome()),
             policy_outcome(ob_exec.into_outcome()),
-            PolicyJobOutcome {
-                violations: adaptive.violations,
-                mhz: adaptive.effective_frequency_mhz,
-                warmup_cycles: adaptive.warmup_cycles,
-            },
+            adaptive_outcome(ob_adaptive.into_outcome()),
         ],
     }
 }
@@ -594,6 +750,7 @@ fn replay_seed_banked(
     digest: &TimingDigest,
     contexts: &[CornerContext],
     bank: &CornerBank,
+    faults: Option<&FaultPlan>,
     seed_index: u32,
 ) -> Vec<SweepJobOutcome> {
     if contexts.is_empty() {
@@ -601,15 +758,30 @@ fn replay_seed_banked(
     }
     let mut ob_static: Vec<PolicyObserver<'_>> = contexts
         .iter()
-        .map(|ctx| PolicyObserver::new(&ctx.varied, &ctx.static_policy, &ClockGenerator::Ideal))
+        .map(|ctx| {
+            with_sweep_faults(
+                PolicyObserver::new(&ctx.varied, &ctx.static_policy, &ClockGenerator::Ideal),
+                faults,
+            )
+        })
         .collect();
     let mut ob_lut: Vec<PolicyObserver<'_>> = contexts
         .iter()
-        .map(|ctx| PolicyObserver::new(&ctx.varied, &ctx.lut_policy, &ClockGenerator::Ideal))
+        .map(|ctx| {
+            with_sweep_faults(
+                PolicyObserver::new(&ctx.varied, &ctx.lut_policy, &ClockGenerator::Ideal),
+                faults,
+            )
+        })
         .collect();
     let mut ob_exec: Vec<PolicyObserver<'_>> = contexts
         .iter()
-        .map(|ctx| PolicyObserver::new(&ctx.varied, &ctx.exec_only, &ClockGenerator::Ideal))
+        .map(|ctx| {
+            with_sweep_faults(
+                PolicyObserver::new(&ctx.varied, &ctx.exec_only, &ClockGenerator::Ideal),
+                faults,
+            )
+        })
         .collect();
     let mut ob_adaptive = AdaptiveBank::from_static_periods(
         contexts
@@ -621,6 +793,9 @@ fn replay_seed_banked(
         None,
         Drift::None,
     );
+    if let Some(plan) = faults {
+        ob_adaptive = ob_adaptive.with_faults(*plan);
+    }
 
     // The static baseline's request never changes: hoist it out of the walk.
     let static_req: Vec<Ps> = contexts
@@ -629,6 +804,10 @@ fn replay_seed_banked(
         .collect();
 
     let mut evaluator = bank.evaluator();
+    // Fault-perturbed copies of the per-corner timings, reused per cycle.
+    // The perturbation is the same pure `(fault seed, cycle)` function the
+    // scalar paths apply, so the lanes stay bit-identical to them.
+    let mut faulted: Vec<CycleTiming> = Vec::new();
     digest.for_each_run(|start, len, dc| {
         // Stage classes are constant across a run-block and every corner
         // deploys the same guarded LUT, so one decision serves the whole
@@ -637,6 +816,14 @@ fn replay_seed_banked(
         let exec_req = contexts[0].exec_only.digest_period_ps(start, dc);
         for cycle in start..start + u64::from(len) {
             let timings = evaluator.cycle_timings(cycle, dc);
+            let timings: &[CycleTiming] = match faults {
+                Some(plan) => {
+                    faulted.clear();
+                    faulted.extend(timings.iter().map(|t| plan.faulted(cycle, t)));
+                    &faulted
+                }
+                None => timings,
+            };
             for (corner, timing) in timings.iter().enumerate() {
                 ob_static[corner].observe_timing_prepared(static_req[corner], timing);
                 ob_lut[corner].observe_timing_prepared(lut_req, timing);
@@ -649,11 +836,6 @@ fn replay_seed_banked(
     let summary = digest.summary();
     ob_adaptive.finish(&summary);
     let adaptive_outcomes = ob_adaptive.into_outcomes();
-    let policy_outcome = |o: idca_core::RunOutcome| PolicyJobOutcome {
-        violations: o.violations,
-        mhz: o.effective_frequency_mhz,
-        warmup_cycles: 0,
-    };
     let stacks = ob_static
         .into_iter()
         .zip(ob_lut)
@@ -674,11 +856,7 @@ fn replay_seed_banked(
                     policy_outcome(ob_s.into_outcome()),
                     policy_outcome(ob_l.into_outcome()),
                     policy_outcome(ob_e.into_outcome()),
-                    PolicyJobOutcome {
-                        violations: adaptive.violations,
-                        mhz: adaptive.effective_frequency_mhz,
-                        warmup_cycles: adaptive.warmup_cycles,
-                    },
+                    adaptive_outcome(adaptive),
                 ],
             }
         })
@@ -689,6 +867,7 @@ fn replay_seed_banked(
 /// observed by the full policy stack against the corner's varied timing
 /// model. This is the single-phase reference implementation retained for
 /// [`pvt_sweep_direct`]; the production sweep replays digests instead.
+#[allow(clippy::too_many_arguments)] // mirrors the sweep config it unpacks
 fn run_job(
     simulator: &Simulator,
     program: &idca_isa::Program,
@@ -696,6 +875,7 @@ fn run_job(
     variation: &VariationModel,
     corner: &PvtCorner,
     guarded_lut: &DelayLut,
+    faults: Option<&FaultPlan>,
     seed_index: u32,
 ) -> Result<SweepJobOutcome, PipelineError> {
     let varied = variation.apply(nominal, corner);
@@ -703,9 +883,18 @@ fn run_job(
     let lut_policy = InstructionBased::new(guarded_lut.clone());
     let exec_only = ExecuteOnly::new(guarded_lut.clone());
 
-    let mut ob_static = PolicyObserver::new(&varied, &static_policy, &ClockGenerator::Ideal);
-    let mut ob_lut = PolicyObserver::new(&varied, &lut_policy, &ClockGenerator::Ideal);
-    let mut ob_exec = PolicyObserver::new(&varied, &exec_only, &ClockGenerator::Ideal);
+    let mut ob_static = with_sweep_faults(
+        PolicyObserver::new(&varied, &static_policy, &ClockGenerator::Ideal),
+        faults,
+    );
+    let mut ob_lut = with_sweep_faults(
+        PolicyObserver::new(&varied, &lut_policy, &ClockGenerator::Ideal),
+        faults,
+    );
+    let mut ob_exec = with_sweep_faults(
+        PolicyObserver::new(&varied, &exec_only, &ClockGenerator::Ideal),
+        faults,
+    );
     let mut ob_adaptive = AdaptiveObserver::new(
         &varied,
         &AdaptiveConfig::default(),
@@ -713,6 +902,9 @@ fn run_job(
         None,
         Drift::None,
     );
+    if let Some(plan) = faults {
+        ob_adaptive = ob_adaptive.with_faults(plan);
+    }
 
     // Like the two-phase engine's phase 1, the honest single-phase baseline
     // simulates in worker-local scratch: the comparison between the engines
@@ -725,12 +917,6 @@ fn run_job(
         )
     })?;
 
-    let policy_outcome = |o: idca_core::RunOutcome| PolicyJobOutcome {
-        violations: o.violations,
-        mhz: o.effective_frequency_mhz,
-        warmup_cycles: 0,
-    };
-    let adaptive = ob_adaptive.into_outcome();
     Ok(SweepJobOutcome {
         seed_index,
         corner_index: corner.index,
@@ -739,11 +925,7 @@ fn run_job(
             policy_outcome(ob_static.into_outcome()),
             policy_outcome(ob_lut.into_outcome()),
             policy_outcome(ob_exec.into_outcome()),
-            PolicyJobOutcome {
-                violations: adaptive.violations,
-                mhz: adaptive.effective_frequency_mhz,
-                warmup_cycles: adaptive.warmup_cycles,
-            },
+            adaptive_outcome(ob_adaptive.into_outcome()),
         ],
     })
 }
@@ -812,25 +994,88 @@ fn cache_entry_path(dir: &Path, program_seed: u64, config_hash: u64) -> PathBuf 
     ))
 }
 
+/// Decodes one cache entry's bytes against its expected key, naming the
+/// exact reason an entry cannot be trusted (for the quarantine warning).
+fn decode_cache_entry(
+    bytes: &[u8],
+    program_seed: u64,
+    config_hash: u64,
+) -> Result<TimingDigest, String> {
+    if bytes.len() < CACHE_HEADER_BYTES {
+        return Err(format!(
+            "header truncated ({} of {CACHE_HEADER_BYTES} bytes)",
+            bytes.len()
+        ));
+    }
+    if &bytes[..8] != CACHE_MAGIC {
+        return Err("bad entry magic".to_string());
+    }
+    let word = |at: usize| u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes"));
+    if word(8) != program_seed {
+        return Err(format!(
+            "stale key: embedded program seed {:#018x} != expected {program_seed:#018x}",
+            word(8)
+        ));
+    }
+    if word(16) != config_hash {
+        return Err(format!(
+            "stale key: embedded config hash {:#018x} != expected {config_hash:#018x}",
+            word(16)
+        ));
+    }
+    let version = u32::from_le_bytes(bytes[24..28].try_into().expect("4 bytes"));
+    if version != SIMULATOR_VERSION {
+        return Err(format!(
+            "stale simulator version {version} (expected {SIMULATOR_VERSION})"
+        ));
+    }
+    TimingDigest::from_bytes(&bytes[CACHE_HEADER_BYTES..])
+        .map_err(|error| format!("digest payload rejected: {error}"))
+}
+
+/// Moves an untrusted cache entry into the cache's `quarantine/`
+/// subdirectory (so a recurring corruption source is diagnosable instead
+/// of being silently overwritten on re-simulation) and emits a structured
+/// stderr warning naming the entry and the decode error. Best-effort: if
+/// the move itself fails the entry is left in place — the sweep result is
+/// unaffected either way, because the caller re-simulates.
+fn quarantine_cache_entry(dir: &Path, path: &Path, reason: &str) {
+    let quarantine_dir = dir.join("quarantine");
+    let target = match path.file_name() {
+        Some(name) => quarantine_dir.join(name),
+        None => return,
+    };
+    let moved = std::fs::create_dir_all(&quarantine_dir)
+        .and_then(|()| std::fs::rename(path, &target))
+        .is_ok();
+    let disposition = if moved {
+        format!("quarantined to {}", target.display())
+    } else {
+        "left in place".to_string()
+    };
+    eprintln!(
+        "warning: digest-cache entry {path} rejected: {reason}; {disposition}; re-simulating",
+        path = path.display()
+    );
+}
+
 /// Loads one cached digest. Returns `None` — a cache miss, never an error —
 /// unless the entry exists, carries exactly the expected
 /// `(program_seed, config_hash, SIMULATOR_VERSION)` key and its digest
 /// payload passes every integrity check of [`TimingDigest::from_bytes`]:
-/// stale or corrupt entries are re-simulated, not trusted.
+/// stale or corrupt entries are moved to the cache's `quarantine/`
+/// subdirectory with a stderr warning naming the decode error, then
+/// re-simulated — never trusted, never silently discarded.
 fn load_cached_digest(dir: &Path, program_seed: u64, config_hash: u64) -> Option<TimingDigest> {
-    let bytes = std::fs::read(cache_entry_path(dir, program_seed, config_hash)).ok()?;
-    if bytes.len() < CACHE_HEADER_BYTES || &bytes[..8] != CACHE_MAGIC {
-        return None;
+    let path = cache_entry_path(dir, program_seed, config_hash);
+    let bytes = std::fs::read(&path).ok()?;
+    match decode_cache_entry(&bytes, program_seed, config_hash) {
+        Ok(digest) => Some(digest),
+        Err(reason) => {
+            quarantine_cache_entry(dir, &path, &reason);
+            None
+        }
     }
-    let word = |at: usize| u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes"));
-    if word(8) != program_seed || word(16) != config_hash {
-        return None;
-    }
-    let version = u32::from_le_bytes(bytes[24..28].try_into().expect("4 bytes"));
-    if version != SIMULATOR_VERSION {
-        return None;
-    }
-    TimingDigest::from_bytes(&bytes[CACHE_HEADER_BYTES..]).ok()
 }
 
 /// Writes one digest-cache entry. Best-effort: the entry is staged to a
@@ -951,6 +1196,7 @@ pub fn pvt_sweep_seed_range_timed_with_cache(
     // policy tables and the SoA corner bank are corner-constant, so they
     // are built once and shared by every job.
     let start = Instant::now();
+    let plan = config.faults.map(|spec| FaultPlan::new(&spec));
     let contexts: Vec<CornerContext> = corner_samples
         .iter()
         .map(|corner| CornerContext::new(&nominal, &config.variation, corner, &guarded_lut))
@@ -959,7 +1205,13 @@ pub fn pvt_sweep_seed_range_timed_with_cache(
     let bank = CornerBank::from_models(&varied_models);
     let positions: Vec<usize> = (0..seed_indices.len()).collect();
     let outcomes: Vec<SweepJobOutcome> = par_map(&positions, |&p| {
-        replay_seed_banked(&digests[p].0, &contexts, &bank, seed_indices[p])
+        replay_seed_banked(
+            &digests[p].0,
+            &contexts,
+            &bank,
+            plan.as_ref(),
+            seed_indices[p],
+        )
     })
     .into_iter()
     .flatten()
@@ -1013,6 +1265,7 @@ pub fn pvt_sweep_lanewise_timed(
     let predecode = digests.iter().map(|(_, d)| *d).sum();
 
     let start = Instant::now();
+    let plan = config.faults.map(|spec| FaultPlan::new(&spec));
     let contexts: Vec<CornerContext> = corner_samples
         .iter()
         .map(|corner| CornerContext::new(&nominal, &config.variation, corner, &guarded_lut))
@@ -1022,6 +1275,7 @@ pub fn pvt_sweep_lanewise_timed(
         replay_job(
             &digests[seed_index as usize].0,
             &contexts[corner_index as usize],
+            plan.as_ref(),
             seed_index,
         )
     });
@@ -1057,6 +1311,7 @@ pub fn pvt_sweep_direct(config: &SweepConfig) -> Result<SweepReport, SweepError>
     });
 
     let simulator = Simulator::new(sim_config(config));
+    let plan = config.faults.map(|spec| FaultPlan::new(&spec));
     let jobs = job_list(config);
     let outcomes = collect_jobs(par_map(&jobs, |&(seed_index, corner_index)| {
         run_job(
@@ -1066,6 +1321,7 @@ pub fn pvt_sweep_direct(config: &SweepConfig) -> Result<SweepReport, SweepError>
             &config.variation,
             &corner_samples[corner_index as usize],
             &guarded_lut,
+            plan.as_ref(),
             seed_index,
         )
         .map_err(|error| {
@@ -1193,15 +1449,24 @@ mod tests {
         assert_eq!(stale_timing.simulated_programs, 1);
         assert_eq!(stale_timing.digest_cache_hits, config.seeds - 1);
         assert_eq!(stale, cold);
+        // The rejected entry was moved into quarantine/, not overwritten in
+        // place, so the corruption source stays diagnosable.
+        let quarantined = dir
+            .join("quarantine")
+            .join(path.file_name().expect("entry has a file name"));
+        let stale_bytes = std::fs::read(&quarantined).expect("stale entry is quarantined");
+        assert_eq!(stale_bytes, bytes, "quarantine preserves the bad bytes");
 
         // Corrupt: truncate one entry's digest payload; the checksummed
-        // codec rejects it and the sweep re-simulates.
-        let bytes = std::fs::read(&path).expect("entry exists");
+        // codec rejects it, quarantines it and the sweep re-simulates.
+        let bytes = std::fs::read(&path).expect("entry was rewritten after quarantine");
         std::fs::write(&path, &bytes[..bytes.len() - 3]).expect("entry is writable");
         let (corrupt, corrupt_timing) =
             pvt_sweep_timed_with_cache(&config, Some(&dir)).expect("sweep runs");
         assert_eq!(corrupt_timing.simulated_programs, 1);
         assert_eq!(corrupt, cold);
+        let corrupt_bytes = std::fs::read(&quarantined).expect("corrupt entry is quarantined");
+        assert_eq!(corrupt_bytes, bytes[..bytes.len() - 3]);
 
         // A different generator config must not hit the old entries — and,
         // because the config hash is part of the file name, it must not
@@ -1221,6 +1486,66 @@ mod tests {
         assert_eq!(rewarm_timing.digest_cache_hits, config.seeds);
 
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn faulted_sweeps_are_byte_identical_across_engines_and_score_recovery() {
+        let spec = FaultSpec::parse(
+            "seed=9,droop-rate=0.5,droop-mag=0.6,spike-rate=0.02,spike-mag=0.8,\
+             penalty=6,detect-window=0.25",
+        )
+        .expect("valid fault spec");
+        let config = SweepConfig {
+            seeds: 3,
+            corners: 3,
+            master_seed: 0xFA17,
+            faults: Some(spec),
+            ..SweepConfig::default()
+        };
+        let banked = pvt_sweep(&config).expect("sweep runs");
+        let lanewise = pvt_sweep_lanewise(&config).expect("sweep runs");
+        let direct = pvt_sweep_direct(&config).expect("sweep runs");
+        assert_eq!(banked, lanewise, "banked vs lanewise under faults");
+        assert_eq!(banked, direct, "banked vs live under faults");
+        assert_eq!(banked.render(), direct.render());
+
+        // The droop overwhelms the guard margin: violations occur and the
+        // recovery model classifies every one of them.
+        let lut_violations = banked.violations(1);
+        assert!(lut_violations > 0, "fault spec too weak to violate");
+        assert_eq!(
+            banked.recovered(1) + banked.silent_risk(1),
+            lut_violations,
+            "every violation is either recovered or silent risk"
+        );
+        assert_eq!(
+            banked.replay_penalty(1),
+            banked.recovered(1) * u64::from(spec.replay_penalty)
+        );
+        for job in &banked.jobs {
+            for p in &job.policies {
+                assert_eq!(p.recovered_cycles + p.silent_risk_cycles, p.violations);
+                assert!(p.recovery_mhz <= p.mhz, "recovery can only cost throughput");
+            }
+        }
+
+        // The rendered report carries the fault header and the recovery
+        // columns per policy.
+        let rendered = banked.render();
+        assert!(rendered.contains("pvt_sweep.faults=seed=9,"), "{rendered}");
+        assert!(rendered.contains("policy.instruction-based.recovered="));
+        assert!(rendered.contains("policy.static.silent_risk="));
+        assert!(rendered.contains("policy.adaptive.effective_speedup.mean="));
+
+        // And the steady-state report stays byte-identical to before: no
+        // fault lines leak into an unfaulted render.
+        let unfaulted = pvt_sweep(&SweepConfig {
+            faults: None,
+            ..config.clone()
+        })
+        .expect("sweep runs");
+        assert!(!unfaulted.render().contains("faults"));
+        assert!(!unfaulted.render().contains("effective_speedup"));
     }
 
     #[test]

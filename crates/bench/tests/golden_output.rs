@@ -260,6 +260,277 @@ fn serve_answers_queries_from_a_merged_corpus() {
 }
 
 #[test]
+fn faulted_sweep_is_thread_invariant_and_matches_golden() {
+    let args = [
+        "sweep",
+        "--seeds",
+        "4",
+        "--corners",
+        "2",
+        "--seed",
+        "7",
+        "--faults",
+        "seed=9,droop-rate=0.5,droop-mag=0.6,spike-rate=0.02,spike-mag=0.8,penalty=6,detect-window=0.25",
+    ];
+    let single = repro_stdout(&args, "1");
+    let four = repro_stdout(&args, "4");
+    assert_eq!(
+        single, four,
+        "faulted sweep differs between RAYON_NUM_THREADS=1 and =4"
+    );
+    assert_eq!(single, repro_stdout(&args, "4"));
+    assert!(single.contains("pvt_sweep.faults=seed=9,"), "{single}");
+    assert!(single.contains("policy.adaptive.recovered="), "{single}");
+    assert!(
+        single.contains("policy.adaptive.effective_speedup.mean="),
+        "{single}"
+    );
+    assert_matches_golden("sweep_s4_c2_seed7_faulted.txt", &single);
+}
+
+#[test]
+fn empty_shards_merge_to_the_single_process_golden() {
+    // 4 seeds over 8 shards: shards 1, 3, 5 and 7 get empty seed ranges.
+    // Their partials must still be valid report files that merge cleanly.
+    let dir = std::env::temp_dir().join(format!("idca-golden-empty-shard-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("shard work dir");
+    let path = |name: String| {
+        dir.join(name)
+            .to_str()
+            .expect("temp path is UTF-8")
+            .to_string()
+    };
+
+    let mut merge_args = vec!["merge".to_string(), path("merged.sweep".to_string())];
+    for shard in 1..=8u32 {
+        let out = path(format!("part-{shard}.sweep"));
+        let spec = format!("{shard}/8");
+        let stdout = repro_stdout(
+            &[
+                "sweep",
+                "--seeds",
+                "4",
+                "--corners",
+                "2",
+                "--seed",
+                "7",
+                "--shard",
+                &spec,
+                "--out",
+                &out,
+            ],
+            "2",
+        );
+        assert_eq!(stdout, "", "shard {shard}/8 rendered a partial report");
+        merge_args.push(out);
+    }
+    let merge_args: Vec<&str> = merge_args.iter().map(String::as_str).collect();
+    let merged = repro_stdout(&merge_args, "2");
+    assert_matches_golden("sweep_s4_c2_seed7.txt", &merged);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn faulted_shards_merge_to_the_faulted_golden_and_reject_mixed_scenarios() {
+    let dir = std::env::temp_dir().join(format!("idca-golden-fault-shard-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("shard work dir");
+    let path = |name: &str| {
+        dir.join(name)
+            .to_str()
+            .expect("temp path is UTF-8")
+            .to_string()
+    };
+    let spec =
+        "seed=9,droop-rate=0.5,droop-mag=0.6,spike-rate=0.02,spike-mag=0.8,penalty=6,detect-window=0.25";
+
+    let shape = ["--seeds", "4", "--corners", "2", "--seed", "7"];
+    for (shard, out) in [("1/2", path("part-1.sweep")), ("2/2", path("part-2.sweep"))] {
+        let mut args = vec!["sweep"];
+        args.extend_from_slice(&shape);
+        args.extend_from_slice(&["--faults", spec, "--shard", shard, "--out", &out]);
+        assert_eq!(repro_stdout(&args, "2"), "");
+    }
+    // An unfaulted partial of the same grid: must not merge with the
+    // faulted ones.
+    let unfaulted = path("unfaulted-2.sweep");
+    {
+        let mut args = vec!["sweep"];
+        args.extend_from_slice(&shape);
+        args.extend_from_slice(&["--shard", "2/2", "--out", &unfaulted]);
+        assert_eq!(repro_stdout(&args, "2"), "");
+    }
+
+    let merged = repro_stdout(
+        &[
+            "merge",
+            &path("merged.sweep"),
+            &path("part-2.sweep"),
+            &path("part-1.sweep"),
+        ],
+        "2",
+    );
+    assert_matches_golden("sweep_s4_c2_seed7_faulted.txt", &merged);
+
+    let mixed = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args([
+            "merge",
+            &path("bad.sweep"),
+            &path("part-1.sweep"),
+            &unfaulted,
+        ])
+        .output()
+        .expect("repro binary runs");
+    assert!(!mixed.status.success(), "mixed fault scenarios merged");
+    assert!(
+        String::from_utf8_lossy(&mixed.stderr).contains("fault spec"),
+        "mixed-scenario merge error does not name the fault spec"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serve_survives_hostile_stdin() {
+    use std::io::Write;
+
+    let dir = std::env::temp_dir().join(format!("idca-golden-hostile-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let corpus = dir.join("corpus");
+    std::fs::create_dir_all(&corpus).expect("corpus dir");
+    let out = corpus.join("full.sweep");
+    repro_stdout(
+        &[
+            "sweep",
+            "--seeds",
+            "2",
+            "--corners",
+            "2",
+            "--seed",
+            "7",
+            "--out",
+            out.to_str().expect("UTF-8 path"),
+        ],
+        "2",
+    );
+
+    let serve = |stdin_bytes: &[u8]| {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_repro"))
+            .args(["serve", "--corpus", corpus.to_str().expect("UTF-8 path")])
+            .stdin(std::process::Stdio::piped())
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::piped())
+            .spawn()
+            .expect("serve starts");
+        child
+            .stdin
+            .take()
+            .expect("serve stdin")
+            .write_all(stdin_bytes)
+            .expect("stdin written");
+        let output = child.wait_with_output().expect("serve exits");
+        assert!(
+            output.status.success(),
+            "serve crashed on hostile stdin: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        String::from_utf8(output.stdout).expect("serve replies are UTF-8")
+    };
+
+    // Invalid UTF-8 is a structured reply; the session keeps serving.
+    let stdout = serve(b"\xff\xfe\xfd garbage\ncorpus\nquit\n");
+    assert!(
+        stdout.contains("error: query line is not valid UTF-8"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("reports=1"), "{stdout}");
+
+    // An oversized line is rejected, and the reader resyncs to the next
+    // line instead of treating the overflow as new queries.
+    let mut hostile = vec![b'a'; 100_000];
+    hostile.extend_from_slice(b"\ncorpus\nquit\n");
+    let stdout = serve(&hostile);
+    assert!(
+        stdout.contains("error: query line exceeds 4096 bytes"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("reports=1"), "{stdout}");
+
+    // Mid-line EOF: the final unterminated query is still answered and the
+    // session exits cleanly.
+    let stdout = serve(b"corpus");
+    assert!(stdout.contains("reports=1"), "{stdout}");
+
+    // Oversized line with no terminator at all: rejected, clean exit.
+    let stdout = serve(&vec![b'b'; 50_000]);
+    assert!(
+        stdout.contains("error: query line exceeds 4096 bytes"),
+        "{stdout}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_cache_entries_are_quarantined_with_a_structured_warning() {
+    let dir = std::env::temp_dir().join(format!("idca-golden-quarantine-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_arg = dir.to_str().expect("temp dir is UTF-8").to_string();
+    let args = [
+        "sweep",
+        "--seeds",
+        "2",
+        "--corners",
+        "2",
+        "--seed",
+        "7",
+        "--digest-cache",
+        &dir_arg,
+    ];
+    let cold = repro_stdout(&args, "2");
+
+    // Truncate one entry, then rerun: same stdout, a structured stderr
+    // warning, and the corrupt bytes moved into quarantine/.
+    let victim = std::fs::read_dir(&dir)
+        .expect("cache dir exists")
+        .map(|e| e.expect("cache entry").path())
+        .find(|p| p.extension().is_some_and(|e| e == "bin"))
+        .expect("at least one cache entry");
+    let bytes = std::fs::read(&victim).expect("cache entry readable");
+    std::fs::write(&victim, &bytes[..bytes.len() - 3]).expect("cache entry writable");
+
+    let output = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .env("RAYON_NUM_THREADS", "2")
+        .output()
+        .expect("repro binary runs");
+    assert!(output.status.success());
+    assert_eq!(
+        String::from_utf8(output.stdout).expect("UTF-8 stdout"),
+        cold,
+        "quarantine changed the report"
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("warning: digest-cache entry"),
+        "no structured warning: {stderr}"
+    );
+    assert!(stderr.contains("quarantined to"), "{stderr}");
+    let quarantined = dir
+        .join("quarantine")
+        .join(victim.file_name().expect("entry file name"));
+    assert_eq!(
+        std::fs::read(&quarantined).expect("quarantined bytes readable"),
+        bytes[..bytes.len() - 3],
+        "quarantine does not hold the rejected bytes"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn sweep_rejects_malformed_flags() {
     let run = |args: &[&str]| {
         Command::new(env!("CARGO_BIN_EXE_repro"))
@@ -284,6 +555,15 @@ fn sweep_rejects_malformed_flags() {
     }
     // --shard without --out has nowhere to put the partial report.
     assert!(!run(&["sweep", "--shard", "1/2"]).status.success());
+    // Fault specs are validated up front, naming the rule.
+    for bad in ["seed", "warp=1", "droop-rate=2", "penalty=-1"] {
+        let output = run(&["sweep", "--faults", bad]);
+        assert!(!output.status.success(), "--faults {bad} was accepted");
+        assert!(
+            String::from_utf8_lossy(&output.stderr).contains("invalid --faults"),
+            "--faults {bad} error is unstructured"
+        );
+    }
     // serve validates --corpus in the same shared place.
     assert!(!run(&["serve"]).status.success());
     assert!(!run(&["serve", "--corpus", "/nonexistent-idca-corpus"])

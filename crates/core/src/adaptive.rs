@@ -21,7 +21,7 @@ use idca_isa::TimingClass;
 use idca_pipeline::{
     CycleObserver, CycleRecord, DigestCycle, PipelineTrace, RunSummary, Stage, TimingDigest,
 };
-use idca_timing::{CornerBank, CycleTiming, Ps, TimingModel, LANE_WIDTH};
+use idca_timing::{CornerBank, CycleTiming, FaultPlan, Ps, TimingModel, LANE_WIDTH};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the online-adaptive clock controller.
@@ -61,6 +61,19 @@ pub struct AdaptiveOutcome {
     pub speedup_over_static: f64,
     /// Cycles whose realized period undercut the actual dynamic delay.
     pub violations: u64,
+    /// Violating cycles caught by the fault plan's detection window and
+    /// repaired at the replay penalty. Zero without a fault plan.
+    pub recovered_cycles: u64,
+    /// Total replay cycles charged for the recovered violations.
+    pub replay_penalty_cycles: u64,
+    /// Violating cycles that escaped the detection window — silent
+    /// data-corruption risk.
+    pub silent_risk_cycles: u64,
+    /// Effective clock frequency in MHz **after** charging the replay
+    /// penalty time — bit-equal to
+    /// [`AdaptiveOutcome::effective_frequency_mhz`] when nothing was
+    /// recovered.
+    pub recovery_frequency_mhz: f64,
     /// Cycles spent at the conservative static period while entries warmed up.
     pub warmup_cycles: u64,
 }
@@ -107,8 +120,13 @@ pub struct AdaptiveObserver<'a> {
     // characterization instead of learning from scratch).
     learned: Vec<Ps>,
     observations: Vec<u64>,
+    faults: Option<&'a FaultPlan>,
     total_time: f64,
+    penalty_time: f64,
     violations: u64,
+    recovered_cycles: u64,
+    replay_penalty_cycles: u64,
+    silent_risk_cycles: u64,
     warmup_cycles: u64,
     outcome: Option<AdaptiveOutcome>,
 }
@@ -155,11 +173,30 @@ impl<'a> AdaptiveObserver<'a> {
             static_period: model.static_period_ps(),
             learned,
             observations,
+            faults: None,
             total_time: 0.0,
+            penalty_time: 0.0,
             violations: 0,
+            recovered_cycles: 0,
+            replay_penalty_cycles: 0,
+            silent_risk_cycles: 0,
             warmup_cycles: 0,
             outcome: None,
         }
+    }
+
+    /// Attaches a [`FaultPlan`]: the cycle-computing entry points
+    /// ([`CycleObserver::observe_cycle`],
+    /// [`AdaptiveObserver::observe_digest`]) perturb each cycle's timing
+    /// through the plan — so the controller both *suffers* the transient
+    /// and *learns from* the perturbed delays — and every violation is
+    /// classified through the plan's recovery model.
+    /// [`AdaptiveObserver::observe_digest_timed`] expects the caller to
+    /// have applied [`FaultPlan::faulted`] already.
+    #[must_use]
+    pub fn with_faults(mut self, faults: &'a FaultPlan) -> Self {
+        self.faults = Some(faults);
+        self
     }
 
     /// Consumes the controller and returns the outcome of the run.
@@ -200,6 +237,10 @@ impl<'a> AdaptiveObserver<'a> {
     /// bit-identical to observing the originating [`CycleRecord`].
     pub fn observe_digest(&mut self, cycle: u64, digest_cycle: &DigestCycle) {
         let timing = self.model.digest_cycle_timing(cycle, digest_cycle);
+        let timing = match self.faults {
+            Some(plan) => plan.faulted(cycle, &timing),
+            None => timing,
+        };
         self.observe_digest_timed(cycle, digest_cycle, &timing);
     }
 
@@ -250,6 +291,16 @@ impl<'a> AdaptiveObserver<'a> {
         let violated = realized + 1e-9 < actual_max;
         if violated {
             self.violations += 1;
+            if let Some(plan) = self.faults {
+                let spec = plan.spec();
+                if actual_max <= realized * (1.0 + spec.detect_window) {
+                    self.recovered_cycles += 1;
+                    self.replay_penalty_cycles += u64::from(spec.replay_penalty);
+                    self.penalty_time += realized * f64::from(spec.replay_penalty);
+                } else {
+                    self.silent_risk_cycles += 1;
+                }
+            }
         }
         self.total_time += realized;
 
@@ -279,6 +330,10 @@ impl CycleObserver for AdaptiveObserver<'_> {
             classes[stage.index()] = record.timing_class(stage);
         }
         let timing = self.model.cycle_timing(record);
+        let timing = match self.faults {
+            Some(plan) => plan.faulted(record.cycle, &timing),
+            None => timing,
+        };
         self.observe_parts(record.cycle, &classes, &timing);
     }
 
@@ -294,6 +349,11 @@ impl CycleObserver for AdaptiveObserver<'_> {
         } else {
             0.0
         };
+        let recovery_period_ps = if cycles == 0 {
+            0.0
+        } else {
+            (self.total_time + self.penalty_time) / cycles as f64
+        };
         self.outcome = Some(AdaptiveOutcome {
             cycles,
             avg_period_ps,
@@ -304,6 +364,14 @@ impl CycleObserver for AdaptiveObserver<'_> {
                 1.0
             },
             violations: self.violations,
+            recovered_cycles: self.recovered_cycles,
+            replay_penalty_cycles: self.replay_penalty_cycles,
+            silent_risk_cycles: self.silent_risk_cycles,
+            recovery_frequency_mhz: if recovery_period_ps > 0.0 {
+                1.0e6 / recovery_period_ps
+            } else {
+                0.0
+            },
             warmup_cycles: self.warmup_cycles,
         });
     }
@@ -346,8 +414,13 @@ pub struct AdaptiveBank<'a> {
     learned: Vec<Ps>,
     /// Observation counters, same layout as `learned`.
     observations: Vec<u64>,
+    faults: Option<FaultPlan>,
     total_time: Vec<f64>,
+    penalty_time: Vec<f64>,
     violations: Vec<u64>,
+    recovered_cycles: Vec<u64>,
+    replay_penalty_cycles: Vec<u64>,
+    silent_risk_cycles: Vec<u64>,
     warmup_cycles: Vec<u64>,
     // Per-cycle scratch, reused across the whole walk.
     requested: Vec<Ps>,
@@ -419,8 +492,13 @@ impl<'a> AdaptiveBank<'a> {
             static_period: static_periods,
             learned,
             observations,
+            faults: None,
             total_time: vec![0.0; corners],
+            penalty_time: vec![0.0; corners],
             violations: vec![0; corners],
+            recovered_cycles: vec![0; corners],
+            replay_penalty_cycles: vec![0; corners],
+            silent_risk_cycles: vec![0; corners],
             warmup_cycles: vec![0; corners],
             requested: vec![0.0; padded],
             warm: vec![true; padded],
@@ -428,6 +506,18 @@ impl<'a> AdaptiveBank<'a> {
             violated: vec![false; corners],
             outcomes: None,
         }
+    }
+
+    /// Attaches a [`FaultPlan`] for the recovery accounting. The per-cycle
+    /// [`CycleTiming`]s handed to [`AdaptiveBank::observe_digest_timed`]
+    /// must already carry the plan's perturbation (apply
+    /// [`FaultPlan::faulted`] where the bank evaluator produces them) —
+    /// the bank itself only classifies violations as recovered or silent
+    /// risk, lane by lane, exactly like the scalar observer.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = Some(faults);
+        self
     }
 
     /// Number of corners in the bank (excluding padding lanes).
@@ -513,6 +603,16 @@ impl<'a> AdaptiveBank<'a> {
             let violated = realized + 1e-9 < actual_max;
             if violated {
                 self.violations[lane] += 1;
+                if let Some(plan) = &self.faults {
+                    let spec = plan.spec();
+                    if actual_max <= realized * (1.0 + spec.detect_window) {
+                        self.recovered_cycles[lane] += 1;
+                        self.replay_penalty_cycles[lane] += u64::from(spec.replay_penalty);
+                        self.penalty_time[lane] += realized * f64::from(spec.replay_penalty);
+                    } else {
+                        self.silent_risk_cycles[lane] += 1;
+                    }
+                }
             }
             self.total_time[lane] += realized;
             self.realized[lane] = realized;
@@ -558,6 +658,11 @@ impl<'a> AdaptiveBank<'a> {
                 } else {
                     0.0
                 };
+                let recovery_period_ps = if cycles == 0 {
+                    0.0
+                } else {
+                    (self.total_time[lane] + self.penalty_time[lane]) / cycles as f64
+                };
                 AdaptiveOutcome {
                     cycles,
                     avg_period_ps,
@@ -568,6 +673,14 @@ impl<'a> AdaptiveBank<'a> {
                         1.0
                     },
                     violations: self.violations[lane],
+                    recovered_cycles: self.recovered_cycles[lane],
+                    replay_penalty_cycles: self.replay_penalty_cycles[lane],
+                    silent_risk_cycles: self.silent_risk_cycles[lane],
+                    recovery_frequency_mhz: if recovery_period_ps > 0.0 {
+                        1.0e6 / recovery_period_ps
+                    } else {
+                        0.0
+                    },
                     warmup_cycles: self.warmup_cycles[lane],
                 }
             })

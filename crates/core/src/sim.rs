@@ -17,7 +17,9 @@ use crate::{ClockGenerator, ClockPolicy};
 use idca_pipeline::{
     CycleObserver, CycleRecord, DigestCycle, PipelineTrace, RunSummary, TimingDigest,
 };
-use idca_timing::{ActivityObserver, ActivitySummary, CornerBank, CycleTiming, Ps, TimingModel};
+use idca_timing::{
+    ActivityObserver, ActivitySummary, CornerBank, CycleTiming, FaultPlan, Ps, TimingModel,
+};
 use serde::{Deserialize, Serialize};
 
 /// Result of replaying one trace under one clocking policy.
@@ -44,6 +46,23 @@ pub struct RunOutcome {
     /// Cycles in which the realized period was shorter than the actual
     /// dynamic delay — must be zero for a correctly constructed LUT.
     pub violations: u64,
+    /// Violating cycles whose overshoot stayed inside the fault plan's
+    /// detection window: a Razor-style detect-and-replay pipeline catches
+    /// them and re-executes at the replay penalty. Zero without a fault
+    /// plan.
+    pub recovered_cycles: u64,
+    /// Total replay cycles charged for the recovered violations (the fault
+    /// plan's per-event penalty times [`RunOutcome::recovered_cycles`]).
+    pub replay_penalty_cycles: u64,
+    /// Violating cycles whose overshoot escaped the detection window — the
+    /// detect-and-replay net misses them, so they are tallied as silent
+    /// data-corruption risk instead of being repaired.
+    pub silent_risk_cycles: u64,
+    /// Effective clock frequency in MHz **after** charging the replay
+    /// penalty time for every recovered violation — the
+    /// throughput-under-recovery score. Bit-equal to
+    /// [`RunOutcome::effective_frequency_mhz`] when nothing was recovered.
+    pub recovery_frequency_mhz: f64,
     /// Switching-activity summary of the trace (for the power model).
     pub activity: ActivitySummary,
 }
@@ -57,6 +76,19 @@ impl RunOutcome {
             1.0
         } else {
             self.effective_frequency_mhz / baseline.effective_frequency_mhz
+        }
+    }
+
+    /// [`RunOutcome::speedup_over`] on the recovery-charged frequencies —
+    /// the *effective* speedup once every detected violation has paid its
+    /// replay penalty. Equals the raw speedup when neither run recovered
+    /// anything.
+    #[must_use]
+    pub fn recovery_speedup_over(&self, baseline: &RunOutcome) -> f64 {
+        if baseline.recovery_frequency_mhz == 0.0 {
+            1.0
+        } else {
+            self.recovery_frequency_mhz / baseline.recovery_frequency_mhz
         }
     }
 }
@@ -76,10 +108,15 @@ pub struct PolicyObserver<'a> {
     model: &'a TimingModel,
     policy: &'a dyn ClockPolicy,
     generator: &'a ClockGenerator,
+    faults: Option<&'a FaultPlan>,
     total_time_ps: f64,
+    penalty_time_ps: f64,
     min_period_ps: Ps,
     max_period_ps: Ps,
     violations: u64,
+    recovered_cycles: u64,
+    replay_penalty_cycles: u64,
+    silent_risk_cycles: u64,
     activity: ActivityObserver,
     outcome: Option<RunOutcome>,
 }
@@ -97,13 +134,33 @@ impl<'a> PolicyObserver<'a> {
             model,
             policy,
             generator,
+            faults: None,
             total_time_ps: 0.0,
+            penalty_time_ps: 0.0,
             min_period_ps: Ps::INFINITY,
             max_period_ps: 0.0,
             violations: 0,
+            recovered_cycles: 0,
+            replay_penalty_cycles: 0,
+            silent_risk_cycles: 0,
             activity: ActivityObserver::new(),
             outcome: None,
         }
+    }
+
+    /// Attaches a [`FaultPlan`]: the cycle-computing entry points
+    /// ([`CycleObserver::observe_cycle`], [`PolicyObserver::observe_digest`])
+    /// perturb each cycle's timing through the plan, and every violation is
+    /// classified through the plan's recovery model — detected-and-replayed
+    /// (inside the detection window, at the configured penalty) or silent
+    /// corruption risk. The prepared entry points
+    /// ([`PolicyObserver::observe_digest_timed`] and friends) expect the
+    /// *caller* to have applied [`FaultPlan::faulted`] already; the plan
+    /// then only drives the recovery accounting.
+    #[must_use]
+    pub fn with_faults(mut self, faults: &'a FaultPlan) -> Self {
+        self.faults = Some(faults);
+        self
     }
 
     /// Consumes the observer and returns the outcome of the run.
@@ -126,6 +183,10 @@ impl<'a> PolicyObserver<'a> {
     /// originating [`CycleRecord`].
     pub fn observe_digest(&mut self, cycle: u64, digest_cycle: &DigestCycle) {
         let timing = self.model.digest_cycle_timing(cycle, digest_cycle);
+        let timing = match self.faults {
+            Some(plan) => plan.faulted(cycle, &timing),
+            None => timing,
+        };
         self.observe_digest_timed(cycle, digest_cycle, &timing);
     }
 
@@ -174,11 +235,24 @@ impl<'a> PolicyObserver<'a> {
 
     /// The per-cycle accumulation shared by the live and the replay paths:
     /// realize the requested period, check the violation invariant against
-    /// the actual dynamic delay, accumulate the realized time.
+    /// the actual dynamic delay, accumulate the realized time — and, when a
+    /// fault plan is attached, classify each violation as recovered (the
+    /// overshoot fits the detection window; a replay penalty is charged) or
+    /// as silent corruption risk.
     fn step(&mut self, requested: Ps, actual: Ps) {
         let realized = self.generator.realize(requested);
         if realized + 1e-9 < actual {
             self.violations += 1;
+            if let Some(plan) = self.faults {
+                let spec = plan.spec();
+                if actual <= realized * (1.0 + spec.detect_window) {
+                    self.recovered_cycles += 1;
+                    self.replay_penalty_cycles += u64::from(spec.replay_penalty);
+                    self.penalty_time_ps += realized * f64::from(spec.replay_penalty);
+                } else {
+                    self.silent_risk_cycles += 1;
+                }
+            }
         }
         self.total_time_ps += realized;
         self.min_period_ps = self.min_period_ps.min(realized);
@@ -189,7 +263,11 @@ impl<'a> PolicyObserver<'a> {
 impl CycleObserver for PolicyObserver<'_> {
     fn observe_cycle(&mut self, record: &CycleRecord) {
         let requested = self.policy.period_ps(record);
-        let actual = self.model.cycle_timing(record).max_delay_ps;
+        let timing = self.model.cycle_timing(record);
+        let actual = match self.faults {
+            Some(plan) => plan.faulted(record.cycle, &timing).max_delay_ps,
+            None => timing.max_delay_ps,
+        };
         self.step(requested, actual);
         self.activity.observe_cycle(record);
     }
@@ -212,6 +290,16 @@ impl CycleObserver for PolicyObserver<'_> {
         } else {
             0.0
         };
+        let recovery_period_ps = if cycles == 0 {
+            0.0
+        } else {
+            (self.total_time_ps + self.penalty_time_ps) / cycles as f64
+        };
+        let recovery_frequency_mhz = if recovery_period_ps > 0.0 {
+            1.0e6 / recovery_period_ps
+        } else {
+            0.0
+        };
         self.outcome = Some(RunOutcome {
             policy: self.policy.name().to_string(),
             cycles,
@@ -223,6 +311,10 @@ impl CycleObserver for PolicyObserver<'_> {
             effective_frequency_mhz,
             mips,
             violations: self.violations,
+            recovered_cycles: self.recovered_cycles,
+            replay_penalty_cycles: self.replay_penalty_cycles,
+            silent_risk_cycles: self.silent_risk_cycles,
+            recovery_frequency_mhz,
             activity: self.activity.summary(),
         });
     }

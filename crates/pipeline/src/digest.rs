@@ -25,6 +25,12 @@
 //!
 //! [`idca_timing`-style]: crate::CycleRecord
 //!
+//! Digests are **fault-invariant**: injected fault scenarios (voltage
+//! droops, delay spikes, corner shifts) perturb the *timing evaluation* of
+//! a cycle downstream, never the digested execution itself, so one cached
+//! digest serves every fault scenario — which is also why the digest-cache
+//! key carries no fault spec.
+//!
 //! # Excitation coefficients
 //!
 //! The downstream timing model blends every stage's raw excitation with a

@@ -42,6 +42,12 @@
 //!   auto-vectorized `f64x4` chunks, bit-identical to the scalar path.
 //!   The six per-cycle stage dithers it broadcasts come out of one batched
 //!   hash kernel shared with the scalar evaluation paths.
+//! * [`FaultPlan`] / [`FaultSpec`] — deterministic fault injection:
+//!   voltage-droop windows, one-shot delay spikes and a persistent mid-run
+//!   corner shift, all sampled hash-deterministically from
+//!   `(fault seed, cycle)` so live simulation and both digest-replay
+//!   engines recompute identical perturbations, plus the Razor-style
+//!   violation-recovery parameters (replay penalty, detection window).
 //!
 //! # Example
 //!
@@ -68,6 +74,7 @@
 mod bank;
 pub mod dta;
 mod eventlog;
+mod fault;
 mod histogram;
 mod library;
 mod model;
@@ -78,6 +85,7 @@ mod variation;
 pub use bank::{BankEvaluator, CornerBank, LANE_WIDTH};
 pub use dta::{DtaObserver, DynamicTimingAnalysis};
 pub use eventlog::{Endpoint, EndpointEvent, EndpointId, EventLog};
+pub use fault::{FaultPlan, FaultSpec, FaultSpecError, DROOP_WINDOW_CYCLES, SHIFT_ONSET_HORIZON};
 pub use histogram::{Histogram, HistogramMergeError};
 pub use library::{CellLibrary, LibraryError, OperatingPoint};
 pub use model::{CycleTiming, EventLogObserver, TimingModel};

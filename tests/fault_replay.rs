@@ -1,0 +1,214 @@
+//! Fault-injection equivalence contract at the observer level: a seeded
+//! [`FaultPlan`] perturbs each cycle's timing through a pure function of
+//! `(fault seed, cycle)`, so the **live** simulation pass, the **digest
+//! replay** that recomputes timing per cycle, and the **prepared-timing**
+//! replay path (where the caller applies [`FaultPlan::faulted`] once and
+//! shares the perturbed timing across observers) must all produce
+//! bit-identical outcomes — violations, recovery accounting, frequencies —
+//! for every clock policy and the adaptive controller.
+
+use idca::core::{AdaptiveConfig, AdaptiveObserver, Drift, PolicyObserver};
+use idca::pipeline::{DigestObserver, TimingDigest};
+use idca::prelude::*;
+use idca::timing::{FaultPlan, FaultSpec};
+use proptest::prelude::*;
+
+fn model() -> TimingModel {
+    TimingModel::at_nominal(ProfileKind::CriticalRangeOptimized)
+}
+
+/// Simulates one generated program with faulted live observers riding the
+/// pass, capturing the digest from the same run.
+fn live_outcomes(
+    m: &TimingModel,
+    program: &Program,
+    plan: &FaultPlan,
+) -> (TimingDigest, [RunOutcome; 3], idca::core::AdaptiveOutcome) {
+    let static_policy = StaticClock::of_model(m);
+    let lut_policy = InstructionBased::from_model(m);
+    let exec_policy = ExecuteOnly::new(DelayLut::from_model(m));
+    let mut digest = DigestObserver::new();
+    let mut ob_static =
+        PolicyObserver::new(m, &static_policy, &ClockGenerator::Ideal).with_faults(plan);
+    let mut ob_lut = PolicyObserver::new(m, &lut_policy, &ClockGenerator::Ideal).with_faults(plan);
+    let mut ob_exec =
+        PolicyObserver::new(m, &exec_policy, &ClockGenerator::Ideal).with_faults(plan);
+    let mut ob_adaptive = AdaptiveObserver::new(
+        m,
+        &AdaptiveConfig::default(),
+        &ClockGenerator::Ideal,
+        None,
+        Drift::None,
+    )
+    .with_faults(plan);
+    Simulator::new(SimConfig::default())
+        .run_observed(
+            program,
+            &mut [
+                &mut digest,
+                &mut ob_static,
+                &mut ob_lut,
+                &mut ob_exec,
+                &mut ob_adaptive,
+            ],
+        )
+        .expect("generated programs terminate");
+    (
+        digest.into_digest(),
+        [
+            ob_static.into_outcome(),
+            ob_lut.into_outcome(),
+            ob_exec.into_outcome(),
+        ],
+        ob_adaptive.into_outcome(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn faulted_outcomes_are_bit_identical_live_vs_digest_vs_prepared(
+        master_seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+        droop_rate_pct in 0u32..=100,
+        spike_rate_pm in 0u32..=50,
+        replay_penalty in 0u32..=16,
+    ) {
+        let m = model();
+        let spec = FaultSpec {
+            seed: fault_seed,
+            droop_rate: f64::from(droop_rate_pct) / 100.0,
+            spike_rate: f64::from(spike_rate_pm) / 1000.0,
+            shift_mag: 0.05,
+            replay_penalty,
+            ..FaultSpec::default()
+        };
+        let plan = FaultPlan::new(&spec);
+        let program = generate_program(nth_seed(master_seed, 0), &GenConfig::default());
+        let (digest, live, live_adaptive) = live_outcomes(&m, &program, &plan);
+
+        let static_policy = StaticClock::of_model(&m);
+        let lut_policy = InstructionBased::from_model(&m);
+        let exec_policy = ExecuteOnly::new(DelayLut::from_model(&m));
+        let policies: [&dyn ClockPolicy; 3] = [&static_policy, &lut_policy, &exec_policy];
+
+        // Digest replay, letting each observer recompute-and-perturb.
+        let mut replay: Vec<RunOutcome> = Vec::new();
+        for policy in policies {
+            let mut ob =
+                PolicyObserver::new(&m, policy, &ClockGenerator::Ideal).with_faults(&plan);
+            digest.for_each_cycle(|cycle, dc| ob.observe_digest(cycle, dc));
+            ob.finish(&digest.summary());
+            replay.push(ob.into_outcome());
+        }
+        let mut ob_adaptive = AdaptiveObserver::new(
+            &m,
+            &AdaptiveConfig::default(),
+            &ClockGenerator::Ideal,
+            None,
+            Drift::None,
+        )
+        .with_faults(&plan);
+        digest.for_each_cycle(|cycle, dc| ob_adaptive.observe_digest(cycle, dc));
+        ob_adaptive.finish(&digest.summary());
+        let replay_adaptive = ob_adaptive.into_outcome();
+
+        // Prepared-timing replay: the caller perturbs once per cycle and
+        // shares the faulted timing across all observers (the sweep's
+        // fan-out shape).
+        let mut prepared: Vec<PolicyObserver> = policies
+            .iter()
+            .map(|p| PolicyObserver::new(&m, *p, &ClockGenerator::Ideal).with_faults(&plan))
+            .collect();
+        let mut prepared_adaptive = AdaptiveObserver::new(
+            &m,
+            &AdaptiveConfig::default(),
+            &ClockGenerator::Ideal,
+            None,
+            Drift::None,
+        )
+        .with_faults(&plan);
+        digest.for_each_cycle(|cycle, dc| {
+            let timing = m.digest_cycle_timing(cycle, dc);
+            let timing = plan.faulted(cycle, &timing);
+            for ob in &mut prepared {
+                ob.observe_digest_timed(cycle, dc, &timing);
+            }
+            prepared_adaptive.observe_digest_timed(cycle, dc, &timing);
+        });
+        let summary = digest.summary();
+        let prepared: Vec<RunOutcome> = prepared
+            .into_iter()
+            .map(|mut ob| {
+                ob.finish(&summary);
+                ob.into_outcome()
+            })
+            .collect();
+        prepared_adaptive.finish(&summary);
+        let prepared_adaptive = prepared_adaptive.into_outcome();
+
+        for ((live, replayed), shared) in live.iter().zip(&replay).zip(&prepared) {
+            // Field-for-field f64 equality, not tolerance: every path runs
+            // the identical perturbed arithmetic.
+            prop_assert_eq!(live, replayed);
+            prop_assert_eq!(live, shared);
+        }
+        prop_assert_eq!(&live_adaptive, &replay_adaptive);
+        prop_assert_eq!(&live_adaptive, &prepared_adaptive);
+
+        // Recovery bookkeeping is conserved on every outcome.
+        for outcome in &live {
+            prop_assert_eq!(
+                outcome.recovered_cycles + outcome.silent_risk_cycles,
+                outcome.violations
+            );
+            prop_assert_eq!(
+                outcome.replay_penalty_cycles,
+                outcome.recovered_cycles * u64::from(replay_penalty)
+            );
+            prop_assert!(outcome.recovery_frequency_mhz <= outcome.effective_frequency_mhz);
+        }
+    }
+
+    #[test]
+    fn a_quiet_fault_plan_is_bit_identical_to_no_plan(
+        master_seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+    ) {
+        // All event rates zero: the plan must not change a single bit of
+        // the outcome relative to running without one.
+        let m = model();
+        let spec = FaultSpec {
+            seed: fault_seed,
+            droop_rate: 0.0,
+            spike_rate: 0.0,
+            shift_mag: 0.0,
+            ..FaultSpec::default()
+        };
+        let plan = FaultPlan::new(&spec);
+        let program = generate_program(nth_seed(master_seed, 0), &GenConfig::default());
+        let lut_policy = InstructionBased::from_model(&m);
+
+        let mut quiet =
+            PolicyObserver::new(&m, &lut_policy, &ClockGenerator::Ideal).with_faults(&plan);
+        let mut bare = PolicyObserver::new(&m, &lut_policy, &ClockGenerator::Ideal);
+        let mut digest = DigestObserver::new();
+        Simulator::new(SimConfig::default())
+            .run_observed(&program, &mut [&mut digest, &mut quiet, &mut bare])
+            .expect("generated programs terminate");
+        let quiet = quiet.into_outcome();
+        let bare = bare.into_outcome();
+        prop_assert_eq!(quiet.violations, bare.violations);
+        prop_assert_eq!(
+            quiet.effective_frequency_mhz.to_bits(),
+            bare.effective_frequency_mhz.to_bits()
+        );
+        // With zero penalties charged, the recovery-adjusted clock equals
+        // the effective clock bit-exactly.
+        prop_assert_eq!(
+            quiet.recovery_frequency_mhz.to_bits(),
+            quiet.effective_frequency_mhz.to_bits()
+        );
+    }
+}
