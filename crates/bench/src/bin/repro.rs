@@ -624,7 +624,7 @@ fn run_bench(args: &[String]) -> Result<ExitCode, String> {
     // cycle·corner count the replay phase pushed through its SIMD lanes.
     let replay_cycle_corners_per_sec = evaluated_cycles as f64 / timing.replay.as_secs_f64();
 
-    println!("bench.schema=3");
+    println!("bench.schema=4");
     println!("bench.seeds={}", config.seeds);
     println!("bench.corners={}", config.corners);
     println!("bench.master_seed={}", config.master_seed);
@@ -634,6 +634,7 @@ fn run_bench(args: &[String]) -> Result<ExitCode, String> {
     println!("bench.simulate_ms={:.3}", ms(timing.simulate));
     println!("bench.predecode_ms={:.3}", ms(timing.predecode));
     println!("bench.replay_ms={:.3}", ms(timing.replay));
+    println!("bench.policy_replay_ms={:.3}", ms(timing.policy_replay));
     println!("bench.simulated_programs={}", timing.simulated_programs);
     println!("bench.digest_cache_hits={}", timing.digest_cache_hits);
     println!("bench.jobs_per_sec={jobs_per_sec:.1}");
@@ -642,10 +643,10 @@ fn run_bench(args: &[String]) -> Result<ExitCode, String> {
 
     if write_json {
         let json = format!(
-            "{{\n  \"schema\": 3,\n  \"seeds\": {},\n  \"corners\": {},\n  \"master_seed\": {},\n  \
+            "{{\n  \"schema\": 4,\n  \"seeds\": {},\n  \"corners\": {},\n  \"master_seed\": {},\n  \
              \"jobs\": {},\n  \"evaluated_cycles\": {},\n  \"wall_ms\": {:.3},\n  \
              \"simulate_ms\": {:.3},\n  \"predecode_ms\": {:.3},\n  \"replay_ms\": {:.3},\n  \
-             \"simulated_programs\": {},\n  \
+             \"policy_replay_ms\": {:.3},\n  \"simulated_programs\": {},\n  \
              \"digest_cache_hits\": {},\n  \"jobs_per_sec\": {:.1},\n  \
              \"cycles_per_sec\": {:.0},\n  \"replay_cycle_corners_per_sec\": {:.0}\n}}\n",
             config.seeds,
@@ -657,6 +658,7 @@ fn run_bench(args: &[String]) -> Result<ExitCode, String> {
             ms(timing.simulate),
             ms(timing.predecode),
             ms(timing.replay),
+            ms(timing.policy_replay),
             timing.simulated_programs,
             timing.digest_cache_hits,
             jobs_per_sec,

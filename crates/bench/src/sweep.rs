@@ -22,12 +22,13 @@
 //!    corner-invariant policy decisions per block, one batched dither
 //!    kernel per cycle — and evaluates every cycle against **all** `M`
 //!    corners at once through the vectorized [`CornerBank`] lanes. The
-//!    per-lane [`CycleTiming`]s feed `M` policy
-//!    stacks (static baseline, margin-guarded instruction-based and
-//!    execute-only [`PolicyObserver`]s, plus all `M` online-learning
-//!    adaptive controllers folded through one SoA [`AdaptiveBank`]) —
-//!    with no pipeline simulator and no per-corner scalar state in the
-//!    loop.
+//!    evaluated cycle stays in structure-of-arrays form end to end: the
+//!    shared delay/max lanes feed three lane-packed [`PolicyBank`]s
+//!    (static baseline, margin-guarded instruction-based and
+//!    execute-only) and all `M` online-learning adaptive controllers
+//!    folded through one SoA [`AdaptiveBank`] — with no pipeline
+//!    simulator, no per-corner `CycleTiming` structs and no per-corner
+//!    scalar state in the loop.
 //!
 //! The banked replay is bit-identical to the retained lane-by-lane path
 //! ([`pvt_sweep_lanewise`], which replays each `(digest, corner)` pair
@@ -46,7 +47,7 @@
 use idca_core::{
     policy::{ExecuteOnly, InstructionBased, StaticClock},
     AdaptiveBank, AdaptiveConfig, AdaptiveObserver, ClockGenerator, ClockPolicy, DelayLut, Drift,
-    PolicyObserver,
+    PolicyBank, PolicyObserver,
 };
 use idca_gen::{generate_program, nth_seed, GenConfig};
 use idca_isa::Program;
@@ -55,8 +56,7 @@ use idca_pipeline::{
     Simulator, TimingDigest, SIMULATOR_VERSION,
 };
 use idca_timing::{
-    CornerBank, CycleTiming, FaultPlan, FaultSpec, ProfileKind, Ps, PvtCorner, TimingModel,
-    VariationModel,
+    CornerBank, FaultPlan, FaultSpec, ProfileKind, Ps, PvtCorner, TimingModel, VariationModel,
 };
 use idca_workloads::suite::par_map;
 use std::cell::RefCell;
@@ -66,6 +66,11 @@ use std::time::{Duration, Instant};
 
 /// Names of the policies evaluated per job, in report order.
 pub const SWEEP_POLICIES: [&str; 4] = ["static", "instruction-based", "execute-only", "adaptive"];
+
+/// The sweep's clock-generator model with a `'static` lifetime, so
+/// worker-local replay scratch (whose banks borrow their generator) can
+/// outlive any single job.
+static IDEAL_GENERATOR: ClockGenerator = ClockGenerator::Ideal;
 
 /// Configuration of one Monte Carlo PVT sweep.
 #[derive(Debug, Clone)]
@@ -110,6 +115,28 @@ impl Default for SweepConfig {
     }
 }
 
+impl SweepConfig {
+    /// Rejects degenerate sweep shapes before any work is scheduled: a
+    /// sweep with `seeds == 0` or `corners == 0` has no jobs, and silently
+    /// returning an empty report would mask a mis-built config (a CLI or
+    /// orchestration bug) as a successful sweep. Every engine validates
+    /// first and surfaces [`SweepError::InvalidConfig`] naming the field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SweepError::InvalidConfig`] when `seeds` or `corners`
+    /// is zero.
+    pub fn validate(&self) -> Result<(), SweepError> {
+        if self.seeds == 0 {
+            return Err(SweepError::InvalidConfig { field: "seeds" });
+        }
+        if self.corners == 0 {
+            return Err(SweepError::InvalidConfig { field: "corners" });
+        }
+        Ok(())
+    }
+}
+
 /// Structured failure of a sweep (or one of its shards). The sweep engines
 /// return this instead of panicking: one pathological seed must fail only
 /// its own run — with enough context to reproduce it — not abort a whole
@@ -129,6 +156,14 @@ pub enum SweepError {
         /// What the pipeline reported (names the cycle limit on overrun).
         error: PipelineError,
     },
+    /// The sweep configuration is degenerate: a shape field that must be
+    /// at least 1 is zero, so the sweep would have no jobs at all. Rejected
+    /// up front (see [`SweepConfig::validate`]) instead of returning an
+    /// empty report that hides the mis-configuration.
+    InvalidConfig {
+        /// Name of the rejected [`SweepConfig`] field.
+        field: &'static str,
+    },
 }
 
 impl std::fmt::Display for SweepError {
@@ -142,6 +177,10 @@ impl std::fmt::Display for SweepError {
                 f,
                 "sweep job for seed index {seed_index} (program seed {program_seed:#x}) failed: {error}"
             ),
+            SweepError::InvalidConfig { field } => write!(
+                f,
+                "invalid sweep config: `{field}` must be at least 1 (a zero-{field} sweep has no jobs)"
+            ),
         }
     }
 }
@@ -150,6 +189,7 @@ impl std::error::Error for SweepError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SweepError::JobFailed { error, .. } => Some(error),
+            SweepError::InvalidConfig { .. } => None,
         }
     }
 }
@@ -518,6 +558,13 @@ pub struct SweepTiming {
     pub predecode: Duration,
     /// Phase 2: the corner-batched digest replays.
     pub replay: Duration,
+    /// Time phase 2 spent inside the per-seed replay jobs proper — the
+    /// policy-bank and adaptive-bank digest folds — summed across workers.
+    /// A subset of `replay` (not an additional phase): the remainder is
+    /// corner-constant setup (varied models, policy tables, the SoA corner
+    /// bank) plus scheduling. Reported by the corner-batched engine only;
+    /// the reference engines leave it 0.
+    pub policy_replay: Duration,
     /// Programs phase 1 actually simulated (0 on a fully warm cache).
     pub simulated_programs: u32,
     /// Digests phase 1 loaded from the cache instead of simulating.
@@ -727,6 +774,112 @@ fn replay_job(
     }
 }
 
+/// Worker-local scratch of the corner-batched replay: the three SoA
+/// [`PolicyBank`]s, the SoA [`AdaptiveBank`] and the per-cycle lane
+/// buffers, allocated once per worker thread and reset (not reallocated)
+/// between jobs — mirroring the [`SimBuffers`] reuse of phase 1, so
+/// large-`M` sweeps don't pay `O(M)` lane allocations per seed.
+///
+/// The scratch is keyed by the sweep's per-corner static periods and fault
+/// plan: within one sweep every job shares them, so the banks are rebuilt
+/// only when a *different* sweep runs on the same worker thread (e.g.
+/// consecutive configs in one process).
+struct ReplayScratch {
+    /// Key: the per-corner static periods the banks were built for.
+    static_periods: Vec<Ps>,
+    /// Key: the fault plan the banks classify violations under.
+    faults: Option<FaultPlan>,
+    /// Hoisted per-corner static-baseline requests (walk-constant).
+    static_requests: Vec<Ps>,
+    bank_static: PolicyBank<'static>,
+    bank_lut: PolicyBank<'static>,
+    bank_exec: PolicyBank<'static>,
+    adaptive: AdaptiveBank<'static>,
+}
+
+impl ReplayScratch {
+    fn new(contexts: &[CornerContext], faults: Option<&FaultPlan>) -> ReplayScratch {
+        let corners = contexts.len();
+        let static_periods: Vec<Ps> = contexts
+            .iter()
+            .map(|ctx| ctx.varied.static_period_ps())
+            .collect();
+        let bank = |name: &str| {
+            let mut bank = PolicyBank::new(name, corners, &IDEAL_GENERATOR);
+            if let Some(plan) = faults {
+                bank = bank.with_faults(*plan);
+            }
+            bank
+        };
+        let mut adaptive = AdaptiveBank::from_static_periods(
+            static_periods.clone(),
+            &AdaptiveConfig::default(),
+            &IDEAL_GENERATOR,
+            None,
+            Drift::None,
+        );
+        if let Some(plan) = faults {
+            adaptive = adaptive.with_faults(*plan);
+        }
+        ReplayScratch {
+            static_periods,
+            faults: faults.copied(),
+            static_requests: contexts
+                .iter()
+                .map(|ctx| ctx.static_policy.period())
+                .collect(),
+            bank_static: bank(SWEEP_POLICIES[0]),
+            bank_lut: bank(SWEEP_POLICIES[1]),
+            bank_exec: bank(SWEEP_POLICIES[2]),
+            adaptive,
+        }
+    }
+
+    /// Whether this scratch was built for exactly this sweep's corners and
+    /// fault plan (and can therefore be reset instead of rebuilt).
+    fn matches(&self, contexts: &[CornerContext], faults: Option<&FaultPlan>) -> bool {
+        self.faults == faults.copied()
+            && self.static_periods.len() == contexts.len()
+            && self
+                .static_periods
+                .iter()
+                .zip(contexts)
+                .all(|(period, ctx)| *period == ctx.varied.static_period_ps())
+    }
+
+    /// Clears all per-job accumulator state (bank lanes, learned tables).
+    fn reset(&mut self) {
+        self.bank_static.reset();
+        self.bank_lut.reset();
+        self.bank_exec.reset();
+        self.adaptive.reset(None);
+    }
+}
+
+/// Runs `f` with this worker thread's replay scratch, building it on first
+/// use (or when the sweep's corners/fault plan changed) and resetting it
+/// otherwise — the phase-2 counterpart of [`with_worker_buffers`].
+fn with_replay_scratch<R>(
+    contexts: &[CornerContext],
+    faults: Option<&FaultPlan>,
+    f: impl FnOnce(&mut ReplayScratch) -> R,
+) -> R {
+    thread_local! {
+        static SCRATCH: RefCell<Option<ReplayScratch>> = const { RefCell::new(None) };
+    }
+    SCRATCH.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        let scratch = match slot.as_mut() {
+            Some(scratch) if scratch.matches(contexts, faults) => {
+                scratch.reset();
+                scratch
+            }
+            _ => slot.insert(ReplayScratch::new(contexts, faults)),
+        };
+        f(scratch)
+    })
+}
+
 /// Phase 2 worker of the corner-batched engine: replays one seed's digest
 /// against **every** corner in a single walk. Each RLE run-block is decoded
 /// once; the table-driven policies' requests (constant across the block,
@@ -734,18 +887,20 @@ fn replay_job(
 /// corner-invariant too) are decided once per block; each cycle's six stage
 /// dithers come out of one batched hash kernel and are broadcast; the
 /// per-corner delay folds run through the [`CornerBank`]'s vectorized
-/// lanes; and the `M` adaptive controllers' learned tables live in one
-/// SoA [`AdaptiveBank`] updated in lane-friendly folds — no per-corner
+/// lanes; and **all** per-corner policy state lives in structure-of-arrays
+/// banks — the three table-driven policies' accumulators in
+/// [`PolicyBank`]s (one realize/threshold/penalty derivation per run-block,
+/// one contiguous compare-and-count per cycle) and the `M` adaptive
+/// controllers' learned tables in one [`AdaptiveBank`] — no per-corner
 /// scalar state walks the digest anymore.
 ///
-/// The sweep keeps only violations and frequencies per row, so the
-/// [`PolicyObserver`]s fold **no** switching activity here
-/// ([`PolicyObserver::observe_timing_prepared`]) — the lane-by-lane
-/// reference path still folds it per policy, and the rows are proven
-/// byte-identical anyway because [`SweepJobOutcome`] never carries
-/// activity. Produces the same rows, bit for bit, as running
-/// [`replay_job`] per corner (pinned by the banked-replay tests): one
-/// decode, one dither batch, `M` corner outcomes.
+/// The sweep keeps only violations and frequencies per row, so no
+/// switching activity is folded here — the lane-by-lane reference path
+/// still folds it per policy, and the rows are proven byte-identical
+/// anyway because [`SweepJobOutcome`] never carries activity. Produces the
+/// same rows, bit for bit, as running [`replay_job`] per corner (pinned by
+/// the banked-replay tests): one decode, one dither batch, `M` corner
+/// outcomes.
 fn replay_seed_banked(
     digest: &TimingDigest,
     contexts: &[CornerContext],
@@ -756,111 +911,72 @@ fn replay_seed_banked(
     if contexts.is_empty() {
         return Vec::new();
     }
-    let mut ob_static: Vec<PolicyObserver<'_>> = contexts
-        .iter()
-        .map(|ctx| {
-            with_sweep_faults(
-                PolicyObserver::new(&ctx.varied, &ctx.static_policy, &ClockGenerator::Ideal),
-                faults,
-            )
-        })
-        .collect();
-    let mut ob_lut: Vec<PolicyObserver<'_>> = contexts
-        .iter()
-        .map(|ctx| {
-            with_sweep_faults(
-                PolicyObserver::new(&ctx.varied, &ctx.lut_policy, &ClockGenerator::Ideal),
-                faults,
-            )
-        })
-        .collect();
-    let mut ob_exec: Vec<PolicyObserver<'_>> = contexts
-        .iter()
-        .map(|ctx| {
-            with_sweep_faults(
-                PolicyObserver::new(&ctx.varied, &ctx.exec_only, &ClockGenerator::Ideal),
-                faults,
-            )
-        })
-        .collect();
-    let mut ob_adaptive = AdaptiveBank::from_static_periods(
+    with_replay_scratch(contexts, faults, |scratch| {
+        let mut evaluator = bank.evaluator();
+        digest.for_each_run(|start, len, dc| {
+            // Stage classes are constant across a run-block and every
+            // corner deploys the same guarded LUT, so one decision serves
+            // the whole block across all corners; the banks hoist the
+            // realized period and violation threshold with it.
+            scratch
+                .bank_lut
+                .begin_block(contexts[0].lut_policy.digest_period_ps(start, dc));
+            scratch
+                .bank_exec
+                .begin_block(contexts[0].exec_only.digest_period_ps(start, dc));
+            scratch
+                .bank_static
+                .begin_block_per_corner(&scratch.static_requests);
+            for cycle in start..start + u64::from(len) {
+                // The evaluated cycle stays in structure-of-arrays form end
+                // to end: no per-corner `CycleTiming` structs are built on
+                // the hot path.
+                let lanes = evaluator.cycle_lanes(cycle, dc);
+                if let Some(plan) = faults {
+                    // The perturbation is the same pure
+                    // `(fault seed, cycle)` function the scalar paths
+                    // apply, so the lanes stay bit-identical to them.
+                    lanes.apply_fault(plan, cycle);
+                }
+                let lanes = &*lanes;
+                scratch.bank_static.observe_actuals(lanes.max_lanes());
+                scratch.bank_lut.observe_actuals(lanes.max_lanes());
+                scratch.bank_exec.observe_actuals(lanes.max_lanes());
+                scratch.adaptive.observe_cycle_lanes(cycle, dc, lanes);
+            }
+        });
+
+        let summary = digest.summary();
+        scratch.bank_static.finish(&summary);
+        scratch.bank_lut.finish(&summary);
+        scratch.bank_exec.finish(&summary);
+        scratch.adaptive.finish(&summary);
+        let out_static = scratch.bank_static.take_outcomes();
+        let out_lut = scratch.bank_lut.take_outcomes();
+        let out_exec = scratch.bank_exec.take_outcomes();
+        let out_adaptive = scratch.adaptive.take_outcomes();
+
+        let stacks = out_static
+            .into_iter()
+            .zip(out_lut)
+            .zip(out_exec)
+            .zip(out_adaptive);
         contexts
             .iter()
-            .map(|ctx| ctx.varied.static_period_ps())
-            .collect(),
-        &AdaptiveConfig::default(),
-        &ClockGenerator::Ideal,
-        None,
-        Drift::None,
-    );
-    if let Some(plan) = faults {
-        ob_adaptive = ob_adaptive.with_faults(*plan);
-    }
-
-    // The static baseline's request never changes: hoist it out of the walk.
-    let static_req: Vec<Ps> = contexts
-        .iter()
-        .map(|ctx| ctx.static_policy.period())
-        .collect();
-
-    let mut evaluator = bank.evaluator();
-    // Fault-perturbed copies of the per-corner timings, reused per cycle.
-    // The perturbation is the same pure `(fault seed, cycle)` function the
-    // scalar paths apply, so the lanes stay bit-identical to them.
-    let mut faulted: Vec<CycleTiming> = Vec::new();
-    digest.for_each_run(|start, len, dc| {
-        // Stage classes are constant across a run-block and every corner
-        // deploys the same guarded LUT, so one decision serves the whole
-        // block across all corners.
-        let lut_req = contexts[0].lut_policy.digest_period_ps(start, dc);
-        let exec_req = contexts[0].exec_only.digest_period_ps(start, dc);
-        for cycle in start..start + u64::from(len) {
-            let timings = evaluator.cycle_timings(cycle, dc);
-            let timings: &[CycleTiming] = match faults {
-                Some(plan) => {
-                    faulted.clear();
-                    faulted.extend(timings.iter().map(|t| plan.faulted(cycle, t)));
-                    &faulted
-                }
-                None => timings,
-            };
-            for (corner, timing) in timings.iter().enumerate() {
-                ob_static[corner].observe_timing_prepared(static_req[corner], timing);
-                ob_lut[corner].observe_timing_prepared(lut_req, timing);
-                ob_exec[corner].observe_timing_prepared(exec_req, timing);
-            }
-            ob_adaptive.observe_digest_timed(cycle, dc, timings);
-        }
-    });
-
-    let summary = digest.summary();
-    ob_adaptive.finish(&summary);
-    let adaptive_outcomes = ob_adaptive.into_outcomes();
-    let stacks = ob_static
-        .into_iter()
-        .zip(ob_lut)
-        .zip(ob_exec)
-        .zip(adaptive_outcomes);
-    contexts
-        .iter()
-        .zip(stacks)
-        .map(|(ctx, (((mut ob_s, mut ob_l), mut ob_e), adaptive))| {
-            ob_s.finish(&summary);
-            ob_l.finish(&summary);
-            ob_e.finish(&summary);
-            SweepJobOutcome {
+            .zip(stacks)
+            .map(|(ctx, (((ob_s, ob_l), ob_e), adaptive))| SweepJobOutcome {
                 seed_index,
                 corner_index: ctx.corner_index,
                 cycles: summary.cycles,
                 policies: [
-                    policy_outcome(ob_s.into_outcome()),
-                    policy_outcome(ob_l.into_outcome()),
-                    policy_outcome(ob_e.into_outcome()),
+                    policy_outcome(ob_s),
+                    policy_outcome(ob_l),
+                    policy_outcome(ob_e),
                     adaptive_outcome(adaptive),
                 ],
-            }
-        })
-        .collect()
+            })
+            .collect()
+    })
 }
 
 /// Runs one `(program, corner)` job: a single streaming simulation pass
@@ -1161,6 +1277,7 @@ pub fn pvt_sweep_seed_range_timed_with_cache(
     seed_range: Range<u32>,
     cache_dir: Option<&Path>,
 ) -> Result<(SweepReport, SweepTiming), SweepError> {
+    config.validate()?;
     let (nominal, guarded_lut, corner_samples) = sweep_setup(config);
     let seed_range = seed_range.start.min(config.seeds)..seed_range.end.min(config.seeds);
 
@@ -1204,18 +1321,20 @@ pub fn pvt_sweep_seed_range_timed_with_cache(
     let varied_models: Vec<TimingModel> = contexts.iter().map(|ctx| ctx.varied.clone()).collect();
     let bank = CornerBank::from_models(&varied_models);
     let positions: Vec<usize> = (0..seed_indices.len()).collect();
-    let outcomes: Vec<SweepJobOutcome> = par_map(&positions, |&p| {
-        replay_seed_banked(
+    let timed_jobs: Vec<(Vec<SweepJobOutcome>, Duration)> = par_map(&positions, |&p| {
+        let job_start = Instant::now();
+        let rows = replay_seed_banked(
             &digests[p].0,
             &contexts,
             &bank,
             plan.as_ref(),
             seed_indices[p],
-        )
-    })
-    .into_iter()
-    .flatten()
-    .collect();
+        );
+        (rows, job_start.elapsed())
+    });
+    let policy_replay = timed_jobs.iter().map(|(_, d)| *d).sum();
+    let outcomes: Vec<SweepJobOutcome> =
+        timed_jobs.into_iter().flat_map(|(rows, _)| rows).collect();
     let replay = start.elapsed();
 
     Ok((
@@ -1224,6 +1343,7 @@ pub fn pvt_sweep_seed_range_timed_with_cache(
             simulate,
             predecode,
             replay,
+            policy_replay,
             simulated_programs: seed_indices.len() as u32 - digest_cache_hits,
             digest_cache_hits,
         },
@@ -1251,6 +1371,7 @@ pub fn pvt_sweep_lanewise(config: &SweepConfig) -> Result<SweepReport, SweepErro
 pub fn pvt_sweep_lanewise_timed(
     config: &SweepConfig,
 ) -> Result<(SweepReport, SweepTiming), SweepError> {
+    config.validate()?;
     let (nominal, guarded_lut, corner_samples) = sweep_setup(config);
 
     let start = Instant::now();
@@ -1287,6 +1408,7 @@ pub fn pvt_sweep_lanewise_timed(
             simulate,
             predecode,
             replay,
+            policy_replay: Duration::ZERO,
             simulated_programs: config.seeds,
             digest_cache_hits: 0,
         },
@@ -1303,6 +1425,7 @@ pub fn pvt_sweep_lanewise_timed(
 ///
 /// Returns [`SweepError::JobFailed`] if any program fails to simulate.
 pub fn pvt_sweep_direct(config: &SweepConfig) -> Result<SweepReport, SweepError> {
+    config.validate()?;
     let (nominal, guarded_lut, corner_samples) = sweep_setup(config);
 
     let seed_indices: Vec<u32> = (0..config.seeds).collect();
@@ -1373,7 +1496,10 @@ mod tests {
                 seed_index,
                 program_seed,
                 error: ref cause,
-            } = error;
+            } = error
+            else {
+                panic!("expected JobFailed, got {error:?}");
+            };
             assert_eq!(seed_index, 0, "first failure in canonical order");
             assert_eq!(program_seed, nth_seed(config.master_seed, 0));
             assert!(matches!(cause, PipelineError::CycleLimitExceeded { .. }));
@@ -1385,6 +1511,39 @@ mod tests {
                 "pipeline cause is chained"
             );
         }
+    }
+
+    #[test]
+    fn zero_seed_and_zero_corner_sweeps_are_rejected_up_front() {
+        for (seeds, corners, field) in [(0, 4, "seeds"), (4, 0, "corners"), (0, 0, "seeds")] {
+            let config = SweepConfig {
+                seeds,
+                corners,
+                ..SweepConfig::default()
+            };
+            for result in [
+                pvt_sweep(&config),
+                pvt_sweep_lanewise(&config),
+                pvt_sweep_direct(&config),
+            ] {
+                let error = result.expect_err("degenerate shape must be rejected");
+                assert_eq!(error, SweepError::InvalidConfig { field });
+                let message = error.to_string();
+                assert!(message.contains(field), "{message}");
+                assert!(
+                    std::error::Error::source(&error).is_none(),
+                    "config errors have no underlying cause"
+                );
+            }
+        }
+        // The smallest non-degenerate shape passes validation.
+        SweepConfig {
+            seeds: 1,
+            corners: 1,
+            ..SweepConfig::default()
+        }
+        .validate()
+        .expect("1x1 is a valid sweep");
     }
 
     #[test]

@@ -540,9 +540,25 @@ fn sweep_rejects_malformed_flags() {
     };
     assert!(!run(&["sweep", "--seeds"]).status.success());
     assert!(!run(&["sweep", "--seeds", "zero"]).status.success());
-    assert!(!run(&["sweep", "--seeds", "0"]).status.success());
     assert!(!run(&["sweep", "--bogus", "1"]).status.success());
     assert!(run(&["sweep", "--help"]).status.success());
+
+    // Zero-sized sweeps are rejected before any work starts, on every
+    // subcommand that takes the axes, and the error names the flag (the
+    // library layer double-checks via `SweepConfig::validate`).
+    for (sub, flag) in [
+        ("sweep", "--seeds"),
+        ("sweep", "--corners"),
+        ("bench", "--seeds"),
+        ("bench", "--corners"),
+    ] {
+        let output = run(&[sub, flag, "0"]);
+        assert!(!output.status.success(), "{sub} {flag} 0 was accepted");
+        assert!(
+            String::from_utf8_lossy(&output.stderr).contains(flag),
+            "{sub} {flag} 0 error does not name the flag"
+        );
+    }
 
     // Shard specs are validated in one place; each rejection names the rule.
     for bad in ["0/4", "5/4", "1/0", "x/4", "1-4", "1/2/3"] {

@@ -21,7 +21,7 @@ use idca_isa::TimingClass;
 use idca_pipeline::{
     CycleObserver, CycleRecord, DigestCycle, PipelineTrace, RunSummary, Stage, TimingDigest,
 };
-use idca_timing::{CornerBank, CycleTiming, FaultPlan, Ps, TimingModel, LANE_WIDTH};
+use idca_timing::{CornerBank, CycleLanes, CycleTiming, FaultPlan, Ps, TimingModel, LANE_WIDTH};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the online-adaptive clock controller.
@@ -427,6 +427,13 @@ pub struct AdaptiveBank<'a> {
     warm: Vec<bool>,
     realized: Vec<Ps>,
     violated: Vec<bool>,
+    // Lanes-path scratch (`padded` long): the realized period of violated
+    // lanes, `+inf` otherwise, so the adapt pass's backoff test is one
+    // `f64` compare. Padding lanes stay `+inf` forever.
+    violation_limit: Vec<Ps>,
+    // Lanes-path constant (`padded` long): `2 x static_period` per corner,
+    // the adapt pass's backoff cap (padding lanes 0).
+    backoff_cap: Vec<Ps>,
     outcomes: Option<Vec<AdaptiveOutcome>>,
 }
 
@@ -483,6 +490,13 @@ impl<'a> AdaptiveBank<'a> {
                 }
             }
         }
+        // Padded copy of the backoff cap (`2 x` each corner's static
+        // period, exactly the scalar expression hoisted out of the adapt
+        // loop); padding lanes cap at 0 and are never read back.
+        let mut backoff_cap = vec![0.0; padded];
+        for (cap, period) in backoff_cap.iter_mut().zip(&static_periods) {
+            *cap = *period * 2.0;
+        }
         AdaptiveBank {
             config: *config,
             generator,
@@ -504,6 +518,8 @@ impl<'a> AdaptiveBank<'a> {
             warm: vec![true; padded],
             realized: vec![0.0; corners],
             violated: vec![false; corners],
+            violation_limit: vec![Ps::INFINITY; padded],
+            backoff_cap,
             outcomes: None,
         }
     }
@@ -518,6 +534,41 @@ impl<'a> AdaptiveBank<'a> {
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = Some(faults);
         self
+    }
+
+    /// Replaces the fault plan (or clears it) without reallocating lanes —
+    /// the worker-scratch path reuses one bank across sweep jobs.
+    pub fn set_faults(&mut self, faults: Option<FaultPlan>) {
+        self.faults = faults;
+    }
+
+    /// Clears the learned tables and run accumulators so the bank can
+    /// replay another digest without reallocating its lane storage —
+    /// equivalent to rebuilding it via [`AdaptiveBank::from_static_periods`]
+    /// with the same periods, config, generator and drift.
+    pub fn reset(&mut self, seed_lut: Option<&DelayLut>) {
+        self.learned.fill(0.0);
+        self.observations.fill(0);
+        if let Some(lut) = seed_lut {
+            for stage in Stage::ALL {
+                for class in TimingClass::ALL {
+                    let at = table_offset(self.padded, stage, class);
+                    let seeded = lut.delay_ps(stage, class);
+                    for lane in 0..self.corners {
+                        self.learned[at + lane] = seeded;
+                        self.observations[at + lane] = self.config.warmup_observations;
+                    }
+                }
+            }
+        }
+        self.total_time.fill(0.0);
+        self.penalty_time.fill(0.0);
+        self.violations.fill(0);
+        self.recovered_cycles.fill(0);
+        self.replay_penalty_cycles.fill(0);
+        self.silent_risk_cycles.fill(0);
+        self.warmup_cycles.fill(0);
+        self.outcomes = None;
     }
 
     /// Number of corners in the bank (excluding padding lanes).
@@ -642,6 +693,168 @@ impl<'a> AdaptiveBank<'a> {
         }
     }
 
+    /// [`AdaptiveBank::observe_digest_timed`] straight off a
+    /// [`idca_timing::BankEvaluator`]'s structure-of-arrays [`CycleLanes`]
+    /// — the hot entry point of the corner-batched sweep. No per-corner
+    /// [`CycleTiming`] structs are materialized: the observe pass folds the
+    /// contiguous max-delay lanes and the adapt pass folds each keyed
+    /// `(stage, class)` entry against the matching contiguous stage lanes.
+    /// Bit-identical, lane by lane, to the scalar observer (the hoisted
+    /// `(1 + margin)`-style factors are computed exactly as the scalar
+    /// expressions, just once per cycle instead of once per lane).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lanes' padded width differs from the bank's.
+    // `inline(never)` is load-bearing: letting this body inline into the
+    // sweep's replay loop (alongside the evaluator and the three policy
+    // banks) doubles the replay time at 100×8 — the merged loop spills
+    // registers across every pass. Keeping it a call leaves each kernel
+    // small enough to vectorize cleanly.
+    #[inline(never)]
+    pub fn observe_cycle_lanes(&mut self, cycle: u64, dc: &DigestCycle, lanes: &CycleLanes) {
+        let padded = self.padded;
+        assert_eq!(lanes.padded_lanes(), padded, "lane widths must match");
+        let corners = self.corners;
+        if corners == 0 {
+            return;
+        }
+        let generator = self.generator;
+
+        // 1. Predict — identical to `observe_digest_timed`, exploiting a
+        //    structural invariant of the bank: every observe pass increments
+        //    the touched entry's observation count for all lanes together
+        //    (and construction/reset/seed-LUT initialization is equally
+        //    lane-uniform), so one entry's count is the same in every lane
+        //    and warmth is a per-entry scalar. The fold then touches only
+        //    `f64` lanes — no per-lane counter compares — and the warm flag
+        //    collapses to one bool per cycle.
+        self.requested.fill(0.0);
+        let warmup = self.config.warmup_observations;
+        let mut all_warm = true;
+        for stage in Stage::ALL {
+            let at = table_offset(padded, stage, dc.classes[stage.index()]);
+            if self.observations[at] >= warmup {
+                let learned = &self.learned[at..at + padded];
+                let requested = &mut self.requested[..padded];
+                // Comparison-select form of the scalar `f64::max` fold:
+                // learned periods are finite and non-negative (never NaN
+                // or -0.0), so the picked value is bit-identical — and the
+                // fixed-trip inner loop gives the vectorizer a compile-time
+                // width (a runtime trip of `padded` = 8 lanes stays scalar).
+                let chunks = requested
+                    .chunks_exact_mut(LANE_WIDTH)
+                    .zip(learned.chunks_exact(LANE_WIDTH));
+                for (req4, learned4) in chunks {
+                    for l in 0..LANE_WIDTH {
+                        let learned = learned4[l];
+                        req4[l] = if learned > req4[l] { learned } else { req4[l] };
+                    }
+                }
+            } else {
+                all_warm = false;
+            }
+        }
+
+        // 2. Realize and observe: the same arithmetic (and order of
+        //    operations) as the scalar observer, over length-bound slices
+        //    so the per-lane indexing stays check-free.
+        let drift_factor = self.drift.factor(cycle);
+        let recovery = self.faults.as_ref().map(|plan| {
+            let spec = plan.spec();
+            (
+                1.0 + spec.detect_window,
+                u64::from(spec.replay_penalty),
+                f64::from(spec.replay_penalty),
+            )
+        });
+        let actual_lanes = &lanes.max_lanes()[..corners];
+        let requested = &self.requested[..corners];
+        let static_period = &self.static_period[..corners];
+        let warmup_cycles = &mut self.warmup_cycles[..corners];
+        let violations = &mut self.violations[..corners];
+        let recovered = &mut self.recovered_cycles[..corners];
+        let replayed = &mut self.replay_penalty_cycles[..corners];
+        let silent = &mut self.silent_risk_cycles[..corners];
+        let penalty_time = &mut self.penalty_time[..corners];
+        let total_time = &mut self.total_time[..corners];
+        let violation_limit = &mut self.violation_limit[..corners];
+        // Warmth is lane-uniform (see the predict pass), so the cold-lane
+        // padding is one loop-invariant branch the compiler unswitches.
+        let cold = !all_warm;
+        for lane in 0..corners {
+            let padded_up = requested[lane].max(static_period[lane]);
+            let request = if cold { padded_up } else { requested[lane] };
+            warmup_cycles[lane] += u64::from(cold);
+            let realized = generator.realize(request);
+            let actual_max = actual_lanes[lane] * drift_factor;
+            let violated = realized + 1e-9 < actual_max;
+            violations[lane] += u64::from(violated);
+            if let Some((detect_factor, penalty_cycles, penalty)) = recovery {
+                let detected = violated && actual_max <= realized * detect_factor;
+                recovered[lane] += u64::from(detected);
+                replayed[lane] += u64::from(detected) * penalty_cycles;
+                silent[lane] += u64::from(violated && !detected);
+                // `x + 0.0 == x` bit-exactly for the non-negative
+                // accumulator, so the select matches the scalar observer's
+                // guarded add while keeping the loop branch-free.
+                penalty_time[lane] += if detected { realized * penalty } else { 0.0 };
+            }
+            total_time[lane] += realized;
+            // The adapt pass only asks "was this lane violated, and is the
+            // observed delay above its realized period" — encoding the
+            // non-violated case as `+inf` turns that into a single compare.
+            violation_limit[lane] = if violated { realized } else { Ps::INFINITY };
+        }
+
+        // 3. Adapt the in-flight entries, lane-contiguously per keyed
+        //    `(stage, class)` entry against that stage's contiguous delay
+        //    lanes.
+        let margin_factor = 1.0 + self.config.margin;
+        let backoff_factor = 1.0 + self.config.violation_backoff;
+        for stage in Stage::ALL {
+            let at = table_offset(padded, stage, dc.classes[stage.index()]);
+            // Separate counter bump: keeps the learn loop pure-`f64` so it
+            // vectorizes without integer lanes mixed in.
+            for count in &mut self.observations[at..at + corners] {
+                *count += 1;
+            }
+            // The learn fold runs over the full padded width in fixed-trip
+            // chunks (compile-time trip count, packed compare-and-blend).
+            // Padding lanes carry a 0 delay, a 0 cap and a `+inf` violation
+            // limit; their learned entries are never read back.
+            let learned = &mut self.learned[at..at + padded];
+            let observed_lanes = &lanes.stage_lanes(stage)[..padded];
+            let violation_limit = &self.violation_limit[..padded];
+            let backoff_cap = &self.backoff_cap[..padded];
+            let chunks = learned
+                .chunks_exact_mut(LANE_WIDTH)
+                .zip(observed_lanes.chunks_exact(LANE_WIDTH))
+                .zip(violation_limit.chunks_exact(LANE_WIDTH))
+                .zip(backoff_cap.chunks_exact(LANE_WIDTH));
+            for (((learned4, observed4), limit4), cap4) in chunks {
+                for l in 0..LANE_WIDTH {
+                    let observed = observed4[l] * drift_factor;
+                    let target = observed * margin_factor;
+                    let grown = if target > learned4[l] {
+                        target
+                    } else {
+                        learned4[l]
+                    };
+                    // This lane's stage was (one of) the violators: back off
+                    // so the next occurrence gets headroom against drift.
+                    // Select form of the scalar conditional update — the
+                    // `f64::min` cap as a compare-and-select over finite
+                    // non-negative periods picks bit-identical values.
+                    let boosted = grown * backoff_factor;
+                    let backed = if boosted < cap4[l] { boosted } else { cap4[l] };
+                    let backoff = observed + 1e-9 > limit4[l];
+                    learned4[l] = if backoff { backed } else { grown };
+                }
+            }
+        }
+    }
+
     /// Finalizes every corner's outcome from the run totals — the banked
     /// counterpart of [`CycleObserver::finish`] on each scalar observer.
     pub fn finish(&mut self, summary: &RunSummary) {
@@ -697,6 +910,20 @@ impl<'a> AdaptiveBank<'a> {
     #[must_use]
     pub fn into_outcomes(self) -> Vec<AdaptiveOutcome> {
         self.outcomes
+            .expect("the replay must complete (finish) before taking the outcomes")
+    }
+
+    /// [`AdaptiveBank::into_outcomes`] without consuming the bank — the
+    /// worker-scratch path takes the outcomes and keeps the lane storage
+    /// (after [`AdaptiveBank::reset`]) for the next job.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replay never called [`AdaptiveBank::finish`].
+    #[must_use]
+    pub fn take_outcomes(&mut self) -> Vec<AdaptiveOutcome> {
+        self.outcomes
+            .take()
             .expect("the replay must complete (finish) before taking the outcomes")
     }
 }

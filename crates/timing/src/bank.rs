@@ -26,7 +26,7 @@
 //! and by the workspace-level banked-replay property tests.
 
 use crate::model::{blend_excitation, stage_dithers};
-use crate::{CycleTiming, Ps, TimingModel};
+use crate::{CycleTiming, FaultPlan, Ps, TimingModel};
 use idca_isa::TimingClass;
 use idca_pipeline::{DigestCycle, Stage, TimingDigest};
 
@@ -130,6 +130,7 @@ impl CornerBank {
     /// # Panics
     ///
     /// Panics if `out` is shorter than [`CornerBank::padded_lanes`].
+    #[inline]
     pub fn delays_from_excitation(
         &self,
         stage: Stage,
@@ -165,7 +166,7 @@ impl CornerBank {
     pub fn evaluator(&self) -> BankEvaluator<'_> {
         BankEvaluator {
             bank: self,
-            lanes: vec![0.0; self.padded],
+            cycle: CycleLanes::new(self.padded),
             timings: vec![
                 CycleTiming {
                     stage_delay_ps: [0.0; Stage::COUNT],
@@ -196,13 +197,94 @@ impl CornerBank {
     }
 }
 
+/// One evaluated cycle of a [`CornerBank`] kept in structure-of-arrays
+/// layout: per-stage delay lanes plus the folded per-corner maximum, all
+/// padded to [`CornerBank::padded_lanes`]. This is the raw form the
+/// evaluator computes in anyway — [`BankEvaluator::cycle_lanes`] hands it
+/// out without transposing into per-corner [`CycleTiming`] structs, so
+/// lane-oriented consumers (policy banks, the adaptive bank) fold
+/// contiguous slices instead of striding over an array of structs.
+///
+/// Lane `i` of every slice is corner `i`; padding lanes evaluate inert
+/// zero parameters and hold `0.0`.
+#[derive(Debug, Clone)]
+pub struct CycleLanes {
+    padded: usize,
+    /// Stage-major delay lanes: entry `stage.index() * padded + lane` is
+    /// corner `lane`'s delay through that stage this cycle.
+    stage_delay_ps: Vec<Ps>,
+    /// Per-corner maximum stage delay — the lane form of
+    /// [`CycleTiming::max_delay_ps`], folded in stage order with the same
+    /// strict-`>` reduction as the scalar path.
+    max_delay_ps: Vec<Ps>,
+}
+
+impl CycleLanes {
+    fn new(padded: usize) -> CycleLanes {
+        CycleLanes {
+            padded,
+            stage_delay_ps: vec![0.0; Stage::COUNT * padded],
+            max_delay_ps: vec![0.0; padded],
+        }
+    }
+
+    /// Lane count including padding.
+    #[must_use]
+    pub fn padded_lanes(&self) -> usize {
+        self.padded
+    }
+
+    /// One stage's delay lanes (length [`CycleLanes::padded_lanes`]).
+    #[inline]
+    #[must_use]
+    pub fn stage_lanes(&self, stage: Stage) -> &[Ps] {
+        &self.stage_delay_ps[stage.index() * self.padded..][..self.padded]
+    }
+
+    /// The per-corner maximum stage delays (length
+    /// [`CycleLanes::padded_lanes`]).
+    #[inline]
+    #[must_use]
+    pub fn max_lanes(&self) -> &[Ps] {
+        &self.max_delay_ps
+    }
+
+    /// Applies one cycle's fault factors in place — the lane form of
+    /// [`FaultPlan::faulted`]: each stage lane is rescaled by that stage's
+    /// factor and the per-corner maximum is re-folded in stage order with
+    /// the same strict-`>` reduction, so every lane stays bit-identical to
+    /// perturbing its [`CycleTiming`] individually. A cycle with no active
+    /// event leaves the lanes untouched.
+    #[inline]
+    pub fn apply_fault(&mut self, plan: &FaultPlan, cycle: u64) {
+        let factors = plan.stage_factors(cycle);
+        if factors.iter().all(|&f| f == 1.0) {
+            return;
+        }
+        let padded = self.padded;
+        self.max_delay_ps.fill(0.0);
+        for stage in Stage::ALL {
+            let factor = factors[stage.index()];
+            let lanes = &mut self.stage_delay_ps[stage.index() * padded..][..padded];
+            let max = &mut self.max_delay_ps[..padded];
+            for (delay, max) in lanes.iter_mut().zip(max) {
+                let faulted = *delay * factor;
+                *delay = faulted;
+                if faulted > *max {
+                    *max = faulted;
+                }
+            }
+        }
+    }
+}
+
 /// Reusable per-walk state of one [`CornerBank`]: the padded lane scratch
 /// and the per-corner [`CycleTiming`] outputs. Create with
 /// [`CornerBank::evaluator`]; one evaluator serves any number of cycles.
 #[derive(Debug, Clone)]
 pub struct BankEvaluator<'b> {
     bank: &'b CornerBank,
-    lanes: Vec<Ps>,
+    cycle: CycleLanes,
     timings: Vec<CycleTiming>,
 }
 
@@ -214,38 +296,86 @@ impl BankEvaluator<'_> {
     }
 
     /// Evaluates one digested cycle against every corner of the bank,
-    /// returning one [`CycleTiming`] per corner (index = corner). Each
-    /// entry is bit-identical to
-    /// `models[corner].digest_cycle_timing(cycle, dc)` on the model the
-    /// bank was built from: the dither, blend and delay arithmetic is the
-    /// same, only batched.
-    pub fn cycle_timings(&mut self, cycle: u64, dc: &DigestCycle) -> &[CycleTiming] {
+    /// returning the delay lanes in structure-of-arrays form — the hot
+    /// entry point of the corner-batched replay. The lanes carry exactly
+    /// the values [`BankEvaluator::cycle_timings`] would spread over
+    /// [`CycleTiming`] structs (same dither, blend, delay and max-fold
+    /// arithmetic), minus the limiting-stage attribution no lane consumer
+    /// reads. The reference is mutable so a fault plan can perturb the
+    /// lanes in place ([`CycleLanes::apply_fault`]); the next call
+    /// recomputes every lane from scratch.
+    pub fn cycle_lanes(&mut self, cycle: u64, dc: &DigestCycle) -> &mut CycleLanes {
+        let bank = self.bank;
+        let padded = bank.padded;
         // Corner-invariant per-cycle terms, computed once and broadcast: all
         // six stage dithers come out of one batched hash kernel (shared with
         // the scalar `digest_cycle_timing`, so both paths stay bit-identical
         // by construction).
         let dithers = stage_dithers(cycle, dc.fetch_address);
+        let scale = &bank.scale[..padded];
+        // One fused pass per stage: the delay expression is exactly
+        // `delays_from_excitation` and the select-form running max keeps
+        // each lane's comparison sequence in stage order with the scalar
+        // strict-`>` reduction, so both stay bit-identical to the
+        // per-corner path while the loops vectorize branch-free. The first
+        // stage initializes the max lanes outright instead of folding
+        // against a zero fill: delays are non-negative, so the scalar
+        // `delay > 0.0` fold picks the same value either way.
+        let mut first = true;
         for stage in Stage::ALL {
             let dither = dithers[stage.index()];
             let excitation = blend_excitation(dc.excitation[stage.index()].raw(dither), dither);
-            self.bank.delays_from_excitation(
-                stage,
-                dc.classes[stage.index()],
-                excitation,
-                &mut self.lanes,
-            );
-            for (timing, delay) in self.timings.iter_mut().zip(&self.lanes) {
-                timing.stage_delay_ps[stage.index()] = *delay;
+            let shortfall = 1.0 - excitation;
+            let at = lane_offset(padded, stage, dc.classes[stage.index()]);
+            let base = &bank.base[at..at + padded];
+            let spread = &bank.spread[at..at + padded];
+            let out = &mut self.cycle.stage_delay_ps[stage.index() * padded..][..padded];
+            let max = &mut self.cycle.max_delay_ps[..padded];
+            // The short-path floor is the `f64::max` of the scalar path in
+            // compare-and-select form: the operands are finite (never NaN)
+            // and a same-valued pair is always bitwise equal (`a - b` of
+            // finite equals is `+0.0` in round-to-nearest), so the selected
+            // value is bit-identical while the loop stays packed.
+            if first {
+                for lane in 0..padded {
+                    let raw = base[lane] - spread[lane] * shortfall;
+                    let floor = base[lane] * 0.35;
+                    let delay = (if raw > floor { raw } else { floor }) * scale[lane];
+                    out[lane] = delay;
+                    max[lane] = delay;
+                }
+                first = false;
+            } else {
+                for lane in 0..padded {
+                    let raw = base[lane] - spread[lane] * shortfall;
+                    let floor = base[lane] * 0.35;
+                    let delay = (if raw > floor { raw } else { floor }) * scale[lane];
+                    out[lane] = delay;
+                    max[lane] = if delay > max[lane] { delay } else { max[lane] };
+                }
             }
         }
-        // The max/limiting fold mirrors the scalar `digest_cycle_timing`
-        // loop (stage order, strict `>` comparison) so ties resolve to the
-        // identical limiting stage.
-        for timing in &mut self.timings {
+        &mut self.cycle
+    }
+
+    /// Evaluates one digested cycle against every corner of the bank,
+    /// returning one [`CycleTiming`] per corner (index = corner). Each
+    /// entry is bit-identical to
+    /// `models[corner].digest_cycle_timing(cycle, dc)` on the model the
+    /// bank was built from: the dither, blend and delay arithmetic is the
+    /// same, only batched — this is the [`BankEvaluator::cycle_lanes`]
+    /// result transposed into per-corner structs, with the limiting stage
+    /// re-attributed by the scalar fold (stage order, strict `>`, so ties
+    /// resolve identically).
+    pub fn cycle_timings(&mut self, cycle: u64, dc: &DigestCycle) -> &[CycleTiming] {
+        self.cycle_lanes(cycle, dc);
+        let padded = self.cycle.padded;
+        for (corner, timing) in self.timings.iter_mut().enumerate() {
             let mut max_delay = 0.0;
             let mut limiting = Stage::Execute;
             for stage in Stage::ALL {
-                let delay = timing.stage_delay_ps[stage.index()];
+                let delay = self.cycle.stage_delay_ps[stage.index() * padded + corner];
+                timing.stage_delay_ps[stage.index()] = delay;
                 if delay > max_delay {
                     max_delay = delay;
                     limiting = stage;

@@ -82,7 +82,7 @@ mod power;
 mod profile;
 mod variation;
 
-pub use bank::{BankEvaluator, CornerBank, LANE_WIDTH};
+pub use bank::{BankEvaluator, CornerBank, CycleLanes, LANE_WIDTH};
 pub use dta::{DtaObserver, DynamicTimingAnalysis};
 pub use eventlog::{Endpoint, EndpointEvent, EndpointId, EventLog};
 pub use fault::{FaultPlan, FaultSpec, FaultSpecError, DROOP_WINDOW_CYCLES, SHIFT_ONSET_HORIZON};

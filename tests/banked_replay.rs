@@ -12,7 +12,7 @@
 
 use idca::core::{
     replay_adaptive_digest, replay_adaptive_digest_banked, replay_digest, replay_digest_banked,
-    AdaptiveConfig, Drift,
+    AdaptiveBank, AdaptiveConfig, AdaptiveObserver, Drift, PolicyBank, PolicyObserver,
 };
 use idca::pipeline::{DigestObserver, TimingDigest};
 use idca::prelude::*;
@@ -118,6 +118,112 @@ proptest! {
             // lane, so learned periods, violations and warmup counts must
             // match to the last bit.
             prop_assert_eq!(outcome, &scalar, "corners {}", corners);
+        }
+    }
+
+    #[test]
+    fn soa_lanes_kernel_is_bit_identical_to_scalar_observers(
+        corners in 1u32..=9,
+        master_seed in any::<u64>(),
+        quantized in any::<bool>(),
+        seeded in any::<bool>(),
+        drifting in any::<bool>(),
+    ) {
+        // Pins the sweep's actual phase-2 kernel: the [`CycleLanes`]
+        // structure-of-arrays evaluation feeding the three [`PolicyBank`]s
+        // (one block decision, one contiguous compare per cycle) and the
+        // [`AdaptiveBank`]'s lanes path — not the AoS
+        // `observe_digest_timed` fallback the other properties cover.
+        let digest = digest_of(master_seed);
+        let models = varied_models(corners, master_seed);
+        let base = nominal();
+        let generator = if quantized {
+            ClockGenerator::quantized_50ps()
+        } else {
+            ClockGenerator::Ideal
+        };
+        let config = AdaptiveConfig::default();
+        let seed_lut = DelayLut::from_model(&base);
+        let seed_lut = seeded.then_some(&seed_lut);
+        let drift = if drifting {
+            Drift::LinearSlowdown { fraction_per_kilocycle: 0.02 }
+        } else {
+            Drift::None
+        };
+        // The sweep deploys one margin-guarded LUT across every corner, so
+        // the table-driven decisions are corner-invariant: shared policies.
+        let lut_policy = InstructionBased::from_model(&base);
+        let exec_policy = ExecuteOnly::new(DelayLut::from_model(&base));
+        let static_requests: Vec<idca::timing::Ps> = models
+            .iter()
+            .map(|m| StaticClock::of_model(m).period())
+            .collect();
+
+        // Banked: one digest walk, all corners in SoA lanes.
+        let bank = CornerBank::from_models(&models);
+        let mut bank_static = PolicyBank::new("static", models.len(), &generator);
+        let mut bank_lut = PolicyBank::new("instruction-based", models.len(), &generator);
+        let mut bank_exec = PolicyBank::new("execute-only", models.len(), &generator);
+        let mut adaptive = AdaptiveBank::new(&models, &config, &generator, seed_lut, drift);
+        let mut evaluator = bank.evaluator();
+        digest.for_each_run(|start, len, dc| {
+            bank_lut.begin_block(lut_policy.digest_period_ps(start, dc));
+            bank_exec.begin_block(exec_policy.digest_period_ps(start, dc));
+            bank_static.begin_block_per_corner(&static_requests);
+            for cycle in start..start + u64::from(len) {
+                let lanes = &*evaluator.cycle_lanes(cycle, dc);
+                bank_static.observe_actuals(lanes.max_lanes());
+                bank_lut.observe_actuals(lanes.max_lanes());
+                bank_exec.observe_actuals(lanes.max_lanes());
+                adaptive.observe_cycle_lanes(cycle, dc, lanes);
+            }
+        });
+        let summary = digest.summary();
+        bank_static.finish(&summary);
+        bank_lut.finish(&summary);
+        bank_exec.finish(&summary);
+        adaptive.finish(&summary);
+        let out_static = bank_static.into_outcomes();
+        let out_lut = bank_lut.into_outcomes();
+        let out_exec = bank_exec.into_outcomes();
+        let out_adaptive = adaptive.into_outcomes();
+
+        // Scalar reference: per corner, the prepared-timing observers the
+        // lane-by-lane engine runs.
+        for (corner, model) in models.iter().enumerate() {
+            let static_policy = StaticClock::new(static_requests[corner]);
+            let mut ob_static = PolicyObserver::new(model, &static_policy, &generator);
+            let mut ob_lut = PolicyObserver::new(model, &lut_policy, &generator);
+            let mut ob_exec = PolicyObserver::new(model, &exec_policy, &generator);
+            let mut ob_adaptive =
+                AdaptiveObserver::new(model, &config, &generator, seed_lut, drift);
+            digest.for_each_cycle(|cycle, dc| {
+                let timing = model.digest_cycle_timing(cycle, dc);
+                ob_static.observe_digest_timed(cycle, dc, &timing);
+                ob_lut.observe_digest_timed(cycle, dc, &timing);
+                ob_exec.observe_digest_timed(cycle, dc, &timing);
+                ob_adaptive.observe_digest_timed(cycle, dc, &timing);
+            });
+            ob_static.finish(&summary);
+            ob_lut.finish(&summary);
+            ob_exec.finish(&summary);
+            ob_adaptive.finish(&summary);
+            // Field-for-field f64 equality, not tolerance — including the
+            // learned tables and warmup counts of the adaptive outcome. The
+            // activity summary is the one documented exception: the banks
+            // leave it empty-finished (the sweep folds activity once,
+            // outside the banks, and its rows never carry it), so align it
+            // before the whole-struct compare.
+            let mut scalar_static = ob_static.into_outcome();
+            let mut scalar_lut = ob_lut.into_outcome();
+            let mut scalar_exec = ob_exec.into_outcome();
+            scalar_static.activity = out_static[corner].activity;
+            scalar_lut.activity = out_lut[corner].activity;
+            scalar_exec.activity = out_exec[corner].activity;
+            prop_assert_eq!(&out_static[corner], &scalar_static, "corner {}", corner);
+            prop_assert_eq!(&out_lut[corner], &scalar_lut, "corner {}", corner);
+            prop_assert_eq!(&out_exec[corner], &scalar_exec, "corner {}", corner);
+            prop_assert_eq!(&out_adaptive[corner], &ob_adaptive.into_outcome(), "corner {}", corner);
         }
     }
 

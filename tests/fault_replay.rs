@@ -7,7 +7,9 @@
 //! bit-identical outcomes — violations, recovery accounting, frequencies —
 //! for every clock policy and the adaptive controller.
 
-use idca::core::{AdaptiveConfig, AdaptiveObserver, Drift, PolicyObserver};
+use idca::core::{
+    AdaptiveBank, AdaptiveConfig, AdaptiveObserver, Drift, PolicyBank, PolicyObserver,
+};
 use idca::pipeline::{DigestObserver, TimingDigest};
 use idca::prelude::*;
 use idca::timing::{FaultPlan, FaultSpec};
@@ -168,6 +170,128 @@ proptest! {
                 outcome.recovered_cycles * u64::from(replay_penalty)
             );
             prop_assert!(outcome.recovery_frequency_mhz <= outcome.effective_frequency_mhz);
+        }
+    }
+
+    #[test]
+    fn faulted_soa_lanes_kernel_is_bit_identical_to_prepared_observers(
+        corners in 1u32..=9,
+        master_seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+        droop_rate_pct in 0u32..=100,
+        replay_penalty in 0u32..=16,
+        drifting in any::<bool>(),
+    ) {
+        // The faulted counterpart of the lanes-kernel pin in
+        // `banked_replay.rs`: the in-lane [`CycleLanes::apply_fault`]
+        // perturbation plus the banks' recovery classification must match
+        // the scalar observers fed caller-perturbed timing, bit for bit.
+        let spec = FaultSpec {
+            seed: fault_seed,
+            droop_rate: f64::from(droop_rate_pct) / 100.0,
+            spike_rate: 0.02,
+            shift_mag: 0.05,
+            replay_penalty,
+            ..FaultSpec::default()
+        };
+        let plan = FaultPlan::new(&spec);
+        let base = model();
+        let vm = VariationModel::default();
+        let models: Vec<TimingModel> = (0..corners)
+            .map(|i| vm.apply(&base, &vm.sample_corner(master_seed, i)))
+            .collect();
+        let program = generate_program(nth_seed(master_seed, 0), &GenConfig::default());
+        let mut digest_ob = DigestObserver::new();
+        Simulator::new(SimConfig::default())
+            .run_observed(&program, &mut [&mut digest_ob])
+            .expect("generated programs terminate");
+        let digest = digest_ob.into_digest();
+        let config = AdaptiveConfig::default();
+        let drift = if drifting {
+            Drift::LinearSlowdown { fraction_per_kilocycle: 0.02 }
+        } else {
+            Drift::None
+        };
+        let lut_policy = InstructionBased::from_model(&base);
+        let exec_policy = ExecuteOnly::new(DelayLut::from_model(&base));
+        let static_requests: Vec<idca::timing::Ps> = models
+            .iter()
+            .map(|m| StaticClock::of_model(m).period())
+            .collect();
+
+        // Banked walk: lanes perturbed in place, banks classify recovery.
+        let bank = CornerBank::from_models(&models);
+        let mut bank_static =
+            PolicyBank::new("static", models.len(), &ClockGenerator::Ideal).with_faults(plan);
+        let mut bank_lut = PolicyBank::new("instruction-based", models.len(), &ClockGenerator::Ideal)
+            .with_faults(plan);
+        let mut bank_exec = PolicyBank::new("execute-only", models.len(), &ClockGenerator::Ideal)
+            .with_faults(plan);
+        let mut adaptive =
+            AdaptiveBank::new(&models, &config, &ClockGenerator::Ideal, None, drift)
+                .with_faults(plan);
+        let mut evaluator = bank.evaluator();
+        digest.for_each_run(|start, len, dc| {
+            bank_lut.begin_block(lut_policy.digest_period_ps(start, dc));
+            bank_exec.begin_block(exec_policy.digest_period_ps(start, dc));
+            bank_static.begin_block_per_corner(&static_requests);
+            for cycle in start..start + u64::from(len) {
+                let lanes = evaluator.cycle_lanes(cycle, dc);
+                lanes.apply_fault(&plan, cycle);
+                let lanes = &*lanes;
+                bank_static.observe_actuals(lanes.max_lanes());
+                bank_lut.observe_actuals(lanes.max_lanes());
+                bank_exec.observe_actuals(lanes.max_lanes());
+                adaptive.observe_cycle_lanes(cycle, dc, lanes);
+            }
+        });
+        let summary = digest.summary();
+        bank_static.finish(&summary);
+        bank_lut.finish(&summary);
+        bank_exec.finish(&summary);
+        adaptive.finish(&summary);
+        let out_static = bank_static.into_outcomes();
+        let out_lut = bank_lut.into_outcomes();
+        let out_exec = bank_exec.into_outcomes();
+        let out_adaptive = adaptive.into_outcomes();
+
+        for (corner, varied) in models.iter().enumerate() {
+            let static_policy = StaticClock::new(static_requests[corner]);
+            let mut ob_static =
+                PolicyObserver::new(varied, &static_policy, &ClockGenerator::Ideal)
+                    .with_faults(&plan);
+            let mut ob_lut = PolicyObserver::new(varied, &lut_policy, &ClockGenerator::Ideal)
+                .with_faults(&plan);
+            let mut ob_exec = PolicyObserver::new(varied, &exec_policy, &ClockGenerator::Ideal)
+                .with_faults(&plan);
+            let mut ob_adaptive =
+                AdaptiveObserver::new(varied, &config, &ClockGenerator::Ideal, None, drift)
+                    .with_faults(&plan);
+            digest.for_each_cycle(|cycle, dc| {
+                let timing = varied.digest_cycle_timing(cycle, dc);
+                let timing = plan.faulted(cycle, &timing);
+                ob_static.observe_digest_timed(cycle, dc, &timing);
+                ob_lut.observe_digest_timed(cycle, dc, &timing);
+                ob_exec.observe_digest_timed(cycle, dc, &timing);
+                ob_adaptive.observe_digest_timed(cycle, dc, &timing);
+            });
+            ob_static.finish(&summary);
+            ob_lut.finish(&summary);
+            ob_exec.finish(&summary);
+            ob_adaptive.finish(&summary);
+            // Whole-struct bit equality, modulo the documented
+            // empty-finished activity of the banks (the sweep folds
+            // activity outside them).
+            let mut scalar_static = ob_static.into_outcome();
+            let mut scalar_lut = ob_lut.into_outcome();
+            let mut scalar_exec = ob_exec.into_outcome();
+            scalar_static.activity = out_static[corner].activity;
+            scalar_lut.activity = out_lut[corner].activity;
+            scalar_exec.activity = out_exec[corner].activity;
+            prop_assert_eq!(&out_static[corner], &scalar_static, "corner {}", corner);
+            prop_assert_eq!(&out_lut[corner], &scalar_lut, "corner {}", corner);
+            prop_assert_eq!(&out_exec[corner], &scalar_exec, "corner {}", corner);
+            prop_assert_eq!(&out_adaptive[corner], &ob_adaptive.into_outcome(), "corner {}", corner);
         }
     }
 
