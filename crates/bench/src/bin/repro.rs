@@ -17,8 +17,8 @@
 
 use idca_bench::{
     merge_reports, paper, pvt_sweep_seed_range_timed_with_cache, Corpus, DigestCacheStats,
-    Experiments, FaultSpec, QueryError, ServeSession, SweepConfig, SweepReport, SweepShard,
-    SweepTiming,
+    Experiments, FaultSpec, InterruptSpec, QueryError, ServeSession, SweepConfig, SweepReport,
+    SweepShard, SweepTiming,
 };
 use std::io::{BufRead, Read, Write};
 use std::path::{Path, PathBuf};
@@ -46,7 +46,7 @@ fn print_help() {
     println!();
     println!("Usage: repro [FLAGS]");
     println!("       repro sweep [--seeds N] [--corners M] [--seed S] [--digest-cache DIR]");
-    println!("                   [--faults SPEC] [--shard K/N --out PATH]");
+    println!("                   [--faults SPEC] [--interrupts SPEC] [--shard K/N --out PATH]");
     println!("       repro merge OUT.sweep PARTIAL.sweep...");
     println!("       repro serve --corpus DIR [--digest-cache DIR]");
     println!("       repro bench [--seeds N] [--corners M] [--seed S] [--runs K] [--json] [--out PATH] [--digest-cache DIR]\n");
@@ -156,6 +156,22 @@ fn print_sweep_help() {
         ""
     );
     println!(
+        "  {:<16} drive an asynchronous interrupt-storm scenario, SPEC is",
+        "--interrupts"
+    );
+    println!(
+        "  {:<16} key=value pairs like seed=1,rate=0.002,timer=150,",
+        ""
+    );
+    println!(
+        "  {:<16} vector=0,penalty=4,surge=0.25; adds interrupt-entry and",
+        ""
+    );
+    println!(
+        "  {:<16} handler-cycle columns and per-policy entry violations",
+        ""
+    );
+    println!(
         "  {:<16} run only the K-th of N deterministic seed partitions",
         "--shard K/N"
     );
@@ -218,6 +234,12 @@ impl SweepShapeArgs {
                 self.config.faults = Some(
                     FaultSpec::parse(value)
                         .map_err(|error| format!("invalid --faults `{value}`: {error}"))?,
+                );
+            }
+            "--interrupts" => {
+                self.config.interrupts = Some(
+                    InterruptSpec::parse(value)
+                        .map_err(|error| format!("invalid --interrupts `{value}`: {error}"))?,
                 );
             }
             _ => return Ok(false),

@@ -38,6 +38,7 @@ pub mod serve;
 pub mod shard;
 pub mod sweep;
 
+pub use idca_pipeline::{InterruptSpec, InterruptSpecError};
 pub use idca_timing::{FaultPlan, FaultSpec, FaultSpecError};
 pub use serve::{Corpus, CorpusError, DigestCacheStats, QueryError, ServeSession};
 pub use shard::{merge_reports, MergeError, ReportFormatError, ShardSpecError, SweepShard};

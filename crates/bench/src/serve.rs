@@ -27,14 +27,16 @@ fn speedup_histogram() -> Histogram {
 
 /// Identity of one ingested report, used to reject duplicate ingestion
 /// (the same merged report indexed twice would double every statistic).
-/// The fault-spec fingerprint is part of the identity: the same sweep run
-/// under a different fault scenario is a different experiment.
+/// The fault-spec and interrupt-spec fingerprints are part of the identity:
+/// the same sweep run under a different fault or interrupt scenario is a
+/// different experiment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct ReportKey {
     master_seed: u64,
     seeds: u32,
     corners: u32,
     fault_fingerprint: Option<u64>,
+    interrupt_fingerprint: Option<u64>,
 }
 
 /// Per-policy aggregate over every ingested report.
@@ -123,6 +125,7 @@ impl Corpus {
             seeds: report.seeds,
             corners: report.corners,
             fault_fingerprint: report.faults.map(|s| s.fingerprint()),
+            interrupt_fingerprint: report.interrupts.map(|s| s.fingerprint()),
         };
         if self.keys.contains(&key) {
             return Err(CorpusError::DuplicateReport {

@@ -26,6 +26,7 @@
 //! [`TimingDigest`]: idca_pipeline::TimingDigest
 
 use crate::sweep::{PolicyJobOutcome, SweepJobOutcome, SweepReport, SWEEP_POLICIES};
+use idca_pipeline::InterruptSpec;
 use idca_timing::{FaultSpec, PvtCorner};
 use std::ops::Range;
 
@@ -144,24 +145,33 @@ mod codec {
     /// File magic of the sweep-report format.
     pub(super) const MAGIC: &[u8] = b"IDCASWRP";
     /// Current format version. Version 2 added the fault-spec block to the
-    /// body header and the recovery columns to every policy entry; version-1
-    /// files are rejected with [`super::ReportFormatError::UnsupportedVersion`]
-    /// (re-run the shards — a sweep is cheaper than a format bridge).
-    pub(super) const VERSION: u32 = 2;
+    /// body header and the recovery columns to every policy entry; version 3
+    /// added the interrupt-spec block, the per-job interrupt columns
+    /// (entries, handler cycles) and the per-policy entry-violation column.
+    /// Version-1 and version-2 files are rejected with
+    /// [`super::ReportFormatError::UnsupportedVersion`] (re-run the shards —
+    /// a sweep is cheaper than a format bridge).
+    pub(super) const VERSION: u32 = 3;
     /// Fixed-size fault-spec block inside the body header: present flag +
     /// fault seed + six f64 parameters (droop rate/mag, spike rate/mag,
     /// shift mag, detect window) + replay penalty. All-zero when absent.
     pub(super) const FAULT_BLOCK_BYTES: usize = 4 + 8 + 6 * 8 + 4;
+    /// Fixed-size interrupt-spec block inside the body header: present
+    /// flag, storm seed, rate f64-bits, timer, vector, penalty and surge
+    /// f64-bits. All-zero when absent.
+    pub(super) const IRQ_BLOCK_BYTES: usize = 4 + 8 + 8 + 4 + 4 + 4 + 8;
     /// Checksummed body header: seeds + corners + master_seed + margin +
-    /// fault block + corner_count + job_count.
-    pub(super) const BODY_HEADER_BYTES: usize = 4 + 4 + 8 + 8 + FAULT_BLOCK_BYTES + 4 + 4;
+    /// fault block + interrupt block + corner_count + job_count.
+    pub(super) const BODY_HEADER_BYTES: usize =
+        4 + 4 + 8 + 8 + FAULT_BLOCK_BYTES + IRQ_BLOCK_BYTES + 4 + 4;
     /// Serialized size of one corner sample: index + sigma + droop + temp +
     /// salt.
     pub(super) const CORNER_ENTRY_BYTES: usize = 4 + 8 + 8 + 8 + 8;
-    /// Serialized size of one job row: seed + corner + cycles + per-policy
-    /// (violations, mhz, warmup, recovered, replay penalty, silent risk,
-    /// recovery mhz) tuples.
-    pub(super) const JOB_ENTRY_BYTES: usize = 4 + 4 + 8 + super::SWEEP_POLICIES.len() * 56;
+    /// Serialized size of one job row: seed + corner + cycles + interrupt
+    /// entries + handler cycles + per-policy (violations, entry violations,
+    /// mhz, warmup, recovered, replay penalty, silent risk, recovery mhz)
+    /// tuples.
+    pub(super) const JOB_ENTRY_BYTES: usize = 4 + 4 + 8 + 8 + 8 + super::SWEEP_POLICIES.len() * 64;
 
     /// 64-bit FNV-1a over a byte slice (the header's payload checksum).
     pub(super) fn fnv1a(bytes: &[u8]) -> u64 {
@@ -232,6 +242,8 @@ impl SweepReport {
     /// | seeds u32 | corners u32 | master_seed u64 | margin f64-bits
     /// | fault block (present u32, fault seed u64, droop rate/mag,
     ///   spike rate/mag, shift mag, detect window f64-bits, penalty u32)
+    /// | interrupt block (present u32, storm seed u64, rate f64-bits,
+    ///   timer u32, vector u32, penalty u32, surge f64-bits)
     /// | corner_count u32 | job_count u32
     /// | corner entries | job entries
     /// ```
@@ -277,6 +289,23 @@ impl SweepReport {
             body.extend_from_slice(&value.to_bits().to_le_bytes());
         }
         body.extend_from_slice(&fault.replay_penalty.to_le_bytes());
+        // The interrupt block is fixed-size (all-zero when absent) for the
+        // same reason as the fault block.
+        let irq = self.interrupts.unwrap_or(InterruptSpec {
+            seed: 0,
+            rate: 0.0,
+            timer: 0,
+            vector: 0,
+            penalty: 0,
+            surge: 0.0,
+        });
+        body.extend_from_slice(&u32::from(self.interrupts.is_some()).to_le_bytes());
+        body.extend_from_slice(&irq.seed.to_le_bytes());
+        body.extend_from_slice(&irq.rate.to_bits().to_le_bytes());
+        body.extend_from_slice(&irq.timer.to_le_bytes());
+        body.extend_from_slice(&irq.vector.to_le_bytes());
+        body.extend_from_slice(&irq.penalty.to_le_bytes());
+        body.extend_from_slice(&irq.surge.to_bits().to_le_bytes());
         body.extend_from_slice(&(self.corner_samples.len() as u32).to_le_bytes());
         body.extend_from_slice(&(self.jobs.len() as u32).to_le_bytes());
         for corner in &self.corner_samples {
@@ -290,8 +319,11 @@ impl SweepReport {
             body.extend_from_slice(&job.seed_index.to_le_bytes());
             body.extend_from_slice(&job.corner_index.to_le_bytes());
             body.extend_from_slice(&job.cycles.to_le_bytes());
+            body.extend_from_slice(&job.irq_entries.to_le_bytes());
+            body.extend_from_slice(&job.irq_handler_cycles.to_le_bytes());
             for policy in &job.policies {
                 body.extend_from_slice(&policy.violations.to_le_bytes());
+                body.extend_from_slice(&policy.entry_violations.to_le_bytes());
                 body.extend_from_slice(&policy.mhz.to_bits().to_le_bytes());
                 body.extend_from_slice(&policy.warmup_cycles.to_le_bytes());
                 body.extend_from_slice(&policy.recovered_cycles.to_le_bytes());
@@ -358,6 +390,26 @@ impl SweepReport {
             shift_mag,
             replay_penalty,
             detect_window,
+        });
+        let irq_flag = r.u32()?;
+        if irq_flag > 1 {
+            return Err(ReportFormatError::Malformed(
+                "interrupt flag must be 0 or 1",
+            ));
+        }
+        let irq_seed = r.u64()?;
+        let irq_rate = r.f64_bits()?;
+        let irq_timer = r.u32()?;
+        let irq_vector = r.u32()?;
+        let irq_penalty = r.u32()?;
+        let irq_surge = r.f64_bits()?;
+        let interrupts = (irq_flag == 1).then_some(InterruptSpec {
+            seed: irq_seed,
+            rate: irq_rate,
+            timer: irq_timer,
+            vector: irq_vector,
+            penalty: irq_penalty,
+            surge: irq_surge,
         });
         let corner_count = r.u32()? as usize;
         let job_count = r.u32()? as usize;
@@ -430,8 +482,11 @@ impl SweepReport {
                 }
             }
             let cycles = r.u64()?;
+            let irq_entries = r.u64()?;
+            let irq_handler_cycles = r.u64()?;
             let mut policies = [PolicyJobOutcome {
                 violations: 0,
+                entry_violations: 0,
                 mhz: 0.0,
                 warmup_cycles: 0,
                 recovered_cycles: 0,
@@ -441,6 +496,7 @@ impl SweepReport {
             }; SWEEP_POLICIES.len()];
             for policy in &mut policies {
                 policy.violations = r.u64()?;
+                policy.entry_violations = r.u64()?;
                 policy.mhz = r.f64_bits()?;
                 policy.warmup_cycles = r.u64()?;
                 policy.recovered_cycles = r.u64()?;
@@ -452,6 +508,8 @@ impl SweepReport {
                 seed_index,
                 corner_index,
                 cycles,
+                irq_entries,
+                irq_handler_cycles,
                 policies,
             });
         }
@@ -462,6 +520,7 @@ impl SweepReport {
             master_seed,
             margin,
             faults,
+            interrupts,
             corner_samples,
             jobs,
         })
@@ -584,8 +643,8 @@ impl std::error::Error for MergeError {}
 /// Folds partial shard reports into the canonical full report.
 ///
 /// Validates that every partial describes the *same* sweep (seeds, corners,
-/// master seed, margin, fault spec, sampled corners — compared bit-exactly),
-/// that no
+/// master seed, margin, fault spec, interrupt spec, sampled corners —
+/// compared bit-exactly), that no
 /// `(seed, corner)` job appears twice, and that the union covers the full
 /// grid; the result is then jobs-sorted into canonical order and — because
 /// shard rows are bit-identical to the single-process rows — renders the
@@ -619,6 +678,11 @@ pub fn merge_reports(reports: Vec<SweepReport>) -> Result<SweepReport, MergeErro
         if part.faults.map(|s| s.fingerprint()) != merged.faults.map(|s| s.fingerprint()) {
             return Err(MergeError::ConfigMismatch {
                 field: "fault spec",
+            });
+        }
+        if part.interrupts.map(|s| s.fingerprint()) != merged.interrupts.map(|s| s.fingerprint()) {
+            return Err(MergeError::ConfigMismatch {
+                field: "interrupt spec",
             });
         }
         if part.corner_samples != merged.corner_samples {
@@ -808,6 +872,88 @@ mod tests {
                 field: "master seed"
             })
         );
+    }
+
+    #[test]
+    fn older_format_versions_are_rejected_with_a_structured_error() {
+        // Version 1 and 2 report files (pre-interrupt formats) must be
+        // rejected by version, not misparsed: the interrupt block shifted
+        // every offset after the fault block.
+        let mut bytes = small_report().to_bytes();
+        for old in [1u32, 2] {
+            bytes[codec::MAGIC.len()..codec::MAGIC.len() + 4].copy_from_slice(&old.to_le_bytes());
+            assert_eq!(
+                SweepReport::from_bytes(&bytes),
+                Err(ReportFormatError::UnsupportedVersion(old))
+            );
+        }
+    }
+
+    #[test]
+    fn interrupt_report_codec_round_trips_and_merge_checks_interrupt_identity() {
+        let spec = InterruptSpec::parse("seed=3,rate=0.004,timer=211,penalty=6")
+            .expect("valid interrupt spec");
+        let stormy = pvt_sweep(&SweepConfig {
+            seeds: 3,
+            corners: 2,
+            master_seed: 0x5EED,
+            interrupts: Some(spec),
+            ..SweepConfig::default()
+        })
+        .expect("interrupt sweep runs");
+        assert!(stormy.irq_entries() > 0, "storm never fired");
+
+        // The interrupt block and columns survive the codec bit-exactly,
+        // and every single-byte corruption of the stormy report is caught.
+        let bytes = stormy.to_bytes();
+        let back = SweepReport::from_bytes(&bytes).expect("interrupt report round-trips");
+        assert_eq!(back, stormy);
+        assert_eq!(back.to_bytes(), bytes);
+        assert_eq!(
+            back.interrupts.map(|s| s.fingerprint()),
+            Some(spec.fingerprint())
+        );
+        for at in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[at] ^= 0x01;
+            assert!(
+                SweepReport::from_bytes(&bad).is_err(),
+                "flipped bit at byte {at} was accepted"
+            );
+        }
+
+        // Partials from different interrupt scenarios (including "no
+        // interrupts at all") never merge: their digests describe different
+        // simulated histories.
+        let half = |range: Range<u32>, interrupts: Option<InterruptSpec>| SweepReport {
+            interrupts,
+            jobs: stormy
+                .jobs
+                .iter()
+                .filter(|j| range.contains(&j.seed_index))
+                .cloned()
+                .collect(),
+            ..stormy.clone()
+        };
+        assert_eq!(
+            merge_reports(vec![half(0..2, Some(spec)), half(2..3, None)]),
+            Err(MergeError::ConfigMismatch {
+                field: "interrupt spec"
+            })
+        );
+        let mut other = spec;
+        other.seed ^= 1;
+        assert_eq!(
+            merge_reports(vec![half(0..2, Some(spec)), half(2..3, Some(other))]),
+            Err(MergeError::ConfigMismatch {
+                field: "interrupt spec"
+            })
+        );
+        // Matching scenarios merge back to the full stormy report.
+        let merged = merge_reports(vec![half(2..3, Some(spec)), half(0..2, Some(spec))])
+            .expect("stormy partition merges");
+        assert_eq!(merged, stormy);
+        assert_eq!(merged.render(), stormy.render());
     }
 
     #[test]

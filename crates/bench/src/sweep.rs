@@ -52,11 +52,13 @@ use idca_core::{
 use idca_gen::{generate_program, nth_seed, GenConfig};
 use idca_isa::Program;
 use idca_pipeline::{
-    CycleObserver, DigestObserver, PipelineError, PredecodedProgram, SimBuffers, SimConfig,
-    Simulator, TimingDigest, SIMULATOR_VERSION,
+    CycleObserver, CycleRecord, DigestObserver, InterruptPlan, InterruptSpec, IrqPhase,
+    PipelineError, PredecodedProgram, SimBuffers, SimConfig, Simulator, TimingDigest,
+    SIMULATOR_VERSION,
 };
 use idca_timing::{
-    CornerBank, FaultPlan, FaultSpec, ProfileKind, Ps, PvtCorner, TimingModel, VariationModel,
+    surged, CornerBank, FaultPlan, FaultSpec, IrqTimeline, ProfileKind, Ps, PvtCorner, TimingModel,
+    VariationModel,
 };
 use idca_workloads::suite::par_map;
 use std::cell::RefCell;
@@ -99,6 +101,13 @@ pub struct SweepConfig {
     /// a digest, never the digested execution itself, so one cached digest
     /// serves every fault scenario.
     pub faults: Option<FaultSpec>,
+    /// Optional asynchronous-event scenario: when set (and
+    /// [`InterruptSpec::active`]), every program runs with the interrupt
+    /// handler attached and the storm/timer raising per the spec. Unlike
+    /// faults, interrupts change the *digested execution itself* (handler
+    /// cycles, flush bubbles, MMIO traffic), so the spec's fingerprint IS
+    /// part of the digest-cache key and of the shard-merge identity.
+    pub interrupts: Option<InterruptSpec>,
 }
 
 impl Default for SweepConfig {
@@ -111,6 +120,7 @@ impl Default for SweepConfig {
             variation: VariationModel::default(),
             max_cycles: SimConfig::default().max_cycles,
             faults: None,
+            interrupts: None,
         }
     }
 }
@@ -134,6 +144,15 @@ impl SweepConfig {
             return Err(SweepError::InvalidConfig { field: "corners" });
         }
         Ok(())
+    }
+
+    /// The normalized interrupt scenario: a spec that cannot raise anything
+    /// (`rate == 0 && timer == 0`) is treated exactly like `None`
+    /// everywhere — no handler is attached (attaching one would perturb the
+    /// program image), no cache-key suffix, no report columns.
+    #[must_use]
+    pub fn active_interrupts(&self) -> Option<InterruptSpec> {
+        self.interrupts.filter(InterruptSpec::active)
     }
 }
 
@@ -200,6 +219,9 @@ pub struct PolicyJobOutcome {
     /// Cycles whose realized period undercut the actual (corner-scaled)
     /// dynamic delay.
     pub violations: u64,
+    /// The subset of `violations` that hit during exception-entry cycles,
+    /// when the entry delay surge is in effect (0 interrupt-free).
+    pub entry_violations: u64,
     /// Effective clock frequency in MHz.
     pub mhz: f64,
     /// Cycles spent at the safe static period while adaptive entries warmed
@@ -227,6 +249,12 @@ pub struct SweepJobOutcome {
     pub corner_index: u32,
     /// Simulated cycles of the generated program.
     pub cycles: u64,
+    /// Interrupt entries taken during the job's run (0 interrupt-free).
+    /// Corner-invariant — interrupts are architectural — so every corner of
+    /// one seed repeats the seed's count, exactly like `cycles`.
+    pub irq_entries: u64,
+    /// Cycles spent in exception entry or handler code (0 interrupt-free).
+    pub irq_handler_cycles: u64,
     /// Per-policy outcomes in [`SWEEP_POLICIES`] order (the static baseline
     /// is entry 0; speedups are measured against it).
     pub policies: [PolicyJobOutcome; SWEEP_POLICIES.len()],
@@ -275,6 +303,11 @@ pub struct SweepReport {
     /// steady-state sweep). Part of the report identity: shards can only
     /// merge when they ran the same fault scenario.
     pub faults: Option<FaultSpec>,
+    /// The interrupt scenario this sweep ran under (`None` = interrupt-free,
+    /// including a configured-but-inactive spec). Part of the report
+    /// identity: interrupts change the digested execution, so mixed-scenario
+    /// shard merges are rejected.
+    pub interrupts: Option<InterruptSpec>,
     /// The sampled corners (corner index order).
     pub corner_samples: Vec<PvtCorner>,
     /// Per-job outcomes in canonical `(seed, corner)` order.
@@ -291,6 +324,7 @@ impl SweepReport {
             master_seed: config.master_seed,
             margin: config.variation.margin(),
             faults: config.faults,
+            interrupts: config.active_interrupts(),
             corner_samples,
             jobs: Vec::new(),
         }
@@ -329,6 +363,33 @@ impl SweepReport {
         } else {
             self.violations(policy) as f64 / cycles as f64
         }
+    }
+
+    /// Total exception-entry violation count of one policy (by
+    /// [`SWEEP_POLICIES`] index) — violations that hit while the entry
+    /// surge was in effect. Always 0 on an interrupt-free sweep.
+    #[must_use]
+    pub fn entry_violations(&self, policy: usize) -> u64 {
+        self.jobs
+            .iter()
+            .map(|j| j.policies[policy].entry_violations)
+            .sum()
+    }
+
+    /// Total interrupt entries across all jobs. Like [`total_cycles`]
+    /// (`Self::total_cycles`), every corner of a seed repeats the seed's
+    /// (corner-invariant) count, so this scales with the job count.
+    #[must_use]
+    pub fn irq_entries(&self) -> u64 {
+        self.jobs.iter().map(|j| j.irq_entries).sum()
+    }
+
+    /// Total cycles spent in exception entry or handler code across all
+    /// jobs (same per-job accounting convention as [`irq_entries`]
+    /// (`Self::irq_entries`)).
+    #[must_use]
+    pub fn irq_handler_cycles(&self) -> u64 {
+        self.jobs.iter().map(|j| j.irq_handler_cycles).sum()
     }
 
     /// Number of jobs in which a policy violated at least once.
@@ -435,7 +496,14 @@ impl SweepReport {
         if let Some(spec) = &self.faults {
             line(format!("pvt_sweep.faults={}", spec.describe()));
         }
+        if let Some(spec) = &self.interrupts {
+            line(format!("pvt_sweep.interrupts={}", spec.describe()));
+        }
         line(format!("pvt_sweep.total_cycles={}", self.total_cycles()));
+        if self.interrupts.is_some() {
+            line(format!("irq.entries={}", self.irq_entries()));
+            line(format!("irq.handler_cycles={}", self.irq_handler_cycles()));
+        }
         for corner in &self.corner_samples {
             line(format!("corner.{}={}", corner.index, corner.describe()));
         }
@@ -449,6 +517,12 @@ impl SweepReport {
                 "policy.{name}.violating_jobs={}",
                 self.violating_jobs(p)
             ));
+            if self.interrupts.is_some() {
+                line(format!(
+                    "policy.{name}.entry_violations={}",
+                    self.entry_violations(p)
+                ));
+            }
             if self.faults.is_some() {
                 line(format!("policy.{name}.recovered={}", self.recovered(p)));
                 line(format!(
@@ -620,6 +694,28 @@ fn digest_program(
     })
 }
 
+/// [`digest_program`] under the sweep's interrupt scenario: when a spec is
+/// active the handler is appended to the program and the run is driven by a
+/// per-program interrupt controller, so the worker builds its own simulator
+/// (the plan's vector depends on where the program ends). The captured
+/// digest then carries the scenario's event stream (codec v3), which is all
+/// the replay engines need — interrupt-free seeds take the shared-simulator
+/// fast path untouched, so their digests stay byte-identical.
+fn digest_seed(
+    simulator: &Simulator,
+    program: &Program,
+    interrupts: Option<&InterruptSpec>,
+) -> Result<(TimingDigest, Duration), PipelineError> {
+    match interrupts {
+        Some(spec) => {
+            let (program, plan) = InterruptPlan::attach(program, spec);
+            let simulator = Simulator::new(simulator.config().clone()).with_interrupts(plan);
+            digest_program(&simulator, &program)
+        }
+        None => digest_program(simulator, program),
+    }
+}
+
 /// Wraps a per-seed worker failure in the structured sweep error.
 fn job_failed(seed_index: u32, program_seed: u64, error: PipelineError) -> SweepError {
     SweepError::JobFailed {
@@ -672,6 +768,7 @@ impl CornerContext {
 fn policy_outcome(o: idca_core::RunOutcome) -> PolicyJobOutcome {
     PolicyJobOutcome {
         violations: o.violations,
+        entry_violations: o.entry_violations,
         mhz: o.effective_frequency_mhz,
         warmup_cycles: 0,
         recovered_cycles: o.recovered_cycles,
@@ -686,6 +783,7 @@ fn policy_outcome(o: idca_core::RunOutcome) -> PolicyJobOutcome {
 fn adaptive_outcome(o: idca_core::AdaptiveOutcome) -> PolicyJobOutcome {
     PolicyJobOutcome {
         violations: o.violations,
+        entry_violations: o.entry_violations,
         mhz: o.effective_frequency_mhz,
         warmup_cycles: o.warmup_cycles,
         recovered_cycles: o.recovered_cycles,
@@ -706,6 +804,59 @@ fn with_sweep_faults<'a>(
     }
 }
 
+/// One seed's replay-side interrupt scenario: the phase timeline rebuilt
+/// from that seed's digest event stream, plus the sweep-constant entry
+/// surge factor (`1 + surge`).
+#[derive(Clone, Copy)]
+struct IrqScenario<'a> {
+    timeline: &'a IrqTimeline,
+    surge_factor: f64,
+}
+
+/// Attaches the sweep's interrupt scenario (when configured) to a policy
+/// observer — the replay observers derive phases from the shared timeline.
+fn with_sweep_interrupts<'a>(
+    observer: PolicyObserver<'a>,
+    irq: Option<IrqScenario<'a>>,
+) -> PolicyObserver<'a> {
+    match irq {
+        Some(scenario) => observer.with_interrupts(Some(scenario.timeline), scenario.surge_factor),
+        None => observer,
+    }
+}
+
+/// Rides along the live reference engine's observer stack to count the
+/// interrupt entries and entry/handler cycles of one run straight off the
+/// records' live phases. Counts exactly what [`IrqTimeline`] recomputes
+/// from the digest event stream — each entry opens a contiguous `Entry`
+/// window and every in-span cycle carries a non-`None` phase, with spans
+/// separated by at least one `Handler` cycle — so live rows and replay rows
+/// stay bit-identical.
+struct IrqStatObserver {
+    entries: u64,
+    handler_cycles: u64,
+    prev: IrqPhase,
+}
+
+impl IrqStatObserver {
+    fn new() -> IrqStatObserver {
+        IrqStatObserver {
+            entries: 0,
+            handler_cycles: 0,
+            prev: IrqPhase::None,
+        }
+    }
+}
+
+impl CycleObserver for IrqStatObserver {
+    fn observe_cycle(&mut self, record: &CycleRecord) {
+        let phase = record.irq_phase;
+        self.entries += u64::from(phase == IrqPhase::Entry && self.prev != IrqPhase::Entry);
+        self.handler_cycles += u64::from(phase != IrqPhase::None);
+        self.prev = phase;
+    }
+}
+
 /// Phase 2 worker: replays one digest against one corner's varied timing
 /// model, evaluating the full policy stack with a single model evaluation
 /// per cycle — no simulator in the loop. Bit-identical to [`run_job`] on
@@ -717,20 +868,30 @@ fn replay_job(
     digest: &TimingDigest,
     ctx: &CornerContext,
     faults: Option<&FaultPlan>,
+    irq: Option<IrqScenario<'_>>,
     seed_index: u32,
 ) -> SweepJobOutcome {
     let varied = &ctx.varied;
-    let mut ob_static = with_sweep_faults(
-        PolicyObserver::new(varied, &ctx.static_policy, &ClockGenerator::Ideal),
-        faults,
+    let mut ob_static = with_sweep_interrupts(
+        with_sweep_faults(
+            PolicyObserver::new(varied, &ctx.static_policy, &ClockGenerator::Ideal),
+            faults,
+        ),
+        irq,
     );
-    let mut ob_lut = with_sweep_faults(
-        PolicyObserver::new(varied, &ctx.lut_policy, &ClockGenerator::Ideal),
-        faults,
+    let mut ob_lut = with_sweep_interrupts(
+        with_sweep_faults(
+            PolicyObserver::new(varied, &ctx.lut_policy, &ClockGenerator::Ideal),
+            faults,
+        ),
+        irq,
     );
-    let mut ob_exec = with_sweep_faults(
-        PolicyObserver::new(varied, &ctx.exec_only, &ClockGenerator::Ideal),
-        faults,
+    let mut ob_exec = with_sweep_interrupts(
+        with_sweep_faults(
+            PolicyObserver::new(varied, &ctx.exec_only, &ClockGenerator::Ideal),
+            faults,
+        ),
+        irq,
     );
     let mut ob_adaptive = AdaptiveObserver::new(
         varied,
@@ -742,13 +903,28 @@ fn replay_job(
     if let Some(plan) = faults {
         ob_adaptive = ob_adaptive.with_faults(plan);
     }
+    if let Some(scenario) = irq {
+        ob_adaptive = ob_adaptive.with_interrupts(Some(scenario.timeline), scenario.surge_factor);
+    }
 
+    let mut cursor = irq.map(|scenario| scenario.timeline.cursor());
     digest.for_each_cycle(|cycle, dc| {
         // One model evaluation per cycle, shared by all four observers.
         let timing = varied.digest_cycle_timing(cycle, dc);
+        // Canonical composition order: faults first, then the entry surge —
+        // float multiplication is not bit-associative, so every engine
+        // applies the two perturbations in this order.
         let timing = match faults {
             Some(plan) => plan.faulted(cycle, &timing),
             None => timing,
+        };
+        let entry = cursor
+            .as_mut()
+            .is_some_and(|cursor| cursor.phase(cycle) == IrqPhase::Entry);
+        let timing = if entry {
+            surged(&timing, irq.expect("entry implies scenario").surge_factor)
+        } else {
+            timing
         };
         ob_static.observe_digest_timed(cycle, dc, &timing);
         ob_lut.observe_digest_timed(cycle, dc, &timing);
@@ -761,10 +937,19 @@ fn replay_job(
     ob_exec.finish(&summary);
     ob_adaptive.finish(&summary);
 
+    let (irq_entries, irq_handler_cycles) = match irq {
+        Some(scenario) => (
+            scenario.timeline.entries(),
+            scenario.timeline.handler_cycles(summary.cycles),
+        ),
+        None => (0, 0),
+    };
     SweepJobOutcome {
         seed_index,
         corner_index: ctx.corner_index,
         cycles: summary.cycles,
+        irq_entries,
+        irq_handler_cycles,
         policies: [
             policy_outcome(ob_static.into_outcome()),
             policy_outcome(ob_lut.into_outcome()),
@@ -906,6 +1091,7 @@ fn replay_seed_banked(
     contexts: &[CornerContext],
     bank: &CornerBank,
     faults: Option<&FaultPlan>,
+    irq: Option<IrqScenario<'_>>,
     seed_index: u32,
 ) -> Vec<SweepJobOutcome> {
     if contexts.is_empty() {
@@ -913,6 +1099,7 @@ fn replay_seed_banked(
     }
     with_replay_scratch(contexts, faults, |scratch| {
         let mut evaluator = bank.evaluator();
+        let mut cursor = irq.map(|scenario| scenario.timeline.cursor());
         digest.for_each_run(|start, len, dc| {
             // Stage classes are constant across a run-block and every
             // corner deploys the same guarded LUT, so one decision serves
@@ -931,6 +1118,9 @@ fn replay_seed_banked(
                 // The evaluated cycle stays in structure-of-arrays form end
                 // to end: no per-corner `CycleTiming` structs are built on
                 // the hot path.
+                let entry = cursor
+                    .as_mut()
+                    .is_some_and(|cursor| cursor.phase(cycle) == IrqPhase::Entry);
                 let lanes = evaluator.cycle_lanes(cycle, dc);
                 if let Some(plan) = faults {
                     // The perturbation is the same pure
@@ -938,11 +1128,24 @@ fn replay_seed_banked(
                     // apply, so the lanes stay bit-identical to them.
                     lanes.apply_fault(plan, cycle);
                 }
+                if entry {
+                    // Faults first, then the entry surge — same canonical
+                    // composition order as the scalar paths.
+                    lanes.apply_surge(irq.expect("entry implies scenario").surge_factor);
+                }
                 let lanes = &*lanes;
-                scratch.bank_static.observe_actuals(lanes.max_lanes());
-                scratch.bank_lut.observe_actuals(lanes.max_lanes());
-                scratch.bank_exec.observe_actuals(lanes.max_lanes());
-                scratch.adaptive.observe_cycle_lanes(cycle, dc, lanes);
+                if entry {
+                    scratch.bank_static.observe_actuals_entry(lanes.max_lanes());
+                    scratch.bank_lut.observe_actuals_entry(lanes.max_lanes());
+                    scratch.bank_exec.observe_actuals_entry(lanes.max_lanes());
+                } else {
+                    scratch.bank_static.observe_actuals(lanes.max_lanes());
+                    scratch.bank_lut.observe_actuals(lanes.max_lanes());
+                    scratch.bank_exec.observe_actuals(lanes.max_lanes());
+                }
+                scratch
+                    .adaptive
+                    .observe_cycle_lanes_phased(cycle, dc, lanes, entry);
             }
         });
 
@@ -956,6 +1159,13 @@ fn replay_seed_banked(
         let out_exec = scratch.bank_exec.take_outcomes();
         let out_adaptive = scratch.adaptive.take_outcomes();
 
+        let (irq_entries, irq_handler_cycles) = match irq {
+            Some(scenario) => (
+                scenario.timeline.entries(),
+                scenario.timeline.handler_cycles(summary.cycles),
+            ),
+            None => (0, 0),
+        };
         let stacks = out_static
             .into_iter()
             .zip(out_lut)
@@ -968,6 +1178,8 @@ fn replay_seed_banked(
                 seed_index,
                 corner_index: ctx.corner_index,
                 cycles: summary.cycles,
+                irq_entries,
+                irq_handler_cycles,
                 policies: [
                     policy_outcome(ob_s),
                     policy_outcome(ob_l),
@@ -992,6 +1204,7 @@ fn run_job(
     corner: &PvtCorner,
     guarded_lut: &DelayLut,
     faults: Option<&FaultPlan>,
+    interrupts: Option<&InterruptSpec>,
     seed_index: u32,
 ) -> Result<SweepJobOutcome, PipelineError> {
     let varied = variation.apply(nominal, corner);
@@ -999,28 +1212,49 @@ fn run_job(
     let lut_policy = InstructionBased::new(guarded_lut.clone());
     let exec_only = ExecuteOnly::new(guarded_lut.clone());
 
+    // With interrupts the job simulates live: the handler is appended to
+    // the program and a per-program controller drives the run, so the job
+    // builds its own simulator (the plan's vector depends on the program).
+    // The observers take no timeline — the live records carry the ground
+    // truth `irq_phase` — but they do need the entry surge factor.
+    let surge_factor = interrupts.map_or(1.0, |spec| 1.0 + spec.surge);
+    let attached = interrupts.map(|spec| {
+        let (program, plan) = InterruptPlan::attach(program, spec);
+        let simulator = Simulator::new(simulator.config().clone()).with_interrupts(plan);
+        (program, simulator)
+    });
+    let (program, simulator) = match &attached {
+        Some((program, simulator)) => (program, simulator),
+        None => (program, simulator),
+    };
+
     let mut ob_static = with_sweep_faults(
         PolicyObserver::new(&varied, &static_policy, &ClockGenerator::Ideal),
         faults,
-    );
+    )
+    .with_interrupts(None, surge_factor);
     let mut ob_lut = with_sweep_faults(
         PolicyObserver::new(&varied, &lut_policy, &ClockGenerator::Ideal),
         faults,
-    );
+    )
+    .with_interrupts(None, surge_factor);
     let mut ob_exec = with_sweep_faults(
         PolicyObserver::new(&varied, &exec_only, &ClockGenerator::Ideal),
         faults,
-    );
+    )
+    .with_interrupts(None, surge_factor);
     let mut ob_adaptive = AdaptiveObserver::new(
         &varied,
         &AdaptiveConfig::default(),
         &ClockGenerator::Ideal,
         None,
         Drift::None,
-    );
+    )
+    .with_interrupts(None, surge_factor);
     if let Some(plan) = faults {
         ob_adaptive = ob_adaptive.with_faults(plan);
     }
+    let mut ob_irq = IrqStatObserver::new();
 
     // Like the two-phase engine's phase 1, the honest single-phase baseline
     // simulates in worker-local scratch: the comparison between the engines
@@ -1028,7 +1262,13 @@ fn run_job(
     let summary = with_worker_buffers(simulator, |buffers| {
         simulator.run_observed_with_buffers(
             program,
-            &mut [&mut ob_static, &mut ob_lut, &mut ob_exec, &mut ob_adaptive],
+            &mut [
+                &mut ob_static,
+                &mut ob_lut,
+                &mut ob_exec,
+                &mut ob_adaptive,
+                &mut ob_irq,
+            ],
             buffers,
         )
     })?;
@@ -1037,6 +1277,8 @@ fn run_job(
         seed_index,
         corner_index: corner.index,
         cycles: summary.cycles,
+        irq_entries: ob_irq.entries,
+        irq_handler_cycles: ob_irq.handler_cycles,
         policies: [
             policy_outcome(ob_static.into_outcome()),
             policy_outcome(ob_lut.into_outcome()),
@@ -1096,17 +1338,26 @@ fn finish_report(
 /// [`TimingDigest`] binary format).
 const CACHE_MAGIC: &[u8; 8] = b"IDCACHE1";
 /// Cache entry header: magic + program seed + generator-config hash +
-/// simulator version.
-const CACHE_HEADER_BYTES: usize = 8 + 8 + 8 + 4;
+/// simulator version + interrupt-scenario fingerprint. Interrupts (unlike
+/// faults) change the captured digest — the controller perturbs the
+/// simulated image — so the scenario fingerprint is part of the cache key;
+/// interrupt-free sweeps key on fingerprint 0.
+const CACHE_HEADER_BYTES: usize = 8 + 8 + 8 + 4 + 8;
 
 /// The on-disk location of one cached digest. The full cache key is in the
-/// file name, so sweeps over different generator configurations (or
-/// simulator versions) coexist in one directory instead of evicting each
-/// other; the same key is repeated inside the entry header and re-verified
-/// on load as defense against renamed or hand-edited files.
-fn cache_entry_path(dir: &Path, program_seed: u64, config_hash: u64) -> PathBuf {
+/// file name, so sweeps over different generator configurations, interrupt
+/// scenarios (or simulator versions) coexist in one directory instead of
+/// evicting each other; the same key is repeated inside the entry header
+/// and re-verified on load as defense against renamed or hand-edited files.
+/// Interrupt-free entries keep the historical name shape (no `-irq` part).
+fn cache_entry_path(dir: &Path, program_seed: u64, config_hash: u64, irq_fp: u64) -> PathBuf {
+    let irq_part = if irq_fp == 0 {
+        String::new()
+    } else {
+        format!("-irq{irq_fp:016x}")
+    };
     dir.join(format!(
-        "digest-{program_seed:016x}-{config_hash:016x}-v{SIMULATOR_VERSION}.bin"
+        "digest-{program_seed:016x}-{config_hash:016x}{irq_part}-v{SIMULATOR_VERSION}.bin"
     ))
 }
 
@@ -1116,6 +1367,7 @@ fn decode_cache_entry(
     bytes: &[u8],
     program_seed: u64,
     config_hash: u64,
+    irq_fp: u64,
 ) -> Result<TimingDigest, String> {
     if bytes.len() < CACHE_HEADER_BYTES {
         return Err(format!(
@@ -1143,6 +1395,12 @@ fn decode_cache_entry(
     if version != SIMULATOR_VERSION {
         return Err(format!(
             "stale simulator version {version} (expected {SIMULATOR_VERSION})"
+        ));
+    }
+    if word(28) != irq_fp {
+        return Err(format!(
+            "stale key: embedded interrupt fingerprint {:#018x} != expected {irq_fp:#018x}",
+            word(28)
         ));
     }
     TimingDigest::from_bytes(&bytes[CACHE_HEADER_BYTES..])
@@ -1182,10 +1440,15 @@ fn quarantine_cache_entry(dir: &Path, path: &Path, reason: &str) {
 /// stale or corrupt entries are moved to the cache's `quarantine/`
 /// subdirectory with a stderr warning naming the decode error, then
 /// re-simulated — never trusted, never silently discarded.
-fn load_cached_digest(dir: &Path, program_seed: u64, config_hash: u64) -> Option<TimingDigest> {
-    let path = cache_entry_path(dir, program_seed, config_hash);
+fn load_cached_digest(
+    dir: &Path,
+    program_seed: u64,
+    config_hash: u64,
+    irq_fp: u64,
+) -> Option<TimingDigest> {
+    let path = cache_entry_path(dir, program_seed, config_hash, irq_fp);
     let bytes = std::fs::read(&path).ok()?;
-    match decode_cache_entry(&bytes, program_seed, config_hash) {
+    match decode_cache_entry(&bytes, program_seed, config_hash, irq_fp) {
         Ok(digest) => Some(digest),
         Err(reason) => {
             quarantine_cache_entry(dir, &path, &reason);
@@ -1200,20 +1463,30 @@ fn load_cached_digest(dir: &Path, program_seed: u64, config_hash: u64) -> Option
 /// from an unclean shutdown is demoted to a miss by the digest checksum);
 /// any I/O failure leaves the sweep result untouched — the cache is an
 /// accelerator, never a correctness dependency.
-fn store_cached_digest(dir: &Path, program_seed: u64, config_hash: u64, digest: &TimingDigest) {
+fn store_cached_digest(
+    dir: &Path,
+    program_seed: u64,
+    config_hash: u64,
+    irq_fp: u64,
+    digest: &TimingDigest,
+) {
     let payload = digest.to_bytes();
     let mut bytes = Vec::with_capacity(CACHE_HEADER_BYTES + payload.len());
     bytes.extend_from_slice(CACHE_MAGIC);
     bytes.extend_from_slice(&program_seed.to_le_bytes());
     bytes.extend_from_slice(&config_hash.to_le_bytes());
     bytes.extend_from_slice(&SIMULATOR_VERSION.to_le_bytes());
+    bytes.extend_from_slice(&irq_fp.to_le_bytes());
     bytes.extend_from_slice(&payload);
     let staged = dir.join(format!(
-        ".digest-{program_seed:016x}-{:x}.tmp",
+        ".digest-{program_seed:016x}-{irq_fp:x}-{:x}.tmp",
         std::process::id()
     ));
     if std::fs::write(&staged, &bytes).is_ok() {
-        let _ = std::fs::rename(&staged, cache_entry_path(dir, program_seed, config_hash));
+        let _ = std::fs::rename(
+            &staged,
+            cache_entry_path(dir, program_seed, config_hash, irq_fp),
+        );
     }
 }
 
@@ -1288,19 +1561,21 @@ pub fn pvt_sweep_seed_range_timed_with_cache(
     let start = Instant::now();
     let simulator = Simulator::new(sim_config(config));
     let config_hash = config.gen.content_hash();
+    let irq_spec = config.active_interrupts();
+    let irq_fp = irq_spec.as_ref().map_or(0, InterruptSpec::fingerprint);
     let seed_indices: Vec<u32> = seed_range.collect();
     let digests = collect_jobs(par_map(&seed_indices, |&i| {
         let program_seed = nth_seed(config.master_seed, u64::from(i));
         if let Some(dir) = cache_dir {
-            if let Some(digest) = load_cached_digest(dir, program_seed, config_hash) {
+            if let Some(digest) = load_cached_digest(dir, program_seed, config_hash, irq_fp) {
                 return Ok((digest, true, Duration::ZERO));
             }
         }
         let program = generate_program(program_seed, &config.gen);
-        let (digest, predecode) = digest_program(&simulator, &program)
+        let (digest, predecode) = digest_seed(&simulator, &program, irq_spec.as_ref())
             .map_err(|error| job_failed(i, program_seed, error))?;
         if let Some(dir) = cache_dir {
-            store_cached_digest(dir, program_seed, config_hash, &digest);
+            store_cached_digest(dir, program_seed, config_hash, irq_fp, &digest);
         }
         Ok((digest, false, predecode))
     }))?;
@@ -1320,14 +1595,30 @@ pub fn pvt_sweep_seed_range_timed_with_cache(
         .collect();
     let varied_models: Vec<TimingModel> = contexts.iter().map(|ctx| ctx.varied.clone()).collect();
     let bank = CornerBank::from_models(&varied_models);
+    // The interrupt scenario replays from the digests' own event streams:
+    // one timeline per seed, shared by every corner of that seed.
+    let surge_factor = irq_spec.as_ref().map_or(1.0, |spec| 1.0 + spec.surge);
+    let timelines: Vec<Option<IrqTimeline>> = digests
+        .iter()
+        .map(|(digest, _, _)| {
+            irq_spec
+                .as_ref()
+                .map(|spec| IrqTimeline::from_events(digest.events(), spec.penalty))
+        })
+        .collect();
     let positions: Vec<usize> = (0..seed_indices.len()).collect();
     let timed_jobs: Vec<(Vec<SweepJobOutcome>, Duration)> = par_map(&positions, |&p| {
         let job_start = Instant::now();
+        let irq = timelines[p].as_ref().map(|timeline| IrqScenario {
+            timeline,
+            surge_factor,
+        });
         let rows = replay_seed_banked(
             &digests[p].0,
             &contexts,
             &bank,
             plan.as_ref(),
+            irq,
             seed_indices[p],
         );
         (rows, job_start.elapsed())
@@ -1376,11 +1667,13 @@ pub fn pvt_sweep_lanewise_timed(
 
     let start = Instant::now();
     let simulator = Simulator::new(sim_config(config));
+    let irq_spec = config.active_interrupts();
     let seed_indices: Vec<u32> = (0..config.seeds).collect();
     let digests = collect_jobs(par_map(&seed_indices, |&i| {
         let program_seed = nth_seed(config.master_seed, u64::from(i));
         let program = generate_program(program_seed, &config.gen);
-        digest_program(&simulator, &program).map_err(|error| job_failed(i, program_seed, error))
+        digest_seed(&simulator, &program, irq_spec.as_ref())
+            .map_err(|error| job_failed(i, program_seed, error))
     }))?;
     let simulate = start.elapsed();
     let predecode = digests.iter().map(|(_, d)| *d).sum();
@@ -1391,12 +1684,28 @@ pub fn pvt_sweep_lanewise_timed(
         .iter()
         .map(|corner| CornerContext::new(&nominal, &config.variation, corner, &guarded_lut))
         .collect();
+    let surge_factor = irq_spec.as_ref().map_or(1.0, |spec| 1.0 + spec.surge);
+    let timelines: Vec<Option<IrqTimeline>> = digests
+        .iter()
+        .map(|(digest, _)| {
+            irq_spec
+                .as_ref()
+                .map(|spec| IrqTimeline::from_events(digest.events(), spec.penalty))
+        })
+        .collect();
     let jobs = job_list(config);
     let outcomes = par_map(&jobs, |&(seed_index, corner_index)| {
+        let irq = timelines[seed_index as usize]
+            .as_ref()
+            .map(|timeline| IrqScenario {
+                timeline,
+                surge_factor,
+            });
         replay_job(
             &digests[seed_index as usize].0,
             &contexts[corner_index as usize],
             plan.as_ref(),
+            irq,
             seed_index,
         )
     });
@@ -1435,6 +1744,7 @@ pub fn pvt_sweep_direct(config: &SweepConfig) -> Result<SweepReport, SweepError>
 
     let simulator = Simulator::new(sim_config(config));
     let plan = config.faults.map(|spec| FaultPlan::new(&spec));
+    let irq_spec = config.active_interrupts();
     let jobs = job_list(config);
     let outcomes = collect_jobs(par_map(&jobs, |&(seed_index, corner_index)| {
         run_job(
@@ -1445,6 +1755,7 @@ pub fn pvt_sweep_direct(config: &SweepConfig) -> Result<SweepReport, SweepError>
             &corner_samples[corner_index as usize],
             &guarded_lut,
             plan.as_ref(),
+            irq_spec.as_ref(),
             seed_index,
         )
         .map_err(|error| {
@@ -1599,7 +1910,7 @@ mod tests {
         // renamed or copied by hand). That entry must be re-simulated (and
         // rewritten), not trusted.
         let seed0 = nth_seed(config.master_seed, 0);
-        let path = cache_entry_path(&dir, seed0, config.gen.content_hash());
+        let path = cache_entry_path(&dir, seed0, config.gen.content_hash(), 0);
         let mut bytes = std::fs::read(&path).expect("entry exists");
         bytes[16] ^= 0x01;
         std::fs::write(&path, &bytes).expect("entry is writable");
@@ -1705,6 +2016,114 @@ mod tests {
         .expect("sweep runs");
         assert!(!unfaulted.render().contains("faults"));
         assert!(!unfaulted.render().contains("effective_speedup"));
+    }
+
+    #[test]
+    fn interrupt_sweeps_are_byte_identical_across_engines_and_surface_entry_violations() {
+        let spec = InterruptSpec::parse("seed=3,rate=0.004,timer=211,penalty=6")
+            .expect("valid interrupt spec");
+        let config = SweepConfig {
+            seeds: 3,
+            corners: 3,
+            master_seed: 0x1247,
+            interrupts: Some(spec),
+            ..SweepConfig::default()
+        };
+        let banked = pvt_sweep(&config).expect("sweep runs");
+        let lanewise = pvt_sweep_lanewise(&config).expect("sweep runs");
+        let direct = pvt_sweep_direct(&config).expect("sweep runs");
+        assert_eq!(banked, lanewise, "banked vs lanewise under interrupts");
+        assert_eq!(banked, direct, "banked replay vs live under interrupts");
+        assert_eq!(banked.render(), direct.render());
+
+        // The storm actually fires and spends cycles in the handler.
+        assert!(banked.irq_entries() > 0, "storm never entered the handler");
+        assert!(banked.irq_handler_cycles() > banked.irq_entries());
+
+        // The entry surge exceeds the guard margin: the table-driven
+        // policies violate *during entry flushes* where the steady-state
+        // sweep (below) is violation-free, and every such violation is
+        // classified as an entry violation.
+        let lut_violations = banked.violations(1);
+        assert!(lut_violations > 0, "entry surge too weak to violate");
+        assert_eq!(banked.entry_violations(1), lut_violations);
+        for job in &banked.jobs {
+            for p in &job.policies {
+                assert!(p.entry_violations <= p.violations);
+            }
+        }
+
+        // The rendered report carries the interrupt header and columns.
+        let rendered = banked.render();
+        assert!(
+            rendered.contains("pvt_sweep.interrupts=seed=3,"),
+            "{rendered}"
+        );
+        assert!(rendered.contains("irq.entries="));
+        assert!(rendered.contains("irq.handler_cycles="));
+        assert!(rendered.contains("policy.instruction-based.entry_violations="));
+
+        // Steady state: same workloads, no interrupts — zero violations and
+        // no interrupt lines leak into the render (byte-stability of
+        // interrupt-free reports).
+        let steady = pvt_sweep(&SweepConfig {
+            interrupts: None,
+            ..config.clone()
+        })
+        .expect("sweep runs");
+        assert_eq!(steady.violations(1), 0, "steady state must be clean");
+        assert!(!steady.render().contains("interrupts"));
+        assert!(!steady.render().contains("irq."));
+        assert!(!steady.render().contains("entry_violations"));
+
+        // An inactive spec (rate=0, timer=0) is normalized to "no
+        // interrupts": attaching a handler that can never fire must not
+        // perturb the report.
+        let inactive = pvt_sweep(&SweepConfig {
+            interrupts: Some(InterruptSpec {
+                rate: 0.0,
+                timer: 0,
+                ..spec
+            }),
+            ..config.clone()
+        })
+        .expect("sweep runs");
+        assert_eq!(inactive, steady);
+        assert_eq!(inactive.render(), steady.render());
+    }
+
+    #[test]
+    fn interrupts_compose_with_faults_bit_identically_across_engines() {
+        // The combined scenario: deterministic droop faults *and* an
+        // interrupt storm. Faults apply first, then the entry surge — the
+        // canonical composition order every engine must share for the rows
+        // to stay bit-identical.
+        let config = SweepConfig {
+            seeds: 2,
+            corners: 3,
+            master_seed: 0xFA17,
+            faults: Some(
+                FaultSpec::parse("seed=9,droop-rate=0.3,droop-mag=0.5,penalty=4")
+                    .expect("valid fault spec"),
+            ),
+            interrupts: Some(
+                InterruptSpec::parse("seed=5,rate=0.003,timer=173,penalty=5")
+                    .expect("valid interrupt spec"),
+            ),
+            ..SweepConfig::default()
+        };
+        let banked = pvt_sweep(&config).expect("sweep runs");
+        let lanewise = pvt_sweep_lanewise(&config).expect("sweep runs");
+        let direct = pvt_sweep_direct(&config).expect("sweep runs");
+        assert_eq!(banked, lanewise, "banked vs lanewise, faults+interrupts");
+        assert_eq!(banked, direct, "banked vs live, faults+interrupts");
+        assert!(banked.irq_entries() > 0);
+        // Fault recovery still classifies every violation, entry or not.
+        for job in &banked.jobs {
+            for p in &job.policies {
+                assert_eq!(p.recovered_cycles + p.silent_risk_cycles, p.violations);
+            }
+        }
     }
 
     #[test]

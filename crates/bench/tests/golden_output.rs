@@ -393,6 +393,118 @@ fn faulted_shards_merge_to_the_faulted_golden_and_reject_mixed_scenarios() {
 }
 
 #[test]
+fn interrupt_sweep_is_thread_invariant_cached_sharded_and_matches_golden() {
+    let dir = std::env::temp_dir().join(format!("idca-golden-irq-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("work dir");
+    let path = |name: &str| {
+        dir.join(name)
+            .to_str()
+            .expect("temp path is UTF-8")
+            .to_string()
+    };
+    let spec = "seed=3,rate=0.004,timer=211,penalty=6";
+    let shape = ["--seeds", "4", "--corners", "2", "--seed", "7"];
+
+    // Thread invariance of the storm report, and the golden pin. The storm
+    // must surface what steady state cannot: entry-flush violations.
+    let mut args = vec!["sweep"];
+    args.extend_from_slice(&shape);
+    args.extend_from_slice(&["--interrupts", spec]);
+    let single = repro_stdout(&args, "1");
+    let four = repro_stdout(&args, "4");
+    assert_eq!(
+        single, four,
+        "interrupt sweep differs between RAYON_NUM_THREADS=1 and =4"
+    );
+    assert!(single.contains("pvt_sweep.interrupts=seed=3,"), "{single}");
+    assert!(single.contains("irq.entries="), "{single}");
+    assert!(
+        single.contains("policy.instruction-based.entry_violations="),
+        "{single}"
+    );
+    assert_matches_golden("sweep_s4_c2_seed7_interrupts.txt", &single);
+
+    // Interrupt digests are scenario-variant: the cache keys them under the
+    // spec fingerprint, so a storm run and a steady-state run on the same
+    // cache directory keep separate entries and identical stdout cold/warm.
+    let cache = path("cache");
+    let mut cached_args = args.clone();
+    cached_args.extend_from_slice(&["--digest-cache", &cache]);
+    let cold = repro_stdout(&cached_args, "4");
+    assert_eq!(cold, single, "caching changed the storm report");
+    let storm_entries = std::fs::read_dir(&cache)
+        .expect("cache dir exists after the cold run")
+        .filter(|e| {
+            e.as_ref()
+                .expect("cache dir entry")
+                .path()
+                .extension()
+                .is_some_and(|x| x == "bin")
+        })
+        .count();
+    assert_eq!(storm_entries, 4, "one storm cache entry per seed");
+    assert_eq!(repro_stdout(&cached_args, "4"), cold, "warm cache diverged");
+    let mut steady_args = vec!["sweep"];
+    steady_args.extend_from_slice(&shape);
+    steady_args.extend_from_slice(&["--digest-cache", &cache]);
+    repro_stdout(&steady_args, "4");
+    let all_entries = std::fs::read_dir(&cache)
+        .expect("cache dir exists")
+        .filter(|e| {
+            e.as_ref()
+                .expect("cache dir entry")
+                .path()
+                .extension()
+                .is_some_and(|x| x == "bin")
+        })
+        .count();
+    assert_eq!(
+        all_entries, 8,
+        "steady-state digests must not alias the storm digests"
+    );
+
+    // Two storm shards merge to the single-process report byte for byte.
+    for (shard, out) in [("1/2", path("part-1.sweep")), ("2/2", path("part-2.sweep"))] {
+        let mut shard_args = vec!["sweep"];
+        shard_args.extend_from_slice(&shape);
+        shard_args.extend_from_slice(&["--interrupts", spec, "--shard", shard, "--out", &out]);
+        assert_eq!(repro_stdout(&shard_args, "2"), "");
+    }
+    let merged = repro_stdout(
+        &[
+            "merge",
+            &path("merged.sweep"),
+            &path("part-2.sweep"),
+            &path("part-1.sweep"),
+        ],
+        "2",
+    );
+    assert_matches_golden("sweep_s4_c2_seed7_interrupts.txt", &merged);
+
+    // A steady-state partial of the same grid must not merge with the storm
+    // partials, and the error names the interrupt spec.
+    let steady = path("steady-2.sweep");
+    {
+        let mut shard_args = vec!["sweep"];
+        shard_args.extend_from_slice(&shape);
+        shard_args.extend_from_slice(&["--shard", "2/2", "--out", &steady]);
+        assert_eq!(repro_stdout(&shard_args, "2"), "");
+    }
+    let mixed = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["merge", &path("bad.sweep"), &path("part-1.sweep"), &steady])
+        .output()
+        .expect("repro binary runs");
+    assert!(!mixed.status.success(), "mixed interrupt scenarios merged");
+    assert!(
+        String::from_utf8_lossy(&mixed.stderr).contains("interrupt spec"),
+        "mixed-scenario merge error does not name the interrupt spec"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn serve_survives_hostile_stdin() {
     use std::io::Write;
 
@@ -578,6 +690,15 @@ fn sweep_rejects_malformed_flags() {
         assert!(
             String::from_utf8_lossy(&output.stderr).contains("invalid --faults"),
             "--faults {bad} error is unstructured"
+        );
+    }
+    // Interrupt specs are validated up front too, naming the rule.
+    for bad in ["seed", "warp=1", "rate=1.5", "penalty=0", "vector=6"] {
+        let output = run(&["sweep", "--interrupts", bad]);
+        assert!(!output.status.success(), "--interrupts {bad} was accepted");
+        assert!(
+            String::from_utf8_lossy(&output.stderr).contains("invalid --interrupts"),
+            "--interrupts {bad} error is unstructured"
         );
     }
     // serve validates --corpus in the same shared place.

@@ -19,9 +19,13 @@
 use crate::{ClockGenerator, DelayLut};
 use idca_isa::TimingClass;
 use idca_pipeline::{
-    CycleObserver, CycleRecord, DigestCycle, PipelineTrace, RunSummary, Stage, TimingDigest,
+    CycleObserver, CycleRecord, DigestCycle, IrqPhase, PipelineTrace, RunSummary, Stage,
+    TimingDigest,
 };
-use idca_timing::{CornerBank, CycleLanes, CycleTiming, FaultPlan, Ps, TimingModel, LANE_WIDTH};
+use idca_timing::{
+    surged, CornerBank, CycleLanes, CycleTiming, FaultPlan, IrqCursor, IrqTimeline, Ps,
+    TimingModel, LANE_WIDTH,
+};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the online-adaptive clock controller.
@@ -61,6 +65,11 @@ pub struct AdaptiveOutcome {
     pub speedup_over_static: f64,
     /// Cycles whose realized period undercut the actual dynamic delay.
     pub violations: u64,
+    /// The subset of [`AdaptiveOutcome::violations`] that occurred during
+    /// exception-entry cycles (when the entry delay surge is in effect).
+    /// Zero for interrupt-free runs.
+    #[serde(default)]
+    pub entry_violations: u64,
     /// Violating cycles caught by the fault plan's detection window and
     /// repaired at the replay penalty. Zero without a fault plan.
     pub recovered_cycles: u64,
@@ -121,9 +130,12 @@ pub struct AdaptiveObserver<'a> {
     learned: Vec<Ps>,
     observations: Vec<u64>,
     faults: Option<&'a FaultPlan>,
+    irq: Option<IrqCursor<'a>>,
+    surge_factor: f64,
     total_time: f64,
     penalty_time: f64,
     violations: u64,
+    entry_violations: u64,
     recovered_cycles: u64,
     replay_penalty_cycles: u64,
     silent_risk_cycles: u64,
@@ -174,9 +186,12 @@ impl<'a> AdaptiveObserver<'a> {
             learned,
             observations,
             faults: None,
+            irq: None,
+            surge_factor: 1.0,
             total_time: 0.0,
             penalty_time: 0.0,
             violations: 0,
+            entry_violations: 0,
             recovered_cycles: 0,
             replay_penalty_cycles: 0,
             silent_risk_cycles: 0,
@@ -197,6 +212,32 @@ impl<'a> AdaptiveObserver<'a> {
     pub fn with_faults(mut self, faults: &'a FaultPlan) -> Self {
         self.faults = Some(faults);
         self
+    }
+
+    /// Attaches the interrupt scenario, exactly as
+    /// [`PolicyObserver::with_interrupts`](crate::PolicyObserver::with_interrupts):
+    /// `surge_factor` (`1 + surge`) scales every stage delay during
+    /// exception-entry cycles — so the controller both *suffers* the surge
+    /// and *learns from* the surged delays — and violations on those cycles
+    /// are additionally tallied as [`AdaptiveOutcome::entry_violations`].
+    ///
+    /// The **live** path reads each record's `irq_phase` directly — pass
+    /// `None` for `timeline`. The **replay** paths rebuild phases from the
+    /// digest event stream — pass the run's [`IrqTimeline`]. The
+    /// cycle-computing entry points apply the surge themselves (faults
+    /// first, then the surge); [`AdaptiveObserver::observe_digest_timed`]
+    /// expects the caller to have applied it, like the fault factors.
+    #[must_use]
+    pub fn with_interrupts(mut self, timeline: Option<&'a IrqTimeline>, surge_factor: f64) -> Self {
+        self.irq = timeline.map(IrqTimeline::cursor);
+        self.surge_factor = surge_factor;
+        self
+    }
+
+    fn entry_at(&mut self, cycle: u64) -> bool {
+        self.irq
+            .as_mut()
+            .is_some_and(|cursor| cursor.phase(cycle) == IrqPhase::Entry)
     }
 
     /// Consumes the controller and returns the outcome of the run.
@@ -236,24 +277,33 @@ impl<'a> AdaptiveObserver<'a> {
     /// the replay counterpart of [`CycleObserver::observe_cycle`],
     /// bit-identical to observing the originating [`CycleRecord`].
     pub fn observe_digest(&mut self, cycle: u64, digest_cycle: &DigestCycle) {
+        let entry = self.entry_at(cycle);
         let timing = self.model.digest_cycle_timing(cycle, digest_cycle);
         let timing = match self.faults {
             Some(plan) => plan.faulted(cycle, &timing),
             None => timing,
         };
-        self.observe_digest_timed(cycle, digest_cycle, &timing);
+        let timing = if entry {
+            surged(&timing, self.surge_factor)
+        } else {
+            timing
+        };
+        self.observe_parts(cycle, &digest_cycle.classes, &timing, entry);
     }
 
     /// [`AdaptiveObserver::observe_digest`] with the cycle's
     /// [`CycleTiming`] already evaluated (shared across the observers of
-    /// one replay pass).
+    /// one replay pass). Fault factors **and** the entry surge are the
+    /// caller's responsibility; the cycle's interrupt phase still comes
+    /// from the attached timeline cursor.
     pub fn observe_digest_timed(
         &mut self,
         cycle: u64,
         digest_cycle: &DigestCycle,
         timing: &CycleTiming,
     ) {
-        self.observe_parts(cycle, &digest_cycle.classes, timing);
+        let entry = self.entry_at(cycle);
+        self.observe_parts(cycle, &digest_cycle.classes, timing, entry);
     }
 
     /// The predict/observe/update loop shared by the live and the replay
@@ -264,6 +314,7 @@ impl<'a> AdaptiveObserver<'a> {
         cycle: u64,
         classes: &[TimingClass; Stage::COUNT],
         timing: &CycleTiming,
+        entry: bool,
     ) {
         // 1. Predict: the controller only sees the instruction classes; any
         //    entry that is still warming up keeps the whole cycle at the
@@ -291,6 +342,7 @@ impl<'a> AdaptiveObserver<'a> {
         let violated = realized + 1e-9 < actual_max;
         if violated {
             self.violations += 1;
+            self.entry_violations += u64::from(entry);
             if let Some(plan) = self.faults {
                 let spec = plan.spec();
                 if actual_max <= realized * (1.0 + spec.detect_window) {
@@ -325,6 +377,7 @@ impl<'a> AdaptiveObserver<'a> {
 
 impl CycleObserver for AdaptiveObserver<'_> {
     fn observe_cycle(&mut self, record: &CycleRecord) {
+        let entry = record.irq_phase == IrqPhase::Entry;
         let mut classes = [TimingClass::Bubble; Stage::COUNT];
         for stage in Stage::ALL {
             classes[stage.index()] = record.timing_class(stage);
@@ -334,7 +387,12 @@ impl CycleObserver for AdaptiveObserver<'_> {
             Some(plan) => plan.faulted(record.cycle, &timing),
             None => timing,
         };
-        self.observe_parts(record.cycle, &classes, &timing);
+        let timing = if entry {
+            surged(&timing, self.surge_factor)
+        } else {
+            timing
+        };
+        self.observe_parts(record.cycle, &classes, &timing, entry);
     }
 
     fn finish(&mut self, summary: &RunSummary) {
@@ -364,6 +422,7 @@ impl CycleObserver for AdaptiveObserver<'_> {
                 1.0
             },
             violations: self.violations,
+            entry_violations: self.entry_violations,
             recovered_cycles: self.recovered_cycles,
             replay_penalty_cycles: self.replay_penalty_cycles,
             silent_risk_cycles: self.silent_risk_cycles,
@@ -418,6 +477,7 @@ pub struct AdaptiveBank<'a> {
     total_time: Vec<f64>,
     penalty_time: Vec<f64>,
     violations: Vec<u64>,
+    entry_violations: Vec<u64>,
     recovered_cycles: Vec<u64>,
     replay_penalty_cycles: Vec<u64>,
     silent_risk_cycles: Vec<u64>,
@@ -510,6 +570,7 @@ impl<'a> AdaptiveBank<'a> {
             total_time: vec![0.0; corners],
             penalty_time: vec![0.0; corners],
             violations: vec![0; corners],
+            entry_violations: vec![0; corners],
             recovered_cycles: vec![0; corners],
             replay_penalty_cycles: vec![0; corners],
             silent_risk_cycles: vec![0; corners],
@@ -564,6 +625,7 @@ impl<'a> AdaptiveBank<'a> {
         self.total_time.fill(0.0);
         self.penalty_time.fill(0.0);
         self.violations.fill(0);
+        self.entry_violations.fill(0);
         self.recovered_cycles.fill(0);
         self.replay_penalty_cycles.fill(0);
         self.silent_risk_cycles.fill(0);
@@ -607,6 +669,23 @@ impl<'a> AdaptiveBank<'a> {
     ///
     /// Panics if `timings` does not carry exactly one entry per corner.
     pub fn observe_digest_timed(&mut self, cycle: u64, dc: &DigestCycle, timings: &[CycleTiming]) {
+        self.observe_digest_timed_phased(cycle, dc, timings, false);
+    }
+
+    /// [`AdaptiveBank::observe_digest_timed`] with the cycle's
+    /// interrupt-entry classification supplied by the caller — the bank
+    /// lives in `'static` worker scratch, so it cannot hold a borrowed
+    /// timeline cursor; the sweep derives the phase once per cycle from a
+    /// shared [`IrqCursor`] instead. The caller must also have applied the
+    /// entry surge to `timings` on entry cycles, exactly like the fault
+    /// factors.
+    pub fn observe_digest_timed_phased(
+        &mut self,
+        cycle: u64,
+        dc: &DigestCycle,
+        timings: &[CycleTiming],
+        entry: bool,
+    ) {
         assert_eq!(
             timings.len(),
             self.corners,
@@ -654,6 +733,7 @@ impl<'a> AdaptiveBank<'a> {
             let violated = realized + 1e-9 < actual_max;
             if violated {
                 self.violations[lane] += 1;
+                self.entry_violations[lane] += u64::from(entry);
                 if let Some(plan) = &self.faults {
                     let spec = plan.spec();
                     if actual_max <= realized * (1.0 + spec.detect_window) {
@@ -706,13 +786,27 @@ impl<'a> AdaptiveBank<'a> {
     /// # Panics
     ///
     /// Panics if the lanes' padded width differs from the bank's.
+    pub fn observe_cycle_lanes(&mut self, cycle: u64, dc: &DigestCycle, lanes: &CycleLanes) {
+        self.observe_cycle_lanes_phased(cycle, dc, lanes, false);
+    }
+
+    /// [`AdaptiveBank::observe_cycle_lanes`] with the cycle's
+    /// interrupt-entry classification supplied by the caller (see
+    /// [`AdaptiveBank::observe_digest_timed_phased`] for the convention:
+    /// the surge must already be in `lanes`, the phase comes in as a bool).
     // `inline(never)` is load-bearing: letting this body inline into the
     // sweep's replay loop (alongside the evaluator and the three policy
     // banks) doubles the replay time at 100×8 — the merged loop spills
     // registers across every pass. Keeping it a call leaves each kernel
     // small enough to vectorize cleanly.
     #[inline(never)]
-    pub fn observe_cycle_lanes(&mut self, cycle: u64, dc: &DigestCycle, lanes: &CycleLanes) {
+    pub fn observe_cycle_lanes_phased(
+        &mut self,
+        cycle: u64,
+        dc: &DigestCycle,
+        lanes: &CycleLanes,
+        entry: bool,
+    ) {
         let padded = self.padded;
         assert_eq!(lanes.padded_lanes(), padded, "lane widths must match");
         let corners = self.corners;
@@ -773,6 +867,7 @@ impl<'a> AdaptiveBank<'a> {
         let static_period = &self.static_period[..corners];
         let warmup_cycles = &mut self.warmup_cycles[..corners];
         let violations = &mut self.violations[..corners];
+        let entry_violations = &mut self.entry_violations[..corners];
         let recovered = &mut self.recovered_cycles[..corners];
         let replayed = &mut self.replay_penalty_cycles[..corners];
         let silent = &mut self.silent_risk_cycles[..corners];
@@ -790,6 +885,7 @@ impl<'a> AdaptiveBank<'a> {
             let actual_max = actual_lanes[lane] * drift_factor;
             let violated = realized + 1e-9 < actual_max;
             violations[lane] += u64::from(violated);
+            entry_violations[lane] += u64::from(violated && entry);
             if let Some((detect_factor, penalty_cycles, penalty)) = recovery {
                 let detected = violated && actual_max <= realized * detect_factor;
                 recovered[lane] += u64::from(detected);
@@ -886,6 +982,7 @@ impl<'a> AdaptiveBank<'a> {
                         1.0
                     },
                     violations: self.violations[lane],
+                    entry_violations: self.entry_violations[lane],
                     recovered_cycles: self.recovered_cycles[lane],
                     replay_penalty_cycles: self.replay_penalty_cycles[lane],
                     silent_risk_cycles: self.silent_risk_cycles[lane],

@@ -54,6 +54,7 @@ pub struct PolicyBank<'a> {
     min_period_ps: Vec<Ps>,
     max_period_ps: Vec<Ps>,
     violations: Vec<u64>,
+    entry_violations: Vec<u64>,
     recovered_cycles: Vec<u64>,
     replay_penalty_cycles: Vec<u64>,
     silent_risk_cycles: Vec<u64>,
@@ -96,6 +97,7 @@ impl<'a> PolicyBank<'a> {
             min_period_ps: vec![Ps::INFINITY; padded],
             max_period_ps: vec![0.0; padded],
             violations: vec![0; padded],
+            entry_violations: vec![0; padded],
             recovered_cycles: vec![0; padded],
             replay_penalty_cycles: vec![0; padded],
             silent_risk_cycles: vec![0; padded],
@@ -153,6 +155,7 @@ impl<'a> PolicyBank<'a> {
         self.min_period_ps.fill(Ps::INFINITY);
         self.max_period_ps.fill(0.0);
         self.violations.fill(0);
+        self.entry_violations.fill(0);
         self.recovered_cycles.fill(0);
         self.replay_penalty_cycles.fill(0);
         self.silent_risk_cycles.fill(0);
@@ -307,6 +310,24 @@ impl<'a> PolicyBank<'a> {
         }
     }
 
+    /// [`PolicyBank::observe_actuals`] for an exception-entry cycle: the
+    /// same accumulation, plus each lane's violation (recomputed from the
+    /// hoisted threshold, so the count is bit-identical to the main kernel's
+    /// compare) is tallied into the entry-violation lanes. The caller is
+    /// expected to have applied the entry surge to `actuals` already — the
+    /// prepared-entry convention, matching the fault factors.
+    pub fn observe_actuals_entry(&mut self, actuals: &[Ps]) {
+        self.observe_actuals(actuals);
+        let folds = self
+            .entry_violations
+            .iter_mut()
+            .zip(&self.threshold)
+            .zip(actuals);
+        for ((entry, &threshold), &actual) in folds {
+            *entry += u64::from(threshold < actual);
+        }
+    }
+
     /// Derives the per-corner [`RunOutcome`]s from the accumulated lanes —
     /// field-for-field the arithmetic of
     /// [`PolicyObserver`](crate::PolicyObserver)'s `finish`. The activity
@@ -361,6 +382,7 @@ impl<'a> PolicyBank<'a> {
                     effective_frequency_mhz,
                     mips,
                     violations: self.violations[lane],
+                    entry_violations: self.entry_violations[lane],
                     recovered_cycles: self.recovered_cycles[lane],
                     replay_penalty_cycles: self.replay_penalty_cycles[lane],
                     silent_risk_cycles: self.silent_risk_cycles[lane],

@@ -15,10 +15,11 @@
 
 use crate::{ClockGenerator, ClockPolicy};
 use idca_pipeline::{
-    CycleObserver, CycleRecord, DigestCycle, PipelineTrace, RunSummary, TimingDigest,
+    CycleObserver, CycleRecord, DigestCycle, IrqPhase, PipelineTrace, RunSummary, TimingDigest,
 };
 use idca_timing::{
-    ActivityObserver, ActivitySummary, CornerBank, CycleTiming, FaultPlan, Ps, TimingModel,
+    surged, ActivityObserver, ActivitySummary, CornerBank, CycleTiming, FaultPlan, IrqCursor,
+    IrqTimeline, Ps, TimingModel,
 };
 use serde::{Deserialize, Serialize};
 
@@ -46,6 +47,12 @@ pub struct RunOutcome {
     /// Cycles in which the realized period was shorter than the actual
     /// dynamic delay — must be zero for a correctly constructed LUT.
     pub violations: u64,
+    /// The subset of [`RunOutcome::violations`] that occurred during
+    /// exception-entry cycles (the flush-and-redirect window after an
+    /// interrupt is accepted, when the entry delay surge is in effect).
+    /// Zero for interrupt-free runs.
+    #[serde(default)]
+    pub entry_violations: u64,
     /// Violating cycles whose overshoot stayed inside the fault plan's
     /// detection window: a Razor-style detect-and-replay pipeline catches
     /// them and re-executes at the replay penalty. Zero without a fault
@@ -109,11 +116,14 @@ pub struct PolicyObserver<'a> {
     policy: &'a dyn ClockPolicy,
     generator: &'a ClockGenerator,
     faults: Option<&'a FaultPlan>,
+    irq: Option<IrqCursor<'a>>,
+    surge_factor: f64,
     total_time_ps: f64,
     penalty_time_ps: f64,
     min_period_ps: Ps,
     max_period_ps: Ps,
     violations: u64,
+    entry_violations: u64,
     recovered_cycles: u64,
     replay_penalty_cycles: u64,
     silent_risk_cycles: u64,
@@ -135,11 +145,14 @@ impl<'a> PolicyObserver<'a> {
             policy,
             generator,
             faults: None,
+            irq: None,
+            surge_factor: 1.0,
             total_time_ps: 0.0,
             penalty_time_ps: 0.0,
             min_period_ps: Ps::INFINITY,
             max_period_ps: 0.0,
             violations: 0,
+            entry_violations: 0,
             recovered_cycles: 0,
             replay_penalty_cycles: 0,
             silent_risk_cycles: 0,
@@ -163,6 +176,40 @@ impl<'a> PolicyObserver<'a> {
         self
     }
 
+    /// Attaches the interrupt scenario: `surge_factor` (`1 + surge`, so
+    /// `1.0` = no surge) scales every stage delay during exception-entry
+    /// cycles, and violations on those cycles are additionally tallied as
+    /// [`RunOutcome::entry_violations`].
+    ///
+    /// The phase source differs per path: the **live** path
+    /// ([`CycleObserver::observe_cycle`]) reads each record's
+    /// `irq_phase` directly — pass `None` for `timeline`. The **replay**
+    /// paths ([`PolicyObserver::observe_digest`] and friends) rebuild the
+    /// phases from the digest event stream — pass the run's
+    /// [`IrqTimeline`]. Both classify exactly the same cycles as entry
+    /// cycles (pinned by the interrupt differential tests).
+    ///
+    /// Like faults, the surge convention splits by entry point: the
+    /// cycle-computing entry points apply the surge themselves (after the
+    /// fault perturbation — the canonical composition order), while the
+    /// prepared entry points expect the caller to have applied
+    /// [`surged`] / [`CycleLanes::apply_surge`](idca_timing::CycleLanes::apply_surge)
+    /// already.
+    #[must_use]
+    pub fn with_interrupts(mut self, timeline: Option<&'a IrqTimeline>, surge_factor: f64) -> Self {
+        self.irq = timeline.map(IrqTimeline::cursor);
+        self.surge_factor = surge_factor;
+        self
+    }
+
+    /// Whether `cycle` is an exception-entry cycle according to the
+    /// attached replay timeline (`false` when none is attached).
+    fn entry_at(&mut self, cycle: u64) -> bool {
+        self.irq
+            .as_mut()
+            .is_some_and(|cursor| cursor.phase(cycle) == IrqPhase::Entry)
+    }
+
     /// Consumes the observer and returns the outcome of the run.
     ///
     /// # Panics
@@ -182,12 +229,20 @@ impl<'a> PolicyObserver<'a> {
     /// fold the digest's occupancy bits. Bit-identical to observing the
     /// originating [`CycleRecord`].
     pub fn observe_digest(&mut self, cycle: u64, digest_cycle: &DigestCycle) {
+        let entry = self.entry_at(cycle);
         let timing = self.model.digest_cycle_timing(cycle, digest_cycle);
         let timing = match self.faults {
             Some(plan) => plan.faulted(cycle, &timing),
             None => timing,
         };
-        self.observe_digest_timed(cycle, digest_cycle, &timing);
+        let timing = if entry {
+            surged(&timing, self.surge_factor)
+        } else {
+            timing
+        };
+        let requested = self.policy.digest_period_ps(cycle, digest_cycle);
+        self.step(requested, timing.max_delay_ps, entry);
+        self.activity.observe_digest(digest_cycle);
     }
 
     /// [`PolicyObserver::observe_digest`] with the cycle's [`CycleTiming`]
@@ -200,8 +255,9 @@ impl<'a> PolicyObserver<'a> {
         digest_cycle: &DigestCycle,
         timing: &CycleTiming,
     ) {
+        let entry = self.entry_at(cycle);
         let requested = self.policy.digest_period_ps(cycle, digest_cycle);
-        self.step(requested, timing.max_delay_ps);
+        self.step(requested, timing.max_delay_ps, entry);
         self.activity.observe_digest(digest_cycle);
     }
 
@@ -218,7 +274,7 @@ impl<'a> PolicyObserver<'a> {
         digest_cycle: &DigestCycle,
         timing: &CycleTiming,
     ) {
-        self.step(requested, timing.max_delay_ps);
+        self.step(requested, timing.max_delay_ps, false);
         self.activity.observe_digest(digest_cycle);
     }
 
@@ -230,7 +286,21 @@ impl<'a> PolicyObserver<'a> {
     /// outcome field is accumulated identically; the outcome's activity
     /// summary stays at its empty default.
     pub fn observe_timing_prepared(&mut self, requested: Ps, timing: &CycleTiming) {
-        self.step(requested, timing.max_delay_ps);
+        self.step(requested, timing.max_delay_ps, false);
+    }
+
+    /// [`PolicyObserver::observe_timing_prepared`] with the cycle's
+    /// interrupt-entry classification supplied by the caller (the banked
+    /// sweep derives it once per cycle from a shared [`IrqCursor`] instead
+    /// of attaching one cursor per observer). The caller must also have
+    /// applied the entry surge to `timing` on entry cycles.
+    pub fn observe_timing_prepared_phased(
+        &mut self,
+        requested: Ps,
+        timing: &CycleTiming,
+        entry: bool,
+    ) {
+        self.step(requested, timing.max_delay_ps, entry);
     }
 
     /// The per-cycle accumulation shared by the live and the replay paths:
@@ -238,11 +308,14 @@ impl<'a> PolicyObserver<'a> {
     /// the actual dynamic delay, accumulate the realized time — and, when a
     /// fault plan is attached, classify each violation as recovered (the
     /// overshoot fits the detection window; a replay penalty is charged) or
-    /// as silent corruption risk.
-    fn step(&mut self, requested: Ps, actual: Ps) {
+    /// as silent corruption risk. `entry` marks exception-entry cycles,
+    /// whose violations are additionally tallied as
+    /// [`RunOutcome::entry_violations`].
+    fn step(&mut self, requested: Ps, actual: Ps, entry: bool) {
         let realized = self.generator.realize(requested);
         if realized + 1e-9 < actual {
             self.violations += 1;
+            self.entry_violations += u64::from(entry);
             if let Some(plan) = self.faults {
                 let spec = plan.spec();
                 if actual <= realized * (1.0 + spec.detect_window) {
@@ -262,13 +335,19 @@ impl<'a> PolicyObserver<'a> {
 
 impl CycleObserver for PolicyObserver<'_> {
     fn observe_cycle(&mut self, record: &CycleRecord) {
+        let entry = record.irq_phase == IrqPhase::Entry;
         let requested = self.policy.period_ps(record);
         let timing = self.model.cycle_timing(record);
-        let actual = match self.faults {
-            Some(plan) => plan.faulted(record.cycle, &timing).max_delay_ps,
-            None => timing.max_delay_ps,
+        let timing = match self.faults {
+            Some(plan) => plan.faulted(record.cycle, &timing),
+            None => timing,
         };
-        self.step(requested, actual);
+        let actual = if entry {
+            surged(&timing, self.surge_factor).max_delay_ps
+        } else {
+            timing.max_delay_ps
+        };
+        self.step(requested, actual, entry);
         self.activity.observe_cycle(record);
     }
 
@@ -311,6 +390,7 @@ impl CycleObserver for PolicyObserver<'_> {
             effective_frequency_mhz,
             mips,
             violations: self.violations,
+            entry_violations: self.entry_violations,
             recovered_cycles: self.recovered_cycles,
             replay_penalty_cycles: self.replay_penalty_cycles,
             silent_risk_cycles: self.silent_risk_cycles,

@@ -404,6 +404,10 @@ fn parse_instruction(
             let k = if ops.is_empty() { 0 } else { imm(0)? };
             return Ok(Insn::nop(k as u16));
         }
+        "l.rfe" => {
+            need(0)?;
+            return Ok(Insn::rfe());
+        }
         "l.jr" => {
             need(1)?;
             return Ok(Insn::jr(reg(0)?));

@@ -41,6 +41,7 @@ pub fn format_insn(insn: &Insn) -> String {
         Opcode::Sw | Opcode::Sh | Opcode::Sb => {
             format!("{m} {}({}), {}", imm.unwrap_or(0), ra.unwrap(), rb.unwrap())
         }
+        Opcode::Rfe => m,
         Opcode::Sf(_) => format!("{m} {}, {}", ra.unwrap(), rb.unwrap()),
         Opcode::Sfi(_) => format!("{m} {}, {}", ra.unwrap(), imm.unwrap_or(0)),
         Opcode::Extbs | Opcode::Exths => format!("{m} {}, {}", rd.unwrap(), ra.unwrap()),

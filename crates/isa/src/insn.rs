@@ -633,6 +633,15 @@ impl Insn {
         }
     }
 
+    /// `l.rfe` — return from exception to the saved exception PC.
+    #[must_use]
+    pub fn rfe() -> Self {
+        Insn {
+            opcode: Opcode::Rfe,
+            operands: Operands::default(),
+        }
+    }
+
     /// `l.nop K`.
     #[must_use]
     pub fn nop(k: u16) -> Self {
@@ -683,6 +692,7 @@ mod encode {
     const OP_BF: u32 = 0x04;
     const OP_NOP: u32 = 0x05;
     const OP_MOVHI: u32 = 0x06;
+    const OP_RFE: u32 = 0x09;
     const OP_JR: u32 = 0x11;
     const OP_JALR: u32 = 0x12;
     const OP_LWZ: u32 = 0x21;
@@ -738,6 +748,7 @@ mod encode {
             Opcode::Bnf => (OP_BNF << 26) | imm26(insn),
             Opcode::Bf => (OP_BF << 26) | imm26(insn),
             Opcode::Nop => (OP_NOP << 26) | (1 << 24) | imm16(insn),
+            Opcode::Rfe => OP_RFE << 26,
             Opcode::Movhi => (OP_MOVHI << 26) | (rd(insn) << 21) | imm16(insn),
             Opcode::Jr => (OP_JR << 26) | (rb(insn) << 11),
             Opcode::Jalr => (OP_JALR << 26) | (rb(insn) << 11),
@@ -838,6 +849,12 @@ mod encode {
             OP_BNF => Insn::bnf(sext(word & 0x03FF_FFFF, 26))?,
             OP_BF => Insn::bf(sext(word & 0x03FF_FFFF, 26))?,
             OP_NOP => Insn::nop(u16v as u16),
+            OP_RFE => {
+                if word & 0x03FF_FFFF != 0 {
+                    return Err(err());
+                }
+                Insn::rfe()
+            }
             OP_MOVHI => Insn::movhi(rd, u16v)?,
             OP_JR => Insn::jr(rb),
             OP_JALR => Insn::jalr(rb),
@@ -964,6 +981,7 @@ mod tests {
             Insn::bnf(7).unwrap(),
             Insn::jr(Reg::r(9)),
             Insn::jalr(Reg::r(11)),
+            Insn::rfe(),
             Insn::nop(0x42),
         ]
     }

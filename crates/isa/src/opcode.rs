@@ -98,6 +98,8 @@ pub enum Opcode {
     Bf,
     /// `l.bnf N` — branch if flag not set.
     Bnf,
+    /// `l.rfe` — return from exception (jump to the saved exception PC).
+    Rfe,
     /// `l.nop K` — no operation (K is an informational immediate).
     Nop,
 }
@@ -399,6 +401,7 @@ impl Opcode {
             Opcode::Jalr => "l.jalr".into(),
             Opcode::Bf => "l.bf".into(),
             Opcode::Bnf => "l.bnf".into(),
+            Opcode::Rfe => "l.rfe".into(),
             Opcode::Nop => "l.nop".into(),
         }
     }
@@ -430,7 +433,7 @@ impl Opcode {
             Opcode::Sw | Opcode::Sh | Opcode::Sb => TimingClass::Store,
             Opcode::Bf | Opcode::Bnf => TimingClass::BranchCond,
             Opcode::J | Opcode::Jal => TimingClass::Jump,
-            Opcode::Jr | Opcode::Jalr => TimingClass::JumpReg,
+            Opcode::Jr | Opcode::Jalr | Opcode::Rfe => TimingClass::JumpReg,
             Opcode::Nop => TimingClass::Nop,
         }
     }
@@ -492,7 +495,7 @@ impl Opcode {
         match self {
             Opcode::Sf(_) | Opcode::Sfi(_) => false,
             Opcode::Sw | Opcode::Sh | Opcode::Sb => false,
-            Opcode::J | Opcode::Bf | Opcode::Bnf | Opcode::Jr | Opcode::Nop => false,
+            Opcode::J | Opcode::Bf | Opcode::Bnf | Opcode::Jr | Opcode::Rfe | Opcode::Nop => false,
             Opcode::Jal | Opcode::Jalr => true, // link register r9
             _ => true,
         }
@@ -510,6 +513,7 @@ impl Opcode {
                 | Opcode::Jalr
                 | Opcode::Bf
                 | Opcode::Bnf
+                | Opcode::Rfe
                 | Opcode::Nop
         )
     }

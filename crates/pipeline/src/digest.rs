@@ -31,6 +31,14 @@
 //! digest serves every fault scenario — which is also why the digest-cache
 //! key carries no fault spec.
 //!
+//! Interrupt scenarios are different: they change the executed cycle stream
+//! itself, so a digest is **interrupt-variant** and additionally carries a
+//! versioned *event stream* (codec v3) of [`DigestEvent`]s — interrupt
+//! entries/returns, timer fires and MMIO touches — from which replay
+//! reconstructs per-cycle interrupt phases and peripheral statistics
+//! without re-simulating. Interrupt-free digests have an empty event
+//! stream, and their cycle/run tables are unchanged from v1.
+//!
 //! # Excitation coefficients
 //!
 //! The downstream timing model blends every stage's raw excitation with a
@@ -42,7 +50,9 @@
 //! replay bit-identical while keeping [`DigestCycle`] independent of the
 //! cycle index (a prerequisite for run-length encoding).
 
-use crate::{CycleObserver, CycleRecord, CycleRecordFlags, Occupant, RunSummary, Stage};
+use crate::{
+    CycleObserver, CycleRecord, CycleRecordFlags, DigestEvent, Occupant, RunSummary, Stage,
+};
 use idca_isa::{Insn, TimingClass, INSN_BYTES};
 use std::sync::Arc;
 
@@ -420,6 +430,8 @@ struct DigestRun {
 pub struct TimingDigest {
     pool: Vec<DigestCycle>,
     runs: Vec<DigestRun>,
+    /// Asynchronous events in cycle order (empty for interrupt-free runs).
+    events: Vec<DigestEvent>,
     cycles: u64,
     retired: u64,
 }
@@ -471,6 +483,13 @@ impl TimingDigest {
     #[must_use]
     pub fn run_count(&self) -> usize {
         self.runs.len()
+    }
+
+    /// The asynchronous-event stream (interrupt entries/returns, timer
+    /// fires, MMIO touches) in cycle order. Empty for interrupt-free runs.
+    #[must_use]
+    pub fn events(&self) -> &[DigestEvent] {
+        &self.events
     }
 
     /// Expands the encoded stream, invoking `f` once per simulated cycle in
@@ -529,6 +548,12 @@ impl TimingDigest {
             });
             out.cycles += u64::from(take);
         }
+        out.events = self
+            .events
+            .iter()
+            .copied()
+            .filter(|event| event.cycle < out.cycles)
+            .collect();
         out.retired = self.retired.min(out.cycles);
         out
     }
@@ -539,8 +564,8 @@ impl TimingDigest {
     ///
     /// ```text
     /// magic "IDCADGST" | version u32 | body_checksum u64 (FNV-1a)
-    /// | cycles u64 | retired u64 | pool_len u32 | runs_len u32
-    /// | pool entries | run entries
+    /// | cycles u64 | retired u64 | pool_len u32 | runs_len u32 | events_len u32
+    /// | pool entries | run entries | event entries
     /// ```
     ///
     /// The checksum covers everything after itself (run totals and tables
@@ -549,18 +574,22 @@ impl TimingDigest {
     /// excitation coefficient pairs as raw `f64` bit patterns (replay must be
     /// bit-exact, so the float round-trip is by bits, never by text), the
     /// fetch address and the activity flags; each run entry is a
-    /// `(cycle_id, len)` pair. [`TimingDigest::from_bytes`] re-validates
+    /// `(cycle_id, len)` pair; each event entry (new in v3) is a
+    /// `(cycle u64, kind u8, payload u32)` triple of the asynchronous-event
+    /// stream. [`TimingDigest::from_bytes`] re-validates
     /// every structural invariant, so a digest loaded from disk is as
     /// trustworthy as a freshly captured one.
     #[must_use]
     pub fn to_bytes(&self) -> Vec<u8> {
-        let payload_len =
-            self.pool.len() * codec::POOL_ENTRY_BYTES + self.runs.len() * codec::RUN_ENTRY_BYTES;
+        let payload_len = self.pool.len() * codec::POOL_ENTRY_BYTES
+            + self.runs.len() * codec::RUN_ENTRY_BYTES
+            + self.events.len() * codec::EVENT_ENTRY_BYTES;
         let mut body = Vec::with_capacity(codec::BODY_HEADER_BYTES + payload_len);
         body.extend_from_slice(&self.cycles.to_le_bytes());
         body.extend_from_slice(&self.retired.to_le_bytes());
         body.extend_from_slice(&(self.pool.len() as u32).to_le_bytes());
         body.extend_from_slice(&(self.runs.len() as u32).to_le_bytes());
+        body.extend_from_slice(&(self.events.len() as u32).to_le_bytes());
         for dc in &self.pool {
             for class in dc.classes {
                 body.push(class.index() as u8);
@@ -575,6 +604,12 @@ impl TimingDigest {
         for run in &self.runs {
             body.extend_from_slice(&run.cycle_id.to_le_bytes());
             body.extend_from_slice(&run.len.to_le_bytes());
+        }
+        for event in &self.events {
+            let (kind, payload) = codec::encode_event_kind(event.kind);
+            body.extend_from_slice(&event.cycle.to_le_bytes());
+            body.push(kind);
+            body.extend_from_slice(&payload.to_le_bytes());
         }
 
         let mut bytes = Vec::with_capacity(codec::PREFIX_BYTES + body.len());
@@ -612,10 +647,16 @@ impl TimingDigest {
         let retired = r.u64()?;
         let pool_len = r.u32()? as usize;
         let runs_len = r.u32()? as usize;
+        let events_len = r.u32()? as usize;
         let payload_len = r.remaining().len();
         let expected = pool_len
             .checked_mul(codec::POOL_ENTRY_BYTES)
             .and_then(|p| runs_len.checked_mul(codec::RUN_ENTRY_BYTES).map(|r| p + r))
+            .and_then(|t| {
+                events_len
+                    .checked_mul(codec::EVENT_ENTRY_BYTES)
+                    .map(|e| t + e)
+            })
             .ok_or(DigestFormatError::Malformed("table sizes overflow"))?;
         if payload_len < expected {
             return Err(DigestFormatError::Truncated {
@@ -687,9 +728,31 @@ impl TimingDigest {
             ));
         }
 
+        let mut events = Vec::with_capacity(events_len);
+        let mut last_event_cycle: u64 = 0;
+        for _ in 0..events_len {
+            let cycle = r.u64()?;
+            let kind_byte = r.u8()?;
+            let payload = r.u32()?;
+            let kind = codec::decode_event_kind(kind_byte, payload)?;
+            if cycle >= cycles {
+                return Err(DigestFormatError::Malformed(
+                    "event cycle beyond header cycle count",
+                ));
+            }
+            if cycle < last_event_cycle {
+                return Err(DigestFormatError::Malformed(
+                    "event cycles not nondecreasing",
+                ));
+            }
+            last_event_cycle = cycle;
+            events.push(DigestEvent { cycle, kind });
+        }
+
         Ok(TimingDigest {
             pool,
             runs,
+            events,
             cycles,
             retired,
         })
@@ -752,21 +815,70 @@ impl std::error::Error for DigestFormatError {}
 /// Byte-level helpers of the digest binary format.
 mod codec {
     use super::DigestFormatError;
-    use crate::Stage;
+    use crate::{DigestEventKind, Stage};
 
     /// File magic of the digest format.
     pub(super) const MAGIC: &[u8] = b"IDCADGST";
-    /// Current format version.
-    pub(super) const VERSION: u32 = 1;
+    /// Current format version. v3 added the asynchronous-event table
+    /// (`events_len` in the body header plus event entries after the run
+    /// table); v1/v2 files are rejected with
+    /// [`DigestFormatError::UnsupportedVersion`] rather than silently read
+    /// without their event stream.
+    pub(super) const VERSION: u32 = 3;
     /// Unchecksummed prefix: magic + version + checksum.
     pub(super) const PREFIX_BYTES: usize = 8 + 4 + 8;
-    /// Checksummed body header: cycles + retired + pool_len + runs_len.
-    pub(super) const BODY_HEADER_BYTES: usize = 8 + 8 + 4 + 4;
+    /// Checksummed body header: cycles + retired + pool_len + runs_len +
+    /// events_len.
+    pub(super) const BODY_HEADER_BYTES: usize = 8 + 8 + 4 + 4 + 4;
     /// Serialized size of one pool entry: classes + excitation coefficient
     /// pairs + fetch address + flags.
     pub(super) const POOL_ENTRY_BYTES: usize = Stage::COUNT + Stage::COUNT * 16 + 4 + 1;
     /// Serialized size of one run entry.
     pub(super) const RUN_ENTRY_BYTES: usize = 8;
+    /// Serialized size of one event entry: cycle + kind + payload.
+    pub(super) const EVENT_ENTRY_BYTES: usize = 8 + 1 + 4;
+
+    /// Maps an event kind onto its `(kind byte, payload)` wire pair.
+    pub(super) fn encode_event_kind(kind: DigestEventKind) -> (u8, u32) {
+        match kind {
+            DigestEventKind::IrqEntry { line } => (0, u32::from(line)),
+            DigestEventKind::IrqReturn => (1, 0),
+            DigestEventKind::TimerFire => (2, 0),
+            DigestEventKind::MmioLoad { address } => (3, address),
+            DigestEventKind::MmioStore { address } => (4, address),
+        }
+    }
+
+    /// Inverse of [`encode_event_kind`]; rejects unknown kinds and payloads
+    /// a kind cannot carry, so a decoded event always re-encodes to the
+    /// same bytes.
+    pub(super) fn decode_event_kind(
+        kind: u8,
+        payload: u32,
+    ) -> Result<DigestEventKind, DigestFormatError> {
+        match kind {
+            0 => {
+                let line = u8::try_from(payload)
+                    .map_err(|_| DigestFormatError::Malformed("interrupt line out of range"))?;
+                Ok(DigestEventKind::IrqEntry { line })
+            }
+            1 | 2 => {
+                if payload != 0 {
+                    return Err(DigestFormatError::Malformed(
+                        "nonzero payload on payloadless event",
+                    ));
+                }
+                Ok(if kind == 1 {
+                    DigestEventKind::IrqReturn
+                } else {
+                    DigestEventKind::TimerFire
+                })
+            }
+            3 => Ok(DigestEventKind::MmioLoad { address: payload }),
+            4 => Ok(DigestEventKind::MmioStore { address: payload }),
+            _ => Err(DigestFormatError::Malformed("undefined event kind")),
+        }
+    }
 
     /// 64-bit FNV-1a over a byte slice (the header's payload checksum).
     pub(super) fn fnv1a(bytes: &[u8]) -> u64 {
@@ -1127,6 +1239,17 @@ impl CycleObserver for DigestObserver {
         self.push(dc);
     }
 
+    fn observe_event(&mut self, event: &DigestEvent) {
+        debug_assert!(
+            self.digest
+                .events
+                .last()
+                .is_none_or(|last| last.cycle <= event.cycle),
+            "events must arrive in cycle order"
+        );
+        self.digest.events.push(*event);
+    }
+
     fn finish(&mut self, summary: &RunSummary) {
         self.digest.retired = summary.retired;
         debug_assert_eq!(self.digest.cycles, summary.cycles);
@@ -1144,7 +1267,7 @@ impl CycleObserver for DigestObserver {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{SimConfig, Simulator};
+    use crate::{DigestEventKind, SimConfig, Simulator};
     use idca_isa::asm::Assembler;
 
     fn trace(src: &str) -> crate::PipelineTrace {
@@ -1337,6 +1460,131 @@ mod tests {
         assert!(DigestFormatError::ChecksumMismatch
             .to_string()
             .contains("checksum"));
+    }
+
+    /// Builds a digest carrying a populated asynchronous-event stream by
+    /// driving the observer exactly as the simulator would.
+    fn digest_with_events() -> TimingDigest {
+        let t = trace("l.addi r3, r0, 5\n l.mul r4, r3, r3\n l.nop 1\n");
+        let mut observer = DigestObserver::new();
+        let events = [
+            DigestEvent {
+                cycle: 0,
+                kind: DigestEventKind::TimerFire,
+            },
+            DigestEvent {
+                cycle: 1,
+                kind: DigestEventKind::MmioLoad {
+                    address: 0xFFFF_0008,
+                },
+            },
+            DigestEvent {
+                cycle: 1,
+                kind: DigestEventKind::IrqEntry { line: 1 },
+            },
+            DigestEvent {
+                cycle: 3,
+                kind: DigestEventKind::MmioStore {
+                    address: 0xFFFF_000C,
+                },
+            },
+            DigestEvent {
+                cycle: 4,
+                kind: DigestEventKind::IrqReturn,
+            },
+        ];
+        for record in t.cycles() {
+            observer.observe_cycle(record);
+            for event in events.iter().filter(|e| e.cycle == record.cycle) {
+                observer.observe_event(event);
+            }
+        }
+        observer.finish(&RunSummary {
+            cycles: t.cycle_count(),
+            retired: t.retired(),
+        });
+        observer.into_digest()
+    }
+
+    #[test]
+    fn event_stream_round_trips_and_survives_truncation() {
+        let digest = digest_with_events();
+        assert_eq!(digest.events().len(), 5);
+
+        let bytes = digest.to_bytes();
+        let back = TimingDigest::from_bytes(&bytes).expect("round-trips");
+        assert_eq!(back, digest);
+        assert_eq!(back.to_bytes(), bytes);
+
+        // Truncation keeps only events of surviving cycles.
+        let short = digest.truncated(2);
+        assert_eq!(short.events().len(), 3);
+        assert!(short.events().iter().all(|e| e.cycle < 2));
+        let short_bytes = short.to_bytes();
+        assert_eq!(
+            TimingDigest::from_bytes(&short_bytes).expect("truncated round-trips"),
+            short
+        );
+    }
+
+    #[test]
+    fn pre_event_stream_versions_are_rejected() {
+        // v1/v2 digests predate the event table; reading them as v3 would
+        // silently drop the (then-unrepresentable) event stream, so both are
+        // rejected outright.
+        let bytes = digest_with_events().to_bytes();
+        for old in [1u8, 2] {
+            let mut bad = bytes.clone();
+            bad[8] = old;
+            assert_eq!(
+                TimingDigest::from_bytes(&bad),
+                Err(DigestFormatError::UnsupportedVersion(u32::from(old)))
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_event_tables_are_rejected_without_panicking() {
+        let digest = digest_with_events();
+        let bytes = digest.to_bytes();
+
+        // Flip every byte of the encoded digest — event table included —
+        // and demand a structured error each time, mirroring the pool/run
+        // corruption sweep above.
+        for at in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[at] ^= 0x10;
+            assert!(TimingDigest::from_bytes(&bad).is_err(), "flip at byte {at}");
+        }
+        for len in 0..bytes.len() {
+            assert!(
+                TimingDigest::from_bytes(&bytes[..len]).is_err(),
+                "prefix {len}"
+            );
+        }
+
+        // Structural event validation (bad kind, misordered cycles,
+        // out-of-range cycles, oversized payloads) is checked directly
+        // against hand-built digests with a fresh checksum.
+        let rebuild = |mutate: &dyn Fn(&mut TimingDigest)| {
+            let mut d = digest.clone();
+            mutate(&mut d);
+            d.to_bytes()
+        };
+        let misordered = rebuild(&|d| d.events.swap(0, 4));
+        assert_eq!(
+            TimingDigest::from_bytes(&misordered),
+            Err(DigestFormatError::Malformed(
+                "event cycles not nondecreasing"
+            ))
+        );
+        let beyond = rebuild(&|d| d.events.last_mut().expect("events").cycle = d.cycles);
+        assert_eq!(
+            TimingDigest::from_bytes(&beyond),
+            Err(DigestFormatError::Malformed(
+                "event cycle beyond header cycle count"
+            ))
+        );
     }
 
     #[test]

@@ -36,6 +36,12 @@ pub enum PipelineError {
         /// Instruction memory capacity in words.
         capacity: usize,
     },
+    /// A store targeted a read-only MMIO register (timer state, pending
+    /// lines). Reported as a structured error, never a panic.
+    MmioReadOnly {
+        /// Byte address of the read-only register.
+        address: u32,
+    },
 }
 
 impl fmt::Display for PipelineError {
@@ -58,6 +64,9 @@ impl fmt::Display for PipelineError {
                 f,
                 "program of {words} instructions exceeds instruction memory capacity of {capacity} words"
             ),
+            PipelineError::MmioReadOnly { address } => {
+                write!(f, "store to read-only MMIO register at {address:#010x}")
+            }
         }
     }
 }

@@ -22,6 +22,68 @@ pub enum BubbleKind {
     Flush,
     /// Pipeline draining after the exit marker.
     Drain,
+    /// Fetch slot killed by the modeled exception-entry flush: the cycles
+    /// between an interrupt being accepted and the first handler fetch.
+    IrqEntry,
+}
+
+/// Which part of an interrupt episode a cycle belongs to.
+///
+/// `Entry` covers the accept cycle and the modeled entry-flush penalty
+/// cycles; `Handler` covers every subsequent cycle up to and including the
+/// cycle in which `l.rfe` resolves. The same classification is recomputed
+/// from the digest event stream during replay
+/// (`idca-timing`'s `IrqTimeline`), and the differential tests pin the two
+/// derivations bit-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum IrqPhase {
+    /// Ordinary user-code cycle.
+    #[default]
+    None,
+    /// Exception-entry flush in progress (accept cycle + penalty cycles).
+    Entry,
+    /// Handler code in flight (after entry, through the `l.rfe` redirect).
+    Handler,
+}
+
+/// One entry of the digest's asynchronous-event stream (codec v3).
+///
+/// Events carry everything replay needs to reconstruct interrupt phases and
+/// peripheral activity without re-simulating: entries/returns rebuild the
+/// [`IrqPhase`] timeline, timer fires and MMIO touches pin peripheral
+/// traffic. Events are recorded in cycle order; within a cycle the order is
+/// timer fire → MMIO touches → interrupt return → interrupt entry (the
+/// pipeline's stage-evaluation order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DigestEvent {
+    /// Cycle index the event occurred in.
+    pub cycle: u64,
+    /// What happened.
+    pub kind: DigestEventKind,
+}
+
+/// The kind of an asynchronous [`DigestEvent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DigestEventKind {
+    /// An interrupt was accepted and exception entry began.
+    IrqEntry {
+        /// Interrupt line that was taken (lowest pending unmasked line).
+        line: u8,
+    },
+    /// `l.rfe` resolved and the handler returned to the saved PC.
+    IrqReturn,
+    /// The cycle-driven timer wrapped and raised its interrupt line.
+    TimerFire,
+    /// A load hit the MMIO window.
+    MmioLoad {
+        /// Register byte address that was read.
+        address: u32,
+    },
+    /// A store hit the MMIO window.
+    MmioStore {
+        /// Register byte address that was written.
+        address: u32,
+    },
 }
 
 /// The content of one pipeline stage during one cycle.
@@ -166,6 +228,10 @@ pub struct CycleRecord {
     pub fetch_redirected: bool,
     /// `true` when the pipeline was stalled this cycle (front stages held).
     pub stalled: bool,
+    /// Interrupt phase of this cycle (ground truth for the replay-derived
+    /// timeline; `IrqPhase::None` for interrupt-free runs).
+    #[serde(default)]
+    pub irq_phase: IrqPhase,
 }
 
 impl CycleRecord {
@@ -294,6 +360,7 @@ mod tests {
             fetch_address: 0x40,
             fetch_redirected: false,
             stalled: false,
+            irq_phase: IrqPhase::None,
         };
         assert_eq!(record.timing_class(Stage::Execute), TimingClass::Bubble);
         assert_eq!(

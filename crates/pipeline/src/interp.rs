@@ -337,7 +337,10 @@ impl Interpreter {
                         new_pending = Some(pc.wrapping_add(op.branch_disp));
                     }
                 }
-                CtlKind::None | CtlKind::Exit => {}
+                // The architectural interpreter models no interrupt state,
+                // so a stray `l.rfe` falls through — matching the pipeline
+                // engines, where it is a no-op outside an active handler.
+                CtlKind::None | CtlKind::Exit | CtlKind::Rfe => {}
             }
 
             if op.mem.is_load() {

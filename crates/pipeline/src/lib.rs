@@ -54,6 +54,7 @@ mod digest;
 mod error;
 mod event;
 mod interp;
+mod irq;
 mod memory;
 mod observer;
 mod predecode;
@@ -67,10 +68,15 @@ pub use digest::{
 };
 pub use error::PipelineError;
 pub use event::{
-    BranchActivity, BubbleKind, CycleRecord, CycleRecordFlags, ExecActivity, ForwardSource,
-    MemRequest, Occupant, WbActivity,
+    BranchActivity, BubbleKind, CycleRecord, CycleRecordFlags, DigestEvent, DigestEventKind,
+    ExecActivity, ForwardSource, IrqPhase, MemRequest, Occupant, WbActivity,
 };
 pub use interp::{Interpreter, InterpreterResult};
+pub use irq::{
+    is_mmio, InterruptController, InterruptPlan, InterruptSpec, InterruptSpecError, LINE_STORM,
+    LINE_TIMER, MMIO_BASE, MMIO_IRQ_ACK, MMIO_IRQ_MASK, MMIO_IRQ_PENDING, MMIO_LEN,
+    MMIO_TIMER_COUNT, MMIO_TIMER_PERIOD,
+};
 pub use memory::Memory;
 pub use observer::{CycleObserver, RunSummary, TakeObserver};
 pub use predecode::{AdderKind, AluKind, CtlKind, MemKind, MicroOp, PredecodedProgram};
@@ -87,4 +93,5 @@ pub const NOP_EXIT: u16 = 1;
 /// can alter the [`CycleRecord`]s (and therefore the [`TimingDigest`]) a
 /// program produces. Persistent digest caches key on this so digests
 /// captured by an older simulator are re-simulated instead of trusted.
-pub const SIMULATOR_VERSION: u32 = 1;
+/// Version 2 added the asynchronous-event layer (interrupts, timer, MMIO).
+pub const SIMULATOR_VERSION: u32 = 2;

@@ -9,7 +9,7 @@
 //! materialization on the hot path. Materializing a [`crate::PipelineTrace`]
 //! is just another observer (used by tests and serialization).
 
-use crate::{CycleRecord, DigestObserver};
+use crate::{CycleRecord, DigestEvent, DigestObserver};
 
 /// Run totals handed to every observer when the simulation finishes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -29,6 +29,14 @@ pub struct RunSummary {
 pub trait CycleObserver {
     /// Consumes the record of one simulated cycle.
     fn observe_cycle(&mut self, record: &CycleRecord);
+
+    /// Consumes one asynchronous event (interrupt entry/return, timer
+    /// fire, MMIO touch). Delivered after the [`CycleObserver::observe_cycle`]
+    /// call of the cycle the event occurred in, in within-cycle order.
+    /// Interrupt-free runs never call this; the default ignores events.
+    fn observe_event(&mut self, event: &DigestEvent) {
+        let _ = event;
+    }
 
     /// Called once after the last cycle with the run totals.
     fn finish(&mut self, summary: &RunSummary) {
@@ -53,6 +61,10 @@ pub trait CycleObserver {
 impl<O: CycleObserver + ?Sized> CycleObserver for &mut O {
     fn observe_cycle(&mut self, record: &CycleRecord) {
         (**self).observe_cycle(record);
+    }
+
+    fn observe_event(&mut self, event: &DigestEvent) {
+        (**self).observe_event(event);
     }
 
     fn finish(&mut self, summary: &RunSummary) {
@@ -101,6 +113,14 @@ impl<O: CycleObserver> CycleObserver for TakeObserver<O> {
         }
     }
 
+    fn observe_event(&mut self, event: &DigestEvent) {
+        // Events of cycle N arrive after cycle N's record, so the inner
+        // observer keeps a consistent truncated view.
+        if event.cycle < self.limit {
+            self.inner.observe_event(event);
+        }
+    }
+
     fn finish(&mut self, summary: &RunSummary) {
         // The inner observer saw `seen` cycles; clamp the totals so its view
         // stays consistent with what was forwarded.
@@ -143,6 +163,7 @@ mod tests {
             fetch_address: 0,
             fetch_redirected: false,
             stalled: false,
+            irq_phase: crate::IrqPhase::None,
         }
     }
 

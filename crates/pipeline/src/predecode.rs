@@ -102,6 +102,9 @@ pub enum CtlKind {
         /// `true` for `l.jalr`.
         link: bool,
     },
+    /// `l.rfe`: return from exception, resolved in execute like a register
+    /// jump but targeting the interrupt controller's saved PC.
+    Rfe,
 }
 
 /// Memory access performed by the control stage, pre-classified so the hot
@@ -262,6 +265,7 @@ impl MicroOp {
                 Opcode::Jalr => CtlKind::JumpReg { link: true },
                 Opcode::Bf => CtlKind::BranchIfFlag,
                 Opcode::Bnf => CtlKind::BranchIfNotFlag,
+                Opcode::Rfe => CtlKind::Rfe,
                 _ => CtlKind::None,
             }
         };
@@ -639,7 +643,13 @@ mod lowering_proptests {
             // `is_plain` is exactly "cannot redirect fetch or halt".
             let is_control = matches!(
                 opcode,
-                Opcode::J | Opcode::Jal | Opcode::Jr | Opcode::Jalr | Opcode::Bf | Opcode::Bnf
+                Opcode::J
+                    | Opcode::Jal
+                    | Opcode::Jr
+                    | Opcode::Jalr
+                    | Opcode::Bf
+                    | Opcode::Bnf
+                    | Opcode::Rfe
             ) || (opcode == Opcode::Nop && insn.imm() == Some(i32::from(NOP_EXIT)));
             prop_assert_eq!(op.is_plain(), !is_control);
 

@@ -21,11 +21,12 @@
 
 use crate::digest::FastCycleFacts;
 use crate::interp::alu;
+use crate::irq::{is_mmio, InterruptController, InterruptPlan};
 use crate::predecode::{self, CtlKind, MicroOp, PredecodedProgram};
 use crate::{
     BranchActivity, BubbleKind, CycleObserver, CycleRecord, DigestObserver, ExecActivity,
-    ForwardSource, MemRequest, Memory, Occupant, PipelineError, PipelineTrace, RegisterFile,
-    RunSummary, Stage, WbActivity, NOP_EXIT,
+    ForwardSource, IrqPhase, MemRequest, Memory, Occupant, PipelineError, PipelineTrace,
+    RegisterFile, RunSummary, Stage, WbActivity, NOP_EXIT,
 };
 use idca_isa::{Insn, Opcode, Program, Reg, INSN_BYTES};
 use serde::{Deserialize, Serialize};
@@ -161,6 +162,7 @@ impl SimBuffers {
 #[derive(Debug, Clone, Default)]
 pub struct Simulator {
     config: SimConfig,
+    interrupts: Option<InterruptPlan>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -265,7 +267,31 @@ impl Simulator {
     /// Creates a simulator with the given configuration.
     #[must_use]
     pub fn new(config: SimConfig) -> Self {
-        Simulator { config }
+        Simulator {
+            config,
+            interrupts: None,
+        }
+    }
+
+    /// Attaches an interrupt scenario: every run drives one
+    /// [`InterruptController`] built from `plan`, accepting storm/timer
+    /// raises at the fetch boundary, injecting the modeled entry-flush
+    /// bubbles, routing word accesses inside the MMIO window to the
+    /// peripheral registers and resolving `l.rfe` back to the saved PC.
+    ///
+    /// The caller must run the handler-augmented program returned by the
+    /// same [`InterruptPlan::attach`] call that produced `plan` — the plan's
+    /// vector points into that image.
+    #[must_use]
+    pub fn with_interrupts(mut self, plan: InterruptPlan) -> Self {
+        self.interrupts = Some(plan);
+        self
+    }
+
+    /// The attached interrupt scenario, if any.
+    #[must_use]
+    pub fn interrupts(&self) -> Option<&InterruptPlan> {
+        self.interrupts.as_ref()
     }
 
     /// The active configuration.
@@ -482,8 +508,13 @@ impl Simulator {
         let mut seq_counter: u64 = 0;
         let mut retired: u64 = 0;
         let mut cycle_count: u64 = 0;
+        let mut irq = self.interrupts.as_ref().map(InterruptController::new);
 
         for cycle in 0..self.config.max_cycles {
+            if let Some(ctl) = irq.as_mut() {
+                ctl.begin_cycle(cycle);
+            }
+
             // -------------------------------------------------------------
             // Writeback stage: commit the oldest instruction.
             // -------------------------------------------------------------
@@ -513,10 +544,10 @@ impl Simulator {
             if let Slot::Insn(entry) = &mut ctrl_entry {
                 match entry.mem {
                     Some(MemOp::Store { address, value }) => {
-                        store(memory, entry.insn.opcode(), address, value)?;
+                        store(memory, irq.as_mut(), entry.insn.opcode(), address, value)?;
                     }
                     Some(MemOp::Load { address }) => {
-                        let value = load(memory, entry.insn.opcode(), address)?;
+                        let value = load(memory, irq.as_mut(), entry.insn.opcode(), address)?;
                         entry.value = value;
                         mem_return = Some(value);
                     }
@@ -571,6 +602,23 @@ impl Simulator {
                                 target: rb_value,
                                 resolved_in: Stage::Execute,
                             });
+                        }
+                        Opcode::Rfe => {
+                            // Return-from-exception resolves in execute like
+                            // a register jump targeting the saved PC. A
+                            // stray `l.rfe` outside an active handler (or
+                            // with no interrupt scenario attached) is a
+                            // no-op, identically in every engine.
+                            if let Some(target) =
+                                irq.as_mut().and_then(InterruptController::rfe_retire)
+                            {
+                                ex_redirect = Some(target);
+                                branch = Some(BranchActivity {
+                                    taken: true,
+                                    target,
+                                    resolved_in: Stage::Execute,
+                                });
+                            }
                         }
                         _ => {}
                     }
@@ -666,8 +714,37 @@ impl Simulator {
             // capture the fetched word for the next cycle.
             // -------------------------------------------------------------
             let effective_fetch = dc_redirect.unwrap_or(fetch_pc);
-            let fetch_redirected = dc_redirect.is_some() || ex_redirect.is_some();
-            let new_fe: Slot<Fetched> = if halting {
+            let mut fetch_redirected = dc_redirect.is_some() || ex_redirect.is_some();
+            let mut fetch_address = effective_fetch;
+
+            // Exception entry: accept a pending interrupt at the fetch
+            // boundary (the in-flight plain instructions retire normally;
+            // the not-yet-fetched one becomes the saved PC), or keep
+            // injecting the remaining entry-flush bubble cycles.
+            let mut irq_entry_cycle = false;
+            if let Some(ctl) = irq.as_mut() {
+                if ctl.entry_pending() {
+                    ctl.entry_tick();
+                    irq_entry_cycle = true;
+                    fetch_address = ctl.vector();
+                } else if !halting
+                    && dc_redirect.is_none()
+                    && ex_redirect.is_none()
+                    && ctl.takeable()
+                    && in_range(effective_fetch)
+                    && slot_plain(&fe)
+                    && slot_plain(&dc_out)
+                {
+                    ctl.accept(effective_fetch);
+                    irq_entry_cycle = true;
+                    fetch_address = ctl.vector();
+                    fetch_redirected = true;
+                }
+            }
+
+            let new_fe: Slot<Fetched> = if irq_entry_cycle {
+                Slot::Bubble(BubbleKind::IrqEntry)
+            } else if halting {
                 Slot::Bubble(BubbleKind::Drain)
             } else if ex_redirect.is_some() {
                 Slot::Bubble(BubbleKind::Flush)
@@ -687,7 +764,9 @@ impl Simulator {
             // -------------------------------------------------------------
             // Record this cycle.
             // -------------------------------------------------------------
-            let adr_occupant = if let Some(redirecting) = redirect_source(&dc_out, dc_redirect) {
+            let adr_occupant = if irq_entry_cycle {
+                Occupant::Bubble(BubbleKind::IrqEntry)
+            } else if let Some(redirecting) = redirect_source(&dc_out, dc_redirect) {
                 // The control-flow instruction drives the long branch-target
                 // path into the instruction-memory address register this
                 // cycle, so it owns the address-stage endpoint group.
@@ -717,14 +796,16 @@ impl Simulator {
                 exec: exec_activity,
                 mem_return,
                 writeback: writeback_activity,
-                fetch_address: effective_fetch,
+                fetch_address,
                 fetch_redirected,
                 stalled: false,
+                irq_phase: irq_phase_of(irq.as_ref(), irq_entry_cycle),
             };
             cycle_count += 1;
             for observer in observers.iter_mut() {
                 observer.observe_cycle(&record);
             }
+            drain_events(irq.as_mut(), observers);
 
             if finished {
                 break;
@@ -761,7 +842,11 @@ impl Simulator {
                 fe = new_fe;
             }
 
-            if let Some(target) = ex_redirect {
+            if irq_entry_cycle {
+                // Fetch parks on the handler vector for the whole entry
+                // flush; the first post-entry cycle fetches the handler.
+                fetch_pc = fetch_address;
+            } else if let Some(target) = ex_redirect {
                 fetch_pc = target;
             } else if let Some(target) = dc_redirect {
                 fetch_pc = target.wrapping_add(INSN_BYTES);
@@ -842,6 +927,7 @@ impl Simulator {
         let mut seq_counter: u64 = 0;
         let mut retired: u64 = 0;
         let mut cycle_count: u64 = 0;
+        let mut irq = self.interrupts.as_ref().map(InterruptController::new);
         // A lone hinted digest observer opts bursts into compact delivery
         // (no per-cycle `CycleRecord`); see `BurstSink`.
         let fused_digest = observers.len() == 1 && observers[0].as_hinted_digest().is_some();
@@ -867,10 +953,25 @@ impl Simulator {
                         // behind the current window (those that reach decode
                         // within the window) are plain, fetch stays in the
                         // image, and the cycle budget allows it.
-                        let k = u64::from(pre.runway(fi).saturating_add(2))
+                        let mut k = u64::from(pre.runway(fi).saturating_add(2))
                             .min(u64::from(n_ops - fi))
                             .min(self.config.max_cycles - cycle_count);
+                        if let Some(ctl) = irq.as_ref() {
+                            // Burst-abort on pending interrupt: cap the
+                            // burst so no acceptance point can land inside
+                            // it (capped cycles fall back to the
+                            // reference-structured cycle, which makes the
+                            // identical accept decision).
+                            k = k.min(ctl.burst_allowance(cycle_count, k));
+                        }
                         if k >= 4 {
+                            // No accept and no `l.rfe` can occur inside a
+                            // burst, so the interrupt phase is constant
+                            // across it.
+                            let burst_phase = match irq.as_ref() {
+                                Some(ctl) if ctl.in_handler() => IrqPhase::Handler,
+                                _ => IrqPhase::None,
+                            };
                             let mut window = [*xe, *xd, *xf];
                             let mut sink = if fused_digest {
                                 BurstSink::Digest(
@@ -882,6 +983,9 @@ impl Simulator {
                             for j in 0..k {
                                 let fetch_idx = fi + j as u32;
                                 let fetch_addr = base + fetch_idx * INSN_BYTES;
+                                if let Some(ctl) = irq.as_mut() {
+                                    ctl.begin_cycle(cycle_count);
+                                }
 
                                 let mut writeback_activity = None;
                                 if let Slot::Insn(entry) = &wb {
@@ -902,6 +1006,7 @@ impl Simulator {
                                         Some(MemOp::Store { address, value }) => {
                                             store_pre(
                                                 memory,
+                                                irq.as_mut(),
                                                 &ops[entry.idx as usize],
                                                 address,
                                                 value,
@@ -910,6 +1015,7 @@ impl Simulator {
                                         Some(MemOp::Load { address }) => {
                                             let value = load_pre(
                                                 memory,
+                                                irq.as_mut(),
                                                 &ops[entry.idx as usize],
                                                 address,
                                             )?;
@@ -1013,11 +1119,29 @@ impl Simulator {
                                             fetch_address: fetch_addr,
                                             fetch_redirected: false,
                                             stalled: false,
+                                            irq_phase: burst_phase,
                                         };
                                         for observer in obs.iter_mut() {
                                             observer.observe_cycle(&record);
                                         }
                                     }
+                                }
+                                if let Some(ctl) = irq.as_mut() {
+                                    let drained = ctl.cycle_events().len();
+                                    for i in 0..drained {
+                                        let event = ctl.cycle_events()[i];
+                                        match &mut sink {
+                                            BurstSink::Digest(digest) => {
+                                                digest.observe_event(&event);
+                                            }
+                                            BurstSink::Records(obs) => {
+                                                for observer in obs.iter_mut() {
+                                                    observer.observe_event(&event);
+                                                }
+                                            }
+                                        }
+                                    }
+                                    ctl.clear_cycle_events();
                                 }
                                 cycle_count += 1;
 
@@ -1055,6 +1179,11 @@ impl Simulator {
             // Reference-structured cycle (block boundaries, redirects,
             // drains, halts) — micro-op-driven twin of `run_core`'s body.
             // -------------------------------------------------------------
+            if let Some(ctl) = irq.as_mut() {
+                // Exactly once per cycle: the burst path above ticked the
+                // controller per burst cycle and `continue`d.
+                ctl.begin_cycle(cycle_count);
+            }
             let mut writeback_activity = None;
             let mut finished = false;
             if let Some(entry) = wb.as_ref() {
@@ -1076,10 +1205,17 @@ impl Simulator {
             if let Slot::Insn(entry) = &mut ctrl_entry {
                 match entry.mem {
                     Some(MemOp::Store { address, value }) => {
-                        store_pre(memory, &ops[entry.idx as usize], address, value)?;
+                        store_pre(
+                            memory,
+                            irq.as_mut(),
+                            &ops[entry.idx as usize],
+                            address,
+                            value,
+                        )?;
                     }
                     Some(MemOp::Load { address }) => {
-                        let value = load_pre(memory, &ops[entry.idx as usize], address)?;
+                        let value =
+                            load_pre(memory, irq.as_mut(), &ops[entry.idx as usize], address)?;
                         entry.value = value;
                         mem_return = Some(value);
                     }
@@ -1130,6 +1266,21 @@ impl Simulator {
                                 target: rb_value,
                                 resolved_in: Stage::Execute,
                             });
+                        }
+                        CtlKind::Rfe => {
+                            // Twin of the reference loop's `Opcode::Rfe`
+                            // arm: resolve to the saved PC, or no-op when
+                            // no handler is active.
+                            if let Some(target) =
+                                irq.as_mut().and_then(InterruptController::rfe_retire)
+                            {
+                                ex_redirect = Some(target);
+                                branch = Some(BranchActivity {
+                                    taken: true,
+                                    target,
+                                    resolved_in: Stage::Execute,
+                                });
+                            }
                         }
                         _ => {}
                     }
@@ -1189,8 +1340,34 @@ impl Simulator {
             }
 
             let effective_fetch = dc_redirect.unwrap_or(fetch_pc);
-            let fetch_redirected = dc_redirect.is_some() || ex_redirect.is_some();
-            let new_fe: Slot<FetchedOp> = if halting {
+            let mut fetch_redirected = dc_redirect.is_some() || ex_redirect.is_some();
+            let mut fetch_address = effective_fetch;
+
+            // Exception entry — twin of the reference loop's accept logic.
+            let mut irq_entry_cycle = false;
+            if let Some(ctl) = irq.as_mut() {
+                if ctl.entry_pending() {
+                    ctl.entry_tick();
+                    irq_entry_cycle = true;
+                    fetch_address = ctl.vector();
+                } else if !halting
+                    && dc_redirect.is_none()
+                    && ex_redirect.is_none()
+                    && ctl.takeable()
+                    && in_range(effective_fetch)
+                    && slot_plain_op(ops, &fe)
+                    && slot_plain_op(ops, &dc_out)
+                {
+                    ctl.accept(effective_fetch);
+                    irq_entry_cycle = true;
+                    fetch_address = ctl.vector();
+                    fetch_redirected = true;
+                }
+            }
+
+            let new_fe: Slot<FetchedOp> = if irq_entry_cycle {
+                Slot::Bubble(BubbleKind::IrqEntry)
+            } else if halting {
                 Slot::Bubble(BubbleKind::Drain)
             } else if ex_redirect.is_some() {
                 Slot::Bubble(BubbleKind::Flush)
@@ -1208,7 +1385,9 @@ impl Simulator {
                 Slot::Bubble(BubbleKind::Drain)
             };
 
-            let adr_occupant = if let (Some(_), Slot::Insn(f)) = (dc_redirect, &dc_out) {
+            let adr_occupant = if irq_entry_cycle {
+                Occupant::Bubble(BubbleKind::IrqEntry)
+            } else if let (Some(_), Slot::Insn(f)) = (dc_redirect, &dc_out) {
                 Occupant::Insn {
                     pc: f.pc,
                     insn: ops[f.idx as usize].insn,
@@ -1239,14 +1418,16 @@ impl Simulator {
                 exec: exec_activity,
                 mem_return,
                 writeback: writeback_activity,
-                fetch_address: effective_fetch,
+                fetch_address,
                 fetch_redirected,
                 stalled: false,
+                irq_phase: irq_phase_of(irq.as_ref(), irq_entry_cycle),
             };
             cycle_count += 1;
             for observer in observers.iter_mut() {
                 observer.observe_cycle(&record);
             }
+            drain_events(irq.as_mut(), observers);
 
             if finished {
                 break;
@@ -1277,7 +1458,9 @@ impl Simulator {
                 fe = new_fe;
             }
 
-            if let Some(target) = ex_redirect {
+            if irq_entry_cycle {
+                fetch_pc = fetch_address;
+            } else if let Some(target) = ex_redirect {
                 fetch_pc = target;
             } else if let Some(target) = dc_redirect {
                 fetch_pc = target.wrapping_add(INSN_BYTES);
@@ -1314,6 +1497,64 @@ impl Simulator {
         buffers.carry = carry;
         Ok(summary)
     }
+}
+
+/// `true` when the reference-engine slot holds a bubble or a *plain*
+/// instruction — no control flow, not the exit marker. The interrupt-accept
+/// guard requires plain-or-bubble fetch/decode slots so that nothing
+/// in flight can redirect or halt during the entry flush; this is the
+/// reference-engine twin of [`MicroOp::is_plain`] (pinned equivalent by the
+/// differential suite).
+fn slot_plain(slot: &Slot<Fetched>) -> bool {
+    match slot {
+        Slot::Bubble(_) => true,
+        Slot::Insn(f) => {
+            let opcode = f.insn.opcode();
+            !(matches!(
+                opcode,
+                Opcode::J
+                    | Opcode::Jal
+                    | Opcode::Jr
+                    | Opcode::Jalr
+                    | Opcode::Bf
+                    | Opcode::Bnf
+                    | Opcode::Rfe
+            ) || (opcode == Opcode::Nop && f.insn.imm() == Some(i32::from(NOP_EXIT))))
+        }
+    }
+}
+
+/// Predecoded-engine twin of [`slot_plain`].
+fn slot_plain_op(ops: &[MicroOp], slot: &Slot<FetchedOp>) -> bool {
+    match slot {
+        Slot::Bubble(_) => true,
+        Slot::Insn(f) => ops[f.idx as usize].is_plain(),
+    }
+}
+
+/// The live interrupt phase of the cycle being recorded: entry-flush cycles
+/// (accept plus the injected bubbles), then handler cycles up to and
+/// including the one where `l.rfe` resolved. Digest replay re-derives the
+/// identical classification from the event stream.
+fn irq_phase_of(ctl: Option<&InterruptController>, entry_cycle: bool) -> IrqPhase {
+    match ctl {
+        Some(_) if entry_cycle => IrqPhase::Entry,
+        Some(ctl) if ctl.in_handler() || ctl.returned_this_cycle() => IrqPhase::Handler,
+        _ => IrqPhase::None,
+    }
+}
+
+/// Streams the controller's per-cycle events to every observer (after the
+/// cycle's `observe_cycle`, in within-cycle order) and clears them.
+fn drain_events(irq: Option<&mut InterruptController>, observers: &mut [&mut dyn CycleObserver]) {
+    let Some(ctl) = irq else { return };
+    for i in 0..ctl.cycle_events().len() {
+        let event = ctl.cycle_events()[i];
+        for observer in observers.iter_mut() {
+            observer.observe_event(&event);
+        }
+    }
+    ctl.clear_cycle_events();
 }
 
 fn redirect_source(dc_out: &Slot<Fetched>, dc_redirect: Option<u32>) -> Option<Occupant> {
@@ -1466,8 +1707,21 @@ fn mul_bits_pre(is_mul: bool, a: u32, b: u32) -> u8 {
     }
 }
 
-fn load_pre(memory: &Memory, op: &MicroOp, address: u32) -> Result<u32, PipelineError> {
+fn load_pre(
+    memory: &Memory,
+    irq: Option<&mut InterruptController>,
+    op: &MicroOp,
+    address: u32,
+) -> Result<u32, PipelineError> {
     use crate::predecode::MemKind;
+    // Only aligned *word* accesses route to the MMIO window; sub-word and
+    // unaligned accesses inside it fall through to the data memory, whose
+    // bounds checks reject them with the usual structured errors.
+    if let Some(ctl) = irq {
+        if op.mem == MemKind::LoadWord && is_mmio(address) {
+            return ctl.mmio_load(address);
+        }
+    }
     Ok(match op.mem {
         MemKind::LoadWord => memory.load_word(address)?,
         MemKind::LoadHalf { signed: false } => u32::from(memory.load_half(address)?),
@@ -1480,11 +1734,17 @@ fn load_pre(memory: &Memory, op: &MicroOp, address: u32) -> Result<u32, Pipeline
 
 fn store_pre(
     memory: &mut Memory,
+    irq: Option<&mut InterruptController>,
     op: &MicroOp,
     address: u32,
     value: u32,
 ) -> Result<(), PipelineError> {
     use crate::predecode::MemKind;
+    if let Some(ctl) = irq {
+        if op.mem == MemKind::StoreWord && is_mmio(address) {
+            return ctl.mmio_store(address, value);
+        }
+    }
     match op.mem {
         MemKind::StoreWord => memory.store_word(address, value),
         MemKind::StoreHalf => memory.store_half(address, value as u16),
@@ -1544,7 +1804,17 @@ fn shift_amount(opcode: Opcode, b: u32) -> u8 {
     }
 }
 
-fn load(memory: &Memory, opcode: Opcode, address: u32) -> Result<u32, PipelineError> {
+fn load(
+    memory: &Memory,
+    irq: Option<&mut InterruptController>,
+    opcode: Opcode,
+    address: u32,
+) -> Result<u32, PipelineError> {
+    if let Some(ctl) = irq {
+        if matches!(opcode, Opcode::Lwz | Opcode::Lws) && is_mmio(address) {
+            return ctl.mmio_load(address);
+        }
+    }
     Ok(match opcode {
         Opcode::Lwz | Opcode::Lws => memory.load_word(address)?,
         Opcode::Lhz => u32::from(memory.load_half(address)?),
@@ -1557,10 +1827,16 @@ fn load(memory: &Memory, opcode: Opcode, address: u32) -> Result<u32, PipelineEr
 
 fn store(
     memory: &mut Memory,
+    irq: Option<&mut InterruptController>,
     opcode: Opcode,
     address: u32,
     value: u32,
 ) -> Result<(), PipelineError> {
+    if let Some(ctl) = irq {
+        if opcode == Opcode::Sw && is_mmio(address) {
+            return ctl.mmio_store(address, value);
+        }
+    }
     match opcode {
         Opcode::Sw => memory.store_word(address, value),
         Opcode::Sh => memory.store_half(address, value as u16),
@@ -1762,5 +2038,136 @@ mod tests {
         let sim = run("l.addi r1, r0, 0x80\n l.addi r3, r0, 5\n l.sw 0(r1), r3\n\
              l.addi r3, r0, 6\n l.sw 0(r1), r3\n l.lwz r4, 0(r1)\n l.nop 1\n");
         assert_eq!(sim.state.reg(Reg::r(4)), 6);
+    }
+
+    /// A loop workload long enough for several timer entries and storm
+    /// raises, with memory traffic and branches in flight.
+    fn irq_workload() -> Program {
+        assemble(
+            "        l.addi r3, r0, 40
+                     l.addi r5, r0, 0
+             loop:   l.mul  r4, r3, r3
+                     l.sw   0(r0), r4
+                     l.lwz  r6, 0(r0)
+                     l.add  r5, r5, r6
+                     l.addi r3, r3, -1
+                     l.sfne r3, r0
+                     l.bf   loop
+                     l.nop  0
+                     l.nop  1",
+        )
+    }
+
+    #[test]
+    fn interrupt_runs_are_bit_identical_across_engines() {
+        let spec =
+            crate::InterruptSpec::parse("timer=23,rate=0.01,seed=11,penalty=3").expect("spec");
+        let (program, plan) = crate::InterruptPlan::attach(&irq_workload(), &spec);
+        let sim = Simulator::new(SimConfig::default()).with_interrupts(plan);
+
+        let mut reference = DigestObserver::new();
+        let ref_run = sim
+            .run_observed_reference(&program, &mut [&mut reference])
+            .expect("reference runs");
+
+        let pre = crate::PredecodedProgram::lower(&program);
+        let mut predecoded = DigestObserver::new();
+        let pre_run = sim
+            .run_observed_predecoded(&pre, &mut [&mut predecoded])
+            .expect("predecoded runs");
+
+        // Fused burst capture (lone hinted digest observer) third.
+        let mut fused = DigestObserver::with_hints(pre.digest_hints());
+        let fused_run = sim
+            .run_observed_predecoded(&pre, &mut [&mut fused])
+            .expect("fused runs");
+
+        assert_eq!(ref_run.summary, pre_run.summary);
+        assert_eq!(ref_run.summary, fused_run.summary);
+        for r in 0..32 {
+            let reg = Reg::r(r);
+            assert_eq!(ref_run.state.reg(reg), pre_run.state.reg(reg), "r{r}");
+        }
+        let reference = reference.into_digest();
+        let predecoded = predecoded.into_digest();
+        let fused = fused.into_digest();
+        assert!(
+            reference
+                .events()
+                .iter()
+                .any(|e| matches!(e.kind, crate::DigestEventKind::IrqEntry { .. })),
+            "scenario produced no interrupt entries"
+        );
+        assert_eq!(reference.to_bytes(), predecoded.to_bytes());
+        assert_eq!(reference.to_bytes(), fused.to_bytes());
+    }
+
+    #[test]
+    fn interrupt_entry_injects_penalty_bubbles_and_returns() {
+        let spec = crate::InterruptSpec::parse("timer=15,penalty=4").expect("spec");
+        let (program, plan) = crate::InterruptPlan::attach(&irq_workload(), &spec);
+        let sim = Simulator::new(SimConfig::default()).with_interrupts(plan);
+        let mut trace = PipelineTrace::default();
+        sim.run_observed(&program, &mut [&mut trace]).expect("runs");
+
+        let cycles = trace.cycles();
+        let entry_spans: Vec<_> = cycles
+            .iter()
+            .filter(|c| c.irq_phase == IrqPhase::Entry)
+            .collect();
+        assert!(!entry_spans.is_empty());
+        // Entry cycles come in runs of exactly `penalty`, fetching the
+        // handler vector with a dead (bubbled) fetch stage.
+        let first_entry = cycles
+            .iter()
+            .position(|c| c.irq_phase == IrqPhase::Entry)
+            .expect("an entry");
+        for offset in 0..4 {
+            let record = &cycles[first_entry + offset];
+            assert_eq!(record.irq_phase, IrqPhase::Entry, "offset {offset}");
+            assert_eq!(record.fetch_address, plan.vector());
+            assert!(matches!(
+                record.stages[Stage::Address as usize],
+                Occupant::Bubble(BubbleKind::IrqEntry)
+            ));
+        }
+        assert_eq!(cycles[first_entry + 4].irq_phase, IrqPhase::Handler);
+        // The handler runs and returns: phases go back to None afterwards.
+        let after = &cycles[first_entry..];
+        assert!(after.iter().any(|c| c.irq_phase == IrqPhase::None));
+        // The run still retires the full workload and exits cleanly.
+        assert_eq!(
+            cycles.last().expect("cycles").irq_phase,
+            IrqPhase::None,
+            "program must exit in user code"
+        );
+    }
+
+    #[test]
+    fn inactive_interrupt_plan_changes_nothing_downstream() {
+        // A spec that never raises still attaches a controller; driving it
+        // must leave the cycle stream of the (handler-augmented) image
+        // bit-identical to running the same image with no controller at
+        // all, with an empty event stream. (Interrupt-free sweeps skip the
+        // attach entirely, so their images are untouched; this pins the
+        // controller itself as a no-op when silent.)
+        let spec = crate::InterruptSpec::default();
+        assert!(!spec.active());
+        let (augmented, plan) = crate::InterruptPlan::attach(&irq_workload(), &spec);
+        let with_plan = Simulator::new(SimConfig::default()).with_interrupts(plan);
+        let plain = Simulator::new(SimConfig::default());
+
+        let mut d_plan = DigestObserver::new();
+        let r_plan = with_plan
+            .run_observed(&augmented, &mut [&mut d_plan])
+            .expect("runs");
+        let mut d_plain = DigestObserver::new();
+        let r_plain = plain
+            .run_observed(&augmented, &mut [&mut d_plain])
+            .expect("runs");
+        assert_eq!(r_plan.summary, r_plain.summary);
+        let d_plan = d_plan.into_digest();
+        assert!(d_plan.events().is_empty());
+        assert_eq!(d_plan.to_bytes(), d_plain.into_digest().to_bytes());
     }
 }

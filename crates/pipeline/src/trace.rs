@@ -243,6 +243,7 @@ mod tests {
             fetch_address: 0,
             fetch_redirected: false,
             stalled: false,
+            irq_phase: crate::IrqPhase::None,
         }
     }
 

@@ -276,6 +276,33 @@ impl CycleLanes {
             }
         }
     }
+
+    /// Applies the exception-entry delay surge in place — the lane form of
+    /// [`surged`](crate::surged): every stage lane is rescaled by the same
+    /// uniform `factor` and the per-corner maximum is re-folded in stage
+    /// order with the same strict-`>` reduction, so every lane stays
+    /// bit-identical to surging its [`CycleTiming`] individually (and to the
+    /// live path, which scales the scalar timing the same way). A factor of
+    /// exactly `1.0` leaves the lanes untouched.
+    #[inline]
+    pub fn apply_surge(&mut self, factor: f64) {
+        if factor == 1.0 {
+            return;
+        }
+        let padded = self.padded;
+        self.max_delay_ps.fill(0.0);
+        for stage in Stage::ALL {
+            let lanes = &mut self.stage_delay_ps[stage.index() * padded..][..padded];
+            let max = &mut self.max_delay_ps[..padded];
+            for (delay, max) in lanes.iter_mut().zip(max) {
+                let surged = *delay * factor;
+                *delay = surged;
+                if surged > *max {
+                    *max = surged;
+                }
+            }
+        }
+    }
 }
 
 /// Reusable per-walk state of one [`CornerBank`]: the padded lane scratch
@@ -449,6 +476,40 @@ mod tests {
                 }
             });
         }
+    }
+
+    #[test]
+    fn lane_surge_is_bit_identical_to_scalar_surge() {
+        let d = mixed_digest();
+        let models = varied_models(5, 0x51AB);
+        let bank = CornerBank::from_models(&models);
+        let spec = crate::FaultSpec::parse("seed=9,droop-rate=0.4,droop-mag=0.3").unwrap();
+        let plan = crate::FaultPlan::new(&spec);
+        let mut evaluator = bank.evaluator();
+        d.for_each_cycle(|cycle, dc| {
+            // Canonical composition: faults first, then the entry surge.
+            let lanes = evaluator.cycle_lanes(cycle, dc);
+            lanes.apply_fault(&plan, cycle);
+            lanes.apply_surge(1.25);
+            for (corner, model) in models.iter().enumerate() {
+                let scalar = crate::surged(
+                    &plan.faulted(cycle, &model.digest_cycle_timing(cycle, dc)),
+                    1.25,
+                );
+                assert_eq!(
+                    lanes.max_lanes()[corner].to_bits(),
+                    scalar.max_delay_ps.to_bits(),
+                    "cycle {cycle} corner {corner}"
+                );
+                for stage in Stage::ALL {
+                    assert_eq!(
+                        lanes.stage_lanes(stage)[corner].to_bits(),
+                        scalar.stage_delay_ps[stage.index()].to_bits(),
+                        "cycle {cycle} corner {corner} stage {stage:?}"
+                    );
+                }
+            }
+        });
     }
 
     #[test]

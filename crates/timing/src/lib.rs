@@ -76,6 +76,7 @@ pub mod dta;
 mod eventlog;
 mod fault;
 mod histogram;
+mod irq;
 mod library;
 mod model;
 mod power;
@@ -87,6 +88,7 @@ pub use dta::{DtaObserver, DynamicTimingAnalysis};
 pub use eventlog::{Endpoint, EndpointEvent, EndpointId, EventLog};
 pub use fault::{FaultPlan, FaultSpec, FaultSpecError, DROOP_WINDOW_CYCLES, SHIFT_ONSET_HORIZON};
 pub use histogram::{Histogram, HistogramMergeError};
+pub use irq::{surged, IrqCursor, IrqTimeline};
 pub use library::{CellLibrary, LibraryError, OperatingPoint};
 pub use model::{CycleTiming, EventLogObserver, TimingModel};
 pub use power::{ActivityObserver, ActivitySummary, PowerModel, PowerReport};

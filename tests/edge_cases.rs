@@ -136,6 +136,183 @@ fn register_jump_outside_the_image_drains_cleanly_on_every_engine() {
     assert_eq!(golden.retired, 4);
 }
 
+/// An interrupt raised *during* an exception-entry flush must stay pending
+/// — the controller never nests entries — and the full-system event stream
+/// must show strictly alternating entry/return pairs with the late raise
+/// serviced as its own entry after the first handler returns.
+#[test]
+fn interrupt_raised_during_exception_entry_stays_pending_and_never_nests() {
+    use idca::pipeline::{
+        DigestEventKind, DigestObserver, InterruptController, InterruptPlan, InterruptSpec,
+        LINE_TIMER, MMIO_IRQ_ACK, MMIO_IRQ_PENDING,
+    };
+
+    // Controller level, fully deterministic: with `timer=1` the timer line
+    // fires on every cycle, so fires land inside the 3-cycle entry flush of
+    // the first acceptance. They must set pending without re-entering or
+    // disturbing the flush countdown.
+    let spec = InterruptSpec::parse("timer=1,penalty=3").unwrap();
+    let (_, plan) = InterruptPlan::attach(&ProgramBuilder::named("t").build(), &spec);
+    let mut ctl = InterruptController::new(&plan);
+    ctl.begin_cycle(0);
+    assert!(ctl.takeable());
+    ctl.accept(0x100);
+    assert!(ctl.in_handler() && ctl.entry_pending());
+    ctl.begin_cycle(1); // fires mid-entry
+    assert!(!ctl.takeable(), "nested entry during entry flush");
+    assert!(ctl.entry_pending());
+    ctl.entry_tick();
+    ctl.begin_cycle(2); // fires mid-entry again
+    assert!(!ctl.takeable());
+    ctl.entry_tick();
+    assert!(!ctl.entry_pending());
+    let pending = ctl.mmio_load(MMIO_IRQ_PENDING).unwrap();
+    assert_ne!(
+        pending & (1 << LINE_TIMER),
+        0,
+        "mid-entry raise went pending"
+    );
+    ctl.mmio_store(MMIO_IRQ_ACK, pending).unwrap();
+    assert_eq!(ctl.rfe_retire(), Some(0x100));
+    // After the return the next raise is a *fresh* entry, not a nested one.
+    ctl.begin_cycle(3);
+    assert!(ctl.takeable());
+
+    // Full system: find a storm seed whose schedule drops a timer fire
+    // inside an active entry/handler span (the schedule is a pure function
+    // of the seed, so the scan is deterministic), then check the recorded
+    // event stream never nests and both pipeline engines agree bit-exactly.
+    let program = generate_program(nth_seed(3, 0), &GenConfig::default());
+    let mut witnessed = false;
+    for storm_seed in 1..64u64 {
+        let spec =
+            InterruptSpec::parse(&format!("seed={storm_seed},rate=0.005,timer=29,penalty=12"))
+                .unwrap();
+        let (attached, plan) = InterruptPlan::attach(&program, &spec);
+        let simulator = Simulator::new(SimConfig::default()).with_interrupts(plan);
+        let mut fast_digest = DigestObserver::new();
+        let fast = simulator
+            .run_observed(&attached, &mut [&mut fast_digest])
+            .expect("storm scenario drains");
+        let mut reference_digest = DigestObserver::new();
+        let reference = simulator
+            .run_observed_reference(&attached, &mut [&mut reference_digest])
+            .expect("storm scenario drains");
+        assert_eq!(fast.summary, reference.summary, "seed {storm_seed}");
+        let fast_digest = fast_digest.into_digest();
+        assert_eq!(
+            fast_digest.events(),
+            reference_digest.into_digest().events(),
+            "seed {storm_seed}"
+        );
+
+        let mut open_entry: Option<u64> = None;
+        for event in fast_digest.events() {
+            match event.kind {
+                DigestEventKind::IrqEntry { .. } => {
+                    assert!(
+                        open_entry.is_none(),
+                        "nested IrqEntry at cycle {} (seed {storm_seed})",
+                        event.cycle
+                    );
+                    open_entry = Some(event.cycle);
+                }
+                DigestEventKind::IrqReturn => {
+                    assert!(open_entry.is_some(), "IrqReturn without entry");
+                    open_entry = None;
+                }
+                DigestEventKind::TimerFire if open_entry.is_some() => witnessed = true,
+                _ => {}
+            }
+        }
+        if witnessed {
+            break;
+        }
+    }
+    assert!(
+        witnessed,
+        "no seed in the scan produced a timer fire during an entry/handler span"
+    );
+}
+
+/// A timer fire landing on the very last cycle before [`SimConfig::max_cycles`]
+/// must end in the ordinary structured [`PipelineError::CycleLimitExceeded`]
+/// — not a panic, not an accepted-but-truncated entry — identically on both
+/// pipeline engines.
+#[test]
+fn timer_fire_on_the_final_cycle_before_the_limit_stops_with_a_structured_error() {
+    use idca::pipeline::{InterruptPlan, InterruptSpec, PipelineError};
+
+    let program = generate_program(nth_seed(11, 0), &GenConfig::default());
+    // `timer=50` fires for the first time on cycle 49 — exactly the final
+    // cycle the 50-cycle budget admits, so acceptance has no room to run.
+    let spec = InterruptSpec::parse("timer=50,penalty=4").unwrap();
+    let (attached, plan) = InterruptPlan::attach(&program, &spec);
+    let config = SimConfig {
+        max_cycles: 50,
+        ..SimConfig::default()
+    };
+    let simulator = Simulator::new(config).with_interrupts(plan);
+    let expected = PipelineError::CycleLimitExceeded { limit: 50 };
+    assert_eq!(
+        simulator.run_observed(&attached, &mut []).unwrap_err(),
+        expected
+    );
+    assert_eq!(
+        simulator
+            .run_observed_reference(&attached, &mut [])
+            .unwrap_err(),
+        expected
+    );
+}
+
+/// A store to a read-only MMIO register is the structured
+/// [`PipelineError::MmioReadOnly`] on both pipeline engines — never a
+/// panic — and without an interrupt controller attached the same word
+/// address falls through to plain SRAM bounds checking, which rejects it
+/// with its own structured error.
+#[test]
+fn mmio_store_to_a_read_only_register_is_a_structured_error_on_every_engine() {
+    use idca::pipeline::{InterruptPlan, InterruptSpec, PipelineError, MMIO_TIMER_COUNT};
+
+    let program = Assembler::new()
+        .assemble(
+            "l.movhi r31, 0xffff\n\
+             l.sw    0(r31), r0\n\
+             l.nop   1\n",
+        )
+        .expect("assembles");
+    let (attached, plan) = InterruptPlan::attach(&program, &InterruptSpec::default());
+    let simulator = Simulator::new(SimConfig::default()).with_interrupts(plan);
+    let expected = PipelineError::MmioReadOnly {
+        address: MMIO_TIMER_COUNT,
+    };
+    assert_eq!(
+        simulator.run_observed(&attached, &mut []).unwrap_err(),
+        expected
+    );
+    assert_eq!(
+        simulator
+            .run_observed_reference(&attached, &mut [])
+            .unwrap_err(),
+        expected
+    );
+
+    // No controller attached: the address is ordinary (out-of-range) data
+    // memory, and both engines report the same bounds error.
+    let bare = Simulator::new(SimConfig::default());
+    let fast = bare.run_observed(&program, &mut []).unwrap_err();
+    assert!(
+        matches!(fast, PipelineError::DataAccessOutOfRange { address, .. }
+            if address == MMIO_TIMER_COUNT),
+        "unexpected error without controller: {fast:?}"
+    );
+    assert_eq!(
+        fast,
+        bare.run_observed_reference(&program, &mut []).unwrap_err()
+    );
+}
+
 /// A register jump to a *misaligned* address inside the image is a
 /// structured [`PipelineError::PcOutOfRange`] — never a panic — and all
 /// three engines report the same offending pc.
